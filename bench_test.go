@@ -1,0 +1,221 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per table
+// and figure (§5). Each benchmark runs its experiment at a reduced dataset
+// scale per iteration so `go test -bench=.` completes in minutes; the full
+// paper-scale sweep is `go run ./cmd/qlove-bench`. Custom metrics surface
+// the headline numbers (value error, throughput) through the testing.B
+// reporting machinery.
+//
+// Throughput-shaped artifacts (Figure 4, Figure 5) additionally have
+// direct testing.B loops that measure events/second of the operators
+// themselves.
+package qlove
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// benchScale keeps per-iteration dataset sizes tractable for testing.B.
+const benchScale = 0.05
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opts := bench.Options{W: io.Discard, Seed: 1, Scale: benchScale}
+		if err := bench.Experiments[name](opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Histogram regenerates Figure 1 (NetMon histogram).
+func BenchmarkFig1Histogram(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkTable1Accuracy regenerates Table 1 (accuracy + space of the
+// five approximation policies).
+func BenchmarkTable1Accuracy(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2PeriodSweep regenerates Table 2 (error without few-k vs
+// period size).
+func BenchmarkTable2PeriodSweep(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3TopK regenerates Table 3 (top-k merging fraction sweep).
+func BenchmarkTable3TopK(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4SampleK regenerates Table 4 (sample-k under injected
+// bursts).
+func BenchmarkTable4SampleK(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5NonIID regenerates Table 5 (AR(1) sensitivity).
+func BenchmarkTable5NonIID(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkRedundancy regenerates the §5.4 data-redundancy study.
+func BenchmarkRedundancy(b *testing.B) { runExperiment(b, "redundancy") }
+
+// BenchmarkParetoSkew regenerates the §5.4 skewness study.
+func BenchmarkParetoSkew(b *testing.B) { runExperiment(b, "pareto") }
+
+// BenchmarkFewKThroughput regenerates the §5.3 few-k throughput note.
+func BenchmarkFewKThroughput(b *testing.B) { runExperiment(b, "fewk-throughput") }
+
+// BenchmarkErrBound regenerates the Appendix A bound-coverage check.
+func BenchmarkErrBound(b *testing.B) { runExperiment(b, "errbound") }
+
+// --- Figure 4: per-policy operator throughput, window 100K / period 1K ---
+
+func fig4Data(b *testing.B, n int) []float64 {
+	b.Helper()
+	return workload.Generate(workload.NewNetMon(1), n)
+}
+
+func benchThroughput(b *testing.B, mk func(spec Window, phis []float64) (Policy, error), spec Window) {
+	b.Helper()
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	data := fig4Data(b, spec.Size+200*spec.Period)
+	b.ReportAllocs()
+	b.ResetTimer()
+	elements := 0
+	for i := 0; i < b.N; i++ {
+		p, err := mk(spec, phis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := stream.Feed(p, spec, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elements += st.Elements
+	}
+	b.ReportMetric(float64(elements)/b.Elapsed().Seconds()/1e6, "Mev/s")
+}
+
+var fig4Spec = Window{Size: 100_000, Period: 1000}
+
+// BenchmarkFig4QLOVE measures QLOVE's throughput (Figure 4, first bar).
+func BenchmarkFig4QLOVE(b *testing.B) {
+	benchThroughput(b, func(spec Window, phis []float64) (Policy, error) {
+		return New(Config{Spec: spec, Phis: phis})
+	}, fig4Spec)
+}
+
+// BenchmarkFig4CMQS1x measures CMQS at ε = 0.02 (Figure 4, second bar).
+func BenchmarkFig4CMQS1x(b *testing.B) {
+	benchThroughput(b, func(spec Window, phis []float64) (Policy, error) {
+		return NewCMQS(spec, phis, 0.02)
+	}, fig4Spec)
+}
+
+// BenchmarkFig4CMQS5x measures CMQS at ε = 0.10 (Figure 4, third bar).
+func BenchmarkFig4CMQS5x(b *testing.B) {
+	benchThroughput(b, func(spec Window, phis []float64) (Policy, error) {
+		return NewCMQS(spec, phis, 0.10)
+	}, fig4Spec)
+}
+
+// BenchmarkFig4CMQS10x measures CMQS at ε = 0.20 (Figure 4, fourth bar).
+func BenchmarkFig4CMQS10x(b *testing.B) {
+	benchThroughput(b, func(spec Window, phis []float64) (Policy, error) {
+		return NewCMQS(spec, phis, 0.20)
+	}, fig4Spec)
+}
+
+// BenchmarkFig4Exact measures the Exact baseline (Figure 4, last bar).
+func BenchmarkFig4Exact(b *testing.B) {
+	benchThroughput(b, func(spec Window, phis []float64) (Policy, error) {
+		return NewExact(spec, phis)
+	}, fig4Spec)
+}
+
+// --- Figure 5: scalability vs window size, period 1K ---
+
+func benchFig5(b *testing.B, mkPolicy func(spec Window, phis []float64) (Policy, error), size int, gen workload.Generator) {
+	b.Helper()
+	spec := Window{Size: size, Period: 1000}
+	data := workload.Generate(gen, size+50*spec.Period)
+	benchFeed(b, mkPolicy, spec, data)
+}
+
+func benchFeed(b *testing.B, mk func(spec Window, phis []float64) (Policy, error), spec Window, data []float64) {
+	b.Helper()
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	b.ResetTimer()
+	elements := 0
+	for i := 0; i < b.N; i++ {
+		p, err := mk(spec, phis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := stream.Feed(p, spec, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elements += st.Elements
+	}
+	b.ReportMetric(float64(elements)/b.Elapsed().Seconds()/1e6, "Mev/s")
+}
+
+func mkQLOVE(spec Window, phis []float64) (Policy, error) {
+	return New(Config{Spec: spec, Phis: phis})
+}
+
+// BenchmarkFig5NormalQLOVE1K..1M: QLOVE on Normal data (Figure 5a).
+func BenchmarkFig5NormalQLOVE1K(b *testing.B) {
+	benchFig5(b, mkQLOVE, 1000, workload.NewNormal(1, 1e6, 5e4))
+}
+func BenchmarkFig5NormalQLOVE100K(b *testing.B) {
+	benchFig5(b, mkQLOVE, 100_000, workload.NewNormal(1, 1e6, 5e4))
+}
+func BenchmarkFig5NormalQLOVE1M(b *testing.B) {
+	benchFig5(b, mkQLOVE, 1_000_000, workload.NewNormal(1, 1e6, 5e4))
+}
+
+// BenchmarkFig5NormalExact1K..1M: Exact on Normal data (Figure 5a).
+func BenchmarkFig5NormalExact1K(b *testing.B) {
+	benchFig5(b, NewExact, 1000, workload.NewNormal(1, 1e6, 5e4))
+}
+func BenchmarkFig5NormalExact100K(b *testing.B) {
+	benchFig5(b, NewExact, 100_000, workload.NewNormal(1, 1e6, 5e4))
+}
+
+// BenchmarkFig5UniformQLOVE*: QLOVE on Uniform data (Figure 5b).
+func BenchmarkFig5UniformQLOVE1K(b *testing.B) {
+	benchFig5(b, mkQLOVE, 1000, workload.NewUniform(1, 90, 110))
+}
+func BenchmarkFig5UniformQLOVE1M(b *testing.B) {
+	benchFig5(b, mkQLOVE, 1_000_000, workload.NewUniform(1, 90, 110))
+}
+
+// BenchmarkFig5UniformExact1K: Exact on Uniform data (Figure 5b).
+func BenchmarkFig5UniformExact1K(b *testing.B) {
+	benchFig5(b, NewExact, 1000, workload.NewUniform(1, 90, 110))
+}
+
+// --- Ablations (DESIGN.md): design choices behind QLOVE ---
+
+// BenchmarkAblationQuantizationOn/Off isolates §3.1 value compression.
+func BenchmarkAblationQuantizationOn(b *testing.B) {
+	benchThroughput(b, func(spec Window, phis []float64) (Policy, error) {
+		return New(Config{Spec: spec, Phis: phis, Digits: 3})
+	}, Window{Size: 32_000, Period: 1000})
+}
+func BenchmarkAblationQuantizationOff(b *testing.B) {
+	benchThroughput(b, func(spec Window, phis []float64) (Policy, error) {
+		return New(Config{Spec: spec, Phis: phis, Digits: -1})
+	}, Window{Size: 32_000, Period: 1000})
+}
+
+// BenchmarkAblationFewKOn/Off isolates the few-k pipelines' overhead.
+func BenchmarkAblationFewKOn(b *testing.B) {
+	benchThroughput(b, func(spec Window, phis []float64) (Policy, error) {
+		return New(Config{Spec: spec, Phis: phis, FewK: true})
+	}, Window{Size: 32_000, Period: 1000})
+}
+func BenchmarkAblationFewKOff(b *testing.B) {
+	benchThroughput(b, func(spec Window, phis []float64) (Policy, error) {
+		return New(Config{Spec: spec, Phis: phis})
+	}, Window{Size: 32_000, Period: 1000})
+}

@@ -1,0 +1,62 @@
+// Command qlove-bench regenerates the tables and figures of the paper's
+// evaluation (§5). Run with no arguments for the full suite in paper
+// order, or name individual experiments:
+//
+//	qlove-bench                 # everything, paper-scale datasets
+//	qlove-bench -scale 0.1 table1 fig4
+//	qlove-bench -full fig5      # include the 100M-element windows
+//
+// Experiment names: fig1 table1 fig4 fig5 table2 table3 table4 table5
+// redundancy pareto fewk-throughput errbound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qlove-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qlove-bench", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "dataset scale in (0, 1]; 1 = paper-size (10M)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	full := fs.Bool("full", false, "unlock the most expensive sweeps (Fig 5's 100M windows)")
+	list := fs.Bool("list", false, "list experiment names and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range bench.Order {
+			fmt.Println(name)
+		}
+		return nil
+	}
+	names := fs.Args()
+	if len(names) == 0 {
+		names = bench.Order
+	}
+	opts := bench.Options{W: os.Stdout, Seed: *seed, Scale: *scale, Full: *full}
+	for _, name := range names {
+		exp, ok := bench.Experiments[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", name)
+		}
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := exp(opts); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

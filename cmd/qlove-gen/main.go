@@ -1,0 +1,81 @@
+// Command qlove-gen generates the paper's synthetic datasets (§5.1, §5.4)
+// to a file, in the binary dataset format (".bin") or one value per line.
+//
+// Usage:
+//
+//	qlove-gen -dataset netmon -n 10000000 -seed 1 -out netmon.bin
+//	qlove-gen -dataset ar1 -psi 0.8 -n 1000000 -out ar1.csv
+//	qlove-gen -dataset netmon -n 1000000 -burst-window 128000 \
+//	          -burst-period 16000 -burst-phi 0.999 -out bursty.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "qlove-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("qlove-gen", flag.ContinueOnError)
+	name := fs.String("dataset", "netmon", "netmon|search|normal|uniform|pareto|ar1")
+	n := fs.Int("n", 1_000_000, "number of values")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output path (.bin = binary; required)")
+	mean := fs.Float64("mean", 1e6, "normal/ar1 mean")
+	stddev := fs.Float64("stddev", 5e4, "normal/ar1 standard deviation")
+	lo := fs.Float64("lo", 90, "uniform lower bound")
+	hi := fs.Float64("hi", 110, "uniform upper bound")
+	psi := fs.Float64("psi", 0.5, "ar1 correlation coefficient")
+	burstWindow := fs.Int("burst-window", 0, "inject §5.3 bursts for this window size (0 = off)")
+	burstPeriod := fs.Int("burst-period", 0, "burst injection period")
+	burstPhi := fs.Float64("burst-phi", 0.999, "burst target quantile")
+	burstFactor := fs.Float64("burst-factor", 10, "burst multiplication factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive")
+	}
+	var gen workload.Generator
+	switch *name {
+	case "netmon":
+		gen = workload.NewNetMon(*seed)
+	case "search":
+		gen = workload.NewSearch(*seed)
+	case "normal":
+		gen = workload.NewNormal(*seed, *mean, *stddev)
+	case "uniform":
+		gen = workload.NewUniform(*seed, *lo, *hi)
+	case "pareto":
+		gen = workload.NewPaperPareto(*seed)
+	case "ar1":
+		gen = workload.NewAR1(*seed, *mean, *stddev, *psi)
+	default:
+		return fmt.Errorf("unknown dataset %q", *name)
+	}
+	data := workload.Generate(gen, *n)
+	if *burstWindow > 0 {
+		if *burstPeriod <= 0 {
+			return fmt.Errorf("-burst-period required with -burst-window")
+		}
+		data = workload.InjectBursts(data, *burstWindow, *burstPeriod, *burstPhi, *burstFactor)
+	}
+	if err := dataset.SaveFile(*out, data); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d %s values to %s\n", len(data), *name, *out)
+	return nil
+}

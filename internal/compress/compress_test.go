@@ -1,0 +1,261 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeThreeDigits(t *testing.T) {
+	q := NewQuantizer(3)
+	cases := []struct{ in, want float64 }{
+		{1247, 1250},
+		{798, 798},
+		{74265, 74300},
+		{1874, 1870},
+		{0.0012345, 0.00123},
+		{999.6, 1000},
+		{1, 1},
+		{0, 0},
+		{-1247, -1250},
+		{123456789, 123000000},
+	}
+	for _, c := range cases {
+		if got := q.Quantize(c.in); math.Abs(got-c.want) > math.Abs(c.want)*1e-12 {
+			t.Errorf("Quantize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQuantizeIdentity(t *testing.T) {
+	q := NewQuantizer(0)
+	for _, v := range []float64{1247.89, -3.5, 0} {
+		if got := q.Quantize(v); got != v {
+			t.Errorf("identity Quantize(%v) = %v", v, got)
+		}
+	}
+	if q.MaxRelativeError() != 0 {
+		t.Fatal("identity quantizer should report 0 max error")
+	}
+}
+
+func TestQuantizeSpecials(t *testing.T) {
+	q := NewQuantizer(3)
+	if !math.IsNaN(q.Quantize(math.NaN())) {
+		t.Fatal("NaN should pass through")
+	}
+	if !math.IsInf(q.Quantize(math.Inf(1)), 1) {
+		t.Fatal("+Inf should pass through")
+	}
+	if !math.IsInf(q.Quantize(math.Inf(-1)), -1) {
+		t.Fatal("-Inf should pass through")
+	}
+}
+
+func TestMaxRelativeError(t *testing.T) {
+	if got := NewQuantizer(3).MaxRelativeError(); math.Abs(got-0.005) > 1e-15 {
+		t.Fatalf("MaxRelativeError(3) = %v, want 0.005", got)
+	}
+	if got := NewQuantizer(1).MaxRelativeError(); math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("MaxRelativeError(1) = %v, want 0.5", got)
+	}
+}
+
+// Property from the paper: 3 significant digits keeps relative error < 1%.
+func TestQuickQuantizeErrorBound(t *testing.T) {
+	q := NewQuantizer(3)
+	f := func(mantissa uint32, expSeed int8) bool {
+		exp := float64(expSeed % 12)
+		v := (1 + float64(mantissa)/float64(math.MaxUint32)*9) * math.Pow(10, exp)
+		got := q.Quantize(v)
+		rel := math.Abs(got-v) / v
+		return rel <= q.MaxRelativeError()+1e-12 && rel < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization is idempotent.
+func TestQuickQuantizeIdempotent(t *testing.T) {
+	q := NewQuantizer(3)
+	f := func(raw uint32) bool {
+		v := float64(raw%10_000_000) + 1
+		once := q.Quantize(v)
+		return q.Quantize(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization is monotone (order preserving).
+func TestQuickQuantizeMonotone(t *testing.T) {
+	q := NewQuantizer(3)
+	f := func(a, b uint32) bool {
+		x, y := float64(a%1_000_000)+1, float64(b%1_000_000)+1
+		if x > y {
+			x, y = y, x
+		}
+		return q.Quantize(x) <= q.Quantize(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropLowDigits(t *testing.T) {
+	cases := []struct {
+		v    float64
+		d    int
+		want float64
+	}{
+		{1247, 2, 1200},
+		{1299, 2, 1200},
+		{74265, 2, 74200},
+		{99, 2, 0},
+		{1247, 0, 1247},
+		{-1247, 2, -1200},
+	}
+	for _, c := range cases {
+		if got := DropLowDigits(c.v, c.d); got != c.want {
+			t.Errorf("DropLowDigits(%v, %d) = %v, want %v", c.v, c.d, got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	entries := []Entry{
+		{Value: 100, Count: 5000},
+		{Value: 101, Count: 3},
+		{Value: 798, Count: 12345},
+		{Value: 74300, Count: 1},
+	}
+	buf := EncodeSummary(entries)
+	got, err := DecodeSummary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestEncodeDecodeFractionalValues(t *testing.T) {
+	entries := []Entry{
+		{Value: 0.125, Count: 2}, // not scalable by powers of ten -> raw path
+		{Value: 1.333333333333, Count: 7},
+	}
+	buf := EncodeSummary(entries)
+	got, err := DecodeSummary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestEncodeDecodeScaledDecimals(t *testing.T) {
+	entries := []Entry{
+		{Value: 7.98, Count: 9},
+		{Value: 12.47, Count: 1},
+	}
+	buf := EncodeSummary(entries)
+	got, err := DecodeSummary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		if math.Abs(got[i].Value-entries[i].Value) > 1e-12 || got[i].Count != entries[i].Count {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	buf := EncodeSummary(nil)
+	got, err := DecodeSummary(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d entries from empty summary", len(got))
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	for _, buf := range [][]byte{
+		{},
+		{0xFF}, // truncated uvarint
+		{0x05}, // claims 5 entries, no data
+		{0x02, 0x01, 0x02},
+	} {
+		if _, err := DecodeSummary(buf); err == nil {
+			t.Errorf("DecodeSummary(%v) did not error", buf)
+		}
+	}
+}
+
+func TestCompressionBeatsRaw(t *testing.T) {
+	// Telemetry-like integer latencies: encoding must be much smaller than
+	// 16 bytes/entry raw representation.
+	var entries []Entry
+	v := 100.0
+	for i := 0; i < 1000; i++ {
+		entries = append(entries, Entry{Value: v, Count: uint64(1 + i%50)})
+		v += float64(1 + i%10)
+	}
+	buf := EncodeSummary(entries)
+	raw := len(entries) * 16
+	if len(buf)*4 > raw {
+		t.Fatalf("encoded %d bytes for raw %d bytes: want >= 4x compression", len(buf), raw)
+	}
+}
+
+// Property: round trip preserves integer-valued summaries exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []uint32, counts []uint16) bool {
+		n := len(vals)
+		if len(counts) < n {
+			n = len(counts)
+		}
+		seen := map[float64]bool{}
+		var entries []Entry
+		for i := 0; i < n; i++ {
+			v := float64(vals[i] % 1_000_000)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			entries = append(entries, Entry{Value: v, Count: uint64(counts[i]) + 1})
+		}
+		// sort ascending as the contract requires
+		for i := 1; i < len(entries); i++ {
+			for j := i; j > 0 && entries[j].Value < entries[j-1].Value; j-- {
+				entries[j], entries[j-1] = entries[j-1], entries[j]
+			}
+		}
+		buf := EncodeSummary(entries)
+		got, err := DecodeSummary(buf)
+		if err != nil || len(got) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if got[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package fewk implements QLOVE's few-k merging (§4): the machinery that
+// repairs high-quantile estimates when sub-window averaging breaks down.
+// Each sub-window retains a few of its largest raw values; at window level
+// these are merged to answer high quantiles directly.
+//
+// Two merging pipelines run side by side:
+//
+//   - Top-k merging (statistical inefficiency): each sub-window caches its
+//     k_t largest values; the merged pool answers the ϕ-quantile by its
+//     N(1−ϕ)-th largest element.
+//   - Sample-k merging (bursty traffic): each sub-window interval-samples
+//     k_s of its N(1−ϕ) largest values; after merging, the answer is read
+//     at rank ⌈α·N(1−ϕ)⌉ to factor in the sampling-rate reduction α.
+//
+// Bursty traffic is detected by a one-sided Mann–Whitney U test comparing
+// the newest sub-window's sampled tail against the previous sub-window's
+// (§4.3); when flagged, the sample-k outcome takes priority.
+package fewk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// DefaultStatThreshold is T_s, the paper's threshold on P(1−ϕ) below which
+// a sub-window has too few tail points for robust estimation (§4.3).
+const DefaultStatThreshold = 10
+
+// DefaultBurstAlpha is the significance level of the burst detector.
+const DefaultBurstAlpha = 0.05
+
+// ExactTailSize returns the exact from-the-top rank of the ϕ-quantile in a
+// window of N elements: N − ⌈ϕN⌉ + 1. The paper writes this as N(1−ϕ);
+// the +1 keeps the read rank consistent with the ⌈ϕN⌉ quantile definition
+// (at ϕ = 0.999, N = 16000 the difference is rank 16 vs 17 — several
+// percent of value on a Pareto tail). It is both the per-sub-window cache
+// size that guarantees exactness under worst-case burst (E1 in Figure 3)
+// and the window-level read rank.
+func ExactTailSize(windowN int, phi float64) int {
+	k := windowN - stats.CeilRank(phi, windowN) + 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// NeedsTopK reports whether the ϕ-quantile suffers statistical
+// inefficiency at sub-window size periodP (the paper's P(1−ϕ) < T_s rule).
+func NeedsTopK(periodP int, phi float64, threshold float64) bool {
+	return float64(periodP)*(1-phi) < threshold
+}
+
+// Budget is the per-sub-window space plan for one high quantile.
+type Budget struct {
+	K  int // total per-sub-window budget (k = k_t + k_s)
+	Kt int // top-k share: the k_t largest values, cached exactly
+	Ks int // sample-k share: interval samples of the N(1−ϕ) largest
+}
+
+// PlanBudget derives the paper's §4.2 budget split for one ϕ-quantile:
+// fraction scales the per-sub-window cache relative to the N(1−ϕ) values
+// that would guarantee exactness (fraction 1 ⇒ exact). k_t uses the
+// paper's conservative sizing — twice the evenly-spread share P(1−ϕ),
+// covering the E2 pattern of Figure 3 — and the remainder goes to k_s
+// (which is "typically larger than k_t", §4.2). fraction must lie in
+// (0, 1].
+func PlanBudget(windowN, periodP int, phi, fraction float64) (Budget, error) {
+	if fraction <= 0 || fraction > 1 {
+		return Budget{}, fmt.Errorf("fewk: fraction %v outside (0, 1]", fraction)
+	}
+	if windowN < periodP || periodP < 1 {
+		return Budget{}, fmt.Errorf("fewk: bad window %d / period %d", windowN, periodP)
+	}
+	exact := ExactTailSize(windowN, phi)
+	k := int(math.Round(fraction * float64(exact)))
+	if k < 1 {
+		k = 1
+	}
+	// Budget covering the whole worst-case tail: the contiguous top-k
+	// cache alone guarantees the exact answer for any pattern E1–E4
+	// (§4.2), so sampling is unnecessary.
+	if k >= exact {
+		return Budget{K: k, Kt: k, Ks: 0}, nil
+	}
+	// Conservative E2 sizing (twice the evenly-spread share), floored at
+	// half the budget so the contiguous cache stays deep enough to absorb
+	// ordinary clustering of tail values.
+	kt := 2 * int(math.Round(float64(periodP)*(1-phi)))
+	if half := (k + 1) / 2; kt < half {
+		kt = half
+	}
+	if kt > k {
+		kt = k
+	}
+	return Budget{K: k, Kt: kt, Ks: k - kt}, nil
+}
+
+// Sample is one retained interval sample of a sub-window's tail: Value is
+// the element at some rank r of the descending-sorted tail, and Weight is
+// the number of tail ranks it represents (the gap back to the previous
+// sampled rank). Weights let the window-level merge reconstruct global
+// ranks exactly, whatever sampling rate each sub-window used.
+type Sample struct {
+	Value  float64
+	Weight int
+}
+
+// SampleTail interval-samples exactly min(ks, len) values from tail, which
+// must hold a sub-window's largest values sorted in descending order (at
+// most N(1−ϕ) of them). Samples are evenly spaced over the ranked tail and
+// anchored at BOTH ends — the first sample is the sub-window's maximum and
+// the last its deepest tail value. Anchoring the maximum matters when
+// burst values from one sub-window interleave with other sub-windows'
+// ordinary maxima (the realistic burst pattern): the global quantile then
+// sits near another sub-window's top ranks, which midpoint-phased sampling
+// systematically misses. Anchoring the deepest rank keeps the merged read
+// exact under the pure E1 burst. Returns nil when ks <= 0 or the tail is
+// empty.
+func SampleTail(tail []float64, ks int) []Sample {
+	if ks <= 0 || len(tail) == 0 {
+		return nil
+	}
+	n := len(tail)
+	if ks >= n {
+		out := make([]Sample, n)
+		for i, v := range tail {
+			out[i] = Sample{Value: v, Weight: 1}
+		}
+		return out
+	}
+	if ks == 1 {
+		return []Sample{{Value: tail[n-1], Weight: n}}
+	}
+	out := make([]Sample, 0, ks)
+	prev := 0
+	for i := 0; i < ks; i++ {
+		r := 1 + int(math.Round(float64(i)*float64(n-1)/float64(ks-1)))
+		out = append(out, Sample{Value: tail[r-1], Weight: r - prev})
+		prev = r
+	}
+	return out
+}
+
+// TopKMerge merges the cached top-k lists of all sub-windows (each sorted
+// descending) and answers the ϕ-quantile of a window of size windowN by
+// its N(1−ϕ)-th largest merged value. When fewer values are available the
+// smallest merged value is returned (the paper's behaviour when the budget
+// undershoots a burst). Returns ok=false when no values are cached.
+//
+// The merge walks a max-heap of list heads and stops at the read rank, so
+// the per-evaluation cost is O(rank·log L) for L sub-windows instead of
+// sorting every cached value.
+func TopKMerge(lists [][]float64, windowN int, phi float64) (float64, bool) {
+	h := newHeadHeap(lists)
+	if h.empty() {
+		return 0, false
+	}
+	rank := ExactTailSize(windowN, phi)
+	var last float64
+	for i := 0; i < rank; i++ {
+		v, ok := h.pop()
+		if !ok {
+			break // budget undershoot: fall back to the smallest seen
+		}
+		last = v
+	}
+	return last, true
+}
+
+// SampleKMerge merges the weighted interval samples of all sub-windows and
+// answers the ϕ-quantile of a window of size windowN: samples are sorted
+// by value descending and weights accumulated until they reach the target
+// tail rank N−⌈ϕN⌉+1 — each sample stands for the Weight tail ranks of its
+// own sub-window that precede it, so the cumulative weight approximates
+// the global rank. (With a uniform sampling rate α this reduces to the
+// paper's "read the α·N(1−ϕ)-th largest sample" rule.) Returns ok=false
+// when no samples exist.
+func SampleKMerge(samples [][]Sample, windowN int, phi float64) (float64, bool) {
+	// Heap-merge the descending per-sub-window lists, accumulating weight
+	// until the target tail rank is covered — O(popped·log L).
+	lists := make([][]float64, len(samples))
+	weights := make([][]int, len(samples))
+	for i, l := range samples {
+		vs := make([]float64, len(l))
+		ws := make([]int, len(l))
+		for j, s := range l {
+			vs[j], ws[j] = s.Value, s.Weight
+		}
+		lists[i], weights[i] = vs, ws
+	}
+	h := newHeadHeap(lists)
+	if h.empty() {
+		return 0, false
+	}
+	target := ExactTailSize(windowN, phi)
+	cum := 0
+	var last float64
+	for {
+		v, li, pos, ok := h.popIndexed()
+		if !ok {
+			return last, true // samples exhausted: deepest value
+		}
+		last = v
+		cum += weights[li][pos]
+		if cum >= target {
+			return v, true
+		}
+	}
+}
+
+// SampleValues extracts the plain values of a sample list (for the burst
+// detector's rank test).
+func SampleValues(samples []Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Value
+	}
+	return out
+}
+
+// headHeap is a max-heap over the heads of descending-sorted lists,
+// yielding the globally largest remaining value on each pop.
+type headHeap struct {
+	lists [][]float64
+	// entries are (listIndex, positionInList) pairs ordered by the value
+	// at that position.
+	li  []int
+	pos []int
+}
+
+func newHeadHeap(lists [][]float64) *headHeap {
+	h := &headHeap{lists: lists}
+	for i, l := range lists {
+		if len(l) > 0 {
+			h.push(i, 0)
+		}
+	}
+	return h
+}
+
+func (h *headHeap) empty() bool { return len(h.li) == 0 }
+
+func (h *headHeap) val(k int) float64 { return h.lists[h.li[k]][h.pos[k]] }
+
+func (h *headHeap) push(li, pos int) {
+	h.li = append(h.li, li)
+	h.pos = append(h.pos, pos)
+	i := len(h.li) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.val(parent) >= h.val(i) {
+			break
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *headHeap) swap(i, j int) {
+	h.li[i], h.li[j] = h.li[j], h.li[i]
+	h.pos[i], h.pos[j] = h.pos[j], h.pos[i]
+}
+
+// popIndexed removes and returns the largest remaining value along with
+// its list index and position.
+func (h *headHeap) popIndexed() (v float64, li, pos int, ok bool) {
+	if len(h.li) == 0 {
+		return 0, 0, 0, false
+	}
+	v, li, pos = h.val(0), h.li[0], h.pos[0]
+	// Advance that list's head, or remove it.
+	if pos+1 < len(h.lists[li]) {
+		h.li[0], h.pos[0] = li, pos+1
+	} else {
+		last := len(h.li) - 1
+		h.li[0], h.pos[0] = h.li[last], h.pos[last]
+		h.li, h.pos = h.li[:last], h.pos[:last]
+		if len(h.li) == 0 {
+			return v, li, pos, true
+		}
+	}
+	// Sift down.
+	i := 0
+	n := len(h.li)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.val(l) > h.val(largest) {
+			largest = l
+		}
+		if r < n && h.val(r) > h.val(largest) {
+			largest = r
+		}
+		if largest == i {
+			return v, li, pos, true
+		}
+		h.swap(i, largest)
+		i = largest
+	}
+}
+
+// pop removes and returns only the largest remaining value.
+func (h *headHeap) pop() (float64, bool) {
+	v, _, _, ok := h.popIndexed()
+	return v, ok
+}
+
+// DetectBurst reports whether the newest sub-window's sampled tail is
+// distributionally different and stochastically larger than the previous
+// sub-window's, per the one-sided Mann–Whitney U test at level alpha
+// (§4.3). Either sample being empty yields false.
+func DetectBurst(current, previous []float64, alpha float64) bool {
+	return stats.StochasticallyLarger(current, previous, alpha)
+}
+
+// Outcome selects between the three per-quantile answers at runtime,
+// implementing §4.3 "Selecting outcomes": sample-k wins under a detected
+// burst, top-k wins under statistical inefficiency, and the Level-2
+// aggregate is used otherwise.
+func Outcome(level2 float64, topK float64, topKOK bool, sampleK float64, sampleKOK bool,
+	burst bool, statInefficient bool) float64 {
+	switch {
+	case burst && sampleKOK:
+		return sampleK
+	case statInefficient && topKOK:
+		return topK
+	default:
+		return level2
+	}
+}

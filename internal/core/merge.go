@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/fewk"
+)
+
+// MergedResult combines the state of several QLOVE shards that consumed
+// disjoint partitions of one logical stream (e.g. one shard per ingestion
+// thread or per datacenter pod) into window-level quantile estimates, as
+// sketched in the paper's conclusion ("our quantile design can deliver
+// better aggregate throughput ... in distributed computing").
+//
+// The combination follows the same two-level logic as a single operator:
+// Level-2 estimates are the mean of every resident sub-window quantile
+// across all shards (each shard's sub-windows are themselves i.i.d.
+// samples of the stream under the paper's assumptions), and few-k-managed
+// quantiles merge the cached tails and samples of all shards, scaling the
+// read rank by the number of shards (the logical window is shards×N
+// elements).
+//
+// All shards must share an identical configuration; ErrMismatched is
+// returned otherwise.
+func MergedResult(shards []*Policy) ([]float64, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("qlove: no shards to merge")
+	}
+	first := shards[0]
+	for _, s := range shards[1:] {
+		if !sameConfig(first.cfg, s.cfg) {
+			return nil, fmt.Errorf("qlove: %w", ErrMismatched)
+		}
+	}
+	nPhis := len(first.cfg.Phis)
+	out := make([]float64, nPhis)
+
+	// Level 2 across shards: mean of all resident sub-window quantiles.
+	counts := 0
+	sums := make([]float64, nPhis)
+	for _, s := range shards {
+		for i := 0; i < nPhis; i++ {
+			sums[i] += s.agg.sums[i]
+		}
+		counts += s.agg.count()
+	}
+	if counts == 0 {
+		return out, nil
+	}
+	for i := 0; i < nPhis; i++ {
+		out[i] = sums[i] / float64(counts)
+	}
+
+	// Few-k across shards: the logical window spans shards×N elements.
+	logicalN := first.cfg.Spec.Size * len(shards)
+	for mi, pi := range first.managed {
+		phi := first.cfg.Phis[pi]
+		var tails [][]float64
+		var samples [][]fewk.Sample
+		burst := false
+		for _, s := range shards {
+			tails = append(tails, s.agg.cached(mi)...)
+			samples = append(samples, s.agg.samples(mi)...)
+			burst = burst || s.agg.anyBursty(mi)
+		}
+		topK, topOK := fewk.TopKMerge(tails, logicalN, phi)
+		sampleK, sampOK := fewk.SampleKMerge(samples, logicalN, phi)
+		statIneff := fewk.NeedsTopK(first.cfg.Spec.Period, phi, first.cfg.StatThreshold)
+		out[pi] = fewk.Outcome(out[pi], topK, topOK, sampleK, sampOK, burst, statIneff)
+	}
+	return out, nil
+}
+
+// ErrMismatched reports an attempt to merge shards with different
+// configurations.
+var ErrMismatched = fmt.Errorf("shards have mismatched configurations")
+
+// sameConfig compares the fields that affect merge semantics.
+func sameConfig(a, b Config) bool {
+	if a.Spec != b.Spec || a.FewK != b.FewK || a.Fraction != b.Fraction ||
+		a.StatThreshold != b.StatThreshold || a.HighPhiMin != b.HighPhiMin ||
+		len(a.Phis) != len(b.Phis) {
+		return false
+	}
+	for i := range a.Phis {
+		if a.Phis[i] != b.Phis[i] {
+			return false
+		}
+	}
+	return true
+}

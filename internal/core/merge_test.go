@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+func TestMergedResultMatchesSingleStream(t *testing.T) {
+	// Two shards each consuming half of an i.i.d. stream must merge to an
+	// estimate close to a single operator over the whole stream.
+	spec := window.Spec{Size: 8000, Period: 1000}
+	phis := []float64{0.5, 0.9}
+	cfg := Config{Spec: spec, Phis: phis, Digits: -1}
+	whole := mustNew(t, cfg)
+	shardA := mustNew(t, cfg)
+	shardB := mustNew(t, cfg)
+	gen := workload.NewNormal(1, 1000, 100)
+	for i := 0; i < 16000; i++ {
+		v := gen.Next()
+		whole.Observe(v)
+		if i%2 == 0 {
+			shardA.Observe(v)
+		} else {
+			shardB.Observe(v)
+		}
+	}
+	// Trim both sides to one window's worth of summaries.
+	for whole.SubWindowCount() > spec.SubWindows() {
+		whole.Expire(nil)
+	}
+	for shardA.SubWindowCount() > spec.SubWindows() {
+		shardA.Expire(nil)
+		shardB.Expire(nil)
+	}
+	merged, err := MergedResult([]*Policy{shardA, shardB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := whole.Result()
+	for j := range phis {
+		if rel := math.Abs(merged[j]-single[j]) / single[j]; rel > 0.01 {
+			t.Errorf("phi=%v: merged %v vs single %v (rel %v)", phis[j], merged[j], single[j], rel)
+		}
+	}
+}
+
+func TestMergedResultAccuracy(t *testing.T) {
+	// Four shards of NetMon data: merged estimates should be close to the
+	// exact quantiles of the union.
+	spec := window.Spec{Size: 4000, Period: 1000}
+	phis := []float64{0.5, 0.9}
+	cfg := Config{Spec: spec, Phis: phis}
+	var shards []*Policy
+	var all []float64
+	for s := 0; s < 4; s++ {
+		p := mustNew(t, cfg)
+		gen := workload.NewNetMon(int64(s + 1))
+		for i := 0; i < spec.Size; i++ {
+			v := gen.Next()
+			p.Observe(v)
+			all = append(all, v)
+		}
+		shards = append(shards, p)
+	}
+	merged, err := MergedResult(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := stats.Quantiles(all, phis)
+	for j := range phis {
+		if rel := math.Abs(merged[j]-exact[j]) / exact[j]; rel > 0.05 {
+			t.Errorf("phi=%v: merged %v vs exact %v (rel %v)", phis[j], merged[j], exact[j], rel)
+		}
+	}
+}
+
+func TestMergedResultFewK(t *testing.T) {
+	// With full-fraction few-k, the merged Q0.999 must equal the exact
+	// Q0.999 of the union (modulo quantization).
+	spec := window.Spec{Size: 8000, Period: 1000}
+	phis := []float64{0.999}
+	cfg := Config{Spec: spec, Phis: phis, FewK: true, Fraction: 1, Digits: -1}
+	var shards []*Policy
+	var all []float64
+	for s := 0; s < 2; s++ {
+		p := mustNew(t, cfg)
+		gen := workload.NewNetMon(int64(10 + s))
+		for i := 0; i < spec.Size; i++ {
+			v := gen.Next()
+			p.Observe(v)
+			all = append(all, v)
+		}
+		shards = append(shards, p)
+	}
+	merged, err := MergedResult(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := stats.Quantiles(all, phis)
+	if merged[0] != exact[0] {
+		t.Fatalf("merged Q0.999 = %v, exact %v", merged[0], exact[0])
+	}
+}
+
+func TestMergedResultValidation(t *testing.T) {
+	if _, err := MergedResult(nil); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	spec := window.Spec{Size: 100, Period: 10}
+	a := mustNew(t, Config{Spec: spec, Phis: []float64{0.5}})
+	b := mustNew(t, Config{Spec: spec, Phis: []float64{0.9}})
+	if _, err := MergedResult([]*Policy{a, b}); err == nil {
+		t.Fatal("mismatched phis accepted")
+	}
+	c := mustNew(t, Config{Spec: window.Spec{Size: 200, Period: 10}, Phis: []float64{0.5}})
+	if _, err := MergedResult([]*Policy{a, c}); err == nil {
+		t.Fatal("mismatched spec accepted")
+	}
+}
+
+func TestMergedResultEmptyShards(t *testing.T) {
+	spec := window.Spec{Size: 100, Period: 10}
+	a := mustNew(t, Config{Spec: spec, Phis: []float64{0.5}})
+	b := mustNew(t, Config{Spec: spec, Phis: []float64{0.5}})
+	got, err := MergedResult([]*Policy{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+}

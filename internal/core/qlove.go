@@ -1,0 +1,288 @@
+// Package core implements QLOVE — approximate Quantiles with LOw Value
+// Error — the primary contribution of the paper. QLOVE partitions a
+// sliding window into period-aligned sub-windows; Level 1 computes each
+// sub-window's exact quantiles from a compressed {value, count} red-black
+// tree (Algorithm 1), Level 2 averages the sub-window quantiles across the
+// window (justified by the CLT, Appendix A), and few-k merging (§4)
+// repairs high quantiles under statistical inefficiency and bursty
+// traffic by retaining a few tail values per sub-window.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/fewk"
+	"repro/internal/exact"
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+// Config parameterizes a QLOVE policy. The zero value of optional fields
+// selects the paper's defaults.
+type Config struct {
+	// Spec is the window specification (size and period in elements).
+	Spec window.Spec
+	// Phis are the quantiles to answer, sorted non-decreasing, in (0, 1].
+	Phis []float64
+	// Digits is the number of significant decimal digits kept by value
+	// compression (§3.1). 0 applies the paper's default of 3; negative
+	// disables quantization.
+	Digits int
+	// FewK enables few-k merging (§4). The paper's §5.2 comparison runs
+	// with it disabled; §5.3 enables it.
+	FewK bool
+	// Fraction scales each sub-window's few-k cache relative to the
+	// N(1−ϕ) values that guarantee exactness (Tables 3–4). Default 0.5.
+	Fraction float64
+	// StatThreshold is T_s in §4.3: top-k merging activates for ϕ with
+	// P(1−ϕ) < T_s. Default 10.
+	StatThreshold float64
+	// BurstAlpha is the significance level of the Mann–Whitney burst
+	// detector. Default 0.05.
+	BurstAlpha float64
+	// HighPhiMin is the smallest ϕ eligible for few-k management.
+	// Default 0.95.
+	HighPhiMin float64
+	// TopKOnly devotes the entire few-k budget to the top-k pipeline
+	// (k_t = k, k_s = 0), matching the paper's Table 3 experiment.
+	TopKOnly bool
+	// SampleKOnly devotes the entire budget to interval sampling
+	// (k_t = 0, k_s = k) and always reads the sample-k outcome for
+	// managed quantiles, matching Table 4. Mutually exclusive with
+	// TopKOnly.
+	SampleKOnly bool
+	// Adaptive enables the online budget controller (the paper's §4.3
+	// future-work direction): the few-k fraction grows under detected
+	// bursts or budget undershoot and decays back when traffic calms.
+	Adaptive bool
+}
+
+// withDefaults resolves zero-valued optional fields.
+func (c Config) withDefaults() Config {
+	if c.Digits == 0 {
+		c.Digits = 3
+	}
+	if c.Digits < 0 {
+		c.Digits = 0 // quantizer identity
+	}
+	if c.Fraction == 0 {
+		c.Fraction = 0.5
+	}
+	if c.StatThreshold == 0 {
+		c.StatThreshold = fewk.DefaultStatThreshold
+	}
+	if c.BurstAlpha == 0 {
+		c.BurstAlpha = fewk.DefaultBurstAlpha
+	}
+	if c.HighPhiMin == 0 {
+		c.HighPhiMin = 0.95
+	}
+	return c
+}
+
+// Policy is the QLOVE sliding-window multi-quantile operator. It
+// implements the stream.Policy contract.
+type Policy struct {
+	cfg     Config
+	builder *builder
+	agg     *level2
+
+	// managed[i] is the index into cfg.Phis of the i-th few-k-managed
+	// quantile; budgets[i] its per-sub-window plan.
+	managed []int
+	budgets []fewk.Budget
+
+	// prev is the most recently sealed summary (resident or not); the
+	// burst detector compares each new sub-window against it.
+	prev *Summary
+
+	// burstActive[i] records, per managed quantile, whether the last
+	// evaluation detected bursty traffic (exported for observability).
+	burstActive []bool
+
+	// adapt holds the online budget controller state when Config.Adaptive
+	// is set (nil otherwise).
+	adapt []adaptState
+}
+
+// New returns a QLOVE policy for the given configuration.
+func New(cfg Config) (*Policy, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := exact.ValidatePhis(cfg.Phis); err != nil {
+		return nil, fmt.Errorf("qlove: %w", err)
+	}
+	if cfg.Fraction < 0 || cfg.Fraction > 1 {
+		return nil, fmt.Errorf("qlove: fraction %v outside (0, 1]", cfg.Fraction)
+	}
+	if cfg.TopKOnly && cfg.SampleKOnly {
+		return nil, fmt.Errorf("qlove: TopKOnly and SampleKOnly are mutually exclusive")
+	}
+	cfg.Phis = append([]float64(nil), cfg.Phis...)
+	p := &Policy{
+		cfg:     cfg,
+		builder: newBuilder(cfg.Digits),
+		agg:     newLevel2(len(cfg.Phis)),
+	}
+	if cfg.FewK {
+		for i, phi := range cfg.Phis {
+			if phi < cfg.HighPhiMin || phi >= 1 {
+				continue
+			}
+			b, err := fewk.PlanBudget(cfg.Spec.Size, cfg.Spec.Period, phi, cfg.Fraction)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case cfg.TopKOnly:
+				b = fewk.Budget{K: b.K, Kt: b.K, Ks: 0}
+			case cfg.SampleKOnly:
+				b = fewk.Budget{K: b.K, Kt: 0, Ks: b.K}
+			}
+			p.managed = append(p.managed, i)
+			p.budgets = append(p.budgets, b)
+		}
+		p.burstActive = make([]bool, len(p.managed))
+		p.initAdaptive()
+	}
+	return p, nil
+}
+
+// Name implements stream.Policy.
+func (p *Policy) Name() string { return "QLOVE" }
+
+// Config returns the resolved configuration.
+func (p *Policy) Config() Config { return p.cfg }
+
+// Observe implements stream.Policy: Level-1 accumulation. A completed
+// sub-window seals into a summary handed to Level 2 — a tumbling window
+// inside the sliding window, so raw values never need deaccumulation.
+func (p *Policy) Observe(v float64) {
+	p.builder.add(v)
+	if p.builder.len() == p.cfg.Spec.Period {
+		p.EndPeriod()
+	}
+}
+
+// Expire implements stream.Policy: one whole sub-window summary is
+// deaccumulated per period in O(l) — QLOVE's answer to the Exact
+// baseline's per-element deaccumulation cost.
+func (p *Policy) Expire([]float64) { p.agg.deaccumulate() }
+
+// EndPeriod force-seals the in-flight sub-window even when it holds fewer
+// than Period elements. Time-driven deployments (§2's "evaluate every one
+// minute for the elements seen last one hour") call this at each period
+// boundary, where sub-window populations vary with traffic; the Level-2
+// estimator is unchanged (the CLT argument of Appendix A holds for
+// variable m). An empty sub-window is skipped entirely — its quantiles
+// are undefined and it carries no information.
+func (p *Policy) EndPeriod() {
+	if p.builder.len() == 0 {
+		return
+	}
+	s := p.builder.seal(p.cfg.Phis, p.managed, p.budgets, p.cfg.Spec.Size)
+	if len(p.managed) > 0 {
+		s.BurstyVsPrev = make([]bool, len(p.managed))
+		if p.prev != nil {
+			alpha := p.cfg.BurstAlpha
+			if pairs := p.cfg.Spec.SubWindows() - 1; pairs > 1 {
+				alpha /= float64(pairs)
+			}
+			for mi := range p.managed {
+				s.BurstyVsPrev[mi] = fewk.DetectBurst(
+					s.cachedValues(mi), p.prev.cachedValues(mi), alpha)
+			}
+		}
+	}
+	p.agg.accumulate(s)
+	p.prev = &s
+}
+
+// Result implements stream.Policy. Non-high quantiles come from the
+// Level-2 average; few-k-managed quantiles select between Level 2, top-k
+// merging and sample-k merging per §4.3.
+func (p *Policy) Result() []float64 {
+	out := make([]float64, len(p.cfg.Phis))
+	if p.agg.count() == 0 {
+		return out
+	}
+	for i := range p.cfg.Phis {
+		out[i] = p.agg.estimate(i)
+	}
+	for mi, pi := range p.managed {
+		phi := p.cfg.Phis[pi]
+		level2 := out[pi]
+		topK, topOK := fewk.TopKMerge(p.agg.cached(mi), p.cfg.Spec.Size, phi)
+		sampleK, sampOK := fewk.SampleKMerge(p.agg.samples(mi), p.cfg.Spec.Size, phi)
+		burst := p.agg.anyBursty(mi)
+		p.burstActive[mi] = burst
+		if p.adapt != nil {
+			p.observeDistress(mi, burst || p.poolShallow(mi))
+		}
+		statIneff := fewk.NeedsTopK(p.cfg.Spec.Period, phi, p.cfg.StatThreshold)
+		if p.cfg.SampleKOnly && sampOK {
+			// Table 4 mode: the sample-k pipeline answers managed
+			// quantiles unconditionally.
+			out[pi] = sampleK
+			continue
+		}
+		out[pi] = fewk.Outcome(level2, topK, topOK, sampleK, sampOK, burst, statIneff)
+	}
+	return out
+}
+
+// BurstDetected reports whether the most recent evaluation flagged bursty
+// traffic for any managed quantile.
+func (p *Policy) BurstDetected() bool {
+	for _, b := range p.burstActive {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrorBounds returns the Appendix A probabilistic bound on |ya − ye| at
+// confidence 1−alpha for each configured quantile, instantiated with the
+// mean sub-window density estimate. A zero entry means the bound is not
+// informative (no usable density estimate yet).
+func (p *Policy) ErrorBounds(alpha float64) []float64 {
+	out := make([]float64, len(p.cfg.Phis))
+	n := p.agg.count()
+	if n == 0 {
+		return out
+	}
+	for i, phi := range p.cfg.Phis {
+		f := p.agg.meanDensity(i)
+		if f <= 0 {
+			continue
+		}
+		out[i] = stats.CLTErrorBound(phi, n, p.cfg.Spec.Period, f, alpha)
+	}
+	return out
+}
+
+// SpaceUsage implements stream.Policy: the in-flight tree's {value, count}
+// nodes plus every resident summary slot (the paper's l(N/P) + O(P) space
+// model, with O(P) shrunk by data redundancy and few-k storage added).
+func (p *Policy) SpaceUsage() int {
+	return p.builder.unique() + p.agg.spaceUsage()
+}
+
+// FewKSpace returns the number of resident few-k cache entries (tail
+// values plus samples), the space the paper's Tables 3–4 report.
+func (p *Policy) FewKSpace() int { return p.agg.fewkSpace() }
+
+// SubWindowCount returns the number of resident sub-window summaries.
+func (p *Policy) SubWindowCount() int { return p.agg.count() }
+
+// ManagedQuantiles returns the ϕ values under few-k management.
+func (p *Policy) ManagedQuantiles() []float64 {
+	out := make([]float64, len(p.managed))
+	for i, pi := range p.managed {
+		out[i] = p.cfg.Phis[pi]
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+func mustNew(t *testing.T, cfg Config) *Policy {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	good := Config{Spec: window.Spec{Size: 100, Period: 10}, Phis: []float64{0.5, 0.99}}
+	if _, err := New(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Spec = window.Spec{Size: 5, Period: 10}
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	bad = good
+	bad.Phis = nil
+	if _, err := New(bad); err == nil {
+		t.Fatal("empty phis accepted")
+	}
+	bad = good
+	bad.Phis = []float64{0.9, 0.5}
+	if _, err := New(bad); err == nil {
+		t.Fatal("unsorted phis accepted")
+	}
+	bad = good
+	bad.Fraction = 1.5
+	if _, err := New(bad); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := mustNew(t, Config{Spec: window.Spec{Size: 100, Period: 10}, Phis: []float64{0.5}})
+	cfg := p.Config()
+	if cfg.Digits != 3 || cfg.Fraction != 0.5 || cfg.StatThreshold != 10 ||
+		cfg.BurstAlpha != 0.05 || cfg.HighPhiMin != 0.95 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	// Digits < 0 disables quantization.
+	p = mustNew(t, Config{Spec: window.Spec{Size: 100, Period: 10}, Phis: []float64{0.5}, Digits: -1})
+	if p.Config().Digits != 0 {
+		t.Fatalf("Digits = %d, want 0 (identity)", p.Config().Digits)
+	}
+}
+
+func TestLevel2IsMeanOfSubWindowQuantiles(t *testing.T) {
+	// Core §3.1 claim: the window estimate equals the mean of the exact
+	// sub-window quantiles. Quantization off for an exact check.
+	spec := window.Spec{Size: 40, Period: 10}
+	phis := []float64{0.5, 0.9}
+	p := mustNew(t, Config{Spec: spec, Phis: phis, Digits: -1})
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 40)
+	for i := range data {
+		data[i] = math.Floor(rng.Float64() * 1000)
+	}
+	for _, v := range data {
+		p.Observe(v)
+	}
+	got := p.Result()
+	for j, phi := range phis {
+		var want float64
+		for s := 0; s < 4; s++ {
+			want += stats.Quantile(data[s*10:(s+1)*10], phi)
+		}
+		want /= 4
+		if math.Abs(got[j]-want) > 1e-9 {
+			t.Errorf("phi=%v: got %v, want mean-of-subwindows %v", phi, got[j], want)
+		}
+	}
+}
+
+func TestSlidingDeaccumulatesWholeSubWindow(t *testing.T) {
+	spec := window.Spec{Size: 40, Period: 10}
+	p := mustNew(t, Config{Spec: spec, Phis: []float64{0.5}, Digits: -1})
+	data := make([]float64, 80)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window [40, 80): sub-window medians (rank ⌈0.5·10⌉ = 5 of each run
+	// of 10 consecutive integers) are 44, 54, 64, 74 -> mean 59.
+	last := evals[len(evals)-1].Estimates[0]
+	if math.Abs(last-59) > 1e-9 {
+		t.Fatalf("final estimate = %v, want 59", last)
+	}
+	if p.SubWindowCount() != 4 {
+		t.Fatalf("resident summaries = %d, want 4", p.SubWindowCount())
+	}
+}
+
+func TestResultBeforeAnySummary(t *testing.T) {
+	p := mustNew(t, Config{Spec: window.Spec{Size: 100, Period: 10}, Phis: []float64{0.5, 0.9}})
+	got := p.Result()
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty Result = %v", got)
+	}
+	p.Expire(nil) // must not panic on empty aggregator
+}
+
+func TestAccuracyOnNetMon(t *testing.T) {
+	// The headline claim: < 5% average relative value error across
+	// quantiles on NetMon-like telemetry (16K period, 128K window scaled
+	// down 8x for test speed: 2K period, 16K window — same N/P ratio).
+	spec := window.Spec{Size: 16000, Period: 2000}
+	phis := []float64{0.5, 0.9, 0.99}
+	data := workload.Generate(workload.NewNetMon(1), 64000)
+	p := mustNew(t, Config{Spec: spec, Phis: phis})
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := make([]stats.ErrorAccumulator, len(phis))
+	_ = spec.Iter(data, func(idx int, w []float64) {
+		want := stats.Quantiles(w, phis)
+		for j := range phis {
+			accs[j].Observe(evals[idx].Estimates[j], want[j], 0, 0, 0, false)
+		}
+	})
+	for j, phi := range phis {
+		if got := accs[j].AvgRelErrPct(); got > 5 {
+			t.Errorf("phi=%v: avg rel err = %.2f%%, want < 5%%", phi, got)
+		}
+	}
+}
+
+func TestQuantizationBoundsError(t *testing.T) {
+	// 3-digit quantization alone must keep values within 0.5%.
+	spec := window.Spec{Size: 1000, Period: 1000} // tumbling: level1 only
+	p := mustNew(t, Config{Spec: spec, Phis: []float64{0.5}})
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = 1000 + rng.Float64()*8000
+	}
+	for _, v := range data {
+		p.Observe(v)
+	}
+	got := p.Result()[0]
+	want := stats.Quantile(data, 0.5)
+	if rel := math.Abs(got-want) / want; rel > 0.005 {
+		t.Fatalf("median = %v, exact %v, rel err %v > 0.005", got, want, rel)
+	}
+}
+
+func TestSpaceUsageBenefitsFromRedundancy(t *testing.T) {
+	spec := window.Spec{Size: 8000, Period: 4000}
+	redundant := mustNew(t, Config{Spec: spec, Phis: []float64{0.5}})
+	distinct := mustNew(t, Config{Spec: spec, Phis: []float64{0.5}, Digits: -1})
+	rng := rand.New(rand.NewSource(4))
+	var maxRed, maxDist int
+	for i := 0; i < 4000; i++ {
+		// Fractional values are all unique raw; 3-digit quantization
+		// collapses them onto at most 800 buckets in [1000, 9000).
+		v := 1000 + rng.Float64()*8000
+		redundant.Observe(v)
+		distinct.Observe(v)
+		if s := redundant.SpaceUsage(); s > maxRed {
+			maxRed = s
+		}
+		if s := distinct.SpaceUsage(); s > maxDist {
+			maxDist = s
+		}
+	}
+	if maxRed*2 >= maxDist {
+		t.Fatalf("quantized space %d not well below raw %d", maxRed, maxDist)
+	}
+}
+
+func TestFewKManagedSelection(t *testing.T) {
+	spec := window.Spec{Size: 128000, Period: 16000}
+	p := mustNew(t, Config{Spec: spec, Phis: []float64{0.5, 0.9, 0.99, 0.999}, FewK: true})
+	managed := p.ManagedQuantiles()
+	if len(managed) != 2 || managed[0] != 0.99 || managed[1] != 0.999 {
+		t.Fatalf("managed = %v, want [0.99 0.999]", managed)
+	}
+	// Few-k disabled: nothing managed.
+	p = mustNew(t, Config{Spec: spec, Phis: []float64{0.999}})
+	if len(p.ManagedQuantiles()) != 0 {
+		t.Fatal("few-k disabled but quantiles managed")
+	}
+}
+
+func TestFewKTopKFixesStatisticalInefficiency(t *testing.T) {
+	// Paper Table 2 vs Table 3: with a 1K period and 16K window, Q0.999
+	// is decided by ~2 points per sub-window; averaging degrades, top-k
+	// merging repairs it.
+	spec := window.Spec{Size: 16000, Period: 1000}
+	phis := []float64{0.999}
+	data := workload.Generate(workload.NewNetMon(5), 64000)
+	run := func(fewK bool, fraction float64) float64 {
+		p := mustNew(t, Config{Spec: spec, Phis: phis, FewK: fewK, Fraction: fraction})
+		evals, _, err := stream.Run(p, spec, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc stats.ErrorAccumulator
+		_ = spec.Iter(data, func(idx int, w []float64) {
+			want := stats.Quantile(w, 0.999)
+			acc.Observe(evals[idx].Estimates[0], want, 0, 0, 0, false)
+		})
+		return acc.AvgRelErrPct()
+	}
+	without := run(false, 0.5)
+	with := run(true, 0.5)
+	if with >= without {
+		t.Fatalf("few-k did not improve Q0.999: %.2f%% vs %.2f%% without", with, without)
+	}
+	if with > 5 {
+		t.Fatalf("few-k error %.2f%% above the 5%% target", with)
+	}
+}
+
+func TestFewKSampleKHandlesBurst(t *testing.T) {
+	// Paper Table 4: inject a 10x burst into every (N/P)-th sub-window of
+	// the paper's own dimensions (128K window, 16K period); sample-k
+	// merging must keep Q0.999 sane while plain averaging collapses.
+	// Sample resolution scales with the budget, so the test needs the
+	// real window size — at toy sizes k_s is a handful of points against
+	// a 10x value cliff (the paper's fraction-0.1 rows show the same
+	// degradation).
+	spec := window.Spec{Size: 128000, Period: 16000}
+	phis := []float64{0.999}
+	base := workload.Generate(workload.NewNetMon(6), 384000)
+	data := workload.InjectBursts(base, spec.Size, spec.Period, 0.999, 10)
+	run := func(fewK bool) float64 {
+		p := mustNew(t, Config{Spec: spec, Phis: phis, FewK: fewK, Fraction: 0.5})
+		evals, _, err := stream.Run(p, spec, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc stats.ErrorAccumulator
+		_ = spec.Iter(data, func(idx int, w []float64) {
+			want := stats.Quantile(w, 0.999)
+			acc.Observe(evals[idx].Estimates[0], want, 0, 0, 0, false)
+		})
+		return acc.AvgRelErrPct()
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Fatalf("few-k did not improve burst handling: %.2f%% vs %.2f%%", with, without)
+	}
+	if with > 15 {
+		t.Fatalf("few-k burst error %.2f%% too high", with)
+	}
+}
+
+func TestBurstDetectedFlag(t *testing.T) {
+	spec := window.Spec{Size: 16000, Period: 2000}
+	base := workload.Generate(workload.NewNetMon(7), 64000)
+	data := workload.InjectBursts(base, spec.Size, spec.Period, 0.999, 10)
+	p := mustNew(t, Config{Spec: spec, Phis: []float64{0.999}, FewK: true})
+	sawBurst := false
+	pos := 0
+	n := spec.Evaluations(len(data))
+	for i := 0; i < n; i++ {
+		lo, hi := spec.EvalBounds(i)
+		if i > 0 {
+			p.Expire(data[lo-spec.Period : lo])
+		}
+		for ; pos < hi; pos++ {
+			p.Observe(data[pos])
+		}
+		p.Result()
+		if p.BurstDetected() {
+			sawBurst = true
+		}
+	}
+	if !sawBurst {
+		t.Fatal("burst never detected on injected-burst stream")
+	}
+}
+
+func TestErrorBoundCoversObserved(t *testing.T) {
+	// Appendix A: the observed |ya - ye| should fall within the 95% bound
+	// for i.i.d. normal data at the median.
+	spec := window.Spec{Size: 20000, Period: 2000}
+	phis := []float64{0.5}
+	data := workload.Generate(workload.NewNormal(8, 1e6, 5e4), 60000)
+	p := mustNew(t, Config{Spec: spec, Phis: phis, Digits: -1})
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := p.ErrorBounds(0.05)
+	if bounds[0] <= 0 {
+		t.Fatal("bound not informative")
+	}
+	misses := 0
+	_ = spec.Iter(data, func(idx int, w []float64) {
+		want := stats.Quantile(w, 0.5)
+		if math.Abs(evals[idx].Estimates[0]-want) > bounds[0] {
+			misses++
+		}
+	})
+	n := spec.Evaluations(len(data))
+	if misses > n/5 {
+		t.Fatalf("bound missed %d/%d evaluations", misses, n)
+	}
+}
+
+func TestErrorBoundsEmpty(t *testing.T) {
+	p := mustNew(t, Config{Spec: window.Spec{Size: 100, Period: 10}, Phis: []float64{0.5}})
+	b := p.ErrorBounds(0.05)
+	if b[0] != 0 {
+		t.Fatalf("empty bounds = %v", b)
+	}
+}
+
+func TestNonIIDAccuracy(t *testing.T) {
+	// §5.4 Table 5: AR(1) data keeps competitive accuracy even at high
+	// correlation.
+	spec := window.Spec{Size: 16000, Period: 2000}
+	phis := []float64{0.5, 0.9, 0.99}
+	for _, psi := range []float64{0, 0.8} {
+		data := workload.Generate(workload.NewAR1(9, 1e6, 5e4, psi), 48000)
+		p := mustNew(t, Config{Spec: spec, Phis: phis})
+		evals, _, err := stream.Run(p, spec, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc stats.ErrorAccumulator
+		_ = spec.Iter(data, func(idx int, w []float64) {
+			want := stats.Quantiles(w, phis)
+			for j := range phis {
+				acc.Observe(evals[idx].Estimates[j], want[j], 0, 0, 0, false)
+			}
+		})
+		if got := acc.AvgRelErrPct(); got > 1 {
+			t.Errorf("psi=%v: avg rel err = %.3f%%, want < 1%%", psi, got)
+		}
+	}
+}
+
+func TestTumblingWindowWorks(t *testing.T) {
+	spec := window.Spec{Size: 1000, Period: 1000}
+	p := mustNew(t, Config{Spec: spec, Phis: []float64{0.5}, Digits: -1})
+	data := make([]float64, 3000)
+	for i := range data {
+		data[i] = float64(i % 1000)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 3 {
+		t.Fatalf("evals = %d", len(evals))
+	}
+	for _, e := range evals {
+		if e.Estimates[0] != 499 {
+			t.Fatalf("tumbling median = %v, want 499", e.Estimates[0])
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	p := mustNew(t, Config{Spec: window.Spec{Size: 100, Period: 10}, Phis: []float64{0.5}})
+	if p.Name() != "QLOVE" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/compress"
+	"repro/internal/core/fewk"
+	"repro/internal/rbtree"
+	"repro/internal/stats"
+)
+
+// Summary is the Level-1 product of one completed sub-window (§3.1): the
+// exact ϕ-quantiles of the sub-window plus, for each few-k-managed high
+// quantile, the cached top-k values and interval samples of the tail.
+type Summary struct {
+	// Quantiles holds the exact sub-window ϕ-quantile per configured ϕ.
+	Quantiles []float64
+	// Count is the number of elements the sub-window contained.
+	Count int
+	// Densities estimates the underlying density at each ϕ-quantile by a
+	// finite difference of neighbouring sub-window quantiles; used by the
+	// Appendix A error bound. +Inf marks a point mass.
+	Densities []float64
+	// Tails[i] caches the k_t largest values (descending) for the i-th
+	// managed high quantile.
+	Tails [][]float64
+	// Samples[i] holds the k_s weighted interval samples of the
+	// sub-window's N(1−ϕ) largest values (descending) for the i-th
+	// managed quantile.
+	Samples [][]fewk.Sample
+	// BurstyVsPrev[i] records whether this sub-window's cached tail was
+	// detected (at seal time) as stochastically larger than the previous
+	// sub-window's, per managed quantile — §4.3's burst signal. Computing
+	// it once at seal keeps Result() free of repeated rank tests.
+	BurstyVsPrev []bool
+}
+
+// cachedValues returns the union of the top-k cache and sample values for
+// managed quantile mi, the per-sub-window pool both top-k merging and the
+// burst detector consume.
+func (s *Summary) cachedValues(mi int) []float64 {
+	if mi >= len(s.Tails) {
+		return nil
+	}
+	u := make([]float64, 0, len(s.Tails[mi])+len(s.Samples[mi]))
+	u = append(u, s.Tails[mi]...)
+	for _, sm := range s.Samples[mi] {
+		if len(s.Tails[mi]) == 0 || sm.Value < s.Tails[mi][len(s.Tails[mi])-1] {
+			u = append(u, sm.Value) // skip samples already in the top-k cache
+		}
+	}
+	return u
+}
+
+// builder accumulates one in-flight sub-window: the compressed
+// {value, count} red-black tree state of Algorithm 1.
+type builder struct {
+	tree  *rbtree.Tree
+	quant compress.Quantizer
+}
+
+func newBuilder(digits int) *builder {
+	return &builder{tree: rbtree.New(), quant: compress.NewQuantizer(digits)}
+}
+
+// add inserts one element, quantized to the configured significant
+// digits. NaN values — telemetry glitches — are dropped: they have no
+// place in an order statistic and would corrupt the tree's comparisons.
+func (b *builder) add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	b.tree.Insert(b.quant.Quantize(v))
+}
+
+// len returns the number of elements accumulated so far.
+func (b *builder) len() int { return int(b.tree.Len()) }
+
+// unique returns the resident {value, count} node count (the space cost).
+func (b *builder) unique() int { return b.tree.Unique() }
+
+// seal computes the sub-window summary and resets the builder. managed
+// lists the indexes (into phis) of few-k-managed quantiles; budgets holds
+// their per-sub-window plans.
+func (b *builder) seal(phis []float64, managed []int, budgets []fewk.Budget, windowN int) Summary {
+	n := b.tree.Len()
+	s := Summary{
+		Quantiles: b.tree.Quantiles(phis),
+		Count:     int(n),
+		Densities: make([]float64, len(phis)),
+		Tails:     make([][]float64, len(managed)),
+		Samples:   make([][]fewk.Sample, len(managed)),
+	}
+	// Density at each ϕ-quantile by finite difference of the empirical
+	// quantile function, mirroring stats.DensityAt but reusing the tree.
+	for i, phi := range phis {
+		s.Densities[i] = b.densityAt(phi)
+	}
+	// Few-k capture: one pass per managed quantile over the tail.
+	for mi, pi := range managed {
+		phi := phis[pi]
+		tailSize := fewk.ExactTailSize(windowN, phi)
+		if tailSize > int(n) {
+			tailSize = int(n)
+		}
+		tail := b.tree.TopK(tailSize)
+		kt := budgets[mi].Kt
+		if kt > len(tail) {
+			kt = len(tail)
+		}
+		s.Tails[mi] = append([]float64(nil), tail[:kt]...)
+		s.Samples[mi] = fewk.SampleTail(tail, budgets[mi].Ks)
+	}
+	b.tree.Clear()
+	return s
+}
+
+// densityAt estimates the sub-window density at the ϕ-quantile.
+func (b *builder) densityAt(phi float64) float64 {
+	n := int(b.tree.Len())
+	if n < 4 {
+		return 0
+	}
+	h := bandwidth(phi, n)
+	lo := phi - h
+	if lo < 1.0/float64(n) {
+		lo = 1.0 / float64(n)
+	}
+	hi := phi + h
+	if hi > 1 {
+		hi = 1
+	}
+	qlo := b.tree.Select(uint64(stats.CeilRank(lo, n)))
+	qhi := b.tree.Select(uint64(stats.CeilRank(hi, n)))
+	if qhi <= qlo {
+		return math.Inf(1)
+	}
+	return (hi - lo) / (qhi - qlo)
+}
+
+// bandwidth mirrors stats.DensityAt's n^(-1/3) rule.
+func bandwidth(phi float64, n int) float64 {
+	h := math.Pow(float64(n), -1.0/3.0)
+	if edge := 0.5 * math.Min(phi, 1-phi); edge > 0 && h > edge {
+		h = edge
+	}
+	if h < 1.0/float64(n) {
+		h = 1.0 / float64(n)
+	}
+	return h
+}

@@ -1,0 +1,154 @@
+// Package dataset persists and streams telemetry datasets for the CLI
+// tools and benchmark harness. Two formats are supported: a compact binary
+// format (magic header + uvarint length + little-endian float64s) and a
+// single-column CSV/text format (one value per line, '#' comments allowed).
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// magic identifies the binary dataset format, version 1.
+var magic = [8]byte{'Q', 'L', 'V', 'D', 'S', 'E', 'T', '1'}
+
+// WriteBinary writes values in the binary dataset format.
+func WriteBinary(w io.Writer, values []float64) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(values)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	var b [8]byte
+	for _, v := range values {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		if _, err := bw.Write(b[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a dataset in the binary format.
+func ReadBinary(r io.Reader) ([]float64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, fmt.Errorf("dataset: bad magic %q", hdr[:])
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading length: %w", err)
+	}
+	const maxReasonable = 1 << 33 // 8G values ~ 64GB; reject corrupt lengths
+	if n > maxReasonable {
+		return nil, fmt.Errorf("dataset: implausible length %d", n)
+	}
+	out := make([]float64, 0, n)
+	var b [8]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return nil, fmt.Errorf("dataset: truncated at value %d: %w", i, err)
+		}
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
+	}
+	return out, nil
+}
+
+// WriteText writes one value per line in shortest-round-trip decimal form.
+func WriteText(w io.Writer, values []float64) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for _, v := range values {
+		if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText reads a single-column text dataset. Blank lines and lines
+// starting with '#' are skipped. A trailing CSV header row of
+// non-numeric text on the first line is also skipped.
+func ReadText(r io.Reader) ([]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []float64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			if lineNo == 1 && len(out) == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SaveFile writes values to path; format is chosen by extension
+// (".bin" => binary, anything else => text).
+func SaveFile(path string, values []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		if err := WriteBinary(f, values); err != nil {
+			return err
+		}
+	} else {
+		if err := WriteText(f, values); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path, sniffing the binary magic header and
+// falling back to text.
+func LoadFile(path string) ([]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	n, err := io.ReadFull(f, hdr[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if n == 8 && hdr == magic {
+		return ReadBinary(f)
+	}
+	return ReadText(f)
+}

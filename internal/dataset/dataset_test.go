@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	vals := []float64{1, 2.5, -3, 0, math.MaxFloat64, math.SmallestNonzeroFloat64}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("got %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: got %v, want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestBinaryEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d values from empty dataset", len(got))
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOTMAGIC\x00")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(b[:len(b)-4])); err == nil {
+		t.Fatal("truncated dataset accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(b[:3])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	vals := []float64{798, 1247.5, -3, 0.001}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("value %d: got %v, want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# telemetry\n\n798\n  1247  \n# done\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 798 || got[1] != 1247 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTextHeaderRowSkipped(t *testing.T) {
+	in := "latency_us\n798\n1247\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTextBadValueErrors(t *testing.T) {
+	in := "798\nnot-a-number\n"
+	if _, err := ReadText(strings.NewReader(in)); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}
+
+func TestSaveLoadFileBinary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	vals := []float64{1, 2, 3, 4.5}
+	if err := SaveFile(path, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got %v, want %v", got, vals)
+		}
+	}
+}
+
+func TestSaveLoadFileText(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	vals := []float64{798, 1247}
+	if err := SaveFile(path, vals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("got %v, want %v", got, vals)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.bin")); !os.IsNotExist(err) {
+		t.Fatalf("want not-exist error, got %v", err)
+	}
+}
+
+func TestLoadFileTiny(t *testing.T) {
+	// Files shorter than the magic header must fall back to text.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.txt")
+	if err := os.WriteFile(path, []byte("5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, vals); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] && !(math.IsNaN(got[i]) && math.IsNaN(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+var spec100 = window.Spec{Size: 100, Period: 10}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(window.Spec{Size: 5, Period: 10}, []float64{0.5}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := New(spec100, nil); err == nil {
+		t.Fatal("empty phis accepted")
+	}
+	if _, err := New(spec100, []float64{0.9, 0.5}); err == nil {
+		t.Fatal("unsorted phis accepted")
+	}
+	if _, err := New(spec100, []float64{0}); err == nil {
+		t.Fatal("phi=0 accepted")
+	}
+	if _, err := New(spec100, []float64{1.5}); err == nil {
+		t.Fatal("phi>1 accepted")
+	}
+	if _, err := New(spec100, []float64{0.5, 0.9, 1.0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesBruteForceSliding(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = math.Floor(rng.Float64() * 500)
+	}
+	spec := window.Spec{Size: 1000, Period: 100}
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	p, err := New(spec, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	_ = spec.Iter(data, func(idx int, w []float64) {
+		want := stats.Quantiles(w, phis)
+		for j := range phis {
+			if evals[idx].Estimates[j] != want[j] {
+				t.Fatalf("eval %d phi=%v: got %v, want %v", idx, phis[j], evals[idx].Estimates[j], want[j])
+			}
+		}
+		i++
+	})
+	if i != len(evals) {
+		t.Fatalf("brute force saw %d windows, policy produced %d", i, len(evals))
+	}
+}
+
+func TestTumblingWindow(t *testing.T) {
+	data := []float64{5, 1, 9, 3, 2, 8, 7, 4}
+	spec := window.Spec{Size: 4, Period: 4}
+	p, _ := New(spec, []float64{0.5, 1.0})
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 2 {
+		t.Fatalf("evals = %d", len(evals))
+	}
+	// window 1: {5,1,9,3} -> Q0.5=3 (rank 2), max=9
+	if evals[0].Estimates[0] != 3 || evals[0].Estimates[1] != 9 {
+		t.Fatalf("window 1 = %v", evals[0].Estimates)
+	}
+	// window 2: {2,8,7,4} -> Q0.5=4, max=8
+	if evals[1].Estimates[0] != 4 || evals[1].Estimates[1] != 8 {
+		t.Fatalf("window 2 = %v", evals[1].Estimates)
+	}
+}
+
+func TestResultOnEmptyStateIsZeros(t *testing.T) {
+	p, _ := New(spec100, []float64{0.5, 0.9})
+	got := p.Result()
+	if len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty Result = %v", got)
+	}
+}
+
+func TestSpaceUsageTracksUniqueValues(t *testing.T) {
+	p, _ := New(spec100, []float64{0.5})
+	for i := 0; i < 100; i++ {
+		p.Observe(float64(i % 10))
+	}
+	if got := p.SpaceUsage(); got != 10 {
+		t.Fatalf("SpaceUsage = %d, want 10", got)
+	}
+	if p.Len() != 100 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	p.Expire(make([]float64, 0)) // no-op
+	if p.Len() != 100 {
+		t.Fatal("empty Expire changed state")
+	}
+}
+
+func TestExpireRemovesElements(t *testing.T) {
+	p, _ := New(spec100, []float64{0.5})
+	vals := []float64{1, 2, 3, 4}
+	for _, v := range vals {
+		p.Observe(v)
+	}
+	p.Expire([]float64{1, 2})
+	if p.Len() != 2 {
+		t.Fatalf("Len after expire = %d", p.Len())
+	}
+	if got := p.Result()[0]; got != 3 {
+		t.Fatalf("median after expire = %v, want 3", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	p, _ := New(spec100, []float64{0.5})
+	if p.Name() != "Exact" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+// Property: over any data and valid window, Exact matches brute force.
+func TestQuickMatchesBruteForce(t *testing.T) {
+	f := func(raw []uint8, pSeed, mulSeed uint8) bool {
+		p := int(pSeed%5) + 1
+		spec := window.Spec{Size: p * (int(mulSeed%3) + 1), Period: p}
+		if len(raw) < spec.Size {
+			return true
+		}
+		data := make([]float64, len(raw))
+		for i, r := range raw {
+			data[i] = float64(r % 16)
+		}
+		phis := []float64{0.25, 0.5, 0.99}
+		pol, err := New(spec, phis)
+		if err != nil {
+			return false
+		}
+		evals, _, err := stream.Run(pol, spec, data)
+		if err != nil {
+			return false
+		}
+		ok := true
+		_ = spec.Iter(data, func(idx int, w []float64) {
+			want := stats.Quantiles(w, phis)
+			for j := range phis {
+				if evals[idx].Estimates[j] != want[j] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package rbtree
+
+import "fmt"
+
+// CheckInvariants verifies the red-black properties, BST ordering, and the
+// order-statistic weight bookkeeping. It returns a descriptive error when a
+// violation is found. It exists for tests and debugging; production code
+// never needs it.
+func (t *Tree) CheckInvariants() error {
+	if t.root == nil {
+		if t.total != 0 || t.unique != 0 {
+			return fmt.Errorf("rbtree: empty root but total=%d unique=%d", t.total, t.unique)
+		}
+		return nil
+	}
+	if t.root.color != black {
+		return fmt.Errorf("rbtree: root is red")
+	}
+	if t.root.parent != nil {
+		return fmt.Errorf("rbtree: root has parent")
+	}
+	var unique int
+	var total uint64
+	if _, err := checkNode(t.root, &unique, &total); err != nil {
+		return err
+	}
+	if unique != t.unique {
+		return fmt.Errorf("rbtree: unique mismatch: counted %d, recorded %d", unique, t.unique)
+	}
+	if total != t.total {
+		return fmt.Errorf("rbtree: total mismatch: counted %d, recorded %d", total, t.total)
+	}
+	return checkOrder(t.root)
+}
+
+// checkNode validates colors, parent links, weights; returns black-height.
+func checkNode(n *node, unique *int, total *uint64) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if n.count == 0 {
+		return 0, fmt.Errorf("rbtree: node %v has zero count", n.key)
+	}
+	*unique++
+	*total += n.count
+	if n.color == red {
+		if nodeColor(n.left) == red || nodeColor(n.right) == red {
+			return 0, fmt.Errorf("rbtree: red node %v has red child", n.key)
+		}
+	}
+	if n.left != nil && n.left.parent != n {
+		return 0, fmt.Errorf("rbtree: bad parent link at %v.left", n.key)
+	}
+	if n.right != nil && n.right.parent != n {
+		return 0, fmt.Errorf("rbtree: bad parent link at %v.right", n.key)
+	}
+	lh, err := checkNode(n.left, unique, total)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := checkNode(n.right, unique, total)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("rbtree: black-height mismatch at %v: %d vs %d", n.key, lh, rh)
+	}
+	w := n.count
+	if n.left != nil {
+		w += n.left.weight
+	}
+	if n.right != nil {
+		w += n.right.weight
+	}
+	if w != n.weight {
+		return 0, fmt.Errorf("rbtree: weight mismatch at %v: computed %d, stored %d", n.key, w, n.weight)
+	}
+	if n.color == black {
+		return lh + 1, nil
+	}
+	return lh, nil
+}
+
+func checkOrder(n *node) error {
+	if n == nil {
+		return nil
+	}
+	if n.left != nil && n.left.key >= n.key {
+		return fmt.Errorf("rbtree: order violation: %v.left = %v", n.key, n.left.key)
+	}
+	if n.right != nil && n.right.key <= n.key {
+		return fmt.Errorf("rbtree: order violation: %v.right = %v", n.key, n.right.key)
+	}
+	if err := checkOrder(n.left); err != nil {
+		return err
+	}
+	return checkOrder(n.right)
+}

@@ -1,0 +1,566 @@
+// Package rbtree implements a red-black tree keyed by float64 values where
+// each node carries a frequency count. It is the in-flight sub-window state
+// of Algorithm 1 in the QLOVE paper (a compressed {value, count}
+// representation of the observed stream) and the state of the Exact
+// sliding-window baseline.
+//
+// Beyond the paper's description, every node also maintains the total
+// frequency weight of its subtree, which turns the tree into an
+// order-statistic tree: Select(rank) answers a single quantile in O(log u)
+// for u unique values. Multi-quantile queries still use the paper's
+// single-pass in-order traversal (Quantiles).
+package rbtree
+
+import "fmt"
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+type node struct {
+	key                 float64
+	count               uint64 // frequency of key
+	weight              uint64 // sum of counts in this subtree
+	left, right, parent *node
+	color               color
+}
+
+// Tree is a red-black tree of {value, count} pairs ordered by value.
+// The zero value is ready to use.
+type Tree struct {
+	root   *node
+	unique int    // number of distinct keys
+	total  uint64 // sum of all counts
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the total number of inserted elements (sum of frequencies).
+func (t *Tree) Len() uint64 { return t.total }
+
+// Unique returns the number of distinct values stored.
+func (t *Tree) Unique() int { return t.unique }
+
+// Empty reports whether the tree holds no elements.
+func (t *Tree) Empty() bool { return t.total == 0 }
+
+func (n *node) recomputeWeight() {
+	w := n.count
+	if n.left != nil {
+		w += n.left.weight
+	}
+	if n.right != nil {
+		w += n.right.weight
+	}
+	n.weight = w
+}
+
+// propagateWeight recomputes weights from n up to the root.
+func (t *Tree) propagateWeight(n *node) {
+	for ; n != nil; n = n.parent {
+		n.recomputeWeight()
+	}
+}
+
+// Insert adds one occurrence of key (Accumulate in Algorithm 1).
+func (t *Tree) Insert(key float64) { t.InsertN(key, 1) }
+
+// InsertN adds n occurrences of key at once.
+func (t *Tree) InsertN(key float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	t.total += n
+	var parent *node
+	cur := t.root
+	for cur != nil {
+		parent = cur
+		switch {
+		case key < cur.key:
+			cur = cur.left
+		case key > cur.key:
+			cur = cur.right
+		default:
+			cur.count += n
+			t.propagateWeight(cur)
+			return
+		}
+	}
+	nn := &node{key: key, count: n, weight: n, parent: parent}
+	t.unique++
+	if parent == nil {
+		t.root = nn
+	} else if key < parent.key {
+		parent.left = nn
+	} else {
+		parent.right = nn
+	}
+	t.propagateWeight(parent)
+	t.insertFixup(nn)
+}
+
+// Remove deletes one occurrence of key (the Exact baseline's Deaccumulate).
+// It reports whether the key was present.
+func (t *Tree) Remove(key float64) bool {
+	n := t.find(key)
+	if n == nil {
+		return false
+	}
+	t.total--
+	if n.count > 1 {
+		n.count--
+		t.propagateWeight(n)
+		return true
+	}
+	t.deleteNode(n)
+	t.unique--
+	return true
+}
+
+func (t *Tree) find(key float64) *node {
+	cur := t.root
+	for cur != nil {
+		switch {
+		case key < cur.key:
+			cur = cur.left
+		case key > cur.key:
+			cur = cur.right
+		default:
+			return cur
+		}
+	}
+	return nil
+}
+
+// Count returns the stored frequency of key (0 when absent).
+func (t *Tree) Count(key float64) uint64 {
+	if n := t.find(key); n != nil {
+		return n.count
+	}
+	return 0
+}
+
+// Min returns the smallest stored value. It panics on an empty tree.
+func (t *Tree) Min() float64 {
+	if t.root == nil {
+		panic("rbtree: Min of empty tree")
+	}
+	n := t.root
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key
+}
+
+// Max returns the largest stored value. It panics on an empty tree.
+func (t *Tree) Max() float64 {
+	if t.root == nil {
+		panic("rbtree: Max of empty tree")
+	}
+	n := t.root
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key
+}
+
+// Select returns the value with 1-based rank r in frequency-weighted sorted
+// order, i.e. the r-th smallest element counting duplicates. It panics when
+// r is out of range.
+func (t *Tree) Select(r uint64) float64 {
+	if r == 0 || r > t.total {
+		panic(fmt.Sprintf("rbtree: Select rank %d out of range [1,%d]", r, t.total))
+	}
+	n := t.root
+	for {
+		var lw uint64
+		if n.left != nil {
+			lw = n.left.weight
+		}
+		switch {
+		case r <= lw:
+			n = n.left
+		case r <= lw+n.count:
+			return n.key
+		default:
+			r -= lw + n.count
+			n = n.right
+		}
+	}
+}
+
+// Rank returns the number of stored elements with value <= key.
+func (t *Tree) Rank(key float64) uint64 {
+	var r uint64
+	n := t.root
+	for n != nil {
+		var lw uint64
+		if n.left != nil {
+			lw = n.left.weight
+		}
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			r += lw + n.count
+			n = n.right
+		default:
+			return r + lw + n.count
+		}
+	}
+	return r
+}
+
+// Quantile returns the ϕ-quantile (0 < ϕ <= 1), defined as the element at
+// 1-based rank ceil(ϕ·Len). It panics on an empty tree.
+func (t *Tree) Quantile(phi float64) float64 {
+	if t.total == 0 {
+		panic("rbtree: Quantile of empty tree")
+	}
+	return t.Select(ceilRank(phi, t.total))
+}
+
+// ceilRank computes ceil(phi*n) clamped to [1, n].
+func ceilRank(phi float64, n uint64) uint64 {
+	r := uint64(phi * float64(n))
+	if float64(r) < phi*float64(n) {
+		r++
+	}
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return r
+}
+
+// Quantiles answers the given quantiles in one in-order traversal
+// (ComputeResult in Algorithm 1). phis must be sorted in non-decreasing
+// order; the result has the same length and order. It panics on an empty
+// tree.
+func (t *Tree) Quantiles(phis []float64) []float64 {
+	if t.total == 0 {
+		panic("rbtree: Quantiles of empty tree")
+	}
+	if len(phis) == 0 {
+		return nil
+	}
+	results := make([]float64, len(phis))
+	i := 0
+	rank := ceilRank(phis[0], t.total)
+	var running uint64
+	t.Ascend(func(key float64, count uint64) bool {
+		running += count
+		for running >= rank {
+			results[i] = key
+			i++
+			if i == len(phis) {
+				return false
+			}
+			rank = ceilRank(phis[i], t.total)
+		}
+		return true
+	})
+	return results
+}
+
+// Ascend calls fn for each {value, count} pair in increasing value order,
+// stopping early when fn returns false.
+func (t *Tree) Ascend(fn func(key float64, count uint64) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend(n *node, fn func(float64, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !ascend(n.left, fn) {
+		return false
+	}
+	if !fn(n.key, n.count) {
+		return false
+	}
+	return ascend(n.right, fn)
+}
+
+// Descend calls fn for each {value, count} pair in decreasing value order,
+// stopping early when fn returns false.
+func (t *Tree) Descend(fn func(key float64, count uint64) bool) {
+	descend(t.root, fn)
+}
+
+func descend(n *node, fn func(float64, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !descend(n.right, fn) {
+		return false
+	}
+	if !fn(n.key, n.count) {
+		return false
+	}
+	return descend(n.left, fn)
+}
+
+// TopK returns up to k of the largest elements (counting duplicates) in
+// descending order.
+func (t *Tree) TopK(k int) []float64 {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]float64, 0, k)
+	t.Descend(func(key float64, count uint64) bool {
+		for j := uint64(0); j < count; j++ {
+			out = append(out, key)
+			if len(out) == k {
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Clear resets the tree to empty, releasing all nodes.
+func (t *Tree) Clear() {
+	t.root = nil
+	t.unique = 0
+	t.total = 0
+}
+
+// --- red-black rebalancing ---
+
+func (t *Tree) rotateLeft(x *node) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+	x.recomputeWeight()
+	y.recomputeWeight()
+}
+
+func (t *Tree) rotateRight(x *node) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+	x.recomputeWeight()
+	y.recomputeWeight()
+}
+
+func (t *Tree) insertFixup(z *node) {
+	for z.parent != nil && z.parent.color == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			u := gp.right
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				gp.color = red
+				z = gp
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.color = black
+				gp.color = red
+				t.rotateRight(gp)
+			}
+		} else {
+			u := gp.left
+			if u != nil && u.color == red {
+				z.parent.color = black
+				u.color = black
+				gp.color = red
+				z = gp
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.color = black
+				gp.color = red
+				t.rotateLeft(gp)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+func minimum(n *node) *node {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+// transplant replaces subtree u with subtree v.
+func (t *Tree) transplant(u, v *node) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *Tree) deleteNode(z *node) {
+	y := z
+	yOrig := y.color
+	var x *node
+	var xParent *node
+	switch {
+	case z.left == nil:
+		x = z.right
+		xParent = z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x = z.left
+		xParent = z.parent
+		t.transplant(z, z.left)
+	default:
+		y = minimum(z.right)
+		yOrig = y.color
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	t.propagateWeight(xParent)
+	if yOrig == black {
+		t.deleteFixup(x, xParent)
+	}
+}
+
+func nodeColor(n *node) color {
+	if n == nil {
+		return black
+	}
+	return n.color
+}
+
+func (t *Tree) deleteFixup(x, parent *node) {
+	for x != t.root && nodeColor(x) == black {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if nodeColor(w) == red {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if nodeColor(w.left) == black && nodeColor(w.right) == black {
+				w.color = red
+				x = parent
+				parent = x.parent
+			} else {
+				if nodeColor(w.right) == black {
+					if w.left != nil {
+						w.left.color = black
+					}
+					w.color = red
+					t.rotateRight(w)
+					w = parent.right
+				}
+				w.color = parent.color
+				parent.color = black
+				if w.right != nil {
+					w.right.color = black
+				}
+				t.rotateLeft(parent)
+				x = t.root
+				parent = nil
+			}
+		} else {
+			w := parent.left
+			if nodeColor(w) == red {
+				w.color = black
+				parent.color = red
+				t.rotateRight(parent)
+				w = parent.left
+			}
+			if w == nil {
+				x = parent
+				parent = x.parent
+				continue
+			}
+			if nodeColor(w.right) == black && nodeColor(w.left) == black {
+				w.color = red
+				x = parent
+				parent = x.parent
+			} else {
+				if nodeColor(w.left) == black {
+					if w.right != nil {
+						w.right.color = black
+					}
+					w.color = red
+					t.rotateLeft(w)
+					w = parent.left
+				}
+				w.color = parent.color
+				parent.color = black
+				if w.left != nil {
+					w.left.color = black
+				}
+				t.rotateRight(parent)
+				x = t.root
+				parent = nil
+			}
+		}
+	}
+	if x != nil {
+		x.color = black
+	}
+}

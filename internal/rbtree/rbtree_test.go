@@ -1,0 +1,481 @@
+package rbtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if !tr.Empty() || tr.Len() != 0 || tr.Unique() != 0 {
+		t.Fatalf("new tree not empty: len=%d unique=%d", tr.Len(), tr.Unique())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Remove(1.0) {
+		t.Fatal("Remove on empty tree returned true")
+	}
+	if got := tr.Count(1.0); got != 0 {
+		t.Fatalf("Count on empty tree = %d", got)
+	}
+	if got := tr.Rank(5); got != 0 {
+		t.Fatalf("Rank on empty tree = %d", got)
+	}
+}
+
+func TestPanicsOnEmpty(t *testing.T) {
+	for name, fn := range map[string]func(*Tree){
+		"Min":       func(tr *Tree) { tr.Min() },
+		"Max":       func(tr *Tree) { tr.Max() },
+		"Quantile":  func(tr *Tree) { tr.Quantile(0.5) },
+		"Quantiles": func(tr *Tree) { tr.Quantiles([]float64{0.5}) },
+		"Select":    func(tr *Tree) { tr.Select(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty tree did not panic", name)
+				}
+			}()
+			fn(New())
+		}()
+	}
+}
+
+func TestInsertDuplicates(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(42)
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	if tr.Unique() != 1 {
+		t.Fatalf("Unique = %d, want 1", tr.Unique())
+	}
+	if got := tr.Count(42); got != 100 {
+		t.Fatalf("Count(42) = %d, want 100", got)
+	}
+	if got := tr.Quantile(0.5); got != 42 {
+		t.Fatalf("Quantile(0.5) = %v, want 42", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertN(t *testing.T) {
+	tr := New()
+	tr.InsertN(7, 5)
+	tr.InsertN(3, 2)
+	tr.InsertN(7, 3)
+	tr.InsertN(9, 0) // no-op
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	if tr.Unique() != 2 {
+		t.Fatalf("Unique = %d, want 2", tr.Unique())
+	}
+	if got := tr.Count(7); got != 8 {
+		t.Fatalf("Count(7) = %d, want 8", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	vals := []float64{5, 1, 9, 3, 7, -2, 100}
+	for _, v := range vals {
+		tr.Insert(v)
+	}
+	if got := tr.Min(); got != -2 {
+		t.Fatalf("Min = %v, want -2", got)
+	}
+	if got := tr.Max(); got != 100 {
+		t.Fatalf("Max = %v, want 100", got)
+	}
+}
+
+func TestSelectAgainstSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	var ref []float64
+	for i := 0; i < 2000; i++ {
+		v := math.Floor(rng.Float64() * 100) // force duplicates
+		tr.Insert(v)
+		ref = append(ref, v)
+	}
+	sort.Float64s(ref)
+	for r := uint64(1); r <= uint64(len(ref)); r += 37 {
+		if got, want := tr.Select(r), ref[r-1]; got != want {
+			t.Fatalf("Select(%d) = %v, want %v", r, got, want)
+		}
+	}
+	if got, want := tr.Select(1), ref[0]; got != want {
+		t.Fatalf("Select(1) = %v, want %v", got, want)
+	}
+	if got, want := tr.Select(uint64(len(ref))), ref[len(ref)-1]; got != want {
+		t.Fatalf("Select(n) = %v, want %v", got, want)
+	}
+}
+
+func TestSelectOutOfRangePanics(t *testing.T) {
+	tr := New()
+	tr.Insert(1)
+	for _, r := range []uint64{0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Select(%d) did not panic", r)
+				}
+			}()
+			tr.Select(r)
+		}()
+	}
+}
+
+func TestRank(t *testing.T) {
+	tr := New()
+	for _, v := range []float64{10, 20, 20, 30} {
+		tr.Insert(v)
+	}
+	cases := []struct {
+		key  float64
+		want uint64
+	}{
+		{5, 0}, {10, 1}, {15, 1}, {20, 3}, {25, 3}, {30, 4}, {35, 4},
+	}
+	for _, c := range cases {
+		if got := tr.Rank(c.key); got != c.want {
+			t.Errorf("Rank(%v) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestQuantileDefinition(t *testing.T) {
+	// ϕ-quantile is the element at 1-based rank ceil(ϕN).
+	tr := New()
+	for i := 1; i <= 100; i++ {
+		tr.Insert(float64(i))
+	}
+	cases := []struct {
+		phi  float64
+		want float64
+	}{
+		{0.5, 50}, {0.9, 90}, {0.99, 99}, {0.999, 100}, {1.0, 100}, {0.001, 1}, {0.011, 2},
+	}
+	for _, c := range cases {
+		if got := tr.Quantile(c.phi); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.phi, got, c.want)
+		}
+	}
+}
+
+func TestQuantilesSinglePassMatchesSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	for i := 0; i < 5000; i++ {
+		tr.Insert(math.Floor(rng.ExpFloat64() * 1000))
+	}
+	phis := []float64{0.1, 0.5, 0.9, 0.99, 0.999}
+	got := tr.Quantiles(phis)
+	for i, phi := range phis {
+		if want := tr.Quantile(phi); got[i] != want {
+			t.Errorf("Quantiles[%d] (ϕ=%v) = %v, want %v", i, phi, got[i], want)
+		}
+	}
+}
+
+func TestQuantilesRepeatedPhis(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 10; i++ {
+		tr.Insert(float64(i))
+	}
+	got := tr.Quantiles([]float64{0.5, 0.5, 0.9})
+	want := []float64{5, 5, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Quantiles = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQuantilesEmptyPhis(t *testing.T) {
+	tr := New()
+	tr.Insert(1)
+	if got := tr.Quantiles(nil); got != nil {
+		t.Fatalf("Quantiles(nil) = %v, want nil", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tr := New()
+	for _, v := range []float64{5, 5, 3, 8} {
+		tr.Insert(v)
+	}
+	if !tr.Remove(5) {
+		t.Fatal("Remove(5) = false")
+	}
+	if tr.Count(5) != 1 || tr.Len() != 3 || tr.Unique() != 3 {
+		t.Fatalf("after first remove: count=%d len=%d unique=%d", tr.Count(5), tr.Len(), tr.Unique())
+	}
+	if !tr.Remove(5) {
+		t.Fatal("second Remove(5) = false")
+	}
+	if tr.Count(5) != 0 || tr.Unique() != 2 {
+		t.Fatalf("after second remove: count=%d unique=%d", tr.Count(5), tr.Unique())
+	}
+	if tr.Remove(5) {
+		t.Fatal("third Remove(5) = true, key should be gone")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomInsertRemoveInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New()
+	live := map[float64]uint64{}
+	var total uint64
+	for i := 0; i < 20000; i++ {
+		v := math.Floor(rng.Float64() * 200)
+		if rng.Intn(3) == 0 && total > 0 {
+			// remove a random live key
+			for k := range live {
+				if !tr.Remove(k) {
+					t.Fatalf("Remove(%v) failed for live key", k)
+				}
+				live[k]--
+				if live[k] == 0 {
+					delete(live, k)
+				}
+				total--
+				break
+			}
+		} else {
+			tr.Insert(v)
+			live[v]++
+			total++
+		}
+		if i%997 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != total {
+		t.Fatalf("Len = %d, want %d", tr.Len(), total)
+	}
+	if tr.Unique() != len(live) {
+		t.Fatalf("Unique = %d, want %d", tr.Unique(), len(live))
+	}
+	for k, c := range live {
+		if got := tr.Count(k); got != c {
+			t.Fatalf("Count(%v) = %d, want %d", k, got, c)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendDescendOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(math.Floor(rng.Float64() * 100))
+	}
+	prev := math.Inf(-1)
+	tr.Ascend(func(k float64, c uint64) bool {
+		if k <= prev {
+			t.Fatalf("Ascend out of order: %v after %v", k, prev)
+		}
+		if c == 0 {
+			t.Fatal("Ascend yielded zero count")
+		}
+		prev = k
+		return true
+	})
+	prev = math.Inf(1)
+	tr.Descend(func(k float64, c uint64) bool {
+		if k >= prev {
+			t.Fatalf("Descend out of order: %v after %v", k, prev)
+		}
+		prev = k
+		return true
+	})
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(float64(i))
+	}
+	n := 0
+	tr.Ascend(func(k float64, c uint64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("Ascend visited %d nodes after early stop, want 5", n)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	tr := New()
+	for _, v := range []float64{1, 9, 9, 5, 7, 3} {
+		tr.Insert(v)
+	}
+	got := tr.TopK(4)
+	want := []float64{9, 9, 7, 5}
+	if len(got) != len(want) {
+		t.Fatalf("TopK = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if got := tr.TopK(0); got != nil {
+		t.Fatalf("TopK(0) = %v, want nil", got)
+	}
+	if got := tr.TopK(100); len(got) != 6 {
+		t.Fatalf("TopK(100) returned %d values, want 6", len(got))
+	}
+}
+
+func TestClear(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Insert(float64(i))
+	}
+	tr.Clear()
+	if !tr.Empty() || tr.Unique() != 0 {
+		t.Fatal("Clear did not empty the tree")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert(5)
+	if tr.Len() != 1 {
+		t.Fatal("tree unusable after Clear")
+	}
+}
+
+// Property: for any sequence of inserts, Select agrees with a sorted slice
+// and invariants hold.
+func TestQuickSelectMatchesSort(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tr := New()
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r % 512)
+			tr.Insert(vals[i])
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		sort.Float64s(vals)
+		for _, phi := range []float64{0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			r := int(math.Ceil(phi * float64(len(vals))))
+			if r < 1 {
+				r = 1
+			}
+			if tr.Quantile(phi) != vals[r-1] {
+				t.Logf("phi=%v: got %v want %v", phi, tr.Quantile(phi), vals[r-1])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: insert-then-remove-all returns to empty with valid invariants.
+func TestQuickInsertRemoveAll(t *testing.T) {
+	f := func(raw []uint8) bool {
+		tr := New()
+		for _, r := range raw {
+			tr.Insert(float64(r))
+		}
+		for _, r := range raw {
+			if !tr.Remove(float64(r)) {
+				return false
+			}
+		}
+		return tr.Empty() && tr.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Rank and Select are inverse-consistent.
+func TestQuickRankSelectConsistent(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		tr := New()
+		for _, r := range raw {
+			tr.Insert(float64(r % 128))
+		}
+		for r := uint64(1); r <= tr.Len(); r++ {
+			v := tr.Select(r)
+			// Rank(v) is the highest rank at value v, so it must be >= r,
+			// and Select(Rank(v)) must equal v.
+			rk := tr.Rank(v)
+			if rk < r || tr.Select(rk) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertDistinct(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(float64(i))
+	}
+}
+
+func BenchmarkInsertRedundant(b *testing.B) {
+	// High-redundancy insert path: the paper's workloads have ~0.08% unique
+	// values, so most inserts are count increments.
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(float64(i % 1000))
+	}
+}
+
+func BenchmarkQuantiles(b *testing.B) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		tr.Insert(math.Floor(rng.ExpFloat64() * 1000))
+	}
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Quantiles(phis)
+	}
+}

@@ -1,0 +1,254 @@
+// Package am implements the AM baseline (§5.1 policy 3): Arasu & Manku,
+// "Approximate Counts and Quantiles over Sliding Windows", PODS 2004 — a
+// deterministic rank-error algorithm for sliding windows.
+//
+// The implementation follows AM's dyadic multi-level structure. The stream
+// is cut into base blocks of the period size, each summarized by a
+// Greenwald–Khanna sketch with error ε/2. Every level ℓ additionally keeps
+// summaries spanning 2^ℓ base blocks, formed by merging (and pruning) the
+// two aligned children — children are retained, so all resolutions of the
+// window are resident simultaneously. That redundancy is what gives AM its
+// characteristic space overhead relative to CMQS, matching the ordering in
+// the paper's Table 1. A query greedily covers the unexpired window with
+// the largest fully-live blocks and merges their weighted summaries;
+// expiry retires every block that covers the expired base block.
+package am
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sketch/gk"
+	"repro/internal/window"
+)
+
+// wsummary is a pruned weighted-value summary of a completed block.
+type wsummary struct {
+	values []gk.WeightedValue // sorted by value
+	count  int64
+}
+
+// block is a summarized run of `span` consecutive base blocks.
+type block struct {
+	start int // index of first base block covered
+	span  int // number of base blocks covered (power of two)
+	sum   wsummary
+}
+
+// Policy is the AM sliding-window quantile operator.
+type Policy struct {
+	spec     window.Spec
+	phis     []float64
+	eps      float64
+	levels   int
+	cap      int         // max tuples per merged summary before pruning
+	blocks   [][]block   // per level: completed, unexpired blocks, oldest first
+	current  *gk.Summary // in-flight base block
+	inFlight int
+	baseSeq  int // sequence number of the in-flight base block
+	expired  int // number of expired base blocks
+}
+
+// New returns an AM policy with rank-error parameter eps.
+func New(spec window.Spec, phis []float64, eps float64) (*Policy, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(phis) == 0 {
+		return nil, fmt.Errorf("am: no quantiles specified")
+	}
+	if eps <= 0 || eps > 0.5 {
+		return nil, fmt.Errorf("am: eps %v outside (0, 0.5]", eps)
+	}
+	levels := 1
+	for span := 1; span < spec.SubWindows(); span *= 2 {
+		levels++
+	}
+	p := &Policy{
+		spec:   spec,
+		phis:   append([]float64(nil), phis...),
+		eps:    eps,
+		levels: levels,
+		cap:    int(math.Ceil(4 / eps)),
+		blocks: make([][]block, levels),
+	}
+	p.current = p.newSketch()
+	return p, nil
+}
+
+func (p *Policy) newSketch() *gk.Summary {
+	s, err := gk.New(p.eps / 2)
+	if err != nil {
+		panic("am: internal error: " + err.Error()) // eps validated in New
+	}
+	return s
+}
+
+// Name implements stream.Policy.
+func (p *Policy) Name() string { return "AM" }
+
+// Observe implements stream.Policy.
+func (p *Policy) Observe(v float64) {
+	p.current.Insert(v)
+	p.inFlight++
+	if p.inFlight == p.spec.Period {
+		p.seal()
+	}
+}
+
+// seal completes the in-flight base block and cascades dyadic merges.
+func (p *Policy) seal() {
+	b := block{
+		start: p.baseSeq,
+		span:  1,
+		sum:   wsummary{values: p.current.Export(), count: p.current.Count()},
+	}
+	p.baseSeq++
+	p.inFlight = 0
+	p.current = p.newSketch()
+	p.blocks[0] = append(p.blocks[0], b)
+	p.cascade(0, b)
+}
+
+// cascade builds the level-(lvl+1) parent when the freshly completed block
+// is a right sibling and its left sibling is still resident. Children are
+// kept: every level retains its own partition of the stream.
+func (p *Policy) cascade(lvl int, right block) {
+	if lvl+1 >= p.levels {
+		return
+	}
+	if (right.start/right.span)%2 != 1 {
+		return // left sibling of its pair; wait for the right one
+	}
+	wantStart := right.start - right.span
+	var left *block
+	for i := len(p.blocks[lvl]) - 1; i >= 0; i-- {
+		if p.blocks[lvl][i].start == wantStart && p.blocks[lvl][i].span == right.span {
+			left = &p.blocks[lvl][i]
+			break
+		}
+	}
+	if left == nil {
+		return // sibling expired before the pair completed
+	}
+	parent := block{
+		start: wantStart,
+		span:  right.span * 2,
+		sum:   p.mergePrune(left.sum, right.sum),
+	}
+	p.blocks[lvl+1] = append(p.blocks[lvl+1], parent)
+	p.cascade(lvl+1, parent)
+}
+
+// mergePrune merges two weighted summaries and prunes the result to the
+// policy's tuple cap by pairing adjacent tuples (the classic mergeable-
+// summary compaction: each prune level adds O(count/cap) rank error).
+func (p *Policy) mergePrune(a, b wsummary) wsummary {
+	merged := make([]gk.WeightedValue, 0, len(a.values)+len(b.values))
+	i, j := 0, 0
+	for i < len(a.values) && j < len(b.values) {
+		if a.values[i].Value <= b.values[j].Value {
+			merged = append(merged, a.values[i])
+			i++
+		} else {
+			merged = append(merged, b.values[j])
+			j++
+		}
+	}
+	merged = append(merged, a.values[i:]...)
+	merged = append(merged, b.values[j:]...)
+	for len(merged) > p.cap {
+		pruned := make([]gk.WeightedValue, 0, (len(merged)+1)/2)
+		for k := 0; k+1 < len(merged); k += 2 {
+			pruned = append(pruned, gk.WeightedValue{
+				Value:  merged[k+1].Value, // keep the larger; weight of both
+				Weight: merged[k].Weight + merged[k+1].Weight,
+			})
+		}
+		if len(merged)%2 == 1 {
+			pruned = append(pruned, merged[len(merged)-1])
+		}
+		merged = pruned
+	}
+	return wsummary{values: merged, count: a.count + b.count}
+}
+
+// Expire implements stream.Policy: the oldest base block expires; every
+// block at any level that covers it is dropped.
+func (p *Policy) Expire([]float64) {
+	p.expired++
+	for lvl := range p.blocks {
+		bs := p.blocks[lvl]
+		keep := bs[:0]
+		for _, b := range bs {
+			if b.start >= p.expired {
+				keep = append(keep, b)
+			}
+		}
+		p.blocks[lvl] = keep
+	}
+}
+
+// activeCover greedily covers the unexpired base blocks with the largest
+// live blocks, top level first.
+func (p *Policy) activeCover() []wsummary {
+	covered := make(map[int]bool)
+	var out []wsummary
+	for lvl := p.levels - 1; lvl >= 0; lvl-- {
+		for _, b := range p.blocks[lvl] {
+			free := true
+			for i := b.start; i < b.start+b.span; i++ {
+				if covered[i] {
+					free = false
+					break
+				}
+			}
+			if !free {
+				continue
+			}
+			for i := b.start; i < b.start+b.span; i++ {
+				covered[i] = true
+			}
+			out = append(out, b.sum)
+		}
+	}
+	if p.inFlight > 0 {
+		out = append(out, wsummary{values: p.current.Export(), count: p.current.Count()})
+	}
+	return out
+}
+
+// Result implements stream.Policy.
+func (p *Policy) Result() []float64 {
+	cover := p.activeCover()
+	out := make([]float64, len(p.phis))
+	var total int64
+	lists := make([][]gk.WeightedValue, 0, len(cover))
+	for _, s := range cover {
+		total += s.count
+		lists = append(lists, s.values)
+	}
+	if total == 0 {
+		return out
+	}
+	for i, phi := range p.phis {
+		r := int64(math.Ceil(phi * float64(total)))
+		if r < 1 {
+			r = 1
+		}
+		out[i] = gk.MergedRead(lists, float64(r))
+	}
+	return out
+}
+
+// SpaceUsage implements stream.Policy: tuples across every resident block
+// at every level, plus the in-flight sketch.
+func (p *Policy) SpaceUsage() int {
+	n := p.current.Size()
+	for _, lvl := range p.blocks {
+		for _, b := range lvl {
+			n += len(b.sum.values)
+		}
+	}
+	return n
+}

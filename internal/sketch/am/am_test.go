@@ -1,0 +1,208 @@
+package am
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/sketch/gk"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func wv(v float64, w float64) gk.WeightedValue { return gk.WeightedValue{Value: v, Weight: w} }
+
+func TestNewValidation(t *testing.T) {
+	spec := window.Spec{Size: 80, Period: 10}
+	if _, err := New(spec, []float64{0.5}, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(spec, nil, 0.05); err == nil {
+		t.Fatal("empty phis accepted")
+	}
+	if _, err := New(spec, []float64{0.5}, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := New(window.Spec{Size: 5, Period: 10}, []float64{0.5}, 0.05); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestLevelsComputation(t *testing.T) {
+	p, _ := New(window.Spec{Size: 80, Period: 10}, []float64{0.5}, 0.05)
+	if p.levels != 4 { // spans 1, 2, 4, 8
+		t.Fatalf("levels = %d, want 4", p.levels)
+	}
+	p, _ = New(window.Spec{Size: 10, Period: 10}, []float64{0.5}, 0.05)
+	if p.levels != 1 {
+		t.Fatalf("tumbling levels = %d, want 1", p.levels)
+	}
+}
+
+func TestDyadicCascadeBuildsAllLevels(t *testing.T) {
+	spec := window.Spec{Size: 80, Period: 10}
+	p, _ := New(spec, []float64{0.5}, 0.05)
+	for i := 0; i < 80; i++ {
+		p.Observe(float64(i))
+	}
+	// After 8 base blocks: 8 at L0, 4 at L1, 2 at L2, 1 at L3.
+	want := []int{8, 4, 2, 1}
+	for lvl, w := range want {
+		if got := len(p.blocks[lvl]); got != w {
+			t.Fatalf("level %d has %d blocks, want %d", lvl, got, w)
+		}
+	}
+}
+
+func TestExpireDropsCoveringBlocks(t *testing.T) {
+	spec := window.Spec{Size: 80, Period: 10}
+	p, _ := New(spec, []float64{0.5}, 0.05)
+	for i := 0; i < 80; i++ {
+		p.Observe(float64(i))
+	}
+	p.Expire(nil) // base block 0 expires
+	// L3 block [0..8) and L2 block [0..4), L1 [0..2), L0 [0] all drop.
+	want := []int{7, 3, 1, 0}
+	for lvl, w := range want {
+		if got := len(p.blocks[lvl]); got != w {
+			t.Fatalf("after expire: level %d has %d blocks, want %d", lvl, got, w)
+		}
+	}
+}
+
+func TestRankErrorWithinEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = math.Round(800 * math.Exp(0.35*rng.NormFloat64()))
+	}
+	spec := window.Spec{Size: 1600, Period: 200}
+	phis := []float64{0.5, 0.9, 0.99}
+	const eps = 0.05
+	p, err := New(spec, phis, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	_ = spec.Iter(data, func(idx int, w []float64) {
+		sorted := append([]float64(nil), w...)
+		sort.Float64s(sorted)
+		for j, phi := range phis {
+			est := evals[idx].Estimates[j]
+			r := stats.CeilRank(phi, len(sorted))
+			lo := sort.SearchFloat64s(sorted, est) + 1
+			hi := stats.RankOf(sorted, est)
+			var dist float64
+			switch {
+			case r < lo:
+				dist = float64(lo - r)
+			case r > hi:
+				dist = float64(r - hi)
+			}
+			if e := dist / float64(len(sorted)); e > worst {
+				worst = e
+			}
+		}
+	})
+	if worst > eps {
+		t.Fatalf("worst rank error %v exceeds eps %v", worst, eps)
+	}
+}
+
+func TestCoverIncludesInFlight(t *testing.T) {
+	spec := window.Spec{Size: 40, Period: 10}
+	p, _ := New(spec, []float64{1.0}, 0.05)
+	for i := 0; i < 45; i++ {
+		p.Observe(float64(i))
+	}
+	if got := p.Result()[0]; got != 44 {
+		t.Fatalf("max = %v, want 44 (in-flight included)", got)
+	}
+}
+
+func TestResultEmptyIsZeros(t *testing.T) {
+	p, _ := New(window.Spec{Size: 40, Period: 10}, []float64{0.5, 0.9}, 0.05)
+	got := p.Result()
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty Result = %v", got)
+	}
+}
+
+func TestSpaceExceedsCMQSStyleSingleLevel(t *testing.T) {
+	// AM keeps every level resident, so its space must exceed the sum of
+	// level-0 sketch sizes alone (Table 1 ordering: AM > CMQS).
+	rng := rand.New(rand.NewSource(2))
+	spec := window.Spec{Size: 8000, Period: 1000}
+	p, _ := New(spec, []float64{0.5}, 0.02)
+	for i := 0; i < 16000; i++ {
+		p.Observe(rng.Float64())
+	}
+	var level0 int
+	for _, b := range p.blocks[0] {
+		level0 += len(b.sum.values)
+	}
+	if p.SpaceUsage() <= level0 {
+		t.Fatalf("space %d not above level-0 alone %d", p.SpaceUsage(), level0)
+	}
+}
+
+func TestSlidingTracksWindow(t *testing.T) {
+	spec := window.Spec{Size: 400, Period: 100}
+	p, _ := New(spec, []float64{0.5}, 0.05)
+	data := make([]float64, 2000)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := evals[len(evals)-1]
+	// Final window covers [1600, 2000): median ≈ 1800.
+	if math.Abs(last.Estimates[0]-1800) > 0.05*400+25 {
+		t.Fatalf("median = %v, want ≈ 1800", last.Estimates[0])
+	}
+}
+
+func TestMergePruneCapsSize(t *testing.T) {
+	spec := window.Spec{Size: 40, Period: 10}
+	p, _ := New(spec, []float64{0.5}, 0.05)
+	a := wsummary{count: 100}
+	b := wsummary{count: 100}
+	for i := 0; i < 200; i++ {
+		a.values = append(a.values, wv(float64(i), 1))
+		b.values = append(b.values, wv(float64(i)+0.5, 1))
+	}
+	m := p.mergePrune(a, b)
+	if len(m.values) > p.cap {
+		t.Fatalf("merged size %d exceeds cap %d", len(m.values), p.cap)
+	}
+	if m.count != 200 {
+		t.Fatalf("merged count = %d", m.count)
+	}
+	var wsum float64
+	prev := math.Inf(-1)
+	for _, e := range m.values {
+		wsum += e.Weight
+		if e.Value < prev {
+			t.Fatal("merged values not sorted")
+		}
+		prev = e.Value
+	}
+	if math.Abs(wsum-400) > 1e-9 {
+		t.Fatalf("merged weights sum to %v, want 400", wsum)
+	}
+}
+
+func TestName(t *testing.T) {
+	p, _ := New(window.Spec{Size: 20, Period: 10}, []float64{0.5}, 0.05)
+	if p.Name() != "AM" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}

@@ -1,0 +1,171 @@
+package cmqs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func TestNewValidation(t *testing.T) {
+	spec := window.Spec{Size: 100, Period: 10}
+	if _, err := New(spec, []float64{0.5}, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(spec, nil, 0.02); err == nil {
+		t.Fatal("empty phis accepted")
+	}
+	if _, err := New(spec, []float64{0.5}, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := New(spec, []float64{0.5}, 0.7); err == nil {
+		t.Fatal("eps>0.5 accepted")
+	}
+	if _, err := New(window.Spec{Size: 5, Period: 10}, []float64{0.5}, 0.02); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestRankErrorWithinEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = math.Round(800 * math.Exp(0.35*rng.NormFloat64()))
+	}
+	spec := window.Spec{Size: 2000, Period: 200}
+	phis := []float64{0.5, 0.9, 0.99}
+	const eps = 0.05
+	p, err := New(spec, phis, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	_ = spec.Iter(data, func(idx int, w []float64) {
+		sorted := append([]float64(nil), w...)
+		sort.Float64s(sorted)
+		for j, phi := range phis {
+			est := evals[idx].Estimates[j]
+			r := stats.CeilRank(phi, len(sorted))
+			lo := sort.SearchFloat64s(sorted, est) + 1
+			hi := stats.RankOf(sorted, est)
+			var dist float64
+			switch {
+			case r < lo:
+				dist = float64(lo - r)
+			case r > hi:
+				dist = float64(r - hi)
+			}
+			if e := dist / float64(len(sorted)); e > worst {
+				worst = e
+			}
+		}
+	})
+	if worst > eps {
+		t.Fatalf("worst rank error %v exceeds eps %v", worst, eps)
+	}
+}
+
+func TestExpiryDropsWholeSketch(t *testing.T) {
+	spec := window.Spec{Size: 40, Period: 10}
+	p, _ := New(spec, []float64{0.5}, 0.1)
+	data := make([]float64, 60)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third evaluation covers [20, 60): median should track the window.
+	last := evals[len(evals)-1].Estimates[0]
+	if last < 35 || last > 45 {
+		t.Fatalf("median after slides = %v, want ≈ 40", last)
+	}
+}
+
+func TestResultMidSubWindowIncludesInFlight(t *testing.T) {
+	spec := window.Spec{Size: 20, Period: 10}
+	p, _ := New(spec, []float64{1.0}, 0.1)
+	for i := 0; i < 15; i++ {
+		p.Observe(float64(i))
+	}
+	// One sealed sketch (0..9) plus in-flight (10..14): max must be 14.
+	if got := p.Result()[0]; got != 14 {
+		t.Fatalf("max = %v, want 14", got)
+	}
+}
+
+func TestResultEmptyIsZeros(t *testing.T) {
+	spec := window.Spec{Size: 20, Period: 10}
+	p, _ := New(spec, []float64{0.5, 0.9}, 0.1)
+	got := p.Result()
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty Result = %v", got)
+	}
+}
+
+func TestSpaceUsageBoundedBySketches(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	spec := window.Spec{Size: 10000, Period: 1000}
+	p, _ := New(spec, []float64{0.5}, 0.02)
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	_, st, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be well below the raw window size.
+	if st.MaxSpace >= spec.Size/2 {
+		t.Fatalf("space %d not sublinear vs window %d", st.MaxSpace, spec.Size)
+	}
+	if st.MaxSpace == 0 {
+		t.Fatal("space usage not tracked")
+	}
+}
+
+func TestEpsAccuracyTradeoff(t *testing.T) {
+	// Larger eps must not use more space than smaller eps (paper's Fig. 4
+	// trade-off direction).
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 30000)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	spec := window.Spec{Size: 10000, Period: 1000}
+	var spaces []int
+	for _, eps := range []float64{0.02, 0.2} {
+		p, _ := New(spec, []float64{0.5}, eps)
+		_, st, err := stream.Run(p, spec, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spaces = append(spaces, st.MaxSpace)
+	}
+	if spaces[1] > spaces[0] {
+		t.Fatalf("eps=0.2 used %d > eps=0.02 used %d", spaces[1], spaces[0])
+	}
+}
+
+func TestAnalyticalSpace(t *testing.T) {
+	got := AnalyticalSpace(window.Spec{Size: 128000, Period: 16000}, 0.02)
+	if got != 8*160 {
+		t.Fatalf("AnalyticalSpace = %d, want 1280", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	p, _ := New(window.Spec{Size: 20, Period: 10}, []float64{0.5}, 0.1)
+	if p.Name() != "CMQS" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}

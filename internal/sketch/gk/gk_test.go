@@ -1,0 +1,264 @@
+package gk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, eps := range []float64{0, -0.1, 0.6} {
+		if _, err := New(eps); err == nil {
+			t.Errorf("New(%v) accepted", eps)
+		}
+	}
+	if _, err := New(0.02); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryEmptyPanics(t *testing.T) {
+	s, _ := New(0.02)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Query on empty summary did not panic")
+		}
+	}()
+	s.Query(0.5)
+}
+
+func TestExactForSmallInputs(t *testing.T) {
+	s, _ := New(0.1)
+	for _, v := range []float64{5, 1, 9} {
+		s.Insert(v)
+	}
+	if got := s.Query(0.0001); got != 1 {
+		t.Errorf("min query = %v, want 1", got)
+	}
+	if got := s.Query(1); got != 9 {
+		t.Errorf("max query = %v, want 9", got)
+	}
+}
+
+// rankErrorCheck inserts data and verifies every quantile answer is within
+// eps*n ranks of exact.
+func rankErrorCheck(t *testing.T, data []float64, eps float64) {
+	t.Helper()
+	s, err := New(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range data {
+		s.Insert(v)
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	for _, phi := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		got := s.Query(phi)
+		r := stats.CeilRank(phi, n)
+		// The estimate's true rank range: [first idx of got, last idx].
+		loRank := sort.SearchFloat64s(sorted, got) + 1
+		hiRank := stats.RankOf(sorted, got)
+		margin := int(math.Ceil(eps*float64(n))) + 1
+		if loRank-margin > r || hiRank+margin < r {
+			t.Errorf("phi=%v: value %v has rank [%d,%d], want within ±%d of %d",
+				phi, got, loRank, hiRank, margin, r)
+		}
+	}
+}
+
+func TestRankErrorBoundUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	rankErrorCheck(t, data, 0.02)
+}
+
+func TestRankErrorBoundHeavyTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = math.Round(800 * math.Exp(0.35*rng.NormFloat64()))
+	}
+	rankErrorCheck(t, data, 0.02)
+}
+
+func TestRankErrorBoundSortedInput(t *testing.T) {
+	data := make([]float64, 30000)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	rankErrorCheck(t, data, 0.05)
+}
+
+func TestRankErrorBoundReverseSorted(t *testing.T) {
+	data := make([]float64, 30000)
+	for i := range data {
+		data[i] = float64(len(data) - i)
+	}
+	rankErrorCheck(t, data, 0.05)
+}
+
+func TestRankErrorBoundAllEqual(t *testing.T) {
+	data := make([]float64, 10000)
+	for i := range data {
+		data[i] = 7
+	}
+	rankErrorCheck(t, data, 0.02)
+	s, _ := New(0.02)
+	for _, v := range data {
+		s.Insert(v)
+	}
+	if got := s.Query(0.5); got != 7 {
+		t.Fatalf("all-equal query = %v", got)
+	}
+}
+
+func TestSpaceSublinear(t *testing.T) {
+	// GK space is O((1/eps) * log(eps*n)); at eps=0.02, n=100K it must be
+	// far below n.
+	rng := rand.New(rand.NewSource(3))
+	s, _ := New(0.02)
+	for i := 0; i < 100000; i++ {
+		s.Insert(rng.Float64())
+	}
+	if s.Size() > 2000 {
+		t.Fatalf("summary size = %d, want < 2000", s.Size())
+	}
+	if s.Count() != 100000 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestExportWeightsSumToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s, _ := New(0.05)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.Insert(rng.NormFloat64())
+	}
+	var sum float64
+	var prev = math.Inf(-1)
+	for _, wv := range s.Export() {
+		if wv.Weight < 0 {
+			t.Fatal("negative exported weight")
+		}
+		sum += wv.Weight
+		if wv.Value < prev {
+			t.Fatal("Export not sorted")
+		}
+		prev = wv.Value
+	}
+	// Centered weights sum to the last tuple's midrank; the maximum tuple
+	// has Δ = 0, so the total is exactly n.
+	if math.Abs(sum-float64(n)) > 1e-6 {
+		t.Fatalf("exported weights sum to %v, want %d", sum, n)
+	}
+}
+
+func TestQueryMerged(t *testing.T) {
+	// Merge 10 summaries of 10K each; rank error should stay near the
+	// per-summary eps since errors are bounded by sum of local errors.
+	rng := rand.New(rand.NewSource(5))
+	var all []float64
+	var summaries []*Summary
+	for j := 0; j < 10; j++ {
+		s, _ := New(0.01)
+		for i := 0; i < 10000; i++ {
+			v := rng.Float64() * 1000
+			s.Insert(v)
+			all = append(all, v)
+		}
+		summaries = append(summaries, s)
+	}
+	sort.Float64s(all)
+	n := len(all)
+	for _, phi := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := QueryMerged(summaries, phi)
+		r := stats.CeilRank(phi, n)
+		loRank := sort.SearchFloat64s(all, got) + 1
+		hiRank := stats.RankOf(all, got)
+		margin := int(0.02*float64(n)) + 1 // sum of local eps
+		if loRank-margin > r || hiRank+margin < r {
+			t.Errorf("phi=%v: merged rank [%d,%d] not within ±%d of %d", phi, loRank, hiRank, margin, r)
+		}
+	}
+}
+
+func TestQueryMergedSkipsEmpty(t *testing.T) {
+	s1, _ := New(0.1)
+	s1.Insert(5)
+	s2, _ := New(0.1)
+	got := QueryMerged([]*Summary{s1, s2, nil}, 0.5)
+	if got != 5 {
+		t.Fatalf("QueryMerged = %v, want 5", got)
+	}
+}
+
+func TestQueryMergedAllEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("QueryMerged on empties did not panic")
+		}
+	}()
+	s, _ := New(0.1)
+	QueryMerged([]*Summary{s}, 0.5)
+}
+
+// Property: min and max are always exact.
+func TestQuickMinMaxExact(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s, _ := New(0.05)
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r)
+			s.Insert(v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return s.Query(0.000001) == min && s.Query(1) == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: count always matches the number of inserts.
+func TestQuickCount(t *testing.T) {
+	f := func(raw []float64) bool {
+		s, _ := New(0.02)
+		for _, v := range raw {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			s.Insert(v)
+		}
+		return s.Count() == int64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s, _ := New(0.02)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Insert(rng.Float64())
+	}
+}

@@ -1,0 +1,453 @@
+// Package moments implements the Moment baseline (§5.1 policy 5): a
+// mergeable moment-based quantile sketch in the style of Gan et al.,
+// "Moment-Based Quantile Sketches for Efficient High Cardinality
+// Aggregation Queries" (VLDB 2018). Each sub-window stores count, min, max
+// and the first K power sums of the values — and, for positive data, of
+// their logarithms, which conditions heavy-tailed telemetry. Merging
+// sub-window sketches is pure addition. A quantile query reconstructs the
+// maximum-entropy density consistent with the merged moments (Newton's
+// method over a Chebyshev basis) and inverts its CDF.
+package moments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sketch accumulates the moment statistics of one block of data.
+//
+// Power sums are stored *centered* at the first observed value: raw sums
+// Σx^i around telemetry-scale magnitudes (say 1e6) lose all significance to
+// cancellation when re-centered at query time at order 12, so the sketch
+// keeps Σ(x−c)^i with c a data value. Re-centering between two data-chosen
+// centers shifts by at most the data range and stays numerically stable.
+type Sketch struct {
+	K      int
+	Count  int64
+	Min    float64
+	Max    float64
+	Center float64   // centering constant for Pow (first inserted value)
+	LogCtr float64   // centering constant for LogPow
+	Pow    []float64 // Pow[i] = Σ (x-Center)^(i+1), i = 0..K-1
+	LogPow []float64 // LogPow[i] = Σ (ln x - LogCtr)^(i+1); valid only if AllPos
+	AllPos bool      // every inserted value was > 0
+}
+
+// NewSketch returns an empty sketch of order k (the paper uses K=12).
+func NewSketch(k int) (*Sketch, error) {
+	if k < 2 || k > 16 {
+		return nil, fmt.Errorf("moments: order %d outside [2, 16]", k)
+	}
+	return &Sketch{
+		K:      k,
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+		Pow:    make([]float64, k),
+		LogPow: make([]float64, k),
+		AllPos: true,
+	}, nil
+}
+
+// Insert adds one observation.
+func (s *Sketch) Insert(v float64) {
+	if s.Count == 0 {
+		s.Center = v
+		if v > 0 {
+			s.LogCtr = math.Log(v)
+		}
+	}
+	s.Count++
+	if v < s.Min {
+		s.Min = v
+	}
+	if v > s.Max {
+		s.Max = v
+	}
+	d := v - s.Center
+	p := 1.0
+	for i := 0; i < s.K; i++ {
+		p *= d
+		s.Pow[i] += p
+	}
+	if v > 0 {
+		ld := math.Log(v) - s.LogCtr
+		p = 1.0
+		for i := 0; i < s.K; i++ {
+			p *= ld
+			s.LogPow[i] += p
+		}
+	} else {
+		s.AllPos = false
+	}
+}
+
+// recenter returns sums re-expressed around newC given sums around oldC,
+// for n elements: Σ(x−newC)^i = Σ_j C(i,j)·(oldC−newC)^(i−j)·Σ(x−oldC)^j.
+func recenter(sums []float64, n int64, oldC, newC float64, k int) []float64 {
+	delta := oldC - newC
+	out := make([]float64, k)
+	for i := 1; i <= k; i++ {
+		// j = 0 term uses Σ(x−oldC)^0 = n.
+		c := 1.0 // C(i, j)
+		sum := math.Pow(delta, float64(i)) * float64(n)
+		for j := 1; j <= i; j++ {
+			c = c * float64(i-j+1) / float64(j)
+			sum += c * math.Pow(delta, float64(i-j)) * sums[j-1]
+		}
+		out[i-1] = sum
+	}
+	return out
+}
+
+// Merge adds other's statistics into s. Orders must match.
+func (s *Sketch) Merge(other *Sketch) error {
+	if s.K != other.K {
+		return fmt.Errorf("moments: merging order %d into %d", other.K, s.K)
+	}
+	if other.Count == 0 {
+		return nil
+	}
+	if s.Count == 0 {
+		s.Count = other.Count
+		s.Min, s.Max = other.Min, other.Max
+		s.Center, s.LogCtr = other.Center, other.LogCtr
+		copy(s.Pow, other.Pow)
+		copy(s.LogPow, other.LogPow)
+		s.AllPos = other.AllPos
+		return nil
+	}
+	shifted := recenter(other.Pow, other.Count, other.Center, s.Center, s.K)
+	for i := 0; i < s.K; i++ {
+		s.Pow[i] += shifted[i]
+	}
+	if s.AllPos && other.AllPos {
+		logShifted := recenter(other.LogPow, other.Count, other.LogCtr, s.LogCtr, s.K)
+		for i := 0; i < s.K; i++ {
+			s.LogPow[i] += logShifted[i]
+		}
+	}
+	s.Count += other.Count
+	if other.Min < s.Min {
+		s.Min = other.Min
+	}
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+	s.AllPos = s.AllPos && other.AllPos
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *Sketch) Clone() *Sketch {
+	c := *s
+	c.Pow = append([]float64(nil), s.Pow...)
+	c.LogPow = append([]float64(nil), s.LogPow...)
+	return &c
+}
+
+// SpaceUsage returns the resident variable count (the §5.1 space metric):
+// both moment vectors plus count/min/max.
+func (s *Sketch) SpaceUsage() int { return 2*s.K + 3 }
+
+// Quantile estimates the phi-quantile from the sketch. It returns an error
+// when the sketch is empty or the max-entropy solve fails to produce a
+// usable density (callers may fall back to Min/Max interpolation).
+func (s *Sketch) Quantile(phi float64) (float64, error) {
+	if s.Count == 0 {
+		return 0, fmt.Errorf("moments: empty sketch")
+	}
+	if phi <= 0 || phi > 1 {
+		return 0, fmt.Errorf("moments: phi %v outside (0, 1]", phi)
+	}
+	if s.Min == s.Max {
+		return s.Min, nil
+	}
+	// Heavy-tailed positive data solves far better in log space.
+	useLog := s.AllPos && s.Min > 0 && s.Max/s.Min > 50
+	var lo, hi, center float64
+	var sums []float64
+	if useLog {
+		lo, hi = math.Log(s.Min), math.Log(s.Max)
+		sums = s.LogPow
+		center = s.LogCtr
+	} else {
+		lo, hi = s.Min, s.Max
+		sums = s.Pow
+		center = s.Center
+	}
+	mu := scaledMoments(sums, s.Count, center, lo, hi, s.K)
+	cheb := chebyshevMoments(mu)
+	u, err := maxEntQuantile(cheb, phi)
+	if err != nil {
+		return 0, err
+	}
+	x := (lo+hi)/2 + (hi-lo)/2*u
+	if useLog {
+		x = math.Exp(x)
+	}
+	// Clamp into the observed range.
+	if x < s.Min {
+		x = s.Min
+	}
+	if x > s.Max {
+		x = s.Max
+	}
+	return x, nil
+}
+
+// scaledMoments converts centered power sums Σ(x−c)^i into the power
+// moments of u = (x−a)/b scaled to [-1, 1], where a is the midpoint and b
+// the half range: μ_i = E[u^i] for i = 0..k. Since (x−a) = (x−c) + (c−a)
+// and |c−a| is at most the data range, the binomial shift is numerically
+// stable.
+func scaledMoments(pow []float64, n int64, c, lo, hi float64, k int) []float64 {
+	a := (lo + hi) / 2
+	b := (hi - lo) / 2
+	// raw[j] = E[(x-c)^j], raw[0] = 1.
+	raw := make([]float64, k+1)
+	raw[0] = 1
+	for j := 1; j <= k; j++ {
+		raw[j] = pow[j-1] / float64(n)
+	}
+	shift := c - a
+	mu := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		var sum float64
+		bc := 1.0 // C(i, j), starting at j=0
+		for j := 0; j <= i; j++ {
+			if j > 0 {
+				bc = bc * float64(i-j+1) / float64(j)
+			}
+			sum += bc * math.Pow(shift, float64(i-j)) * raw[j]
+		}
+		mu[i] = sum / math.Pow(b, float64(i))
+	}
+	return mu
+}
+
+// chebyshevMoments converts power moments μ_i = E[u^i] into Chebyshev
+// moments m_j = E[T_j(u)] using the T_j power-basis coefficients from the
+// recurrence T_{j+1} = 2u·T_j − T_{j-1}.
+func chebyshevMoments(mu []float64) []float64 {
+	k := len(mu) - 1
+	// coef[j][l] = coefficient of u^l in T_j.
+	coef := make([][]float64, k+1)
+	coef[0] = []float64{1}
+	if k >= 1 {
+		coef[1] = []float64{0, 1}
+	}
+	for j := 2; j <= k; j++ {
+		c := make([]float64, j+1)
+		for l, v := range coef[j-1] {
+			c[l+1] += 2 * v
+		}
+		for l, v := range coef[j-2] {
+			c[l] -= v
+		}
+		coef[j] = c
+	}
+	m := make([]float64, k+1)
+	for j := 0; j <= k; j++ {
+		var sum float64
+		for l, v := range coef[j] {
+			sum += v * mu[l]
+		}
+		m[j] = sum
+	}
+	return m
+}
+
+// quadrature grid resolution for the max-entropy solve.
+const gridN = 1024
+
+// maxEntQuantile finds the maximum-entropy density f(u) = exp(Σ λ_j T_j(u))
+// on [-1, 1] whose Chebyshev moments match m, then inverts its CDF at phi.
+func maxEntQuantile(m []float64, phi float64) (float64, error) {
+	k := len(m) - 1
+	// Precompute grid points and T_j at each point.
+	us := make([]float64, gridN)
+	tj := make([][]float64, gridN) // tj[p][j]
+	for p := 0; p < gridN; p++ {
+		u := -1 + 2*(float64(p)+0.5)/gridN
+		us[p] = u
+		row := make([]float64, k+1)
+		row[0] = 1
+		if k >= 1 {
+			row[1] = u
+		}
+		for j := 2; j <= k; j++ {
+			row[j] = 2*u*row[j-1] - row[j-2]
+		}
+		tj[p] = row
+	}
+	dx := 2.0 / gridN
+
+	lambda := make([]float64, k+1)
+	lambda[0] = math.Log(0.5) // start from uniform density on [-1,1]
+
+	f := make([]float64, gridN)
+	evalDensity := func(l []float64) bool {
+		for p := 0; p < gridN; p++ {
+			var e float64
+			for j := 0; j <= k; j++ {
+				e += l[j] * tj[p][j]
+			}
+			if e > 500 { // overflow guard
+				return false
+			}
+			f[p] = math.Exp(e)
+		}
+		return true
+	}
+
+	grad := make([]float64, k+1)
+	hess := make([][]float64, k+1)
+	for i := range hess {
+		hess[i] = make([]float64, k+1)
+	}
+
+	const maxIter = 120
+	converged := false
+	for iter := 0; iter < maxIter; iter++ {
+		if !evalDensity(lambda) {
+			return 0, fmt.Errorf("moments: density overflow")
+		}
+		// Gradient: ∫ T_j f − m_j ; Hessian: ∫ T_j T_l f.
+		var gnorm float64
+		for j := 0; j <= k; j++ {
+			var g float64
+			for p := 0; p < gridN; p++ {
+				g += tj[p][j] * f[p]
+			}
+			g = g*dx - m[j]
+			grad[j] = g
+			gnorm += g * g
+		}
+		if math.Sqrt(gnorm) < 1e-9 {
+			converged = true
+			break
+		}
+		for j := 0; j <= k; j++ {
+			for l := j; l <= k; l++ {
+				var h float64
+				for p := 0; p < gridN; p++ {
+					h += tj[p][j] * tj[p][l] * f[p]
+				}
+				hess[j][l] = h * dx
+				hess[l][j] = hess[j][l]
+			}
+		}
+		step, ok := solveSPD(hess, grad)
+		if !ok {
+			return 0, fmt.Errorf("moments: singular Hessian")
+		}
+		// Damped Newton: shrink until the density stays finite.
+		scale := 1.0
+		for t := 0; t < 30; t++ {
+			trial := make([]float64, k+1)
+			for j := range trial {
+				trial[j] = lambda[j] - scale*step[j]
+			}
+			if evalDensity(trial) {
+				copy(lambda, trial)
+				break
+			}
+			scale /= 2
+			if t == 29 {
+				return 0, fmt.Errorf("moments: step damping failed")
+			}
+		}
+	}
+	if !converged {
+		// Accept a loose solve only if the low moments match reasonably.
+		if !evalDensity(lambda) {
+			return 0, fmt.Errorf("moments: no convergence")
+		}
+		var g0 float64
+		for p := 0; p < gridN; p++ {
+			g0 += f[p]
+		}
+		if math.Abs(g0*dx-m[0]) > 0.05 {
+			return 0, fmt.Errorf("moments: no convergence")
+		}
+	}
+	// Invert the CDF on the grid.
+	var total float64
+	for p := 0; p < gridN; p++ {
+		total += f[p]
+	}
+	target := phi * total
+	var cum float64
+	for p := 0; p < gridN; p++ {
+		cum += f[p]
+		if cum >= target {
+			return us[p], nil
+		}
+	}
+	return 1, nil
+}
+
+// solveSPD solves H x = g for symmetric positive-definite H via Cholesky
+// with a small ridge for numerical safety. Returns ok=false when H is not
+// usable even after regularization.
+func solveSPD(h [][]float64, g []float64) ([]float64, bool) {
+	n := len(g)
+	for _, ridge := range []float64{0, 1e-10, 1e-7, 1e-4} {
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = append([]float64(nil), h[i]...)
+			a[i][i] += ridge * (1 + math.Abs(h[i][i]))
+		}
+		l, ok := cholesky(a)
+		if !ok {
+			continue
+		}
+		// Forward substitution L y = g.
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := g[i]
+			for j := 0; j < i; j++ {
+				s -= l[i][j] * y[j]
+			}
+			y[i] = s / l[i][i]
+		}
+		// Back substitution Lᵀ x = y.
+		x := make([]float64, n)
+		for i := n - 1; i >= 0; i-- {
+			s := y[i]
+			for j := i + 1; j < n; j++ {
+				s -= l[j][i] * x[j]
+			}
+			x[i] = s / l[i][i]
+		}
+		return x, true
+	}
+	return nil, false
+}
+
+// cholesky computes the lower-triangular factor of a, returning ok=false
+// for non-positive-definite input.
+func cholesky(a [][]float64) ([][]float64, bool) {
+	n := len(a)
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a[i][j]
+			for t := 0; t < j; t++ {
+				s -= l[i][t] * l[j][t]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, false
+				}
+				l[i][i] = math.Sqrt(s)
+			} else {
+				l[i][j] = s / l[j][j]
+			}
+		}
+	}
+	return l, true
+}

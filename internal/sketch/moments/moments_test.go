@@ -1,0 +1,341 @@
+package moments
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func TestNewSketchValidation(t *testing.T) {
+	if _, err := NewSketch(1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := NewSketch(17); err == nil {
+		t.Fatal("k=17 accepted")
+	}
+	if _, err := NewSketch(12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertTracksStats(t *testing.T) {
+	s, _ := NewSketch(4)
+	for _, v := range []float64{1, 2, 3} {
+		s.Insert(v)
+	}
+	if s.Count != 3 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("count=%d min=%v max=%v", s.Count, s.Min, s.Max)
+	}
+	if s.Center != 1 {
+		t.Fatalf("Center = %v, want first value 1", s.Center)
+	}
+	if s.Pow[0] != 3 { // Σ(x-1) = 0+1+2
+		t.Fatalf("Pow[0] = %v, want 3", s.Pow[0])
+	}
+	if s.Pow[1] != 5 { // Σ(x-1)² = 0+1+4
+		t.Fatalf("Pow[1] = %v, want 5", s.Pow[1])
+	}
+	if !s.AllPos {
+		t.Fatal("AllPos should hold for positive data")
+	}
+	s.Insert(-1)
+	if s.AllPos {
+		t.Fatal("AllPos should clear on non-positive value")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := NewSketch(4)
+	b, _ := NewSketch(4)
+	for i := 1; i <= 5; i++ {
+		a.Insert(float64(i))
+	}
+	for i := 6; i <= 10; i++ {
+		b.Insert(float64(i))
+	}
+	whole, _ := NewSketch(4)
+	for i := 1; i <= 10; i++ {
+		whole.Insert(float64(i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != whole.Count || a.Min != whole.Min || a.Max != whole.Max {
+		t.Fatal("merge mismatch on count/min/max")
+	}
+	for i := range a.Pow {
+		if math.Abs(a.Pow[i]-whole.Pow[i]) > 1e-9*math.Abs(whole.Pow[i]) {
+			t.Fatalf("Pow[%d]: merged %v, whole %v", i, a.Pow[i], whole.Pow[i])
+		}
+	}
+}
+
+func TestMergeOrderMismatch(t *testing.T) {
+	a, _ := NewSketch(4)
+	b, _ := NewSketch(6)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("order mismatch accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a, _ := NewSketch(4)
+	a.Insert(5)
+	c := a.Clone()
+	c.Insert(10)
+	if a.Count != 1 || c.Count != 2 {
+		t.Fatal("Clone not independent")
+	}
+	if a.Pow[0] == c.Pow[0] {
+		t.Fatal("Clone shares Pow slice")
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	s, _ := NewSketch(6)
+	if _, err := s.Quantile(0.5); err == nil {
+		t.Fatal("empty sketch accepted")
+	}
+	s.Insert(7)
+	if q, err := s.Quantile(0.5); err != nil || q != 7 {
+		t.Fatalf("point mass quantile = %v, %v", q, err)
+	}
+	if _, err := s.Quantile(0); err == nil {
+		t.Fatal("phi=0 accepted")
+	}
+	if _, err := s.Quantile(1.5); err == nil {
+		t.Fatal("phi>1 accepted")
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// Uniform[90, 110): maxent should recover quantiles within ~1%.
+	rng := rand.New(rand.NewSource(1))
+	s, _ := NewSketch(12)
+	data := make([]float64, 100000)
+	for i := range data {
+		data[i] = 90 + 20*rng.Float64()
+		s.Insert(data[i])
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		want := stats.Quantile(data, phi)
+		if rel := math.Abs(got-want) / want; rel > 0.01 {
+			t.Errorf("phi=%v: got %v, want %v (rel %v)", phi, got, want, rel)
+		}
+	}
+}
+
+func TestQuantileNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, _ := NewSketch(12)
+	data := make([]float64, 100000)
+	for i := range data {
+		data[i] = 1e6 + 5e4*rng.NormFloat64()
+		s.Insert(data[i])
+	}
+	for _, phi := range []float64{0.5, 0.9, 0.99} {
+		got, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		want := stats.Quantile(data, phi)
+		if rel := math.Abs(got-want) / want; rel > 0.01 {
+			t.Errorf("phi=%v: got %v, want %v (rel %v)", phi, got, want, rel)
+		}
+	}
+}
+
+func TestQuantileLognormalUsesLogDomain(t *testing.T) {
+	// Heavy-tailed positive data: the log-domain solve should keep the
+	// error moderate (the paper's Table 1 reports ~9% at Q0.999).
+	rng := rand.New(rand.NewSource(3))
+	s, _ := NewSketch(12)
+	data := make([]float64, 200000)
+	for i := range data {
+		data[i] = math.Round(800 * math.Exp(0.8*rng.NormFloat64()))
+		if data[i] < 1 {
+			data[i] = 1
+		}
+		s.Insert(data[i])
+	}
+	for _, phi := range []float64{0.5, 0.9, 0.99} {
+		got, err := s.Quantile(phi)
+		if err != nil {
+			t.Fatalf("phi=%v: %v", phi, err)
+		}
+		want := stats.Quantile(data, phi)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("phi=%v: got %v, want %v (rel %v)", phi, got, want, rel)
+		}
+	}
+}
+
+func TestQuantileMergedMatchesWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	whole, _ := NewSketch(10)
+	merged, _ := NewSketch(10)
+	parts := make([]*Sketch, 8)
+	for p := range parts {
+		parts[p], _ = NewSketch(10)
+	}
+	for i := 0; i < 80000; i++ {
+		v := 100 + 10*rng.NormFloat64()
+		whole.Insert(v)
+		parts[i%8].Insert(v)
+	}
+	for _, p := range parts {
+		if err := merged.Merge(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qw, err1 := whole.Quantile(0.9)
+	qm, err2 := merged.Quantile(0.9)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if math.Abs(qw-qm)/qw > 1e-6 {
+		t.Fatalf("whole %v vs merged %v", qw, qm)
+	}
+}
+
+func TestSpaceUsage(t *testing.T) {
+	s, _ := NewSketch(12)
+	if got := s.SpaceUsage(); got != 27 {
+		t.Fatalf("SpaceUsage = %d, want 27", got)
+	}
+}
+
+// --- Policy tests ---
+
+func TestPolicyValidation(t *testing.T) {
+	spec := window.Spec{Size: 100, Period: 10}
+	if _, err := NewPolicy(spec, []float64{0.5}, 12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPolicy(spec, nil, 12); err == nil {
+		t.Fatal("empty phis accepted")
+	}
+	if _, err := NewPolicy(spec, []float64{0.5}, 1); err == nil {
+		t.Fatal("bad order accepted")
+	}
+	if _, err := NewPolicy(window.Spec{Size: 5, Period: 10}, []float64{0.5}, 12); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestPolicySlidingAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = 1e6 + 5e4*rng.NormFloat64()
+	}
+	spec := window.Spec{Size: 4000, Period: 1000}
+	phis := []float64{0.5, 0.9, 0.99}
+	p, err := NewPolicy(spec, phis, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc stats.ErrorAccumulator
+	_ = spec.Iter(data, func(idx int, w []float64) {
+		want := stats.Quantiles(w, phis)
+		for j := range phis {
+			acc.Observe(evals[idx].Estimates[j], want[j], 0, 0, 0, false)
+		}
+	})
+	if got := acc.AvgRelErrPct(); got > 2 {
+		t.Fatalf("avg rel err = %v%%, want < 2%%", got)
+	}
+}
+
+func TestPolicyEmptyResult(t *testing.T) {
+	p, _ := NewPolicy(window.Spec{Size: 20, Period: 10}, []float64{0.5}, 8)
+	if got := p.Result()[0]; got != 0 {
+		t.Fatalf("empty Result = %v", got)
+	}
+}
+
+func TestPolicyExpire(t *testing.T) {
+	spec := window.Spec{Size: 20, Period: 10}
+	p, _ := NewPolicy(spec, []float64{0.5}, 8)
+	data := make([]float64, 60)
+	for i := range data {
+		data[i] = float64(i + 1)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := evals[len(evals)-1].Estimates[0]
+	// Final window [40, 60): median ≈ 50.
+	if last < 44 || last > 56 {
+		t.Fatalf("median = %v, want ≈ 50", last)
+	}
+}
+
+func TestPolicyName(t *testing.T) {
+	p, _ := NewPolicy(window.Spec{Size: 20, Period: 10}, []float64{0.5}, 8)
+	if p.Name() != "Moment" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	// Solve a known SPD system.
+	h := [][]float64{{4, 2}, {2, 3}}
+	g := []float64{8, 7}
+	x, ok := solveSPD(h, g)
+	if !ok {
+		t.Fatal("solveSPD failed")
+	}
+	// 4x+2y=8, 2x+3y=7 => x=1.25, y=1.5
+	if math.Abs(x[0]-1.25) > 1e-9 || math.Abs(x[1]-1.5) > 1e-9 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	if _, ok := cholesky([][]float64{{1, 2}, {2, 1}}); ok {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestScaledMomentsUniformCheck(t *testing.T) {
+	// For u uniform on [-1,1]: E[u]=0, E[u²]=1/3, E[u³]=0, E[u⁴]=1/5.
+	rng := rand.New(rand.NewSource(6))
+	s, _ := NewSketch(4)
+	for i := 0; i < 2_000_000; i++ {
+		s.Insert(rng.Float64()*2 - 1)
+	}
+	mu := scaledMoments(s.Pow, s.Count, s.Center, -1, 1, 4)
+	want := []float64{1, 0, 1.0 / 3, 0, 1.0 / 5}
+	for i := range want {
+		if math.Abs(mu[i]-want[i]) > 0.01 {
+			t.Errorf("mu[%d] = %v, want %v", i, mu[i], want[i])
+		}
+	}
+}
+
+func TestChebyshevMomentsIdentity(t *testing.T) {
+	// With μ = moments of uniform on [-1,1], Chebyshev moments satisfy
+	// m_0 = 1, m_1 = 0, m_2 = E[2u²-1] = -1/3.
+	mu := []float64{1, 0, 1.0 / 3, 0, 1.0 / 5}
+	m := chebyshevMoments(mu)
+	want := []float64{1, 0, -1.0 / 3, 0, 8.0/5 - 8.0/3 + 1} // T4 = 8u⁴-8u²+1 => -1/15
+	for i := range want {
+		if math.Abs(m[i]-want[i]) > 1e-12 {
+			t.Errorf("m[%d] = %v, want %v", i, m[i], want[i])
+		}
+	}
+}

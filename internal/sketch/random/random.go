@@ -1,0 +1,154 @@
+// Package random implements the Random baseline (§5.1 policy 4), after Luo,
+// Wang, Yi, Cormode — "Quantiles over Data Streams: Experimental
+// Comparisons, New Analyses, and Further Improvements", VLDBJ 2016: a
+// sampling-based algorithm that bounds rank error with constant
+// probability.
+//
+// Each sub-window buffers its raw elements; on completion the buffer is
+// sorted and interval-sampled — one element is drawn uniformly at random
+// from every run of w consecutive ranks, carrying weight w (Luo et al.'s
+// interval sampling). A query merges the weighted samples of all active
+// sub-windows. The raw in-flight buffer is why Random's observed space in
+// the paper's Table 1 exceeds its analytical bound.
+package random
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sketch/gk"
+	"repro/internal/window"
+)
+
+// weighted is one retained sample.
+type weighted struct {
+	value  float64
+	weight int64
+}
+
+// Policy is the sampling-based sliding-window quantile operator.
+type Policy struct {
+	spec    window.Spec
+	phis    []float64
+	eps     float64
+	perSub  int // samples retained per sub-window
+	rng     *rand.Rand
+	sealed  [][]weighted // per completed sub-window, sorted by value
+	current []float64    // raw in-flight buffer
+}
+
+// New returns a Random policy with rank-error parameter eps. The
+// deterministic seed makes experiments reproducible.
+func New(spec window.Spec, phis []float64, eps float64, seed int64) (*Policy, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(phis) == 0 {
+		return nil, fmt.Errorf("random: no quantiles specified")
+	}
+	if eps <= 0 || eps > 0.5 {
+		return nil, fmt.Errorf("random: eps %v outside (0, 0.5]", eps)
+	}
+	perSub := int(math.Ceil(1 / eps))
+	if perSub > spec.Period {
+		perSub = spec.Period
+	}
+	return &Policy{
+		spec:    spec,
+		phis:    append([]float64(nil), phis...),
+		eps:     eps,
+		perSub:  perSub,
+		rng:     rand.New(rand.NewSource(seed)),
+		current: make([]float64, 0, spec.Period),
+	}, nil
+}
+
+// Name implements stream.Policy.
+func (p *Policy) Name() string { return "Random" }
+
+// Observe implements stream.Policy.
+func (p *Policy) Observe(v float64) {
+	p.current = append(p.current, v)
+	if len(p.current) == p.spec.Period {
+		p.sealed = append(p.sealed, p.sample(p.current))
+		p.current = p.current[:0]
+	}
+}
+
+// sample sorts the sub-window and interval-samples it: rank space is cut
+// into perSub equal runs and one element is drawn uniformly from each run,
+// weighted by the run length.
+func (p *Policy) sample(buf []float64) []weighted {
+	sorted := append([]float64(nil), buf...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	out := make([]weighted, 0, p.perSub)
+	for i := 0; i < p.perSub; i++ {
+		lo := i * n / p.perSub
+		hi := (i + 1) * n / p.perSub
+		if hi <= lo {
+			continue
+		}
+		pick := lo + p.rng.Intn(hi-lo)
+		out = append(out, weighted{value: sorted[pick], weight: int64(hi - lo)})
+	}
+	return out
+}
+
+// Expire implements stream.Policy: drop the oldest sub-window's samples.
+func (p *Policy) Expire([]float64) {
+	if len(p.sealed) > 0 {
+		p.sealed = p.sealed[1:]
+	}
+}
+
+// Result implements stream.Policy: merge all weighted samples plus the raw
+// in-flight buffer via the interpolated merged read (see gk.MergedRead;
+// step-CDF reads bias rank estimates half a sample interval deep per
+// sub-window, which explodes into value error on heavy tails).
+func (p *Policy) Result() []float64 {
+	out := make([]float64, len(p.phis))
+	var total int64
+	var lists [][]gk.WeightedValue
+	for _, s := range p.sealed {
+		l := make([]gk.WeightedValue, len(s))
+		for i, wv := range s {
+			l[i] = gk.WeightedValue{Value: wv.value, Weight: float64(wv.weight)}
+			total += wv.weight
+		}
+		lists = append(lists, l)
+	}
+	if len(p.current) > 0 {
+		sorted := append([]float64(nil), p.current...)
+		sort.Float64s(sorted)
+		l := make([]gk.WeightedValue, len(sorted))
+		for i, v := range sorted {
+			l[i] = gk.WeightedValue{Value: v, Weight: 1}
+		}
+		lists = append(lists, l)
+		total += int64(len(sorted))
+	}
+	if total == 0 {
+		return out
+	}
+	for i, phi := range p.phis {
+		r := int64(math.Ceil(phi * float64(total)))
+		if r < 1 {
+			r = 1
+		}
+		out[i] = gk.MergedRead(lists, float64(r))
+	}
+	return out
+}
+
+// SpaceUsage implements stream.Policy: retained samples plus the raw
+// in-flight buffer.
+func (p *Policy) SpaceUsage() int {
+	n := len(p.current)
+	for _, s := range p.sealed {
+		n += len(s)
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+package random
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+func TestNewValidation(t *testing.T) {
+	spec := window.Spec{Size: 100, Period: 10}
+	if _, err := New(spec, []float64{0.5}, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(spec, nil, 0.02, 1); err == nil {
+		t.Fatal("empty phis accepted")
+	}
+	if _, err := New(spec, []float64{0.5}, 0, 1); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := New(window.Spec{Size: 5, Period: 10}, []float64{0.5}, 0.02, 1); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestPerSubCappedByPeriod(t *testing.T) {
+	p, _ := New(window.Spec{Size: 100, Period: 10}, []float64{0.5}, 0.001, 1)
+	if p.perSub != 10 {
+		t.Fatalf("perSub = %d, want capped at 10", p.perSub)
+	}
+}
+
+func TestRankErrorReasonable(t *testing.T) {
+	// Random bounds rank error with constant probability; assert the
+	// average observed rank error stays within 2*eps.
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 40000)
+	for i := range data {
+		data[i] = math.Round(800 * math.Exp(0.35*rng.NormFloat64()))
+	}
+	spec := window.Spec{Size: 2000, Period: 200}
+	phis := []float64{0.5, 0.9, 0.99}
+	const eps = 0.05
+	p, err := New(spec, phis, eps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var n int
+	_ = spec.Iter(data, func(idx int, w []float64) {
+		sorted := append([]float64(nil), w...)
+		sort.Float64s(sorted)
+		for j, phi := range phis {
+			est := evals[idx].Estimates[j]
+			r := stats.CeilRank(phi, len(sorted))
+			lo := sort.SearchFloat64s(sorted, est) + 1
+			hi := stats.RankOf(sorted, est)
+			var dist float64
+			switch {
+			case r < lo:
+				dist = float64(lo - r)
+			case r > hi:
+				dist = float64(r - hi)
+			}
+			sum += dist / float64(len(sorted))
+			n++
+		}
+	})
+	if avg := sum / float64(n); avg > 2*eps {
+		t.Fatalf("average rank error %v exceeds 2*eps", avg)
+	}
+}
+
+func TestSampleWeightsCoverSubWindow(t *testing.T) {
+	p, _ := New(window.Spec{Size: 100, Period: 10}, []float64{0.5}, 0.2, 3)
+	buf := []float64{9, 1, 5, 3, 7, 2, 8, 4, 6, 0}
+	s := p.sample(buf)
+	var total int64
+	prev := math.Inf(-1)
+	for _, w := range s {
+		total += w.weight
+		if w.value < prev {
+			t.Fatal("samples not sorted")
+		}
+		prev = w.value
+	}
+	if total != 10 {
+		t.Fatalf("sample weights sum to %d, want 10", total)
+	}
+	if len(s) != p.perSub {
+		t.Fatalf("got %d samples, want %d", len(s), p.perSub)
+	}
+}
+
+func TestInFlightIncludedInResult(t *testing.T) {
+	spec := window.Spec{Size: 20, Period: 10}
+	p, _ := New(spec, []float64{1.0}, 0.1, 1)
+	for i := 0; i < 15; i++ {
+		p.Observe(float64(i))
+	}
+	if got := p.Result()[0]; got != 14 {
+		t.Fatalf("max = %v, want 14", got)
+	}
+}
+
+func TestResultEmptyIsZeros(t *testing.T) {
+	p, _ := New(window.Spec{Size: 20, Period: 10}, []float64{0.5, 0.9}, 0.1, 1)
+	got := p.Result()
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty Result = %v", got)
+	}
+}
+
+func TestExpireDropsOldest(t *testing.T) {
+	spec := window.Spec{Size: 20, Period: 10}
+	p, _ := New(spec, []float64{0.5}, 0.1, 1)
+	data := make([]float64, 40)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	evals, _, err := stream.Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last window covers [20, 40): median ≈ 30.
+	last := evals[len(evals)-1].Estimates[0]
+	if last < 25 || last > 35 {
+		t.Fatalf("median = %v, want ≈ 30", last)
+	}
+}
+
+func TestSpaceIncludesRawBuffer(t *testing.T) {
+	spec := window.Spec{Size: 2000, Period: 1000}
+	p, _ := New(spec, []float64{0.5}, 0.02, 1)
+	for i := 0; i < 1500; i++ {
+		p.Observe(float64(i))
+	}
+	// 500 raw in-flight + 50 samples from the sealed sub-window.
+	if got := p.SpaceUsage(); got != 500+50 {
+		t.Fatalf("SpaceUsage = %d, want 550", got)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	spec := window.Spec{Size: 100, Period: 10}
+	data := make([]float64, 300)
+	rng := rand.New(rand.NewSource(9))
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	run := func() []float64 {
+		p, _ := New(spec, []float64{0.5, 0.99}, 0.05, 42)
+		evals, _, err := stream.Run(p, spec, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for _, e := range evals {
+			out = append(out, e.Estimates...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	p, _ := New(window.Spec{Size: 20, Period: 10}, []float64{0.5}, 0.1, 1)
+	if p.Name() != "Random" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}

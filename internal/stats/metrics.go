@@ -1,0 +1,83 @@
+package stats
+
+import "math"
+
+// ErrorAccumulator aggregates the paper's §5.1 accuracy metrics over
+// repeated query evaluations of one quantile: average relative value error
+// (in percent) and average rank error e' = (1/n)·Σ|r − r'ᵢ|/N.
+type ErrorAccumulator struct {
+	n            int
+	sumRelErr    float64
+	sumRankErr   float64
+	maxRelErr    float64
+	maxRankErr   float64
+	infiniteRels int
+}
+
+// Observe records one evaluation: the estimated and exact quantile values,
+// the rank r'ᵢ the estimate holds in the exact window, the exact rank r, and
+// the window size N. Pass rankKnown=false when rank bookkeeping is not
+// available (only value error is then recorded).
+func (a *ErrorAccumulator) Observe(est, exact float64, estRank, exactRank, windowN int, rankKnown bool) {
+	a.n++
+	rel := RelativeError(est, exact)
+	if math.IsInf(rel, 1) {
+		a.infiniteRels++
+	} else {
+		a.sumRelErr += rel
+		if rel > a.maxRelErr {
+			a.maxRelErr = rel
+		}
+	}
+	if rankKnown && windowN > 0 {
+		re := math.Abs(float64(exactRank-estRank)) / float64(windowN)
+		a.sumRankErr += re
+		if re > a.maxRankErr {
+			a.maxRankErr = re
+		}
+	}
+}
+
+// Evaluations returns the number of observations recorded.
+func (a *ErrorAccumulator) Evaluations() int { return a.n }
+
+// AvgRelErrPct returns the average relative value error in percent,
+// excluding observations where the exact value was zero and the estimate
+// was not. Returns 0 when nothing was observed.
+func (a *ErrorAccumulator) AvgRelErrPct() float64 {
+	finite := a.n - a.infiniteRels
+	if finite == 0 {
+		return 0
+	}
+	return a.sumRelErr / float64(finite) * 100
+}
+
+// AvgRankErr returns the average rank error e'.
+func (a *ErrorAccumulator) AvgRankErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sumRankErr / float64(a.n)
+}
+
+// MaxRelErrPct returns the largest observed relative value error (percent).
+func (a *ErrorAccumulator) MaxRelErrPct() float64 { return a.maxRelErr * 100 }
+
+// MaxRankErr returns the largest observed rank error.
+func (a *ErrorAccumulator) MaxRankErr() float64 { return a.maxRankErr }
+
+// RankOf returns the number of elements in the sorted window that are <=
+// value, i.e. the highest 1-based rank value would occupy. sorted must be
+// sorted ascending.
+func RankOf(sorted []float64, value float64) int {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] <= value {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,89 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/window"
+)
+
+// Incremental is the four-function operator contract of §2. State S is
+// updated as elements enter and leave the window; ComputeResult derives the
+// query answer from the state alone.
+type Incremental[S, R any] struct {
+	InitialState  func() S
+	Accumulate    func(S, float64) S
+	Deaccumulate  func(S, float64) S // may be nil for tumbling-only operators
+	ComputeResult func(S) R
+}
+
+// RunTumbling evaluates the operator over tumbling windows of the given
+// period: the state is rebuilt per window and discarded after each result
+// (no Deaccumulate required), exactly as §2 describes.
+func RunTumbling[S, R any](op Incremental[S, R], period int, data []float64) ([]R, error) {
+	if period < 1 {
+		return nil, fmt.Errorf("stream: period %d < 1", period)
+	}
+	var results []R
+	for lo := 0; lo+period <= len(data); lo += period {
+		s := op.InitialState()
+		for _, v := range data[lo : lo+period] {
+			s = op.Accumulate(s, v)
+		}
+		results = append(results, op.ComputeResult(s))
+	}
+	return results, nil
+}
+
+// RunSliding evaluates the operator over the sliding window spec,
+// accumulating arriving elements and deaccumulating expired ones — the
+// costly path whose Deaccumulate burden motivates QLOVE's design.
+func RunSliding[S, R any](op Incremental[S, R], spec window.Spec, data []float64) ([]R, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if op.Deaccumulate == nil && spec.Kind() == window.Sliding {
+		return nil, fmt.Errorf("stream: sliding window requires Deaccumulate")
+	}
+	s := op.InitialState()
+	var results []R
+	n := spec.Evaluations(len(data))
+	pos := 0
+	for i := 0; i < n; i++ {
+		lo, hi := spec.EvalBounds(i)
+		if i > 0 {
+			for _, v := range data[lo-spec.Period : lo] {
+				s = op.Deaccumulate(s, v)
+			}
+		}
+		for ; pos < hi; pos++ {
+			s = op.Accumulate(s, data[pos])
+		}
+		results = append(results, op.ComputeResult(s))
+	}
+	return results, nil
+}
+
+// avgState is the running state of the §2 example operator.
+type avgState struct {
+	count int64
+	sum   float64
+}
+
+// NewAverage returns the paper's §2 example: an incremental average.
+func NewAverage() Incremental[avgState, float64] {
+	return Incremental[avgState, float64]{
+		InitialState: func() avgState { return avgState{} },
+		Accumulate: func(s avgState, v float64) avgState {
+			return avgState{count: s.count + 1, sum: s.sum + v}
+		},
+		Deaccumulate: func(s avgState, v float64) avgState {
+			return avgState{count: s.count - 1, sum: s.sum - v}
+		},
+		ComputeResult: func(s avgState) float64 {
+			if s.count == 0 {
+				return 0
+			}
+			return s.sum / float64(s.count)
+		},
+	}
+}

@@ -1,0 +1,155 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/window"
+)
+
+// Policy is a sliding-window multi-quantile operator: the contract all five
+// evaluated algorithms (QLOVE, Exact, CMQS, AM, Random, Moment) implement.
+//
+// The runner feeds elements in arrival order via Observe. At every period
+// boundary once a full window has been seen, it calls Result, then — before
+// the next period begins — Expire with the batch of elements that just left
+// the window (one full period, oldest first). Operators that expire state
+// at sub-window granularity (QLOVE, CMQS) may ignore the slice contents and
+// simply drop their oldest summary; element-wise operators (Exact, AM,
+// Random) deaccumulate each value.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Observe feeds one arriving element.
+	Observe(v float64)
+	// Expire notifies that a full period of old elements left the window.
+	Expire(old []float64)
+	// Result returns the current quantile estimates, in the same order as
+	// the ϕ values the policy was configured with.
+	Result() []float64
+	// SpaceUsage reports the number of resident state variables, the
+	// paper's §5.1 space metric.
+	SpaceUsage() int
+}
+
+// Evaluation is one query result produced by Run.
+type Evaluation struct {
+	Index     int       // 0-based evaluation number
+	Estimates []float64 // one per configured ϕ
+}
+
+// RunStats aggregates runner-side measurements.
+type RunStats struct {
+	Elements    int           // elements fed
+	Evaluations int           // results produced
+	Elapsed     time.Duration // wall time spent inside the policy
+	MaxSpace    int           // peak SpaceUsage observed at evaluation time
+}
+
+// ThroughputMevS returns the single-thread throughput in million elements
+// per second, the paper's §5.1 throughput metric.
+func (s RunStats) ThroughputMevS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Elements) / s.Elapsed.Seconds() / 1e6
+}
+
+// Run drives a policy over data under the window spec, returning every
+// evaluation and the runner stats. The runner owns the replay buffer for
+// expiry (as the streaming engine does in Trill), so policies are charged
+// only for their operator state.
+func Run(p Policy, spec window.Spec, data []float64) ([]Evaluation, RunStats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, RunStats{}, err
+	}
+	nEvals := spec.Evaluations(len(data))
+	evals := make([]Evaluation, 0, nEvals)
+	stats := RunStats{}
+	start := time.Now()
+	pos := 0
+	for i := 0; i < nEvals; i++ {
+		lo, hi := spec.EvalBounds(i)
+		if i > 0 {
+			p.Expire(data[lo-spec.Period : lo])
+		}
+		mid := hi - spec.Period/2
+		for ; pos < hi; pos++ {
+			p.Observe(data[pos])
+			// Sample space mid-period as well: sub-window operators have
+			// an empty in-flight state exactly at period boundaries, so
+			// sampling only after Result would miss their real footprint.
+			if pos == mid {
+				if sp := p.SpaceUsage(); sp > stats.MaxSpace {
+					stats.MaxSpace = sp
+				}
+			}
+		}
+		est := p.Result()
+		evals = append(evals, Evaluation{Index: i, Estimates: est})
+		if sp := p.SpaceUsage(); sp > stats.MaxSpace {
+			stats.MaxSpace = sp
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	stats.Elements = pos
+	stats.Evaluations = len(evals)
+	return evals, stats, nil
+}
+
+// Feed pushes all data through the policy under spec without recording
+// evaluations; it is the measurement loop used by throughput benchmarks
+// (results are still computed every period, as a real monitoring query
+// would).
+func Feed(p Policy, spec window.Spec, data []float64) (RunStats, error) {
+	if err := spec.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	nEvals := spec.Evaluations(len(data))
+	start := time.Now()
+	pos := 0
+	for i := 0; i < nEvals; i++ {
+		lo, hi := spec.EvalBounds(i)
+		if i > 0 {
+			p.Expire(data[lo-spec.Period : lo])
+		}
+		for ; pos < hi; pos++ {
+			p.Observe(data[pos])
+		}
+		_ = p.Result()
+	}
+	return RunStats{
+		Elements:    pos,
+		Evaluations: nEvals,
+		Elapsed:     time.Since(start),
+	}, nil
+}
+
+// Factory constructs a fresh policy instance for a window spec and quantile
+// set; the bench harness uses it to instantiate each competing algorithm
+// uniformly.
+type Factory func(spec window.Spec, phis []float64) (Policy, error)
+
+// Registry maps policy names to factories.
+type Registry map[string]Factory
+
+// NewRegistry returns an empty registry.
+func NewRegistry() Registry { return Registry{} }
+
+// Register adds a factory under name, failing on duplicates.
+func (r Registry) Register(name string, f Factory) error {
+	if _, dup := r[name]; dup {
+		return fmt.Errorf("stream: policy %q already registered", name)
+	}
+	r[name] = f
+	return nil
+}
+
+// New instantiates a registered policy.
+func (r Registry) New(name string, spec window.Spec, phis []float64) (Policy, error) {
+	f, ok := r[name]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown policy %q", name)
+	}
+	return f(spec, phis)
+}

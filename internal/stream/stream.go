@@ -1,0 +1,107 @@
+// Package stream is the Trill-analogue streaming substrate (§2 of the
+// paper): timestamped events, composable pull-based operators (Where,
+// Select), the four-function incremental-evaluation contract
+// (InitialState / Accumulate / Deaccumulate / ComputeResult), and runners
+// that drive window policies over tumbling and sliding count windows.
+package stream
+
+// Event pairs a payload with a timestamp capturing arrival order.
+type Event[T any] struct {
+	Time    int64
+	Payload T
+}
+
+// Stream is a pull-based sequence of events. Next returns the next event
+// and true, or a zero event and false once the stream is exhausted.
+type Stream[T any] struct {
+	next func() (Event[T], bool)
+}
+
+// Next pulls the next event.
+func (s *Stream[T]) Next() (Event[T], bool) { return s.next() }
+
+// FromSlice builds a stream whose events are the slice values with
+// timestamps 0..n-1.
+func FromSlice[T any](values []T) *Stream[T] {
+	i := 0
+	return &Stream[T]{next: func() (Event[T], bool) {
+		if i >= len(values) {
+			var zero Event[T]
+			return zero, false
+		}
+		ev := Event[T]{Time: int64(i), Payload: values[i]}
+		i++
+		return ev, true
+	}}
+}
+
+// FromFunc builds a stream of n events drawn from gen, timestamped by
+// arrival index. n < 0 means unbounded.
+func FromFunc[T any](gen func() T, n int) *Stream[T] {
+	i := 0
+	return &Stream[T]{next: func() (Event[T], bool) {
+		if n >= 0 && i >= n {
+			var zero Event[T]
+			return zero, false
+		}
+		ev := Event[T]{Time: int64(i), Payload: gen()}
+		i++
+		return ev, true
+	}}
+}
+
+// Where filters a stream, keeping events whose payload satisfies pred —
+// the paper's Qmonitor uses .Where(e => e.errorCode != 0).
+func Where[T any](s *Stream[T], pred func(T) bool) *Stream[T] {
+	return &Stream[T]{next: func() (Event[T], bool) {
+		for {
+			ev, ok := s.Next()
+			if !ok {
+				return ev, false
+			}
+			if pred(ev.Payload) {
+				return ev, true
+			}
+		}
+	}}
+}
+
+// Select maps payloads through fn, preserving timestamps (LINQ Select).
+func Select[T, U any](s *Stream[T], fn func(T) U) *Stream[U] {
+	return &Stream[U]{next: func() (Event[U], bool) {
+		ev, ok := s.Next()
+		if !ok {
+			var zero Event[U]
+			return zero, false
+		}
+		return Event[U]{Time: ev.Time, Payload: fn(ev.Payload)}, true
+	}}
+}
+
+// Take truncates a stream after n events.
+func Take[T any](s *Stream[T], n int) *Stream[T] {
+	i := 0
+	return &Stream[T]{next: func() (Event[T], bool) {
+		if i >= n {
+			var zero Event[T]
+			return zero, false
+		}
+		ev, ok := s.Next()
+		if ok {
+			i++
+		}
+		return ev, ok
+	}}
+}
+
+// Collect drains the stream into a slice of payloads.
+func Collect[T any](s *Stream[T]) []T {
+	var out []T
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ev.Payload)
+	}
+}

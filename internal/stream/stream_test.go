@@ -1,0 +1,265 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+	"repro/internal/window"
+)
+
+func TestFromSlice(t *testing.T) {
+	s := FromSlice([]float64{10, 20, 30})
+	var times []int64
+	var vals []float64
+	for {
+		ev, ok := s.Next()
+		if !ok {
+			break
+		}
+		times = append(times, ev.Time)
+		vals = append(vals, ev.Payload)
+	}
+	if len(vals) != 3 || vals[0] != 10 || vals[2] != 30 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if times[0] != 0 || times[1] != 1 || times[2] != 2 {
+		t.Fatalf("times = %v", times)
+	}
+	// Exhausted stream stays exhausted.
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream yielded after exhaustion")
+	}
+}
+
+func TestFromFuncBounded(t *testing.T) {
+	n := 0.0
+	s := FromFunc(func() float64 { n++; return n }, 5)
+	got := Collect(s)
+	if len(got) != 5 || got[4] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFromFuncUnboundedWithTake(t *testing.T) {
+	n := 0.0
+	s := Take(FromFunc(func() float64 { n++; return n }, -1), 3)
+	got := Collect(s)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWhere(t *testing.T) {
+	// The paper's Qmonitor filters on errorCode != 0.
+	type ev struct {
+		errorCode int
+		latency   float64
+	}
+	src := FromSlice([]ev{{0, 1}, {1, 2}, {2, 3}, {0, 4}})
+	filtered := Where(src, func(e ev) bool { return e.errorCode != 0 })
+	lat := Select(filtered, func(e ev) float64 { return e.latency })
+	got := Collect(lat)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelectPreservesTime(t *testing.T) {
+	s := Select(FromSlice([]float64{5, 6}), func(v float64) float64 { return v * 2 })
+	ev, _ := s.Next()
+	if ev.Time != 0 || ev.Payload != 10 {
+		t.Fatalf("ev = %+v", ev)
+	}
+	ev, _ = s.Next()
+	if ev.Time != 1 || ev.Payload != 12 {
+		t.Fatalf("ev = %+v", ev)
+	}
+}
+
+func TestAverageTumbling(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	got, err := RunTumbling(NewAverage(), 3, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 5}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestAverageSliding(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	got, err := RunSliding(NewAverage(), window.Spec{Size: 4, Period: 2}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.5, 4.5}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRunSlidingRequiresDeaccumulate(t *testing.T) {
+	op := NewAverage()
+	op.Deaccumulate = nil
+	if _, err := RunSliding(op, window.Spec{Size: 4, Period: 2}, make([]float64, 8)); err == nil {
+		t.Fatal("missing Deaccumulate accepted for sliding window")
+	}
+	// Tumbling is fine without it.
+	if _, err := RunSliding(op, window.Spec{Size: 2, Period: 2}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTumblingInvalidPeriod(t *testing.T) {
+	if _, err := RunTumbling(NewAverage(), 0, nil); err == nil {
+		t.Fatal("period 0 accepted")
+	}
+}
+
+func TestAverageEmptyState(t *testing.T) {
+	op := NewAverage()
+	if got := op.ComputeResult(op.InitialState()); got != 0 {
+		t.Fatalf("empty average = %v", got)
+	}
+}
+
+// Property: sliding average equals brute-force mean of each window.
+func TestQuickSlidingAverageMatchesBruteForce(t *testing.T) {
+	f := func(raw []int8, periodSeed, mulSeed uint8) bool {
+		p := int(periodSeed%8) + 1
+		spec := window.Spec{Size: p * (int(mulSeed%4) + 1), Period: p}
+		data := make([]float64, len(raw))
+		for i, r := range raw {
+			data[i] = float64(r)
+		}
+		got, err := RunSliding(NewAverage(), spec, data)
+		if err != nil {
+			return false
+		}
+		i := 0
+		ok := true
+		_ = spec.Iter(data, func(idx int, w []float64) {
+			if math.Abs(got[idx]-stats.Mean(w)) > 1e-9 {
+				ok = false
+			}
+			i++
+		})
+		return ok && i == len(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Policy runner tests ---
+
+// recordingPolicy tracks the exact Observe/Expire/Result sequence.
+type recordingPolicy struct {
+	observed []float64
+	expired  [][]float64
+	results  int
+}
+
+func (p *recordingPolicy) Name() string      { return "recording" }
+func (p *recordingPolicy) Observe(v float64) { p.observed = append(p.observed, v) }
+func (p *recordingPolicy) Expire(old []float64) {
+	p.expired = append(p.expired, append([]float64(nil), old...))
+}
+func (p *recordingPolicy) Result() []float64 { p.results++; return []float64{0} }
+func (p *recordingPolicy) SpaceUsage() int   { return len(p.observed) }
+
+func TestRunProtocol(t *testing.T) {
+	data := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	spec := window.Spec{Size: 4, Period: 2}
+	p := &recordingPolicy{}
+	evals, st, err := Run(p, spec, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 3 {
+		t.Fatalf("evaluations = %d, want 3", len(evals))
+	}
+	if p.results != 3 {
+		t.Fatalf("Result called %d times", p.results)
+	}
+	if len(p.observed) != 8 {
+		t.Fatalf("observed %d elements", len(p.observed))
+	}
+	// Expire called twice with period batches [0,1] and [2,3].
+	if len(p.expired) != 2 {
+		t.Fatalf("expired %d batches", len(p.expired))
+	}
+	if p.expired[0][0] != 0 || p.expired[0][1] != 1 || p.expired[1][0] != 2 {
+		t.Fatalf("expired = %v", p.expired)
+	}
+	if st.Elements != 8 || st.Evaluations != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MaxSpace != 8 {
+		t.Fatalf("MaxSpace = %d", st.MaxSpace)
+	}
+}
+
+func TestRunInvalidSpec(t *testing.T) {
+	if _, _, err := Run(&recordingPolicy{}, window.Spec{Size: 3, Period: 2}, nil); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestRunShortData(t *testing.T) {
+	p := &recordingPolicy{}
+	evals, st, err := Run(p, window.Spec{Size: 10, Period: 5}, make([]float64, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evals) != 0 || st.Evaluations != 0 {
+		t.Fatal("short data should produce no evaluations")
+	}
+}
+
+func TestFeedMatchesRunProtocol(t *testing.T) {
+	data := make([]float64, 100)
+	spec := window.Spec{Size: 20, Period: 10}
+	p1, p2 := &recordingPolicy{}, &recordingPolicy{}
+	if _, _, err := Run(p1, spec, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Feed(p2, spec, data); err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.observed) != len(p2.observed) || len(p1.expired) != len(p2.expired) || p1.results != p2.results {
+		t.Fatal("Feed and Run drive policies differently")
+	}
+}
+
+func TestThroughputMevS(t *testing.T) {
+	st := RunStats{Elements: 2_000_000, Elapsed: 1e9} // 1 second
+	if got := st.ThroughputMevS(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("throughput = %v, want 2", got)
+	}
+	if (RunStats{}).ThroughputMevS() != 0 {
+		t.Fatal("zero-elapsed throughput should be 0")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	mk := func(spec window.Spec, phis []float64) (Policy, error) { return &recordingPolicy{}, nil }
+	if err := r.Register("rec", mk); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("rec", mk); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	p, err := r.New("rec", window.Spec{Size: 2, Period: 1}, nil)
+	if err != nil || p.Name() != "recording" {
+		t.Fatalf("New: %v %v", p, err)
+	}
+	if _, err := r.New("nope", window.Spec{Size: 2, Period: 1}, nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

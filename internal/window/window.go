@@ -1,0 +1,104 @@
+// Package window defines the paper's §2 windowing semantics: count-based
+// tumbling and sliding windows, described by a window size N (how many
+// recent elements a query evaluation covers) and a period P (how many new
+// elements arrive between successive evaluations). Sub-windows are aligned
+// to the period, so a sliding window always covers exactly N/P complete
+// sub-windows at evaluation time.
+package window
+
+import "fmt"
+
+// Kind distinguishes the two windowing models considered by the paper.
+type Kind int
+
+const (
+	// Tumbling windows have Size == Period: no overlap between
+	// evaluations, and no element is ever reused.
+	Tumbling Kind = iota
+	// Sliding windows have Size > Period: each element participates in
+	// Size/Period successive evaluations.
+	Sliding
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Tumbling:
+		return "tumbling"
+	case Sliding:
+		return "sliding"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec is a count-based window specification.
+type Spec struct {
+	Size   int // N: elements covered per evaluation
+	Period int // P: elements between evaluations (= sub-window size)
+}
+
+// Validate checks the paper's constraints: Size >= Period >= 1 and Size a
+// multiple of Period (so sub-windows tile the window exactly).
+func (s Spec) Validate() error {
+	if s.Period < 1 {
+		return fmt.Errorf("window: period %d < 1", s.Period)
+	}
+	if s.Size < s.Period {
+		return fmt.Errorf("window: size %d < period %d", s.Size, s.Period)
+	}
+	if s.Size%s.Period != 0 {
+		return fmt.Errorf("window: size %d not a multiple of period %d", s.Size, s.Period)
+	}
+	return nil
+}
+
+// Kind returns Tumbling when Size == Period and Sliding otherwise.
+func (s Spec) Kind() Kind {
+	if s.Size == s.Period {
+		return Tumbling
+	}
+	return Sliding
+}
+
+// SubWindows returns the number of sub-windows (N/P) covered per
+// evaluation.
+func (s Spec) SubWindows() int { return s.Size / s.Period }
+
+// Evaluations returns how many query evaluations a stream of length n
+// produces: one per completed period once the first full window has been
+// observed.
+func (s Spec) Evaluations(n int) int {
+	if n < s.Size {
+		return 0
+	}
+	return (n-s.Size)/s.Period + 1
+}
+
+// EvalBounds returns the half-open element index range [lo, hi) covered by
+// the i-th (0-based) evaluation.
+func (s Spec) EvalBounds(i int) (lo, hi int) {
+	hi = s.Size + i*s.Period
+	return hi - s.Size, hi
+}
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(size=%d, period=%d)", s.Kind(), s.Size, s.Period)
+}
+
+// Iter walks a data slice through the window, invoking eval with the
+// content of every complete window in order. It is the reference
+// ("stateless") evaluation path used by tests and the error-measurement
+// harness; production operators use the incremental path in package stream.
+func (s Spec) Iter(data []float64, eval func(evalIdx int, window []float64)) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	n := s.Evaluations(len(data))
+	for i := 0; i < n; i++ {
+		lo, hi := s.EvalBounds(i)
+		eval(i, data[lo:hi])
+	}
+	return nil
+}

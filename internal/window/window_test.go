@@ -1,0 +1,139 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Size: 100, Period: 10}, true},
+		{Spec{Size: 10, Period: 10}, true},
+		{Spec{Size: 10, Period: 0}, false},
+		{Spec{Size: 5, Period: 10}, false},
+		{Spec{Size: 15, Period: 10}, false},
+		{Spec{Size: 1, Period: 1}, true},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%+v: Validate = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestKind(t *testing.T) {
+	if got := (Spec{Size: 10, Period: 10}).Kind(); got != Tumbling {
+		t.Errorf("Kind = %v, want Tumbling", got)
+	}
+	if got := (Spec{Size: 100, Period: 10}).Kind(); got != Sliding {
+		t.Errorf("Kind = %v, want Sliding", got)
+	}
+	if Tumbling.String() != "tumbling" || Sliding.String() != "sliding" {
+		t.Error("Kind.String broken")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown Kind.String broken")
+	}
+}
+
+func TestSubWindows(t *testing.T) {
+	if got := (Spec{Size: 128000, Period: 16000}).SubWindows(); got != 8 {
+		t.Fatalf("SubWindows = %d, want 8", got)
+	}
+}
+
+func TestEvaluations(t *testing.T) {
+	s := Spec{Size: 100, Period: 10}
+	cases := []struct{ n, want int }{
+		{0, 0}, {99, 0}, {100, 1}, {109, 1}, {110, 2}, {200, 11},
+	}
+	for _, c := range cases {
+		if got := s.Evaluations(c.n); got != c.want {
+			t.Errorf("Evaluations(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestEvalBounds(t *testing.T) {
+	s := Spec{Size: 100, Period: 10}
+	lo, hi := s.EvalBounds(0)
+	if lo != 0 || hi != 100 {
+		t.Fatalf("EvalBounds(0) = [%d, %d)", lo, hi)
+	}
+	lo, hi = s.EvalBounds(3)
+	if lo != 30 || hi != 130 {
+		t.Fatalf("EvalBounds(3) = [%d, %d)", lo, hi)
+	}
+}
+
+func TestIterCoversAllWindows(t *testing.T) {
+	s := Spec{Size: 6, Period: 2}
+	data := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	var seen [][2]float64
+	err := s.Iter(data, func(i int, w []float64) {
+		if len(w) != 6 {
+			t.Fatalf("window %d has %d elements", i, len(w))
+		}
+		seen = append(seen, [2]float64{w[0], w[5]})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]float64{{0, 5}, {2, 7}, {4, 9}}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %d windows, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("window %d = %v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestIterInvalidSpec(t *testing.T) {
+	if err := (Spec{Size: 5, Period: 10}).Iter(nil, func(int, []float64) {}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestIterShortData(t *testing.T) {
+	calls := 0
+	err := (Spec{Size: 10, Period: 5}).Iter(make([]float64, 9), func(int, []float64) { calls++ })
+	if err != nil || calls != 0 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Spec{Size: 100, Period: 10}.String()
+	if got != "sliding(size=100, period=10)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: evaluation count and bounds are consistent: the last window
+// ends within the data, and one more period would exceed it.
+func TestQuickEvaluationsBounds(t *testing.T) {
+	f := func(sizeMul, period, extra uint8) bool {
+		p := int(period%50) + 1
+		s := Spec{Size: p * (int(sizeMul%10) + 1), Period: p}
+		n := s.Size + int(extra)
+		e := s.Evaluations(n)
+		if e < 1 {
+			return false
+		}
+		_, hi := s.EvalBounds(e - 1)
+		if hi > n {
+			return false
+		}
+		_, hiNext := s.EvalBounds(e)
+		return hiNext > n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,320 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestGenerateLength(t *testing.T) {
+	g := NewUniform(1, 0, 1)
+	data := Generate(g, 1234)
+	if len(data) != 1234 {
+		t.Fatalf("Generate returned %d values", len(data))
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	n := 0.0
+	g := Func(func() float64 { n++; return n })
+	if g.Next() != 1 || g.Next() != 2 {
+		t.Fatal("Func adapter broken")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for name, mk := range map[string]func() Generator{
+		"netmon":  func() Generator { return NewNetMon(7) },
+		"search":  func() Generator { return NewSearch(7) },
+		"normal":  func() Generator { return NewNormal(7, 0, 1) },
+		"uniform": func() Generator { return NewUniform(7, 0, 1) },
+		"pareto":  func() Generator { return NewPaperPareto(7) },
+		"ar1":     func() Generator { return NewAR1(7, 0, 1, 0.5) },
+	} {
+		a := Generate(mk(), 1000)
+		b := Generate(mk(), 1000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: not deterministic at %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestNetMonCalibration(t *testing.T) {
+	// The surrogate must reproduce the paper's anchors: median ≈ 798us,
+	// P90 ≤ ~1,247us, Q0.99 ≈ 1,874us, max ≤ 74,265us, heavy tail.
+	data := Generate(NewNetMon(1), 1_000_000)
+	q := stats.Quantiles(data, []float64{0.5, 0.9, 0.99})
+	if math.Abs(q[0]-798)/798 > 0.05 {
+		t.Errorf("median = %v, want ≈ 798", q[0])
+	}
+	if math.Abs(q[1]-1247)/1247 > 0.10 {
+		t.Errorf("P90 = %v, want ≈ 1247", q[1])
+	}
+	if math.Abs(q[2]-1874)/1874 > 0.25 {
+		t.Errorf("Q0.99 = %v, want ≈ 1874", q[2])
+	}
+	var max float64
+	for _, v := range data {
+		if v > max {
+			max = v
+		}
+		if v < 1 {
+			t.Fatalf("non-positive latency %v", v)
+		}
+	}
+	if max > 74265 {
+		t.Errorf("max = %v, want <= 74265", max)
+	}
+	if max < 20000 {
+		t.Errorf("max = %v, tail not heavy enough", max)
+	}
+}
+
+func TestNetMonRedundancy(t *testing.T) {
+	// Insight (i) of the paper: values are dominated by recurring small
+	// values. Unique ratio in a 100K window should be small (a few %).
+	data := Generate(NewNetMon(2), 100_000)
+	uniq := map[float64]bool{}
+	for _, v := range data {
+		uniq[v] = true
+	}
+	ratio := float64(len(uniq)) / float64(len(data))
+	if ratio > 0.05 {
+		t.Fatalf("unique ratio = %v, want <= 0.05", ratio)
+	}
+}
+
+func TestNetMonSelfSimilarBody(t *testing.T) {
+	// Insight (ii): the distribution of small values is consistent across
+	// time scales. Compare sub-window medians across disjoint chunks.
+	data := Generate(NewNetMon(3), 200_000)
+	var medians []float64
+	for i := 0; i+10000 <= len(data); i += 10000 {
+		medians = append(medians, stats.Quantile(data[i:i+10000], 0.5))
+	}
+	m := stats.Mean(medians)
+	for _, v := range medians {
+		if math.Abs(v-m)/m > 0.05 {
+			t.Fatalf("sub-window median %v deviates from mean %v by > 5%%", v, m)
+		}
+	}
+}
+
+func TestSearchSLADensityInTail(t *testing.T) {
+	// Footnote 1: SLA-terminated queries concentrate near the cap, giving
+	// high tail density. Q0.999 and Q0.9999 should be close in value.
+	data := Generate(NewSearch(1), 500_000)
+	q := stats.Quantiles(data, []float64{0.999, 0.9999})
+	if q[1] > searchSLA {
+		t.Fatalf("value above SLA cap: %v", q[1])
+	}
+	if (q[1]-q[0])/q[0] > 0.02 {
+		t.Fatalf("tail not dense: Q0.999=%v Q0.9999=%v", q[0], q[1])
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	data := Generate(NewNormal(4, 1e6, 5e4), 500_000)
+	if m := stats.Mean(data); math.Abs(m-1e6)/1e6 > 0.001 {
+		t.Errorf("mean = %v, want ≈ 1e6", m)
+	}
+	if s := stats.StdDev(data); math.Abs(s-5e4)/5e4 > 0.01 {
+		t.Errorf("stddev = %v, want ≈ 5e4", s)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	data := Generate(NewUniform(5, 90, 110), 100_000)
+	for _, v := range data {
+		if v < 90 || v >= 110 {
+			t.Fatalf("value %v outside [90, 110)", v)
+		}
+	}
+	if m := stats.Mean(data); math.Abs(m-100) > 0.2 {
+		t.Errorf("mean = %v, want ≈ 100", m)
+	}
+}
+
+func TestUniformSwappedBounds(t *testing.T) {
+	g := NewUniform(5, 110, 90)
+	v := g.Next()
+	if v < 90 || v >= 110 {
+		t.Fatalf("swapped-bounds value %v outside [90,110)", v)
+	}
+}
+
+func TestParetoPaperCalibration(t *testing.T) {
+	// §5.4: Q0.5 = 20, Q0.999 = 10,000, max over 10M ≈ 1.1e9. We verify
+	// the quantile anchors on 2M draws (looser tolerance for Q0.999).
+	data := Generate(NewPaperPareto(6), 2_000_000)
+	q := stats.Quantiles(data, []float64{0.5, 0.999})
+	if math.Abs(q[0]-20)/20 > 0.05 {
+		t.Errorf("Q0.5 = %v, want ≈ 20", q[0])
+	}
+	if math.Abs(q[1]-10000)/10000 > 0.15 {
+		t.Errorf("Q0.999 = %v, want ≈ 10000", q[1])
+	}
+	var max float64
+	for _, v := range data {
+		if v < 10 {
+			t.Fatalf("Pareto value %v below xm", v)
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max < 1e6 {
+		t.Errorf("max = %v, tail too light for α=1", max)
+	}
+}
+
+func TestAR1MarginalAndCorrelation(t *testing.T) {
+	for _, psi := range []float64{0, 0.2, 0.8} {
+		data := Generate(NewAR1(8, 1e6, 5e4, psi), 400_000)
+		if m := stats.Mean(data); math.Abs(m-1e6)/1e6 > 0.002 {
+			t.Errorf("psi=%v: mean = %v", psi, m)
+		}
+		if s := stats.StdDev(data); math.Abs(s-5e4)/5e4 > 0.02 {
+			t.Errorf("psi=%v: stddev = %v", psi, s)
+		}
+		// lag-1 autocorrelation ≈ psi
+		var num, den float64
+		m := stats.Mean(data)
+		for i := 1; i < len(data); i++ {
+			num += (data[i] - m) * (data[i-1] - m)
+		}
+		for _, v := range data {
+			den += (v - m) * (v - m)
+		}
+		rho := num / den
+		if math.Abs(rho-psi) > 0.02 {
+			t.Errorf("psi=%v: lag-1 autocorrelation = %v", psi, rho)
+		}
+	}
+}
+
+func TestInjectBurstsBoostsTopK(t *testing.T) {
+	// Window 100, period 10: every 10th sub-window gets its top
+	// N(1-phi)=10 values boosted. With 10 sub-windows, only sub-window 0
+	// of each window stride is hit.
+	n := 100
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i + 1)
+	}
+	out := InjectBursts(data, 100, 10, 0.9, 10)
+	if len(out) != n {
+		t.Fatalf("length changed: %d", len(out))
+	}
+	// Sub-window 0 (values 1..10) is entirely boosted (k=10 >= P).
+	for i := 0; i < 10; i++ {
+		if out[i] != data[i]*10 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], data[i]*10)
+		}
+	}
+	// Other sub-windows untouched.
+	for i := 10; i < n; i++ {
+		if out[i] != data[i] {
+			t.Fatalf("out[%d] = %v, want untouched %v", i, out[i], data[i])
+		}
+	}
+	// Original input not modified.
+	if data[0] != 1 {
+		t.Fatal("InjectBursts modified its input")
+	}
+}
+
+func TestInjectBurstsTopKWithinSubwindow(t *testing.T) {
+	// Period 100, window 200 => stride 2, k = 200*(1-0.95) = 10.
+	// Sub-windows 0 and 2 are boosted; within each, only the top 10.
+	data := make([]float64, 400)
+	for i := range data {
+		data[i] = float64(i%100) + 1 // 1..100 repeating per sub-window
+	}
+	out := InjectBursts(data, 200, 100, 0.95, 10)
+	for s := 0; s < 4; s++ {
+		boostedWanted := s%2 == 0
+		cnt := 0
+		for i := s * 100; i < (s+1)*100; i++ {
+			if out[i] != data[i] {
+				cnt++
+				if data[i] < 91 {
+					t.Fatalf("sub-window %d: non-top value %v boosted", s, data[i])
+				}
+				if out[i] != data[i]*10 {
+					t.Fatalf("boost factor wrong at %d", i)
+				}
+			}
+		}
+		if boostedWanted && cnt != 10 {
+			t.Fatalf("sub-window %d: boosted %d values, want 10", s, cnt)
+		}
+		if !boostedWanted && cnt != 0 {
+			t.Fatalf("sub-window %d: boosted %d values, want 0", s, cnt)
+		}
+	}
+}
+
+func TestInjectBurstsDegenerateArgs(t *testing.T) {
+	data := []float64{1, 2, 3}
+	out := InjectBursts(data, 0, 0, 0.9, 10)
+	for i := range data {
+		if out[i] != data[i] {
+			t.Fatal("degenerate args should be a no-op copy")
+		}
+	}
+}
+
+// Property: burst injection never decreases any value (factor >= 1) and
+// changes exactly the k largest per selected sub-window.
+func TestQuickInjectBurstsMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 20 {
+			return true
+		}
+		data := make([]float64, len(raw))
+		for i, r := range raw {
+			data[i] = float64(r) + 1
+		}
+		out := InjectBursts(data, 40, 10, 0.9, 10)
+		for i := range out {
+			if out[i] < data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoostTopKMatchesSortSelection(t *testing.T) {
+	// boostTopK must hit exactly the k largest values (ties broken
+	// arbitrarily but count preserved).
+	seg := []float64{5, 1, 9, 7, 3, 9, 2, 8}
+	orig := append([]float64(nil), seg...)
+	boostTopK(seg, 3, 100)
+	var changed []float64
+	for i := range seg {
+		if seg[i] != orig[i] {
+			changed = append(changed, orig[i])
+		}
+	}
+	sort.Float64s(changed)
+	want := []float64{8, 9, 9}
+	if len(changed) != 3 {
+		t.Fatalf("changed %d values, want 3", len(changed))
+	}
+	for i := range want {
+		if changed[i] != want[i] {
+			t.Fatalf("boosted %v, want %v", changed, want)
+		}
+	}
+}

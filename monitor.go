@@ -1,0 +1,77 @@
+package qlove
+
+import (
+	"fmt"
+)
+
+// Result is one evaluation produced by a Monitor.
+type Result struct {
+	// Evaluation is the 0-based index of this query evaluation.
+	Evaluation int
+	// Estimates holds one quantile estimate per configured ϕ.
+	Estimates []float64
+}
+
+// Monitor adapts a Policy to push-based streaming: callers Push one
+// element at a time and receive a Result every window period once the
+// first full window has been observed. The Monitor owns the replay buffer
+// the engine needs to expire old elements (as the streaming engine does in
+// Trill), so policies remain charged only for their operator state.
+type Monitor struct {
+	policy Policy
+	spec   Window
+	ring   []float64 // last Size elements, ring-indexed
+	seen   int64     // total elements pushed
+	evals  int
+}
+
+// NewMonitor wraps a policy for push-based use under the window spec. The
+// spec must match the one the policy was constructed with.
+func NewMonitor(p Policy, spec Window) (*Monitor, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("qlove: nil policy")
+	}
+	return &Monitor{
+		policy: p,
+		spec:   spec,
+		ring:   make([]float64, spec.Size),
+	}, nil
+}
+
+// Push feeds one element. When the element completes a window period (and
+// at least one full window has been seen), it returns the evaluation
+// result and true.
+func (m *Monitor) Push(v float64) (Result, bool) {
+	// Expire the period that just left the window, one batch per period,
+	// before the new period begins — mirroring stream.Run's protocol.
+	if m.seen >= int64(m.spec.Size) && m.seen%int64(m.spec.Period) == 0 {
+		start := int(m.seen-int64(m.spec.Size)) % len(m.ring)
+		old := make([]float64, m.spec.Period)
+		for i := 0; i < m.spec.Period; i++ {
+			old[i] = m.ring[(start+i)%len(m.ring)]
+		}
+		m.policy.Expire(old)
+	}
+	m.ring[int(m.seen)%len(m.ring)] = v
+	m.seen++
+	m.policy.Observe(v)
+	if m.seen >= int64(m.spec.Size) && m.seen%int64(m.spec.Period) == 0 {
+		res := Result{Evaluation: m.evals, Estimates: m.policy.Result()}
+		m.evals++
+		return res, true
+	}
+	return Result{}, false
+}
+
+// Seen returns the number of elements pushed so far.
+func (m *Monitor) Seen() int64 { return m.seen }
+
+// Evaluations returns the number of results produced so far.
+func (m *Monitor) Evaluations() int { return m.evals }
+
+// Policy returns the wrapped policy (e.g. to query SpaceUsage or, for a
+// *QLOVE, ErrorBounds).
+func (m *Monitor) Policy() Policy { return m.policy }

@@ -1,0 +1,161 @@
+// Package qlove is the public API of this repository: a Go implementation
+// of QLOVE ("Approximate Quantiles for Datacenter Telemetry Monitoring",
+// ICDE 2020) together with the streaming substrate, competing baselines and
+// workload generators used by the paper's evaluation.
+//
+// QLOVE answers a fixed set of quantiles over count-based sliding windows
+// with low VALUE error (rather than the rank error bounded by classic
+// sketches), by (1) computing exact quantiles per sub-window from a
+// compressed {value, count} red-black tree, (2) averaging the sub-window
+// quantiles across the window, and (3) retaining a few tail values per
+// sub-window ("few-k merging") to repair high quantiles under statistical
+// inefficiency and bursty traffic.
+//
+// Basic usage:
+//
+//	cfg := qlove.Config{
+//	    Spec: qlove.Window{Size: 128000, Period: 16000},
+//	    Phis: []float64{0.5, 0.9, 0.99, 0.999},
+//	    FewK: true,
+//	}
+//	q, err := qlove.New(cfg)
+//	...
+//	mon, err := qlove.NewMonitor(q, cfg.Spec)
+//	for v := range telemetry {
+//	    if res, ready := mon.Push(v); ready {
+//	        dashboard.Update(res.Estimates)
+//	    }
+//	}
+package qlove
+
+import (
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/sketch/am"
+	"repro/internal/sketch/cmqs"
+	"repro/internal/sketch/moments"
+	"repro/internal/sketch/random"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/window"
+)
+
+// Window is a count-based window specification: Size is the number of
+// elements each query evaluation covers (N) and Period the number of new
+// elements between evaluations (P). Size == Period is a tumbling window;
+// Size > Period (a multiple) is a sliding window.
+type Window = window.Spec
+
+// Config parameterizes a QLOVE operator; see the field documentation in
+// the core package. Zero values of optional fields select the paper's
+// defaults (3-digit compression, fraction 0.5, T_s = 10, α = 0.05).
+type Config = core.Config
+
+// QLOVE is the paper's quantile operator. It implements Policy.
+type QLOVE = core.Policy
+
+// New constructs a QLOVE operator.
+func New(cfg Config) (*QLOVE, error) { return core.New(cfg) }
+
+// Policy is the sliding-window multi-quantile operator contract shared by
+// QLOVE and every baseline: Observe feeds elements, Expire retires a full
+// period of old elements, Result answers the configured quantiles, and
+// SpaceUsage reports resident state variables.
+type Policy = stream.Policy
+
+// Evaluation is one windowed query result.
+type Evaluation = stream.Evaluation
+
+// RunStats aggregates runner-side measurements (elements, evaluations,
+// wall time, peak space).
+type RunStats = stream.RunStats
+
+// Run drives any Policy over a data slice under the window spec, returning
+// every evaluation plus runner statistics.
+func Run(p Policy, spec Window, data []float64) ([]Evaluation, RunStats, error) {
+	return stream.Run(p, spec, data)
+}
+
+// Feed pushes data through a policy measuring throughput only.
+func Feed(p Policy, spec Window, data []float64) (RunStats, error) {
+	return stream.Feed(p, spec, data)
+}
+
+// ExactQuantiles computes exact ϕ-quantiles of a finite sample (rank
+// ⌈ϕ·n⌉ of the sorted data), the ground truth used throughout the paper.
+func ExactQuantiles(data []float64, phis []float64) []float64 {
+	return stats.Quantiles(data, phis)
+}
+
+// --- Baseline constructors (§5.1 policies) ---
+
+// NewExact returns the Exact baseline: a red-black tree over the whole
+// window with per-element deaccumulation.
+func NewExact(spec Window, phis []float64) (Policy, error) {
+	return exact.New(spec, phis)
+}
+
+// NewCMQS returns the CMQS baseline (Lin et al. 2004) with rank-error
+// parameter eps.
+func NewCMQS(spec Window, phis []float64, eps float64) (Policy, error) {
+	return cmqs.New(spec, phis, eps)
+}
+
+// NewAM returns the AM baseline (Arasu–Manku 2004) with rank-error
+// parameter eps.
+func NewAM(spec Window, phis []float64, eps float64) (Policy, error) {
+	return am.New(spec, phis, eps)
+}
+
+// NewRandom returns the sampling baseline (Luo et al. 2016) with
+// rank-error parameter eps and a deterministic seed.
+func NewRandom(spec Window, phis []float64, eps float64, seed int64) (Policy, error) {
+	return random.New(spec, phis, eps, seed)
+}
+
+// NewMoment returns the moment-sketch baseline of order k (the paper uses
+// K = 12).
+func NewMoment(spec Window, phis []float64, k int) (Policy, error) {
+	return moments.NewPolicy(spec, phis, k)
+}
+
+// DefaultEpsilon is the rank-error parameter the paper's Table 1 uses for
+// CMQS, AM and Random.
+const DefaultEpsilon = 0.02
+
+// DefaultMomentK is the moment-sketch order used in Table 1.
+const DefaultMomentK = 12
+
+// Registry returns a policy registry with all six policies registered
+// under their paper names using Table 1 parameters; the benchmark harness
+// and CLI instantiate policies through it.
+func Registry() stream.Registry {
+	r := stream.NewRegistry()
+	must := func(err error) {
+		if err != nil {
+			panic("qlove: registry: " + err.Error())
+		}
+	}
+	must(r.Register("qlove", func(spec Window, phis []float64) (Policy, error) {
+		return New(Config{Spec: spec, Phis: phis})
+	}))
+	must(r.Register("qlove-fewk", func(spec Window, phis []float64) (Policy, error) {
+		return New(Config{Spec: spec, Phis: phis, FewK: true})
+	}))
+	must(r.Register("exact", func(spec Window, phis []float64) (Policy, error) {
+		return NewExact(spec, phis)
+	}))
+	must(r.Register("cmqs", func(spec Window, phis []float64) (Policy, error) {
+		return NewCMQS(spec, phis, DefaultEpsilon)
+	}))
+	must(r.Register("am", func(spec Window, phis []float64) (Policy, error) {
+		return NewAM(spec, phis, DefaultEpsilon)
+	}))
+	must(r.Register("random", func(spec Window, phis []float64) (Policy, error) {
+		return NewRandom(spec, phis, DefaultEpsilon, 1)
+	}))
+	must(r.Register("moment", func(spec Window, phis []float64) (Policy, error) {
+		return NewMoment(spec, phis, DefaultMomentK)
+	}))
+	return r
+}

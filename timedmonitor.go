@@ -1,0 +1,109 @@
+package qlove
+
+import (
+	"fmt"
+	"time"
+)
+
+// TimedMonitor drives a QLOVE operator with time-defined windows — the
+// paper's §2 example query shape "evaluate every one minute (window
+// period) for the elements seen last one hour (window size)". Sub-windows
+// are period-aligned wall-clock intervals whose populations vary with
+// traffic; QLOVE's Level-2 estimator handles the variable sub-window
+// sizes unchanged (the Appendix A argument does not require equal m).
+//
+// Only the QLOVE operator supports time-driven sealing (via EndPeriod);
+// count-based policies should use Monitor instead.
+type TimedMonitor struct {
+	q       *QLOVE
+	size    time.Duration
+	period  time.Duration
+	started bool
+	// boundary is the end of the current in-flight sub-window.
+	boundary time.Time
+	// sealed counts completed periods; the window spans size/period of
+	// them.
+	sealed int
+	// produced is a ring over the last size/period periods recording
+	// whether each produced a (non-empty) summary, so time-based expiry
+	// drops exactly the summaries that left the window even when some
+	// periods were empty.
+	produced []bool
+	evals    int
+}
+
+// NewTimedMonitor builds a time-driven monitor. size must be a positive
+// multiple of period. The QLOVE config's count-based Spec governs the
+// few-k budgets; choose its Size/Period to approximate the expected
+// events per window/period.
+func NewTimedMonitor(q *QLOVE, size, period time.Duration) (*TimedMonitor, error) {
+	if q == nil {
+		return nil, fmt.Errorf("qlove: nil policy")
+	}
+	if period <= 0 || size < period || size%period != 0 {
+		return nil, fmt.Errorf("qlove: window %v must be a positive multiple of period %v", size, period)
+	}
+	return &TimedMonitor{
+		q:        q,
+		size:     size,
+		period:   period,
+		produced: make([]bool, int(size/period)),
+	}, nil
+}
+
+// subWindows returns how many sub-windows one window spans.
+func (m *TimedMonitor) subWindows() int { return int(m.size / m.period) }
+
+// Push feeds one timestamped element. Timestamps must be non-decreasing.
+// When t crosses one or more period boundaries the in-flight sub-window
+// is sealed (empty periods are skipped), expired sub-windows are dropped,
+// and — once a full window has elapsed — an evaluation is returned.
+func (m *TimedMonitor) Push(v float64, t time.Time) (Result, bool) {
+	if !m.started {
+		m.started = true
+		m.boundary = t.Truncate(m.period).Add(m.period)
+	}
+	res, ready := m.advanceTo(t)
+	m.q.Observe(v)
+	return res, ready
+}
+
+// Flush advances wall-clock time without an element (e.g. from a ticker),
+// sealing and evaluating as needed. It returns the evaluation produced by
+// the most recent boundary crossing, if any.
+func (m *TimedMonitor) Flush(t time.Time) (Result, bool) {
+	if !m.started {
+		return Result{}, false
+	}
+	return m.advanceTo(t)
+}
+
+// advanceTo processes every period boundary at or before t.
+func (m *TimedMonitor) advanceTo(t time.Time) (Result, bool) {
+	var res Result
+	ready := false
+	sw := m.subWindows()
+	for !t.Before(m.boundary) {
+		// The ring slot for this period currently holds the flag of the
+		// period that just slid out of the window; expire its summary
+		// before sealing the new one.
+		slot := m.sealed % sw
+		if m.sealed >= sw && m.produced[slot] {
+			m.q.Expire(nil)
+		}
+		before := m.q.SubWindowCount()
+		m.q.EndPeriod() // no-op for an empty period
+		m.produced[slot] = m.q.SubWindowCount() > before
+		m.sealed++
+		if m.sealed >= sw && m.q.SubWindowCount() > 0 {
+			res = Result{Evaluation: m.evals, Estimates: m.q.Result()}
+			m.evals++
+			ready = true
+		}
+		m.boundary = m.boundary.Add(m.period)
+	}
+	return res, ready
+}
+
+// Evaluations returns the number of results produced so far.
+func (m *TimedMonitor) Evaluations() int { return m.evals }

@@ -1,0 +1,124 @@
+package qlove
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func mustQLOVE(t *testing.T, cfg Config) *QLOVE {
+	t.Helper()
+	q, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestTimedMonitorValidation(t *testing.T) {
+	q := mustQLOVE(t, Config{Spec: Window{Size: 100, Period: 10}, Phis: []float64{0.5}})
+	if _, err := NewTimedMonitor(nil, time.Minute, time.Second); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := NewTimedMonitor(q, time.Second, time.Minute); err == nil {
+		t.Fatal("size < period accepted")
+	}
+	if _, err := NewTimedMonitor(q, 90*time.Second, time.Minute); err == nil {
+		t.Fatal("non-multiple size accepted")
+	}
+	if _, err := NewTimedMonitor(q, time.Hour, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimedMonitorEvaluatesPerPeriod(t *testing.T) {
+	q := mustQLOVE(t, Config{Spec: Window{Size: 4000, Period: 1000}, Phis: []float64{0.5}, Digits: -1})
+	mon, err := NewTimedMonitor(q, 4*time.Minute, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 6, 13, 12, 0, 0, 0, time.UTC)
+	gen := workload.NewNormal(1, 1000, 100)
+	results := 0
+	var last Result
+	// 10 minutes of traffic, 100 events per minute.
+	for i := 0; i < 1000; i++ {
+		ts := start.Add(time.Duration(i) * 600 * time.Millisecond)
+		if res, ok := mon.Push(gen.Next(), ts); ok {
+			results++
+			last = res
+		}
+	}
+	// First eval after 4 full periods; one per period after that. The
+	// 1000th event lands at +599.4s => 9 completed minutes => 6 evals.
+	if results != 6 {
+		t.Fatalf("results = %d, want 6", results)
+	}
+	if math.Abs(last.Estimates[0]-1000) > 20 {
+		t.Fatalf("median = %v, want ≈ 1000", last.Estimates[0])
+	}
+	if mon.Evaluations() != results {
+		t.Fatalf("Evaluations = %d", mon.Evaluations())
+	}
+}
+
+func TestTimedMonitorEmptyPeriodsSkipped(t *testing.T) {
+	q := mustQLOVE(t, Config{Spec: Window{Size: 400, Period: 100}, Phis: []float64{0.5}, Digits: -1})
+	mon, err := NewTimedMonitor(q, 4*time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 6, 13, 12, 0, 0, 100*1000*1000, time.UTC)
+	// Period 0 gets values 1..9; periods 1-2 empty; period 3 gets 101..109.
+	for i := 1; i < 10; i++ {
+		mon.Push(float64(i), start.Add(time.Duration(i)*time.Millisecond))
+	}
+	for i := 1; i < 10; i++ {
+		mon.Push(float64(100+i), start.Add(3*time.Second+time.Duration(i)*time.Millisecond))
+	}
+	// Flush past the window: evaluation covers the two non-empty
+	// sub-windows; Level 2 averages their medians (5 and 105).
+	res, ok := mon.Flush(start.Add(4 * time.Second))
+	if !ok {
+		t.Fatal("no evaluation after window elapsed")
+	}
+	if res.Estimates[0] != 55 {
+		t.Fatalf("median = %v, want mean-of-medians 55", res.Estimates[0])
+	}
+}
+
+func TestTimedMonitorExpiryByTime(t *testing.T) {
+	q := mustQLOVE(t, Config{Spec: Window{Size: 200, Period: 100}, Phis: []float64{0.5}, Digits: -1})
+	mon, err := NewTimedMonitor(q, 2*time.Second, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2026, 6, 13, 12, 0, 0, 100*1000*1000, time.UTC)
+	// Period 0: median 10. Period 1: median 20. Period 2: median 30.
+	feed := func(base float64, offset time.Duration) {
+		for i := 0; i < 5; i++ {
+			mon.Push(base, start.Add(offset+time.Duration(i)*time.Millisecond))
+		}
+	}
+	feed(10, 0)
+	feed(20, time.Second)
+	feed(30, 2*time.Second)
+	res, ok := mon.Flush(start.Add(3 * time.Second))
+	if !ok {
+		t.Fatal("no evaluation")
+	}
+	// Window covers periods 1-2 only: mean(20, 30) = 25.
+	if res.Estimates[0] != 25 {
+		t.Fatalf("median = %v, want 25 (period 0 expired)", res.Estimates[0])
+	}
+}
+
+func TestTimedMonitorFlushBeforeStart(t *testing.T) {
+	q := mustQLOVE(t, Config{Spec: Window{Size: 100, Period: 10}, Phis: []float64{0.5}})
+	mon, _ := NewTimedMonitor(q, time.Minute, time.Second)
+	if _, ok := mon.Flush(time.Now()); ok {
+		t.Fatal("Flush before any Push produced a result")
+	}
+}
