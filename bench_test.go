@@ -13,6 +13,7 @@ package qlove
 import (
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/stream"
@@ -193,6 +194,72 @@ func BenchmarkFig5UniformQLOVE1M(b *testing.B) {
 func BenchmarkFig5UniformExact1K(b *testing.B) {
 	benchFig5(b, NewExact, 1000, workload.NewUniform(1, 90, 110))
 }
+
+// --- Single-stream ingestion: the hot path this repo optimizes ---
+//
+// BenchmarkObserve* measure the QLOVE operator's sustained ingestion rate
+// under the full window protocol (observe + seal + expire + evaluate) on
+// the Figure 4 window shape. BenchmarkObserveQLOVE drives the
+// element-at-a-time Observe contract; BenchmarkObserveBatchQLOVE drives
+// the batched path the runners now use. The pointer-tree seed measured
+// 6.9 Mev/s on this workload (see README); the acceptance bar for the
+// arena + batch refactor is >= 2x that.
+
+func benchIngest(b *testing.B, batched bool) {
+	b.Helper()
+	spec := fig4Spec
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	data := fig4Data(b, spec.Size+200*spec.Period)
+	b.ReportAllocs()
+	b.ResetTimer()
+	elements := 0
+	for i := 0; i < b.N; i++ {
+		p, err := New(Config{Spec: spec, Phis: phis})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st stream.RunStats
+		if batched {
+			st, err = stream.Feed(p, spec, data)
+		} else {
+			st, err = feedElementwise(p, spec, data)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		elements += st.Elements
+	}
+	b.ReportMetric(float64(elements)/b.Elapsed().Seconds()/1e6, "Mev/s")
+}
+
+// feedElementwise is stream.Feed with per-element Observe dispatch — the
+// seed's ingestion loop, kept for the before/after comparison.
+func feedElementwise(p Policy, spec Window, data []float64) (stream.RunStats, error) {
+	if err := spec.Validate(); err != nil {
+		return stream.RunStats{}, err
+	}
+	nEvals := spec.Evaluations(len(data))
+	start := time.Now()
+	pos := 0
+	for i := 0; i < nEvals; i++ {
+		lo, hi := spec.EvalBounds(i)
+		if i > 0 {
+			p.Expire(data[lo-spec.Period : lo])
+		}
+		for ; pos < hi; pos++ {
+			p.Observe(data[pos])
+		}
+		_ = p.Result()
+	}
+	return stream.RunStats{Elements: pos, Evaluations: nEvals, Elapsed: time.Since(start)}, nil
+}
+
+// BenchmarkObserveQLOVE: element-at-a-time ingestion (arena tree, fused
+// seal, but per-element interface dispatch and quantization).
+func BenchmarkObserveQLOVE(b *testing.B) { benchIngest(b, false) }
+
+// BenchmarkObserveBatchQLOVE: batched ingestion — the production path.
+func BenchmarkObserveBatchQLOVE(b *testing.B) { benchIngest(b, true) }
 
 // --- Ablations (DESIGN.md): design choices behind QLOVE ---
 

@@ -8,15 +8,25 @@
 //
 // Experiment names: fig1 table1 fig4 fig5 table2 table3 table4 table5
 // redundancy pareto fewk-throughput errbound.
+//
+// The -json flag switches to a machine-readable perf record instead: a
+// single JSON document with the ingestion throughput and peak space of
+// every registered policy on the standard NetMon workload, so successive
+// PRs can diff the performance trajectory:
+//
+//	qlove-bench -json -scale 0.1 > perf.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro"
 	"repro/internal/bench"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -32,6 +42,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	full := fs.Bool("full", false, "unlock the most expensive sweeps (Fig 5's 100M windows)")
 	list := fs.Bool("list", false, "list experiment names and exit")
+	jsonOut := fs.Bool("json", false, "emit a JSON per-policy throughput/space record instead of experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,6 +51,9 @@ func run(args []string) error {
 			fmt.Println(name)
 		}
 		return nil
+	}
+	if *jsonOut {
+		return runJSON(*scale, *seed)
 	}
 	names := fs.Args()
 	if len(names) == 0 {
@@ -59,4 +73,63 @@ func run(args []string) error {
 		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// perfRecord is the -json output schema: one ingestion measurement per
+// registered policy on the standard NetMon workload. The schema field is
+// versioned so trajectory tooling can evolve the format.
+type perfRecord struct {
+	Schema   string       `json:"schema"`
+	Window   int          `json:"window"`
+	Period   int          `json:"period"`
+	Elements int          `json:"elements"`
+	Seed     int64        `json:"seed"`
+	Policies []policyPerf `json:"policies"`
+}
+
+type policyPerf struct {
+	Name           string  `json:"name"`
+	ThroughputMevS float64 `json:"throughput_mev_s"`
+	PeakSpace      int     `json:"peak_space"`
+	Evaluations    int     `json:"evaluations"`
+}
+
+// runJSON measures every registered policy under the Figure 4 window shape
+// (100K window, 1K period) and writes one JSON document to stdout.
+func runJSON(scale float64, seed int64) error {
+	spec := qlove.Window{Size: 100_000, Period: 1000}
+	n := int(2_000_000 * scale)
+	if min := spec.Size + 10*spec.Period; n < min {
+		n = min
+	}
+	n -= n % spec.Period
+	data := workload.Generate(workload.NewNetMon(seed), n)
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	rec := perfRecord{
+		Schema:   "qlove-bench/v1",
+		Window:   spec.Size,
+		Period:   spec.Period,
+		Elements: n,
+		Seed:     seed,
+	}
+	reg := qlove.Registry()
+	for _, name := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment"} {
+		p, err := reg.New(name, spec, phis)
+		if err != nil {
+			return err
+		}
+		_, st, err := qlove.Run(p, spec, data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rec.Policies = append(rec.Policies, policyPerf{
+			Name:           name,
+			ThroughputMevS: st.ThroughputMevS(),
+			PeakSpace:      st.MaxSpace,
+			Evaluations:    st.Evaluations,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
 }

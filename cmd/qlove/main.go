@@ -72,18 +72,18 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(w, "# policy=%s window=%d period=%d phis=%v elements=%d\n",
 		p.Name(), spec.Size, spec.Period, phis, len(data))
 	peak := 0
-	for _, v := range data {
-		if res, ok := mon.Push(v); ok {
-			fmt.Fprintf(w, "%d", res.Evaluation)
-			for _, e := range res.Estimates {
-				fmt.Fprintf(w, "\t%g", e)
-			}
-			fmt.Fprintln(w)
-			if s := p.SpaceUsage(); s > peak {
-				peak = s
-			}
+	// Batched ingestion: the monitor hands the policy period-aligned
+	// ObserveBatch chunks and calls back per evaluation.
+	mon.PushBatch(data, func(res qlove.Result) {
+		fmt.Fprintf(w, "%d", res.Evaluation)
+		for _, e := range res.Estimates {
+			fmt.Fprintf(w, "\t%g", e)
 		}
-	}
+		fmt.Fprintln(w)
+		if s := p.SpaceUsage(); s > peak {
+			peak = s
+		}
+	})
 	if mon.Evaluations() == 0 {
 		fmt.Fprintf(w, "# no evaluations: need at least %d elements, got %d\n", spec.Size, len(data))
 	}

@@ -43,20 +43,27 @@ const (
 	minDecade  = -80 // exponent of pow10[0]
 )
 
-// decadeOf returns the index i such that pow10[i] <= mag < pow10[i+1],
-// via binary search over the table — far cheaper than Log10 on the hot
-// insert path. mag must be positive and within table range.
+// decadeOf returns the index i such that pow10[i] <= mag < pow10[i+1].
+// The decade is derived from the IEEE-754 binary exponent in O(1):
+// floor(e2·log10(2)) approximated by the classic (e2·1233)>>12 shift is
+// within one of the true decade, and a bounded correction loop (at most
+// one step in practice) lands it exactly — no binary search, no Log10 on
+// the hot insert path. mag must be positive and within table range.
 func decadeOf(mag float64) int {
-	lo, hi := 0, numDecades-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if pow10[mid] <= mag {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
+	e2 := int((math.Float64bits(mag)>>52)&0x7ff) - 1023
+	i := (e2*1233)>>12 - minDecade
+	if i < 0 {
+		i = 0
+	} else if i >= numDecades {
+		i = numDecades - 1
 	}
-	return lo
+	for i+1 < numDecades && pow10[i+1] <= mag {
+		i++
+	}
+	for i > 0 && pow10[i] > mag {
+		i--
+	}
+	return i
 }
 
 // Quantize rounds v to the configured significant digits. Zero, NaN,
@@ -87,6 +94,50 @@ func (q Quantizer) Quantize(v float64) float64 {
 		return -out
 	}
 	return out
+}
+
+// AppendQuantized appends Quantize(v) for every v in src to dst and
+// returns the extended slice. Results are bit-identical to per-element
+// Quantize calls; the batch form exists for the ingestion hot path, where
+// it caches the last decade hit. Telemetry values cluster heavily within
+// one order of magnitude, so most elements skip the binary search over the
+// power-of-ten table and reuse the previous element's scale directly.
+func (q Quantizer) AppendQuantized(dst, src []float64) []float64 {
+	if q.digits <= 0 {
+		return append(dst, src...)
+	}
+	ci := -1 // cached decade index; pow10[ci] <= previous mag < pow10[ci+1]
+	var scale float64
+	for _, v := range src {
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			dst = append(dst, v)
+			continue
+		}
+		mag := math.Abs(v)
+		if mag < pow10[0] || mag >= pow10[numDecades-1] {
+			dst = append(dst, v)
+			continue
+		}
+		if ci < 0 || mag < pow10[ci] || mag >= pow10[ci+1] {
+			// The range guard above excludes the top decade, so ci+1 is
+			// always a valid table index.
+			ci = decadeOf(mag)
+			exp := ci + minDecade
+			scaleIdx := (q.digits - 1) - exp - minDecade
+			if scaleIdx >= 0 && scaleIdx < numDecades {
+				scale = pow10[scaleIdx]
+			} else {
+				// Degenerate digit counts fall back to the slow path.
+				scale = math.Pow(10, float64(q.digits-1-exp))
+			}
+		}
+		out := math.Round(mag*scale) / scale
+		if v < 0 {
+			out = -out
+		}
+		dst = append(dst, out)
+	}
+	return dst
 }
 
 // MaxRelativeError returns the worst-case relative error introduced by the

@@ -201,7 +201,8 @@ func TestBuilderDensityAtSmallN(t *testing.T) {
 	b := newBuilder(0)
 	b.add(1)
 	b.add(2)
-	if got := b.densityAt(0.5); got != 0 {
+	s := b.seal([]float64{0.5}, nil, nil, 100)
+	if got := s.Densities[0]; got != 0 {
 		t.Fatalf("density with n<4 = %v, want 0", got)
 	}
 }

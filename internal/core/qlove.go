@@ -166,6 +166,28 @@ func (p *Policy) Observe(v float64) {
 	}
 }
 
+// ObserveBatch implements stream.Policy: the native batch ingestion path.
+// Each period-bounded chunk is quantized in one pass over a reused scratch
+// (amortizing the decade lookup across the batch), and consecutive equal
+// quantized values collapse into single InsertN descents — one descent per
+// run, not per element. Sub-windows seal exactly where the
+// element-at-a-time path would seal, so evaluations are bit-identical to
+// repeated Observe calls. NaN elements are dropped and (as in Observe) do
+// not advance the period.
+func (p *Policy) ObserveBatch(vs []float64) {
+	for len(vs) > 0 {
+		chunk := vs
+		if room := p.cfg.Spec.Period - p.builder.len(); len(chunk) > room {
+			chunk = chunk[:room]
+		}
+		p.builder.addBatch(chunk)
+		if p.builder.len() == p.cfg.Spec.Period {
+			p.EndPeriod()
+		}
+		vs = vs[len(chunk):]
+	}
+}
+
 // Expire implements stream.Policy: one whole sub-window summary is
 // deaccumulated per period in O(l) — QLOVE's answer to the Exact
 // baseline's per-element deaccumulation cost.

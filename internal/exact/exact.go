@@ -67,6 +67,18 @@ func (p *Policy) Observe(v float64) {
 	p.tree.Insert(v)
 }
 
+// ObserveBatch implements stream.Policy: a direct insert loop on the
+// concrete receiver, sparing the per-element interface dispatch of the
+// runner's element-at-a-time path.
+func (p *Policy) ObserveBatch(vs []float64) {
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			continue
+		}
+		p.tree.Insert(v)
+	}
+}
+
 // Expire implements stream.Policy: element-wise deaccumulation.
 func (p *Policy) Expire(old []float64) {
 	for _, v := range old {

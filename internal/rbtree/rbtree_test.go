@@ -265,6 +265,9 @@ func TestRandomInsertRemoveInvariants(t *testing.T) {
 			total++
 		}
 		if i%997 == 0 {
+			if total > 0 {
+				_ = tr.Select(1) // force the lazy weight rebuild so invariants cover it
+			}
 			if err := tr.CheckInvariants(); err != nil {
 				t.Fatalf("step %d: %v", i, err)
 			}
@@ -382,6 +385,7 @@ func TestQuickSelectMatchesSort(t *testing.T) {
 			vals[i] = float64(r % 512)
 			tr.Insert(vals[i])
 		}
+		_ = tr.Select(1) // rebuild lazy weights so invariants cover them
 		if err := tr.CheckInvariants(); err != nil {
 			t.Logf("invariants: %v", err)
 			return false
@@ -447,6 +451,146 @@ func TestQuickRankSelectConsistent(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestClearRecyclesArena(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(float64(i % 300))
+	}
+	capBefore := tr.Cap()
+	if capBefore < 300 {
+		t.Fatalf("Cap = %d after 300 unique inserts", capBefore)
+	}
+	tr.Clear()
+	if tr.Cap() != capBefore {
+		t.Fatalf("Clear dropped arena capacity: %d -> %d", capBefore, tr.Cap())
+	}
+	// Refilling the same working set must not touch the heap.
+	allocs := testing.AllocsPerRun(20, func() {
+		tr.Clear()
+		for i := 0; i < 1000; i++ {
+			tr.Insert(float64(i % 300))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fill/Clear cycle allocates %v, want 0", allocs)
+	}
+	if tr.Len() != 1000 || tr.Unique() != 300 {
+		t.Fatalf("len=%d unique=%d after refill", tr.Len(), tr.Unique())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	tr := New()
+	tr.Reserve(500)
+	capReserved := tr.Cap()
+	if capReserved < 500 {
+		t.Fatalf("Cap = %d after Reserve(500)", capReserved)
+	}
+	tr.Insert(1)
+	if tr.Cap() != capReserved {
+		t.Fatalf("first insert replaced the reserved arena: cap %d -> %d", capReserved, tr.Cap())
+	}
+	// Pre-populate the insert cache (allocated lazily on first insert),
+	// then the reserved arena must absorb 500 distinct keys heap-free.
+	allocs := testing.AllocsPerRun(1, func() {
+		for i := 0; i < 500; i++ {
+			tr.Insert(float64(i))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("inserts into reserved arena allocate %v, want 0", allocs)
+	}
+	if tr.Cap() != capReserved {
+		t.Fatalf("reserved arena grew: cap %d -> %d", capReserved, tr.Cap())
+	}
+}
+
+func TestInsertCacheSurvivesMutations(t *testing.T) {
+	// Hammer one key (cache-hit path), interleave removals and clears, and
+	// verify the bookkeeping never desyncs.
+	tr := New()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			tr.Insert(42)
+			tr.Insert(1000 + float64(i)) // disjoint from the hot key
+		}
+		if got := tr.Count(42); got != 100 {
+			t.Fatalf("round %d: Count(42) = %d", round, got)
+		}
+		// Remove the hot key entirely; its cache entry must not resurrect it.
+		for i := 0; i < 100; i++ {
+			if !tr.Remove(42) {
+				t.Fatalf("round %d: Remove(42) #%d failed", round, i)
+			}
+		}
+		if got := tr.Count(42); got != 0 {
+			t.Fatalf("round %d: Count(42) = %d after removal", round, got)
+		}
+		tr.Insert(42) // re-insert lands on a fresh node, not the freed slot's ghost
+		if got := tr.Count(42); got != 1 {
+			t.Fatalf("round %d: Count(42) = %d after re-insert", round, got)
+		}
+		_ = tr.Select(1)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		tr.Clear()
+		if !tr.Empty() {
+			t.Fatal("Clear left elements")
+		}
+	}
+}
+
+func TestLazyWeightsRebuild(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(9))
+	ref := make([]float64, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		v := math.Floor(rng.Float64() * 250)
+		tr.Insert(v)
+		ref = append(ref, v)
+	}
+	sort.Float64s(ref)
+	// Select triggers the rebuild; afterwards invariants must validate the
+	// weight bookkeeping (the tree is clean).
+	for _, r := range []uint64{1, 500, 1500, 3000} {
+		if got, want := tr.Select(r), ref[r-1]; got != want {
+			t.Fatalf("Select(%d) = %v, want %v", r, got, want)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate again (weights go stale), then read again.
+	tr.Insert(-5)
+	if got := tr.Select(1); got != -5 {
+		t.Fatalf("Select(1) = %v after insert, want -5", got)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectRanks(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 100; i++ {
+		tr.Insert(float64(i))
+	}
+	ranks := []uint64{1, 1, 50, 90, 99, 100}
+	out := make([]float64, len(ranks))
+	tr.SelectRanks(ranks, out)
+	for i, r := range ranks {
+		if want := tr.Select(r); out[i] != want {
+			t.Fatalf("SelectRanks[%d] (rank %d) = %v, want %v", i, r, out[i], want)
+		}
+	}
+	// Empty request is a no-op even on an empty tree.
+	New().SelectRanks(nil, nil)
 }
 
 func BenchmarkInsertDistinct(b *testing.B) {

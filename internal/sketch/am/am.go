@@ -96,6 +96,25 @@ func (p *Policy) Observe(v float64) {
 	}
 }
 
+// ObserveBatch implements stream.Policy, inserting period-bounded chunks
+// so the seal check runs once per chunk instead of once per element.
+func (p *Policy) ObserveBatch(vs []float64) {
+	for len(vs) > 0 {
+		chunk := vs
+		if room := p.spec.Period - p.inFlight; len(chunk) > room {
+			chunk = chunk[:room]
+		}
+		for _, v := range chunk {
+			p.current.Insert(v)
+		}
+		p.inFlight += len(chunk)
+		if p.inFlight == p.spec.Period {
+			p.seal()
+		}
+		vs = vs[len(chunk):]
+	}
+}
+
 // seal completes the in-flight base block and cascades dyadic merges.
 func (p *Policy) seal() {
 	b := block{

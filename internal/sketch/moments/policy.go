@@ -51,9 +51,33 @@ func (p *Policy) Observe(v float64) {
 	p.current.Insert(v)
 	p.inFlight++
 	if p.inFlight == p.spec.Period {
-		p.sealed = append(p.sealed, p.current)
-		p.current, _ = NewSketch(p.k)
-		p.inFlight = 0
+		p.seal()
+	}
+}
+
+// seal retires the completed sub-window sketch and starts a fresh one.
+func (p *Policy) seal() {
+	p.sealed = append(p.sealed, p.current)
+	p.current, _ = NewSketch(p.k) // k validated in NewPolicy
+	p.inFlight = 0
+}
+
+// ObserveBatch implements stream.Policy, inserting period-bounded chunks
+// so the seal check runs once per chunk instead of once per element.
+func (p *Policy) ObserveBatch(vs []float64) {
+	for len(vs) > 0 {
+		chunk := vs
+		if room := p.spec.Period - p.inFlight; len(chunk) > room {
+			chunk = chunk[:room]
+		}
+		for _, v := range chunk {
+			p.current.Insert(v)
+		}
+		p.inFlight += len(chunk)
+		if p.inFlight == p.spec.Period {
+			p.seal()
+		}
+		vs = vs[len(chunk):]
 	}
 }
 

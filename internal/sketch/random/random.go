@@ -77,6 +77,24 @@ func (p *Policy) Observe(v float64) {
 	}
 }
 
+// ObserveBatch implements stream.Policy: chunks are bulk-appended to the
+// in-flight buffer, sealing at each period boundary exactly as the
+// element-at-a-time path does.
+func (p *Policy) ObserveBatch(vs []float64) {
+	for len(vs) > 0 {
+		chunk := vs
+		if room := p.spec.Period - len(p.current); len(chunk) > room {
+			chunk = chunk[:room]
+		}
+		p.current = append(p.current, chunk...)
+		if len(p.current) == p.spec.Period {
+			p.sealed = append(p.sealed, p.sample(p.current))
+			p.current = p.current[:0]
+		}
+		vs = vs[len(chunk):]
+	}
+}
+
 // sample sorts the sub-window and interval-samples it: rank space is cut
 // into perSub equal runs and one element is drawn uniformly from each run,
 // weighted by the run length.

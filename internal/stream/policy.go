@@ -22,6 +22,13 @@ type Policy interface {
 	Name() string
 	// Observe feeds one arriving element.
 	Observe(v float64)
+	// ObserveBatch feeds a run of arriving elements in order. It must be
+	// observationally identical to calling Observe per element; it exists
+	// so operators can amortize per-element costs (interface dispatch,
+	// quantization setup, tree descents for repeated values) across the
+	// batch. Implementations without a native batch path delegate to the
+	// ObserveEach adapter.
+	ObserveBatch(vs []float64)
 	// Expire notifies that a full period of old elements left the window.
 	Expire(old []float64)
 	// Result returns the current quantile estimates, in the same order as
@@ -30,6 +37,23 @@ type Policy interface {
 	// SpaceUsage reports the number of resident state variables, the
 	// paper's §5.1 space metric.
 	SpaceUsage() int
+}
+
+// Observer is the single-element half of the Policy ingestion contract,
+// the only piece the ObserveEach fallback needs.
+type Observer interface {
+	Observe(v float64)
+}
+
+// ObserveEach is the package-level fallback ObserveBatch adapter: it feeds
+// vs one element at a time through Observe. Policies without a native
+// batch path implement ObserveBatch as a call to this adapter; it keeps
+// the loop out of every such implementation while preserving exact
+// element-at-a-time semantics.
+func ObserveEach(p Observer, vs []float64) {
+	for _, v := range vs {
+		p.Observe(v)
+	}
 }
 
 // Evaluation is one query result produced by Run.
@@ -58,7 +82,9 @@ func (s RunStats) ThroughputMevS() float64 {
 // Run drives a policy over data under the window spec, returning every
 // evaluation and the runner stats. The runner owns the replay buffer for
 // expiry (as the streaming engine does in Trill), so policies are charged
-// only for their operator state.
+// only for their operator state. Elements are delivered through
+// ObserveBatch one period at a time, so a policy's native batch path is on
+// the measured ingestion path.
 func Run(p Policy, spec window.Spec, data []float64) ([]Evaluation, RunStats, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, RunStats{}, err
@@ -73,18 +99,18 @@ func Run(p Policy, spec window.Spec, data []float64) ([]Evaluation, RunStats, er
 		if i > 0 {
 			p.Expire(data[lo-spec.Period : lo])
 		}
-		mid := hi - spec.Period/2
-		for ; pos < hi; pos++ {
-			p.Observe(data[pos])
-			// Sample space mid-period as well: sub-window operators have
-			// an empty in-flight state exactly at period boundaries, so
-			// sampling only after Result would miss their real footprint.
-			if pos == mid {
-				if sp := p.SpaceUsage(); sp > stats.MaxSpace {
-					stats.MaxSpace = sp
-				}
+		// Sample space mid-period as well: sub-window operators have an
+		// empty in-flight state exactly at period boundaries, so sampling
+		// only after Result would miss their real footprint.
+		if mid := hi - spec.Period/2; mid < hi {
+			p.ObserveBatch(data[pos : mid+1])
+			pos = mid + 1
+			if sp := p.SpaceUsage(); sp > stats.MaxSpace {
+				stats.MaxSpace = sp
 			}
 		}
+		p.ObserveBatch(data[pos:hi])
+		pos = hi
 		est := p.Result()
 		evals = append(evals, Evaluation{Index: i, Estimates: est})
 		if sp := p.SpaceUsage(); sp > stats.MaxSpace {
@@ -100,7 +126,7 @@ func Run(p Policy, spec window.Spec, data []float64) ([]Evaluation, RunStats, er
 // Feed pushes all data through the policy under spec without recording
 // evaluations; it is the measurement loop used by throughput benchmarks
 // (results are still computed every period, as a real monitoring query
-// would).
+// would). Like Run, it delivers one period per ObserveBatch call.
 func Feed(p Policy, spec window.Spec, data []float64) (RunStats, error) {
 	if err := spec.Validate(); err != nil {
 		return RunStats{}, err
@@ -113,9 +139,8 @@ func Feed(p Policy, spec window.Spec, data []float64) (RunStats, error) {
 		if i > 0 {
 			p.Expire(data[lo-spec.Period : lo])
 		}
-		for ; pos < hi; pos++ {
-			p.Observe(data[pos])
-		}
+		p.ObserveBatch(data[pos:hi])
+		pos = hi
 		_ = p.Result()
 	}
 	return RunStats{

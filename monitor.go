@@ -21,6 +21,7 @@ type Monitor struct {
 	policy Policy
 	spec   Window
 	ring   []float64 // last Size elements, ring-indexed
+	expire []float64 // Period-sized replay scratch handed to Expire
 	seen   int64     // total elements pushed
 	evals  int
 }
@@ -38,7 +39,25 @@ func NewMonitor(p Policy, spec Window) (*Monitor, error) {
 		policy: p,
 		spec:   spec,
 		ring:   make([]float64, spec.Size),
+		expire: make([]float64, spec.Period),
 	}, nil
+}
+
+// expireOldest replays the period that just left the window to the policy,
+// reusing the monitor's scratch buffer. The policy contract already forbids
+// retaining the Expire slice, so sharing one buffer across periods is safe.
+func (m *Monitor) expireOldest() {
+	start := int(m.seen-int64(m.spec.Size)) % len(m.ring)
+	n := copy(m.expire, m.ring[start:])
+	copy(m.expire[n:], m.ring[:m.spec.Period-n])
+	m.policy.Expire(m.expire)
+}
+
+// atBoundary reports whether seen sits on a period boundary with at least
+// one full window observed — the point where expiry (before new elements)
+// and evaluation (after them) happen.
+func (m *Monitor) atBoundary() bool {
+	return m.seen >= int64(m.spec.Size) && m.seen%int64(m.spec.Period) == 0
 }
 
 // Push feeds one element. When the element completes a window period (and
@@ -47,23 +66,52 @@ func NewMonitor(p Policy, spec Window) (*Monitor, error) {
 func (m *Monitor) Push(v float64) (Result, bool) {
 	// Expire the period that just left the window, one batch per period,
 	// before the new period begins — mirroring stream.Run's protocol.
-	if m.seen >= int64(m.spec.Size) && m.seen%int64(m.spec.Period) == 0 {
-		start := int(m.seen-int64(m.spec.Size)) % len(m.ring)
-		old := make([]float64, m.spec.Period)
-		for i := 0; i < m.spec.Period; i++ {
-			old[i] = m.ring[(start+i)%len(m.ring)]
-		}
-		m.policy.Expire(old)
+	if m.atBoundary() {
+		m.expireOldest()
 	}
 	m.ring[int(m.seen)%len(m.ring)] = v
 	m.seen++
 	m.policy.Observe(v)
-	if m.seen >= int64(m.spec.Size) && m.seen%int64(m.spec.Period) == 0 {
+	if m.atBoundary() {
 		res := Result{Evaluation: m.evals, Estimates: m.policy.Result()}
 		m.evals++
 		return res, true
 	}
 	return Result{}, false
+}
+
+// PushBatch feeds a run of elements through the policy's batch path,
+// invoking emit for every evaluation produced along the way (nil emit
+// discards them). It follows exactly the Push protocol — expire the
+// departed period at each boundary, then observe, then evaluate — but
+// amortizes ring maintenance into bulk copies and hands the policy
+// period-aligned ObserveBatch chunks, so a caller draining an ingest queue
+// pays none of Push's per-element bookkeeping.
+func (m *Monitor) PushBatch(vs []float64, emit func(Result)) {
+	for len(vs) > 0 {
+		if m.atBoundary() {
+			m.expireOldest()
+		}
+		// Chunk to the next period boundary (chunks are ring-safe: one
+		// period never exceeds the ring size).
+		chunk := vs
+		if room := m.spec.Period - int(m.seen%int64(m.spec.Period)); len(chunk) > room {
+			chunk = chunk[:room]
+		}
+		start := int(m.seen) % len(m.ring)
+		n := copy(m.ring[start:], chunk)
+		copy(m.ring, chunk[n:])
+		m.seen += int64(len(chunk))
+		m.policy.ObserveBatch(chunk)
+		if m.atBoundary() {
+			res := Result{Evaluation: m.evals, Estimates: m.policy.Result()}
+			m.evals++
+			if emit != nil {
+				emit(res)
+			}
+		}
+		vs = vs[len(chunk):]
+	}
 }
 
 // Seen returns the number of elements pushed so far.

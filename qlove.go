@@ -11,6 +11,20 @@
 // sub-window ("few-k merging") to repair high quantiles under statistical
 // inefficiency and bursty traffic.
 //
+// # Ingestion
+//
+// Every policy accepts elements one at a time (Observe / Monitor.Push) or
+// in batches (ObserveBatch / Monitor.PushBatch). The two paths are
+// observationally identical — batching never changes an evaluation — but
+// the batch path is the fast one: it amortizes per-element interface
+// dispatch, quantizes whole chunks against a cached decade scale, and
+// collapses repeated values into single tree operations. The Level-1
+// red-black tree stores its nodes in a flat arena with a free list, keeps
+// its node set warm across sub-windows while the value population is
+// stable, and recycles everything on reset, so steady-state ingestion
+// performs zero heap allocations per element. See README.md for measured
+// throughput.
+//
 // Basic usage:
 //
 //	cfg := qlove.Config{
@@ -21,11 +35,14 @@
 //	q, err := qlove.New(cfg)
 //	...
 //	mon, err := qlove.NewMonitor(q, cfg.Spec)
-//	for v := range telemetry {
-//	    if res, ready := mon.Push(v); ready {
+//	for batch := range telemetryBatches {
+//	    mon.PushBatch(batch, func(res qlove.Result) {
 //	        dashboard.Update(res.Estimates)
-//	    }
+//	    })
 //	}
+//
+// Single-element feeding (mon.Push(v)) remains available for callers
+// without natural batch boundaries.
 package qlove
 
 import (
@@ -58,9 +75,10 @@ type QLOVE = core.Policy
 func New(cfg Config) (*QLOVE, error) { return core.New(cfg) }
 
 // Policy is the sliding-window multi-quantile operator contract shared by
-// QLOVE and every baseline: Observe feeds elements, Expire retires a full
-// period of old elements, Result answers the configured quantiles, and
-// SpaceUsage reports resident state variables.
+// QLOVE and every baseline: Observe feeds one element, ObserveBatch feeds
+// a run of elements (identical semantics, amortized cost), Expire retires
+// a full period of old elements, Result answers the configured quantiles,
+// and SpaceUsage reports resident state variables.
 type Policy = stream.Policy
 
 // Evaluation is one windowed query result.
