@@ -61,7 +61,7 @@ func TestObserveBatchMatchesObserveAllPolicies(t *testing.T) {
 	phis := []float64{0.5, 0.9, 0.99, 0.999}
 	data := workload.Generate(workload.NewNetMon(7), 6500)
 	reg := Registry()
-	for _, name := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment"} {
+	for _, name := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment", "gk"} {
 		t.Run(name, func(t *testing.T) {
 			pe, err := reg.New(name, spec, phis)
 			if err != nil {

@@ -7,12 +7,16 @@
 //	qlove-bench -full fig5      # include the 100M-element windows
 //
 // Experiment names: fig1 table1 fig4 fig5 table2 table3 table4 table5
-// redundancy pareto fewk-throughput errbound.
+// redundancy pareto fewk-throughput errbound — plus multikey, the keyed
+// Engine scaling scenario (shards × keys throughput sweep with a
+// bit-equivalence check of the hottest key's snapshot against a
+// single-Monitor reference; tune with -keys and -skew).
 //
 // The -json flag switches to a machine-readable perf record instead: a
 // single JSON document with the ingestion throughput and peak space of
-// every registered policy on the standard NetMon workload, so successive
-// PRs can diff the performance trajectory:
+// every registered policy on the standard NetMon workload, plus the
+// engine's multi-key runs at one and many shards, so successive PRs can
+// diff the performance trajectory:
 //
 //	qlove-bench -json -scale 0.1 > perf.json
 package main
@@ -43,6 +47,8 @@ func run(args []string) error {
 	full := fs.Bool("full", false, "unlock the most expensive sweeps (Fig 5's 100M windows)")
 	list := fs.Bool("list", false, "list experiment names and exit")
 	jsonOut := fs.Bool("json", false, "emit a JSON per-policy throughput/space record instead of experiments")
+	keys := fs.Int("keys", 0, "multikey: key cardinality (0 = 100k scaled by -scale)")
+	skew := fs.Float64("skew", 1.2, "multikey: zipf skew over keys (0 = uniform)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,24 +56,29 @@ func run(args []string) error {
 		for _, name := range bench.Order {
 			fmt.Println(name)
 		}
+		fmt.Println("multikey")
 		return nil
 	}
 	if *jsonOut {
-		return runJSON(*scale, *seed)
+		return runJSON(*scale, *seed, *keys, *skew)
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		names = bench.Order
+		names = append(append([]string(nil), bench.Order...), "multikey")
 	}
 	opts := bench.Options{W: os.Stdout, Seed: *seed, Scale: *scale, Full: *full}
 	for _, name := range names {
 		exp, ok := bench.Experiments[name]
-		if !ok {
+		if !ok && name != "multikey" {
 			return fmt.Errorf("unknown experiment %q (use -list)", name)
 		}
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
-		if err := exp(opts); err != nil {
+		if name == "multikey" {
+			if err := multiKeyExperiment(os.Stdout, defaultMultiKeyOptions(*scale, *seed, *keys, *skew)); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		} else if err := exp(opts); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -85,6 +96,9 @@ type perfRecord struct {
 	Elements int          `json:"elements"`
 	Seed     int64        `json:"seed"`
 	Policies []policyPerf `json:"policies"`
+	// Engine holds the keyed multi-key scaling runs (single shard vs the
+	// full shard sweep top), added with the Engine PR.
+	Engine []engineRun `json:"engine,omitempty"`
 }
 
 type policyPerf struct {
@@ -95,8 +109,9 @@ type policyPerf struct {
 }
 
 // runJSON measures every registered policy under the Figure 4 window shape
-// (100K window, 1K period) and writes one JSON document to stdout.
-func runJSON(scale float64, seed int64) error {
+// (100K window, 1K period), plus the keyed Engine at one and many shards,
+// and writes one JSON document to stdout.
+func runJSON(scale float64, seed int64, keys int, skew float64) error {
 	spec := qlove.Window{Size: 100_000, Period: 1000}
 	n := int(2_000_000 * scale)
 	if min := spec.Size + 10*spec.Period; n < min {
@@ -113,7 +128,7 @@ func runJSON(scale float64, seed int64) error {
 		Seed:     seed,
 	}
 	reg := qlove.Registry()
-	for _, name := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment"} {
+	for _, name := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment", "gk"} {
 		p, err := reg.New(name, spec, phis)
 		if err != nil {
 			return err
@@ -128,6 +143,18 @@ func runJSON(scale float64, seed int64) error {
 			PeakSpace:      st.MaxSpace,
 			Evaluations:    st.Evaluations,
 		})
+	}
+	mko := defaultMultiKeyOptions(scale, seed, keys, skew)
+	seq, err := materializeReports(mko)
+	if err != nil {
+		return err
+	}
+	for _, shards := range []int{mko.Shards[0], mko.Shards[len(mko.Shards)-1]} {
+		run, err := runEngineScenario(mko, seq, shards)
+		if err != nil {
+			return fmt.Errorf("engine shards=%d: %w", shards, err)
+		}
+		rec.Engine = append(rec.Engine, run)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

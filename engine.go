@@ -1,0 +1,540 @@
+package qlove
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Engine is the keyed, sharded, concurrent form of the monitoring API: it
+// maintains one sliding-window quantile operator per metric key (a
+// service, a pod, a route) and scales ingestion across shards, each shard
+// a single-writer goroutine owning its slice of the key space. This is the
+// deployment shape of datacenter telemetry (§1 of the paper): not one
+// stream, but millions of keyed series monitored simultaneously.
+//
+// Architecture:
+//
+//   - Keys are hash-partitioned across Shards goroutines. Each shard owns
+//     a map[key]*Pusher — the same per-stream state machine Monitor wraps
+//     — and is the ONLY goroutine that touches those operators, so the
+//     hot path needs no locks and no atomic traffic.
+//   - Push(key, vs) copies the batch into a recycled buffer and enqueues
+//     it on the owning shard's MPSC channel; the shard delivers it through
+//     the operator's period-aligned ObserveBatch path, preserving the
+//     zero-allocation batched ingestion path end to end. Per-key element
+//     order is the order of Push calls (concurrent pushers to the SAME key
+//     interleave at batch granularity).
+//   - Evaluations fan in on a single buffered Results channel. Delivery
+//     never blocks ingestion: when the consumer falls behind, the oldest
+//     pending results are the ones a monitoring dashboard has already
+//     missed, so new evaluations are dropped and counted (Dropped) rather
+//     than stalling every shard.
+//   - Snapshot and Query serve reads WITHOUT stopping ingestion: the
+//     request rides the shard's own queue (so it is ordered with respect
+//     to ingest on every key) and the shard hands back immutable Snapshot
+//     captures that are safe to read, retain and Merge from any goroutine.
+//
+// Engines built from a Config (the default) mint QLOVE operators from a
+// per-shard core.Pool, so evicted keys recycle their arena-backed trees
+// instead of feeding the garbage collector. Engines built from a custom
+// Factory monitor any Policy; Snapshot/Query then cover the keys whose
+// policies implement Snapshotter.
+type Engine struct {
+	spec    Window
+	shards  []*engineShard
+	results chan KeyedResult
+	dropped atomic.Uint64
+	failed  atomic.Uint64
+	lastErr atomic.Value // engineErr; atomic.Value needs one concrete type
+	seed    maphash.Seed
+	bufs    sync.Pool // *[]float64 ingest buffers
+	wg      sync.WaitGroup
+
+	mu     sync.RWMutex // guards closed; held shared by every public op
+	closed bool
+}
+
+// KeyedResult is one evaluation produced by the Engine for one key.
+type KeyedResult struct {
+	// Key is the metric key the evaluation belongs to.
+	Key string
+	Result
+}
+
+// EngineConfig parameterizes an Engine.
+type EngineConfig struct {
+	// Config parameterizes the QLOVE operator minted for each key — the
+	// default path, with per-shard operator pooling and snapshot support.
+	// Ignored when Factory is set.
+	Config Config
+	// Factory, when non-nil, overrides Config: each new key gets a fresh
+	// policy from it (e.g. Registry().Bind("cmqs", spec, phis)). Spec must
+	// then carry the window spec the factory's policies were bound to.
+	Factory BoundFactory
+	// Spec is the window spec for Factory-built engines. With Config it
+	// must be zero or equal to Config.Spec.
+	Spec Window
+	// Shards is the number of ingest goroutines (and key partitions).
+	// Defaults to runtime.GOMAXPROCS(0).
+	Shards int
+	// QueueDepth is the per-shard ingest queue capacity in batches.
+	// Default 128.
+	QueueDepth int
+	// ResultBuffer is the capacity of the fan-in Results channel. Default
+	// 1024.
+	ResultBuffer int
+}
+
+// ErrEngineClosed is returned by Push after Close.
+var ErrEngineClosed = fmt.Errorf("qlove: engine closed")
+
+const (
+	defaultQueueDepth   = 128
+	defaultResultBuffer = 1024
+	defaultBatchCap     = 256
+)
+
+type engineShard struct {
+	eng     *Engine
+	in      chan engineMsg
+	keys    map[string]*keyEntry
+	pool    *core.Pool   // non-nil on the Config path
+	factory BoundFactory // non-nil on the Factory path
+}
+
+type keyEntry struct {
+	pusher *stream.Pusher
+	snap   Snapshotter // non-nil when the policy supports snapshots
+	emit   func(stream.Evaluation)
+}
+
+// engineMsg is one unit of shard work: either an ingest batch or a control
+// request (both ride the same queue, so reads are ordered with ingest).
+type engineMsg struct {
+	key string
+	buf *[]float64
+	ctl *engineCtl
+}
+
+type ctlOp int
+
+const (
+	ctlSnapshot ctlOp = iota
+	ctlQuery
+	ctlEvict
+	ctlCount
+)
+
+type engineCtl struct {
+	op   ctlOp
+	key  string
+	resp chan engineCtlResp
+}
+
+type engineCtlResp struct {
+	snaps map[string]Snapshot
+	snap  Snapshot
+	ok    bool
+	n     int
+}
+
+// NewEngine builds and starts an engine; callers must Close it to release
+// the shard goroutines.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = defaultQueueDepth
+	}
+	resBuf := cfg.ResultBuffer
+	if resBuf <= 0 {
+		resBuf = defaultResultBuffer
+	}
+	spec := cfg.Spec
+	var mkPool func() (*core.Pool, error)
+	if cfg.Factory == nil {
+		if spec != (Window{}) && spec != cfg.Config.Spec {
+			return nil, fmt.Errorf("qlove: engine Spec %v conflicts with Config.Spec %v", spec, cfg.Config.Spec)
+		}
+		spec = cfg.Config.Spec
+		mkPool = func() (*core.Pool, error) { return core.NewPool(cfg.Config) }
+	} else {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("qlove: engine with custom factory: %w", err)
+		}
+		// Probe the factory once so configuration errors surface at
+		// construction, not on the first pushed key.
+		p, err := cfg.Factory()
+		if err != nil {
+			return nil, fmt.Errorf("qlove: engine factory: %w", err)
+		}
+		if p == nil {
+			return nil, fmt.Errorf("qlove: engine factory returned nil policy")
+		}
+	}
+	e := &Engine{
+		spec:    spec,
+		results: make(chan KeyedResult, resBuf),
+		seed:    maphash.MakeSeed(),
+	}
+	e.bufs.New = func() any {
+		b := make([]float64, 0, defaultBatchCap)
+		return &b
+	}
+	e.shards = make([]*engineShard, shards)
+	for i := range e.shards {
+		s := &engineShard{
+			eng:     e,
+			in:      make(chan engineMsg, depth),
+			keys:    make(map[string]*keyEntry),
+			factory: cfg.Factory,
+		}
+		if mkPool != nil {
+			pool, err := mkPool()
+			if err != nil {
+				return nil, err
+			}
+			s.pool = pool
+		}
+		e.shards[i] = s
+	}
+	e.wg.Add(shards)
+	for _, s := range e.shards {
+		go func(s *engineShard) {
+			defer e.wg.Done()
+			s.run()
+		}(s)
+	}
+	return e, nil
+}
+
+// shardOf hash-partitions a key.
+func (e *Engine) shardOf(key string) *engineShard {
+	return e.shards[maphash.String(e.seed, key)%uint64(len(e.shards))]
+}
+
+// Push feeds a batch of elements for one key. The values are copied before
+// Push returns, so the caller may reuse vs immediately. Push blocks only
+// when the owning shard's queue is full (backpressure), never on result
+// delivery. Safe for any number of concurrent callers.
+func (e *Engine) Push(key string, vs []float64) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		// Checked before the empty fast-path so producers using Push's
+		// error as their shutdown signal see closure on empty reports too.
+		return ErrEngineClosed
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	bp := e.bufs.Get().(*[]float64)
+	*bp = append((*bp)[:0], vs...)
+	e.shardOf(key).in <- engineMsg{key: key, buf: bp}
+	return nil
+}
+
+// Results returns the evaluation fan-in channel. It closes after Close has
+// drained every shard. Evaluations for one key arrive in order; ordering
+// across keys is not defined.
+func (e *Engine) Results() <-chan KeyedResult { return e.results }
+
+// Dropped returns how many evaluations were discarded because the Results
+// consumer fell behind the buffer.
+func (e *Engine) Dropped() uint64 { return e.dropped.Load() }
+
+// engineErr wraps factory failures so lastErr always stores one concrete
+// type (atomic.Value panics on inconsistently typed stores, and different
+// failure paths produce different error implementations).
+type engineErr struct{ err error }
+
+// Err returns the most recent per-key construction failure (custom
+// factories only; the built-in QLOVE path cannot fail after NewEngine),
+// plus how many batches were dropped because of such failures.
+func (e *Engine) Err() (error, uint64) {
+	we, _ := e.lastErr.Load().(engineErr)
+	return we.err, e.failed.Load()
+}
+
+// Shards returns the number of shards the engine runs.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Spec returns the engine's window spec.
+func (e *Engine) Spec() Window { return e.spec }
+
+// Snapshot captures every snapshot-capable key without stopping ingestion.
+// Each shard's capture is taken between batches on the shard's own
+// goroutine, so it is consistent with the ingest order of every key it
+// owns (captures of different shards are taken at independent instants).
+func (e *Engine) Snapshot() EngineSnapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := EngineSnapshot{keys: make(map[string]Snapshot)}
+	if e.closed {
+		for _, s := range e.shards {
+			for k, ent := range s.keys {
+				if ent.snap != nil {
+					out.keys[k] = ent.snap.Snapshot()
+				}
+			}
+		}
+		return out
+	}
+	resps := make([]chan engineCtlResp, len(e.shards))
+	for i, s := range e.shards {
+		resps[i] = make(chan engineCtlResp, 1)
+		s.in <- engineMsg{ctl: &engineCtl{op: ctlSnapshot, resp: resps[i]}}
+	}
+	for _, ch := range resps {
+		r := <-ch
+		for k, sn := range r.snaps {
+			out.keys[k] = sn
+		}
+	}
+	return out
+}
+
+// Query captures one key's snapshot without stopping ingestion. ok is
+// false when the key is unknown (or its policy cannot snapshot).
+func (e *Engine) Query(key string) (Snapshot, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.shardOf(key)
+	if e.closed {
+		if ent := s.keys[key]; ent != nil && ent.snap != nil {
+			return ent.snap.Snapshot(), true
+		}
+		return Snapshot{}, false
+	}
+	resp := make(chan engineCtlResp, 1)
+	s.in <- engineMsg{ctl: &engineCtl{op: ctlQuery, key: key, resp: resp}}
+	r := <-resp
+	return r.snap, r.ok
+}
+
+// Evict retires a key, returning whether it existed. The key's operator
+// goes back to the shard's pool (arena and all) for the next new key.
+func (e *Engine) Evict(key string) bool {
+	s := e.shardOf(key)
+	e.mu.RLock()
+	if !e.closed {
+		resp := make(chan engineCtlResp, 1)
+		s.in <- engineMsg{ctl: &engineCtl{op: ctlEvict, key: key, resp: resp}}
+		e.mu.RUnlock()
+		// The shard drains its queue even while Close runs, so the
+		// response always arrives; waiting outside the lock keeps Close
+		// unblocked.
+		return (<-resp).ok
+	}
+	e.mu.RUnlock()
+	// After Close the shard goroutines are gone, so this is the one
+	// post-Close operation that MUTATES shard state (map delete + pool
+	// put). It must exclude the RLock-holding readers (Snapshot, Query,
+	// Keys), hence the write lock.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return s.evict(key)
+}
+
+// Keys returns the number of keys currently monitored.
+func (e *Engine) Keys() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	if e.closed {
+		for _, s := range e.shards {
+			n += len(s.keys)
+		}
+		return n
+	}
+	resps := make([]chan engineCtlResp, len(e.shards))
+	for i, s := range e.shards {
+		resps[i] = make(chan engineCtlResp, 1)
+		s.in <- engineMsg{ctl: &engineCtl{op: ctlCount, resp: resps[i]}}
+	}
+	for _, ch := range resps {
+		n += (<-ch).n
+	}
+	return n
+}
+
+// Close stops ingestion, waits for every shard to drain its queue and then
+// closes the Results channel (results already buffered stay readable until
+// the consumer drains them). Push returns ErrEngineClosed afterwards;
+// Snapshot, Query, Evict and Keys keep working against the final state.
+// Shards never block on result delivery, so Close cannot deadlock on a
+// slow consumer.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.wg.Wait()
+	close(e.results)
+}
+
+// run is a shard's single-writer loop: every operator in s.keys is touched
+// exclusively here.
+func (s *engineShard) run() {
+	for msg := range s.in {
+		if msg.ctl != nil {
+			s.control(msg.ctl)
+			continue
+		}
+		ent, err := s.entry(msg.key)
+		if err != nil {
+			s.eng.failed.Add(1)
+			s.eng.lastErr.Store(engineErr{err})
+		} else {
+			ent.pusher.PushBatch(*msg.buf, ent.emit)
+		}
+		s.eng.bufs.Put(msg.buf)
+	}
+}
+
+// entry returns the key's state, minting operator + pusher on first use.
+func (s *engineShard) entry(key string) (*keyEntry, error) {
+	if ent, ok := s.keys[key]; ok {
+		return ent, nil
+	}
+	var pol Policy
+	if s.pool != nil {
+		pol = s.pool.Get()
+	} else {
+		var err error
+		if pol, err = s.factory(); err != nil {
+			return nil, fmt.Errorf("qlove: policy for key %q: %w", key, err)
+		} else if pol == nil {
+			return nil, fmt.Errorf("qlove: nil policy for key %q", key)
+		}
+	}
+	pusher, err := stream.NewPusher(pol, s.eng.spec)
+	if err != nil {
+		return nil, err
+	}
+	ent := &keyEntry{pusher: pusher}
+	ent.snap, _ = pol.(Snapshotter)
+	// One closure per key, not per batch: the emit path stays
+	// allocation-free at steady state.
+	eng := s.eng
+	ent.emit = func(ev stream.Evaluation) {
+		select {
+		case eng.results <- KeyedResult{Key: key, Result: Result{Evaluation: ev.Index, Estimates: ev.Estimates}}:
+		default:
+			eng.dropped.Add(1)
+		}
+	}
+	s.keys[key] = ent
+	return ent, nil
+}
+
+func (s *engineShard) control(ctl *engineCtl) {
+	switch ctl.op {
+	case ctlSnapshot:
+		snaps := make(map[string]Snapshot, len(s.keys))
+		for k, ent := range s.keys {
+			if ent.snap != nil {
+				snaps[k] = ent.snap.Snapshot()
+			}
+		}
+		ctl.resp <- engineCtlResp{snaps: snaps}
+	case ctlQuery:
+		if ent := s.keys[ctl.key]; ent != nil && ent.snap != nil {
+			ctl.resp <- engineCtlResp{snap: ent.snap.Snapshot(), ok: true}
+			return
+		}
+		ctl.resp <- engineCtlResp{}
+	case ctlEvict:
+		ctl.resp <- engineCtlResp{ok: s.evict(ctl.key)}
+	case ctlCount:
+		ctl.resp <- engineCtlResp{n: len(s.keys)}
+	}
+}
+
+// evict removes a key and recycles its operator.
+func (s *engineShard) evict(key string) bool {
+	ent, ok := s.keys[key]
+	if !ok {
+		return false
+	}
+	delete(s.keys, key)
+	if s.pool != nil {
+		if cp, ok := ent.pusher.Policy().(*core.Policy); ok {
+			s.pool.Put(cp)
+		}
+	}
+	return true
+}
+
+// EngineSnapshot is a point-in-time capture of every snapshot-capable key
+// the engine monitors. It is immutable and safe to read from any
+// goroutine.
+type EngineSnapshot struct {
+	keys map[string]Snapshot
+}
+
+// Query answers one key's configured quantiles from the capture.
+func (s EngineSnapshot) Query(key string) ([]float64, bool) {
+	sn, ok := s.keys[key]
+	if !ok {
+		return nil, false
+	}
+	return sn.Estimates(), true
+}
+
+// Get returns one key's raw snapshot, e.g. to Merge it with the same key's
+// capture from another engine or datacenter.
+func (s EngineSnapshot) Get(key string) (Snapshot, bool) {
+	sn, ok := s.keys[key]
+	return sn, ok
+}
+
+// Len returns the number of captured keys.
+func (s EngineSnapshot) Len() int { return len(s.keys) }
+
+// Keys returns the captured key names, sorted.
+func (s EngineSnapshot) Keys() []string {
+	out := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge combines two captures key-wise: keys present in both merge their
+// snapshots (disjoint sub-streams of one logical key — e.g. the same
+// service monitored by two engines); keys present in one carry over.
+func (s EngineSnapshot) Merge(o EngineSnapshot) (EngineSnapshot, error) {
+	out := EngineSnapshot{keys: make(map[string]Snapshot, len(s.keys)+len(o.keys))}
+	for k, sn := range s.keys {
+		out.keys[k] = sn
+	}
+	for k, sn := range o.keys {
+		if prev, ok := out.keys[k]; ok {
+			m, err := prev.Merge(sn)
+			if err != nil {
+				return EngineSnapshot{}, fmt.Errorf("key %q: %w", k, err)
+			}
+			out.keys[k] = m
+			continue
+		}
+		out.keys[k] = sn
+	}
+	return out, nil
+}

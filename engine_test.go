@@ -1,0 +1,390 @@
+// Tests for the keyed sharded Engine: per-key results must be bit-identical
+// to a single Monitor fed the same stream, snapshots must merge across
+// sub-streams within Level-2 tolerance, and the whole surface must be clean
+// under the race detector with concurrent producers.
+package qlove
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// engineResults drains an engine's results into per-key ordered slices
+// until the channel closes.
+func engineResults(e *Engine) map[string][]Result {
+	out := map[string][]Result{}
+	for kr := range e.Results() {
+		out[kr.Key] = append(out[kr.Key], kr.Result)
+	}
+	return out
+}
+
+func TestEngineSingleKeyMatchesMonitor(t *testing.T) {
+	spec := Window{Size: 1200, Period: 300}
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	cfg := Config{Spec: spec, Phis: phis, FewK: true}
+	data := workload.Generate(workload.NewNetMon(5), 9000)
+
+	// Reference: a single Monitor over the same stream, same batch shape.
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewMonitor(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Result
+	for pos := 0; pos < len(data); pos += 137 {
+		end := pos + 137
+		if end > len(data) {
+			end = len(data)
+		}
+		mon.PushBatch(data[pos:end], func(r Result) { want = append(want, r) })
+	}
+
+	e, err := NewEngine(EngineConfig{Config: cfg, Shards: 3, ResultBuffer: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(data); pos += 137 {
+		end := pos + 137
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := e.Push("api-latency", data[pos:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	got := engineResults(e)["api-latency"]
+
+	if len(got) != len(want) {
+		t.Fatalf("evaluations: engine %d, monitor %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Evaluation != want[i].Evaluation {
+			t.Fatalf("eval %d: index %d != %d", i, got[i].Evaluation, want[i].Evaluation)
+		}
+		for j := range want[i].Estimates {
+			if math.Float64bits(got[i].Estimates[j]) != math.Float64bits(want[i].Estimates[j]) {
+				t.Fatalf("eval %d ϕ=%v: engine %v != monitor %v",
+					i, phis[j], got[i].Estimates[j], want[i].Estimates[j])
+			}
+		}
+	}
+
+	// Count-aligned snapshot: 9000 elements is a period multiple, so the
+	// engine's capture must answer bit-for-bit what the reference operator
+	// answers at the same instant.
+	snap := e.Snapshot()
+	est, ok := snap.Query("api-latency")
+	if !ok {
+		t.Fatal("key missing from snapshot")
+	}
+	ref := mon.Policy().Result()
+	for j := range ref {
+		if math.Float64bits(est[j]) != math.Float64bits(ref[j]) {
+			t.Fatalf("snapshot ϕ=%v: %v != reference %v", phis[j], est[j], ref[j])
+		}
+	}
+	if e.Dropped() != 0 {
+		t.Fatalf("dropped %d results with a large buffer", e.Dropped())
+	}
+}
+
+func TestEngineManyKeysConcurrentProducers(t *testing.T) {
+	spec := Window{Size: 128, Period: 32}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.99}}
+	e, err := NewEngine(EngineConfig{Config: cfg, Shards: 4, ResultBuffer: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		producers = 8
+		keysPer   = 50
+		perKey    = 320 // 10 evaluations per key
+		batchSize = 29  // deliberately misaligned with the period
+	)
+	totalEvals := spec.Evaluations(perKey)
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := workload.NewNetMon(int64(w + 1))
+			buf := make([]float64, 0, batchSize)
+			for k := 0; k < keysPer; k++ {
+				key := fmt.Sprintf("w%d/key%03d", w, k)
+				sent := 0
+				for sent < perKey {
+					buf = buf[:0]
+					for len(buf) < batchSize && sent+len(buf) < perKey {
+						buf = append(buf, gen.Next())
+					}
+					if err := e.Push(key, buf); err != nil {
+						t.Error(err)
+						return
+					}
+					sent += len(buf)
+				}
+			}
+		}(w)
+	}
+	done := make(chan map[string][]Result, 1)
+	go func() { done <- engineResults(e) }()
+	wg.Wait()
+	if got := e.Keys(); got != producers*keysPer {
+		t.Fatalf("keys = %d, want %d", got, producers*keysPer)
+	}
+	e.Close()
+	results := <-done
+	if len(results) != producers*keysPer {
+		t.Fatalf("keys with results = %d, want %d", len(results), producers*keysPer)
+	}
+	for key, rs := range results {
+		if len(rs) != totalEvals {
+			t.Fatalf("%s: %d evaluations, want %d", key, len(rs), totalEvals)
+		}
+		for i, r := range rs {
+			if r.Evaluation != i {
+				t.Fatalf("%s: out-of-order evaluation %d at position %d", key, r.Evaluation, i)
+			}
+		}
+	}
+	if e.Dropped() != 0 {
+		t.Fatalf("dropped %d results", e.Dropped())
+	}
+}
+
+func TestEngineShardedKeyMergesWithinTolerance(t *testing.T) {
+	// One logical stream salted across 4 sub-keys (as a hot key would be to
+	// spread ingest load); the merged snapshot must stay within Level-2
+	// tolerance of a single operator over the full interleaved stream.
+	spec := Window{Size: 2000, Period: 500}
+	phis := []float64{0.5, 0.9, 0.999}
+	cfg := Config{Spec: spec, Phis: phis, FewK: true}
+	const salt = 4
+	data := workload.Generate(workload.NewNormal(9, 1000, 100), salt*4*spec.Size)
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, _ := NewMonitor(ref, spec)
+	mon.PushBatch(data, nil)
+
+	e, err := NewEngine(EngineConfig{Config: cfg, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin the stream across the sub-keys in period-sized turns so
+	// every sub-key sees an unbiased sample.
+	for i := 0; i < len(data); i += 25 {
+		key := fmt.Sprintf("hot#%d", (i/25)%salt)
+		if err := e.Push(key, data[i:i+25]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	snap := e.Snapshot()
+	var parts []Snapshot
+	for s := 0; s < salt; s++ {
+		sn, ok := snap.Get(fmt.Sprintf("hot#%d", s))
+		if !ok {
+			t.Fatalf("sub-key %d missing", s)
+		}
+		parts = append(parts, sn)
+	}
+	merged, err := MergeSnapshots(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Streams() != salt {
+		t.Fatalf("streams = %d, want %d", merged.Streams(), salt)
+	}
+	got := merged.Estimates()
+	want := ref.Result()
+	for j := range phis {
+		if rel := math.Abs(got[j]-want[j]) / want[j]; rel > 0.02 {
+			t.Errorf("ϕ=%v: merged %v vs single %v (rel %v)", phis[j], got[j], want[j], rel)
+		}
+	}
+}
+
+func TestEngineQueryLiveAndEvict(t *testing.T) {
+	spec := Window{Size: 100, Period: 50}
+	cfg := Config{Spec: spec, Phis: []float64{0.5}}
+	e, err := NewEngine(EngineConfig{Config: cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(i%100) + 1
+	}
+	if err := e.Push("a", vals); err != nil {
+		t.Fatal(err)
+	}
+	// Query rides the shard queue, so it observes everything pushed before
+	// it by this goroutine.
+	sn, ok := e.Query("a")
+	if !ok {
+		t.Fatal("live query missed key a")
+	}
+	if sn.SubWindows() != spec.SubWindows() {
+		t.Fatalf("resident sub-windows = %d, want %d", sn.SubWindows(), spec.SubWindows())
+	}
+	if est := sn.Estimates(); est[0] <= 0 {
+		t.Fatalf("implausible estimate %v", est)
+	}
+	if _, ok := e.Query("missing"); ok {
+		t.Fatal("query invented a key")
+	}
+	if !e.Evict("a") {
+		t.Fatal("evict failed")
+	}
+	if e.Evict("a") {
+		t.Fatal("double evict succeeded")
+	}
+	if n := e.Keys(); n != 0 {
+		t.Fatalf("keys after evict = %d", n)
+	}
+	// The key can come right back, served by a pooled operator.
+	if err := e.Push("a", vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Query("a"); !ok {
+		t.Fatal("recreated key not queryable")
+	}
+}
+
+func TestEngineCloseSemantics(t *testing.T) {
+	cfg := Config{Spec: Window{Size: 40, Period: 20}, Phis: []float64{0.5}}
+	e, err := NewEngine(EngineConfig{Config: cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []float64{1, 2, 3, 4, 5}
+	for i := 0; i < 16; i++ {
+		if err := e.Push("k", vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	e.Close() // idempotent
+	if err := e.Push("k", vals); err != ErrEngineClosed {
+		t.Fatalf("push after close: %v", err)
+	}
+	if err := e.Push("k", nil); err != ErrEngineClosed {
+		t.Fatalf("empty push after close: %v (closure must be visible on empty reports)", err)
+	}
+	// Buffered results stay readable after Close; the channel then closes.
+	n := 0
+	for range e.Results() {
+		n++
+	}
+	if want := (16*5-40)/20 + 1; n != want {
+		t.Fatalf("post-close results = %d, want %d", n, want)
+	}
+	// Reads keep working against the final state.
+	if _, ok := e.Query("k"); !ok {
+		t.Fatal("query after close failed")
+	}
+	if e.Keys() != 1 {
+		t.Fatalf("keys after close = %d", e.Keys())
+	}
+	if !e.Evict("k") {
+		t.Fatal("evict after close failed")
+	}
+}
+
+func TestEngineCustomFactory(t *testing.T) {
+	spec := Window{Size: 200, Period: 50}
+	phis := []float64{0.5, 0.9}
+	bound, err := Registry().Bind("cmqs", spec, phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(EngineConfig{Factory: bound, Spec: spec, Shards: 2, ResultBuffer: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.Generate(workload.NewNetMon(2), 600)
+	if err := e.Push("svc", data); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	rs := engineResults(e)["svc"]
+	if want := spec.Evaluations(len(data)); len(rs) != want {
+		t.Fatalf("evaluations = %d, want %d", len(rs), want)
+	}
+	// CMQS cannot snapshot: the key exists but is not capturable.
+	if _, ok := e.Query("svc"); ok {
+		t.Fatal("non-snapshottable policy answered Query")
+	}
+	if e.Snapshot().Len() != 0 {
+		t.Fatal("snapshot captured a non-snapshottable key")
+	}
+	if errSeen, n := e.Err(); errSeen != nil || n != 0 {
+		t.Fatalf("unexpected factory failures: %v / %d", errSeen, n)
+	}
+
+	// A factory engine still needs a valid spec.
+	if _, err := NewEngine(EngineConfig{Factory: bound}); err == nil {
+		t.Fatal("factory engine without spec accepted")
+	}
+}
+
+func TestEngineSnapshotMergeAcrossEngines(t *testing.T) {
+	// Two engines monitoring the same key (two ingestion pipelines of one
+	// service): their EngineSnapshots merge key-wise.
+	spec := Window{Size: 400, Period: 100}
+	cfg := Config{Spec: spec, Phis: []float64{0.5}}
+	mk := func(seed int64) *Engine {
+		e, err := NewEngine(EngineConfig{Config: cfg, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Push("shared", workload.Generate(workload.NewNormal(seed, 500, 50), 2*spec.Size)); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Push(fmt.Sprintf("only-%d", seed), workload.Generate(workload.NewNormal(seed, 500, 50), spec.Size)); err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+		return e
+	}
+	a, b := mk(1), mk(2)
+	merged, err := a.Snapshot().Merge(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 3 {
+		t.Fatalf("merged keys = %v", merged.Keys())
+	}
+	sn, ok := merged.Get("shared")
+	if !ok || sn.Streams() != 2 {
+		t.Fatalf("shared key streams = %d, ok=%v", sn.Streams(), ok)
+	}
+	if est, _ := merged.Query("shared"); est[0] < 400 || est[0] > 600 {
+		t.Fatalf("merged median %v implausible", est)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(EngineConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := NewEngine(EngineConfig{
+		Config: Config{Spec: Window{Size: 100, Period: 10}, Phis: []float64{0.5}},
+		Spec:   Window{Size: 200, Period: 10},
+	}); err == nil {
+		t.Fatal("conflicting specs accepted")
+	}
+}

@@ -26,7 +26,7 @@ func TestIntegrationAllPoliciesMonotoneEstimates(t *testing.T) {
 	reg := Registry()
 	for gname, gen := range gens {
 		data := workload.Generate(gen, 24000)
-		for _, pname := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment"} {
+		for _, pname := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment", "gk"} {
 			p, err := reg.New(pname, spec, phis)
 			if err != nil {
 				t.Fatal(err)
@@ -58,7 +58,7 @@ func TestIntegrationEstimatesWithinDataRange(t *testing.T) {
 		hi = math.Max(hi, v)
 	}
 	reg := Registry()
-	for _, pname := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment"} {
+	for _, pname := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment", "gk"} {
 		p, err := reg.New(pname, spec, phis)
 		if err != nil {
 			t.Fatal(err)

@@ -46,6 +46,20 @@ func (l *level2) deaccumulate() {
 // count returns the number of resident summaries.
 func (l *level2) count() int { return len(l.summaries) }
 
+// reset drops every resident summary and zeroes the running sums, keeping
+// slice capacity so a recycled operator reaches steady state without
+// reallocating. Expired summaries are zeroed first so their few-k caches
+// are promptly collectible.
+func (l *level2) reset() {
+	for i := range l.sums {
+		l.sums[i] = 0
+	}
+	for i := range l.summaries {
+		l.summaries[i] = Summary{}
+	}
+	l.summaries = l.summaries[:0]
+}
+
 // estimate returns the aggregated ϕ-quantile for phi index i: the mean of
 // the resident sub-window quantiles (guided by the CLT, Appendix A).
 func (l *level2) estimate(i int) float64 {
@@ -60,20 +74,34 @@ func (l *level2) estimate(i int) float64 {
 // with "each sub-window collects k data points among the largest values
 // ... and uses the k values to compute the target high quantile": top-k
 // merging reads the union, not only the k_t share.
-func (l *level2) cached(mi int) [][]float64 {
-	out := make([][]float64, 0, len(l.summaries))
-	for i := range l.summaries {
-		if vs := l.summaries[i].cachedValues(mi); vs != nil {
+func (l *level2) cached(mi int) [][]float64 { return cachedOf(l.summaries, mi) }
+
+// samples gathers the weighted sample-k lists for managed quantile mi.
+func (l *level2) samples(mi int) [][]fewk.Sample { return samplesOf(l.summaries, mi) }
+
+// anyBursty reports whether any resident summary carries a seal-time
+// burst flag for managed quantile mi: a bursty sub-window keeps
+// influencing the window's high quantiles for as long as it stays
+// resident.
+func (l *level2) anyBursty(mi int) bool { return anyBurstyOf(l.summaries, mi) }
+
+// cachedOf, samplesOf and anyBurstyOf are the slice-level forms of the
+// accessors above, shared with Snapshot so a captured summary set is read
+// exactly — bit for bit — the way a live operator reads its own.
+
+func cachedOf(summaries []Summary, mi int) [][]float64 {
+	out := make([][]float64, 0, len(summaries))
+	for i := range summaries {
+		if vs := summaries[i].cachedValues(mi); vs != nil {
 			out = append(out, vs)
 		}
 	}
 	return out
 }
 
-// samples gathers the weighted sample-k lists for managed quantile mi.
-func (l *level2) samples(mi int) [][]fewk.Sample {
-	out := make([][]fewk.Sample, 0, len(l.summaries))
-	for _, s := range l.summaries {
+func samplesOf(summaries []Summary, mi int) [][]fewk.Sample {
+	out := make([][]fewk.Sample, 0, len(summaries))
+	for _, s := range summaries {
 		if mi < len(s.Samples) {
 			out = append(out, s.Samples[mi])
 		}
@@ -81,13 +109,9 @@ func (l *level2) samples(mi int) [][]fewk.Sample {
 	return out
 }
 
-// anyBursty reports whether any resident summary carries a seal-time
-// burst flag for managed quantile mi: a bursty sub-window keeps
-// influencing the window's high quantiles for as long as it stays
-// resident.
-func (l *level2) anyBursty(mi int) bool {
-	for i := range l.summaries {
-		b := l.summaries[i].BurstyVsPrev
+func anyBurstyOf(summaries []Summary, mi int) bool {
+	for i := range summaries {
+		b := summaries[i].BurstyVsPrev
 		if mi < len(b) && b[mi] {
 			return true
 		}

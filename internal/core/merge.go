@@ -2,73 +2,32 @@ package core
 
 import (
 	"fmt"
-
-	"repro/internal/core/fewk"
 )
 
 // MergedResult combines the state of several QLOVE shards that consumed
-// disjoint partitions of one logical stream (e.g. one shard per ingestion
-// thread or per datacenter pod) into window-level quantile estimates, as
-// sketched in the paper's conclusion ("our quantile design can deliver
-// better aggregate throughput ... in distributed computing").
-//
-// The combination follows the same two-level logic as a single operator:
-// Level-2 estimates are the mean of every resident sub-window quantile
-// across all shards (each shard's sub-windows are themselves i.i.d.
-// samples of the stream under the paper's assumptions), and few-k-managed
-// quantiles merge the cached tails and samples of all shards, scaling the
-// read rank by the number of shards (the logical window is shards×N
-// elements).
+// disjoint partitions of one logical stream into window-level quantile
+// estimates: it captures a Snapshot of every shard, folds them with
+// Snapshot.Merge and reads Estimates off the merged capture. Kept as the
+// one-shot convenience form; callers that want to ship state across
+// goroutines or machines, cache captures, or merge incrementally use the
+// Snapshot API directly.
 //
 // All shards must share an identical configuration; ErrMismatched is
-// returned otherwise.
+// wrapped otherwise. Only the goroutine owning each shard may snapshot it,
+// so the caller must quiesce or own every shard for the duration of the
+// call.
 func MergedResult(shards []*Policy) ([]float64, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("qlove: no shards to merge")
 	}
-	first := shards[0]
+	merged := shards[0].Snapshot()
 	for _, s := range shards[1:] {
-		if !sameConfig(first.cfg, s.cfg) {
-			return nil, fmt.Errorf("qlove: %w", ErrMismatched)
+		var err error
+		if merged, err = merged.Merge(s.Snapshot()); err != nil {
+			return nil, err
 		}
 	}
-	nPhis := len(first.cfg.Phis)
-	out := make([]float64, nPhis)
-
-	// Level 2 across shards: mean of all resident sub-window quantiles.
-	counts := 0
-	sums := make([]float64, nPhis)
-	for _, s := range shards {
-		for i := 0; i < nPhis; i++ {
-			sums[i] += s.agg.sums[i]
-		}
-		counts += s.agg.count()
-	}
-	if counts == 0 {
-		return out, nil
-	}
-	for i := 0; i < nPhis; i++ {
-		out[i] = sums[i] / float64(counts)
-	}
-
-	// Few-k across shards: the logical window spans shards×N elements.
-	logicalN := first.cfg.Spec.Size * len(shards)
-	for mi, pi := range first.managed {
-		phi := first.cfg.Phis[pi]
-		var tails [][]float64
-		var samples [][]fewk.Sample
-		burst := false
-		for _, s := range shards {
-			tails = append(tails, s.agg.cached(mi)...)
-			samples = append(samples, s.agg.samples(mi)...)
-			burst = burst || s.agg.anyBursty(mi)
-		}
-		topK, topOK := fewk.TopKMerge(tails, logicalN, phi)
-		sampleK, sampOK := fewk.SampleKMerge(samples, logicalN, phi)
-		statIneff := fewk.NeedsTopK(first.cfg.Spec.Period, phi, first.cfg.StatThreshold)
-		out[pi] = fewk.Outcome(out[pi], topK, topOK, sampleK, sampOK, burst, statIneff)
-	}
-	return out, nil
+	return merged.Estimates(), nil
 }
 
 // ErrMismatched reports an attempt to merge shards with different

@@ -106,6 +106,117 @@ func TestMergedResultFewK(t *testing.T) {
 	}
 }
 
+// TestMergedRoundRobinProperty: for K shards fed disjoint round-robin
+// partitions of one stream, the merged estimates must agree with (a) the
+// exact quantiles of the union of the shards' resident windows and (b) a
+// single operator fed the full stream, within the paper's Level-2
+// tolerance — including the few-k tail path, whose merged read rank spans
+// the K×N logical window.
+func TestMergedRoundRobinProperty(t *testing.T) {
+	spec := window.Spec{Size: 8000, Period: 1000}
+	phis := []float64{0.5, 0.9, 0.999}
+	configs := map[string]Config{
+		"level2": {Spec: spec, Phis: phis, Digits: -1},
+		"fewk":   {Spec: spec, Phis: phis, Digits: -1, FewK: true, Fraction: 1},
+	}
+	for name, cfg := range configs {
+		for _, k := range []int{2, 3, 5} {
+			for seed := int64(1); seed <= 2; seed++ {
+				single := mustNew(t, cfg)
+				shards := make([]*Policy, k)
+				for i := range shards {
+					shards[i] = mustNew(t, cfg)
+				}
+				gen := workload.NewNormal(seed, 1000, 100)
+				total := 2 * k * spec.Size
+				stream := workload.Generate(gen, total)
+				for i, v := range stream {
+					single.Observe(v)
+					shards[i%k].Observe(v)
+				}
+				// Trim everyone to exactly one window of resident
+				// summaries: the shards then jointly cover the last k×N
+				// stream elements, the single operator the last N.
+				for single.SubWindowCount() > spec.SubWindows() {
+					single.Expire(nil)
+				}
+				for _, s := range shards {
+					for s.SubWindowCount() > spec.SubWindows() {
+						s.Expire(nil)
+					}
+				}
+				merged, err := MergedResult(shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exactUnion := stats.Quantiles(stream[total-k*spec.Size:], phis)
+				sres := single.Result()
+				for j, phi := range phis {
+					tol := 0.015
+					if cfg.FewK && phi >= 0.95 {
+						// The merged tail read is near-exact: every
+						// sub-window caches its N(1−ϕ) largest values and
+						// the merged pool always reaches the k×N read rank.
+						tol = 0.01
+					}
+					if rel := math.Abs(merged[j]-exactUnion[j]) / exactUnion[j]; rel > tol {
+						t.Errorf("%s k=%d seed=%d ϕ=%v: merged %v vs exact union %v (rel %.4f)",
+							name, k, seed, phi, merged[j], exactUnion[j], rel)
+					}
+					// Merged and single estimate the same population
+					// quantile from samples of different sizes; allow both
+					// tolerances.
+					if rel := math.Abs(merged[j]-sres[j]) / sres[j]; rel > 2*tol {
+						t.Errorf("%s k=%d seed=%d ϕ=%v: merged %v vs single %v (rel %.4f)",
+							name, k, seed, phi, merged[j], sres[j], rel)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergedRoundRobinFewKTailBeatsLevel2: on a heavy-tailed workload the
+// merged few-k tail estimate must be strictly more accurate than the
+// merged Level-2-only estimate — evidence the tail path, not the average,
+// answered the managed quantile.
+func TestMergedRoundRobinFewKTailBeatsLevel2(t *testing.T) {
+	spec := window.Spec{Size: 8000, Period: 1000}
+	phis := []float64{0.999}
+	const k = 4
+	mkShards := func(cfg Config) []*Policy {
+		shards := make([]*Policy, k)
+		for i := range shards {
+			shards[i] = mustNew(t, cfg)
+		}
+		return shards
+	}
+	fewk := mkShards(Config{Spec: spec, Phis: phis, Digits: -1, FewK: true, Fraction: 1})
+	plain := mkShards(Config{Spec: spec, Phis: phis, Digits: -1})
+	stream := workload.Generate(workload.NewNetMon(31), k*spec.Size)
+	for i, v := range stream {
+		fewk[i%k].Observe(v)
+		plain[i%k].Observe(v)
+	}
+	exact := stats.Quantiles(stream, phis)[0]
+	mf, err := MergedResult(fewk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := MergedResult(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errF := math.Abs(mf[0]-exact) / exact
+	errP := math.Abs(mp[0]-exact) / exact
+	if errF >= errP {
+		t.Fatalf("few-k merged error %.4f not below level-2 merged error %.4f", errF, errP)
+	}
+	if errF > 0.05 {
+		t.Fatalf("few-k merged tail error %.4f too large (estimate %v, exact %v)", errF, mf[0], exact)
+	}
+}
+
 func TestMergedResultValidation(t *testing.T) {
 	if _, err := MergedResult(nil); err == nil {
 		t.Fatal("empty shard list accepted")

@@ -1,0 +1,89 @@
+package core
+
+// Pool recycles QLOVE operators that share one configuration. A monitoring
+// engine serving a high-cardinality key space churns operators constantly
+// — keys appear, go idle, get evicted — and a fresh operator's dominant
+// cost is growing its Level-1 tree arena and scratch buffers back to
+// working-set size. The pool keeps retired operators (arenas and all) and
+// hands them back Reset, so key churn costs map traffic instead of
+// allocator traffic.
+//
+// A Pool is NOT safe for concurrent use: it is designed to be owned by a
+// single shard goroutine (one pool per shard), which is also the only
+// goroutine allowed to touch the policies it recycles. Use one Pool per
+// owner, not one shared Pool behind a lock.
+type Pool struct {
+	// mint is the configuration AS GIVEN by the caller — minting must go
+	// through New with the original config, because config resolution is
+	// not idempotent (user Digits<0 resolves to 0 "quantizer identity",
+	// which withDefaults would re-resolve to the default 3).
+	mint Config
+	// cfg is the resolved configuration every minted operator carries;
+	// Put compares against it.
+	cfg  Config
+	free []*Policy
+}
+
+// NewPool returns a pool minting operators with cfg. The configuration is
+// validated eagerly — by constructing the first operator, which seeds the
+// free list — so Get never fails afterwards.
+func NewPool(cfg Config) (*Pool, error) {
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{mint: cfg, cfg: p.cfg, free: []*Policy{p}}, nil
+}
+
+// Config returns the pool's resolved configuration.
+func (pl *Pool) Config() Config { return pl.cfg }
+
+// Get returns an operator ready for a fresh stream: a recycled one when
+// available (already Reset by Put), newly constructed otherwise.
+func (pl *Pool) Get() *Policy {
+	if n := len(pl.free); n > 0 {
+		p := pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		return p
+	}
+	p, err := New(pl.mint)
+	if err != nil {
+		// mint was validated by NewPool; New on the same config cannot
+		// fail.
+		panic("qlove: pool config invalidated: " + err.Error())
+	}
+	return p
+}
+
+// maxIdle bounds the free list: a churn burst (a million transient keys
+// evicted) must not pin a million arenas forever. Operators beyond the
+// cap are dropped to the garbage collector.
+const maxIdle = 64
+
+// Put resets p and shelves it for reuse. Operators built with a different
+// configuration are dropped (their estimates under this pool's config
+// would be silently wrong), as are operators beyond the maxIdle cap; nil
+// is ignored.
+func (pl *Pool) Put(p *Policy) {
+	if p == nil || len(pl.free) >= maxIdle || !fullConfigEqual(p.cfg, pl.cfg) {
+		return
+	}
+	p.Reset()
+	pl.free = append(pl.free, p)
+}
+
+// Idle returns how many recycled operators the pool currently holds.
+func (pl *Pool) Idle() int { return len(pl.free) }
+
+// fullConfigEqual compares every field of two resolved configurations —
+// unlike sameConfig (merge semantics), pooling additionally requires the
+// quantizer, burst detector and mode flags to agree.
+func fullConfigEqual(a, b Config) bool {
+	return sameConfig(a, b) &&
+		a.Digits == b.Digits &&
+		a.BurstAlpha == b.BurstAlpha &&
+		a.TopKOnly == b.TopKOnly &&
+		a.SampleKOnly == b.SampleKOnly &&
+		a.Adaptive == b.Adaptive
+}

@@ -92,6 +92,11 @@ type Policy struct {
 	managed []int
 	budgets []fewk.Budget
 
+	// baseBudgets preserves the as-planned budgets when the adaptive
+	// controller may mutate budgets at runtime, so Reset can restore a
+	// recycled operator to its exact initial plan.
+	baseBudgets []fewk.Budget
+
 	// prev is the most recently sealed summary (resident or not); the
 	// burst detector compares each new sub-window against it.
 	prev *Summary
@@ -145,10 +150,39 @@ func New(cfg Config) (*Policy, error) {
 			p.budgets = append(p.budgets, b)
 		}
 		p.burstActive = make([]bool, len(p.managed))
+		if cfg.Adaptive {
+			p.baseBudgets = append([]fewk.Budget(nil), p.budgets...)
+		}
 		p.initAdaptive()
 	}
 	return p, nil
 }
+
+// Reset returns the operator to its as-constructed state while keeping
+// every internal buffer — the Level-1 tree arena, quantization scratch and
+// Level-2 summary slots — at capacity, so a recycled operator ingests its
+// first sub-window with zero heap allocations. It is the enabler for
+// operator pooling: an engine monitoring (and evicting) millions of keys
+// hands retired operators back to a Pool instead of rebuilding arenas from
+// scratch. After Reset the operator is observationally indistinguishable
+// from a freshly constructed one with the same Config.
+func (p *Policy) Reset() {
+	p.builder.clear()
+	p.agg.reset()
+	p.prev = nil
+	for i := range p.burstActive {
+		p.burstActive[i] = false
+	}
+	if p.baseBudgets != nil {
+		copy(p.budgets, p.baseBudgets)
+	}
+	p.initAdaptive()
+}
+
+// ExpiresWholeSummaries implements stream.SummaryExpirer: QLOVE expires a
+// whole sub-window summary per period and never reads the Expire slice, so
+// per-stream front ends can skip the O(N) replay ring.
+func (p *Policy) ExpiresWholeSummaries() bool { return true }
 
 // Name implements stream.Policy.
 func (p *Policy) Name() string { return "QLOVE" }

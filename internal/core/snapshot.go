@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/core/fewk"
+)
+
+// Snapshot is a point-in-time, immutable capture of a QLOVE operator's
+// window state: the resident sub-window summaries plus the Level-2 running
+// sums. Snapshots are values — safe to retain, read from any goroutine and
+// merge long after the operator that produced them has moved on (summary
+// internals are never mutated after seal, so the capture shares them
+// without copying).
+//
+// Snapshots compose: Merge combines captures of operators that consumed
+// disjoint sub-streams of one logical stream (one per ingestion thread,
+// engine shard or datacenter pod) into a single logical-window view, as
+// sketched in the paper's conclusion ("our quantile design can deliver
+// better aggregate throughput ... in distributed computing"). The
+// combination follows the same two-level logic as a single operator:
+// Level-2 estimates are the mean of every resident sub-window quantile
+// across all captures (each capture's sub-windows are themselves i.i.d.
+// samples of the stream under the paper's assumptions), and few-k-managed
+// quantiles merge the cached tails and samples of all captures, scaling
+// the read rank by the number of merged sub-streams (the logical window is
+// streams×N elements).
+//
+// For a single-stream capture (Streams() == 1), Estimates is bit-for-bit
+// identical to the Result() the operator would have returned at the same
+// instant.
+type Snapshot struct {
+	cfg       Config
+	streams   int // merged sub-streams; 0 marks the zero Snapshot
+	sums      []float64
+	summaries []Summary
+	managed   []int
+}
+
+// Snapshot captures the operator's current window state. It is O(l +
+// resident summaries): the summary structs are copied by value but their
+// internal slices — immutable after seal — are shared. The caller may use
+// the capture from any goroutine; only the goroutine owning the Policy may
+// take it.
+func (p *Policy) Snapshot() Snapshot {
+	return Snapshot{
+		cfg:       p.cfg,
+		streams:   1,
+		sums:      append([]float64(nil), p.agg.sums...),
+		summaries: append([]Summary(nil), p.agg.summaries...),
+		managed:   p.managed,
+	}
+}
+
+// IsZero reports whether s is the zero Snapshot (no capture at all — as
+// opposed to a capture of an operator that has sealed nothing yet).
+func (s Snapshot) IsZero() bool { return s.streams == 0 }
+
+// Streams returns the number of merged sub-streams (1 for a direct
+// capture); the logical window spans Streams()×Size elements.
+func (s Snapshot) Streams() int { return s.streams }
+
+// SubWindows returns the number of resident sub-window summaries across
+// all merged sub-streams.
+func (s Snapshot) SubWindows() int { return len(s.summaries) }
+
+// Elements returns the total element count across resident summaries.
+func (s Snapshot) Elements() int {
+	n := 0
+	for i := range s.summaries {
+		n += s.summaries[i].Count
+	}
+	return n
+}
+
+// Config returns the configuration the captured operator ran with.
+func (s Snapshot) Config() Config { return s.cfg }
+
+// Merge combines two snapshots of disjoint sub-streams of one logical
+// stream. The zero Snapshot is the identity, so a fold over any number of
+// captures can start from Snapshot{}. Both captures must come from
+// operators with FULLY identical configurations (not just merge-shape
+// fields: Digits, SampleKOnly etc. change what Estimates computes, and a
+// lax check would make a.Merge(b) and b.Merge(a) answer differently);
+// ErrMismatched is wrapped otherwise.
+func (s Snapshot) Merge(o Snapshot) (Snapshot, error) {
+	if s.IsZero() {
+		return o, nil
+	}
+	if o.IsZero() {
+		return s, nil
+	}
+	if !fullConfigEqual(s.cfg, o.cfg) {
+		return Snapshot{}, fmt.Errorf("qlove: %w", ErrMismatched)
+	}
+	out := Snapshot{
+		cfg:     s.cfg,
+		streams: s.streams + o.streams,
+		sums:    make([]float64, len(s.sums)),
+		managed: s.managed,
+	}
+	for i := range out.sums {
+		out.sums[i] = s.sums[i] + o.sums[i]
+	}
+	out.summaries = make([]Summary, 0, len(s.summaries)+len(o.summaries))
+	out.summaries = append(out.summaries, s.summaries...)
+	out.summaries = append(out.summaries, o.summaries...)
+	return out, nil
+}
+
+// MergeSnapshots folds a slice of snapshots left to right.
+func MergeSnapshots(snaps []Snapshot) (Snapshot, error) {
+	var out Snapshot
+	for _, sn := range snaps {
+		var err error
+		if out, err = out.Merge(sn); err != nil {
+			return Snapshot{}, err
+		}
+	}
+	return out, nil
+}
+
+// Estimates answers the configured quantiles from the captured state,
+// mirroring Policy.Result exactly: non-high quantiles come from the
+// Level-2 average over every resident sub-window quantile; few-k-managed
+// quantiles select between Level 2, top-k merging and sample-k merging per
+// §4.3, with the few-k read rank scaled to the streams×N logical window.
+// With no resident summaries it returns zeros, one per ϕ.
+func (s Snapshot) Estimates() []float64 {
+	out := make([]float64, len(s.cfg.Phis))
+	if len(s.summaries) == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = s.sums[i] / float64(len(s.summaries))
+	}
+	logicalN := s.cfg.Spec.Size * s.streams
+	for mi, pi := range s.managed {
+		phi := s.cfg.Phis[pi]
+		level2 := out[pi]
+		topK, topOK := fewk.TopKMerge(cachedOf(s.summaries, mi), logicalN, phi)
+		sampleK, sampOK := fewk.SampleKMerge(samplesOf(s.summaries, mi), logicalN, phi)
+		burst := anyBurstyOf(s.summaries, mi)
+		statIneff := fewk.NeedsTopK(s.cfg.Spec.Period, phi, s.cfg.StatThreshold)
+		if s.cfg.SampleKOnly && sampOK {
+			// Table 4 mode: the sample-k pipeline answers managed
+			// quantiles unconditionally, exactly as Result does.
+			out[pi] = sampleK
+			continue
+		}
+		out[pi] = fewk.Outcome(level2, topK, topOK, sampleK, sampOK, burst, statIneff)
+	}
+	return out
+}

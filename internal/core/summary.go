@@ -256,6 +256,14 @@ func (b *builder) reset(count int) {
 	b.prevUnique = 0
 }
 
+// clear empties the builder back to its as-constructed state, keeping the
+// tree arena and every scratch buffer at capacity (Clear retains the
+// arena; the quantizer's decade cache is stateless across values).
+func (b *builder) clear() {
+	b.tree.Clear()
+	b.prevUnique = 0
+}
+
 // tailSize returns how deep the few-k capture reads the sub-window's tail
 // for quantile phi: the N(1−ϕ) values that guarantee exactness, clamped to
 // the sub-window population.

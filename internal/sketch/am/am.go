@@ -208,6 +208,10 @@ func (p *Policy) Expire([]float64) {
 	}
 }
 
+// ExpiresWholeSummaries implements stream.SummaryExpirer: AM expires
+// whole blocks by position and never reads the Expire slice.
+func (p *Policy) ExpiresWholeSummaries() bool { return true }
+
 // activeCover greedily covers the unexpired base blocks with the largest
 // live blocks, top level first.
 func (p *Policy) activeCover() []wsummary {

@@ -98,6 +98,10 @@ func (p *Policy) Expire([]float64) {
 	}
 }
 
+// ExpiresWholeSummaries implements stream.SummaryExpirer: CMQS drops a
+// whole sub-window sketch per period and never reads the Expire slice.
+func (p *Policy) ExpiresWholeSummaries() bool { return true }
+
 // Result implements stream.Policy: merge every active sketch.
 func (p *Policy) Result() []float64 {
 	active := p.activeSketches()

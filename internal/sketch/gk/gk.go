@@ -65,6 +65,30 @@ func (s *Summary) Insert(v float64) {
 	}
 }
 
+// InsertBatch adds a run of observations in order. It is observationally
+// identical to calling Insert per element — same tuple sequence, same
+// compress points — but amortizes batch-level costs: tuple capacity is
+// reserved once per batch and the per-element call overhead collapses
+// into a single tight loop. The reservation is capped at the compress
+// window (at most ⌈1/2ε⌉ inserts accumulate before compress shrinks the
+// summary back), not at len(vs): a summary never holds batch-sized state,
+// so reserving for the whole batch would allocate a transient slice the
+// next compress immediately strands.
+func (s *Summary) InsertBatch(vs []float64) {
+	grow := len(vs)
+	if window := int(1/(2*s.eps)) + 1; grow > window {
+		grow = window
+	}
+	if need := len(s.tuples) + grow; cap(s.tuples) < need {
+		grown := make([]tuple, len(s.tuples), need+need/4)
+		copy(grown, s.tuples)
+		s.tuples = grown
+	}
+	for _, v := range vs {
+		s.Insert(v)
+	}
+}
+
 // compress merges adjacent tuples whose combined uncertainty stays within
 // the invariant g_i + g_{i+1} + Δ_{i+1} <= 2εn, scanning from the tail so
 // each tuple can be absorbed into its successor. The minimum and maximum

@@ -1,0 +1,94 @@
+package gk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/window"
+)
+
+// Policy adapts the classic unbounded-stream Greenwald–Khanna summary to
+// the stream.Policy contract, as the harness's "no window" reference
+// baseline. GK supports no deletion, so the policy answers every query
+// over ALL elements seen since construction: Expire is a no-op and the
+// window spec only schedules evaluations. Its estimates therefore lag
+// distribution shifts that windowed operators track — which is exactly the
+// contrast it exists to demonstrate (§2 motivates windowed monitoring; GK
+// is the building block CMQS and AM wrap to get windows) — while costing a
+// single O(ε⁻¹·log(εn)) summary of space.
+type Policy struct {
+	spec window.Spec
+	phis []float64
+	s    *Summary
+}
+
+// NewPolicy returns the GK baseline with rank-error parameter eps.
+func NewPolicy(spec window.Spec, phis []float64, eps float64) (*Policy, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(phis) == 0 {
+		return nil, fmt.Errorf("gk: no quantiles specified")
+	}
+	s, err := New(eps)
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{
+		spec: spec,
+		phis: append([]float64(nil), phis...),
+		s:    s,
+	}, nil
+}
+
+// Name implements stream.Policy.
+func (p *Policy) Name() string { return "GK" }
+
+// Observe implements stream.Policy. NaN values — telemetry glitches — are
+// dropped, as every other policy does: they have no place in an order
+// statistic and would corrupt the summary's comparisons.
+func (p *Policy) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	p.s.Insert(v)
+}
+
+// ObserveBatch implements stream.Policy: NaN-free runs go through the
+// summary's native InsertBatch path, which grows tuple capacity once per
+// run instead of once per append regrowth.
+func (p *Policy) ObserveBatch(vs []float64) {
+	start := 0
+	for i, v := range vs {
+		if math.IsNaN(v) {
+			p.s.InsertBatch(vs[start:i])
+			start = i + 1
+		}
+	}
+	p.s.InsertBatch(vs[start:])
+}
+
+// Expire implements stream.Policy as a no-op: GK cannot deaccumulate, so
+// nothing ever leaves the summary. The baseline intentionally answers over
+// the whole stream.
+func (p *Policy) Expire([]float64) {}
+
+// ExpiresWholeSummaries implements stream.SummaryExpirer: Expire never
+// reads its argument (trivially — it does nothing).
+func (p *Policy) ExpiresWholeSummaries() bool { return true }
+
+// Result implements stream.Policy: one rank query per configured ϕ over
+// everything seen; zeros before the first element.
+func (p *Policy) Result() []float64 {
+	out := make([]float64, len(p.phis))
+	if p.s.Count() == 0 {
+		return out
+	}
+	for i, phi := range p.phis {
+		out[i] = p.s.Query(phi)
+	}
+	return out
+}
+
+// SpaceUsage implements stream.Policy: the resident tuple count.
+func (p *Policy) SpaceUsage() int { return p.s.Size() }

@@ -1,0 +1,114 @@
+package gk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/window"
+)
+
+func TestInsertBatchMatchesInsert(t *testing.T) {
+	// InsertBatch must build the bit-identical tuple sequence Insert
+	// builds: same values, same gaps, same uncertainties, in every batch
+	// shape including ones spanning compress points.
+	rng := rand.New(rand.NewSource(7))
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 100
+	}
+	a, _ := New(0.02)
+	for _, v := range data {
+		a.Insert(v)
+	}
+	b, _ := New(0.02)
+	for pos := 0; pos < len(data); {
+		end := pos + 1 + (pos*pos)%97
+		if end > len(data) {
+			end = len(data)
+		}
+		b.InsertBatch(data[pos:end])
+		pos = end
+	}
+	if a.Count() != b.Count() || a.Size() != b.Size() {
+		t.Fatalf("shape diverges: count %d/%d size %d/%d", a.Count(), b.Count(), a.Size(), b.Size())
+	}
+	for i := range a.tuples {
+		if a.tuples[i] != b.tuples[i] {
+			t.Fatalf("tuple %d: %+v != %+v", i, a.tuples[i], b.tuples[i])
+		}
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	spec := window.Spec{Size: 100, Period: 10}
+	if _, err := NewPolicy(spec, nil, 0.02); err == nil {
+		t.Fatal("no phis accepted")
+	}
+	if _, err := NewPolicy(spec, []float64{0.5}, 0); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+	if _, err := NewPolicy(window.Spec{Size: 5, Period: 10}, []float64{0.5}, 0.02); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	p, err := NewPolicy(spec, []float64{0.5}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "GK" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	if got := p.Result(); got[0] != 0 {
+		t.Fatalf("empty result = %v", got)
+	}
+}
+
+func TestPolicyIsUnwindowed(t *testing.T) {
+	// The GK baseline answers over everything seen: after a distribution
+	// shift its median lags between the two regimes, unlike a windowed
+	// operator that would track the new one. That is the contrast the
+	// baseline exists to demonstrate.
+	spec := window.Spec{Size: 1000, Period: 500}
+	p, err := NewPolicy(spec, []float64{0.5}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		p.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		p.Expire(nil) // no-op: nothing leaves a GK summary
+	}
+	for i := 0; i < 5000; i++ {
+		p.Observe(200)
+	}
+	if got := p.Result()[0]; got != 100 && got != 200 {
+		t.Fatalf("median = %v, want a whole-stream value", got)
+	}
+	// Whole-stream rank: ~half the 10k elements are at each level, so the
+	// median must come from the OLD regime (rank 5000 lands at its edge) —
+	// a windowed operator would answer 200 outright.
+	if p.SpaceUsage() <= 0 {
+		t.Fatal("no resident tuples")
+	}
+	if p.s.Count() != 10000 {
+		t.Fatalf("count = %d, want all elements retained", p.s.Count())
+	}
+}
+
+func TestPolicyDropsNaNs(t *testing.T) {
+	spec := window.Spec{Size: 100, Period: 50}
+	p, err := NewPolicy(spec, []float64{0.5}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []float64{1, math.NaN(), 2, 3, math.NaN(), math.NaN(), 4, 5}
+	p.ObserveBatch(batch)
+	p.Observe(math.NaN())
+	if p.s.Count() != 5 {
+		t.Fatalf("count = %d, want 5 (NaNs dropped)", p.s.Count())
+	}
+	if got := p.Result()[0]; got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+}

@@ -88,6 +88,11 @@ func (p *Policy) Expire([]float64) {
 	}
 }
 
+// ExpiresWholeSummaries implements stream.SummaryExpirer: the moment
+// sketch drops a whole sub-window per period and never reads the Expire
+// slice.
+func (p *Policy) ExpiresWholeSummaries() bool { return true }
+
 // Result implements stream.Policy.
 func (p *Policy) Result() []float64 {
 	out := make([]float64, len(p.phis))

@@ -122,6 +122,10 @@ func (p *Policy) Expire([]float64) {
 	}
 }
 
+// ExpiresWholeSummaries implements stream.SummaryExpirer: sampling drops a
+// whole sub-window's samples per period and never reads the Expire slice.
+func (p *Policy) ExpiresWholeSummaries() bool { return true }
+
 // Result implements stream.Policy: merge all weighted samples plus the raw
 // in-flight buffer via the interpolated merged read (see gk.MergedRead;
 // step-CDF reads bias rank estimates half a sample interval deep per

@@ -2,6 +2,8 @@ package stream
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/window"
@@ -43,6 +45,25 @@ type Policy interface {
 // the only piece the ObserveEach fallback needs.
 type Observer interface {
 	Observe(v float64)
+}
+
+// SummaryExpirer is an optional Policy extension for operators that expire
+// state at sub-window (or coarser) granularity and never read the slice
+// passed to Expire — QLOVE, CMQS, AM, Random and Moment all drop a whole
+// summary per period. A Pusher detects the marker and skips the O(window)
+// replay ring it would otherwise keep per stream, which is what makes
+// monitoring hundreds of thousands of concurrent keys affordable: each key
+// then costs only its operator state.
+type SummaryExpirer interface {
+	// ExpiresWholeSummaries reports that Expire ignores its argument.
+	ExpiresWholeSummaries() bool
+}
+
+// expireNeedsValues reports whether p must be handed the actual expired
+// elements (element-wise deaccumulators like Exact).
+func expireNeedsValues(p Policy) bool {
+	se, ok := p.(SummaryExpirer)
+	return !ok || !se.ExpiresWholeSummaries()
 }
 
 // ObserveEach is the package-level fallback ObserveBatch adapter: it feeds
@@ -155,26 +176,87 @@ func Feed(p Policy, spec window.Spec, data []float64) (RunStats, error) {
 // uniformly.
 type Factory func(spec window.Spec, phis []float64) (Policy, error)
 
-// Registry maps policy names to factories.
-type Registry map[string]Factory
+// BoundFactory is a factory with its window spec and quantile set already
+// applied: every call returns a fresh, independently owned policy. It is
+// the unit of policy construction a concurrent engine consumes — an engine
+// spawning one operator per key cannot share policy instances, only the
+// recipe for making them.
+type BoundFactory func() (Policy, error)
+
+// Bind fixes the spec and quantile set of a factory. The phis slice is
+// copied, so later mutation by the caller cannot leak into policies
+// constructed after the fact.
+func (f Factory) Bind(spec window.Spec, phis []float64) BoundFactory {
+	phis = append([]float64(nil), phis...)
+	return func() (Policy, error) { return f(spec, phis) }
+}
+
+// Registry maps policy names to factories. It hands out construction
+// recipes, never policy instances, so any number of goroutines can
+// instantiate the same algorithm concurrently. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
 
 // NewRegistry returns an empty registry.
-func NewRegistry() Registry { return Registry{} }
+func NewRegistry() *Registry {
+	return &Registry{factories: map[string]Factory{}}
+}
 
 // Register adds a factory under name, failing on duplicates.
-func (r Registry) Register(name string, f Factory) error {
-	if _, dup := r[name]; dup {
+func (r *Registry) Register(name string, f Factory) error {
+	if f == nil {
+		return fmt.Errorf("stream: nil factory for policy %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
 		return fmt.Errorf("stream: policy %q already registered", name)
 	}
-	r[name] = f
+	r.factories[name] = f
 	return nil
 }
 
-// New instantiates a registered policy.
-func (r Registry) New(name string, spec window.Spec, phis []float64) (Policy, error) {
-	f, ok := r[name]
+// Lookup returns the factory registered under name.
+func (r *Registry) Lookup(name string) (Factory, error) {
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("stream: unknown policy %q", name)
 	}
+	return f, nil
+}
+
+// New instantiates a registered policy.
+func (r *Registry) New(name string, spec window.Spec, phis []float64) (Policy, error) {
+	f, err := r.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
 	return f(spec, phis)
+}
+
+// Bind returns a BoundFactory for a registered policy, the form an engine
+// consumes to mint one operator per key.
+func (r *Registry) Bind(name string, spec window.Spec, phis []float64) (BoundFactory, error) {
+	f, err := r.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.Bind(spec, phis), nil
+}
+
+// Names returns the registered policy names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }

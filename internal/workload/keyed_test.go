@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestKeyedValidation(t *testing.T) {
+	if _, err := NewKeyed(1, 0, 0, NewNetMon(1)); err == nil {
+		t.Fatal("zero cardinality accepted")
+	}
+	if _, err := NewKeyed(1, 10, 0, nil); err == nil {
+		t.Fatal("nil value generator accepted")
+	}
+	if _, err := NewKeyed(1, 10, 0.5, NewNetMon(1)); err == nil {
+		t.Fatal("invalid zipf skew accepted")
+	}
+	if _, err := NewKeyed(1, 10, 1.0, NewNetMon(1)); err == nil {
+		t.Fatal("skew=1 accepted (rand.Zipf requires s > 1)")
+	}
+}
+
+func TestKeyedDeterministic(t *testing.T) {
+	mk := func() *Keyed {
+		g, err := NewKeyed(42, 100, 1.3, NewNetMon(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ {
+		ka, va := a.Next()
+		kb, vb := b.Next()
+		if ka != kb || va != vb {
+			t.Fatalf("draw %d diverges: (%s,%v) vs (%s,%v)", i, ka, va, kb, vb)
+		}
+	}
+}
+
+func TestKeyedUniformCoversUniverse(t *testing.T) {
+	g, err := NewKeyed(3, 50, 0, NewUniform(3, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		k, v := g.Next()
+		if v < 0 || v >= 1 {
+			t.Fatalf("value %v outside generator range", v)
+		}
+		seen[k]++
+	}
+	if len(seen) != 50 {
+		t.Fatalf("uniform draw hit %d/50 keys", len(seen))
+	}
+	// No key should dominate a uniform draw: expectation 100 per key.
+	for k, n := range seen {
+		if n > 300 {
+			t.Fatalf("uniform key %s drawn %d times", k, n)
+		}
+	}
+}
+
+func TestKeyedZipfIsSkewed(t *testing.T) {
+	g, err := NewKeyed(5, 1000, 1.2, NewUniform(5, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k, _ := g.Next()
+		counts[k]++
+	}
+	hot := counts[g.Key(0)]
+	if hot < draws/20 {
+		t.Fatalf("hottest key drew %d/%d — not skewed", hot, draws)
+	}
+	if hot < 10*counts[g.Key(500)] {
+		t.Fatalf("head/tail ratio too flat: %d vs %d", hot, counts[g.Key(500)])
+	}
+}
+
+func TestKeyedNextReport(t *testing.T) {
+	g, err := NewKeyed(9, 10, 0, NewNormal(9, 100, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 0, 64)
+	key, vs := g.NextReport(buf)
+	if len(vs) != 64 {
+		t.Fatalf("report size %d, want cap(dst)=64", len(vs))
+	}
+	if key == "" {
+		t.Fatal("empty key")
+	}
+	if &vs[0] != &buf[:1][0] {
+		t.Fatal("report did not reuse the caller's buffer")
+	}
+}

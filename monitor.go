@@ -1,10 +1,10 @@
 package qlove
 
 import (
-	"fmt"
+	"repro/internal/stream"
 )
 
-// Result is one evaluation produced by a Monitor.
+// Result is one evaluation produced by a Monitor or an Engine.
 type Result struct {
 	// Evaluation is the 0-based index of this query evaluation.
 	Evaluation int
@@ -13,113 +13,73 @@ type Result struct {
 }
 
 // Monitor adapts a Policy to push-based streaming: callers Push one
-// element at a time and receive a Result every window period once the
-// first full window has been observed. The Monitor owns the replay buffer
-// the engine needs to expire old elements (as the streaming engine does in
-// Trill), so policies remain charged only for their operator state.
+// element at a time (or PushBatch a run) and receive a Result every window
+// period once the first full window has been observed. It is a thin
+// single-stream adapter over the same per-key state machine an Engine
+// shard runs for every key (stream.Pusher): the window protocol, replay
+// buffer ownership and batch chunking live there, shared between the two
+// front ends.
 type Monitor struct {
-	policy Policy
-	spec   Window
-	ring   []float64 // last Size elements, ring-indexed
-	expire []float64 // Period-sized replay scratch handed to Expire
-	seen   int64     // total elements pushed
-	evals  int
+	pusher *stream.Pusher
+	// emit/adapt implement the Evaluation→Result callback adaptation with
+	// one closure for the Monitor's lifetime instead of one per PushBatch
+	// call, keeping the batch path allocation-free at steady state.
+	emit  func(Result)
+	adapt func(stream.Evaluation)
 }
 
 // NewMonitor wraps a policy for push-based use under the window spec. The
 // spec must match the one the policy was constructed with.
 func NewMonitor(p Policy, spec Window) (*Monitor, error) {
-	if err := spec.Validate(); err != nil {
+	k, err := stream.NewPusher(p, spec)
+	if err != nil {
 		return nil, err
 	}
-	if p == nil {
-		return nil, fmt.Errorf("qlove: nil policy")
-	}
-	return &Monitor{
-		policy: p,
-		spec:   spec,
-		ring:   make([]float64, spec.Size),
-		expire: make([]float64, spec.Period),
-	}, nil
-}
-
-// expireOldest replays the period that just left the window to the policy,
-// reusing the monitor's scratch buffer. The policy contract already forbids
-// retaining the Expire slice, so sharing one buffer across periods is safe.
-func (m *Monitor) expireOldest() {
-	start := int(m.seen-int64(m.spec.Size)) % len(m.ring)
-	n := copy(m.expire, m.ring[start:])
-	copy(m.expire[n:], m.ring[:m.spec.Period-n])
-	m.policy.Expire(m.expire)
-}
-
-// atBoundary reports whether seen sits on a period boundary with at least
-// one full window observed — the point where expiry (before new elements)
-// and evaluation (after them) happen.
-func (m *Monitor) atBoundary() bool {
-	return m.seen >= int64(m.spec.Size) && m.seen%int64(m.spec.Period) == 0
+	return &Monitor{pusher: k}, nil
 }
 
 // Push feeds one element. When the element completes a window period (and
 // at least one full window has been seen), it returns the evaluation
 // result and true.
 func (m *Monitor) Push(v float64) (Result, bool) {
-	// Expire the period that just left the window, one batch per period,
-	// before the new period begins — mirroring stream.Run's protocol.
-	if m.atBoundary() {
-		m.expireOldest()
+	ev, ok := m.pusher.Push(v)
+	if !ok {
+		return Result{}, false
 	}
-	m.ring[int(m.seen)%len(m.ring)] = v
-	m.seen++
-	m.policy.Observe(v)
-	if m.atBoundary() {
-		res := Result{Evaluation: m.evals, Estimates: m.policy.Result()}
-		m.evals++
-		return res, true
-	}
-	return Result{}, false
+	return Result{Evaluation: ev.Index, Estimates: ev.Estimates}, true
 }
 
 // PushBatch feeds a run of elements through the policy's batch path,
 // invoking emit for every evaluation produced along the way (nil emit
-// discards them). It follows exactly the Push protocol — expire the
-// departed period at each boundary, then observe, then evaluate — but
-// amortizes ring maintenance into bulk copies and hands the policy
-// period-aligned ObserveBatch chunks, so a caller draining an ingest queue
-// pays none of Push's per-element bookkeeping.
+// discards them). It is observationally identical to repeated Push calls
+// but amortizes ring maintenance into bulk copies and hands the policy
+// period-aligned ObserveBatch chunks.
 func (m *Monitor) PushBatch(vs []float64, emit func(Result)) {
-	for len(vs) > 0 {
-		if m.atBoundary() {
-			m.expireOldest()
-		}
-		// Chunk to the next period boundary (chunks are ring-safe: one
-		// period never exceeds the ring size).
-		chunk := vs
-		if room := m.spec.Period - int(m.seen%int64(m.spec.Period)); len(chunk) > room {
-			chunk = chunk[:room]
-		}
-		start := int(m.seen) % len(m.ring)
-		n := copy(m.ring[start:], chunk)
-		copy(m.ring, chunk[n:])
-		m.seen += int64(len(chunk))
-		m.policy.ObserveBatch(chunk)
-		if m.atBoundary() {
-			res := Result{Evaluation: m.evals, Estimates: m.policy.Result()}
-			m.evals++
-			if emit != nil {
-				emit(res)
-			}
-		}
-		vs = vs[len(chunk):]
+	if emit == nil {
+		m.pusher.PushBatch(vs, nil)
+		return
 	}
+	if m.adapt == nil {
+		m.adapt = func(ev stream.Evaluation) {
+			m.emit(Result{Evaluation: ev.Index, Estimates: ev.Estimates})
+		}
+	}
+	// Save/restore rather than assign/nil so a reentrant PushBatch from
+	// inside emit leaves the outer call's callback in place; restoring nil
+	// at the outermost level also avoids retaining the caller's closure
+	// between batches.
+	prev := m.emit
+	m.emit = emit
+	m.pusher.PushBatch(vs, m.adapt)
+	m.emit = prev
 }
 
 // Seen returns the number of elements pushed so far.
-func (m *Monitor) Seen() int64 { return m.seen }
+func (m *Monitor) Seen() int64 { return m.pusher.Seen() }
 
 // Evaluations returns the number of results produced so far.
-func (m *Monitor) Evaluations() int { return m.evals }
+func (m *Monitor) Evaluations() int { return m.pusher.Evaluations() }
 
 // Policy returns the wrapped policy (e.g. to query SpaceUsage or, for a
 // *QLOVE, ErrorBounds).
-func (m *Monitor) Policy() Policy { return m.policy }
+func (m *Monitor) Policy() Policy { return m.pusher.Policy() }

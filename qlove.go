@@ -43,6 +43,16 @@
 //
 // Single-element feeding (mon.Push(v)) remains available for callers
 // without natural batch boundaries.
+//
+// # Keyed monitoring
+//
+// Monitor drives one anonymous stream; the Engine is its keyed, sharded,
+// concurrent form — one QLOVE operator per metric key, hash-partitioned
+// across single-writer shard goroutines, with batched Push(key, vs)
+// ingestion, a fan-in Results channel, and Snapshot()/Query(key) reads
+// that never stop ingestion. Snapshots of operators that consumed
+// disjoint sub-streams of one logical key Merge into a single
+// logical-window view. See Engine.
 package qlove
 
 import (
@@ -50,6 +60,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/sketch/am"
 	"repro/internal/sketch/cmqs"
+	"repro/internal/sketch/gk"
 	"repro/internal/sketch/moments"
 	"repro/internal/sketch/random"
 	"repro/internal/stats"
@@ -73,6 +84,27 @@ type QLOVE = core.Policy
 
 // New constructs a QLOVE operator.
 func New(cfg Config) (*QLOVE, error) { return core.New(cfg) }
+
+// Snapshot is a point-in-time, immutable capture of a QLOVE operator's
+// window state. Snapshots are values: safe to retain, read from any
+// goroutine, and Merge with captures of other operators that consumed
+// disjoint sub-streams of the same logical stream (engine shards,
+// ingestion threads, datacenter pods). See the core package documentation
+// for merge semantics.
+type Snapshot = core.Snapshot
+
+// MergeSnapshots folds any number of snapshots into one logical-window
+// capture; the zero Snapshot is the identity.
+func MergeSnapshots(snaps []Snapshot) (Snapshot, error) {
+	return core.MergeSnapshots(snaps)
+}
+
+// Snapshotter is implemented by policies whose window state can be
+// captured into a mergeable Snapshot (QLOVE). Engine.Query and
+// Engine.Snapshot serve only keys whose policies implement it.
+type Snapshotter interface {
+	Snapshot() Snapshot
+}
 
 // Policy is the sliding-window multi-quantile operator contract shared by
 // QLOVE and every baseline: Observe feeds one element, ObserveBatch feeds
@@ -137,6 +169,13 @@ func NewMoment(spec Window, phis []float64, k int) (Policy, error) {
 	return moments.NewPolicy(spec, phis, k)
 }
 
+// NewGK returns the classic unbounded-stream Greenwald–Khanna baseline
+// with rank-error parameter eps: no expiry, estimates over everything seen
+// — the "no window" reference that motivates windowed operators.
+func NewGK(spec Window, phis []float64, eps float64) (Policy, error) {
+	return gk.NewPolicy(spec, phis, eps)
+}
+
 // DefaultEpsilon is the rank-error parameter the paper's Table 1 uses for
 // CMQS, AM and Random.
 const DefaultEpsilon = 0.02
@@ -144,10 +183,18 @@ const DefaultEpsilon = 0.02
 // DefaultMomentK is the moment-sketch order used in Table 1.
 const DefaultMomentK = 12
 
-// Registry returns a policy registry with all six policies registered
-// under their paper names using Table 1 parameters; the benchmark harness
-// and CLI instantiate policies through it.
-func Registry() stream.Registry {
+// BoundFactory is a policy factory with its window spec and quantile set
+// already applied; it is the construction recipe an Engine consumes to
+// mint one fresh operator per monitored key (see Registry.Bind and
+// stream.Factory.Bind).
+type BoundFactory = stream.BoundFactory
+
+// Registry returns a policy registry with every policy registered under
+// its paper name using Table 1 parameters — the six evaluated algorithms
+// plus the unwindowed GK reference ("gk"). The registry hands out
+// factories, never shared instances, so the benchmark harness, CLI and
+// concurrent engines can all instantiate policies through it.
+func Registry() *stream.Registry {
 	r := stream.NewRegistry()
 	must := func(err error) {
 		if err != nil {
@@ -174,6 +221,9 @@ func Registry() stream.Registry {
 	}))
 	must(r.Register("moment", func(spec Window, phis []float64) (Policy, error) {
 		return NewMoment(spec, phis, DefaultMomentK)
+	}))
+	must(r.Register("gk", func(spec Window, phis []float64) (Policy, error) {
+		return NewGK(spec, phis, DefaultEpsilon)
 	}))
 	return r
 }

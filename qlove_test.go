@@ -130,7 +130,7 @@ func TestRegistryHasAllPolicies(t *testing.T) {
 	r := Registry()
 	spec := Window{Size: 100, Period: 10}
 	phis := []float64{0.5}
-	for _, name := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment"} {
+	for _, name := range []string{"qlove", "qlove-fewk", "exact", "cmqs", "am", "random", "moment", "gk"} {
 		p, err := r.New(name, spec, phis)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -68,6 +68,26 @@ func (m *TimedMonitor) Push(v float64, t time.Time) (Result, bool) {
 	return res, ready
 }
 
+// PushBatch feeds a run of elements sharing one arrival timestamp — the
+// natural shape of real telemetry, where a source reports a chunk of
+// measurements at once. It is observationally identical to calling
+// Push(v, t) for each element with the same t (the boundary crossing is
+// processed once, before any element, exactly as repeated Pushes would),
+// but delivers the run through the operator's amortized ObserveBatch path.
+// An empty batch degenerates to Flush(t).
+func (m *TimedMonitor) PushBatch(t time.Time, vs []float64) (Result, bool) {
+	if len(vs) == 0 {
+		return m.Flush(t)
+	}
+	if !m.started {
+		m.started = true
+		m.boundary = t.Truncate(m.period).Add(m.period)
+	}
+	res, ready := m.advanceTo(t)
+	m.q.ObserveBatch(vs)
+	return res, ready
+}
+
 // Flush advances wall-clock time without an element (e.g. from a ticker),
 // sealing and evaluating as needed. It returns the evaluation produced by
 // the most recent boundary crossing, if any.

@@ -115,6 +115,86 @@ func TestTimedMonitorExpiryByTime(t *testing.T) {
 	}
 }
 
+func TestTimedMonitorPushBatchMatchesPush(t *testing.T) {
+	// Batches sharing one timestamp must be observationally identical to
+	// repeated single Pushes with that timestamp — same evaluations, same
+	// bits — across boundary-crossing, multi-boundary and empty batches.
+	spec := Window{Size: 1200, Period: 300}
+	phis := []float64{0.5, 0.9, 0.999}
+	mk := func() *TimedMonitor {
+		q := mustQLOVE(t, Config{Spec: spec, Phis: phis, FewK: true})
+		mon, err := NewTimedMonitor(q, 4*time.Second, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mon
+	}
+	start := time.Date(2026, 7, 28, 9, 0, 0, 0, time.UTC)
+	gen := workload.NewNetMon(17)
+	type report struct {
+		at time.Time
+		vs []float64
+	}
+	var reports []report
+	// 40 reports at irregular intervals (including a 3-period silence and
+	// an empty report), with ragged sizes.
+	at := start
+	for i := 0; i < 40; i++ {
+		step := time.Duration(50+i*37%400) * time.Millisecond
+		if i == 25 {
+			step = 3 * time.Second
+		}
+		at = at.Add(step)
+		n := (i * i) % 173
+		reports = append(reports, report{at: at, vs: workload.Generate(gen, n)})
+	}
+
+	m1 := mk()
+	var want []Result
+	for _, r := range reports {
+		if len(r.vs) == 0 {
+			if res, ok := m1.Flush(r.at); ok {
+				want = append(want, res)
+			}
+			continue
+		}
+		for i, v := range r.vs {
+			res, ok := m1.Push(v, r.at)
+			if ok {
+				if i != 0 {
+					t.Fatalf("evaluation produced mid-report at element %d", i)
+				}
+				want = append(want, res)
+			}
+		}
+	}
+
+	m2 := mk()
+	var got []Result
+	for _, r := range reports {
+		if res, ok := m2.PushBatch(r.at, r.vs); ok {
+			got = append(got, res)
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("results: batch %d, element %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Evaluation != want[i].Evaluation {
+			t.Fatalf("result %d: evaluation %d != %d", i, got[i].Evaluation, want[i].Evaluation)
+		}
+		for j := range want[i].Estimates {
+			if math.Float64bits(got[i].Estimates[j]) != math.Float64bits(want[i].Estimates[j]) {
+				t.Fatalf("result %d ϕ=%v: %v != %v", i, phis[j], got[i].Estimates[j], want[i].Estimates[j])
+			}
+		}
+	}
+	if m2.Evaluations() != m1.Evaluations() {
+		t.Fatalf("evaluations diverge: %d vs %d", m2.Evaluations(), m1.Evaluations())
+	}
+}
+
 func TestTimedMonitorFlushBeforeStart(t *testing.T) {
 	q := mustQLOVE(t, Config{Spec: Window{Size: 100, Period: 10}, Phis: []float64{0.5}})
 	mon, _ := NewTimedMonitor(q, time.Minute, time.Second)
