@@ -1,0 +1,149 @@
+// Command qlove-agg is the central half of the distributed quantile plane:
+// it consumes snapshot blobs exported by worker processes (Engine.Export,
+// EngineSnapshot.WriteTo or qlove-bench's distributed workers), groups the
+// keyed frames, merges captures of the same key into one logical-window
+// view and reports the merged quantile estimates.
+//
+//	qlove-agg worker-0.bin worker-1.bin worker-2.bin
+//	cat exports/*.bin | qlove-agg            # blobs concatenate freely
+//	qlove-agg -json -top 10 exports/*.bin    # machine-readable, hottest 10
+//	qlove-agg -phi 0.99 exports/*.bin        # one quantile column only
+//
+// Inputs are read in argument order ("-" or no arguments reads stdin);
+// frames for the same key — whether within one blob or across blobs — are
+// merged in that order, so a fixed input order yields bit-reproducible
+// estimates. Keys whose captures were produced under different operator
+// configurations refuse to merge (that is a deployment error, not noise).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "qlove-agg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("qlove-agg", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit one JSON document instead of the table")
+	top := fs.Int("top", 0, "report only the N keys with the most window elements (0 = all keys, sorted)")
+	phi := fs.Float64("phi", 0, "report only this configured quantile (0 = all configured quantiles)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	agg, err := aggregate(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	return report(stdout, agg, *jsonOut, *top, *phi)
+}
+
+// aggregate folds every input blob into one keyed capture.
+func aggregate(paths []string, stdin io.Reader) (qlove.EngineSnapshot, error) {
+	var agg qlove.EngineSnapshot
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+	for _, path := range paths {
+		in := stdin
+		name := "stdin"
+		var file *os.File
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				return qlove.EngineSnapshot{}, err
+			}
+			in, file, name = f, f, path
+		}
+		// Buffered: the decoder reads each ~200-byte frame in two calls,
+		// which must not mean two syscalls per frame.
+		_, err := agg.ReadFrom(bufio.NewReader(in))
+		if file != nil {
+			file.Close()
+		}
+		if err != nil {
+			return qlove.EngineSnapshot{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return agg, nil
+}
+
+// keyReport is one merged key's line, shared by the table and -json paths.
+type keyReport struct {
+	Key        string    `json:"key"`
+	Streams    int       `json:"streams"`
+	SubWindows int       `json:"sub_windows"`
+	Elements   int       `json:"elements"`
+	Phis       []float64 `json:"phis"`
+	Estimates  []float64 `json:"estimates"`
+}
+
+func report(w io.Writer, agg qlove.EngineSnapshot, jsonOut bool, top int, phi float64) error {
+	// The cheap shape fields drive the -top selection; estimates — heap
+	// merges over every resident summary per key — are computed only for
+	// the keys that survive it.
+	reports := make([]keyReport, 0, agg.Len())
+	for _, k := range agg.Keys() {
+		sn, _ := agg.Get(k)
+		reports = append(reports, keyReport{
+			Key:        k,
+			Streams:    sn.Streams(),
+			SubWindows: sn.SubWindows(),
+			Elements:   sn.Elements(),
+		})
+	}
+	if top > 0 {
+		sort.SliceStable(reports, func(i, j int) bool { return reports[i].Elements > reports[j].Elements })
+		if top < len(reports) {
+			reports = reports[:top]
+		}
+	}
+	for i := range reports {
+		r := &reports[i]
+		sn, _ := agg.Get(r.Key)
+		if phi != 0 {
+			// Estimate's interpolation guard: an unconfigured ϕ is an
+			// error, not a silently interpolated answer.
+			est, ok := sn.Estimate(phi)
+			if !ok {
+				return fmt.Errorf("key %q: ϕ=%v is not a configured quantile (configured: %v)",
+					r.Key, phi, sn.Config().Phis)
+			}
+			r.Phis = []float64{phi}
+			r.Estimates = []float64{est}
+		} else {
+			r.Phis = sn.Config().Phis
+			r.Estimates = sn.Estimates()
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Keys []keyReport `json:"keys"`
+		}{reports})
+	}
+	for _, r := range reports {
+		fmt.Fprintf(w, "%-24s streams=%-3d subwindows=%-4d elements=%-8d", r.Key, r.Streams, r.SubWindows, r.Elements)
+		for i, p := range r.Phis {
+			fmt.Fprintf(w, "  p%g=%.6g", p*100, r.Estimates[i])
+		}
+		fmt.Fprintln(w)
+	}
+	if len(reports) == 0 {
+		fmt.Fprintln(w, "(no snapshots)")
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// exportBlob runs one worker engine over the given keys and returns its
+// export.
+func exportBlob(t *testing.T, cfg qlove.Config, seeds map[string]int64) []byte {
+	t.Helper()
+	e, err := qlove.NewEngine(qlove.EngineConfig{Config: cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, seed := range seeds {
+		if err := e.Push(key, workload.Generate(workload.NewNetMon(seed), 3*cfg.Spec.Size)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	var buf bytes.Buffer
+	if _, err := e.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAggregateAndReport(t *testing.T) {
+	cfg := qlove.Config{Spec: qlove.Window{Size: 400, Period: 100}, Phis: []float64{0.5, 0.99}, FewK: true}
+	blobA := exportBlob(t, cfg, map[string]int64{"shared": 1, "only-a": 2})
+	blobB := exportBlob(t, cfg, map[string]int64{"shared": 3, "only-b": 4})
+
+	dir := t.TempDir()
+	fa, fb := filepath.Join(dir, "a.bin"), filepath.Join(dir, "b.bin")
+	if err := os.WriteFile(fa, blobA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fb, blobB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	agg, err := aggregate([]string{fa, fb}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != 3 {
+		t.Fatalf("keys = %v", agg.Keys())
+	}
+	sn, ok := agg.Get("shared")
+	if !ok || sn.Streams() != 2 {
+		t.Fatalf("shared streams = %d ok=%v", sn.Streams(), ok)
+	}
+
+	// The file path and the stdin path (concatenated blobs) agree
+	// bit-for-bit.
+	var stdinAgg qlove.EngineSnapshot
+	joined := append(append([]byte(nil), blobA...), blobB...)
+	if _, err := stdinAgg.ReadFrom(bytes.NewReader(joined)); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range agg.Keys() {
+		a, _ := agg.Query(k)
+		b, ok := stdinAgg.Query(k)
+		if !ok {
+			t.Fatalf("stdin path missing %q", k)
+		}
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("key %q: file path %v != stdin path %v", k, a, b)
+			}
+		}
+	}
+
+	// Table output names every key.
+	var out bytes.Buffer
+	if err := report(&out, agg, false, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"shared", "only-a", "only-b"} {
+		if !strings.Contains(out.String(), k) {
+			t.Fatalf("table output missing %q:\n%s", k, out.String())
+		}
+	}
+
+	// JSON output round-trips and honours -top.
+	out.Reset()
+	if err := report(&out, agg, true, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Keys []keyReport `json:"keys"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Keys) != 1 || doc.Keys[0].Key != "shared" {
+		t.Fatalf("-top 1 selected %+v (want the 2-stream key)", doc.Keys)
+	}
+
+	// -phi selects one configured quantile and refuses unknown ones.
+	out.Reset()
+	if err := report(&out, agg, false, 0, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	if err := report(&out, agg, false, 0, 0.95); err == nil {
+		t.Fatal("unconfigured ϕ answered")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cfg := qlove.Config{Spec: qlove.Window{Size: 200, Period: 50}, Phis: []float64{0.5}}
+	blob := exportBlob(t, cfg, map[string]int64{"svc": 7})
+	var out bytes.Buffer
+	if err := run(nil, bytes.NewReader(blob), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "svc") {
+		t.Fatalf("output: %s", out.String())
+	}
+	// Corrupt input surfaces a wrapped error, not a panic.
+	if err := run(nil, bytes.NewReader(blob[:len(blob)-3]), &out); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}

@@ -1,0 +1,447 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"repro"
+)
+
+// The distributed scenario is the paper's distributed-aggregation sketch
+// run for real: K worker ENGINES IN SEPARATE OS PROCESSES each ingest
+// their partition of one Zipf-keyed workload, export their snapshots as
+// wire blobs over stdout, and the parent aggregates the blobs centrally —
+// exactly the worker/aggregator split of cmd/qlove-agg. Two checks gate
+// the run:
+//
+//   - Hot-key identity: the workload is partitioned BY KEY (every key's
+//     whole sub-stream goes to one worker), so the aggregated capture of
+//     the Zipf head must answer bit-for-bit what a single reference
+//     Monitor fed the interleaved stream answers — across an encode,
+//     a process boundary, a decode and a merge.
+//   - Cross-worker merge identity: ONE designated key (the second-hottest)
+//     is instead split round-robin across ALL workers, so its aggregated
+//     capture is a genuine K-stream merge; it must answer bit-for-bit
+//     what merging the K sub-stream captures in-process (never
+//     serialized) answers.
+//
+// The parent also times the codec over the real blobs, feeding the -json
+// perf record's encode/decode MB/s and ns/snapshot columns.
+
+// workerCmd is the hidden argv[1] the parent uses to re-exec itself as a
+// worker.
+const workerCmd = "__distributed-worker"
+
+// distOptions parameterizes one distributed run.
+type distOptions struct {
+	multiKeyOptions
+	Workers int
+}
+
+// defaultDistOptions scales the scenario: 20k keys, 5M elements, 3 workers
+// at scale 1. Spec, ϕ set and report size match the multikey scenario so
+// the two perf-record sections are comparable.
+func defaultDistOptions(scale float64, seed int64, keys, workers int, skew float64) distOptions {
+	if keys <= 0 {
+		keys = int(20_000 * scale)
+		if keys < 500 {
+			keys = 500
+		}
+	}
+	if workers <= 0 {
+		workers = 3
+	}
+	elements := int(5_000_000 * scale)
+	// Enough traffic past the enumeration pass that the Zipf head keys —
+	// including the round-robin merge key — report many times: at least
+	// one traffic report per key on top of the heartbeat.
+	if min := 2 * 128 * keys; elements < min {
+		elements = min
+	}
+	return distOptions{
+		multiKeyOptions: multiKeyOptions{
+			Spec:     qlove.Window{Size: 512, Period: 128},
+			Phis:     []float64{0.5, 0.9, 0.99},
+			Keys:     keys,
+			Skew:     skew,
+			Report:   128,
+			Elements: elements,
+			Seed:     seed,
+		},
+		Workers: workers,
+	}
+}
+
+// mergeKey is the designated cross-worker key: index 1 of the fixed
+// workload.Keyed naming scheme — the second-hottest key under Zipf (index
+// 0 stays whole for the hot-key identity check). The default key floor is
+// 500, and runDistributed rejects explicit -keys values below 2, so the
+// key exists in every run.
+const mergeKey = "key-000001"
+
+// distPartition deterministically assigns each report to a worker: the
+// merge key round-robins across all workers (building the K disjoint
+// sub-streams the cross-worker check merges); every other key hashes
+// whole to one worker. Both sides of the process boundary walk the same
+// report sequence through the same partitioner state, so they agree
+// without any coordination.
+type distPartition struct {
+	workers   int
+	mergeKey  string
+	mergeSeen int
+}
+
+func (p *distPartition) assign(key string) int {
+	if key == p.mergeKey {
+		w := p.mergeSeen % p.workers
+		p.mergeSeen++
+		return w
+	}
+	// Inline FNV-1a: hash.Hash32 would allocate per report, inside the
+	// scenario's timed window.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(p.workers))
+}
+
+// distributedWorker is the re-exec'd worker process: rebuild the exact
+// report sequence from the flags (generation is deterministic in the
+// seed), ingest this worker's partition into a keyed Engine, and export
+// the engine's snapshot blob on stdout.
+func distributedWorker(args []string) error {
+	fs := flag.NewFlagSet(workerCmd, flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "workload seed")
+	keys := fs.Int("keys", 0, "key cardinality")
+	skew := fs.Float64("skew", 1.2, "zipf skew")
+	elements := fs.Int("elements", 0, "total elements")
+	report := fs.Int("report", 128, "values per report")
+	workers := fs.Int("workers", 1, "worker count")
+	worker := fs.Int("worker", 0, "this worker's index")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := defaultDistOptions(1, *seed, *keys, *workers, *skew)
+	o.Elements, o.Report = *elements, *report
+	seq, err := materializeReports(o.multiKeyOptions)
+	if err != nil {
+		return err
+	}
+	eng, err := qlove.NewEngine(qlove.EngineConfig{
+		Config:       qlove.Config{Spec: o.Spec, Phis: o.Phis},
+		Shards:       2,
+		QueueDepth:   256,
+		ResultBuffer: 1 << 14,
+	})
+	if err != nil {
+		return err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range eng.Results() {
+		}
+	}()
+	part := &distPartition{workers: *workers, mergeKey: mergeKey}
+	err = seq.each(func(key string, vs []float64) error {
+		if part.assign(key) != *worker {
+			return nil
+		}
+		return eng.Push(key, vs)
+	})
+	if err != nil {
+		return err
+	}
+	eng.Close()
+	<-drained
+	// One buffered stream, not one pipe write per ~190-byte frame.
+	out := bufio.NewWriter(os.Stdout)
+	if _, err := eng.Export(out); err != nil {
+		return err
+	}
+	return out.Flush()
+}
+
+// wireStats is the codec half of the distributed perf record, measured
+// over the run's real blobs.
+type wireStats struct {
+	Snapshots        int     `json:"snapshots"`
+	BlobBytes        int64   `json:"blob_bytes"`
+	EncodeMBPerS     float64 `json:"encode_mb_s"`
+	DecodeMBPerS     float64 `json:"decode_mb_s"`
+	EncodeNsPerSnap  float64 `json:"encode_ns_per_snapshot"`
+	DecodeNsPerSnap  float64 `json:"decode_ns_per_snapshot"`
+	BytesPerSnapshot float64 `json:"bytes_per_snapshot"`
+}
+
+// distRun is one distributed measurement, emitted into the -json perf
+// record.
+type distRun struct {
+	Workers              int       `json:"workers"`
+	Keys                 int       `json:"keys"`
+	MergedKeys           int       `json:"merged_keys"`
+	Elements             int       `json:"elements"`
+	Skew                 float64   `json:"skew"`
+	WallSeconds          float64   `json:"wall_seconds"`
+	ThroughputMevS       float64   `json:"throughput_mev_s"`
+	HotKeyConsistent     bool      `json:"hot_key_consistent"`
+	CrossMergeConsistent bool      `json:"cross_merge_consistent"`
+	CrossMergeStreams    int       `json:"cross_merge_streams"`
+	Wire                 wireStats `json:"wire"`
+}
+
+// runDistributed spawns the workers, aggregates their exports and runs
+// both identity checks.
+func runDistributed(o distOptions) (distRun, error) {
+	if o.Workers < 1 {
+		return distRun{}, fmt.Errorf("distributed: %d workers", o.Workers)
+	}
+	if o.Keys < 2 {
+		// Both identity checks need distinct hot and merge keys; fail
+		// before spawning workers rather than after the run with a
+		// confusing missing-key error.
+		return distRun{}, fmt.Errorf("distributed: needs -keys >= 2, got %d", o.Keys)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return distRun{}, err
+	}
+	args := func(i int) []string {
+		return []string{
+			workerCmd,
+			"-seed", strconv.FormatInt(o.Seed, 10),
+			"-keys", strconv.Itoa(o.Keys),
+			"-skew", strconv.FormatFloat(o.Skew, 'g', -1, 64),
+			"-elements", strconv.Itoa(o.Elements),
+			"-report", strconv.Itoa(o.Report),
+			"-workers", strconv.Itoa(o.Workers),
+			"-worker", strconv.Itoa(i),
+		}
+	}
+	// All workers run concurrently — genuinely separate OS processes over
+	// the partitioned workload. The wall clock covers the whole worker
+	// tier: workload generation, ingest, export.
+	cmds := make([]*exec.Cmd, o.Workers)
+	blobs := make([]bytes.Buffer, o.Workers)
+	start := time.Now()
+	for i := range cmds {
+		cmds[i] = exec.Command(exe, args(i)...)
+		cmds[i].Stdout = &blobs[i]
+		cmds[i].Stderr = os.Stderr
+		if err := cmds[i].Start(); err != nil {
+			return distRun{}, fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			return distRun{}, fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+	wall := time.Since(start)
+
+	// Aggregate in worker-index order: the per-key merge fold order is
+	// then deterministic, which the bit-identity checks rely on.
+	var agg qlove.EngineSnapshot
+	var blobBytes int64
+	var decodeTime time.Duration
+	snapshots := 0
+	for i := range blobs {
+		var one qlove.EngineSnapshot
+		t0 := time.Now()
+		n, err := one.ReadFrom(bytes.NewReader(blobs[i].Bytes()))
+		decodeTime += time.Since(t0)
+		if err != nil {
+			return distRun{}, fmt.Errorf("worker %d blob: %w", i, err)
+		}
+		if n != int64(blobs[i].Len()) {
+			return distRun{}, fmt.Errorf("worker %d blob: %d of %d bytes consumed", i, n, blobs[i].Len())
+		}
+		blobBytes += n
+		snapshots += one.Len()
+		if agg, err = agg.Merge(one); err != nil {
+			return distRun{}, fmt.Errorf("merge worker %d: %w", i, err)
+		}
+	}
+	// Encode throughput over the merged capture (same captures, one pass).
+	t0 := time.Now()
+	encBytes, err := agg.WriteTo(io.Discard)
+	encodeTime := time.Since(t0)
+	if err != nil {
+		return distRun{}, err
+	}
+
+	run := distRun{
+		Workers:     o.Workers,
+		Keys:        o.Keys,
+		MergedKeys:  agg.Len(),
+		Skew:        o.Skew,
+		WallSeconds: wall.Seconds(),
+		Wire: wireStats{
+			Snapshots:        snapshots,
+			BlobBytes:        blobBytes,
+			EncodeMBPerS:     mbPerS(encBytes, encodeTime),
+			DecodeMBPerS:     mbPerS(blobBytes, decodeTime),
+			EncodeNsPerSnap:  nsPer(encodeTime, agg.Len()),
+			DecodeNsPerSnap:  nsPer(decodeTime, snapshots),
+			BytesPerSnapshot: float64(blobBytes) / float64(max(snapshots, 1)),
+		},
+	}
+	seq, err := materializeReports(o.multiKeyOptions)
+	if err != nil {
+		return distRun{}, err
+	}
+	run.Elements = seq.elements()
+	run.ThroughputMevS = float64(seq.elements()) / wall.Seconds() / 1e6
+	if err := verifyDistributed(&run, agg, seq, o); err != nil {
+		return distRun{}, err
+	}
+	return run, nil
+}
+
+// verifyDistributed replays the reference paths and fills the consistency
+// verdicts.
+func verifyDistributed(run *distRun, agg qlove.EngineSnapshot, seq reportSeq, o distOptions) error {
+	part := &distPartition{workers: o.Workers, mergeKey: mergeKey}
+
+	// One reference Monitor for the hot key's interleaved sub-stream; one
+	// per worker for the merge key's round-robin split.
+	cfg := qlove.Config{Spec: o.Spec, Phis: o.Phis}
+	hotRef, err := newRefMonitor(cfg, o.Spec)
+	if err != nil {
+		return err
+	}
+	mergeRefs := make([]*refMonitor, o.Workers)
+	err = seq.each(func(key string, vs []float64) error {
+		w := part.assign(key)
+		switch key {
+		case seq.hot:
+			hotRef.mon.PushBatch(vs, nil)
+		case mergeKey:
+			if mergeRefs[w] == nil {
+				r, err := newRefMonitor(cfg, o.Spec)
+				if err != nil {
+					return err
+				}
+				mergeRefs[w] = r
+			}
+			mergeRefs[w].mon.PushBatch(vs, nil)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	hotGot, ok := agg.Get(seq.hot)
+	if !ok {
+		return fmt.Errorf("hot key %q missing from aggregate", seq.hot)
+	}
+	run.HotKeyConsistent = bitsEqual(hotGot.Estimates(), hotRef.policy.Snapshot().Estimates())
+
+	var refSnaps []qlove.Snapshot
+	for _, r := range mergeRefs {
+		if r != nil {
+			refSnaps = append(refSnaps, r.policy.Snapshot())
+		}
+	}
+	refMerged, err := qlove.MergeSnapshots(refSnaps)
+	if err != nil {
+		return err
+	}
+	mergeGot, ok := agg.Get(mergeKey)
+	if !ok {
+		return fmt.Errorf("merge key %q missing from aggregate", mergeKey)
+	}
+	run.CrossMergeStreams = mergeGot.Streams()
+	run.CrossMergeConsistent = bitsEqual(mergeGot.Estimates(), refMerged.Estimates())
+	if o.Workers >= 2 && run.CrossMergeStreams < 2 {
+		// A single-stream "merge" would pass vacuously; the run was too
+		// small to route the merge key to several workers.
+		return fmt.Errorf("cross-worker merge covered %d stream(s); raise -scale so the merge key reports on >=2 workers",
+			run.CrossMergeStreams)
+	}
+	return nil
+}
+
+// refMonitor pairs a reference Monitor with its snapshot-capable policy.
+type refMonitor struct {
+	policy *qlove.QLOVE
+	mon    *qlove.Monitor
+}
+
+func newRefMonitor(cfg qlove.Config, spec qlove.Window) (*refMonitor, error) {
+	p, err := qlove.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := qlove.NewMonitor(p, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &refMonitor{policy: p, mon: m}, nil
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func mbPerS(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}
+
+func nsPer(d time.Duration, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(n)
+}
+
+// distributedExperiment prints one distributed run as text, failing the
+// invocation if either identity check misses.
+func distributedExperiment(w io.Writer, o distOptions) error {
+	fmt.Fprintf(w, "distributed plane: %d worker processes, %d keys (zipf %.2f), %s windows, %d elements\n",
+		o.Workers, o.Keys, o.Skew, o.Spec, o.Elements)
+	run, err := runDistributed(o)
+	if err != nil {
+		return err
+	}
+	verdict := func(ok bool) string {
+		if ok {
+			return "bit-identical"
+		}
+		return "MISMATCH"
+	}
+	fmt.Fprintf(w, "  workers=%d merged-keys=%d wall=%.2fs pipeline=%.2f Mev/s\n",
+		run.Workers, run.MergedKeys, run.WallSeconds, run.ThroughputMevS)
+	fmt.Fprintf(w, "  wire: %d snapshots, %d bytes (%.0f B/snap), encode %.1f MB/s (%.0f ns/snap), decode %.1f MB/s (%.0f ns/snap)\n",
+		run.Wire.Snapshots, run.Wire.BlobBytes, run.Wire.BytesPerSnapshot,
+		run.Wire.EncodeMBPerS, run.Wire.EncodeNsPerSnap, run.Wire.DecodeMBPerS, run.Wire.DecodeNsPerSnap)
+	fmt.Fprintf(w, "  hot-key vs single monitor: %s\n", verdict(run.HotKeyConsistent))
+	fmt.Fprintf(w, "  cross-worker merge (streams=%d) vs in-process merge: %s\n",
+		run.CrossMergeStreams, verdict(run.CrossMergeConsistent))
+	if !run.HotKeyConsistent || !run.CrossMergeConsistent {
+		return fmt.Errorf("distributed aggregation diverged from reference")
+	}
+	return nil
+}

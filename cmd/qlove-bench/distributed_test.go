@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+// TestDistPartitionDeterministic: partitioner state is a pure function of
+// the report sequence, every worker index is in range, non-merge keys are
+// sticky, and the merge key round-robins.
+func TestDistPartitionDeterministic(t *testing.T) {
+	o := defaultDistOptions(0.002, 1, 600, 3, 1.2)
+	seq, err := materializeReports(o.multiKeyOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := func() map[string][]int {
+		part := &distPartition{workers: o.Workers, mergeKey: mergeKey}
+		out := map[string][]int{}
+		_ = seq.each(func(key string, vs []float64) error {
+			out[key] = append(out[key], part.assign(key))
+			return nil
+		})
+		return out
+	}
+	a, b := assign(), assign()
+	for key, ws := range a {
+		for i, w := range ws {
+			if w < 0 || w >= o.Workers {
+				t.Fatalf("key %q report %d assigned to worker %d", key, i, w)
+			}
+			if b[key][i] != w {
+				t.Fatalf("key %q report %d: assignment not deterministic", key, i)
+			}
+			if key != mergeKey && w != ws[0] {
+				t.Fatalf("key %q split across workers %d and %d", key, ws[0], w)
+			}
+			if key == mergeKey && w != i%o.Workers {
+				t.Fatalf("merge key report %d on worker %d, want %d", i, w, i%o.Workers)
+			}
+		}
+	}
+	if len(a[mergeKey]) < o.Workers {
+		t.Fatalf("merge key reported %d times, want >= %d workers", len(a[mergeKey]), o.Workers)
+	}
+}
+
+// TestDistributedPipelineInProcess: the worker/aggregator pipeline run
+// in-process (engines -> wire blobs -> merge) passes both identity checks
+// — the same code path the OS-process scenario exercises, minus exec.
+func TestDistributedPipelineInProcess(t *testing.T) {
+	o := defaultDistOptions(0.002, 1, 600, 3, 1.2)
+	seq, err := materializeReports(o.multiKeyOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := make([]bytes.Buffer, o.Workers)
+	for w := 0; w < o.Workers; w++ {
+		eng, err := qlove.NewEngine(qlove.EngineConfig{
+			Config:       qlove.Config{Spec: o.Spec, Phis: o.Phis},
+			Shards:       2,
+			ResultBuffer: 1 << 14,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for range eng.Results() {
+			}
+		}()
+		part := &distPartition{workers: o.Workers, mergeKey: mergeKey}
+		err = seq.each(func(key string, vs []float64) error {
+			if part.assign(key) != w {
+				return nil
+			}
+			return eng.Push(key, vs)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		if _, err := eng.Export(&blobs[w]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var agg qlove.EngineSnapshot
+	for w := range blobs {
+		var one qlove.EngineSnapshot
+		if _, err := one.ReadFrom(bytes.NewReader(blobs[w].Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if agg, err = agg.Merge(one); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if agg.Len() != o.Keys {
+		t.Fatalf("aggregated %d keys, want %d", agg.Len(), o.Keys)
+	}
+	var run distRun
+	if err := verifyDistributed(&run, agg, seq, o); err != nil {
+		t.Fatal(err)
+	}
+	if !run.HotKeyConsistent {
+		t.Fatal("hot-key estimates diverged from the single-monitor reference")
+	}
+	if !run.CrossMergeConsistent || run.CrossMergeStreams != o.Workers {
+		t.Fatalf("cross-worker merge: consistent=%v streams=%d", run.CrossMergeConsistent, run.CrossMergeStreams)
+	}
+}

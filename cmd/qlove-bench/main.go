@@ -34,6 +34,15 @@ import (
 )
 
 func main() {
+	// The distributed scenario re-execs this binary as its worker tier;
+	// dispatch the hidden subcommand before any flag parsing.
+	if len(os.Args) > 1 && os.Args[1] == workerCmd {
+		if err := distributedWorker(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "qlove-bench worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "qlove-bench:", err)
 		os.Exit(1)
@@ -47,8 +56,9 @@ func run(args []string) error {
 	full := fs.Bool("full", false, "unlock the most expensive sweeps (Fig 5's 100M windows)")
 	list := fs.Bool("list", false, "list experiment names and exit")
 	jsonOut := fs.Bool("json", false, "emit a JSON per-policy throughput/space record instead of experiments")
-	keys := fs.Int("keys", 0, "multikey: key cardinality (0 = 100k scaled by -scale)")
-	skew := fs.Float64("skew", 1.2, "multikey: zipf skew over keys (0 = uniform)")
+	keys := fs.Int("keys", 0, "multikey/distributed: key cardinality (0 = scaled default)")
+	skew := fs.Float64("skew", 1.2, "multikey/distributed: zipf skew over keys (0 = uniform)")
+	workers := fs.Int("workers", 3, "distributed: worker process count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,29 +67,37 @@ func run(args []string) error {
 			fmt.Println(name)
 		}
 		fmt.Println("multikey")
+		fmt.Println("distributed")
 		return nil
 	}
 	if *jsonOut {
-		return runJSON(*scale, *seed, *keys, *skew)
+		return runJSON(*scale, *seed, *keys, *skew, *workers)
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		names = append(append([]string(nil), bench.Order...), "multikey")
+		names = append(append([]string(nil), bench.Order...), "multikey", "distributed")
 	}
 	opts := bench.Options{W: os.Stdout, Seed: *seed, Scale: *scale, Full: *full}
 	for _, name := range names {
 		exp, ok := bench.Experiments[name]
-		if !ok && name != "multikey" {
+		if !ok && name != "multikey" && name != "distributed" {
 			return fmt.Errorf("unknown experiment %q (use -list)", name)
 		}
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
-		if name == "multikey" {
+		switch name {
+		case "multikey":
 			if err := multiKeyExperiment(os.Stdout, defaultMultiKeyOptions(*scale, *seed, *keys, *skew)); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
-		} else if err := exp(opts); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+		case "distributed":
+			if err := distributedExperiment(os.Stdout, defaultDistOptions(*scale, *seed, *keys, *workers, *skew)); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		default:
+			if err := exp(opts); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
 		}
 		fmt.Printf("--- %s done in %v ---\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -99,6 +117,10 @@ type perfRecord struct {
 	// Engine holds the keyed multi-key scaling runs (single shard vs the
 	// full shard sweep top), added with the Engine PR.
 	Engine []engineRun `json:"engine,omitempty"`
+	// Distributed holds the multi-process aggregation run (worker engines
+	// exporting wire blobs to a central merge), including the codec's
+	// encode/decode MB/s and ns/snapshot, added with the wire PR.
+	Distributed *distRun `json:"distributed,omitempty"`
 }
 
 type policyPerf struct {
@@ -109,9 +131,10 @@ type policyPerf struct {
 }
 
 // runJSON measures every registered policy under the Figure 4 window shape
-// (100K window, 1K period), plus the keyed Engine at one and many shards,
-// and writes one JSON document to stdout.
-func runJSON(scale float64, seed int64, keys int, skew float64) error {
+// (100K window, 1K period), plus the keyed Engine at one and many shards
+// and the distributed worker/aggregator pipeline, and writes one JSON
+// document to stdout.
+func runJSON(scale float64, seed int64, keys int, skew float64, workers int) error {
 	spec := qlove.Window{Size: 100_000, Period: 1000}
 	n := int(2_000_000 * scale)
 	if min := spec.Size + 10*spec.Period; n < min {
@@ -156,6 +179,14 @@ func runJSON(scale float64, seed int64, keys int, skew float64) error {
 		}
 		rec.Engine = append(rec.Engine, run)
 	}
+	dist, err := runDistributed(defaultDistOptions(scale, seed, keys, workers, skew))
+	if err != nil {
+		return fmt.Errorf("distributed: %w", err)
+	}
+	if !dist.HotKeyConsistent || !dist.CrossMergeConsistent {
+		return fmt.Errorf("distributed: aggregation diverged from reference")
+	}
+	rec.Distributed = &dist
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rec)

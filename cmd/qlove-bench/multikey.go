@@ -3,7 +3,6 @@ package main
 import (
 	"fmt"
 	"io"
-	"math"
 	"runtime"
 	"time"
 
@@ -201,32 +200,20 @@ func verifyHotKey(eng *qlove.Engine, seq reportSeq, o multiKeyOptions) (bool, er
 	if !ok {
 		return false, fmt.Errorf("hot key %q not monitored", seq.hot)
 	}
-	got := snap.Estimates()
-
-	p, err := qlove.New(qlove.Config{Spec: o.Spec, Phis: o.Phis})
-	if err != nil {
-		return false, err
-	}
-	mon, err := qlove.NewMonitor(p, o.Spec)
+	ref, err := newRefMonitor(qlove.Config{Spec: o.Spec, Phis: o.Phis}, o.Spec)
 	if err != nil {
 		return false, err
 	}
 	err = seq.each(func(key string, vs []float64) error {
 		if key == seq.hot {
-			mon.PushBatch(vs, nil)
+			ref.mon.PushBatch(vs, nil)
 		}
 		return nil
 	})
 	if err != nil {
 		return false, err
 	}
-	want := p.Snapshot().Estimates()
-	for j := range want {
-		if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
-			return false, nil
-		}
-	}
-	return true, nil
+	return bitsEqual(snap.Estimates(), ref.policy.Snapshot().Estimates()), nil
 }
 
 // multiKeyExperiment prints the shard sweep as a table.

@@ -3,6 +3,7 @@ package qlove
 import (
 	"fmt"
 	"hash/maphash"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stream"
+	"repro/internal/wire"
 )
 
 // Engine is the keyed, sharded, concurrent form of the monitoring API: it
@@ -90,6 +92,17 @@ type EngineConfig struct {
 	// ResultBuffer is the capacity of the fan-in Results channel. Default
 	// 1024.
 	ResultBuffer int
+	// KeyTTL, when positive, expires idle keys: a key that has received no
+	// batch for more than KeyTTL batch deliveries on its owning shard is
+	// evicted by a periodic sweep, its operator recycled through the
+	// shard's pool exactly as an explicit Evict would. The clock is
+	// pushes-since-last-seen, not wall time, so an idle fleet costs
+	// nothing and a busy shard reclaims churned keys in bounded memory —
+	// and exported blobs stay bounded under key churn. The sweep runs
+	// every ⌈KeyTTL/2⌉ deliveries (each sweep is O(keys in shard)), so an
+	// idle key survives at most ~1.5×KeyTTL deliveries past its last
+	// batch. 0 disables expiry.
+	KeyTTL int
 }
 
 // ErrEngineClosed is returned by Push after Close.
@@ -107,12 +120,20 @@ type engineShard struct {
 	keys    map[string]*keyEntry
 	pool    *core.Pool   // non-nil on the Config path
 	factory BoundFactory // non-nil on the Factory path
+
+	// Idle-key expiry (KeyTTL > 0): clock counts batch deliveries to this
+	// shard; a key whose lastSeen lags by more than ttl is evicted by the
+	// next sweep at nextSweep.
+	ttl       uint64
+	clock     uint64
+	nextSweep uint64
 }
 
 type keyEntry struct {
-	pusher *stream.Pusher
-	snap   Snapshotter // non-nil when the policy supports snapshots
-	emit   func(stream.Evaluation)
+	pusher   *stream.Pusher
+	snap     Snapshotter // non-nil when the policy supports snapshots
+	emit     func(stream.Evaluation)
+	lastSeen uint64 // shard clock at this key's most recent batch
 }
 
 // engineMsg is one unit of shard work: either an ingest batch or a control
@@ -191,6 +212,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		b := make([]float64, 0, defaultBatchCap)
 		return &b
 	}
+	if cfg.KeyTTL < 0 {
+		return nil, fmt.Errorf("qlove: engine KeyTTL %d < 0", cfg.KeyTTL)
+	}
 	e.shards = make([]*engineShard, shards)
 	for i := range e.shards {
 		s := &engineShard{
@@ -198,6 +222,10 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			in:      make(chan engineMsg, depth),
 			keys:    make(map[string]*keyEntry),
 			factory: cfg.Factory,
+			ttl:     uint64(cfg.KeyTTL),
+		}
+		if s.ttl > 0 {
+			s.nextSweep = sweepInterval(s.ttl)
 		}
 		if mkPool != nil {
 			pool, err := mkPool()
@@ -322,6 +350,60 @@ func (e *Engine) Query(key string) (Snapshot, bool) {
 	return r.snap, r.ok
 }
 
+// Export captures every snapshot-capable key (via Snapshot, so the
+// capture rides the shard control queues and never stops ingestion) and
+// writes it to w as one wire blob — the worker half of the paper's
+// distributed-aggregation sketch. Returns the bytes written. Blobs from
+// any number of engines may be concatenated and handed to an aggregator
+// (EngineSnapshot.ReadFrom, ImportSnapshots or cmd/qlove-agg); keys
+// captured by several engines merge into one logical-window view there.
+func (e *Engine) Export(w io.Writer) (int64, error) {
+	return e.Snapshot().WriteTo(w)
+}
+
+// ExportKeys writes the captures of just the named keys to w, skipping
+// keys the engine does not monitor (or whose policies cannot snapshot).
+// Each key is captured with Query, so the reads are ordered with ingest on
+// that key without stopping it.
+func (e *Engine) ExportKeys(w io.Writer, keys ...string) (int64, error) {
+	enc := wire.NewEncoder(w)
+	var n int64
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			// A repeated argument must not emit two frames: decoders merge
+			// same-key frames as disjoint sub-streams, which would
+			// double-count this key's (single) stream.
+			continue
+		}
+		seen[k] = true
+		sn, ok := e.Query(k)
+		if !ok {
+			continue
+		}
+		m, err := enc.Encode(k, sn)
+		n += int64(m)
+		if err != nil {
+			return n, fmt.Errorf("qlove: export key %q: %w", k, err)
+		}
+	}
+	return n, nil
+}
+
+// ImportSnapshots reads a wire blob of keyed captures (the exports of any
+// number of remote engines) and merges it with this engine's own live
+// capture into one aggregated view: keys present both remotely and
+// locally combine their disjoint sub-streams; keys present on one side
+// carry over. The local capture rides the control-op path, so importing
+// never stops ingestion; the engine's own operators are not modified.
+func (e *Engine) ImportSnapshots(r io.Reader) (EngineSnapshot, error) {
+	var remote EngineSnapshot
+	if _, err := remote.ReadFrom(r); err != nil {
+		return EngineSnapshot{}, err
+	}
+	return e.Snapshot().Merge(remote)
+}
+
 // Evict retires a key, returning whether it existed. The key's operator
 // goes back to the shard's pool (arena and all) for the next new key.
 func (e *Engine) Evict(key string) bool {
@@ -401,10 +483,32 @@ func (s *engineShard) run() {
 			s.eng.failed.Add(1)
 			s.eng.lastErr.Store(engineErr{err})
 		} else {
+			s.clock++
+			ent.lastSeen = s.clock
 			ent.pusher.PushBatch(*msg.buf, ent.emit)
 		}
 		s.eng.bufs.Put(msg.buf)
+		if s.ttl > 0 && s.clock >= s.nextSweep {
+			s.sweep()
+		}
 	}
+}
+
+// sweepInterval spaces TTL sweeps: half the TTL, so an idle key is
+// reclaimed at most ~1.5×TTL deliveries after its last batch while each
+// O(keys) scan amortizes over many deliveries.
+func sweepInterval(ttl uint64) uint64 { return (ttl + 1) / 2 }
+
+// sweep evicts every key idle for more than the TTL. It runs on the shard
+// goroutine between batches, so it is ordered with ingest like any other
+// shard work; evicted operators recycle through the pool.
+func (s *engineShard) sweep() {
+	for k, ent := range s.keys {
+		if s.clock-ent.lastSeen > s.ttl {
+			s.evict(k)
+		}
+	}
+	s.nextSweep = s.clock + sweepInterval(s.ttl)
 }
 
 // entry returns the key's state, minting operator + pusher on first use.
@@ -515,6 +619,54 @@ func (s EngineSnapshot) Keys() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// WriteTo serializes the capture as one wire blob — a sequence of keyed
+// frames in sorted key order, so identical captures produce identical
+// bytes. It implements io.WriterTo; the blob is what Export ships across
+// process boundaries and ReadFrom (or cmd/qlove-agg) consumes.
+func (s EngineSnapshot) WriteTo(w io.Writer) (int64, error) {
+	enc := wire.NewEncoder(w)
+	var n int64
+	for _, k := range s.Keys() {
+		m, err := enc.Encode(k, s.keys[k])
+		n += int64(m)
+		if err != nil {
+			return n, fmt.Errorf("qlove: export key %q: %w", k, err)
+		}
+	}
+	return n, nil
+}
+
+// ReadFrom decodes keyed frames from r until EOF, merging them into the
+// capture key-wise (frames for a key already present — read earlier or
+// from a previous ReadFrom — merge as disjoint sub-streams of that key).
+// It implements io.ReaderFrom and is the aggregator's accumulation
+// primitive: start from the zero EngineSnapshot and fold every worker's
+// blob in. On a decode or merge error the capture retains the frames
+// merged so far and the byte count says how much input was consumed.
+func (s *EngineSnapshot) ReadFrom(r io.Reader) (int64, error) {
+	dec := wire.NewDecoder(r)
+	for {
+		key, sn, err := dec.Decode()
+		if err == io.EOF {
+			return dec.Consumed(), nil
+		}
+		if err != nil {
+			return dec.Consumed(), fmt.Errorf("qlove: import: %w", err)
+		}
+		if s.keys == nil {
+			s.keys = make(map[string]Snapshot)
+		}
+		if prev, ok := s.keys[key]; ok {
+			m, err := prev.Merge(sn)
+			if err != nil {
+				return dec.Consumed(), fmt.Errorf("qlove: import key %q: %w", key, err)
+			}
+			sn = m
+		}
+		s.keys[key] = sn
+	}
 }
 
 // Merge combines two captures key-wise: keys present in both merge their

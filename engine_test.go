@@ -5,6 +5,7 @@
 package qlove
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sync"
@@ -386,5 +387,189 @@ func TestEngineValidation(t *testing.T) {
 		Spec:   Window{Size: 200, Period: 10},
 	}); err == nil {
 		t.Fatal("conflicting specs accepted")
+	}
+	if _, err := NewEngine(EngineConfig{
+		Config: Config{Spec: Window{Size: 100, Period: 10}, Phis: []float64{0.5}},
+		KeyTTL: -1,
+	}); err == nil {
+		t.Fatal("negative KeyTTL accepted")
+	}
+}
+
+// TestEngineExportImportRoundTrip: Export while ingesting, decode via
+// ReadFrom, and every key's estimates are bit-identical to the live
+// capture's; ImportSnapshots folds a remote blob into the local view.
+func TestEngineExportImportRoundTrip(t *testing.T) {
+	spec := Window{Size: 400, Period: 100}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.9, 0.99}, FewK: true}
+	e, err := NewEngine(EngineConfig{Config: cfg, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("svc-%d", i)
+		if err := e.Push(key, workload.Generate(workload.NewNetMon(int64(i)), 600)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := e.Snapshot()
+	var blob bytes.Buffer
+	n, err := live.WriteTo(&blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(blob.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, blob.Len())
+	}
+
+	var back EngineSnapshot
+	m, err := back.ReadFrom(bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("ReadFrom consumed %d of %d bytes", m, n)
+	}
+	if back.Len() != live.Len() {
+		t.Fatalf("decoded %d keys, want %d", back.Len(), live.Len())
+	}
+	for _, k := range live.Keys() {
+		want, _ := live.Query(k)
+		got, ok := back.Query(k)
+		if !ok {
+			t.Fatalf("key %q lost in transit", k)
+		}
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("key %q ϕ[%d]: %v != %v", k, j, got[j], want[j])
+			}
+		}
+	}
+
+	// Export is WriteTo over the control-op capture: same bytes for the
+	// same state.
+	var viaExport bytes.Buffer
+	if _, err := e.Export(&viaExport); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaExport.Bytes(), blob.Bytes()) {
+		t.Fatal("Export bytes differ from Snapshot().WriteTo bytes")
+	}
+
+	// ExportKeys selects a subset, skips unknown keys, and emits a
+	// repeated argument once (a duplicate frame would decode as a
+	// self-merge, double-counting the key's single stream).
+	var subset bytes.Buffer
+	if _, err := e.ExportKeys(&subset, "svc-3", "missing", "svc-5", "svc-3"); err != nil {
+		t.Fatal(err)
+	}
+	var sub EngineSnapshot
+	if _, err := sub.ReadFrom(&subset); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 {
+		t.Fatalf("subset keys = %v", sub.Keys())
+	}
+	if sn, _ := sub.Get("svc-3"); sn.Streams() != 1 {
+		t.Fatalf("duplicated export argument produced %d streams", sn.Streams())
+	}
+
+	// ImportSnapshots: a remote engine's blob for an overlapping key set
+	// merges with the local live capture.
+	remote, err := NewEngine(EngineConfig{Config: cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Push("svc-0", workload.Generate(workload.NewNetMon(99), 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Push("remote-only", workload.Generate(workload.NewNetMon(98), 600)); err != nil {
+		t.Fatal(err)
+	}
+	var rblob bytes.Buffer
+	if _, err := remote.Export(&rblob); err != nil {
+		t.Fatal(err)
+	}
+	remote.Close()
+	agg, err := e.ImportSnapshots(&rblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != live.Len()+1 {
+		t.Fatalf("aggregated keys = %v", agg.Keys())
+	}
+	if sn, ok := agg.Get("svc-0"); !ok || sn.Streams() != 2 {
+		t.Fatalf("overlapping key streams = %d, ok=%v", sn.Streams(), ok)
+	}
+	if _, ok := agg.Get("remote-only"); !ok {
+		t.Fatal("remote-only key missing from aggregate")
+	}
+}
+
+// TestEngineKeyTTL: idle keys are evicted by the per-shard sweep while
+// active keys survive, and an expired key can come back.
+func TestEngineKeyTTL(t *testing.T) {
+	spec := Window{Size: 100, Period: 50}
+	cfg := Config{Spec: spec, Phis: []float64{0.5}}
+	const ttl = 8
+	// One shard so the delivery clock is deterministic from this test's
+	// Push sequence.
+	e, err := NewEngine(EngineConfig{Config: cfg, Shards: 1, KeyTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	vals := []float64{1, 2, 3, 4, 5}
+	if err := e.Push("idle", vals); err != nil {
+		t.Fatal(err)
+	}
+	// Keep one key busy well past TTL + sweep lag.
+	for i := 0; i < 3*ttl; i++ {
+		if err := e.Push("busy", vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := e.Query("idle"); ok {
+		t.Fatal("idle key survived the TTL sweep")
+	}
+	if _, ok := e.Query("busy"); !ok {
+		t.Fatal("busy key was evicted")
+	}
+	if n := e.Keys(); n != 1 {
+		t.Fatalf("keys = %d, want 1", n)
+	}
+	// The expired key comes right back on its next report (recycled
+	// through the shard pool).
+	if err := e.Push("idle", vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Query("idle"); !ok {
+		t.Fatal("returned key not monitored")
+	}
+	// Exported blobs only carry live keys: churn a few transient keys past
+	// expiry and check the export stays bounded.
+	for i := 0; i < 5; i++ {
+		if err := e.Push(fmt.Sprintf("transient-%d", i), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3*ttl; i++ {
+		if err := e.Push("busy", vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var blob bytes.Buffer
+	if _, err := e.Export(&blob); err != nil {
+		t.Fatal(err)
+	}
+	var back EngineSnapshot
+	if _, err := back.ReadFrom(&blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range back.Keys() {
+		if len(k) >= 9 && k[:9] == "transient" {
+			t.Fatalf("expired key %q still exported", k)
+		}
 	}
 }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exact"
+)
+
+// SnapshotParts is the exploded, exported form of a Snapshot: everything a
+// transport needs to serialize a capture and rebuild it on the other side
+// of a process or datacenter boundary. Parts and NewSnapshot are the
+// encapsulation seam between core and the wire codec — the codec never
+// sees Snapshot's private fields, and core never sees bytes.
+//
+// The slices are SHARED with the Snapshot they came from (or are handed
+// to): summary internals are immutable after seal, so sharing is safe as
+// long as holders honour the same read-only contract the Snapshot itself
+// relies on. A decoder that just unmarshalled fresh slices hands them over
+// outright; nothing is copied in either direction.
+type SnapshotParts struct {
+	// Config is the FULL resolved configuration the captured operator ran
+	// with — not just the merge-shape fields. Estimates on the rebuilt
+	// capture reads Digits-independent state, but Merge compatibility and
+	// the managed-quantile set both derive from it.
+	Config Config
+	// Streams is the number of merged sub-streams (>= 1).
+	Streams int
+	// Sums holds the Level-2 running quantile sums, one per configured ϕ.
+	Sums []float64
+	// Summaries are the resident sub-window summaries, oldest first per
+	// merged capture.
+	Summaries []Summary
+}
+
+// Parts explodes the capture for serialization. The returned slices are
+// shared with s and MUST be treated as read-only.
+func (s Snapshot) Parts() SnapshotParts {
+	return SnapshotParts{
+		Config:    s.cfg,
+		Streams:   s.streams,
+		Sums:      s.sums,
+		Summaries: s.summaries,
+	}
+}
+
+// NewSnapshot rebuilds a capture from its exploded parts, revalidating
+// every structural invariant a live capture carries by construction: the
+// configuration must be a valid RESOLVED one (as produced by New — zero
+// defaults already applied), the Level-2 sums must align with the ϕ set,
+// and every summary's slices must agree with the configuration's quantile
+// and managed-quantile counts. The managed index set is recomputed from the
+// configuration, so a rebuilt capture Merges and Estimates exactly — bit
+// for bit — like the never-serialized original.
+//
+// NewSnapshot takes ownership of the part slices; callers must not mutate
+// them afterwards. It validates structure, not values: ordering and
+// NaN policies for the float payloads are the transport's concern (see
+// internal/wire), where corrupt input is actually possible.
+func NewSnapshot(p SnapshotParts) (Snapshot, error) {
+	cfg := p.Config
+	if p.Streams < 1 {
+		return Snapshot{}, fmt.Errorf("qlove: snapshot parts: streams %d < 1", p.Streams)
+	}
+	if err := validateResolved(cfg); err != nil {
+		return Snapshot{}, fmt.Errorf("qlove: snapshot parts: %w", err)
+	}
+	l := len(cfg.Phis)
+	if len(p.Sums) != l {
+		return Snapshot{}, fmt.Errorf("qlove: snapshot parts: %d sums for %d quantiles", len(p.Sums), l)
+	}
+	managed := managedIndexes(cfg)
+	for i := range p.Summaries {
+		if err := validateSummary(&p.Summaries[i], l, len(managed)); err != nil {
+			return Snapshot{}, fmt.Errorf("qlove: snapshot parts: summary %d: %w", i, err)
+		}
+	}
+	return Snapshot{
+		cfg:       cfg,
+		streams:   p.Streams,
+		sums:      p.Sums,
+		summaries: p.Summaries,
+		managed:   managed,
+	}, nil
+}
+
+// validateResolved checks that cfg is a valid configuration in RESOLVED
+// form — the invariants New establishes (via withDefaults plus its own
+// checks) and every capture therefore carries. A config that would merely
+// resolve to a valid one (e.g. Digits 0 or negative) is rejected: resolving
+// here would break bit-identity between a rebuilt capture and its source.
+func validateResolved(cfg Config) error {
+	if err := cfg.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := exact.ValidatePhis(cfg.Phis); err != nil {
+		return err
+	}
+	if cfg.Digits < 0 {
+		return fmt.Errorf("unresolved digits %d", cfg.Digits)
+	}
+	if cfg.Fraction <= 0 || cfg.Fraction > 1 {
+		return fmt.Errorf("fraction %v outside (0, 1]", cfg.Fraction)
+	}
+	if cfg.StatThreshold == 0 || cfg.BurstAlpha == 0 || cfg.HighPhiMin == 0 {
+		return fmt.Errorf("unresolved zero-valued threshold fields")
+	}
+	if cfg.TopKOnly && cfg.SampleKOnly {
+		return fmt.Errorf("TopKOnly and SampleKOnly are mutually exclusive")
+	}
+	return nil
+}
+
+// validateSummary checks one summary's slice shape against the
+// configuration: l quantiles and densities, one tail and one sample list
+// per managed quantile, burst flags either absent or one per managed
+// quantile, and per-summary population cross-checks (a sub-window cannot
+// cache more tail values, or represent more tail ranks, than it contained).
+func validateSummary(s *Summary, l, nManaged int) error {
+	if s.Count < 1 {
+		return fmt.Errorf("count %d < 1", s.Count)
+	}
+	if len(s.Quantiles) != l {
+		return fmt.Errorf("%d quantiles, config has %d", len(s.Quantiles), l)
+	}
+	if len(s.Densities) != l {
+		return fmt.Errorf("%d densities, config has %d", len(s.Densities), l)
+	}
+	if len(s.Tails) != nManaged {
+		return fmt.Errorf("%d tails for %d managed quantiles", len(s.Tails), nManaged)
+	}
+	if len(s.Samples) != nManaged {
+		return fmt.Errorf("%d sample lists for %d managed quantiles", len(s.Samples), nManaged)
+	}
+	if len(s.BurstyVsPrev) != 0 && len(s.BurstyVsPrev) != nManaged {
+		return fmt.Errorf("%d burst flags for %d managed quantiles", len(s.BurstyVsPrev), nManaged)
+	}
+	for mi, t := range s.Tails {
+		if len(t) > s.Count {
+			return fmt.Errorf("tail %d holds %d values, sub-window held %d", mi, len(t), s.Count)
+		}
+	}
+	for mi, list := range s.Samples {
+		ranks := 0
+		for _, sm := range list {
+			if sm.Weight < 1 {
+				return fmt.Errorf("sample list %d: weight %d < 1", mi, sm.Weight)
+			}
+			ranks += sm.Weight
+		}
+		if ranks > s.Count {
+			return fmt.Errorf("sample list %d represents %d tail ranks, sub-window held %d", mi, ranks, s.Count)
+		}
+	}
+	return nil
+}

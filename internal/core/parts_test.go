@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core/fewk"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+// capture builds a policy, runs data through it and returns both.
+func capture(t *testing.T, cfg Config, seed int64, n int) (*Policy, Snapshot) {
+	t.Helper()
+	p := mustNew(t, cfg)
+	p.ObserveBatch(workload.Generate(workload.NewNetMon(seed), n))
+	return p, p.Snapshot()
+}
+
+// TestPartsRoundTrip: exploding a capture and rebuilding it yields a
+// Snapshot whose Estimates, Estimate, Merge and accessors are bit-for-bit
+// those of the original, in every few-k mode.
+func TestPartsRoundTrip(t *testing.T) {
+	spec := window.Spec{Size: 4000, Period: 500}
+	phis := []float64{0.5, 0.9, 0.99, 0.999}
+	cases := map[string]Config{
+		"plain":    {Spec: spec, Phis: phis},
+		"fewk":     {Spec: spec, Phis: phis, FewK: true},
+		"topk":     {Spec: spec, Phis: phis, FewK: true, TopKOnly: true},
+		"samplek":  {Spec: spec, Phis: phis, FewK: true, SampleKOnly: true},
+		"no-quant": {Spec: spec, Phis: phis, FewK: true, Digits: -1},
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, snap := capture(t, cfg, 7, 2*spec.Size+spec.Period/3)
+			rebuilt, err := NewSnapshot(snap.Parts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, got := snap.Estimates(), rebuilt.Estimates()
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("ϕ=%v: rebuilt %v != original %v", cfg.Phis[j], got[j], want[j])
+				}
+			}
+			if rebuilt.Streams() != snap.Streams() || rebuilt.SubWindows() != snap.SubWindows() ||
+				rebuilt.Elements() != snap.Elements() {
+				t.Fatal("rebuilt capture shape differs")
+			}
+
+			// A rebuilt capture must merge with a live one exactly like the
+			// original would (the distributed aggregation path: one side of
+			// every central merge has crossed a process boundary).
+			_, other := capture(t, cfg, 8, 2*spec.Size)
+			viaLive, err := snap.Merge(other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaRebuilt, err := rebuilt.Merge(other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lw, rw := viaLive.Estimates(), viaRebuilt.Estimates()
+			for j := range lw {
+				if math.Float64bits(lw[j]) != math.Float64bits(rw[j]) {
+					t.Fatalf("merged estimates diverge at ϕ=%v: %v != %v", cfg.Phis[j], lw[j], rw[j])
+				}
+			}
+		})
+	}
+}
+
+// TestNewSnapshotRejects: every structural invariant is enforced.
+func TestNewSnapshotRejects(t *testing.T) {
+	spec := window.Spec{Size: 400, Period: 100}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.99}, FewK: true}
+	_, snap := capture(t, cfg, 3, spec.Size)
+	ok := snap.Parts()
+	if len(ok.Summaries) == 0 {
+		t.Fatal("want resident summaries")
+	}
+	mutate := func(fn func(p *SnapshotParts)) SnapshotParts {
+		p := ok
+		p.Sums = append([]float64(nil), ok.Sums...)
+		p.Summaries = append([]Summary(nil), ok.Summaries...)
+		fn(&p)
+		return p
+	}
+	cases := map[string]SnapshotParts{
+		"zero streams":     mutate(func(p *SnapshotParts) { p.Streams = 0 }),
+		"bad spec":         mutate(func(p *SnapshotParts) { p.Config.Spec.Period = 3 }),
+		"no phis":          mutate(func(p *SnapshotParts) { p.Config.Phis = nil }),
+		"unsorted phis":    mutate(func(p *SnapshotParts) { p.Config.Phis = []float64{0.9, 0.5} }),
+		"unresolved frac":  mutate(func(p *SnapshotParts) { p.Config.Fraction = 0 }),
+		"negative digits":  mutate(func(p *SnapshotParts) { p.Config.Digits = -1 }),
+		"both modes":       mutate(func(p *SnapshotParts) { p.Config.TopKOnly, p.Config.SampleKOnly = true, true }),
+		"sums mismatch":    mutate(func(p *SnapshotParts) { p.Sums = p.Sums[:1] }),
+		"zero count":       mutate(func(p *SnapshotParts) { s := p.Summaries[0]; s.Count = 0; p.Summaries[0] = s }),
+		"quantile shape":   mutate(func(p *SnapshotParts) { s := p.Summaries[0]; s.Quantiles = s.Quantiles[:1]; p.Summaries[0] = s }),
+		"density shape":    mutate(func(p *SnapshotParts) { s := p.Summaries[0]; s.Densities = nil; p.Summaries[0] = s }),
+		"tail shape":       mutate(func(p *SnapshotParts) { s := p.Summaries[0]; s.Tails = nil; p.Summaries[0] = s }),
+		"sample shape":     mutate(func(p *SnapshotParts) { s := p.Summaries[0]; s.Samples = append(s.Samples, nil); p.Summaries[0] = s }),
+		"burst shape":      mutate(func(p *SnapshotParts) { s := p.Summaries[0]; s.BurstyVsPrev = []bool{true, false}; p.Summaries[0] = s }),
+		"oversized tail":   mutate(func(p *SnapshotParts) { s := p.Summaries[0]; s.Count = len(s.Tails[0]) - 1; p.Summaries[0] = s }),
+		"zero weight":      mutate(func(p *SnapshotParts) { s := p.Summaries[0]; s.Samples = [][]fewk.Sample{{{Value: 1, Weight: 0}}}; p.Summaries[0] = s }),
+		"oversized weight": mutate(func(p *SnapshotParts) { s := p.Summaries[0]; s.Samples = [][]fewk.Sample{{{Value: 1, Weight: s.Count + 1}}}; p.Summaries[0] = s }),
+	}
+	for name, parts := range cases {
+		if _, err := NewSnapshot(parts); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// The unmodified parts still round-trip (the mutate harness itself is
+	// not what fails the cases above).
+	if _, err := NewSnapshot(mutate(func(*SnapshotParts) {})); err != nil {
+		t.Fatalf("pristine parts rejected: %v", err)
+	}
+}
+
+// TestSnapshotEstimate: the single-ϕ convenience against its guards.
+func TestSnapshotEstimate(t *testing.T) {
+	if _, ok := (Snapshot{}).Estimate(0.5); ok {
+		t.Fatal("zero snapshot answered")
+	}
+	spec := window.Spec{Size: 1000, Period: 250}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.99}, FewK: true}
+	_, snap := capture(t, cfg, 11, spec.Size)
+	all := snap.Estimates()
+	for i, phi := range cfg.Phis {
+		got, ok := snap.Estimate(phi)
+		if !ok || math.Float64bits(got) != math.Float64bits(all[i]) {
+			t.Fatalf("ϕ=%v: got %v ok=%v, want %v", phi, got, ok, all[i])
+		}
+	}
+	// Unknown ϕ — including ones BETWEEN configured ϕs — must refuse, not
+	// interpolate.
+	for _, phi := range []float64{0.25, 0.75, 0.995, 1} {
+		if _, ok := snap.Estimate(phi); ok {
+			t.Fatalf("unconfigured ϕ=%v answered", phi)
+		}
+	}
+	// An empty (but non-zero) capture answers configured ϕs with zeros.
+	p := mustNew(t, cfg)
+	if v, ok := p.Snapshot().Estimate(0.5); !ok || v != 0 {
+		t.Fatalf("empty capture: got %v ok=%v", v, ok)
+	}
+}

@@ -132,11 +132,9 @@ func New(cfg Config) (*Policy, error) {
 		agg:     newLevel2(len(cfg.Phis)),
 	}
 	if cfg.FewK {
-		for i, phi := range cfg.Phis {
-			if phi < cfg.HighPhiMin || phi >= 1 {
-				continue
-			}
-			b, err := fewk.PlanBudget(cfg.Spec.Size, cfg.Spec.Period, phi, cfg.Fraction)
+		p.managed = managedIndexes(cfg)
+		for _, i := range p.managed {
+			b, err := fewk.PlanBudget(cfg.Spec.Size, cfg.Spec.Period, cfg.Phis[i], cfg.Fraction)
 			if err != nil {
 				return nil, err
 			}
@@ -146,7 +144,6 @@ func New(cfg Config) (*Policy, error) {
 			case cfg.SampleKOnly:
 				b = fewk.Budget{K: b.K, Kt: 0, Ks: b.K}
 			}
-			p.managed = append(p.managed, i)
 			p.budgets = append(p.budgets, b)
 		}
 		p.burstActive = make([]bool, len(p.managed))
@@ -156,6 +153,24 @@ func New(cfg Config) (*Policy, error) {
 		p.initAdaptive()
 	}
 	return p, nil
+}
+
+// managedIndexes derives, from a RESOLVED configuration, which ϕ indexes
+// are under few-k management: every configured ϕ in [HighPhiMin, 1) when
+// FewK is enabled. It is the single source of truth shared by New and
+// NewSnapshot, so a capture rebuilt from serialized parts recomputes
+// exactly the managed set its source operator ran with.
+func managedIndexes(cfg Config) []int {
+	if !cfg.FewK {
+		return nil
+	}
+	var out []int
+	for i, phi := range cfg.Phis {
+		if phi >= cfg.HighPhiMin && phi < 1 {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // Reset returns the operator to its as-constructed state while keeping

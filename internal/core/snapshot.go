@@ -120,6 +120,36 @@ func MergeSnapshots(snaps []Snapshot) (Snapshot, error) {
 	return out, nil
 }
 
+// Estimate answers the single quantile phi from the captured state. It is
+// the aggregator-consumer convenience over Estimates: phi must be one of
+// the CONFIGURED quantiles (compared exactly — the guard against silent
+// interpolation: answering ϕ=0.95 from a capture configured for {0.9,
+// 0.99} would require interpolating between estimates with different error
+// characteristics, so it is refused rather than approximated). ok is false
+// for the zero Snapshot and for any ϕ the captured operator was not
+// configured to answer.
+func (s Snapshot) Estimate(phi float64) (float64, bool) {
+	if s.IsZero() {
+		return 0, false
+	}
+	for i, p := range s.cfg.Phis {
+		if p != phi {
+			continue
+		}
+		if len(s.summaries) == 0 {
+			return 0, true
+		}
+		est := s.sums[i] / float64(len(s.summaries))
+		for mi, pi := range s.managed {
+			if pi == i {
+				return s.managedEstimate(mi, i, est), true
+			}
+		}
+		return est, true
+	}
+	return 0, false
+}
+
 // Estimates answers the configured quantiles from the captured state,
 // mirroring Policy.Result exactly: non-high quantiles come from the
 // Level-2 average over every resident sub-window quantile; few-k-managed
@@ -134,21 +164,26 @@ func (s Snapshot) Estimates() []float64 {
 	for i := range out {
 		out[i] = s.sums[i] / float64(len(s.summaries))
 	}
-	logicalN := s.cfg.Spec.Size * s.streams
 	for mi, pi := range s.managed {
-		phi := s.cfg.Phis[pi]
-		level2 := out[pi]
-		topK, topOK := fewk.TopKMerge(cachedOf(s.summaries, mi), logicalN, phi)
-		sampleK, sampOK := fewk.SampleKMerge(samplesOf(s.summaries, mi), logicalN, phi)
-		burst := anyBurstyOf(s.summaries, mi)
-		statIneff := fewk.NeedsTopK(s.cfg.Spec.Period, phi, s.cfg.StatThreshold)
-		if s.cfg.SampleKOnly && sampOK {
-			// Table 4 mode: the sample-k pipeline answers managed
-			// quantiles unconditionally, exactly as Result does.
-			out[pi] = sampleK
-			continue
-		}
-		out[pi] = fewk.Outcome(level2, topK, topOK, sampleK, sampOK, burst, statIneff)
+		out[pi] = s.managedEstimate(mi, pi, out[pi])
 	}
 	return out
+}
+
+// managedEstimate resolves one few-k-managed quantile from the captured
+// tails and samples per §4.3 — the selection Estimates runs for every
+// managed ϕ and Estimate runs for just the requested one.
+func (s Snapshot) managedEstimate(mi, pi int, level2 float64) float64 {
+	phi := s.cfg.Phis[pi]
+	logicalN := s.cfg.Spec.Size * s.streams
+	topK, topOK := fewk.TopKMerge(cachedOf(s.summaries, mi), logicalN, phi)
+	sampleK, sampOK := fewk.SampleKMerge(samplesOf(s.summaries, mi), logicalN, phi)
+	burst := anyBurstyOf(s.summaries, mi)
+	statIneff := fewk.NeedsTopK(s.cfg.Spec.Period, phi, s.cfg.StatThreshold)
+	if s.cfg.SampleKOnly && sampOK {
+		// Table 4 mode: the sample-k pipeline answers managed quantiles
+		// unconditionally, exactly as Result does.
+		return sampleK
+	}
+	return fewk.Outcome(level2, topK, topOK, sampleK, sampOK, burst, statIneff)
 }

@@ -1,0 +1,628 @@
+// Package wire is the versioned binary encoding of core.Snapshot — the
+// stable format that lets window captures cross process and datacenter
+// boundaries and merge centrally, turning the in-process Snapshot.Merge
+// plane into the paper's distributed-aggregation sketch ("our quantile
+// design can deliver better aggregate throughput ... in distributed
+// computing").
+//
+// # Frame layout (format version 1)
+//
+// A blob is a plain concatenation of self-describing frames; appending two
+// blobs yields a valid blob, so N workers can write into one pipe or file
+// and an aggregator decodes the lot in one pass. Each frame is
+//
+//	magic   [4]byte  "QLVS"
+//	version uint16   little-endian, currently 1
+//	length  uint32   little-endian payload byte count
+//	payload [length]byte
+//
+// and the payload serializes one keyed capture. Within the payload,
+// fixed-width integers and float64 bit patterns are little-endian; counts
+// and lengths are unsigned varints (binary.AppendUvarint):
+//
+//	key        uvarint len + bytes        ("" for unkeyed captures)
+//	config     size, period, digits       uvarint each
+//	           flags                      1 byte: FewK|TopKOnly|SampleKOnly|Adaptive
+//	           fraction, statThreshold,
+//	           burstAlpha, highPhiMin     float64 each
+//	           phis                       uvarint len + float64s
+//	streams    uvarint                    merged sub-stream count (>= 1)
+//	sums       uvarint len + float64s     Level-2 running sums (len == len(phis))
+//	summaries  uvarint count, then per summary:
+//	           count                      uvarint sub-window element count
+//	           quantiles                  uvarint len + float64s (== len(phis))
+//	           densities                  uvarint len + float64s (== len(phis))
+//	           tails                      uvarint count, then uvarint len + float64s each
+//	           samples                    uvarint count, then uvarint len +
+//	                                      (float64 value, uvarint weight) pairs each
+//	           burst                      1 byte present flag; if 1, one 0/1 byte
+//	                                      per managed quantile
+//
+// Every length is redundant with the configuration (sums, quantiles and
+// densities must match the ϕ count; tail and sample counts must match the
+// managed-quantile set derived from the config), and the decoder
+// cross-checks all of them, so a flipped length byte is a detected error,
+// not a misparse.
+//
+// # Decode strictness
+//
+// Decode trusts nothing: the version is gated, the payload must be
+// consumed exactly, every slice length is bounds-checked against the
+// remaining payload BEFORE allocation, the rebuilt parts must pass
+// core.NewSnapshot's structural validation, cached tails and sample lists
+// must be sorted descending (the merge heaps assume it), and the NaN/Inf
+// policy is enforced: NaN is rejected everywhere (ingestion drops NaN, so
+// no legitimate capture contains one); ±Inf is rejected in configuration
+// fields but allowed in data positions (quantiles, sums, tails, samples)
+// and densities (+Inf marks a point mass). Every failure is a wrapped,
+// non-panicking error carrying one of the sentinel values below.
+//
+// # Version policy
+//
+// The version is per-frame. Decoders accept versions they know (currently
+// exactly 1) and reject newer ones with ErrVersion rather than guessing;
+// any change to the payload layout MUST bump Version. The golden-blob test
+// in this package pins v1 bytes, so an accidental layout change fails
+// loudly instead of silently forking the format.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/core/fewk"
+)
+
+// Version is the current frame format version.
+const Version = 1
+
+// magic opens every frame: "QLVS" (QLove Snapshot).
+var magic = [4]byte{'Q', 'L', 'V', 'S'}
+
+const (
+	headerSize = 10      // magic + version + payload length
+	maxPayload = 1 << 30 // sanity cap on a single frame's payload
+	// allocCap bounds any single up-front slice capacity minted from a
+	// claimed element count whose in-memory element size exceeds its wire
+	// floor; past it the slice grows by append as elements actually
+	// decode, so allocation always tracks real payload.
+	allocCap = 4096
+)
+
+// Sentinel decode errors; every error Decode returns wraps exactly one of
+// them (or io.EOF at a clean end of stream).
+var (
+	// ErrMagic reports bytes that are not a frame at all.
+	ErrMagic = errors.New("wire: bad magic")
+	// ErrVersion reports a frame from an unknown (newer) format version.
+	ErrVersion = errors.New("wire: unsupported format version")
+	// ErrTruncated reports a stream that ends mid-frame.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrCorrupt reports a structurally invalid payload: length
+	// cross-checks, value policy or snapshot invariants failed.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+)
+
+// config flag bits.
+const (
+	flagFewK = 1 << iota
+	flagTopKOnly
+	flagSampleKOnly
+	flagAdaptive
+)
+
+// Encoder writes frames to a stream, reusing one marshalling buffer across
+// calls so steady-state export allocates only what the kernel write needs.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode writes one keyed frame and returns the bytes written. Encoding
+// the zero Snapshot is refused: it carries no configuration to describe
+// itself with (merge identities are a fold concern, not a transport one).
+func (e *Encoder) Encode(key string, s core.Snapshot) (int, error) {
+	if s.IsZero() {
+		return 0, fmt.Errorf("wire: cannot encode the zero Snapshot")
+	}
+	e.buf = AppendFrame(e.buf[:0], key, s)
+	if len(e.buf)-headerSize > maxPayload {
+		// Refused at encode time: past the cap the decoder would reject
+		// the frame (and past 4 GiB the u32 length field would silently
+		// truncate), so such a capture must never reach the stream.
+		return 0, fmt.Errorf("wire: snapshot payload %d bytes exceeds the %d-byte frame cap", len(e.buf)-headerSize, maxPayload)
+	}
+	n, err := e.w.Write(e.buf)
+	if err != nil {
+		return n, fmt.Errorf("wire: write frame: %w", err)
+	}
+	return n, nil
+}
+
+// Encode writes one keyed frame to w; the convenience form of
+// Encoder.Encode for one-shot callers.
+func Encode(w io.Writer, key string, s core.Snapshot) (int, error) {
+	return NewEncoder(w).Encode(key, s)
+}
+
+// AppendFrame appends one complete frame (header and payload) to dst and
+// returns the extended slice. The capture must be non-zero and its
+// payload must stay within the decoder's 1 GiB frame cap — Encoder.Encode
+// enforces the bound; direct AppendFrame callers own it themselves.
+func AppendFrame(dst []byte, key string, s core.Snapshot) []byte {
+	dst = append(dst, magic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, Version)
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // payload length, patched below
+	start := len(dst)
+	dst = appendPayload(dst, key, s.Parts())
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-start))
+	return dst
+}
+
+func appendPayload(dst []byte, key string, p core.SnapshotParts) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+
+	cfg := p.Config
+	dst = binary.AppendUvarint(dst, uint64(cfg.Spec.Size))
+	dst = binary.AppendUvarint(dst, uint64(cfg.Spec.Period))
+	dst = binary.AppendUvarint(dst, uint64(cfg.Digits))
+	var flags byte
+	if cfg.FewK {
+		flags |= flagFewK
+	}
+	if cfg.TopKOnly {
+		flags |= flagTopKOnly
+	}
+	if cfg.SampleKOnly {
+		flags |= flagSampleKOnly
+	}
+	if cfg.Adaptive {
+		flags |= flagAdaptive
+	}
+	dst = append(dst, flags)
+	dst = appendF64(dst, cfg.Fraction)
+	dst = appendF64(dst, cfg.StatThreshold)
+	dst = appendF64(dst, cfg.BurstAlpha)
+	dst = appendF64(dst, cfg.HighPhiMin)
+	dst = appendF64s(dst, cfg.Phis)
+
+	dst = binary.AppendUvarint(dst, uint64(p.Streams))
+	dst = appendF64s(dst, p.Sums)
+
+	dst = binary.AppendUvarint(dst, uint64(len(p.Summaries)))
+	for i := range p.Summaries {
+		sm := &p.Summaries[i]
+		dst = binary.AppendUvarint(dst, uint64(sm.Count))
+		dst = appendF64s(dst, sm.Quantiles)
+		dst = appendF64s(dst, sm.Densities)
+		dst = binary.AppendUvarint(dst, uint64(len(sm.Tails)))
+		for _, t := range sm.Tails {
+			dst = appendF64s(dst, t)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(sm.Samples)))
+		for _, l := range sm.Samples {
+			dst = binary.AppendUvarint(dst, uint64(len(l)))
+			for _, smp := range l {
+				dst = appendF64(dst, smp.Value)
+				dst = binary.AppendUvarint(dst, uint64(smp.Weight))
+			}
+		}
+		if sm.BurstyVsPrev == nil {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+			for _, b := range sm.BurstyVsPrev {
+				if b {
+					dst = append(dst, 1)
+				} else {
+					dst = append(dst, 0)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendF64s(dst []byte, vs []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+// Decoder reads frames from a stream, reusing one payload buffer across
+// calls.
+type Decoder struct {
+	r        io.Reader
+	hdr      [headerSize]byte
+	buf      []byte
+	consumed int64
+}
+
+// NewDecoder returns a Decoder reading from r. Frames are read with
+// exactly two reads each (header, then payload), so no extra buffering
+// layer is needed even over a pipe.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Consumed returns the total bytes read from the stream so far —
+// including the bytes of a frame whose decode failed, so after an error
+// it points at where in the input the bad frame ends (or the stream gave
+// out).
+func (d *Decoder) Consumed() int64 { return d.consumed }
+
+// Decode reads the next frame. At a clean end of stream (the reader is
+// exhausted exactly at a frame boundary) it returns io.EOF unwrapped; any
+// other failure wraps a package sentinel and never panics, whatever the
+// input bytes.
+func (d *Decoder) Decode() (key string, snap core.Snapshot, err error) {
+	hn, err := io.ReadFull(d.r, d.hdr[:])
+	d.consumed += int64(hn)
+	if err != nil {
+		if err == io.EOF {
+			return "", core.Snapshot{}, io.EOF
+		}
+		return "", core.Snapshot{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if [4]byte(d.hdr[:4]) != magic {
+		return "", core.Snapshot{}, fmt.Errorf("%w: %q", ErrMagic, d.hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(d.hdr[4:6]); v != Version {
+		return "", core.Snapshot{}, fmt.Errorf("%w: frame v%d, decoder speaks v%d", ErrVersion, v, Version)
+	}
+	n := binary.LittleEndian.Uint32(d.hdr[6:10])
+	if n > maxPayload {
+		return "", core.Snapshot{}, fmt.Errorf("%w: payload length %d exceeds cap", ErrCorrupt, n)
+	}
+	// The claimed length is untrusted until the bytes actually arrive:
+	// large payloads are read in bounded steps so a corrupt header cannot
+	// demand a huge up-front allocation for a stream that ends after a few
+	// bytes.
+	const allocStep = 1 << 20
+	if int(n) <= allocStep {
+		if cap(d.buf) < int(n) {
+			d.buf = make([]byte, n)
+		}
+		d.buf = d.buf[:n]
+		pn, err := io.ReadFull(d.r, d.buf)
+		d.consumed += int64(pn)
+		if err != nil {
+			return "", core.Snapshot{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+		}
+	} else {
+		d.buf = d.buf[:0]
+		for len(d.buf) < int(n) {
+			step := int(n) - len(d.buf)
+			if step > allocStep {
+				step = allocStep
+			}
+			d.buf = append(d.buf, make([]byte, step)...)
+			chunk := d.buf[len(d.buf)-step:]
+			pn, err := io.ReadFull(d.r, chunk)
+			d.consumed += int64(pn)
+			if err != nil {
+				return "", core.Snapshot{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+			}
+		}
+	}
+	return decodePayload(d.buf)
+}
+
+// Decode reads a single frame from r; the convenience form of
+// Decoder.Decode for one-shot callers.
+func Decode(r io.Reader) (key string, snap core.Snapshot, err error) {
+	return NewDecoder(r).Decode()
+}
+
+// payloadReader is a bounds-checked cursor over one frame's payload.
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (r *payloadReader) remaining() int { return len(r.b) - r.off }
+
+func (r *payloadReader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: %s: bad varint", ErrCorrupt, what)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads a length-prefixed element count and checks it against the
+// bytes actually left (elemSize is a lower bound on the wire size of one
+// element), so a corrupted length cannot drive allocation beyond the
+// payload it arrived in.
+func (r *payloadReader) count(what string, elemSize int) (int, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()/elemSize) {
+		return 0, fmt.Errorf("%w: %s: count %d exceeds remaining payload", ErrCorrupt, what, v)
+	}
+	return int(v), nil
+}
+
+func (r *payloadReader) byte(what string) (byte, error) {
+	if r.remaining() < 1 {
+		return 0, fmt.Errorf("%w: %s: payload exhausted", ErrCorrupt, what)
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *payloadReader) f64(what string) (float64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("%w: %s: payload exhausted", ErrCorrupt, what)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *payloadReader) f64s(what string) ([]float64, error) {
+	n, err := r.count(what, 8)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+	}
+	return out, nil
+}
+
+func decodePayload(b []byte) (string, core.Snapshot, error) {
+	r := &payloadReader{b: b}
+
+	keyLen, err := r.count("key", 1)
+	if err != nil {
+		return "", core.Snapshot{}, err
+	}
+	key := string(r.b[r.off : r.off+keyLen])
+	r.off += keyLen
+
+	var p core.SnapshotParts
+	cfg := &p.Config
+	if cfg.Spec.Size, err = intField(r, "window size"); err != nil {
+		return "", core.Snapshot{}, err
+	}
+	if cfg.Spec.Period, err = intField(r, "window period"); err != nil {
+		return "", core.Snapshot{}, err
+	}
+	if cfg.Digits, err = intField(r, "digits"); err != nil {
+		return "", core.Snapshot{}, err
+	}
+	flags, err := r.byte("config flags")
+	if err != nil {
+		return "", core.Snapshot{}, err
+	}
+	cfg.FewK = flags&flagFewK != 0
+	cfg.TopKOnly = flags&flagTopKOnly != 0
+	cfg.SampleKOnly = flags&flagSampleKOnly != 0
+	cfg.Adaptive = flags&flagAdaptive != 0
+	for _, f := range []struct {
+		dst  *float64
+		what string
+	}{
+		{&cfg.Fraction, "fraction"},
+		{&cfg.StatThreshold, "stat threshold"},
+		{&cfg.BurstAlpha, "burst alpha"},
+		{&cfg.HighPhiMin, "high-phi min"},
+	} {
+		v, err := r.f64(f.what)
+		if err != nil {
+			return "", core.Snapshot{}, err
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return "", core.Snapshot{}, fmt.Errorf("%w: %s: non-finite %v", ErrCorrupt, f.what, v)
+		}
+		*f.dst = v
+	}
+	if cfg.Phis, err = r.f64s("phis"); err != nil {
+		return "", core.Snapshot{}, err
+	}
+	// ValidatePhis catches Inf (outside (0, 1]) but every comparison it
+	// runs is false for NaN, so the NaN policy must be enforced here.
+	if err := noNaN("phis", cfg.Phis); err != nil {
+		return "", core.Snapshot{}, err
+	}
+	if p.Streams, err = intField(r, "streams"); err != nil {
+		return "", core.Snapshot{}, err
+	}
+	if p.Sums, err = r.f64s("sums"); err != nil {
+		return "", core.Snapshot{}, err
+	}
+	if err := noNaN("sums", p.Sums); err != nil {
+		return "", core.Snapshot{}, err
+	}
+
+	// Each summary costs at least its count varint + two length varints +
+	// tail/sample/burst bytes: >= 5 bytes on the wire. The slice GROWS as
+	// summaries actually decode (capacity capped up front): a summary is
+	// far bigger in memory than its 5-byte wire floor, so allocating the
+	// claimed count outright would let a corrupt count demand ~26x the
+	// payload in one allocation.
+	nSummaries, err := r.count("summary count", 5)
+	if err != nil {
+		return "", core.Snapshot{}, err
+	}
+	if nSummaries > 0 {
+		p.Summaries = make([]core.Summary, 0, min(nSummaries, allocCap))
+	}
+	for i := 0; i < nSummaries; i++ {
+		var sm core.Summary
+		if err := decodeSummary(r, &sm); err != nil {
+			return "", core.Snapshot{}, fmt.Errorf("summary %d: %w", i, err)
+		}
+		p.Summaries = append(p.Summaries, sm)
+	}
+	if r.remaining() != 0 {
+		return "", core.Snapshot{}, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, r.remaining())
+	}
+
+	snap, err := core.NewSnapshot(p)
+	if err != nil {
+		return "", core.Snapshot{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return key, snap, nil
+}
+
+func decodeSummary(r *payloadReader, s *core.Summary) error {
+	var err error
+	if s.Count, err = intField(r, "count"); err != nil {
+		return err
+	}
+	if s.Quantiles, err = r.f64s("quantiles"); err != nil {
+		return err
+	}
+	if err := noNaN("quantiles", s.Quantiles); err != nil {
+		return err
+	}
+	if s.Densities, err = r.f64s("densities"); err != nil {
+		return err
+	}
+	// Densities may legitimately be +Inf (point mass) but never NaN or
+	// -Inf (the finite-difference construction cannot produce either).
+	for _, v := range s.Densities {
+		if math.IsNaN(v) || math.IsInf(v, -1) {
+			return fmt.Errorf("%w: densities: invalid %v", ErrCorrupt, v)
+		}
+	}
+	nTails, err := r.count("tail count", 1)
+	if err != nil {
+		return err
+	}
+	// Allocated non-nil even when empty — the seal path always
+	// materializes the (possibly zero-length) per-managed-quantile slices,
+	// and the round trip reproduces a sealed capture's exact shape — but
+	// grown incrementally: a slice header is 24x the 1-byte wire floor of
+	// an empty tail, so the claimed count must not size the allocation.
+	s.Tails = make([][]float64, 0, min(nTails, allocCap))
+	for mi := 0; mi < nTails; mi++ {
+		t, err := r.f64s("tail")
+		if err != nil {
+			return err
+		}
+		if err := noNaN("tail", t); err != nil {
+			return err
+		}
+		if err := descending("tail", t); err != nil {
+			return err
+		}
+		s.Tails = append(s.Tails, t)
+	}
+	nSamples, err := r.count("sample list count", 1)
+	if err != nil {
+		return err
+	}
+	s.Samples = make([][]fewk.Sample, 0, min(nSamples, allocCap))
+	for mi := 0; mi < nSamples; mi++ {
+		n, err := r.count("sample list", 9) // 8-byte value + >=1-byte weight
+		if err != nil {
+			return err
+		}
+		var list []fewk.Sample
+		if n > 0 {
+			list = make([]fewk.Sample, n)
+		}
+		var prev float64
+		for j := range list {
+			v, err := r.f64("sample value")
+			if err != nil {
+				return err
+			}
+			if math.IsNaN(v) {
+				return fmt.Errorf("%w: sample value: NaN", ErrCorrupt)
+			}
+			if j > 0 && v > prev {
+				return fmt.Errorf("%w: sample values not descending", ErrCorrupt)
+			}
+			prev = v
+			w, err := intField(r, "sample weight")
+			if err != nil {
+				return err
+			}
+			list[j] = fewk.Sample{Value: v, Weight: w}
+		}
+		s.Samples = append(s.Samples, list)
+	}
+	burst, err := r.byte("burst flag")
+	if err != nil {
+		return err
+	}
+	switch burst {
+	case 0:
+	case 1:
+		// One flag per managed quantile; the managed count equals the tail
+		// count in every valid capture, which NewSnapshot re-checks against
+		// the configuration afterwards.
+		s.BurstyVsPrev = make([]bool, nTails)
+		for mi := range s.BurstyVsPrev {
+			b, err := r.byte("burst flags")
+			if err != nil {
+				return err
+			}
+			switch b {
+			case 0, 1:
+				s.BurstyVsPrev[mi] = b == 1
+			default:
+				return fmt.Errorf("%w: burst flag byte %d", ErrCorrupt, b)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: burst presence byte %d", ErrCorrupt, burst)
+	}
+	return nil
+}
+
+// intField reads a uvarint that must fit a non-negative int.
+func intField(r *payloadReader, what string) (int, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: %s: %d out of range", ErrCorrupt, what, v)
+	}
+	return int(v), nil
+}
+
+func noNaN(what string, vs []float64) error {
+	for _, v := range vs {
+		if math.IsNaN(v) {
+			return fmt.Errorf("%w: %s: NaN", ErrCorrupt, what)
+		}
+	}
+	return nil
+}
+
+func descending(what string, vs []float64) error {
+	for i := 1; i < len(vs); i++ {
+		if vs[i] > vs[i-1] {
+			return fmt.Errorf("%w: %s not sorted descending", ErrCorrupt, what)
+		}
+	}
+	return nil
+}

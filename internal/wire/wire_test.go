@@ -1,0 +1,443 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/window"
+	"repro/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_v1.bin")
+
+func mustPolicy(t testing.TB, cfg core.Config) *core.Policy {
+	t.Helper()
+	p, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// randomConfig draws a valid configuration: window shape, ϕ set, few-k
+// mode and quantization vary per iteration.
+func randomConfig(rng *rand.Rand) core.Config {
+	period := 8 << rng.Intn(5)           // 8..128
+	size := period * (1 + rng.Intn(8))   // 1..8 sub-windows
+	phiPool := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.995, 0.999}
+	lo := rng.Intn(len(phiPool) - 1)
+	hi := lo + 1 + rng.Intn(len(phiPool)-lo-1)
+	cfg := core.Config{
+		Spec: window.Spec{Size: size, Period: period},
+		Phis: phiPool[lo : hi+1],
+		FewK: rng.Intn(2) == 0,
+	}
+	switch rng.Intn(4) {
+	case 0:
+		cfg.Digits = -1
+	case 1:
+		cfg.Digits = 2
+	}
+	if cfg.FewK {
+		switch rng.Intn(4) {
+		case 0:
+			cfg.TopKOnly = true
+		case 1:
+			cfg.SampleKOnly = true
+		case 2:
+			cfg.Fraction = 0.25 + rng.Float64()/2
+		}
+	}
+	return cfg
+}
+
+// TestRoundTripProperty: over randomized configurations and ingestion
+// histories, encode→decode→Merge→Estimates is bit-identical to the
+// never-serialized path, and the decoded parts deep-equal the originals.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 60; iter++ {
+		cfg := randomConfig(rng)
+		var snaps []core.Snapshot
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		shards := 1 + rng.Intn(3)
+		for s := 0; s < shards; s++ {
+			p := mustPolicy(t, cfg)
+			n := cfg.Spec.Size + rng.Intn(2*cfg.Spec.Size)
+			p.ObserveBatch(workload.Generate(workload.NewNetMon(rng.Int63()), n))
+			snap := p.Snapshot()
+			snaps = append(snaps, snap)
+			if _, err := enc.Encode("", snap); err != nil {
+				t.Fatalf("iter %d: encode: %v", iter, err)
+			}
+		}
+		dec := NewDecoder(bytes.NewReader(buf.Bytes()))
+		var decoded []core.Snapshot
+		for {
+			_, snap, err := dec.Decode()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("iter %d (%+v): decode: %v", iter, cfg, err)
+			}
+			decoded = append(decoded, snap)
+		}
+		if len(decoded) != shards {
+			t.Fatalf("iter %d: %d frames decoded, want %d", iter, len(decoded), shards)
+		}
+		if got := dec.Consumed(); got != int64(buf.Len()) {
+			t.Fatalf("iter %d: consumed %d of %d bytes", iter, got, buf.Len())
+		}
+		for s := range snaps {
+			if !reflect.DeepEqual(decoded[s].Parts(), snaps[s].Parts()) {
+				t.Fatalf("iter %d shard %d: decoded parts differ", iter, s)
+			}
+		}
+		live, err := core.MergeSnapshots(snaps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, err := core.MergeSnapshots(decoded)
+		if err != nil {
+			t.Fatalf("iter %d: decoded captures refuse to merge: %v", iter, err)
+		}
+		want, got := live.Estimates(), rebuilt.Estimates()
+		for j := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("iter %d ϕ=%v: serialized merge %v != live merge %v",
+					iter, cfg.Phis[j], got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestKeyedFraming: keys survive the trip and appended blobs decode as one
+// stream.
+func TestKeyedFraming(t *testing.T) {
+	cfg := core.Config{Spec: window.Spec{Size: 200, Period: 50}, Phis: []float64{0.5, 0.99}, FewK: true}
+	frameFor := func(key string, seed int64) []byte {
+		p := mustPolicy(t, cfg)
+		p.ObserveBatch(workload.Generate(workload.NewNetMon(seed), cfg.Spec.Size))
+		return AppendFrame(nil, key, p.Snapshot())
+	}
+	// Two "worker blobs" concatenated — the append-friendly framing the
+	// aggregator relies on.
+	blob := append(frameFor("api/latency", 1), frameFor("", 2)...)
+	blob = append(blob, frameFor("api/latency", 3)...)
+	dec := NewDecoder(bytes.NewReader(blob))
+	var keys []string
+	for {
+		key, snap, err := dec.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.IsZero() {
+			t.Fatal("decoded zero snapshot")
+		}
+		keys = append(keys, key)
+	}
+	if want := []string{"api/latency", "", "api/latency"}; !reflect.DeepEqual(keys, want) {
+		t.Fatalf("keys %q, want %q", keys, want)
+	}
+}
+
+// TestEncodeRejectsZeroSnapshot: the zero value has no config to describe
+// itself with.
+func TestEncodeRejectsZeroSnapshot(t *testing.T) {
+	if _, err := Encode(io.Discard, "k", core.Snapshot{}); err == nil {
+		t.Fatal("zero snapshot encoded")
+	}
+}
+
+// validFrame builds one deterministic well-formed frame for the corruption
+// table.
+func validFrame(t testing.TB) []byte {
+	t.Helper()
+	p, err := core.New(core.Config{
+		Spec: window.Spec{Size: 1600, Period: 400},
+		Phis: []float64{0.5, 0.9, 0.99},
+		FewK: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ObserveBatch(workload.Generate(workload.NewNetMon(5), 2000))
+	return AppendFrame(nil, "k", p.Snapshot())
+}
+
+// TestDecodeCorruptionTable: every malformed input yields a wrapped
+// sentinel error — never a panic, never a silent misparse.
+func TestDecodeCorruptionTable(t *testing.T) {
+	frame := validFrame(t)
+	flip := func(off int, b byte) []byte {
+		c := append([]byte(nil), frame...)
+		c[off] = b
+		return c
+	}
+	cases := []struct {
+		name string
+		blob []byte
+		want error
+	}{
+		{"empty mid-header", frame[:3], ErrTruncated},
+		{"bad magic", flip(0, 'X'), ErrMagic},
+		{"version zero", flip(4, 0), ErrVersion},
+		{"version future", flip(4, 2), ErrVersion},
+		{"payload length beyond stream", flip(6, 0xFF), ErrTruncated},
+		{"payload length short", flip(6, 1), ErrCorrupt}, // trailing bytes parsed as next frame: bad magic OR corrupt payload
+		{"inner count overflow", corruptInnerCount(frame), ErrCorrupt},
+		{"garbage payload", append(append([]byte(nil), frame[:headerSize]...), make([]byte, len(frame)-headerSize)...), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Decode(bytes.NewReader(tc.blob))
+			if err == nil {
+				t.Fatal("decoded corrupt frame")
+			}
+			if err == io.EOF {
+				t.Fatal("corrupt frame reported as clean EOF")
+			}
+			if tc.name == "payload length short" {
+				// The shortened frame itself fails validation; exactly which
+				// sentinel depends on where parsing falls off.
+				if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+					t.Fatalf("error %v wraps no sentinel", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v, want wrapped %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// corruptInnerCount blows up the ϕ-count varint inside the payload so the
+// pre-allocation bound check must fire.
+func corruptInnerCount(frame []byte) []byte {
+	c := append([]byte(nil), frame...)
+	// Payload layout: key len(1)+key(1), size(varint), period(varint),
+	// digits(varint), flags(1), 4 float64s, then the ϕ count varint.
+	off := headerSize
+	off += 2 // key
+	for i := 0; i < 3; i++ { // three uvarints
+		for c[off]&0x80 != 0 {
+			off++
+		}
+		off++
+	}
+	off += 1 + 4*8 // flags + fraction/statThreshold/burstAlpha/highPhiMin
+	c[off] = 0xFF  // ϕ count becomes a huge varint
+	c[off+1] |= 0x80
+	c[off+2] = 0x7F
+	return c
+}
+
+// TestDecodeTruncationSweep: a frame cut at EVERY byte boundary fails
+// cleanly (or, at length 0, reports clean EOF).
+func TestDecodeTruncationSweep(t *testing.T) {
+	frame := validFrame(t)
+	for n := 0; n < len(frame); n++ {
+		_, _, err := Decode(bytes.NewReader(frame[:n]))
+		if n == 0 {
+			if err != io.EOF {
+				t.Fatalf("empty stream: %v, want io.EOF", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("truncation at %d/%d decoded", n, len(frame))
+		}
+		if err == io.EOF {
+			t.Fatalf("truncation at %d/%d reported as clean EOF", n, len(frame))
+		}
+	}
+}
+
+// TestDecodeValuePolicy: NaN is rejected in every float position; a
+// non-descending tail is rejected.
+func TestDecodeValuePolicy(t *testing.T) {
+	frame := validFrame(t)
+	// Find the wire bytes of a known value and replace them with NaN bits:
+	// quantile positions hold NetMon-generated floats, all of which appear
+	// in the payload as 8 little-endian bytes.
+	_, snap, err := Decode(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := snap.Parts().Summaries[0].Quantiles[0]
+	pat := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		pat[i] = byte(math.Float64bits(target) >> (8 * i))
+	}
+	idx := bytes.Index(frame, pat)
+	if idx < 0 {
+		t.Fatal("quantile bytes not found in frame")
+	}
+	nan := append([]byte(nil), frame...)
+	for i := 0; i < 8; i++ {
+		nan[idx+i] = byte(math.Float64bits(math.NaN()) >> (8 * i))
+	}
+	if _, _, err := Decode(bytes.NewReader(nan)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("NaN payload: %v, want wrapped ErrCorrupt", err)
+	}
+
+	// A NaN in the configured ϕ array is the nastier case: every
+	// comparison core's phi validation runs is false for NaN, so the
+	// transport's own policy check must catch it.
+	phiPat := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		phiPat[i] = byte(math.Float64bits(0.5) >> (8 * i))
+	}
+	pidx := bytes.Index(frame, phiPat)
+	if pidx < 0 {
+		t.Fatal("ϕ=0.5 bytes not found in frame")
+	}
+	nanPhi := append([]byte(nil), frame...)
+	for i := 0; i < 8; i++ {
+		nanPhi[pidx+i] = byte(math.Float64bits(math.NaN()) >> (8 * i))
+	}
+	if _, _, err := Decode(bytes.NewReader(nanPhi)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("NaN ϕ: %v, want wrapped ErrCorrupt", err)
+	}
+
+	// Ascending tail: build parts with a reversed tail through the core
+	// constructor (structurally valid) and check the transport refuses it.
+	parts := snap.Parts()
+	parts.Summaries = append([]core.Summary(nil), parts.Summaries...)
+	bad := parts.Summaries[0]
+	if len(bad.Tails) == 0 || len(bad.Tails[0]) < 2 {
+		t.Fatal("test frame has no multi-value tail")
+	}
+	tail := append([]float64(nil), bad.Tails[0]...)
+	tail[0], tail[len(tail)-1] = tail[len(tail)-1], tail[0]
+	bad.Tails = append([][]float64(nil), bad.Tails...)
+	bad.Tails[0] = tail
+	parts.Summaries[0] = bad
+	badSnap, err := core.NewSnapshot(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := AppendFrame(nil, "", badSnap)
+	if _, _, err := Decode(bytes.NewReader(blob)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ascending tail: %v, want wrapped ErrCorrupt", err)
+	}
+}
+
+// goldenPath is the checked-in v1 blob that pins the format: two keyed
+// frames from deterministic ingestion.
+var goldenPath = filepath.Join("testdata", "golden_v1.bin")
+
+// goldenBlob rebuilds the golden captures from scratch — fixed seed, fixed
+// configs — and returns their encoding.
+func goldenBlob(t testing.TB) []byte {
+	t.Helper()
+	var blob []byte
+	for _, g := range []struct {
+		key  string
+		cfg  core.Config
+		seed int64
+		n    int
+	}{
+		{"api/latency", core.Config{Spec: window.Spec{Size: 256, Period: 64},
+			Phis: []float64{0.5, 0.9, 0.99, 0.999}, FewK: true}, 42, 500},
+		{"db/qps", core.Config{Spec: window.Spec{Size: 128, Period: 128},
+			Phis: []float64{0.5, 0.95}, Digits: -1}, 43, 300},
+	} {
+		p := mustPolicy(t, g.cfg)
+		p.ObserveBatch(workload.Generate(workload.NewNetMon(g.seed), g.n))
+		blob = AppendFrame(blob, g.key, p.Snapshot())
+	}
+	return blob
+}
+
+// TestGoldenV1 pins format v1 in both directions: the checked-in blob must
+// decode to exactly the captures rebuilt in-process, and re-encoding those
+// captures must reproduce the checked-in bytes. Any layout change breaks
+// this test — which is the point: bump Version and add a new golden file
+// instead of mutating v1.
+func TestGoldenV1(t *testing.T) {
+	want := goldenBlob(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disk, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to generate)", err)
+	}
+	if !bytes.Equal(disk, want) {
+		t.Fatalf("golden blob drifted: %d bytes on disk, %d rebuilt — the v1 layout changed; bump Version instead", len(disk), len(want))
+	}
+	dec := NewDecoder(bytes.NewReader(disk))
+	var keys []string
+	for {
+		key, snap, err := dec.Decode()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("golden blob no longer decodes: %v", err)
+		}
+		keys = append(keys, key)
+		if est := snap.Estimates(); len(est) == 0 || est[0] == 0 {
+			t.Fatalf("golden capture %q answers %v", key, est)
+		}
+	}
+	if want := []string{"api/latency", "db/qps"}; !reflect.DeepEqual(keys, want) {
+		t.Fatalf("golden keys %q, want %q", keys, want)
+	}
+}
+
+// BenchmarkEncode and BenchmarkDecode measure the codec on a realistic
+// capture (sliding window, few-k enabled).
+func benchSnapshot(b *testing.B) core.Snapshot {
+	p := mustPolicy(b, core.Config{
+		Spec: window.Spec{Size: 8000, Period: 1000},
+		Phis: []float64{0.5, 0.9, 0.99, 0.999},
+		FewK: true,
+	})
+	p.ObserveBatch(workload.Generate(workload.NewNetMon(1), 12000))
+	return p.Snapshot()
+}
+
+func BenchmarkEncode(b *testing.B) {
+	snap := benchSnapshot(b)
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendFrame(buf[:0], "key", snap)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkDecode(b *testing.B) {
+	frame := AppendFrame(nil, "key", benchSnapshot(b))
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(bytes.NewReader(frame)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

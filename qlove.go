@@ -52,7 +52,20 @@
 // ingestion, a fan-in Results channel, and Snapshot()/Query(key) reads
 // that never stop ingestion. Snapshots of operators that consumed
 // disjoint sub-streams of one logical key Merge into a single
-// logical-window view. See Engine.
+// logical-window view. With EngineConfig.KeyTTL set, idle keys expire
+// automatically and their operators recycle. See Engine.
+//
+// # Distributed aggregation
+//
+// Snapshots cross process and datacenter boundaries through the versioned
+// wire format (internal/wire, format v1): Engine.Export writes every
+// key's capture as a blob of self-describing frames without stopping
+// ingestion, EngineSnapshot implements io.WriterTo/io.ReaderFrom, and
+// Engine.ImportSnapshots folds remote blobs into the local view. Blobs
+// concatenate freely, so N workers can write one stream that a central
+// aggregator (cmd/qlove-agg) decodes, groups by key and merges; a decoded
+// capture Merges and Estimates bit-for-bit like a never-serialized one.
+// Snapshot.Estimate answers one configured quantile directly.
 package qlove
 
 import (
