@@ -1,0 +1,237 @@
+package qlove
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Aggregator is the long-running receiving half of the incremental
+// distributed plane: it folds worker push streams — full frames for
+// bootstrap, delta frames thereafter, tombstones for evicted keys — into a
+// resident per-(worker, key) state, and answers queries from the merged
+// cross-worker view. It is what cmd/qlove-agg serves over HTTP in -serve
+// mode, and the library form any embedding service can use directly.
+//
+// State is kept per worker because the cross-worker combination is a
+// Snapshot.Merge (disjoint sub-streams of one logical key), which must
+// happen at read time from each worker's CURRENT window — folding deltas
+// into an already-merged state would double-count. Reads merge the workers
+// of a key in ascending worker-ID order, so a fixed set of worker states
+// answers bit-reproducible estimates regardless of push arrival order;
+// each worker's folded state is bit-for-bit the capture a full
+// Engine.Export would have shipped at the same instant.
+//
+// Apply calls for DIFFERENT workers may run concurrently with each other
+// and with reads; Apply calls for one worker must be serialized by the
+// caller (they are on any real transport: one worker pushes its own
+// deltas in order).
+type Aggregator struct {
+	mu      sync.RWMutex
+	workers map[string]*aggWorker
+}
+
+type aggWorker struct {
+	keys map[string]*aggKeyState
+}
+
+// aggKeyState is one worker's folded view of one key: exactly the
+// SnapshotParts a full export of that key would carry (Summaries is the
+// resident window, SealGen the worker's seal clock).
+type aggKeyState struct {
+	parts core.SnapshotParts
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{workers: make(map[string]*aggWorker)}
+}
+
+// Apply folds one push blob from the named worker: any mix of full, delta
+// and tombstone frames (the output of Engine.Export, Engine.ExportDelta or
+// EngineSnapshot.WriteTo — v1 blobs fold too, as full frames). It returns
+// the number of frames applied. On error the frames already folded remain
+// applied and the count says how many; the worker should discard its
+// cursor and re-bootstrap (ExportDelta does this automatically when its
+// own encode fails, and a from-generation-0 delta or full frame always
+// replaces whatever state is resident).
+func (a *Aggregator) Apply(worker string, r io.Reader) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := a.workers[worker]
+	if w == nil {
+		w = &aggWorker{keys: make(map[string]*aggKeyState)}
+		a.workers[worker] = w
+	}
+	dec := wire.NewDecoder(r)
+	frames := 0
+	for {
+		f, err := dec.DecodeFrame()
+		if err == io.EOF {
+			return frames, nil
+		}
+		if err != nil {
+			return frames, fmt.Errorf("qlove: aggregator apply worker %q: %w", worker, err)
+		}
+		if err := w.fold(f); err != nil {
+			return frames, fmt.Errorf("qlove: aggregator apply worker %q key %q: %w", worker, f.Key, err)
+		}
+		frames++
+	}
+}
+
+// fold applies one decoded frame to the worker's state.
+func (w *aggWorker) fold(f wire.Frame) error {
+	switch f.Kind {
+	case wire.KindTombstone:
+		delete(w.keys, f.Key)
+		return nil
+	case wire.KindFull:
+		w.keys[f.Key] = &aggKeyState{parts: f.Snap.Parts()}
+		return nil
+	case wire.KindDelta:
+		return w.foldDelta(f.Key, f.Delta)
+	}
+	return fmt.Errorf("unknown frame kind %v", f.Kind)
+}
+
+// foldDelta advances one key's resident window by a delta frame: append
+// the newly sealed summaries, trim the front to the worker's resident
+// count (the summaries that slid out of its window since the cursor), and
+// replace the Level-2 sums wholesale. The result is bit-for-bit the full
+// capture the worker held at export time.
+func (w *aggWorker) foldDelta(key string, d wire.Delta) error {
+	if d.FromGen == 0 {
+		// Bootstrap: the frame carries the entire resident window.
+		w.keys[key] = &aggKeyState{parts: d.Parts}
+		return nil
+	}
+	st := w.keys[key]
+	if st == nil {
+		return fmt.Errorf("delta from generation %d for a key never bootstrapped", d.FromGen)
+	}
+	if st.parts.SealGen != d.FromGen {
+		return fmt.Errorf("delta cursor %d does not match resident generation %d", d.FromGen, st.parts.SealGen)
+	}
+	if !core.ConfigEqual(st.parts.Config, d.Parts.Config) {
+		return fmt.Errorf("delta configuration differs from resident state")
+	}
+	total := append(st.parts.Summaries, d.Parts.Summaries...)
+	if len(total) < d.Resident {
+		return fmt.Errorf("delta needs %d resident summaries, only %d accumulated", d.Resident, len(total))
+	}
+	// Trim expired summaries off the front in place, zeroing the vacated
+	// tail slots so dropped few-k caches are promptly collectible.
+	// (Readers never alias this slice: queries deep-copy under the lock.)
+	keep := len(total) - d.Resident
+	copy(total, total[keep:])
+	for i := d.Resident; i < len(total); i++ {
+		total[i] = core.Summary{}
+	}
+	st.parts.Summaries = total[:d.Resident]
+	st.parts.Sums = d.Parts.Sums
+	st.parts.Streams = d.Parts.Streams
+	st.parts.SealGen = d.Parts.SealGen
+	return nil
+}
+
+// snapshot rebuilds this state's capture. The summaries slice is copied so
+// later folds (which mutate the retained run in place) cannot reach a
+// capture already handed out.
+func (st *aggKeyState) snapshot() (Snapshot, error) {
+	p := st.parts
+	p.Summaries = append([]core.Summary(nil), p.Summaries...)
+	return core.NewSnapshot(p)
+}
+
+// Query answers one key from the merged cross-worker view: the per-worker
+// captures of the key, merged in ascending worker-ID order. ok is false
+// when no worker currently holds the key.
+func (a *Aggregator) Query(key string) (Snapshot, bool, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var ids []string
+	for id, w := range a.workers {
+		if _, ok := w.keys[key]; ok {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return Snapshot{}, false, nil
+	}
+	sort.Strings(ids)
+	var merged Snapshot
+	for _, id := range ids {
+		sn, err := a.workers[id].keys[key].snapshot()
+		if err != nil {
+			return Snapshot{}, false, fmt.Errorf("qlove: aggregator worker %q key %q: %w", id, key, err)
+		}
+		if merged, err = merged.Merge(sn); err != nil {
+			return Snapshot{}, false, fmt.Errorf("qlove: aggregator merge key %q: %w", key, err)
+		}
+	}
+	return merged, true, nil
+}
+
+// Snapshot materializes the whole merged view — every key, each merged
+// across its workers in ascending worker-ID order — as an EngineSnapshot,
+// interchangeable with the batch-mode fold of the workers' full exports.
+func (a *Aggregator) Snapshot() (EngineSnapshot, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	ids := make([]string, 0, len(a.workers))
+	for id := range a.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := EngineSnapshot{keys: make(map[string]Snapshot)}
+	for _, id := range ids {
+		for key, st := range a.workers[id].keys {
+			sn, err := st.snapshot()
+			if err != nil {
+				return EngineSnapshot{}, fmt.Errorf("qlove: aggregator worker %q key %q: %w", id, key, err)
+			}
+			if prev, ok := out.keys[key]; ok {
+				if sn, err = prev.Merge(sn); err != nil {
+					return EngineSnapshot{}, fmt.Errorf("qlove: aggregator merge key %q: %w", key, err)
+				}
+			}
+			out.keys[key] = sn
+		}
+	}
+	return out, nil
+}
+
+// Workers returns how many workers have pushed state.
+func (a *Aggregator) Workers() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.workers)
+}
+
+// Keys returns the number of distinct keys across all workers.
+func (a *Aggregator) Keys() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	seen := make(map[string]struct{})
+	for _, w := range a.workers {
+		for k := range w.keys {
+			seen[k] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// DropWorker forgets one worker's state entirely (e.g. a
+// decommissioned pod), returning whether it was known.
+func (a *Aggregator) DropWorker(worker string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.workers[worker]
+	delete(a.workers, worker)
+	return ok
+}

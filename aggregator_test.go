@@ -1,0 +1,270 @@
+package qlove
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// pushAll drains results in the background and pushes every report.
+func pushAll(t *testing.T, eng *Engine, reports map[string][]float64) {
+	t.Helper()
+	for key, vs := range reports {
+		if err := eng.Push(key, vs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func drainResults(eng *Engine) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range eng.Results() {
+		}
+	}()
+	return done
+}
+
+// fullFold reads an engine's full export through the batch path.
+func fullFold(t *testing.T, eng *Engine) EngineSnapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := eng.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap EngineSnapshot
+	if _, err := snap.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// requireSameView asserts the aggregator's merged view for one worker is
+// bit-for-bit the engine's full export: same key set, same estimates, same
+// stream/element shape.
+func requireSameView(t *testing.T, agg *Aggregator, eng *Engine) {
+	t.Helper()
+	want := fullFold(t, eng)
+	got, err := agg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("aggregator holds %d keys %v, full export has %d %v",
+			got.Len(), got.Keys(), want.Len(), want.Keys())
+	}
+	for _, k := range want.Keys() {
+		w, _ := want.Get(k)
+		g, ok := got.Get(k)
+		if !ok {
+			t.Fatalf("key %q missing from aggregator (lost tombstone inverse: never arrived)", k)
+		}
+		if g.Streams() != w.Streams() || g.Elements() != w.Elements() || g.SealGen() != w.SealGen() {
+			t.Fatalf("key %q shape: aggregator streams=%d elements=%d gen=%d, export streams=%d elements=%d gen=%d",
+				k, g.Streams(), g.Elements(), g.SealGen(), w.Streams(), w.Elements(), w.SealGen())
+		}
+		a, b := g.Estimates(), w.Estimates()
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("key %q ϕ[%d]: aggregator %v != full export %v", k, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestAggregatorDeltaFoldMatchesFull: pushing deltas phase by phase, the
+// aggregator's cursor-folded state stays bit-for-bit equal to a fresh full
+// export — through window growth, expiry, key churn (evictions produce
+// tombstones) and recreation.
+func TestAggregatorDeltaFoldMatchesFull(t *testing.T) {
+	eng, err := NewEngine(EngineConfig{
+		Config: Config{Spec: Window{Size: 256, Period: 64}, Phis: []float64{0.5, 0.9, 0.99}, FewK: true},
+		Shards: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := drainResults(eng)
+	defer func() { eng.Close(); <-done }()
+
+	agg := NewAggregator()
+	var cur ExportCursor
+	sync := func() {
+		t.Helper()
+		var buf bytes.Buffer
+		if _, err := eng.ExportDelta(&buf, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := agg.Apply("w0", bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		requireSameView(t, agg, eng)
+	}
+
+	gen := workload.NewNetMon(1)
+	batch := func(n int) []float64 { return workload.Generate(gen, n) }
+
+	// Phase 1: partial windows (some keys not yet sealed anything).
+	pushAll(t, eng, map[string][]float64{"a": batch(100), "b": batch(40), "c": batch(500)})
+	sync()
+	// Phase 2: growth + an untouched key (b gets nothing: no frame for it).
+	pushAll(t, eng, map[string][]float64{"a": batch(300), "c": batch(700), "d": batch(64)})
+	sync()
+	// Phase 3: the window slides fully past the cursor for c.
+	pushAll(t, eng, map[string][]float64{"c": batch(2000)})
+	sync()
+	// Phase 4: eviction produces a tombstone.
+	if !eng.Evict("b") {
+		t.Fatal("evict b")
+	}
+	sync()
+	if _, ok, _ := agg.Query("b"); ok {
+		t.Fatal("tombstoned key still aggregated")
+	}
+	// Phase 5: recreation after eviction (new incarnation, fewer seals
+	// than the cursor saw — the incarnation check must catch it).
+	if !eng.Evict("a") {
+		t.Fatal("evict a")
+	}
+	pushAll(t, eng, map[string][]float64{"a": batch(64)})
+	sync()
+	// Phase 6: idempotent no-op export: nothing changed, zero frames.
+	var buf bytes.Buffer
+	if n, err := eng.ExportDelta(&buf, &cur); err != nil || n != 0 {
+		t.Fatalf("no-change delta export wrote %d bytes (err %v), want 0", n, err)
+	}
+}
+
+// TestAggregatorMultiWorker: per-key cross-worker merging happens at read
+// time in ascending worker-ID order — bit-identical to the batch fold of
+// the workers' full blobs in the same order.
+func TestAggregatorMultiWorker(t *testing.T) {
+	cfg := Config{Spec: Window{Size: 400, Period: 100}, Phis: []float64{0.5, 0.99}, FewK: true}
+	agg := NewAggregator()
+	var batchAgg EngineSnapshot
+	for w := 0; w < 3; w++ {
+		eng, err := NewEngine(EngineConfig{Config: cfg, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := drainResults(eng)
+		gen := workload.NewNetMon(int64(100 + w))
+		pushAll(t, eng, map[string][]float64{
+			"shared":                  workload.Generate(gen, 900),
+			fmt.Sprintf("only-%d", w): workload.Generate(gen, 300),
+		})
+		eng.Close()
+		<-done
+		// Delta path into the service-style aggregator...
+		var cur ExportCursor
+		var buf bytes.Buffer
+		if _, err := eng.ExportDelta(&buf, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := agg.Apply(fmt.Sprintf("worker-%03d", w), bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		// ...and the batch fold of full blobs in worker order.
+		var full bytes.Buffer
+		if _, err := eng.Export(&full); err != nil {
+			t.Fatal(err)
+		}
+		var one EngineSnapshot
+		if _, err := one.ReadFrom(bytes.NewReader(full.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if batchAgg, err = batchAgg.Merge(one); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := agg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != batchAgg.Len() {
+		t.Fatalf("aggregator %d keys, batch fold %d", got.Len(), batchAgg.Len())
+	}
+	for _, k := range batchAgg.Keys() {
+		w, _ := batchAgg.Get(k)
+		g, ok := got.Get(k)
+		if !ok {
+			t.Fatalf("key %q missing", k)
+		}
+		if g.Streams() != w.Streams() {
+			t.Fatalf("key %q: %d streams, want %d", k, g.Streams(), w.Streams())
+		}
+		a, b := g.Estimates(), w.Estimates()
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("key %q: aggregator %v != batch fold %v", k, a, b)
+			}
+		}
+	}
+	// Per-key query agrees with the whole-view snapshot.
+	sn, ok, err := agg.Query("shared")
+	if err != nil || !ok {
+		t.Fatalf("query shared: %v ok=%v", err, ok)
+	}
+	if sn.Streams() != 3 {
+		t.Fatalf("shared merged %d streams, want 3", sn.Streams())
+	}
+	if agg.Workers() != 3 || agg.Keys() != batchAgg.Len() {
+		t.Fatalf("workers=%d keys=%d", agg.Workers(), agg.Keys())
+	}
+}
+
+// TestAggregatorRejectsBadDeltas: cursor mismatches are loud errors, never
+// silent misfolds.
+func TestAggregatorRejectsBadDeltas(t *testing.T) {
+	cfg := Config{Spec: Window{Size: 256, Period: 64}, Phis: []float64{0.5}}
+	eng, err := NewEngine(EngineConfig{Config: cfg, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := drainResults(eng)
+	defer func() { eng.Close(); <-done }()
+	gen := workload.NewNetMon(9)
+	pushAll(t, eng, map[string][]float64{"k": workload.Generate(gen, 320)})
+
+	var bootstrap, next bytes.Buffer
+	var cur ExportCursor
+	if _, err := eng.ExportDelta(&bootstrap, &cur); err != nil {
+		t.Fatal(err)
+	}
+	pushAll(t, eng, map[string][]float64{"k": workload.Generate(gen, 320)})
+	if _, err := eng.ExportDelta(&next, &cur); err != nil {
+		t.Fatal(err)
+	}
+
+	// A non-bootstrap delta for a worker that never bootstrapped.
+	agg := NewAggregator()
+	if _, err := agg.Apply("w", bytes.NewReader(next.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "never bootstrapped") {
+		t.Fatalf("orphan delta: %v", err)
+	}
+	// Applying the bootstrap twice then the delta: the second bootstrap
+	// replaces (idempotent), so the delta still folds.
+	agg = NewAggregator()
+	for i := 0; i < 2; i++ {
+		if _, err := agg.Apply("w", bytes.NewReader(bootstrap.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := agg.Apply("w", bytes.NewReader(next.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same delta is a cursor mismatch.
+	if _, err := agg.Apply("w", bytes.NewReader(next.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "cursor") {
+		t.Fatalf("replayed delta: %v", err)
+	}
+	// DropWorker forgets everything.
+	if !agg.DropWorker("w") || agg.Workers() != 0 || agg.Keys() != 0 {
+		t.Fatal("DropWorker left state behind")
+	}
+}

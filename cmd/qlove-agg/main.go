@@ -14,6 +14,15 @@
 // merged in that order, so a fixed input order yields bit-reproducible
 // estimates. Keys whose captures were produced under different operator
 // configurations refuse to merge (that is a deployment error, not noise).
+//
+// With -serve the tool becomes the LONG-RUNNING half of the plane instead
+// of a batch fold: an HTTP service (internal/aggsrv) that accepts worker
+// pushes — full blobs for bootstrap, Engine.ExportDelta blobs thereafter,
+// tombstones for evicted keys — folds them into resident per-worker state
+// and answers /query, /snapshot and /healthz from the merged view:
+//
+//	qlove-agg -serve -addr 127.0.0.1:7171
+//	curl 'http://127.0.0.1:7171/query?key=api/latency&phi=0.99'
 package main
 
 import (
@@ -22,10 +31,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
+	"time"
 
 	"repro"
+	"repro/internal/aggsrv"
 )
 
 func main() {
@@ -40,14 +53,40 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit one JSON document instead of the table")
 	top := fs.Int("top", 0, "report only the N keys with the most window elements (0 = all keys, sorted)")
 	phi := fs.Float64("phi", 0, "report only this configured quantile (0 = all configured quantiles)")
+	serve := fs.Bool("serve", false, "run as a long-running HTTP aggregation service instead of a batch fold")
+	addr := fs.String("addr", "127.0.0.1:7171", "serve: listen address")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *serve {
+		if len(fs.Args()) != 0 {
+			return fmt.Errorf("-serve takes no blob arguments; workers push over HTTP")
+		}
+		return serveHTTP(*addr)
 	}
 	agg, err := aggregate(fs.Args(), stdin)
 	if err != nil {
 		return err
 	}
 	return report(stdout, agg, *jsonOut, *top, *phi)
+}
+
+// serveHTTP runs the aggregation service until the process is killed.
+func serveHTTP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qlove-agg: serving on http://%s (POST /push?worker=ID, GET /query /snapshot /healthz)\n", ln.Addr())
+	srv := &http.Server{
+		Handler: aggsrv.New(nil).Handler(),
+		// Header reads are bounded so a half-open connection cannot pin a
+		// handler goroutine forever; push bodies stay unbounded in time
+		// (a worker on a slow link may legitimately stream for a while —
+		// the handler drains them without holding the fold lock).
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.Serve(ln)
 }
 
 // aggregate folds every input blob into one keyed capture.

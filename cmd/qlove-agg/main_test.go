@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -129,5 +130,14 @@ func TestRunEndToEnd(t *testing.T) {
 	// Corrupt input surfaces a wrapped error, not a panic.
 	if err := run(nil, bytes.NewReader(blob[:len(blob)-3]), &out); err == nil {
 		t.Fatal("truncated blob accepted")
+	}
+}
+
+// TestServeFlagValidation: -serve refuses positional blob arguments (blobs
+// arrive over HTTP in serve mode).
+func TestServeFlagValidation(t *testing.T) {
+	if err := run([]string{"-serve", "some.bin"}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "no blob arguments") {
+		t.Fatalf("serve with args: %v", err)
 	}
 }

@@ -44,6 +44,16 @@ const workerCmd = "__distributed-worker"
 type distOptions struct {
 	multiKeyOptions
 	Workers int
+	// Serve switches to the streaming-service scenario: workers push
+	// delta exports over HTTP to a running aggregation service on an
+	// interval instead of writing one batch blob (see serve.go).
+	Serve bool
+	// AggURL is the base URL of an EXTERNAL qlove-agg -serve instance for
+	// the serve scenario; empty hosts the service in-process.
+	AggURL string
+	// Intervals is how many delta pushes each serve-mode worker makes
+	// (the last one is the post-ingest flush).
+	Intervals int
 }
 
 // defaultDistOptions scales the scenario: 20k keys, 5M elements, 3 workers
@@ -128,11 +138,17 @@ func distributedWorker(args []string) error {
 	report := fs.Int("report", 128, "values per report")
 	workers := fs.Int("workers", 1, "worker count")
 	worker := fs.Int("worker", 0, "this worker's index")
+	push := fs.String("push", "", "serve mode: base URL of the aggregation service to push deltas to")
+	intervals := fs.Int("intervals", 8, "serve mode: delta pushes per run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o := defaultDistOptions(1, *seed, *keys, *workers, *skew)
 	o.Elements, o.Report = *elements, *report
+	if *push != "" {
+		o.Intervals = *intervals
+		return runServeWorker(o, *worker, *push, os.Stdout)
+	}
 	seq, err := materializeReports(o.multiKeyOptions)
 	if err != nil {
 		return err
@@ -187,17 +203,61 @@ type wireStats struct {
 // distRun is one distributed measurement, emitted into the -json perf
 // record.
 type distRun struct {
-	Workers              int       `json:"workers"`
-	Keys                 int       `json:"keys"`
-	MergedKeys           int       `json:"merged_keys"`
-	Elements             int       `json:"elements"`
-	Skew                 float64   `json:"skew"`
-	WallSeconds          float64   `json:"wall_seconds"`
-	ThroughputMevS       float64   `json:"throughput_mev_s"`
-	HotKeyConsistent     bool      `json:"hot_key_consistent"`
-	CrossMergeConsistent bool      `json:"cross_merge_consistent"`
-	CrossMergeStreams    int       `json:"cross_merge_streams"`
-	Wire                 wireStats `json:"wire"`
+	Workers              int         `json:"workers"`
+	Keys                 int         `json:"keys"`
+	MergedKeys           int         `json:"merged_keys"`
+	Elements             int         `json:"elements"`
+	Skew                 float64     `json:"skew"`
+	WallSeconds          float64     `json:"wall_seconds"`
+	ThroughputMevS       float64     `json:"throughput_mev_s"`
+	HotKeyConsistent     bool        `json:"hot_key_consistent"`
+	CrossMergeConsistent bool        `json:"cross_merge_consistent"`
+	CrossMergeStreams    int         `json:"cross_merge_streams"`
+	Wire                 wireStats   `json:"wire"`
+	Serve                *serveStats `json:"serve,omitempty"`
+}
+
+// foldAndMeasure decodes every worker blob (timing the codec), folds them
+// into one capture in worker-index order — the per-key merge fold order the
+// bit-identity checks rely on — and times a re-encode of the merged view.
+func foldAndMeasure(blobs [][]byte) (qlove.EngineSnapshot, wireStats, error) {
+	var agg qlove.EngineSnapshot
+	var blobBytes int64
+	var decodeTime time.Duration
+	snapshots := 0
+	for i, blob := range blobs {
+		var one qlove.EngineSnapshot
+		t0 := time.Now()
+		n, err := one.ReadFrom(bytes.NewReader(blob))
+		decodeTime += time.Since(t0)
+		if err != nil {
+			return qlove.EngineSnapshot{}, wireStats{}, fmt.Errorf("worker %d blob: %w", i, err)
+		}
+		if n != int64(len(blob)) {
+			return qlove.EngineSnapshot{}, wireStats{}, fmt.Errorf("worker %d blob: %d of %d bytes consumed", i, n, len(blob))
+		}
+		blobBytes += n
+		snapshots += one.Len()
+		if agg, err = agg.Merge(one); err != nil {
+			return qlove.EngineSnapshot{}, wireStats{}, fmt.Errorf("merge worker %d: %w", i, err)
+		}
+	}
+	// Encode throughput over the merged capture (same captures, one pass).
+	t0 := time.Now()
+	encBytes, err := agg.WriteTo(io.Discard)
+	encodeTime := time.Since(t0)
+	if err != nil {
+		return qlove.EngineSnapshot{}, wireStats{}, err
+	}
+	return agg, wireStats{
+		Snapshots:        snapshots,
+		BlobBytes:        blobBytes,
+		EncodeMBPerS:     mbPerS(encBytes, encodeTime),
+		DecodeMBPerS:     mbPerS(blobBytes, decodeTime),
+		EncodeNsPerSnap:  nsPer(encodeTime, agg.Len()),
+		DecodeNsPerSnap:  nsPer(decodeTime, snapshots),
+		BytesPerSnapshot: float64(blobBytes) / float64(max(snapshots, 1)),
+	}, nil
 }
 
 // runDistributed spawns the workers, aggregates their exports and runs
@@ -249,33 +309,11 @@ func runDistributed(o distOptions) (distRun, error) {
 	}
 	wall := time.Since(start)
 
-	// Aggregate in worker-index order: the per-key merge fold order is
-	// then deterministic, which the bit-identity checks rely on.
-	var agg qlove.EngineSnapshot
-	var blobBytes int64
-	var decodeTime time.Duration
-	snapshots := 0
+	raw := make([][]byte, len(blobs))
 	for i := range blobs {
-		var one qlove.EngineSnapshot
-		t0 := time.Now()
-		n, err := one.ReadFrom(bytes.NewReader(blobs[i].Bytes()))
-		decodeTime += time.Since(t0)
-		if err != nil {
-			return distRun{}, fmt.Errorf("worker %d blob: %w", i, err)
-		}
-		if n != int64(blobs[i].Len()) {
-			return distRun{}, fmt.Errorf("worker %d blob: %d of %d bytes consumed", i, n, blobs[i].Len())
-		}
-		blobBytes += n
-		snapshots += one.Len()
-		if agg, err = agg.Merge(one); err != nil {
-			return distRun{}, fmt.Errorf("merge worker %d: %w", i, err)
-		}
+		raw[i] = blobs[i].Bytes()
 	}
-	// Encode throughput over the merged capture (same captures, one pass).
-	t0 := time.Now()
-	encBytes, err := agg.WriteTo(io.Discard)
-	encodeTime := time.Since(t0)
+	agg, ws, err := foldAndMeasure(raw)
 	if err != nil {
 		return distRun{}, err
 	}
@@ -286,15 +324,7 @@ func runDistributed(o distOptions) (distRun, error) {
 		MergedKeys:  agg.Len(),
 		Skew:        o.Skew,
 		WallSeconds: wall.Seconds(),
-		Wire: wireStats{
-			Snapshots:        snapshots,
-			BlobBytes:        blobBytes,
-			EncodeMBPerS:     mbPerS(encBytes, encodeTime),
-			DecodeMBPerS:     mbPerS(blobBytes, decodeTime),
-			EncodeNsPerSnap:  nsPer(encodeTime, agg.Len()),
-			DecodeNsPerSnap:  nsPer(decodeTime, snapshots),
-			BytesPerSnapshot: float64(blobBytes) / float64(max(snapshots, 1)),
-		},
+		Wire:        ws,
 	}
 	seq, err := materializeReports(o.multiKeyOptions)
 	if err != nil {

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"testing"
 
 	"repro"
+	"repro/internal/aggsrv"
 )
 
 // TestDistPartitionDeterministic: partitioner state is a pure function of
@@ -108,4 +110,75 @@ func TestDistributedPipelineInProcess(t *testing.T) {
 	if !run.CrossMergeConsistent || run.CrossMergeStreams != o.Workers {
 		t.Fatalf("cross-worker merge: consistent=%v streams=%d", run.CrossMergeConsistent, run.CrossMergeStreams)
 	}
+}
+
+// TestServePipelineInProcess: the serve-mode worker body (interval delta
+// pushes over real HTTP to an aggsrv service) run in-process for all K
+// workers, then the three-way verification: service vs batch fold of the
+// final full blobs, hot key vs a single Monitor, cross-worker merge vs the
+// in-process merge — plus the bandwidth invariant the delta plane exists
+// for.
+func TestServePipelineInProcess(t *testing.T) {
+	o := defaultDistOptions(0.002, 1, 600, 3, 1.2)
+	o.Intervals = 4
+	srv := httptest.NewServer(aggsrv.New(nil).Handler())
+	defer srv.Close()
+
+	outs := make([]bytes.Buffer, o.Workers)
+	for w := 0; w < o.Workers; w++ {
+		if err := runServeWorker(o, w, srv.URL, &outs[w]); err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	blobs := make([][]byte, o.Workers)
+	var totalDelta, totalFull, lastDelta, lastFull int64
+	for w := range outs {
+		st, blob, err := parseServeWorkerOutput(outs[w].Bytes())
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+		if len(st.DeltaBytes) != o.Intervals {
+			t.Fatalf("worker %d pushed %d intervals, want %d", w, len(st.DeltaBytes), o.Intervals)
+		}
+		for i := range st.DeltaBytes {
+			totalDelta += st.DeltaBytes[i]
+			totalFull += st.FullBytes[i]
+		}
+		lastDelta += st.DeltaBytes[o.Intervals-1]
+		lastFull += st.FullBytes[o.Intervals-1]
+		blobs[w] = blob
+	}
+	agg, _, err := foldAndMeasure(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != o.Keys {
+		t.Fatalf("batch fold has %d keys, want %d", agg.Len(), o.Keys)
+	}
+
+	consistent, serviceKeys, err := verifyService(srv.URL, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent || serviceKeys != o.Keys {
+		t.Fatalf("service (%d keys) diverged from the batch fold", serviceKeys)
+	}
+	seq, err := materializeReports(o.multiKeyOptions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run distRun
+	if err := verifyDistributed(&run, agg, seq, o); err != nil {
+		t.Fatal(err)
+	}
+	if !run.HotKeyConsistent || !run.CrossMergeConsistent {
+		t.Fatalf("references diverged: hot=%v merge=%v", run.HotKeyConsistent, run.CrossMergeConsistent)
+	}
+	// The bandwidth cut: the steady-state delta interval must be strictly
+	// cheaper than a full export at the same instant.
+	if lastDelta >= lastFull {
+		t.Fatalf("steady-state delta interval %d B >= full export %d B", lastDelta, lastFull)
+	}
+	t.Logf("serve pipeline: delta %d B total vs full %d B total; last interval %d vs %d B",
+		totalDelta, totalFull, lastDelta, lastFull)
 }

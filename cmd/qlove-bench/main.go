@@ -59,6 +59,9 @@ func run(args []string) error {
 	keys := fs.Int("keys", 0, "multikey/distributed: key cardinality (0 = scaled default)")
 	skew := fs.Float64("skew", 1.2, "multikey/distributed: zipf skew over keys (0 = uniform)")
 	workers := fs.Int("workers", 3, "distributed: worker process count")
+	serve := fs.Bool("serve", false, "distributed: push deltas to a streaming aggregation service instead of batch blobs")
+	agg := fs.String("agg", "", "distributed -serve: base URL of an external qlove-agg -serve (empty = in-process service)")
+	intervals := fs.Int("intervals", 8, "distributed -serve: delta pushes per worker")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,7 +74,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *jsonOut {
-		return runJSON(*scale, *seed, *keys, *skew, *workers)
+		return runJSON(*scale, *seed, *keys, *skew, *workers, *intervals)
 	}
 	names := fs.Args()
 	if len(names) == 0 {
@@ -91,7 +94,13 @@ func run(args []string) error {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		case "distributed":
-			if err := distributedExperiment(os.Stdout, defaultDistOptions(*scale, *seed, *keys, *workers, *skew)); err != nil {
+			o := defaultDistOptions(*scale, *seed, *keys, *workers, *skew)
+			o.Serve, o.AggURL, o.Intervals = *serve, *agg, *intervals
+			if o.Serve {
+				if err := serveDistributedExperiment(os.Stdout, o); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+			} else if err := distributedExperiment(os.Stdout, o); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		default:
@@ -132,9 +141,10 @@ type policyPerf struct {
 
 // runJSON measures every registered policy under the Figure 4 window shape
 // (100K window, 1K period), plus the keyed Engine at one and many shards
-// and the distributed worker/aggregator pipeline, and writes one JSON
-// document to stdout.
-func runJSON(scale float64, seed int64, keys int, skew float64, workers int) error {
+// and the distributed worker/aggregator pipeline — run in SERVE mode, so
+// the record carries the steady-state delta-vs-full export bandwidth — and
+// writes one JSON document to stdout.
+func runJSON(scale float64, seed int64, keys int, skew float64, workers, intervals int) error {
 	spec := qlove.Window{Size: 100_000, Period: 1000}
 	n := int(2_000_000 * scale)
 	if min := spec.Size + 10*spec.Period; n < min {
@@ -179,12 +189,18 @@ func runJSON(scale float64, seed int64, keys int, skew float64, workers int) err
 		}
 		rec.Engine = append(rec.Engine, run)
 	}
-	dist, err := runDistributed(defaultDistOptions(scale, seed, keys, workers, skew))
+	do := defaultDistOptions(scale, seed, keys, workers, skew)
+	do.Serve, do.Intervals = true, intervals
+	dist, err := runDistributedServe(do)
 	if err != nil {
 		return fmt.Errorf("distributed: %w", err)
 	}
-	if !dist.HotKeyConsistent || !dist.CrossMergeConsistent {
+	if !dist.HotKeyConsistent || !dist.CrossMergeConsistent || !dist.Serve.ServiceConsistent {
 		return fmt.Errorf("distributed: aggregation diverged from reference")
+	}
+	if dist.Serve.DeltaBytesLast >= dist.Serve.FullBytesLast {
+		return fmt.Errorf("distributed: delta export did not beat full export at steady state (%d >= %d bytes)",
+			dist.Serve.DeltaBytesLast, dist.Serve.FullBytesLast)
 	}
 	rec.Distributed = &dist
 	enc := json.NewEncoder(os.Stdout)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/stream"
@@ -103,6 +104,19 @@ type EngineConfig struct {
 	// idle key survives at most ~1.5×KeyTTL deliveries past its last
 	// batch. 0 disables expiry.
 	KeyTTL int
+	// KeyTTLDuration, when positive, expires idle keys on a WALL-CLOCK
+	// basis: a key that has received no batch for more than KeyTTLDuration
+	// is evicted, even on a shard receiving no deliveries at all (each
+	// shard arms a ticker at half the TTL, and overdue sweeps also
+	// piggyback on deliveries). This is the complement of KeyTTL's
+	// delivery-count clock: a quiet fleet still reclaims churned keys.
+	// Both modes may be enabled together. 0 disables wall-clock expiry.
+	KeyTTLDuration time.Duration
+	// Clock overrides the wall-clock source for KeyTTLDuration (tests use
+	// a fake clock for deterministic expiry). nil means time.Now. The
+	// function is called from shard goroutines and must be safe for
+	// concurrent use.
+	Clock func() time.Time
 }
 
 // ErrEngineClosed is returned by Push after Close.
@@ -127,13 +141,46 @@ type engineShard struct {
 	ttl       uint64
 	clock     uint64
 	nextSweep uint64
+
+	// Wall-clock expiry (KeyTTLDuration > 0): a key idle past wallTTL is
+	// evicted by a sweep armed on a ticker (so quiet shards still expire)
+	// and piggybacked on deliveries once overdue.
+	wallTTL    time.Duration
+	now        func() time.Time
+	nextWallAt time.Time
+
+	// Delta-export bookkeeping: mutations counts every state change an
+	// export could care about (key created, key evicted, any seal) so an
+	// ExportDelta whose cursor saw the current value skips the shard
+	// without touching a single key; incSeq mints per-key incarnation
+	// numbers so a cursor can tell an evicted-and-recreated key from the
+	// incarnation it exported.
+	mutations uint64
+	incSeq    uint64
 }
 
 type keyEntry struct {
 	pusher   *stream.Pusher
 	snap     Snapshotter // non-nil when the policy supports snapshots
 	emit     func(stream.Evaluation)
-	lastSeen uint64 // shard clock at this key's most recent batch
+	lastSeen uint64    // shard clock at this key's most recent batch
+	lastAt   time.Time // wall clock at this key's most recent batch (wallTTL > 0)
+	inc      uint64    // incarnation: unique per (shard, key lifetime)
+	gen      uint64    // last observed seal generation (gens != nil)
+	resident int       // last observed resident summary count (gens != nil)
+	gens     sealGenerator
+}
+
+// sealGenerator is the optional policy capability delta exports key off:
+// the monotonic per-operator seal count plus the resident summary count.
+// Together they change exactly when the operator's snapshot changes — a
+// seal advances SealGen; a summary can also EXPIRE without a new seal
+// (the batch after a boundary expires before it observes), which only
+// SubWindowCount reflects. core.Policy implements it; keys whose policies
+// do not are re-shipped whole on every delta export.
+type sealGenerator interface {
+	SealGen() uint64
+	SubWindowCount() int
 }
 
 // engineMsg is one unit of shard work: either an ingest batch or a control
@@ -151,12 +198,14 @@ const (
 	ctlQuery
 	ctlEvict
 	ctlCount
+	ctlDelta
 )
 
 type engineCtl struct {
 	op   ctlOp
 	key  string
 	resp chan engineCtlResp
+	cur  *deltaCursorView // ctlDelta
 }
 
 type engineCtlResp struct {
@@ -164,6 +213,37 @@ type engineCtlResp struct {
 	snap  Snapshot
 	ok    bool
 	n     int
+	delta *shardDeltaResp
+}
+
+// keyCursor is one key's entry in an ExportCursor: the incarnation, seal
+// generation and resident summary count the destination last received
+// (resident because expiry can change a capture without a new seal).
+type keyCursor struct {
+	inc, gen uint64
+	resident int
+}
+
+// deltaCursorView is the read-only slice of an ExportCursor a shard needs:
+// the per-key map (shared, read concurrently by every shard — safe, no
+// writer runs during the scan) and this shard's mutation clock.
+type deltaCursorView struct {
+	keys map[string]keyCursor
+	mut  uint64
+	have bool // cursor carries per-shard clocks (not a first export)
+}
+
+// shardDeltaResp is one shard's contribution to a delta export.
+type shardDeltaResp struct {
+	skipped   bool // mutation clock unchanged: nothing to ship, keys untouched
+	mutations uint64
+	changed   map[string]deltaCapture // keys needing a frame
+	present   map[string]uint64       // ALL snapshot-capable keys -> incarnation
+}
+
+type deltaCapture struct {
+	snap Snapshot
+	inc  uint64
 }
 
 // NewEngine builds and starts an engine; callers must Close it to release
@@ -215,6 +295,13 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if cfg.KeyTTL < 0 {
 		return nil, fmt.Errorf("qlove: engine KeyTTL %d < 0", cfg.KeyTTL)
 	}
+	if cfg.KeyTTLDuration < 0 {
+		return nil, fmt.Errorf("qlove: engine KeyTTLDuration %v < 0", cfg.KeyTTLDuration)
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
 	e.shards = make([]*engineShard, shards)
 	for i := range e.shards {
 		s := &engineShard{
@@ -223,9 +310,14 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			keys:    make(map[string]*keyEntry),
 			factory: cfg.Factory,
 			ttl:     uint64(cfg.KeyTTL),
+			wallTTL: cfg.KeyTTLDuration,
+			now:     now,
 		}
 		if s.ttl > 0 {
 			s.nextSweep = sweepInterval(s.ttl)
+		}
+		if s.wallTTL > 0 {
+			s.nextWallAt = now().Add(wallSweepInterval(s.wallTTL))
 		}
 		if mkPool != nil {
 			pool, err := mkPool()
@@ -246,9 +338,13 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	return e, nil
 }
 
-// shardOf hash-partitions a key.
+// shardIndex hash-partitions a key.
+func (e *Engine) shardIndex(key string) int {
+	return int(maphash.String(e.seed, key) % uint64(len(e.shards)))
+}
+
 func (e *Engine) shardOf(key string) *engineShard {
-	return e.shards[maphash.String(e.seed, key)%uint64(len(e.shards))]
+	return e.shards[e.shardIndex(key)]
 }
 
 // Push feeds a batch of elements for one key. The values are copied before
@@ -390,6 +486,182 @@ func (e *Engine) ExportKeys(w io.Writer, keys ...string) (int64, error) {
 	return n, nil
 }
 
+// ExportCursor tracks, per destination, what a previous ExportDelta has
+// already shipped: each exported key's incarnation and seal generation,
+// plus per-shard mutation clocks that let an export skip untouched shards
+// in O(1). The zero value (or new(ExportCursor)) is a valid first cursor —
+// the first export bootstraps every key with a from-generation-0 delta.
+//
+// A cursor belongs to the Engine that filled it (key→shard placement is
+// per-engine) and to one destination; it is NOT safe for concurrent use,
+// though any number of cursors may export from one engine concurrently.
+type ExportCursor struct {
+	keys   map[string]keyCursor
+	shards []uint64
+	have   bool
+}
+
+// Keys returns how many keys the cursor currently tracks.
+func (c *ExportCursor) Keys() int { return len(c.keys) }
+
+// Reset forgets everything the cursor has shipped, making the next
+// ExportDelta a full re-bootstrap. Call it when a delta blob may not have
+// REACHED its destination (a failed push after a successful export): the
+// cursor advances at encode time, so a blob lost in transit would
+// otherwise leave the destination permanently behind — a lost delta for a
+// live key at least surfaces as a fold error there, but a lost TOMBSTONE
+// is silent (later exports carry no frame at all for a dead key).
+// Re-bootstrapping is always safe: from-generation-0 frames replace.
+func (c *ExportCursor) Reset() { *c = ExportCursor{} }
+
+// ExportDelta writes to w only what changed since the cursor's last export
+// — the incremental half of the distributed plane, cutting steady-state
+// export bandwidth from O(resident keys) to O(keys changed since the last
+// export). The blob carries, in sorted key order:
+//
+//   - a tombstone frame for every key the cursor has that the engine no
+//     longer monitors (TTL expiry or explicit Evict), so receivers delete
+//     it — tombstones are computed as the set difference against the
+//     cursor, so none is ever lost, however long ago the eviction;
+//   - for every key sealed past (or unknown to) the cursor, a delta frame
+//     with the summaries sealed since the cursor's generation (a key the
+//     cursor never saw, or one evicted and re-created since — detected by
+//     its incarnation — is bootstrapped with a from-generation-0 replace
+//     frame, preceded by a tombstone when re-created).
+//
+// Like Snapshot, the capture rides the shard control queues and never
+// stops ingestion; per-shard seal counters let untouched shards answer
+// without scanning a single key. On success the cursor is advanced in
+// place; on error it is reset (the next export re-bootstraps — receivers
+// treat from-generation-0 deltas as replacements, so this is always safe).
+// The cursor advances when the blob is ENCODED, not delivered: a caller
+// whose transport later fails must call cursor.Reset before continuing,
+// or the destination is left permanently behind (see Reset).
+// Receivers fold the blob with Aggregator.Apply (or any wire.DecodeFrame
+// consumer); folded state is bit-for-bit the capture Export would have
+// shipped whole. Keys whose policies do not track seal generations
+// (anything but the built-in QLOVE path) are re-shipped as full frames on
+// every export — correct, just not incremental.
+func (e *Engine) ExportDelta(w io.Writer, cur *ExportCursor) (int64, error) {
+	if cur == nil {
+		return 0, fmt.Errorf("qlove: ExportDelta needs a cursor; use new(ExportCursor) for a first export")
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if cur.keys == nil {
+		cur.keys = make(map[string]keyCursor)
+	}
+	have := cur.have && len(cur.shards) == len(e.shards)
+	if len(cur.shards) != len(e.shards) {
+		cur.shards = make([]uint64, len(e.shards))
+	}
+	resps := make([]*shardDeltaResp, len(e.shards))
+	if e.closed {
+		// The shard goroutines are gone (Close waited for them), so their
+		// final state is safe to read directly — the one way to flush a
+		// last delta after shutdown.
+		for i, s := range e.shards {
+			resps[i] = s.deltaResp(&deltaCursorView{keys: cur.keys, have: have, mut: cur.shards[i]})
+		}
+	} else {
+		chans := make([]chan engineCtlResp, len(e.shards))
+		for i, s := range e.shards {
+			chans[i] = make(chan engineCtlResp, 1)
+			s.in <- engineMsg{ctl: &engineCtl{
+				op:   ctlDelta,
+				resp: chans[i],
+				cur:  &deltaCursorView{keys: cur.keys, have: have, mut: cur.shards[i]},
+			}}
+		}
+		for i, ch := range chans {
+			resps[i] = (<-ch).delta
+		}
+	}
+	return e.assembleDelta(w, cur, resps)
+}
+
+// assembleDelta turns the per-shard captures into sorted tombstone and
+// delta frames and advances the cursor.
+func (e *Engine) assembleDelta(w io.Writer, cur *ExportCursor, resps []*shardDeltaResp) (int64, error) {
+	var tombs, changed []string
+	recreated := make(map[string]bool)
+	for k, kc := range cur.keys {
+		r := resps[e.shardIndex(k)]
+		if r.skipped {
+			continue // unchanged shard: every cursor key it owns is intact
+		}
+		inc, ok := r.present[k]
+		if !ok {
+			tombs = append(tombs, k)
+		} else if inc != kc.inc {
+			recreated[k] = true
+		}
+	}
+	for _, r := range resps {
+		for k := range r.changed {
+			changed = append(changed, k)
+		}
+	}
+	sort.Strings(tombs)
+	sort.Strings(changed)
+
+	enc := wire.NewEncoder(w)
+	var n int64
+	fail := func(err error) (int64, error) {
+		// The destination's view is now unknown; reset so the next export
+		// re-bootstraps (receivers treat from-generation-0 deltas as
+		// replacements, so over-shipping is safe, under-shipping is not).
+		*cur = ExportCursor{}
+		return n, err
+	}
+	for _, k := range tombs {
+		m, err := enc.EncodeTombstone(k)
+		n += int64(m)
+		if err != nil {
+			return fail(fmt.Errorf("qlove: delta export tombstone %q: %w", k, err))
+		}
+		delete(cur.keys, k)
+	}
+	for _, k := range changed {
+		c := resps[e.shardIndex(k)].changed[k]
+		g := c.snap.SealGen()
+		from := uint64(0)
+		if kc, ok := cur.keys[k]; ok && !recreated[k] && kc.inc == c.inc && kc.gen <= g {
+			from = kc.gen
+		} else if recreated[k] {
+			// The destination still holds the previous incarnation's
+			// window; retire it before the bootstrap frame.
+			m, err := enc.EncodeTombstone(k)
+			n += int64(m)
+			if err != nil {
+				return fail(fmt.Errorf("qlove: delta export tombstone %q: %w", k, err))
+			}
+		}
+		var m int
+		var err error
+		if g == 0 && c.snap.SubWindows() > 0 {
+			// Generation-less capture: cannot anchor a delta, re-ship whole.
+			m, err = enc.Encode(k, c.snap)
+		} else {
+			d, derr := wire.NewDelta(c.snap, from)
+			if derr != nil {
+				return fail(fmt.Errorf("qlove: delta export key %q: %w", k, derr))
+			}
+			m, err = enc.EncodeDelta(k, d)
+		}
+		n += int64(m)
+		if err != nil {
+			return fail(fmt.Errorf("qlove: delta export key %q: %w", k, err))
+		}
+		cur.keys[k] = keyCursor{inc: c.inc, gen: g, resident: c.snap.SubWindows()}
+	}
+	for i, r := range resps {
+		cur.shards[i] = r.mutations
+	}
+	cur.have = true
+	return n, nil
+}
+
 // ImportSnapshots reads a wire blob of keyed captures (the exports of any
 // number of remote engines) and merges it with this engine's own live
 // capture into one aggregated view: keys present both remotely and
@@ -471,25 +743,63 @@ func (e *Engine) Close() {
 }
 
 // run is a shard's single-writer loop: every operator in s.keys is touched
-// exclusively here.
+// exclusively here. With wall-clock TTL enabled a ticker wakes the loop on
+// quiet shards so idle keys expire even with no deliveries at all.
 func (s *engineShard) run() {
-	for msg := range s.in {
-		if msg.ctl != nil {
-			s.control(msg.ctl)
-			continue
+	var tick <-chan time.Time
+	if s.wallTTL > 0 {
+		t := time.NewTicker(wallSweepInterval(s.wallTTL))
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case msg, ok := <-s.in:
+			if !ok {
+				return
+			}
+			s.handle(msg)
+		case <-tick:
+			s.wallSweep(s.now())
 		}
-		ent, err := s.entry(msg.key)
-		if err != nil {
-			s.eng.failed.Add(1)
-			s.eng.lastErr.Store(engineErr{err})
+	}
+}
+
+// handle processes one queued unit of shard work.
+func (s *engineShard) handle(msg engineMsg) {
+	if msg.ctl != nil {
+		s.control(msg.ctl)
+		return
+	}
+	ent, err := s.entry(msg.key)
+	if err != nil {
+		s.eng.failed.Add(1)
+		s.eng.lastErr.Store(engineErr{err})
+	} else {
+		s.clock++
+		ent.lastSeen = s.clock
+		if s.wallTTL > 0 {
+			ent.lastAt = s.now()
+		}
+		ent.pusher.PushBatch(*msg.buf, ent.emit)
+		if ent.gens != nil {
+			if g, r := ent.gens.SealGen(), ent.gens.SubWindowCount(); g != ent.gen || r != ent.resident {
+				ent.gen, ent.resident = g, r
+				s.mutations++
+			}
 		} else {
-			s.clock++
-			ent.lastSeen = s.clock
-			ent.pusher.PushBatch(*msg.buf, ent.emit)
+			// No seal clock to compare: conservatively mark the shard
+			// dirty on every delivery.
+			s.mutations++
 		}
-		s.eng.bufs.Put(msg.buf)
-		if s.ttl > 0 && s.clock >= s.nextSweep {
-			s.sweep()
+	}
+	s.eng.bufs.Put(msg.buf)
+	if s.ttl > 0 && s.clock >= s.nextSweep {
+		s.sweep()
+	}
+	if s.wallTTL > 0 {
+		if now := s.now(); !now.Before(s.nextWallAt) {
+			s.wallSweep(now)
 		}
 	}
 }
@@ -498,6 +808,16 @@ func (s *engineShard) run() {
 // reclaimed at most ~1.5×TTL deliveries after its last batch while each
 // O(keys) scan amortizes over many deliveries.
 func sweepInterval(ttl uint64) uint64 { return (ttl + 1) / 2 }
+
+// wallSweepInterval is the wall-clock analogue (floored so a tiny TTL
+// cannot arm a busy-looping ticker).
+func wallSweepInterval(ttl time.Duration) time.Duration {
+	iv := ttl / 2
+	if iv < time.Millisecond {
+		iv = time.Millisecond
+	}
+	return iv
+}
 
 // sweep evicts every key idle for more than the TTL. It runs on the shard
 // goroutine between batches, so it is ordered with ingest like any other
@@ -509,6 +829,16 @@ func (s *engineShard) sweep() {
 		}
 	}
 	s.nextSweep = s.clock + sweepInterval(s.ttl)
+}
+
+// wallSweep evicts every key wall-clock idle for more than the TTL.
+func (s *engineShard) wallSweep(now time.Time) {
+	for k, ent := range s.keys {
+		if now.Sub(ent.lastAt) > s.wallTTL {
+			s.evict(k)
+		}
+	}
+	s.nextWallAt = now.Add(wallSweepInterval(s.wallTTL))
 }
 
 // entry returns the key's state, minting operator + pusher on first use.
@@ -533,6 +863,13 @@ func (s *engineShard) entry(key string) (*keyEntry, error) {
 	}
 	ent := &keyEntry{pusher: pusher}
 	ent.snap, _ = pol.(Snapshotter)
+	ent.gens, _ = pol.(sealGenerator)
+	s.incSeq++
+	ent.inc = s.incSeq
+	s.mutations++
+	if s.wallTTL > 0 {
+		ent.lastAt = s.now()
+	}
 	// One closure per key, not per batch: the emit path stays
 	// allocation-free at steady state.
 	eng := s.eng
@@ -567,7 +904,37 @@ func (s *engineShard) control(ctl *engineCtl) {
 		ctl.resp <- engineCtlResp{ok: s.evict(ctl.key)}
 	case ctlCount:
 		ctl.resp <- engineCtlResp{n: len(s.keys)}
+	case ctlDelta:
+		ctl.resp <- engineCtlResp{delta: s.deltaResp(ctl.cur)}
 	}
+}
+
+// deltaResp computes this shard's contribution to a delta export: capture
+// only the keys the cursor has not seen at their current generation. When
+// the cursor's mutation clock matches, the scan is skipped outright —
+// O(1), whatever the shard's key count.
+func (s *engineShard) deltaResp(cur *deltaCursorView) *shardDeltaResp {
+	if cur.have && cur.mut == s.mutations {
+		return &shardDeltaResp{skipped: true, mutations: s.mutations}
+	}
+	r := &shardDeltaResp{
+		mutations: s.mutations,
+		changed:   make(map[string]deltaCapture),
+		present:   make(map[string]uint64, len(s.keys)),
+	}
+	for k, ent := range s.keys {
+		if ent.snap == nil {
+			continue
+		}
+		r.present[k] = ent.inc
+		kc, ok := cur.keys[k]
+		if ok && kc.inc == ent.inc && ent.gens != nil &&
+			ent.gens.SealGen() <= kc.gen && ent.gens.SubWindowCount() == kc.resident {
+			continue // unchanged since the cursor
+		}
+		r.changed[k] = deltaCapture{snap: ent.snap.Snapshot(), inc: ent.inc}
+	}
+	return r
 }
 
 // evict removes a key and recycles its operator.
@@ -577,6 +944,7 @@ func (s *engineShard) evict(key string) bool {
 		return false
 	}
 	delete(s.keys, key)
+	s.mutations++
 	if s.pool != nil {
 		if cp, ok := ent.pusher.Policy().(*core.Policy); ok {
 			s.pool.Put(cp)

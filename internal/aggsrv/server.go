@@ -1,0 +1,215 @@
+// Package aggsrv is the HTTP transport of the streaming aggregation
+// service: a thin, stdlib-only layer over qlove.Aggregator that accepts
+// worker push streams (full blobs for bootstrap, delta blobs thereafter)
+// and serves the merged cross-worker view. cmd/qlove-agg mounts it in
+// -serve mode; qlove-bench's distributed -serve scenario drives it from
+// real worker processes.
+//
+// Endpoints:
+//
+//	POST /push?worker=ID   body = wire blob (full/delta/tombstone frames)
+//	                       -> {"worker","frames","keys"}
+//	GET  /query?key=K      merged estimates for one key; &phi=0.99 selects
+//	                       one configured quantile (unconfigured ϕ is 400)
+//	GET  /snapshot         every key's merged estimates, sorted
+//	GET  /healthz          {"status":"ok","workers":N,"keys":M}
+//
+// All responses are JSON. Estimates are float64s encoded by encoding/json
+// with Go's shortest round-trippable formatting, so a client parsing them
+// back gets bit-identical values — the bench's bit-for-bit verification
+// leans on this.
+package aggsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro"
+)
+
+// maxPushBody caps one push request (a worker's full bootstrap blob can be
+// large; a frame is already capped at 1 GiB by the wire format).
+const maxPushBody = 1 << 30
+
+// KeyReport is one key's merged view, shared by /query and /snapshot.
+type KeyReport struct {
+	Key        string    `json:"key"`
+	Streams    int       `json:"streams"`
+	SubWindows int       `json:"sub_windows"`
+	Elements   int       `json:"elements"`
+	Phis       []float64 `json:"phis"`
+	Estimates  []float64 `json:"estimates"`
+}
+
+// PushResult acknowledges one applied push.
+type PushResult struct {
+	Worker string `json:"worker"`
+	Frames int    `json:"frames"`
+	Keys   int    `json:"keys"`
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+	Keys    int    `json:"keys"`
+}
+
+// Server serves one Aggregator over HTTP.
+type Server struct {
+	agg *qlove.Aggregator
+	mux *http.ServeMux
+}
+
+// New returns a server over agg (a fresh empty Aggregator when nil).
+func New(agg *qlove.Aggregator) *Server {
+	if agg == nil {
+		agg = qlove.NewAggregator()
+	}
+	s := &Server{agg: agg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/push", s.handlePush)
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Aggregator returns the served aggregator (e.g. to preload blobs).
+func (s *Server) Aggregator() *qlove.Aggregator { return s.agg }
+
+// Handler returns the root handler for mounting on any http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // a failed write is the client's disconnect, nothing to do
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "push is POST-only")
+		return
+	}
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		writeErr(w, http.StatusBadRequest, "push needs a ?worker=ID (the per-worker fold state is keyed by it)")
+		return
+	}
+	// Drain the (bounded) body BEFORE folding: Apply holds the
+	// aggregator's write lock, and a slow or stalled uploader must not
+	// wedge every concurrent query behind it.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPushBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read push body: %v", err)
+		return
+	}
+	frames, err := s.agg.Apply(worker, bytes.NewReader(body))
+	if err != nil {
+		// Frames already folded stay applied; the worker discards its
+		// cursor and re-bootstraps (from-generation-0 frames replace).
+		writeErr(w, http.StatusBadRequest, "apply failed after %d frames: %v", frames, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PushResult{Worker: worker, Frames: frames, Keys: s.agg.Keys()})
+}
+
+// report builds one key's merged KeyReport; phi 0 means every configured
+// quantile.
+func report(key string, sn qlove.Snapshot, phi float64) (KeyReport, error) {
+	rep := KeyReport{
+		Key:        key,
+		Streams:    sn.Streams(),
+		SubWindows: sn.SubWindows(),
+		Elements:   sn.Elements(),
+	}
+	if phi != 0 {
+		est, ok := sn.Estimate(phi)
+		if !ok {
+			return rep, fmt.Errorf("ϕ=%v is not a configured quantile (configured: %v)", phi, sn.Config().Phis)
+		}
+		rep.Phis = []float64{phi}
+		rep.Estimates = []float64{est}
+		return rep, nil
+	}
+	rep.Phis = sn.Config().Phis
+	rep.Estimates = sn.Estimates()
+	return rep, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "query is GET-only")
+		return
+	}
+	q := r.URL.Query()
+	if !q.Has("key") {
+		writeErr(w, http.StatusBadRequest, "query needs ?key=")
+		return
+	}
+	key := q.Get("key")
+	var phi float64
+	if p := q.Get("phi"); p != "" {
+		var err error
+		if phi, err = strconv.ParseFloat(p, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad phi %q", p)
+			return
+		}
+	}
+	sn, ok, err := s.agg.Query(key)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, "key %q is not aggregated", key)
+		return
+	}
+	rep, err := report(key, sn, phi)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "key %q: %v", key, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "snapshot is GET-only")
+		return
+	}
+	snap, err := s.agg.Snapshot()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	reports := make([]KeyReport, 0, snap.Len())
+	for _, k := range snap.Keys() {
+		sn, _ := snap.Get(k)
+		rep, err := report(k, sn, 0)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "key %q: %v", k, err)
+			return
+		}
+		reports = append(reports, rep)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Keys []KeyReport `json:"keys"`
+	}{reports})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Workers: s.agg.Workers(), Keys: s.agg.Keys()})
+}

@@ -1,0 +1,257 @@
+package aggsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// worker builds one engine, ingests the given keyed batches and returns
+// (engine, bootstrap-or-delta blob for the cursor).
+func mkEngine(t *testing.T, cfg qlove.Config) *qlove.Engine {
+	t.Helper()
+	eng, err := qlove.NewEngine(qlove.EngineConfig{Config: cfg, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range eng.Results() {
+		}
+	}()
+	return eng
+}
+
+func post(t *testing.T, srv *httptest.Server, path string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestServiceEndToEnd drives the full push/query/snapshot/healthz surface:
+// a bootstrap delta, an incremental delta, and bit-identical answers
+// against the library-side aggregator.
+func TestServiceEndToEnd(t *testing.T) {
+	cfg := qlove.Config{Spec: qlove.Window{Size: 256, Period: 64}, Phis: []float64{0.5, 0.99}, FewK: true}
+	server := New(nil)
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	eng := mkEngine(t, cfg)
+	defer eng.Close()
+	gen := workload.NewNetMon(21)
+	if err := eng.Push("api/latency", workload.Generate(gen, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Push("db/qps", workload.Generate(gen, 300)); err != nil {
+		t.Fatal(err)
+	}
+
+	var cur qlove.ExportCursor
+	var blob bytes.Buffer
+	if _, err := eng.ExportDelta(&blob, &cur); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, srv, "/push?worker=w0", blob.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("push: %s: %s", resp.Status, body)
+	}
+	var pr PushResult
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Worker != "w0" || pr.Frames == 0 || pr.Keys != 2 {
+		t.Fatalf("push result %+v", pr)
+	}
+
+	// Incremental push after more traffic.
+	if err := eng.Push("api/latency", workload.Generate(gen, 200)); err != nil {
+		t.Fatal(err)
+	}
+	blob.Reset()
+	if _, err := eng.ExportDelta(&blob, &cur); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := post(t, srv, "/push?worker=w0", blob.Bytes()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta push: %s: %s", resp.Status, body)
+	}
+
+	// /query answers bit-identically to the engine's own capture (JSON
+	// floats round-trip exactly).
+	want, ok := eng.Query("api/latency")
+	if !ok {
+		t.Fatal("engine lost the key")
+	}
+	resp, body = get(t, srv, "/query?key=api/latency")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %s: %s", resp.Status, body)
+	}
+	var rep KeyReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	wantEst := want.Estimates()
+	if len(rep.Estimates) != len(wantEst) {
+		t.Fatalf("estimates %v, want %v", rep.Estimates, wantEst)
+	}
+	for i := range wantEst {
+		if math.Float64bits(rep.Estimates[i]) != math.Float64bits(wantEst[i]) {
+			t.Fatalf("ϕ[%d]: service %v != engine %v", i, rep.Estimates[i], wantEst[i])
+		}
+	}
+
+	// Single-ϕ form, and the interpolation guard.
+	resp, body = get(t, srv, "/query?key=api/latency&phi=0.99")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("phi query: %s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Estimates) != 1 || math.Float64bits(rep.Estimates[0]) != math.Float64bits(wantEst[1]) {
+		t.Fatalf("phi query answered %v, want %v", rep.Estimates, wantEst[1])
+	}
+	if resp, _ := get(t, srv, "/query?key=api/latency&phi=0.95"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unconfigured ϕ: %s", resp.Status)
+	}
+
+	// /snapshot lists both keys sorted.
+	resp, body = get(t, srv, "/snapshot")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %s", resp.Status)
+	}
+	var doc struct {
+		Keys []KeyReport `json:"keys"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Keys) != 2 || doc.Keys[0].Key != "api/latency" || doc.Keys[1].Key != "db/qps" {
+		t.Fatalf("snapshot keys %+v", doc.Keys)
+	}
+
+	// /healthz.
+	resp, body = get(t, srv, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 1 || h.Keys != 2 {
+		t.Fatalf("health %+v", h)
+	}
+}
+
+// TestServiceErrors covers the failure surface: missing worker, bad
+// methods, unknown keys, corrupt blobs.
+func TestServiceErrors(t *testing.T) {
+	srv := httptest.NewServer(New(nil).Handler())
+	defer srv.Close()
+
+	if resp, _ := post(t, srv, "/push", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("push without worker: %s", resp.Status)
+	}
+	if resp, _ := get(t, srv, "/push?worker=w"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET push: %s", resp.Status)
+	}
+	if resp, _ := post(t, srv, "/query?key=x", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST query: %s", resp.Status)
+	}
+	if resp, _ := get(t, srv, "/query"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("query without key: %s", resp.Status)
+	}
+	if resp, _ := get(t, srv, "/query?key=missing"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key: %s", resp.Status)
+	}
+	resp, body := post(t, srv, "/push?worker=w", []byte("not a wire blob"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt blob: %s", resp.Status)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("corrupt blob error body: %s (%v)", body, err)
+	}
+}
+
+// TestServiceMultiWorkerMerge: two workers pushing the same key answer the
+// merged view, bit-identical to the in-process merge of their captures.
+func TestServiceMultiWorkerMerge(t *testing.T) {
+	cfg := qlove.Config{Spec: qlove.Window{Size: 200, Period: 50}, Phis: []float64{0.5, 0.9}}
+	agg := qlove.NewAggregator()
+	srv := httptest.NewServer(New(agg).Handler())
+	defer srv.Close()
+
+	var snaps []qlove.Snapshot
+	for w := 0; w < 2; w++ {
+		eng := mkEngine(t, cfg)
+		gen := workload.NewNetMon(int64(31 + w))
+		if err := eng.Push("svc", workload.Generate(gen, 400)); err != nil {
+			t.Fatal(err)
+		}
+		eng.Close()
+		sn, ok := eng.Query("svc")
+		if !ok {
+			t.Fatal("capture missing")
+		}
+		snaps = append(snaps, sn)
+		var cur qlove.ExportCursor
+		var blob bytes.Buffer
+		if _, err := eng.ExportDelta(&blob, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if resp, body := post(t, srv, fmt.Sprintf("/push?worker=w%d", w), blob.Bytes()); resp.StatusCode != http.StatusOK {
+			t.Fatalf("push: %s: %s", resp.Status, body)
+		}
+	}
+	ref, err := qlove.MergeSnapshots(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, body := get(t, srv, "/query?key=svc")
+	var rep KeyReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Streams != 2 {
+		t.Fatalf("streams %d, want 2", rep.Streams)
+	}
+	want := ref.Estimates()
+	for i := range want {
+		if math.Float64bits(rep.Estimates[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("merged ϕ[%d]: service %v != in-process %v", i, rep.Estimates[i], want[i])
+		}
+	}
+}

@@ -30,6 +30,11 @@ type SnapshotParts struct {
 	// Summaries are the resident sub-window summaries, oldest first per
 	// merged capture.
 	Summaries []Summary
+	// SealGen is the source operator's seal-generation clock at capture
+	// time (0 when unknown: merged captures, wire v1 sources). When
+	// non-zero, the resident summaries are generations
+	// (SealGen-len(Summaries), SealGen].
+	SealGen uint64
 }
 
 // Parts explodes the capture for serialization. The returned slices are
@@ -40,6 +45,7 @@ func (s Snapshot) Parts() SnapshotParts {
 		Streams:   s.streams,
 		Sums:      s.sums,
 		Summaries: s.summaries,
+		SealGen:   s.sealGen,
 	}
 }
 
@@ -68,6 +74,9 @@ func NewSnapshot(p SnapshotParts) (Snapshot, error) {
 	if len(p.Sums) != l {
 		return Snapshot{}, fmt.Errorf("qlove: snapshot parts: %d sums for %d quantiles", len(p.Sums), l)
 	}
+	if p.SealGen != 0 && uint64(len(p.Summaries)) > p.SealGen {
+		return Snapshot{}, fmt.Errorf("qlove: snapshot parts: %d resident summaries exceed seal generation %d", len(p.Summaries), p.SealGen)
+	}
 	managed := managedIndexes(cfg)
 	for i := range p.Summaries {
 		if err := validateSummary(&p.Summaries[i], l, len(managed)); err != nil {
@@ -80,6 +89,7 @@ func NewSnapshot(p SnapshotParts) (Snapshot, error) {
 		sums:      p.Sums,
 		summaries: p.Summaries,
 		managed:   managed,
+		sealGen:   p.SealGen,
 	}, nil
 }
 

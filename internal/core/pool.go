@@ -76,6 +76,11 @@ func (pl *Pool) Put(p *Policy) {
 // Idle returns how many recycled operators the pool currently holds.
 func (pl *Pool) Idle() int { return len(pl.free) }
 
+// ConfigEqual reports whether two resolved configurations are identical in
+// every field — the equality Snapshot.Merge requires and delta folding
+// re-checks across frames of one key.
+func ConfigEqual(a, b Config) bool { return fullConfigEqual(a, b) }
+
 // fullConfigEqual compares every field of two resolved configurations —
 // unlike sameConfig (merge semantics), pooling additionally requires the
 // quantizer, burst detector and mode flags to agree.

@@ -108,6 +108,13 @@ type Policy struct {
 	// adapt holds the online budget controller state when Config.Adaptive
 	// is set (nil otherwise).
 	adapt []adaptState
+
+	// sealGen counts the summaries sealed since construction (or the last
+	// Reset) — the monotonic per-operator generation clock delta exports
+	// cursor against. Summary g (1-based) stays resident until it slides
+	// out of the window, so a capture taken at generation G holds exactly
+	// the last SubWindowCount() generations (G-count, G].
+	sealGen uint64
 }
 
 // New returns a QLOVE policy for the given configuration.
@@ -191,6 +198,7 @@ func (p *Policy) Reset() {
 	if p.baseBudgets != nil {
 		copy(p.budgets, p.baseBudgets)
 	}
+	p.sealGen = 0
 	p.initAdaptive()
 }
 
@@ -269,7 +277,15 @@ func (p *Policy) EndPeriod() {
 	}
 	p.agg.accumulate(s)
 	p.prev = &s
+	p.sealGen++
 }
+
+// SealGen returns the operator's seal-generation clock: how many sub-window
+// summaries it has sealed since construction (or the last Reset). The clock
+// only advances when a summary seals, so an unchanged SealGen means an
+// unchanged Snapshot — the invariant incremental (delta) exports rely on to
+// skip idle keys.
+func (p *Policy) SealGen() uint64 { return p.sealGen }
 
 // Result implements stream.Policy. Non-high quantiles come from the
 // Level-2 average; few-k-managed quantiles select between Level 2, top-k

@@ -35,6 +35,10 @@ type Snapshot struct {
 	sums      []float64
 	summaries []Summary
 	managed   []int
+	// sealGen is the source operator's seal-generation clock at capture
+	// time (see Policy.SealGen); 0 for merged captures and for captures
+	// rebuilt from sources that do not track generations (wire v1).
+	sealGen uint64
 }
 
 // Snapshot captures the operator's current window state. It is O(l +
@@ -49,6 +53,7 @@ func (p *Policy) Snapshot() Snapshot {
 		sums:      append([]float64(nil), p.agg.sums...),
 		summaries: append([]Summary(nil), p.agg.summaries...),
 		managed:   p.managed,
+		sealGen:   p.sealGen,
 	}
 }
 
@@ -75,6 +80,14 @@ func (s Snapshot) Elements() int {
 
 // Config returns the configuration the captured operator ran with.
 func (s Snapshot) Config() Config { return s.cfg }
+
+// SealGen returns the seal-generation clock of the captured operator at
+// capture time: the resident summaries are generations
+// (SealGen-SubWindows, SealGen]. It is 0 for merged captures (a merged
+// capture spans several independent clocks) and for captures decoded from
+// generation-less sources (wire format v1), which therefore cannot anchor a
+// delta export.
+func (s Snapshot) SealGen() uint64 { return s.sealGen }
 
 // Merge combines two snapshots of disjoint sub-streams of one logical
 // stream. The zero Snapshot is the identity, so a fold over any number of

@@ -5,29 +5,39 @@ import (
 	"errors"
 	"io"
 	"math"
+	"reflect"
 	"testing"
 )
 
-// FuzzDecode drives arbitrary bytes through the decoder: whatever the
-// input, Decode must return a clean io.EOF, a wrapped sentinel error, or a
-// valid Snapshot that survives a re-encode/re-decode round trip
-// bit-for-bit — and must never panic. Seeds cover the golden captures plus
-// representative corruptions so the fuzzer starts at the format's surface
-// instead of rediscovering the magic number.
+// FuzzDecode drives arbitrary bytes through the frame decoder: whatever
+// the input, DecodeFrame must return a clean io.EOF, a wrapped sentinel
+// error, or a valid frame that survives a re-encode/re-decode round trip —
+// and must never panic. Seeds cover the golden blobs of EVERY format
+// version (full, delta and tombstone frames, plus a mixed-version stream)
+// and representative corruptions, so the fuzzer starts at the format's
+// surface instead of rediscovering the magic number.
 func FuzzDecode(f *testing.F) {
-	golden := goldenBlob(f)
-	f.Add(golden)
-	f.Add(golden[:len(golden)/2])
-	f.Add(golden[:headerSize])
+	goldenV1 := goldenBlobV1(f)
+	goldenV2 := goldenBlobV2(f)
+	f.Add(goldenV1)
+	f.Add(goldenV2)
+	f.Add(append(append([]byte(nil), goldenV1...), goldenV2...)) // mixed-version stream
+	f.Add(goldenV1[:len(goldenV1)/2])
+	f.Add(goldenV2[:len(goldenV2)/2])
+	f.Add(goldenV2[:headerSize])
 	f.Add([]byte{})
 	f.Add([]byte("QLVS"))
-	corrupt := append([]byte(nil), golden...)
+	f.Add(AppendTombstoneFrame(nil, "gone"))
+	corrupt := append([]byte(nil), goldenV1...)
 	corrupt[headerSize+3] ^= 0xFF
 	f.Add(corrupt)
+	corruptKind := append([]byte(nil), goldenV2...)
+	corruptKind[headerSize] = 7 // unknown frame kind
+	f.Add(corruptKind)
 	f.Fuzz(func(t *testing.T, blob []byte) {
 		dec := NewDecoder(bytes.NewReader(blob))
 		for {
-			key, snap, err := dec.Decode()
+			fr, err := dec.DecodeFrame()
 			if err == io.EOF {
 				return
 			}
@@ -39,19 +49,43 @@ func FuzzDecode(f *testing.F) {
 				return
 			}
 			// A successful decode must be canonical: re-encoding and
-			// re-decoding answers the same estimates from the same key.
-			reenc := AppendFrame(nil, key, snap)
-			key2, snap2, err := Decode(bytes.NewReader(reenc))
-			if err != nil {
-				t.Fatalf("re-encoded frame fails to decode: %v", err)
-			}
-			if key2 != key {
-				t.Fatalf("key %q -> %q across re-encode", key, key2)
-			}
-			a, b := snap.Estimates(), snap2.Estimates()
-			for j := range a {
-				if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
-					t.Fatalf("estimates diverge across re-encode: %v != %v", a, b)
+			// re-decoding reproduces the frame's meaning exactly.
+			switch fr.Kind {
+			case KindFull:
+				reenc := AppendFrame(nil, fr.Key, fr.Snap)
+				key2, snap2, err := Decode(bytes.NewReader(reenc))
+				if err != nil {
+					t.Fatalf("re-encoded full frame fails to decode: %v", err)
+				}
+				if key2 != fr.Key {
+					t.Fatalf("key %q -> %q across re-encode", fr.Key, key2)
+				}
+				a, b := fr.Snap.Estimates(), snap2.Estimates()
+				for j := range a {
+					if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+						t.Fatalf("estimates diverge across re-encode: %v != %v", a, b)
+					}
+				}
+				if snap2.SealGen() != fr.Snap.SealGen() {
+					t.Fatalf("seal generation %d -> %d across re-encode", fr.Snap.SealGen(), snap2.SealGen())
+				}
+			case KindDelta:
+				reenc := AppendDeltaFrame(nil, fr.Key, fr.Delta)
+				f2, err := NewDecoder(bytes.NewReader(reenc)).DecodeFrame()
+				if err != nil {
+					t.Fatalf("re-encoded delta frame fails to decode: %v", err)
+				}
+				if f2.Kind != KindDelta || f2.Key != fr.Key {
+					t.Fatalf("delta re-decoded as %v %q", f2.Kind, f2.Key)
+				}
+				if !reflect.DeepEqual(f2.Delta, fr.Delta) {
+					t.Fatalf("delta diverges across re-encode")
+				}
+			case KindTombstone:
+				reenc := AppendTombstoneFrame(nil, fr.Key)
+				f2, err := NewDecoder(bytes.NewReader(reenc)).DecodeFrame()
+				if err != nil || f2.Kind != KindTombstone || f2.Key != fr.Key {
+					t.Fatalf("tombstone re-encode: %v %v %q", err, f2.Kind, f2.Key)
 				}
 			}
 		}

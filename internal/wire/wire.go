@@ -5,20 +5,28 @@
 // design can deliver better aggregate throughput ... in distributed
 // computing").
 //
-// # Frame layout (format version 1)
+// # Frame layout
 //
 // A blob is a plain concatenation of self-describing frames; appending two
 // blobs yields a valid blob, so N workers can write into one pipe or file
 // and an aggregator decodes the lot in one pass. Each frame is
 //
 //	magic   [4]byte  "QLVS"
-//	version uint16   little-endian, currently 1
+//	version uint16   little-endian, 1 or 2
 //	length  uint32   little-endian payload byte count
 //	payload [length]byte
 //
-// and the payload serializes one keyed capture. Within the payload,
-// fixed-width integers and float64 bit patterns are little-endian; counts
-// and lengths are unsigned varints (binary.AppendUvarint):
+// Within a payload, fixed-width integers and float64 bit patterns are
+// little-endian; counts and lengths are unsigned varints
+// (binary.AppendUvarint).
+//
+// # Format version 2 (current)
+//
+// A v2 payload opens with one frame-kind byte:
+//
+//	kind    1 byte   0 = full snapshot, 1 = delta, 2 = tombstone
+//
+// A FULL frame (kind 0) serializes one keyed capture:
 //
 //	key        uvarint len + bytes        ("" for unkeyed captures)
 //	config     size, period, digits       uvarint each
@@ -27,6 +35,7 @@
 //	           burstAlpha, highPhiMin     float64 each
 //	           phis                       uvarint len + float64s
 //	streams    uvarint                    merged sub-stream count (>= 1)
+//	sealGen    uvarint                    seal-generation clock at capture (0 = untracked)
 //	sums       uvarint len + float64s     Level-2 running sums (len == len(phis))
 //	summaries  uvarint count, then per summary:
 //	           count                      uvarint sub-window element count
@@ -38,21 +47,52 @@
 //	           burst                      1 byte present flag; if 1, one 0/1 byte
 //	                                      per managed quantile
 //
-// Every length is redundant with the configuration (sums, quantiles and
-// densities must match the ϕ count; tail and sample counts must match the
-// managed-quantile set derived from the config), and the decoder
-// cross-checks all of them, so a flipped length byte is a detected error,
-// not a misparse.
+// A DELTA frame (kind 1) ships only what changed for one key since a
+// per-destination export cursor — the incremental form that cuts
+// steady-state export bandwidth from O(resident keys) to O(changed keys):
+//
+//	key        uvarint len + bytes
+//	config     as in a full frame
+//	streams    uvarint
+//	sealGen    uvarint   toGen: the seal-generation clock at capture (> 0)
+//	fromGen    uvarint   the cursor the delta is relative to (<= sealGen);
+//	                     0 marks a bootstrap frame that REPLACES the key
+//	resident   uvarint   resident summary count at capture (<= sealGen)
+//	sums       uvarint len + float64s      the FULL Level-2 sums (cheap: one
+//	                                       float per configured ϕ)
+//	summaries  as in a full frame, but carrying ONLY the resident summaries
+//	           sealed after fromGen: exactly min(resident, sealGen-fromGen)
+//	           of them, oldest first
+//
+// The receiver folds a delta by appending the shipped summaries to the
+// key's retained run, trimming the front to `resident` (the summaries that
+// slid out of the worker's window since the cursor), and replacing the sums
+// wholesale — reproducing the worker's full capture bit for bit.
+//
+// A TOMBSTONE frame (kind 2) retires one key — the receiver deletes its
+// state. Exporters emit it when a key present at the cursor has been
+// evicted (TTL expiry or explicit Evict):
+//
+//	key        uvarint len + bytes
+//
+// # Format version 1
+//
+// Version 1 is the frozen original layout: a full-snapshot payload with no
+// kind byte and no sealGen field. The decoder keeps accepting v1 frames
+// (they rebuild with SealGen 0 — mergeable and queryable, but unable to
+// anchor a delta export); the encoder only emits v2. The checked-in golden
+// blobs of BOTH versions pin their bytes in the compatibility-matrix test.
 //
 // # Decode strictness
 //
 // Decode trusts nothing: the version is gated, the payload must be
 // consumed exactly, every slice length is bounds-checked against the
 // remaining payload BEFORE allocation, the rebuilt parts must pass
-// core.NewSnapshot's structural validation, cached tails and sample lists
-// must be sorted descending (the merge heaps assume it), and the NaN/Inf
-// policy is enforced: NaN is rejected everywhere (ingestion drops NaN, so
-// no legitimate capture contains one); ±Inf is rejected in configuration
+// core.NewSnapshot's structural validation, delta frames must satisfy the
+// cursor arithmetic above, cached tails and sample lists must be sorted
+// descending (the merge heaps assume it), and the NaN/Inf policy is
+// enforced: NaN is rejected everywhere (ingestion drops NaN, so no
+// legitimate capture contains one); ±Inf is rejected in configuration
 // fields but allowed in data positions (quantiles, sums, tails, samples)
 // and densities (+Inf marks a point mass). Every failure is a wrapped,
 // non-panicking error carrying one of the sentinel values below.
@@ -60,10 +100,11 @@
 // # Version policy
 //
 // The version is per-frame. Decoders accept versions they know (currently
-// exactly 1) and reject newer ones with ErrVersion rather than guessing;
-// any change to the payload layout MUST bump Version. The golden-blob test
-// in this package pins v1 bytes, so an accidental layout change fails
-// loudly instead of silently forking the format.
+// 1 and 2) and reject newer ones with ErrVersion rather than guessing; any
+// change to a payload layout MUST bump Version. The golden-blob
+// compatibility matrix in this package pins the bytes of every version, so
+// an accidental layout change fails loudly instead of silently forking the
+// format.
 package wire
 
 import (
@@ -77,8 +118,11 @@ import (
 	"repro/internal/core/fewk"
 )
 
-// Version is the current frame format version.
-const Version = 1
+// Version is the current frame format version; Encode always emits it.
+const Version = 2
+
+// VersionV1 is the frozen original format version, still decoded.
+const VersionV1 = 1
 
 // magic opens every frame: "QLVS" (QLove Snapshot).
 var magic = [4]byte{'Q', 'L', 'V', 'S'}
@@ -103,9 +147,97 @@ var (
 	// ErrTruncated reports a stream that ends mid-frame.
 	ErrTruncated = errors.New("wire: truncated frame")
 	// ErrCorrupt reports a structurally invalid payload: length
-	// cross-checks, value policy or snapshot invariants failed.
+	// cross-checks, value policy, delta arithmetic or snapshot invariants
+	// failed.
 	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrFrameKind reports a well-formed frame whose kind the caller
+	// cannot accept (a delta or tombstone in a snapshot-only stream read
+	// through Decode; use DecodeFrame for mixed streams).
+	ErrFrameKind = errors.New("wire: unexpected frame kind")
 )
+
+// Kind discriminates the v2 frame types.
+type Kind uint8
+
+const (
+	// KindFull is a complete keyed capture (the only v1 frame type).
+	KindFull Kind = 0
+	// KindDelta carries one key's summaries sealed since an export cursor.
+	KindDelta Kind = 1
+	// KindTombstone retires one key on the receiver.
+	KindTombstone Kind = 2
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindFull:
+		return "full"
+	case KindDelta:
+		return "delta"
+	case KindTombstone:
+		return "tombstone"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Frame is one decoded frame of any kind. Key is always set; Snap is
+// non-zero exactly for KindFull, Delta is meaningful exactly for KindDelta.
+type Frame struct {
+	Kind  Kind
+	Key   string
+	Snap  core.Snapshot
+	Delta Delta
+}
+
+// Delta is the payload of one delta frame: the resident summaries one key
+// sealed after the export cursor FromGen, plus the full Level-2 sums.
+//
+// Parts is a transport container, NOT a queryable capture: Parts.Summaries
+// holds only the newly shipped summaries while Parts.Sums covers the whole
+// resident window, so estimates read off it directly are meaningless. Fold
+// it into retained state first (see the package comment; qlove.Aggregator
+// implements the fold).
+type Delta struct {
+	// FromGen is the cursor the delta is relative to; 0 marks a bootstrap
+	// frame whose summaries are the ENTIRE resident window (receivers
+	// replace rather than fold).
+	FromGen uint64
+	// Resident is the number of resident summaries at capture time; the
+	// receiver trims its retained run to this length after appending.
+	Resident int
+	// Parts carries Config, Streams, the full Sums, SealGen (the "toGen"
+	// the receiver's cursor advances to) and the shipped Summaries:
+	// exactly min(Resident, SealGen-FromGen) of them, oldest first.
+	Parts core.SnapshotParts
+}
+
+// NewDelta builds the delta frame payload shipping what changed in capture
+// s since cursor fromGen: the last min(resident, SealGen-fromGen) resident
+// summaries. The capture must carry a seal generation (SealGen > 0, or be
+// completely empty) and fromGen must not run ahead of it; pass fromGen 0
+// for a bootstrap frame carrying the whole window.
+func NewDelta(s core.Snapshot, fromGen uint64) (Delta, error) {
+	p := s.Parts()
+	g := p.SealGen
+	r := len(p.Summaries)
+	if g == 0 && r > 0 {
+		return Delta{}, fmt.Errorf("wire: capture carries no seal generation; ship a full frame instead")
+	}
+	if fromGen > g {
+		return Delta{}, fmt.Errorf("wire: cursor %d ahead of capture generation %d", fromGen, g)
+	}
+	newCount := g - fromGen
+	if newCount > uint64(r) {
+		newCount = uint64(r)
+	}
+	if newCount == 0 {
+		p.Summaries = nil // canonical: the decoder yields nil for an empty set
+	} else {
+		p.Summaries = p.Summaries[r-int(newCount):]
+	}
+	return Delta{FromGen: fromGen, Resident: r, Parts: p}, nil
+}
 
 // config flag bits.
 const (
@@ -125,53 +257,143 @@ type Encoder struct {
 // NewEncoder returns an Encoder writing to w.
 func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
 
-// Encode writes one keyed frame and returns the bytes written. Encoding
-// the zero Snapshot is refused: it carries no configuration to describe
-// itself with (merge identities are a fold concern, not a transport one).
+// Encode writes one keyed full frame and returns the bytes written.
+// Encoding the zero Snapshot is refused: it carries no configuration to
+// describe itself with (merge identities are a fold concern, not a
+// transport one).
 func (e *Encoder) Encode(key string, s core.Snapshot) (int, error) {
 	if s.IsZero() {
 		return 0, fmt.Errorf("wire: cannot encode the zero Snapshot")
 	}
-	e.buf = AppendFrame(e.buf[:0], key, s)
-	if len(e.buf)-headerSize > maxPayload {
+	return e.flush(AppendFrame(e.buf[:0], key, s))
+}
+
+// EncodeDelta writes one keyed delta frame and returns the bytes written.
+// The delta's cursor arithmetic is validated up front (the decoder would
+// reject a malformed frame anyway; failing here names the producer bug).
+func (e *Encoder) EncodeDelta(key string, d Delta) (int, error) {
+	if err := validateDelta(&d); err != nil {
+		return 0, err
+	}
+	return e.flush(AppendDeltaFrame(e.buf[:0], key, d))
+}
+
+// EncodeTombstone writes one key-retirement frame and returns the bytes
+// written.
+func (e *Encoder) EncodeTombstone(key string) (int, error) {
+	return e.flush(AppendTombstoneFrame(e.buf[:0], key))
+}
+
+// flush bounds-checks and writes one appended frame, retaining the buffer.
+func (e *Encoder) flush(frame []byte) (int, error) {
+	e.buf = frame
+	if len(frame)-headerSize > maxPayload {
 		// Refused at encode time: past the cap the decoder would reject
 		// the frame (and past 4 GiB the u32 length field would silently
 		// truncate), so such a capture must never reach the stream.
-		return 0, fmt.Errorf("wire: snapshot payload %d bytes exceeds the %d-byte frame cap", len(e.buf)-headerSize, maxPayload)
+		return 0, fmt.Errorf("wire: frame payload %d bytes exceeds the %d-byte cap", len(frame)-headerSize, maxPayload)
 	}
-	n, err := e.w.Write(e.buf)
+	n, err := e.w.Write(frame)
 	if err != nil {
 		return n, fmt.Errorf("wire: write frame: %w", err)
 	}
 	return n, nil
 }
 
-// Encode writes one keyed frame to w; the convenience form of
+// validateDelta checks the cursor arithmetic EncodeDelta promises the
+// decoder.
+func validateDelta(d *Delta) error {
+	g := d.Parts.SealGen
+	if g == 0 {
+		if d.Resident != 0 || len(d.Parts.Summaries) != 0 {
+			return fmt.Errorf("wire: delta with summaries but no seal generation")
+		}
+	}
+	if d.FromGen > g {
+		return fmt.Errorf("wire: delta cursor %d ahead of generation %d", d.FromGen, g)
+	}
+	if uint64(d.Resident) > g {
+		return fmt.Errorf("wire: delta resident count %d exceeds generation %d", d.Resident, g)
+	}
+	want := g - d.FromGen
+	if want > uint64(d.Resident) {
+		want = uint64(d.Resident)
+	}
+	if uint64(len(d.Parts.Summaries)) != want {
+		return fmt.Errorf("wire: delta ships %d summaries, cursor arithmetic requires %d", len(d.Parts.Summaries), want)
+	}
+	return nil
+}
+
+// Encode writes one keyed full frame to w; the convenience form of
 // Encoder.Encode for one-shot callers.
 func Encode(w io.Writer, key string, s core.Snapshot) (int, error) {
 	return NewEncoder(w).Encode(key, s)
 }
 
-// AppendFrame appends one complete frame (header and payload) to dst and
-// returns the extended slice. The capture must be non-zero and its
+// AppendFrame appends one complete full frame (header and payload) to dst
+// and returns the extended slice. The capture must be non-zero and its
 // payload must stay within the decoder's 1 GiB frame cap — Encoder.Encode
 // enforces the bound; direct AppendFrame callers own it themselves.
 func AppendFrame(dst []byte, key string, s core.Snapshot) []byte {
+	return appendFrame(dst, func(dst []byte) []byte {
+		p := s.Parts()
+		dst = append(dst, byte(KindFull))
+		dst = appendKey(dst, key)
+		dst = appendConfig(dst, p.Config)
+		dst = binary.AppendUvarint(dst, uint64(p.Streams))
+		dst = binary.AppendUvarint(dst, p.SealGen)
+		dst = appendF64s(dst, p.Sums)
+		dst = appendSummaries(dst, p.Summaries)
+		return dst
+	})
+}
+
+// AppendDeltaFrame appends one complete delta frame to dst. Like
+// AppendFrame, direct callers own the payload cap; unlike
+// Encoder.EncodeDelta it does not re-validate the cursor arithmetic.
+func AppendDeltaFrame(dst []byte, key string, d Delta) []byte {
+	return appendFrame(dst, func(dst []byte) []byte {
+		dst = append(dst, byte(KindDelta))
+		dst = appendKey(dst, key)
+		dst = appendConfig(dst, d.Parts.Config)
+		dst = binary.AppendUvarint(dst, uint64(d.Parts.Streams))
+		dst = binary.AppendUvarint(dst, d.Parts.SealGen)
+		dst = binary.AppendUvarint(dst, d.FromGen)
+		dst = binary.AppendUvarint(dst, uint64(d.Resident))
+		dst = appendF64s(dst, d.Parts.Sums)
+		dst = appendSummaries(dst, d.Parts.Summaries)
+		return dst
+	})
+}
+
+// AppendTombstoneFrame appends one complete tombstone frame to dst.
+func AppendTombstoneFrame(dst []byte, key string) []byte {
+	return appendFrame(dst, func(dst []byte) []byte {
+		dst = append(dst, byte(KindTombstone))
+		return appendKey(dst, key)
+	})
+}
+
+// appendFrame writes the header, runs the payload appender and patches the
+// length field.
+func appendFrame(dst []byte, payload func([]byte) []byte) []byte {
 	dst = append(dst, magic[:]...)
 	dst = binary.LittleEndian.AppendUint16(dst, Version)
 	lenAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0) // payload length, patched below
 	start := len(dst)
-	dst = appendPayload(dst, key, s.Parts())
+	dst = payload(dst)
 	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-start))
 	return dst
 }
 
-func appendPayload(dst []byte, key string, p core.SnapshotParts) []byte {
+func appendKey(dst []byte, key string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(key)))
-	dst = append(dst, key...)
+	return append(dst, key...)
+}
 
-	cfg := p.Config
+func appendConfig(dst []byte, cfg core.Config) []byte {
 	dst = binary.AppendUvarint(dst, uint64(cfg.Spec.Size))
 	dst = binary.AppendUvarint(dst, uint64(cfg.Spec.Period))
 	dst = binary.AppendUvarint(dst, uint64(cfg.Digits))
@@ -193,14 +415,13 @@ func appendPayload(dst []byte, key string, p core.SnapshotParts) []byte {
 	dst = appendF64(dst, cfg.StatThreshold)
 	dst = appendF64(dst, cfg.BurstAlpha)
 	dst = appendF64(dst, cfg.HighPhiMin)
-	dst = appendF64s(dst, cfg.Phis)
+	return appendF64s(dst, cfg.Phis)
+}
 
-	dst = binary.AppendUvarint(dst, uint64(p.Streams))
-	dst = appendF64s(dst, p.Sums)
-
-	dst = binary.AppendUvarint(dst, uint64(len(p.Summaries)))
-	for i := range p.Summaries {
-		sm := &p.Summaries[i]
+func appendSummaries(dst []byte, summaries []core.Summary) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(summaries)))
+	for i := range summaries {
+		sm := &summaries[i]
 		dst = binary.AppendUvarint(dst, uint64(sm.Count))
 		dst = appendF64s(dst, sm.Quantiles)
 		dst = appendF64s(dst, sm.Densities)
@@ -264,28 +485,45 @@ func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
 // out).
 func (d *Decoder) Consumed() int64 { return d.consumed }
 
-// Decode reads the next frame. At a clean end of stream (the reader is
-// exhausted exactly at a frame boundary) it returns io.EOF unwrapped; any
-// other failure wraps a package sentinel and never panics, whatever the
-// input bytes.
+// Decode reads the next frame of a snapshot-only stream. At a clean end of
+// stream it returns io.EOF unwrapped; a well-formed delta or tombstone
+// frame is an error wrapping ErrFrameKind (use DecodeFrame for mixed
+// streams); any other failure wraps a package sentinel and never panics,
+// whatever the input bytes.
 func (d *Decoder) Decode() (key string, snap core.Snapshot, err error) {
+	f, err := d.DecodeFrame()
+	if err != nil {
+		return "", core.Snapshot{}, err
+	}
+	if f.Kind != KindFull {
+		return "", core.Snapshot{}, fmt.Errorf("%w: %v frame in a snapshot-only stream", ErrFrameKind, f.Kind)
+	}
+	return f.Key, f.Snap, nil
+}
+
+// DecodeFrame reads the next frame of any kind. At a clean end of stream
+// (the reader is exhausted exactly at a frame boundary) it returns io.EOF
+// unwrapped; any other failure wraps a package sentinel and never panics,
+// whatever the input bytes.
+func (d *Decoder) DecodeFrame() (Frame, error) {
 	hn, err := io.ReadFull(d.r, d.hdr[:])
 	d.consumed += int64(hn)
 	if err != nil {
 		if err == io.EOF {
-			return "", core.Snapshot{}, io.EOF
+			return Frame{}, io.EOF
 		}
-		return "", core.Snapshot{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+		return Frame{}, fmt.Errorf("%w: header: %v", ErrTruncated, err)
 	}
 	if [4]byte(d.hdr[:4]) != magic {
-		return "", core.Snapshot{}, fmt.Errorf("%w: %q", ErrMagic, d.hdr[:4])
+		return Frame{}, fmt.Errorf("%w: %q", ErrMagic, d.hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint16(d.hdr[4:6]); v != Version {
-		return "", core.Snapshot{}, fmt.Errorf("%w: frame v%d, decoder speaks v%d", ErrVersion, v, Version)
+	v := binary.LittleEndian.Uint16(d.hdr[4:6])
+	if v != VersionV1 && v != Version {
+		return Frame{}, fmt.Errorf("%w: frame v%d, decoder speaks v%d", ErrVersion, v, Version)
 	}
 	n := binary.LittleEndian.Uint32(d.hdr[6:10])
 	if n > maxPayload {
-		return "", core.Snapshot{}, fmt.Errorf("%w: payload length %d exceeds cap", ErrCorrupt, n)
+		return Frame{}, fmt.Errorf("%w: payload length %d exceeds cap", ErrCorrupt, n)
 	}
 	// The claimed length is untrusted until the bytes actually arrive:
 	// large payloads are read in bounded steps so a corrupt header cannot
@@ -300,7 +538,7 @@ func (d *Decoder) Decode() (key string, snap core.Snapshot, err error) {
 		pn, err := io.ReadFull(d.r, d.buf)
 		d.consumed += int64(pn)
 		if err != nil {
-			return "", core.Snapshot{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+			return Frame{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
 		}
 	} else {
 		d.buf = d.buf[:0]
@@ -314,14 +552,14 @@ func (d *Decoder) Decode() (key string, snap core.Snapshot, err error) {
 			pn, err := io.ReadFull(d.r, chunk)
 			d.consumed += int64(pn)
 			if err != nil {
-				return "", core.Snapshot{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+				return Frame{}, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
 			}
 		}
 	}
-	return decodePayload(d.buf)
+	return decodePayload(d.buf, v)
 }
 
-// Decode reads a single frame from r; the convenience form of
+// Decode reads a single full frame from r; the convenience form of
 // Decoder.Decode for one-shot callers.
 func Decode(r io.Reader) (key string, snap core.Snapshot, err error) {
 	return NewDecoder(r).Decode()
@@ -393,30 +631,142 @@ func (r *payloadReader) f64s(what string) ([]float64, error) {
 	return out, nil
 }
 
-func decodePayload(b []byte) (string, core.Snapshot, error) {
+func decodePayload(b []byte, version uint16) (Frame, error) {
 	r := &payloadReader{b: b}
+
+	kind := KindFull
+	if version >= 2 {
+		kb, err := r.byte("frame kind")
+		if err != nil {
+			return Frame{}, err
+		}
+		if Kind(kb) > KindTombstone {
+			return Frame{}, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kb)
+		}
+		kind = Kind(kb)
+	}
 
 	keyLen, err := r.count("key", 1)
 	if err != nil {
-		return "", core.Snapshot{}, err
+		return Frame{}, err
 	}
 	key := string(r.b[r.off : r.off+keyLen])
 	r.off += keyLen
 
+	if kind == KindTombstone {
+		if r.remaining() != 0 {
+			return Frame{}, fmt.Errorf("%w: %d trailing tombstone payload bytes", ErrCorrupt, r.remaining())
+		}
+		return Frame{Kind: KindTombstone, Key: key}, nil
+	}
+
 	var p core.SnapshotParts
-	cfg := &p.Config
+	if p.Config, err = decodeConfig(r); err != nil {
+		return Frame{}, err
+	}
+	if p.Streams, err = intField(r, "streams"); err != nil {
+		return Frame{}, err
+	}
+	if version >= 2 {
+		if p.SealGen, err = r.uvarint("seal generation"); err != nil {
+			return Frame{}, err
+		}
+	}
+	var fromGen uint64
+	var resident int
+	if kind == KindDelta {
+		if fromGen, err = r.uvarint("delta from-generation"); err != nil {
+			return Frame{}, err
+		}
+		if resident, err = intField(r, "delta resident count"); err != nil {
+			return Frame{}, err
+		}
+	}
+	if p.Sums, err = r.f64s("sums"); err != nil {
+		return Frame{}, err
+	}
+	if err := noNaN("sums", p.Sums); err != nil {
+		return Frame{}, err
+	}
+
+	// Each summary costs at least its count varint + two length varints +
+	// tail/sample/burst bytes: >= 5 bytes on the wire. The slice GROWS as
+	// summaries actually decode (capacity capped up front): a summary is
+	// far bigger in memory than its 5-byte wire floor, so allocating the
+	// claimed count outright would let a corrupt count demand ~26x the
+	// payload in one allocation.
+	nSummaries, err := r.count("summary count", 5)
+	if err != nil {
+		return Frame{}, err
+	}
+	if nSummaries > 0 {
+		p.Summaries = make([]core.Summary, 0, min(nSummaries, allocCap))
+	}
+	for i := 0; i < nSummaries; i++ {
+		var sm core.Summary
+		if err := decodeSummary(r, &sm); err != nil {
+			return Frame{}, fmt.Errorf("summary %d: %w", i, err)
+		}
+		p.Summaries = append(p.Summaries, sm)
+	}
+	if r.remaining() != 0 {
+		return Frame{}, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, r.remaining())
+	}
+
+	if kind == KindDelta {
+		// The delta's cursor arithmetic: fromGen <= sealGen, the resident
+		// window cannot exceed everything ever sealed, and the frame must
+		// ship exactly the resident summaries sealed after the cursor.
+		g := p.SealGen
+		if fromGen > g {
+			return Frame{}, fmt.Errorf("%w: delta cursor %d ahead of generation %d", ErrCorrupt, fromGen, g)
+		}
+		if uint64(resident) > g {
+			return Frame{}, fmt.Errorf("%w: delta resident count %d exceeds generation %d", ErrCorrupt, resident, g)
+		}
+		want := g - fromGen
+		if want > uint64(resident) {
+			want = uint64(resident)
+		}
+		if uint64(nSummaries) != want {
+			return Frame{}, fmt.Errorf("%w: delta ships %d summaries, cursor arithmetic requires %d", ErrCorrupt, nSummaries, want)
+		}
+		// NewSnapshot revalidates structure (config resolution, slice
+		// shapes, per-summary populations) exactly as for a full frame;
+		// the rebuilt capture itself is discarded — Delta.Parts is the
+		// transport container the receiver folds.
+		if _, err := core.NewSnapshot(p); err != nil {
+			return Frame{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return Frame{
+			Kind:  KindDelta,
+			Key:   key,
+			Delta: Delta{FromGen: fromGen, Resident: resident, Parts: p},
+		}, nil
+	}
+
+	snap, err := core.NewSnapshot(p)
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return Frame{Kind: KindFull, Key: key, Snap: snap}, nil
+}
+
+func decodeConfig(r *payloadReader) (core.Config, error) {
+	var cfg core.Config
+	var err error
 	if cfg.Spec.Size, err = intField(r, "window size"); err != nil {
-		return "", core.Snapshot{}, err
+		return cfg, err
 	}
 	if cfg.Spec.Period, err = intField(r, "window period"); err != nil {
-		return "", core.Snapshot{}, err
+		return cfg, err
 	}
 	if cfg.Digits, err = intField(r, "digits"); err != nil {
-		return "", core.Snapshot{}, err
+		return cfg, err
 	}
 	flags, err := r.byte("config flags")
 	if err != nil {
-		return "", core.Snapshot{}, err
+		return cfg, err
 	}
 	cfg.FewK = flags&flagFewK != 0
 	cfg.TopKOnly = flags&flagTopKOnly != 0
@@ -433,60 +783,22 @@ func decodePayload(b []byte) (string, core.Snapshot, error) {
 	} {
 		v, err := r.f64(f.what)
 		if err != nil {
-			return "", core.Snapshot{}, err
+			return cfg, err
 		}
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return "", core.Snapshot{}, fmt.Errorf("%w: %s: non-finite %v", ErrCorrupt, f.what, v)
+			return cfg, fmt.Errorf("%w: %s: non-finite %v", ErrCorrupt, f.what, v)
 		}
 		*f.dst = v
 	}
 	if cfg.Phis, err = r.f64s("phis"); err != nil {
-		return "", core.Snapshot{}, err
+		return cfg, err
 	}
 	// ValidatePhis catches Inf (outside (0, 1]) but every comparison it
 	// runs is false for NaN, so the NaN policy must be enforced here.
 	if err := noNaN("phis", cfg.Phis); err != nil {
-		return "", core.Snapshot{}, err
+		return cfg, err
 	}
-	if p.Streams, err = intField(r, "streams"); err != nil {
-		return "", core.Snapshot{}, err
-	}
-	if p.Sums, err = r.f64s("sums"); err != nil {
-		return "", core.Snapshot{}, err
-	}
-	if err := noNaN("sums", p.Sums); err != nil {
-		return "", core.Snapshot{}, err
-	}
-
-	// Each summary costs at least its count varint + two length varints +
-	// tail/sample/burst bytes: >= 5 bytes on the wire. The slice GROWS as
-	// summaries actually decode (capacity capped up front): a summary is
-	// far bigger in memory than its 5-byte wire floor, so allocating the
-	// claimed count outright would let a corrupt count demand ~26x the
-	// payload in one allocation.
-	nSummaries, err := r.count("summary count", 5)
-	if err != nil {
-		return "", core.Snapshot{}, err
-	}
-	if nSummaries > 0 {
-		p.Summaries = make([]core.Summary, 0, min(nSummaries, allocCap))
-	}
-	for i := 0; i < nSummaries; i++ {
-		var sm core.Summary
-		if err := decodeSummary(r, &sm); err != nil {
-			return "", core.Snapshot{}, fmt.Errorf("summary %d: %w", i, err)
-		}
-		p.Summaries = append(p.Summaries, sm)
-	}
-	if r.remaining() != 0 {
-		return "", core.Snapshot{}, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, r.remaining())
-	}
-
-	snap, err := core.NewSnapshot(p)
-	if err != nil {
-		return "", core.Snapshot{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	return key, snap, nil
+	return cfg, nil
 }
 
 func decodeSummary(r *payloadReader, s *core.Summary) error {

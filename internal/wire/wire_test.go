@@ -2,8 +2,10 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"flag"
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -17,7 +19,7 @@ import (
 	"repro/internal/workload"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "regenerate testdata/golden_v1.bin")
+var updateGolden = flag.Bool("update-golden", false, "regenerate the testdata golden blobs (every version)")
 
 func mustPolicy(t testing.TB, cfg core.Config) *core.Policy {
 	t.Helper()
@@ -31,8 +33,8 @@ func mustPolicy(t testing.TB, cfg core.Config) *core.Policy {
 // randomConfig draws a valid configuration: window shape, ϕ set, few-k
 // mode and quantization vary per iteration.
 func randomConfig(rng *rand.Rand) core.Config {
-	period := 8 << rng.Intn(5)           // 8..128
-	size := period * (1 + rng.Intn(8))   // 1..8 sub-windows
+	period := 8 << rng.Intn(5)         // 8..128
+	size := period * (1 + rng.Intn(8)) // 1..8 sub-windows
 	phiPool := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.995, 0.999}
 	lo := rng.Intn(len(phiPool) - 1)
 	hi := lo + 1 + rng.Intn(len(phiPool)-lo-1)
@@ -196,7 +198,8 @@ func TestDecodeCorruptionTable(t *testing.T) {
 		{"empty mid-header", frame[:3], ErrTruncated},
 		{"bad magic", flip(0, 'X'), ErrMagic},
 		{"version zero", flip(4, 0), ErrVersion},
-		{"version future", flip(4, 2), ErrVersion},
+		{"version future", flip(4, 3), ErrVersion},
+		{"unknown frame kind", flip(headerSize, 9), ErrCorrupt},
 		{"payload length beyond stream", flip(6, 0xFF), ErrTruncated},
 		{"payload length short", flip(6, 1), ErrCorrupt}, // trailing bytes parsed as next frame: bad magic OR corrupt payload
 		{"inner count overflow", corruptInnerCount(frame), ErrCorrupt},
@@ -230,10 +233,12 @@ func TestDecodeCorruptionTable(t *testing.T) {
 // pre-allocation bound check must fire.
 func corruptInnerCount(frame []byte) []byte {
 	c := append([]byte(nil), frame...)
-	// Payload layout: key len(1)+key(1), size(varint), period(varint),
-	// digits(varint), flags(1), 4 float64s, then the ϕ count varint.
+	// v2 payload layout: kind(1), key len(1)+key(1), size(varint),
+	// period(varint), digits(varint), flags(1), 4 float64s, then the ϕ
+	// count varint.
 	off := headerSize
-	off += 2 // key
+	off += 1                 // frame kind
+	off += 2                 // key
 	for i := 0; i < 3; i++ { // three uvarints
 		for c[off]&0x80 != 0 {
 			off++
@@ -338,15 +343,25 @@ func TestDecodeValuePolicy(t *testing.T) {
 	}
 }
 
-// goldenPath is the checked-in v1 blob that pins the format: two keyed
-// frames from deterministic ingestion.
-var goldenPath = filepath.Join("testdata", "golden_v1.bin")
+// goldenPathV1 and goldenPathV2 are the checked-in blobs pinning the bytes
+// of every format version.
+var (
+	goldenPathV1 = filepath.Join("testdata", "golden_v1.bin")
+	goldenPathV2 = filepath.Join("testdata", "golden_v2.bin")
+)
 
-// goldenBlob rebuilds the golden captures from scratch — fixed seed, fixed
-// configs — and returns their encoding.
-func goldenBlob(t testing.TB) []byte {
+// goldenCaptures rebuilds the two deterministic keyed captures every
+// golden blob is derived from — fixed seeds, fixed configs, frozen
+// forever.
+func goldenCaptures(t testing.TB) []struct {
+	key  string
+	snap core.Snapshot
+} {
 	t.Helper()
-	var blob []byte
+	var out []struct {
+		key  string
+		snap core.Snapshot
+	}
 	for _, g := range []struct {
 		key  string
 		cfg  core.Config
@@ -360,50 +375,382 @@ func goldenBlob(t testing.TB) []byte {
 	} {
 		p := mustPolicy(t, g.cfg)
 		p.ObserveBatch(workload.Generate(workload.NewNetMon(g.seed), g.n))
-		blob = AppendFrame(blob, g.key, p.Snapshot())
+		out = append(out, struct {
+			key  string
+			snap core.Snapshot
+		}{g.key, p.Snapshot()})
+	}
+	return out
+}
+
+// appendFrameV1 encodes one full frame in the FROZEN v1 layout (no kind
+// byte, no seal generation). The production encoder only speaks the
+// current version; this test-local copy exists so the v1 golden blob can
+// be regenerated and so the fuzzer can seed mixed-version streams.
+func appendFrameV1(dst []byte, key string, s core.Snapshot) []byte {
+	dst = append(dst, magic[:]...)
+	dst = binary.LittleEndian.AppendUint16(dst, VersionV1)
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	start := len(dst)
+	p := s.Parts()
+	dst = appendKey(dst, key)
+	dst = appendConfig(dst, p.Config)
+	dst = binary.AppendUvarint(dst, uint64(p.Streams))
+	dst = appendF64s(dst, p.Sums)
+	dst = appendSummaries(dst, p.Summaries)
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-start))
+	return dst
+}
+
+// goldenBlobV1 rebuilds the v1 golden blob: the two captures as v1 full
+// frames.
+func goldenBlobV1(t testing.TB) []byte {
+	t.Helper()
+	var blob []byte
+	for _, g := range goldenCaptures(t) {
+		blob = appendFrameV1(blob, g.key, g.snap)
 	}
 	return blob
 }
 
-// TestGoldenV1 pins format v1 in both directions: the checked-in blob must
-// decode to exactly the captures rebuilt in-process, and re-encoding those
-// captures must reproduce the checked-in bytes. Any layout change breaks
-// this test — which is the point: bump Version and add a new golden file
-// instead of mutating v1.
-func TestGoldenV1(t *testing.T) {
-	want := goldenBlob(t)
-	if *updateGolden {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, want, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	disk, err := os.ReadFile(goldenPath)
+// goldenBlobV2 rebuilds the v2 golden blob, covering every v2 frame kind
+// deterministically: the first capture as a full frame, the second
+// advanced by further deterministic ingestion and shipped as a delta
+// relative to its earlier generation, and a tombstone.
+func goldenBlobV2(t testing.TB) []byte {
+	t.Helper()
+	caps := goldenCaptures(t)
+	blob := AppendFrame(nil, caps[0].key, caps[0].snap)
+
+	p := mustPolicy(t, caps[1].snap.Config())
+	p.ObserveBatch(workload.Generate(workload.NewNetMon(43), 300))
+	before := p.Snapshot()
+	rest := workload.Generate(workload.NewNetMon(43), 500)[300:]
+	p.ObserveBatch(rest)
+	d, err := NewDelta(p.Snapshot(), before.SealGen())
 	if err != nil {
-		t.Fatalf("%v (run with -update-golden to generate)", err)
+		t.Fatal(err)
 	}
-	if !bytes.Equal(disk, want) {
-		t.Fatalf("golden blob drifted: %d bytes on disk, %d rebuilt — the v1 layout changed; bump Version instead", len(disk), len(want))
-	}
-	dec := NewDecoder(bytes.NewReader(disk))
-	var keys []string
-	for {
-		key, snap, err := dec.Decode()
-		if err == io.EOF {
-			break
+	blob = AppendDeltaFrame(blob, caps[1].key, d)
+	return AppendTombstoneFrame(blob, "gone/metric")
+}
+
+// TestGoldenCompatMatrix is the cross-version decode compatibility matrix:
+// the checked-in golden blob of EVERY wire version must keep decoding
+// through the current decoder with bit-identical estimates, and encoding
+// today's captures must still produce the pinned bytes of the CURRENT
+// version. Any layout change breaks a pin — which is the point: bump
+// Version and add a new golden file instead of mutating a frozen layout.
+func TestGoldenCompatMatrix(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
 		}
+		if err := os.WriteFile(goldenPathV1, goldenBlobV1(t), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPathV2, goldenBlobV2(t), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs := goldenCaptures(t)
+	refEst := map[string][]float64{}
+	for _, r := range refs {
+		refEst[r.key] = r.snap.Estimates()
+	}
+
+	cases := []struct {
+		version   int
+		path      string
+		rebuilt   []byte // non-nil pins encode: disk bytes must equal a fresh encoding
+		wantKinds []Kind
+		wantKeys  []string
+	}{
+		{
+			version:   1,
+			path:      goldenPathV1,
+			rebuilt:   goldenBlobV1(t), // v1 regeneration logic is frozen in this file
+			wantKinds: []Kind{KindFull, KindFull},
+			wantKeys:  []string{"api/latency", "db/qps"},
+		},
+		{
+			version:   Version,
+			path:      goldenPathV2,
+			rebuilt:   goldenBlobV2(t), // today's encoder must reproduce the pin
+			wantKinds: []Kind{KindFull, KindDelta, KindTombstone},
+			wantKeys:  []string{"api/latency", "db/qps", "gone/metric"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("v%d", tc.version), func(t *testing.T) {
+			disk, err := os.ReadFile(tc.path)
+			if err != nil {
+				t.Fatalf("%v (run with -update-golden to generate)", err)
+			}
+			if !bytes.Equal(disk, tc.rebuilt) {
+				t.Fatalf("golden blob drifted: %d bytes on disk, %d rebuilt — the v%d layout changed; bump Version instead",
+					len(disk), len(tc.rebuilt), tc.version)
+			}
+			dec := NewDecoder(bytes.NewReader(disk))
+			var frames []Frame
+			for {
+				f, err := dec.DecodeFrame()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("golden v%d blob no longer decodes: %v", tc.version, err)
+				}
+				frames = append(frames, f)
+			}
+			if len(frames) != len(tc.wantKinds) {
+				t.Fatalf("decoded %d frames, want %d", len(frames), len(tc.wantKinds))
+			}
+			for i, f := range frames {
+				if f.Kind != tc.wantKinds[i] || f.Key != tc.wantKeys[i] {
+					t.Fatalf("frame %d: %v %q, want %v %q", i, f.Kind, f.Key, tc.wantKinds[i], tc.wantKeys[i])
+				}
+				if f.Kind != KindFull {
+					continue
+				}
+				// Bit-identical Estimates against the captures rebuilt from
+				// scratch today.
+				want, ok := refEst[f.Key]
+				if !ok {
+					t.Fatalf("no reference capture for %q", f.Key)
+				}
+				got := f.Snap.Estimates()
+				if len(got) != len(want) {
+					t.Fatalf("key %q: %d estimates, want %d", f.Key, len(got), len(want))
+				}
+				for j := range want {
+					if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("v%d key %q ϕ[%d]: decoded %v != rebuilt %v", tc.version, f.Key, j, got[j], want[j])
+					}
+				}
+				if tc.version == 1 && f.Snap.SealGen() != 0 {
+					t.Fatalf("v1 capture reports seal generation %d, want 0 (untracked)", f.Snap.SealGen())
+				}
+				// Upgrade path: a capture decoded from ANY version re-encodes
+				// under the current version and answers identically.
+				key2, snap2, err := Decode(bytes.NewReader(AppendFrame(nil, f.Key, f.Snap)))
+				if err != nil {
+					t.Fatalf("v%d capture fails the upgrade re-encode: %v", tc.version, err)
+				}
+				if key2 != f.Key {
+					t.Fatalf("key %q -> %q across upgrade re-encode", f.Key, key2)
+				}
+				got2 := snap2.Estimates()
+				for j := range want {
+					if math.Float64bits(got2[j]) != math.Float64bits(want[j]) {
+						t.Fatalf("upgrade re-encode diverged for %q: %v != %v", f.Key, got2, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// deltaSequence ingests one policy in chunks, returning a snapshot after
+// each chunk — the generation ladder delta tests climb.
+func deltaSequence(t testing.TB, cfg core.Config, seed int64, chunks []int) []core.Snapshot {
+	t.Helper()
+	total := 0
+	for _, n := range chunks {
+		total += n
+	}
+	data := workload.Generate(workload.NewNetMon(seed), total)
+	p := mustPolicy(t, cfg)
+	var snaps []core.Snapshot
+	off := 0
+	for _, n := range chunks {
+		p.ObserveBatch(data[off : off+n])
+		off += n
+		snaps = append(snaps, p.Snapshot())
+	}
+	return snaps
+}
+
+// TestDeltaRoundTrip: a delta frame between any two generations of one
+// operator encodes and decodes to exactly the parts it was built from, and
+// its cursor arithmetic holds.
+func TestDeltaRoundTrip(t *testing.T) {
+	cfg := core.Config{Spec: window.Spec{Size: 512, Period: 128},
+		Phis: []float64{0.5, 0.9, 0.99}, FewK: true}
+	snaps := deltaSequence(t, cfg, 7, []int{600, 300, 512, 100, 1300})
+	for i := 1; i < len(snaps); i++ {
+		for j := 0; j < i; j++ {
+			from := snaps[j].SealGen()
+			d, err := NewDelta(snaps[i], from)
+			if err != nil {
+				t.Fatalf("delta %d<-%d: %v", i, j, err)
+			}
+			blob := AppendDeltaFrame(nil, "svc", d)
+			f, err := NewDecoder(bytes.NewReader(blob)).DecodeFrame()
+			if err != nil {
+				t.Fatalf("delta %d<-%d decode: %v", i, j, err)
+			}
+			if f.Kind != KindDelta || f.Key != "svc" {
+				t.Fatalf("decoded %v %q", f.Kind, f.Key)
+			}
+			if !reflect.DeepEqual(f.Delta, d) {
+				t.Fatalf("delta %d<-%d: decoded delta differs\n got %+v\nwant %+v", i, j, f.Delta, d)
+			}
+			// Decode (snapshot-only) must refuse the same frame, loudly.
+			if _, _, err := Decode(bytes.NewReader(blob)); !errors.Is(err, ErrFrameKind) {
+				t.Fatalf("snapshot-only Decode of a delta: %v, want wrapped ErrFrameKind", err)
+			}
+		}
+	}
+	// A bootstrap delta (fromGen 0) carries the whole resident window.
+	d, err := NewDelta(snaps[len(snaps)-1], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Parts.Summaries) != d.Resident {
+		t.Fatalf("bootstrap delta ships %d of %d resident summaries", len(d.Parts.Summaries), d.Resident)
+	}
+}
+
+// TestTombstoneRoundTrip: tombstones carry exactly a key (empty included)
+// and refuse trailing bytes.
+func TestTombstoneRoundTrip(t *testing.T) {
+	for _, key := range []string{"", "api/latency", "k"} {
+		blob := AppendTombstoneFrame(nil, key)
+		f, err := NewDecoder(bytes.NewReader(blob)).DecodeFrame()
 		if err != nil {
-			t.Fatalf("golden blob no longer decodes: %v", err)
+			t.Fatalf("key %q: %v", key, err)
 		}
-		keys = append(keys, key)
-		if est := snap.Estimates(); len(est) == 0 || est[0] == 0 {
-			t.Fatalf("golden capture %q answers %v", key, est)
+		if f.Kind != KindTombstone || f.Key != key {
+			t.Fatalf("key %q decoded as %v %q", key, f.Kind, f.Key)
+		}
+		if _, _, err := Decode(bytes.NewReader(blob)); !errors.Is(err, ErrFrameKind) {
+			t.Fatalf("snapshot-only Decode of a tombstone: %v, want wrapped ErrFrameKind", err)
 		}
 	}
-	if want := []string{"api/latency", "db/qps"}; !reflect.DeepEqual(keys, want) {
-		t.Fatalf("golden keys %q, want %q", keys, want)
+	bad := AppendTombstoneFrame(nil, "k")
+	bad = append(bad, 0xAA)
+	binary.LittleEndian.PutUint32(bad[6:10], uint32(len(bad)-headerSize))
+	if _, err := NewDecoder(bytes.NewReader(bad)).DecodeFrame(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tombstone with trailing payload: %v, want wrapped ErrCorrupt", err)
+	}
+}
+
+// TestDeltaCorruption: every violation of the delta cursor arithmetic is a
+// wrapped ErrCorrupt, and encode-side validation catches the same bugs
+// before they reach a stream.
+func TestDeltaCorruption(t *testing.T) {
+	cfg := core.Config{Spec: window.Spec{Size: 256, Period: 64}, Phis: []float64{0.5, 0.99}}
+	snaps := deltaSequence(t, cfg, 11, []int{320, 320})
+	// Cursor 3 generations back with a 4-summary window: the delta ships 3
+	// summaries, strictly fewer than the window, so every mutation below
+	// actually breaks the arithmetic.
+	good, err := NewDelta(snaps[1], snaps[1].SealGen()-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good.Parts.Summaries) != 3 {
+		t.Fatalf("test delta ships %d summaries, want 3", len(good.Parts.Summaries))
+	}
+	cases := []struct {
+		name   string
+		mutate func(d Delta) Delta
+	}{
+		{"cursor ahead of generation", func(d Delta) Delta { d.FromGen = d.Parts.SealGen + 1; return d }},
+		{"resident exceeds generation", func(d Delta) Delta { d.Resident = int(d.Parts.SealGen) + 1; return d }},
+		{"summary count off", func(d Delta) Delta { d.FromGen--; return d }}, // arithmetic now wants one more summary
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mutate(good)
+			if _, err := NewEncoder(io.Discard).EncodeDelta("k", bad); err == nil {
+				t.Fatal("encoder accepted a malformed delta")
+			}
+			blob := AppendDeltaFrame(nil, "k", bad) // unvalidated append path
+			if _, err := NewDecoder(bytes.NewReader(blob)).DecodeFrame(); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode: %v, want wrapped ErrCorrupt", err)
+			}
+		})
+	}
+	// NewDelta itself refuses a cursor from the future and a
+	// generation-less capture with resident summaries.
+	if _, err := NewDelta(snaps[1], snaps[1].SealGen()+1); err == nil {
+		t.Fatal("NewDelta accepted a future cursor")
+	}
+	parts := snaps[1].Parts()
+	parts.SealGen = 0
+	genless, err := core.NewSnapshot(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDelta(genless, 0); err == nil {
+		t.Fatal("NewDelta accepted a generation-less capture with summaries")
+	}
+}
+
+// TestMixedVersionStream: v1 and v2 frames of every kind concatenate into
+// one stream and decode in order — the compatibility the per-frame version
+// gate exists for.
+func TestMixedVersionStream(t *testing.T) {
+	caps := goldenCaptures(t)
+	blob := appendFrameV1(nil, "old", caps[0].snap)
+	blob = AppendFrame(blob, "new", caps[0].snap)
+	blob = AppendTombstoneFrame(blob, "old")
+	blob = appendFrameV1(blob, "old2", caps[1].snap)
+	dec := NewDecoder(bytes.NewReader(blob))
+	want := []struct {
+		kind Kind
+		key  string
+		gen  uint64
+	}{
+		{KindFull, "old", 0},
+		{KindFull, "new", caps[0].snap.SealGen()},
+		{KindTombstone, "old", 0},
+		{KindFull, "old2", 0},
+	}
+	for i, w := range want {
+		f, err := dec.DecodeFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Kind != w.kind || f.Key != w.key {
+			t.Fatalf("frame %d: %v %q, want %v %q", i, f.Kind, f.Key, w.kind, w.key)
+		}
+		if f.Kind == KindFull && f.Snap.SealGen() != w.gen {
+			t.Fatalf("frame %d: seal generation %d, want %d", i, f.Snap.SealGen(), w.gen)
+		}
+	}
+	if _, err := dec.DecodeFrame(); err != io.EOF {
+		t.Fatalf("trailing state: %v, want io.EOF", err)
+	}
+	if got := dec.Consumed(); got != int64(len(blob)) {
+		t.Fatalf("consumed %d of %d bytes", got, len(blob))
+	}
+}
+
+// TestDeltaTruncationSweep: delta and tombstone frames cut at every byte
+// boundary fail cleanly, like full frames.
+func TestDeltaTruncationSweep(t *testing.T) {
+	cfg := core.Config{Spec: window.Spec{Size: 256, Period: 64}, Phis: []float64{0.5, 0.99}, FewK: true}
+	snaps := deltaSequence(t, cfg, 3, []int{320, 320})
+	d, err := NewDelta(snaps[1], snaps[0].SealGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range [][]byte{
+		AppendDeltaFrame(nil, "svc", d),
+		AppendTombstoneFrame(nil, "svc"),
+	} {
+		for n := 1; n < len(frame); n++ {
+			_, err := NewDecoder(bytes.NewReader(frame[:n])).DecodeFrame()
+			if err == nil {
+				t.Fatalf("truncation at %d/%d decoded", n, len(frame))
+			}
+			if err == io.EOF {
+				t.Fatalf("truncation at %d/%d reported as clean EOF", n, len(frame))
+			}
+		}
 	}
 }
 

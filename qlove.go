@@ -58,14 +58,23 @@
 // # Distributed aggregation
 //
 // Snapshots cross process and datacenter boundaries through the versioned
-// wire format (internal/wire, format v1): Engine.Export writes every
-// key's capture as a blob of self-describing frames without stopping
-// ingestion, EngineSnapshot implements io.WriterTo/io.ReaderFrom, and
-// Engine.ImportSnapshots folds remote blobs into the local view. Blobs
-// concatenate freely, so N workers can write one stream that a central
-// aggregator (cmd/qlove-agg) decodes, groups by key and merges; a decoded
-// capture Merges and Estimates bit-for-bit like a never-serialized one.
-// Snapshot.Estimate answers one configured quantile directly.
+// wire format (internal/wire, format v2; v1 blobs keep decoding):
+// Engine.Export writes every key's capture as a blob of self-describing
+// frames without stopping ingestion, EngineSnapshot implements
+// io.WriterTo/io.ReaderFrom, and Engine.ImportSnapshots folds remote
+// blobs into the local view. Blobs concatenate freely, so N workers can
+// write one stream that a central aggregator (cmd/qlove-agg) decodes,
+// groups by key and merges; a decoded capture Merges and Estimates
+// bit-for-bit like a never-serialized one. Snapshot.Estimate answers one
+// configured quantile directly.
+//
+// For long-running deployments, Engine.ExportDelta ships only what
+// changed since a per-destination ExportCursor — newly sealed summaries
+// plus tombstones for evicted keys — and Aggregator folds those push
+// streams into a resident merged view, served over HTTP by qlove-agg
+// -serve (internal/aggsrv). Steady-state export bandwidth then tracks the
+// change rate, not the key count, and the folded state stays bit-for-bit
+// equal to a full export.
 package qlove
 
 import (
