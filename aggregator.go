@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/wire"
@@ -33,10 +34,17 @@ import (
 type Aggregator struct {
 	mu      sync.RWMutex
 	workers map[string]*aggWorker
+
+	// Push-deadline GC (SetPushDeadline): a worker whose last push is older
+	// than deadline is invisible to reads immediately and physically
+	// dropped by the next sweep (piggybacked on Apply, or explicit).
+	deadline time.Duration
+	now      func() time.Time
 }
 
 type aggWorker struct {
-	keys map[string]*aggKeyState
+	keys     map[string]*aggKeyState
+	lastPush time.Time // when this worker last Applied (deadline > 0)
 }
 
 // aggKeyState is one worker's folded view of one key: exactly the
@@ -48,7 +56,78 @@ type aggKeyState struct {
 
 // NewAggregator returns an empty aggregator.
 func NewAggregator() *Aggregator {
-	return &Aggregator{workers: make(map[string]*aggWorker)}
+	return &Aggregator{workers: make(map[string]*aggWorker), now: time.Now}
+}
+
+// SetPushDeadline arms the aggregator's worker GC — the service-plane
+// analogue of the engine's wall-clock key TTL. A worker that has not
+// pushed for longer than d stops contributing to reads (Query, Snapshot,
+// Workers, Keys) IMMEDIATELY once the deadline passes, and its resident
+// state is physically dropped by the next sweep — piggybacked on every
+// Apply, or driven explicitly via Sweep (e.g. from a service ticker). A
+// departed worker therefore cannot pin its folded state forever, bounding
+// the service under worker churn; a worker that resumes pushing after
+// being swept simply re-bootstraps (ExportDelta re-ships in full when the
+// destination rejects its cursor, exactly as after any lost blob).
+//
+// clock overrides the time source (tests use a fake clock); nil means
+// time.Now. d <= 0 disables the GC. Arming (or re-arming) dates every
+// resident worker at that moment, so each gets one full deadline from
+// the arming before it can go stale. Not safe to call concurrently with
+// Apply or reads; arm it before the aggregator starts serving.
+func (a *Aggregator) SetPushDeadline(d time.Duration, clock func() time.Time) {
+	a.deadline = d
+	a.now = time.Now
+	if clock != nil {
+		a.now = clock
+	}
+	if d > 0 {
+		// Date EVERY resident worker at arming time: workers folded before
+		// the GC was armed have no push stamp (Apply only stamps while a
+		// deadline is live), and workers stamped under a previous arming
+		// may carry a different clock's times — either way, "armed now"
+		// means every current worker gets one full deadline from now, and
+		// a worker that kept pushing through a disarm/re-arm cycle is
+		// never retired by its stale stamp.
+		now := a.now()
+		a.mu.Lock()
+		for _, w := range a.workers {
+			w.lastPush = now
+		}
+		a.mu.Unlock()
+	}
+}
+
+// stale reports whether the worker has out-lived the push deadline (and
+// must be hidden from reads). Callers hold at least the read lock.
+func (a *Aggregator) stale(w *aggWorker, now time.Time) bool {
+	return a.deadline > 0 && now.Sub(w.lastPush) > a.deadline
+}
+
+// sweepLocked drops every stale worker; the caller holds the write lock.
+func (a *Aggregator) sweepLocked(now time.Time) int {
+	if a.deadline <= 0 {
+		return 0
+	}
+	dropped := 0
+	for id, w := range a.workers {
+		if a.stale(w, now) {
+			delete(a.workers, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Sweep physically drops every worker past the push deadline, returning
+// how many were removed. Reads already exclude stale workers, so Sweep
+// only reclaims memory; long-running services call it from a ticker (or
+// rely on the sweep piggybacked on every Apply). A no-op when no deadline
+// is armed.
+func (a *Aggregator) Sweep() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sweepLocked(a.now())
 }
 
 // Apply folds one push blob from the named worker: any mix of full, delta
@@ -66,6 +145,15 @@ func (a *Aggregator) Apply(worker string, r io.Reader) (int, error) {
 	if w == nil {
 		w = &aggWorker{keys: make(map[string]*aggKeyState)}
 		a.workers[worker] = w
+	}
+	// Stamp the pusher BEFORE the piggybacked sweep, so a worker revived
+	// at the deadline's edge is never dropped by its own push. No stamps
+	// accrue while the GC is unarmed — SetPushDeadline dates those workers
+	// itself, with its own clock.
+	if a.deadline > 0 {
+		now := a.now()
+		w.lastPush = now
+		a.sweepLocked(now)
 	}
 	dec := wire.NewDecoder(r)
 	frames := 0
@@ -154,8 +242,12 @@ func (st *aggKeyState) snapshot() (Snapshot, error) {
 func (a *Aggregator) Query(key string) (Snapshot, bool, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	now := a.now()
 	var ids []string
 	for id, w := range a.workers {
+		if a.stale(w, now) {
+			continue
+		}
 		if _, ok := w.keys[key]; ok {
 			ids = append(ids, id)
 		}
@@ -183,8 +275,12 @@ func (a *Aggregator) Query(key string) (Snapshot, bool, error) {
 func (a *Aggregator) Snapshot() (EngineSnapshot, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	now := a.now()
 	ids := make([]string, 0, len(a.workers))
-	for id := range a.workers {
+	for id, w := range a.workers {
+		if a.stale(w, now) {
+			continue
+		}
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -206,19 +302,31 @@ func (a *Aggregator) Snapshot() (EngineSnapshot, error) {
 	return out, nil
 }
 
-// Workers returns how many workers have pushed state.
+// Workers returns how many live workers have pushed state (workers past
+// the push deadline are excluded, swept or not).
 func (a *Aggregator) Workers() int {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
-	return len(a.workers)
+	now := a.now()
+	n := 0
+	for _, w := range a.workers {
+		if !a.stale(w, now) {
+			n++
+		}
+	}
+	return n
 }
 
-// Keys returns the number of distinct keys across all workers.
+// Keys returns the number of distinct keys across all live workers.
 func (a *Aggregator) Keys() int {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	now := a.now()
 	seen := make(map[string]struct{})
 	for _, w := range a.workers {
+		if a.stale(w, now) {
+			continue
+		}
 		for k := range w.keys {
 			seen[k] = struct{}{}
 		}

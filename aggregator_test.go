@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/workload"
 )
@@ -266,5 +267,137 @@ func TestAggregatorRejectsBadDeltas(t *testing.T) {
 	// DropWorker forgets everything.
 	if !agg.DropWorker("w") || agg.Workers() != 0 || agg.Keys() != 0 {
 		t.Fatal("DropWorker left state behind")
+	}
+}
+
+// TestAggregatorPushDeadline: the service-plane worker GC. A worker that
+// goes silent past the push deadline disappears from the merged view (and
+// is physically dropped by the next sweep), while a worker that keeps
+// pushing is never touched — however far the clock advances.
+func TestAggregatorPushDeadline(t *testing.T) {
+	cfg := Config{Spec: Window{Size: 256, Period: 64}, Phis: []float64{0.5, 0.99}}
+	clk := newFakeClock(time.Unix(5_000_000, 0))
+	agg := NewAggregator()
+	agg.SetPushDeadline(time.Minute, clk.now)
+
+	mkBlob := func(seed int64, key string) []byte {
+		eng, err := NewEngine(EngineConfig{Config: cfg, Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := drainResults(eng)
+		pushAll(t, eng, map[string][]float64{
+			key:      workload.Generate(workload.NewNetMon(seed), 512),
+			"shared": workload.Generate(workload.NewNetMon(seed+50), 256),
+		})
+		eng.Close()
+		<-done
+		var buf bytes.Buffer
+		if _, err := eng.Export(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	silentBlob := mkBlob(1, "only-silent")
+	activeBlob := mkBlob(2, "only-active")
+	apply := func(worker string, blob []byte) {
+		t.Helper()
+		if _, err := agg.Apply(worker, bytes.NewReader(blob)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	apply("silent", silentBlob)
+	apply("active", activeBlob)
+	if agg.Workers() != 2 || agg.Keys() != 3 {
+		t.Fatalf("workers=%d keys=%d, want 2/3", agg.Workers(), agg.Keys())
+	}
+	shared, ok, err := agg.Query("shared")
+	if err != nil || !ok || shared.Streams() != 2 {
+		t.Fatalf("shared: ok=%v streams=%d err=%v", ok, shared.Streams(), err)
+	}
+
+	// The active worker keeps pushing while the silent one stops; each
+	// re-push is within the deadline, so the active worker survives any
+	// total elapsed time.
+	for i := 0; i < 4; i++ {
+		clk.advance(45 * time.Second)
+		apply("active", activeBlob)
+	}
+
+	// The silent worker is past the deadline: reads exclude it (the
+	// snapshot "shrinks") even before any sweep ran.
+	if agg.Workers() != 1 {
+		t.Fatalf("workers=%d, want 1 after deadline", agg.Workers())
+	}
+	if _, ok, _ := agg.Query("only-silent"); ok {
+		t.Fatal("silent worker's key still served")
+	}
+	shared, ok, err = agg.Query("shared")
+	if err != nil || !ok || shared.Streams() != 1 {
+		t.Fatalf("shared after silence: ok=%v streams=%d err=%v", ok, shared.Streams(), err)
+	}
+	snap, err := agg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Len() != 2 {
+		t.Fatalf("snapshot holds %d keys %v, want 2", snap.Len(), snap.Keys())
+	}
+	if _, ok := snap.Get("only-active"); !ok {
+		t.Fatal("active worker's key was dropped")
+	}
+
+	// The Apply-piggybacked sweep already reclaimed the silent worker's
+	// state; an explicit Sweep finds nothing left.
+	if n := agg.Sweep(); n != 0 {
+		t.Fatalf("Sweep dropped %d workers, want 0 (already swept on Apply)", n)
+	}
+
+	// A worker swept while silent re-bootstraps cleanly.
+	apply("silent", silentBlob)
+	if agg.Workers() != 2 || agg.Keys() != 3 {
+		t.Fatalf("after re-bootstrap: workers=%d keys=%d", agg.Workers(), agg.Keys())
+	}
+
+	// Explicit Sweep without interleaved pushes also reclaims.
+	clk.advance(2 * time.Minute)
+	if n := agg.Sweep(); n != 2 {
+		t.Fatalf("Sweep dropped %d workers, want 2", n)
+	}
+	if agg.Workers() != 0 || agg.Keys() != 0 {
+		t.Fatalf("after sweep: workers=%d keys=%d", agg.Workers(), agg.Keys())
+	}
+}
+
+// TestAggregatorPushDeadlineArmsLate: workers folded before the GC was
+// armed get dated at arming time, so they are retired one deadline later,
+// not instantly.
+func TestAggregatorPushDeadlineArmsLate(t *testing.T) {
+	cfg := Config{Spec: Window{Size: 128, Period: 64}, Phis: []float64{0.5}}
+	eng, err := NewEngine(EngineConfig{Config: cfg, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := drainResults(eng)
+	pushAll(t, eng, map[string][]float64{"k": workload.Generate(workload.NewNetMon(3), 256)})
+	eng.Close()
+	<-done
+	var blob bytes.Buffer
+	if _, err := eng.Export(&blob); err != nil {
+		t.Fatal(err)
+	}
+
+	agg := NewAggregator() // GC not armed yet: real clock stamps are fine
+	if _, err := agg.Apply("w", bytes.NewReader(blob.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock(time.Unix(9_000_000, 0))
+	agg.SetPushDeadline(time.Minute, clk.now)
+	if agg.Workers() != 1 {
+		t.Fatal("pre-armed worker retired instantly")
+	}
+	clk.advance(2 * time.Minute)
+	if agg.Workers() != 0 {
+		t.Fatal("pre-armed worker survived the deadline")
 	}
 }

@@ -22,7 +22,12 @@
 // and answers /query, /snapshot and /healthz from the merged view:
 //
 //	qlove-agg -serve -addr 127.0.0.1:7171
+//	qlove-agg -serve -worker-deadline 5m   # GC workers silent for 5 minutes
 //	curl 'http://127.0.0.1:7171/query?key=api/latency&phi=0.99'
+//
+// -worker-deadline bounds the service under worker churn: a worker that
+// stops pushing for that long is dropped from the merged view (like the
+// engine's wall-clock key TTL); if it comes back it re-bootstraps.
 package main
 
 import (
@@ -55,14 +60,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	phi := fs.Float64("phi", 0, "report only this configured quantile (0 = all configured quantiles)")
 	serve := fs.Bool("serve", false, "run as a long-running HTTP aggregation service instead of a batch fold")
 	addr := fs.String("addr", "127.0.0.1:7171", "serve: listen address")
+	deadline := fs.Duration("worker-deadline", 0,
+		"serve: drop workers that stop pushing for this long (0 = keep departed workers forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *deadline < 0 {
+		return fmt.Errorf("-worker-deadline %v < 0", *deadline)
 	}
 	if *serve {
 		if len(fs.Args()) != 0 {
 			return fmt.Errorf("-serve takes no blob arguments; workers push over HTTP")
 		}
-		return serveHTTP(*addr)
+		return serveHTTP(*addr, *deadline)
+	}
+	if *deadline != 0 {
+		return fmt.Errorf("-worker-deadline only applies with -serve")
 	}
 	agg, err := aggregate(fs.Args(), stdin)
 	if err != nil {
@@ -72,14 +85,27 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 }
 
 // serveHTTP runs the aggregation service until the process is killed.
-func serveHTTP(addr string) error {
+// With a worker deadline, departed workers are GC'd: reads exclude them
+// the moment the deadline passes, and a background ticker sweeps their
+// resident state (pushes sweep too, so the ticker only covers the
+// all-workers-gone case).
+func serveHTTP(addr string, deadline time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	agg := qlove.NewAggregator()
+	if deadline > 0 {
+		agg.SetPushDeadline(deadline, nil)
+		go func() {
+			for range time.Tick(deadline / 2) {
+				agg.Sweep()
+			}
+		}()
+	}
 	fmt.Fprintf(os.Stderr, "qlove-agg: serving on http://%s (POST /push?worker=ID, GET /query /snapshot /healthz)\n", ln.Addr())
 	srv := &http.Server{
-		Handler: aggsrv.New(nil).Handler(),
+		Handler: aggsrv.New(agg).Handler(),
 		// Header reads are bounded so a half-open connection cannot pin a
 		// handler goroutine forever; push bodies stay unbounded in time
 		// (a worker on a slow link may legitimately stream for a while —

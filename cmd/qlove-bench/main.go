@@ -10,7 +10,10 @@
 // redundancy pareto fewk-throughput errbound — plus multikey, the keyed
 // Engine scaling scenario (shards × keys throughput sweep with a
 // bit-equivalence check of the hottest key's snapshot against a
-// single-Monitor reference; tune with -keys and -skew).
+// single-Monitor reference; tune with -keys and -skew), and timedkeys,
+// the Engine's wall-clock-window scenario (keys × tick sweep under a
+// deterministic fake clock, hot key verified bit-for-bit against a
+// single-TimedMonitor reference).
 //
 // The -json flag switches to a machine-readable perf record instead: a
 // single JSON document with the ingestion throughput and peak space of
@@ -70,6 +73,7 @@ func run(args []string) error {
 			fmt.Println(name)
 		}
 		fmt.Println("multikey")
+		fmt.Println("timedkeys")
 		fmt.Println("distributed")
 		return nil
 	}
@@ -78,12 +82,12 @@ func run(args []string) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		names = append(append([]string(nil), bench.Order...), "multikey", "distributed")
+		names = append(append([]string(nil), bench.Order...), "multikey", "timedkeys", "distributed")
 	}
 	opts := bench.Options{W: os.Stdout, Seed: *seed, Scale: *scale, Full: *full}
 	for _, name := range names {
 		exp, ok := bench.Experiments[name]
-		if !ok && name != "multikey" && name != "distributed" {
+		if !ok && name != "multikey" && name != "timedkeys" && name != "distributed" {
 			return fmt.Errorf("unknown experiment %q (use -list)", name)
 		}
 		start := time.Now()
@@ -91,6 +95,10 @@ func run(args []string) error {
 		switch name {
 		case "multikey":
 			if err := multiKeyExperiment(os.Stdout, defaultMultiKeyOptions(*scale, *seed, *keys, *skew)); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		case "timedkeys":
+			if err := timedKeysExperiment(os.Stdout, defaultTimedKeysOptions(*scale, *seed, *keys, *skew)); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		case "distributed":
@@ -126,6 +134,9 @@ type perfRecord struct {
 	// Engine holds the keyed multi-key scaling runs (single shard vs the
 	// full shard sweep top), added with the Engine PR.
 	Engine []engineRun `json:"engine,omitempty"`
+	// TimedKeys holds the wall-clock-window runs (keys × tick under a
+	// deterministic fake clock), added with the timed-keys PR.
+	TimedKeys []timedKeysRun `json:"timed_keys,omitempty"`
 	// Distributed holds the multi-process aggregation run (worker engines
 	// exporting wire blobs to a central merge), including the codec's
 	// encode/decode MB/s and ns/snapshot, added with the wire PR.
@@ -188,6 +199,23 @@ func runJSON(scale float64, seed int64, keys int, skew float64, workers, interva
 			return fmt.Errorf("engine shards=%d: %w", shards, err)
 		}
 		rec.Engine = append(rec.Engine, run)
+	}
+	tko := defaultTimedKeysOptions(scale, seed, keys, skew)
+	for _, kc := range tko.Keys {
+		seq, err := materializeTimedReports(tko, kc)
+		if err != nil {
+			return err
+		}
+		for _, tick := range tko.Ticks {
+			run, err := runTimedKeysScenario(tko, seq, kc, tick)
+			if err != nil {
+				return fmt.Errorf("timedkeys keys=%d tick=%v: %w", kc, tick, err)
+			}
+			if !run.HotKeyConsistent {
+				return fmt.Errorf("timedkeys keys=%d tick=%v: hot key diverged from TimedMonitor reference", kc, tick)
+			}
+			rec.TimedKeys = append(rec.TimedKeys, run)
+		}
 	}
 	do := defaultDistOptions(scale, seed, keys, workers, skew)
 	do.Serve, do.Intervals = true, intervals

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// The timedkeys scenario measures the Engine's TIMED mode — per-key
+// wall-clock windows sealed by shard ticks (the paper's §2 "evaluate
+// every one minute for the elements seen last one hour" at keyed scale).
+// A fake clock drives the sweep deterministically: each epoch pushes one
+// round of keyed reports at a frozen timestamp, then advances the clock
+// one timed period and ticks every shard. The hottest key is then
+// verified bit-for-bit against a single TimedMonitor fed that key's
+// sub-stream with identical timestamps and ticks.
+
+// timedKeysOptions parameterizes one scenario run.
+type timedKeysOptions struct {
+	Spec       qlove.Window // count spec governing operator budgets
+	Phis       []float64
+	Keys       []int           // key cardinalities to sweep
+	Ticks      []time.Duration // timed periods to sweep
+	SubWindows int             // timed window = SubWindows × tick
+	Skew       float64
+	Report     int // values per keyed report
+	Epochs     int // tick epochs per run
+	Reports    int // reports per epoch
+	Shards     int
+	Seed       int64
+}
+
+// defaultTimedKeysOptions scales the scenario: at scale 1, 20k keys and
+// ~10M elements per run.
+func defaultTimedKeysOptions(scale float64, seed int64, keys int, skew float64) timedKeysOptions {
+	if keys <= 0 {
+		keys = int(20_000 * scale)
+		if keys < 200 {
+			keys = 200
+		}
+	}
+	epochs := 64
+	reports := int(1_500 * scale)
+	if min := keys/epochs + 1; reports < min {
+		// Every key reports at least once over the run.
+		reports = min
+	}
+	return timedKeysOptions{
+		Spec:       qlove.Window{Size: 4096, Period: 512},
+		Phis:       []float64{0.5, 0.9, 0.99},
+		Keys:       []int{keys / 4, keys},
+		Ticks:      []time.Duration{time.Second, 10 * time.Second},
+		SubWindows: 8,
+		Skew:       skew,
+		Report:     96,
+		Epochs:     epochs,
+		Reports:    reports,
+		Shards:     4,
+		Seed:       seed,
+	}
+}
+
+// timedKeysRun is one (keys, tick) measurement, also emitted into the
+// -json perf record.
+type timedKeysRun struct {
+	Shards           int     `json:"shards"`
+	Keys             int     `json:"keys"`
+	KeysObserved     int     `json:"keys_observed"`
+	TickSeconds      float64 `json:"tick_seconds"`
+	WindowSeconds    float64 `json:"window_seconds"`
+	Elements         int     `json:"elements"`
+	Epochs           int     `json:"epochs"`
+	ThroughputMevS   float64 `json:"throughput_mev_s"`
+	Evaluations      uint64  `json:"evaluations"`
+	DroppedResults   uint64  `json:"dropped_results"`
+	HotKeyConsistent bool    `json:"hot_key_consistent"`
+}
+
+// timedReportSeq is the deterministic epoch-structured report sequence,
+// materialized before the clock starts (like the multikey scenario's): an
+// enumeration pass spread over the early epochs so every key is monitored,
+// then skew-distributed traffic.
+type timedReportSeq struct {
+	keys   []string  // epoch e's reports at [e*perEpoch, (e+1)*perEpoch)
+	vals   []float64 // report i's values at [i*report, (i+1)*report)
+	report int
+	per    int    // reports per epoch
+	hot    string // the Zipf head, replayed through the reference monitor
+}
+
+func materializeTimedReports(o timedKeysOptions, keys int) (timedReportSeq, error) {
+	gen, err := workload.NewKeyed(o.Seed, keys, o.Skew, workload.NewNetMon(o.Seed))
+	if err != nil {
+		return timedReportSeq{}, err
+	}
+	total := o.Epochs * o.Reports
+	if total < keys {
+		total = keys
+	}
+	seq := timedReportSeq{
+		keys:   make([]string, total),
+		vals:   make([]float64, total*o.Report),
+		report: o.Report,
+		per:    (total + o.Epochs - 1) / o.Epochs,
+		hot:    gen.Key(0),
+	}
+	for i := 0; i < total; i++ {
+		vs := seq.vals[i*o.Report : i*o.Report : (i+1)*o.Report]
+		if i < keys {
+			seq.keys[i] = gen.Key(i)
+			gen.Values(vs)
+		} else {
+			key, _ := gen.NextReport(vs)
+			seq.keys[i] = key
+		}
+	}
+	return seq, nil
+}
+
+// epoch returns the report range of epoch e.
+func (r timedReportSeq) epoch(e int) (lo, hi int) {
+	lo = e * r.per
+	if lo > len(r.keys) {
+		lo = len(r.keys)
+	}
+	hi = lo + r.per
+	if hi > len(r.keys) {
+		hi = len(r.keys)
+	}
+	return lo, hi
+}
+
+func (r timedReportSeq) values(i int) []float64 {
+	return r.vals[i*r.report : (i+1)*r.report]
+}
+
+func (r timedReportSeq) elements() int { return len(r.vals) }
+
+// epochs returns how many epochs carry at least one report.
+func (r timedReportSeq) epochs(configured int) int {
+	used := (len(r.keys) + r.per - 1) / r.per
+	if used > configured {
+		return configured
+	}
+	return used
+}
+
+// runTimedKeysScenario ingests the sequence under one (keys, tick)
+// configuration and verifies the hottest key against a TimedMonitor
+// reference.
+func runTimedKeysScenario(o timedKeysOptions, seq timedReportSeq, keys int, tick time.Duration) (timedKeysRun, error) {
+	cfg := qlove.Config{Spec: o.Spec, Phis: o.Phis}
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := newBenchClock(start)
+	window := time.Duration(o.SubWindows) * tick
+	eng, err := qlove.NewEngine(qlove.EngineConfig{
+		Config:       cfg,
+		Shards:       o.Shards,
+		QueueDepth:   256,
+		ResultBuffer: 1 << 14,
+		TimedWindow:  window,
+		TimedPeriod:  tick,
+		Clock:        clk.now,
+	})
+	if err != nil {
+		return timedKeysRun{}, err
+	}
+	var evals uint64
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range eng.Results() {
+			evals++
+		}
+	}()
+
+	epochs := seq.epochs(o.Epochs)
+	begin := time.Now()
+	for e := 0; e < epochs; e++ {
+		lo, hi := seq.epoch(e)
+		for i := lo; i < hi; i++ {
+			if err := eng.Push(seq.keys[i], seq.values(i)); err != nil {
+				return timedKeysRun{}, err
+			}
+		}
+		// Fence: a control round on every shard orders the queued batches
+		// before the clock moves, so deliveries are stamped with this
+		// epoch's (frozen) time and the run is deterministic.
+		eng.Keys()
+		clk.advance(tick)
+		eng.Tick()
+	}
+	keysObserved := eng.Keys()
+	engSnap, hotOK := eng.Query(seq.hot)
+	eng.Close()
+	elapsed := time.Since(begin)
+	<-drained
+	if !hotOK {
+		return timedKeysRun{}, fmt.Errorf("hot key %q not monitored", seq.hot)
+	}
+
+	run := timedKeysRun{
+		Shards:         o.Shards,
+		Keys:           keys,
+		KeysObserved:   keysObserved,
+		TickSeconds:    tick.Seconds(),
+		WindowSeconds:  window.Seconds(),
+		Elements:       seq.elements(),
+		Epochs:         epochs,
+		ThroughputMevS: float64(seq.elements()) / elapsed.Seconds() / 1e6,
+		Evaluations:    evals,
+		DroppedResults: eng.Dropped(),
+	}
+
+	// The reference: one TimedMonitor fed the hot key's reports with
+	// identical timestamps, flushed at every tick.
+	q, err := qlove.New(cfg)
+	if err != nil {
+		return timedKeysRun{}, err
+	}
+	ref, err := qlove.NewTimedMonitor(q, window, tick)
+	if err != nil {
+		return timedKeysRun{}, err
+	}
+	for e := 0; e < epochs; e++ {
+		at := start.Add(time.Duration(e) * tick)
+		lo, hi := seq.epoch(e)
+		for i := lo; i < hi; i++ {
+			if seq.keys[i] == seq.hot {
+				ref.PushBatch(at, seq.values(i))
+			}
+		}
+		ref.Flush(at.Add(tick))
+	}
+	run.HotKeyConsistent = bitsEqual(engSnap.Estimates(), q.Snapshot().Estimates())
+	return run, nil
+}
+
+// benchClock is a concurrency-safe manual clock for the fake-clock runs.
+type benchClock struct {
+	mu sync.Mutex
+	at time.Time
+}
+
+func newBenchClock(start time.Time) *benchClock { return &benchClock{at: start} }
+
+func (c *benchClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.at
+}
+
+func (c *benchClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.at = c.at.Add(d)
+	c.mu.Unlock()
+}
+
+// timedKeysExperiment prints the keys × tick sweep as a table.
+func timedKeysExperiment(w io.Writer, o timedKeysOptions) error {
+	fmt.Fprintf(w, "timed keys: wall-clock windows of %d ticks, %s count-spec, %d-value reports, %d epochs, shards=%d, zipf %.2f\n",
+		o.SubWindows, o.Spec, o.Report, o.Epochs, o.Shards, o.Skew)
+	for _, keys := range o.Keys {
+		seq, err := materializeTimedReports(o, keys)
+		if err != nil {
+			return err
+		}
+		for _, tick := range o.Ticks {
+			run, err := runTimedKeysScenario(o, seq, keys, tick)
+			if err != nil {
+				return err
+			}
+			verdict := "bit-identical"
+			if !run.HotKeyConsistent {
+				verdict = "MISMATCH"
+			}
+			fmt.Fprintf(w, "  keys=%-7d tick=%-6s window=%-6s throughput=%8.2f Mev/s  evals=%-8d dropped=%-6d hot-key vs TimedMonitor: %s\n",
+				run.KeysObserved, tick, time.Duration(run.WindowSeconds*float64(time.Second)),
+				run.ThroughputMevS, run.Evaluations, run.DroppedResults, verdict)
+			if !run.HotKeyConsistent {
+				return fmt.Errorf("keys=%d tick=%v: hot-key snapshot diverged from TimedMonitor reference", keys, tick)
+			}
+			if run.Evaluations == 0 {
+				return fmt.Errorf("keys=%d tick=%v: no timed evaluations produced", keys, tick)
+			}
+		}
+	}
+	return nil
+}

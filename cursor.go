@@ -1,0 +1,164 @@
+package qlove
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The serialized ExportCursor form: magic, a format version, then the
+// cursor's ingredients — the have flag, the engine instance binding, the
+// per-shard mutation clocks, and the per-key {incarnation, generation,
+// resident} triples in sorted key order (so identical cursors marshal to
+// identical bytes). Integers are unsigned varints; keys are
+// length-prefixed UTF-8.
+var cursorMagic = [4]byte{'Q', 'L', 'V', 'C'}
+
+const cursorVersion = 1
+
+// MarshalBinary serializes the cursor so a worker can persist it across
+// process restarts (or hand it between transport sessions) and resume
+// delta exports where the destination left off, instead of re-shipping a
+// full bootstrap. It implements encoding.BinaryMarshaler.
+//
+// A deserialized cursor is only as good as the engine state it described:
+// resuming pure deltas requires the SAME engine instance (same key→shard
+// placement, same operator generations) and destination it was filled
+// against. The serialized form carries the engine's instance binding, so
+// restoring a cursor against a REBUILT engine is detected by ExportDelta
+// and degrades to a safe tombstone+bootstrap re-ship — it can never
+// anchor deltas on another engine's counters, however they collide.
+func (c *ExportCursor) MarshalBinary() ([]byte, error) {
+	keys := make([]string, 0, len(c.keys))
+	for k := range c.keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := append([]byte(nil), cursorMagic[:]...)
+	buf = binary.AppendUvarint(buf, cursorVersion)
+	if c.have {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, c.engine)
+	buf = binary.AppendUvarint(buf, uint64(len(c.shards)))
+	for _, m := range c.shards {
+		buf = binary.AppendUvarint(buf, m)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		kc := c.keys[k]
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, kc.inc)
+		buf = binary.AppendUvarint(buf, kc.gen)
+		buf = binary.AppendUvarint(buf, uint64(kc.resident))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary restores a cursor serialized by MarshalBinary,
+// replacing the receiver's state entirely. It implements
+// encoding.BinaryUnmarshaler. On error the receiver is reset to the zero
+// cursor (the always-safe state: the next export re-bootstraps).
+func (c *ExportCursor) UnmarshalBinary(data []byte) (err error) {
+	*c = ExportCursor{}
+	defer func() {
+		if err != nil {
+			*c = ExportCursor{}
+		}
+	}()
+	if len(data) < len(cursorMagic) || string(data[:len(cursorMagic)]) != string(cursorMagic[:]) {
+		return fmt.Errorf("qlove: cursor: bad magic")
+	}
+	data = data[len(cursorMagic):]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("qlove: cursor: truncated varint")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	ver, err := next()
+	if err != nil {
+		return err
+	}
+	if ver != cursorVersion {
+		return fmt.Errorf("qlove: cursor: unknown version %d", ver)
+	}
+	if len(data) < 1 {
+		return fmt.Errorf("qlove: cursor: truncated have flag")
+	}
+	switch data[0] {
+	case 0:
+	case 1:
+		c.have = true
+	default:
+		return fmt.Errorf("qlove: cursor: bad have flag %d", data[0])
+	}
+	data = data[1:]
+	if c.engine, err = next(); err != nil {
+		return err
+	}
+	nShards, err := next()
+	if err != nil {
+		return err
+	}
+	if nShards > uint64(len(data)) {
+		// Every clock costs at least one byte; anything larger is corrupt
+		// (and must not size an allocation).
+		return fmt.Errorf("qlove: cursor: shard count %d exceeds payload", nShards)
+	}
+	if nShards > 0 {
+		c.shards = make([]uint64, nShards)
+		for i := range c.shards {
+			if c.shards[i], err = next(); err != nil {
+				return err
+			}
+		}
+	}
+	nKeys, err := next()
+	if err != nil {
+		return err
+	}
+	if nKeys > uint64(len(data)) {
+		return fmt.Errorf("qlove: cursor: key count %d exceeds payload", nKeys)
+	}
+	c.keys = make(map[string]keyCursor, nKeys)
+	for i := uint64(0); i < nKeys; i++ {
+		klen, err := next()
+		if err != nil {
+			return err
+		}
+		if klen > uint64(len(data)) {
+			return fmt.Errorf("qlove: cursor: key length %d exceeds payload", klen)
+		}
+		k := string(data[:klen])
+		data = data[klen:]
+		if _, dup := c.keys[k]; dup {
+			return fmt.Errorf("qlove: cursor: duplicate key %q", k)
+		}
+		var kc keyCursor
+		if kc.inc, err = next(); err != nil {
+			return err
+		}
+		if kc.gen, err = next(); err != nil {
+			return err
+		}
+		res, err := next()
+		if err != nil {
+			return err
+		}
+		if res > uint64(int(^uint(0)>>1)) {
+			return fmt.Errorf("qlove: cursor: resident count %d overflows", res)
+		}
+		kc.resident = int(res)
+		c.keys[k] = kc
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("qlove: cursor: %d trailing bytes", len(data))
+	}
+	return nil
+}

@@ -57,6 +57,8 @@ type Engine struct {
 	failed  atomic.Uint64
 	lastErr atomic.Value // engineErr; atomic.Value needs one concrete type
 	seed    maphash.Seed
+	id      uint64    // random instance identity; binds ExportCursors to THIS engine
+	timed   bool      // keys run wall-clock windows (TimedWindow set)
 	bufs    sync.Pool // *[]float64 ingest buffers
 	wg      sync.WaitGroup
 
@@ -112,10 +114,35 @@ type EngineConfig struct {
 	// delivery-count clock: a quiet fleet still reclaims churned keys.
 	// Both modes may be enabled together. 0 disables wall-clock expiry.
 	KeyTTLDuration time.Duration
-	// Clock overrides the wall-clock source for KeyTTLDuration (tests use
-	// a fake clock for deterministic expiry). nil means time.Now. The
-	// function is called from shard goroutines and must be safe for
-	// concurrent use.
+	// TimedWindow and TimedPeriod switch the engine into TIMED mode: every
+	// key answers over a wall-clock sliding window of TimedWindow,
+	// re-evaluated every TimedPeriod — the paper's §2 "evaluate every one
+	// minute for the elements seen last one hour" — instead of count-based
+	// Spec windows. Each shard owns a stream.TimedPusher per key (the same
+	// state machine TimedMonitor wraps): batch deliveries are stamped with
+	// the shard's clock, period boundaries seal whatever the sub-window
+	// holds, and shard ticks Flush every key so evaluations fire on wall
+	// time even for keys receiving no traffic. The count-based Config.Spec
+	// still governs the operator's few-k budgets (and caps a sub-window's
+	// element count via the count auto-seal); choose its Size/Period to
+	// approximate the expected events per timed window/period. TimedWindow
+	// must be a positive multiple of TimedPeriod. Both zero selects the
+	// count-based mode. Timed engines require policies that support
+	// time-driven sealing (the built-in QLOVE path does; a custom Factory
+	// must produce policies implementing EndPeriod/SubWindowCount/SealGen).
+	TimedWindow time.Duration
+	// TimedPeriod is the timed evaluation period; see TimedWindow.
+	TimedPeriod time.Duration
+	// Tick is the cadence of the shard flush ticker in timed mode: every
+	// Tick, each shard Flushes its keys at the current clock (the flush
+	// also piggybacks on batch deliveries once overdue, and Engine.Tick
+	// drives it explicitly for deterministic fake-clock tests). Defaults
+	// to TimedPeriod. Only meaningful in timed mode.
+	Tick time.Duration
+	// Clock overrides the wall-clock source for KeyTTLDuration and timed
+	// windows (tests use a fake clock for deterministic expiry and timed
+	// flushes). nil means time.Now. The function is called from shard
+	// goroutines and must be safe for concurrent use.
 	Clock func() time.Time
 }
 
@@ -149,6 +176,15 @@ type engineShard struct {
 	now        func() time.Time
 	nextWallAt time.Time
 
+	// Timed mode (timedWindow > 0): every key is a TimedPusher sealing
+	// wall-clock sub-windows; a ticker at tick (plus a delivery piggyback
+	// once nextTickAt is overdue, plus explicit Engine.Tick control ops)
+	// Flushes every key at the shard's clock.
+	timedWindow time.Duration
+	timedPeriod time.Duration
+	tick        time.Duration
+	nextTickAt  time.Time
+
 	// Delta-export bookkeeping: mutations counts every state change an
 	// export could care about (key created, key evicted, any seal) so an
 	// ExportDelta whose cursor saw the current value skips the shard
@@ -160,8 +196,9 @@ type engineShard struct {
 }
 
 type keyEntry struct {
-	pusher   *stream.Pusher
-	snap     Snapshotter // non-nil when the policy supports snapshots
+	pusher   *stream.Pusher      // count-based mode
+	timed    *stream.TimedPusher // timed mode (exactly one of the two is set)
+	snap     Snapshotter         // non-nil when the policy supports snapshots
 	emit     func(stream.Evaluation)
 	lastSeen uint64    // shard clock at this key's most recent batch
 	lastAt   time.Time // wall clock at this key's most recent batch (wallTTL > 0)
@@ -169,6 +206,15 @@ type keyEntry struct {
 	gen      uint64    // last observed seal generation (gens != nil)
 	resident int       // last observed resident summary count (gens != nil)
 	gens     sealGenerator
+}
+
+// policy returns the operator behind whichever pusher variant the entry
+// runs (count-based or timed).
+func (ent *keyEntry) policy() stream.Policy {
+	if ent.timed != nil {
+		return ent.timed.Policy()
+	}
+	return ent.pusher.Policy()
 }
 
 // sealGenerator is the optional policy capability delta exports key off:
@@ -199,6 +245,7 @@ const (
 	ctlEvict
 	ctlCount
 	ctlDelta
+	ctlTick
 )
 
 type engineCtl struct {
@@ -261,6 +308,20 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if resBuf <= 0 {
 		resBuf = defaultResultBuffer
 	}
+	timed := cfg.TimedWindow != 0 || cfg.TimedPeriod != 0 || cfg.Tick != 0
+	if timed {
+		if cfg.TimedPeriod <= 0 || cfg.TimedWindow < cfg.TimedPeriod || cfg.TimedWindow%cfg.TimedPeriod != 0 {
+			return nil, fmt.Errorf("qlove: engine timed window %v must be a positive multiple of period %v",
+				cfg.TimedWindow, cfg.TimedPeriod)
+		}
+		if cfg.Tick < 0 {
+			return nil, fmt.Errorf("qlove: engine Tick %v < 0", cfg.Tick)
+		}
+	}
+	tick := cfg.Tick
+	if timed && tick == 0 {
+		tick = cfg.TimedPeriod
+	}
 	spec := cfg.Spec
 	var mkPool func() (*core.Pool, error)
 	if cfg.Factory == nil {
@@ -282,11 +343,20 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		if p == nil {
 			return nil, fmt.Errorf("qlove: engine factory returned nil policy")
 		}
+		if timed {
+			if _, ok := p.(stream.TimedPolicy); !ok {
+				return nil, fmt.Errorf("qlove: timed engine: policy %q does not support time-driven sealing", p.Name())
+			}
+		}
 	}
 	e := &Engine{
 		spec:    spec,
+		timed:   timed,
 		results: make(chan KeyedResult, resBuf),
 		seed:    maphash.MakeSeed(),
+		// A fresh random seed hashed over nothing is a cheap random
+		// instance id; 1 is added so 0 stays the "unbound cursor" marker.
+		id: maphash.Bytes(maphash.MakeSeed(), nil) | 1,
 	}
 	e.bufs.New = func() any {
 		b := make([]float64, 0, defaultBatchCap)
@@ -305,19 +375,25 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	e.shards = make([]*engineShard, shards)
 	for i := range e.shards {
 		s := &engineShard{
-			eng:     e,
-			in:      make(chan engineMsg, depth),
-			keys:    make(map[string]*keyEntry),
-			factory: cfg.Factory,
-			ttl:     uint64(cfg.KeyTTL),
-			wallTTL: cfg.KeyTTLDuration,
-			now:     now,
+			eng:         e,
+			in:          make(chan engineMsg, depth),
+			keys:        make(map[string]*keyEntry),
+			factory:     cfg.Factory,
+			ttl:         uint64(cfg.KeyTTL),
+			wallTTL:     cfg.KeyTTLDuration,
+			now:         now,
+			timedWindow: cfg.TimedWindow,
+			timedPeriod: cfg.TimedPeriod,
+			tick:        tick,
 		}
 		if s.ttl > 0 {
 			s.nextSweep = sweepInterval(s.ttl)
 		}
 		if s.wallTTL > 0 {
 			s.nextWallAt = now().Add(wallSweepInterval(s.wallTTL))
+		}
+		if s.tick > 0 {
+			s.nextTickAt = now().Add(s.tick)
 		}
 		if mkPool != nil {
 			pool, err := mkPool()
@@ -499,6 +575,14 @@ type ExportCursor struct {
 	keys   map[string]keyCursor
 	shards []uint64
 	have   bool
+	// engine is the instance id of the Engine the cursor was filled
+	// against (0 = not yet bound). Incarnations and generations are only
+	// meaningful within one engine instance; ExportDelta checks the
+	// binding so a persisted cursor restored against a REBUILT engine —
+	// whose per-shard incarnation counters restart and readily collide —
+	// degrades to a safe tombstone+bootstrap re-ship instead of anchoring
+	// deltas on another engine's state.
+	engine uint64
 }
 
 // Keys returns how many keys the cursor currently tracks.
@@ -550,6 +634,21 @@ func (e *Engine) ExportDelta(w io.Writer, cur *ExportCursor) (int64, error) {
 	defer e.mu.RUnlock()
 	if cur.keys == nil {
 		cur.keys = make(map[string]keyCursor)
+	}
+	if cur.engine != 0 && cur.engine != e.id {
+		// The cursor was filled against a different engine (a rebuilt
+		// worker restoring a persisted cursor): its incarnations,
+		// generations and shard clocks mean nothing here and could
+		// collide with this engine's counters. Zero the incarnations —
+		// no live key has incarnation 0 — so every cursor key re-ships
+		// as tombstone + bootstrap, the replacement a destination can
+		// always fold, and drop the shard clocks so no shard is skipped.
+		for k, kc := range cur.keys {
+			kc.inc = 0
+			cur.keys[k] = kc
+		}
+		cur.shards = nil
+		cur.have = false
 	}
 	have := cur.have && len(cur.shards) == len(e.shards)
 	if len(cur.shards) != len(e.shards) {
@@ -659,6 +758,7 @@ func (e *Engine) assembleDelta(w io.Writer, cur *ExportCursor, resps []*shardDel
 		cur.shards[i] = r.mutations
 	}
 	cur.have = true
+	cur.engine = e.id
 	return n, nil
 }
 
@@ -674,6 +774,47 @@ func (e *Engine) ImportSnapshots(r io.Reader) (EngineSnapshot, error) {
 		return EngineSnapshot{}, err
 	}
 	return e.Snapshot().Merge(remote)
+}
+
+// Tick flushes every timed key against the engine's current clock: period
+// boundaries at or before it seal their sub-windows, expired sub-windows
+// drop, and the evaluations fan into Results. The flush rides each
+// shard's control queue, so it is ordered with ingest on every key —
+// deterministic (fake-clock) tests and external schedulers drive timed
+// windows through it without waiting for the shard tickers. Tick returns
+// after every shard has flushed. It is a no-op for count-based engines.
+// After Close it flushes the final state directly — sealing trailing
+// sub-windows before a last Export — but the evaluations are discarded,
+// since the Results channel has already closed.
+func (e *Engine) Tick() {
+	if !e.timed {
+		return
+	}
+	e.mu.RLock()
+	if !e.closed {
+		resps := make([]chan engineCtlResp, len(e.shards))
+		for i, s := range e.shards {
+			resps[i] = make(chan engineCtlResp, 1)
+			s.in <- engineMsg{ctl: &engineCtl{op: ctlTick, resp: resps[i]}}
+		}
+		e.mu.RUnlock()
+		// The shard drains its queue even while Close runs, so the
+		// responses always arrive; waiting outside the lock keeps Close
+		// unblocked.
+		for _, ch := range resps {
+			<-ch
+		}
+		return
+	}
+	e.mu.RUnlock()
+	// After Close the shard goroutines are gone; like post-Close Evict,
+	// flushing mutates shard state directly and must exclude the
+	// RLock-holding readers.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range e.shards {
+		s.timedFlush(s.now(), false)
+	}
 }
 
 // Evict retires a key, returning whether it existed. The key's operator
@@ -744,13 +885,22 @@ func (e *Engine) Close() {
 
 // run is a shard's single-writer loop: every operator in s.keys is touched
 // exclusively here. With wall-clock TTL enabled a ticker wakes the loop on
-// quiet shards so idle keys expire even with no deliveries at all.
+// quiet shards so idle keys expire even with no deliveries at all; in
+// timed mode a second ticker Flushes every key so evaluations fire on wall
+// time even for keys receiving no traffic. Both tickers ride the same
+// select as ingest, so ticks never stop ingestion — they interleave with
+// it between batches.
 func (s *engineShard) run() {
-	var tick <-chan time.Time
+	var tick, flush <-chan time.Time
 	if s.wallTTL > 0 {
 		t := time.NewTicker(wallSweepInterval(s.wallTTL))
 		defer t.Stop()
 		tick = t.C
+	}
+	if s.tick > 0 {
+		t := time.NewTicker(s.tick)
+		defer t.Stop()
+		flush = t.C
 	}
 	for {
 		select {
@@ -761,6 +911,8 @@ func (s *engineShard) run() {
 			s.handle(msg)
 		case <-tick:
 			s.wallSweep(s.now())
+		case <-flush:
+			s.timedFlush(s.now(), true)
 		}
 	}
 }
@@ -771,6 +923,14 @@ func (s *engineShard) handle(msg engineMsg) {
 		s.control(msg.ctl)
 		return
 	}
+	// One clock read per delivery, shared by the batch timestamp, the TTL
+	// stamp and both overdue checks: the hot loop pays a single now() (a
+	// mutex round-trip under injected fake clocks) and the whole delivery
+	// sees one coherent instant.
+	var now time.Time
+	if s.wallTTL > 0 || s.tick > 0 {
+		now = s.now()
+	}
 	ent, err := s.entry(msg.key)
 	if err != nil {
 		s.eng.failed.Add(1)
@@ -779,29 +939,69 @@ func (s *engineShard) handle(msg engineMsg) {
 		s.clock++
 		ent.lastSeen = s.clock
 		if s.wallTTL > 0 {
-			ent.lastAt = s.now()
+			ent.lastAt = now
 		}
-		ent.pusher.PushBatch(*msg.buf, ent.emit)
-		if ent.gens != nil {
-			if g, r := ent.gens.SealGen(), ent.gens.SubWindowCount(); g != ent.gen || r != ent.resident {
-				ent.gen, ent.resident = g, r
-				s.mutations++
-			}
+		if ent.timed != nil {
+			// The batch is stamped with the shard's clock at delivery;
+			// boundary crossings at or before it seal and evaluate first,
+			// exactly as a TimedMonitor handed the same timestamp would.
+			ent.timed.PushBatch(now, *msg.buf, ent.emit)
 		} else {
-			// No seal clock to compare: conservatively mark the shard
-			// dirty on every delivery.
-			s.mutations++
+			ent.pusher.PushBatch(*msg.buf, ent.emit)
 		}
+		s.noteMutation(ent)
 	}
 	s.eng.bufs.Put(msg.buf)
 	if s.ttl > 0 && s.clock >= s.nextSweep {
 		s.sweep()
 	}
-	if s.wallTTL > 0 {
-		if now := s.now(); !now.Before(s.nextWallAt) {
-			s.wallSweep(now)
-		}
+	if s.wallTTL > 0 && !now.Before(s.nextWallAt) {
+		s.wallSweep(now)
 	}
+	if s.tick > 0 && !now.Before(s.nextTickAt) {
+		s.timedFlush(now, true)
+	}
+}
+
+// noteMutation folds one key's operator-state change into the shard's
+// delta-export bookkeeping: the mutation clock advances exactly when the
+// key's capture would differ (a seal advanced SealGen, or expiry shrank
+// the resident count). Policies without a seal clock conservatively mark
+// the shard dirty on every touch.
+func (s *engineShard) noteMutation(ent *keyEntry) {
+	if ent.gens != nil {
+		if g, r := ent.gens.SealGen(), ent.gens.SubWindowCount(); g != ent.gen || r != ent.resident {
+			ent.gen, ent.resident = g, r
+			s.mutations++
+		}
+	} else {
+		s.mutations++
+	}
+}
+
+// timedFlush drives every timed key's state machine to now: boundary
+// crossings seal the in-flight sub-windows, expire departed ones, and —
+// when deliver is set — fan evaluations into the engine's results
+// channel. Sealed periods advance the same seal-generation bookkeeping
+// batch deliveries do, so delta exports ship tick-driven seals exactly
+// like traffic-driven ones. It runs on the shard goroutine between
+// batches (from the flush ticker, a delivery piggyback, or a ctlTick
+// control op), so it is ordered with ingest on every key the shard owns;
+// post-Close flushes pass deliver=false because the Results channel is
+// already closed.
+func (s *engineShard) timedFlush(now time.Time, deliver bool) {
+	for _, ent := range s.keys {
+		if ent.timed == nil {
+			continue
+		}
+		emit := ent.emit
+		if !deliver {
+			emit = nil
+		}
+		ent.timed.Flush(now, emit)
+		s.noteMutation(ent)
+	}
+	s.nextTickAt = now.Add(s.tick)
 }
 
 // sweepInterval spaces TTL sweeps: half the TTL, so an idle key is
@@ -857,11 +1057,20 @@ func (s *engineShard) entry(key string) (*keyEntry, error) {
 			return nil, fmt.Errorf("qlove: nil policy for key %q", key)
 		}
 	}
-	pusher, err := stream.NewPusher(pol, s.eng.spec)
-	if err != nil {
-		return nil, err
+	ent := &keyEntry{}
+	if s.timedWindow > 0 {
+		tp, err := stream.NewTimedPusher(pol, s.timedWindow, s.timedPeriod)
+		if err != nil {
+			return nil, err
+		}
+		ent.timed = tp
+	} else {
+		pusher, err := stream.NewPusher(pol, s.eng.spec)
+		if err != nil {
+			return nil, err
+		}
+		ent.pusher = pusher
 	}
-	ent := &keyEntry{pusher: pusher}
 	ent.snap, _ = pol.(Snapshotter)
 	ent.gens, _ = pol.(sealGenerator)
 	s.incSeq++
@@ -906,6 +1115,9 @@ func (s *engineShard) control(ctl *engineCtl) {
 		ctl.resp <- engineCtlResp{n: len(s.keys)}
 	case ctlDelta:
 		ctl.resp <- engineCtlResp{delta: s.deltaResp(ctl.cur)}
+	case ctlTick:
+		s.timedFlush(s.now(), true)
+		ctl.resp <- engineCtlResp{}
 	}
 }
 
@@ -946,7 +1158,7 @@ func (s *engineShard) evict(key string) bool {
 	delete(s.keys, key)
 	s.mutations++
 	if s.pool != nil {
-		if cp, ok := ent.pusher.Policy().(*core.Policy); ok {
+		if cp, ok := ent.policy().(*core.Policy); ok {
 			s.pool.Put(cp)
 		}
 	}

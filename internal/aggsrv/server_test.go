@@ -8,7 +8,9 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/workload"
@@ -253,5 +255,94 @@ func TestServiceMultiWorkerMerge(t *testing.T) {
 		if math.Float64bits(rep.Estimates[i]) != math.Float64bits(want[i]) {
 			t.Fatalf("merged ϕ[%d]: service %v != in-process %v", i, rep.Estimates[i], want[i])
 		}
+	}
+}
+
+// TestServiceWorkerGC: with a push deadline armed on the served
+// aggregator, /snapshot and /healthz shrink after a worker goes silent —
+// and never drop a worker that keeps pushing.
+func TestServiceWorkerGC(t *testing.T) {
+	cfg := qlove.Config{Spec: qlove.Window{Size: 256, Period: 64}, Phis: []float64{0.5}}
+	now := time.Unix(4_000_000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	agg := qlove.NewAggregator()
+	agg.SetPushDeadline(time.Minute, clock)
+	server := New(agg)
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	export := func(seed int64, key string) []byte {
+		eng := mkEngine(t, cfg)
+		defer eng.Close()
+		if err := eng.Push(key, workload.Generate(workload.NewNetMon(seed), 512)); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := eng.Export(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	silent := export(1, "silent/latency")
+	active := export(2, "active/latency")
+
+	push := func(worker string, blob []byte) {
+		t.Helper()
+		resp, body := post(t, srv, "/push?worker="+worker, blob)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("push %s: %s (%s)", worker, resp.Status, body)
+		}
+	}
+	keys := func() int {
+		t.Helper()
+		_, body := get(t, srv, "/snapshot")
+		var doc struct {
+			Keys []KeyReport `json:"keys"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return len(doc.Keys)
+	}
+	workers := func() int {
+		t.Helper()
+		_, body := get(t, srv, "/healthz")
+		var h Health
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatal(err)
+		}
+		return h.Workers
+	}
+
+	push("silent", silent)
+	push("active", active)
+	if keys() != 2 || workers() != 2 {
+		t.Fatalf("keys=%d workers=%d, want 2/2", keys(), workers())
+	}
+
+	// The active worker keeps pushing within the deadline; the silent one
+	// stops. The service's view shrinks to the active worker only.
+	for i := 0; i < 3; i++ {
+		advance(45 * time.Second)
+		push("active", active)
+	}
+	if keys() != 1 || workers() != 1 {
+		t.Fatalf("after silence: keys=%d workers=%d, want 1/1", keys(), workers())
+	}
+	if resp, _ := get(t, srv, "/query?key=silent/latency"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("silent worker's key still served: %s", resp.Status)
+	}
+	if resp, _ := get(t, srv, "/query?key=active/latency"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("active worker's key dropped: %s", resp.Status)
 	}
 }

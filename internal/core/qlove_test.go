@@ -381,3 +381,44 @@ func TestName(t *testing.T) {
 		t.Fatalf("Name = %q", p.Name())
 	}
 }
+
+// TestSealGenClock pins the seal-generation contract the timed plane and
+// delta exports lean on: the clock advances exactly once per sealed
+// summary — count-triggered or EndPeriod-forced — never on empty periods,
+// never on expiry, and Reset rewinds it to zero. The operator also
+// implements the full stream.TimedPolicy surface, which is what lets an
+// Engine drive it through wall-clock windows.
+func TestSealGenClock(t *testing.T) {
+	var _ stream.TimedPolicy = (*Policy)(nil)
+	p := mustNew(t, Config{Spec: window.Spec{Size: 8, Period: 4}, Phis: []float64{0.5}})
+	if p.SealGen() != 0 {
+		t.Fatalf("fresh operator at generation %d", p.SealGen())
+	}
+	// An empty forced seal is a no-op on the clock.
+	p.EndPeriod()
+	if p.SealGen() != 0 {
+		t.Fatal("empty EndPeriod advanced the seal clock")
+	}
+	// A partial sub-window force-seals: one generation.
+	p.Observe(1)
+	p.EndPeriod()
+	if p.SealGen() != 1 || p.SubWindowCount() != 1 {
+		t.Fatalf("after forced seal: gen=%d resident=%d", p.SealGen(), p.SubWindowCount())
+	}
+	// A full count period auto-seals: one more generation.
+	p.ObserveBatch([]float64{2, 3, 4, 5})
+	if p.SealGen() != 2 || p.SubWindowCount() != 2 {
+		t.Fatalf("after count seal: gen=%d resident=%d", p.SealGen(), p.SubWindowCount())
+	}
+	// Expiry shrinks the residency but NEVER the generation clock — the
+	// invariant that lets a delta cursor distinguish "new seals to ship"
+	// from "window slid" (which only SubWindowCount reflects).
+	p.Expire(nil)
+	if p.SealGen() != 2 || p.SubWindowCount() != 1 {
+		t.Fatalf("after expiry: gen=%d resident=%d", p.SealGen(), p.SubWindowCount())
+	}
+	p.Reset()
+	if p.SealGen() != 0 || p.SubWindowCount() != 0 {
+		t.Fatalf("after Reset: gen=%d resident=%d", p.SealGen(), p.SubWindowCount())
+	}
+}

@@ -53,7 +53,11 @@
 // that never stop ingestion. Snapshots of operators that consumed
 // disjoint sub-streams of one logical key Merge into a single
 // logical-window view. With EngineConfig.KeyTTL set, idle keys expire
-// automatically and their operators recycle. See Engine.
+// automatically and their operators recycle. With
+// EngineConfig.TimedWindow/TimedPeriod set, keys answer over wall-clock
+// windows instead — TimedMonitor's §2 "evaluate every minute over the
+// last hour" semantics behind the same keyed API, sealed by shard ticks.
+// See Engine.
 //
 // # Distributed aggregation
 //

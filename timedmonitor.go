@@ -3,33 +3,27 @@ package qlove
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/stream"
 )
 
 // TimedMonitor drives a QLOVE operator with time-defined windows — the
 // paper's §2 example query shape "evaluate every one minute (window
 // period) for the elements seen last one hour (window size)". Sub-windows
 // are period-aligned wall-clock intervals whose populations vary with
-// traffic; QLOVE's Level-2 estimator handles the variable sub-window
-// sizes unchanged (the Appendix A argument does not require equal m).
+// traffic; QLOVE's Level-2 estimator handles the variable sub-window sizes
+// unchanged (the Appendix A argument does not require equal m).
+//
+// It is a thin single-stream adapter over the same timed state machine an
+// Engine shard runs for every timed key (stream.TimedPusher): the boundary
+// protocol, seal-count ring and expiry accounting live there, shared
+// between the two front ends — exactly as Monitor shares stream.Pusher
+// with count-based engine keys.
 //
 // Only the QLOVE operator supports time-driven sealing (via EndPeriod);
 // count-based policies should use Monitor instead.
 type TimedMonitor struct {
-	q       *QLOVE
-	size    time.Duration
-	period  time.Duration
-	started bool
-	// boundary is the end of the current in-flight sub-window.
-	boundary time.Time
-	// sealed counts completed periods; the window spans size/period of
-	// them.
-	sealed int
-	// produced is a ring over the last size/period periods recording
-	// whether each produced a (non-empty) summary, so time-based expiry
-	// drops exactly the summaries that left the window even when some
-	// periods were empty.
-	produced []bool
-	evals    int
+	tp *stream.TimedPusher
 }
 
 // NewTimedMonitor builds a time-driven monitor. size must be a positive
@@ -40,32 +34,19 @@ func NewTimedMonitor(q *QLOVE, size, period time.Duration) (*TimedMonitor, error
 	if q == nil {
 		return nil, fmt.Errorf("qlove: nil policy")
 	}
-	if period <= 0 || size < period || size%period != 0 {
-		return nil, fmt.Errorf("qlove: window %v must be a positive multiple of period %v", size, period)
+	tp, err := stream.NewTimedPusher(q, size, period)
+	if err != nil {
+		return nil, fmt.Errorf("qlove: %w", err)
 	}
-	return &TimedMonitor{
-		q:        q,
-		size:     size,
-		period:   period,
-		produced: make([]bool, int(size/period)),
-	}, nil
+	return &TimedMonitor{tp: tp}, nil
 }
-
-// subWindows returns how many sub-windows one window spans.
-func (m *TimedMonitor) subWindows() int { return int(m.size / m.period) }
 
 // Push feeds one timestamped element. Timestamps must be non-decreasing.
 // When t crosses one or more period boundaries the in-flight sub-window
 // is sealed (empty periods are skipped), expired sub-windows are dropped,
 // and — once a full window has elapsed — an evaluation is returned.
 func (m *TimedMonitor) Push(v float64, t time.Time) (Result, bool) {
-	if !m.started {
-		m.started = true
-		m.boundary = t.Truncate(m.period).Add(m.period)
-	}
-	res, ready := m.advanceTo(t)
-	m.q.Observe(v)
-	return res, ready
+	return adaptTimed(m.tp.Push(v, t))
 }
 
 // PushBatch feeds a run of elements sharing one arrival timestamp — the
@@ -76,54 +57,26 @@ func (m *TimedMonitor) Push(v float64, t time.Time) (Result, bool) {
 // but delivers the run through the operator's amortized ObserveBatch path.
 // An empty batch degenerates to Flush(t).
 func (m *TimedMonitor) PushBatch(t time.Time, vs []float64) (Result, bool) {
-	if len(vs) == 0 {
-		return m.Flush(t)
-	}
-	if !m.started {
-		m.started = true
-		m.boundary = t.Truncate(m.period).Add(m.period)
-	}
-	res, ready := m.advanceTo(t)
-	m.q.ObserveBatch(vs)
-	return res, ready
+	return adaptTimed(m.tp.PushBatch(t, vs, nil))
 }
 
 // Flush advances wall-clock time without an element (e.g. from a ticker),
 // sealing and evaluating as needed. It returns the evaluation produced by
 // the most recent boundary crossing, if any.
 func (m *TimedMonitor) Flush(t time.Time) (Result, bool) {
-	if !m.started {
-		return Result{}, false
-	}
-	return m.advanceTo(t)
+	return adaptTimed(m.tp.Flush(t, nil))
 }
 
-// advanceTo processes every period boundary at or before t.
-func (m *TimedMonitor) advanceTo(t time.Time) (Result, bool) {
-	var res Result
-	ready := false
-	sw := m.subWindows()
-	for !t.Before(m.boundary) {
-		// The ring slot for this period currently holds the flag of the
-		// period that just slid out of the window; expire its summary
-		// before sealing the new one.
-		slot := m.sealed % sw
-		if m.sealed >= sw && m.produced[slot] {
-			m.q.Expire(nil)
-		}
-		before := m.q.SubWindowCount()
-		m.q.EndPeriod() // no-op for an empty period
-		m.produced[slot] = m.q.SubWindowCount() > before
-		m.sealed++
-		if m.sealed >= sw && m.q.SubWindowCount() > 0 {
-			res = Result{Evaluation: m.evals, Estimates: m.q.Result()}
-			m.evals++
-			ready = true
-		}
-		m.boundary = m.boundary.Add(m.period)
+// adaptTimed converts the state machine's Evaluation to the public Result.
+func adaptTimed(ev stream.Evaluation, ok bool) (Result, bool) {
+	if !ok {
+		return Result{}, false
 	}
-	return res, ready
+	return Result{Evaluation: ev.Index, Estimates: ev.Estimates}, true
 }
 
 // Evaluations returns the number of results produced so far.
-func (m *TimedMonitor) Evaluations() int { return m.evals }
+func (m *TimedMonitor) Evaluations() int { return m.tp.Evaluations() }
+
+// Policy returns the wrapped operator (e.g. to Snapshot it).
+func (m *TimedMonitor) Policy() Policy { return m.tp.Policy() }
