@@ -10,16 +10,20 @@
 // redundancy pareto fewk-throughput errbound — plus multikey, the keyed
 // Engine scaling scenario (shards × keys throughput sweep with a
 // bit-equivalence check of the hottest key's snapshot against a
-// single-Monitor reference; tune with -keys and -skew), and timedkeys,
-// the Engine's wall-clock-window scenario (keys × tick sweep under a
-// deterministic fake clock, hot key verified bit-for-bit against a
-// single-TimedMonitor reference).
+// single-Monitor reference; tune with -keys and -skew; add -storm for the
+// hot-key storm variant that reports per-shard skew and compares salted
+// routing), timedkeys, the Engine's wall-clock-window scenario (keys ×
+// tick sweep under a deterministic fake clock, hot key verified
+// bit-for-bit against a single-TimedMonitor reference), openloop, the
+// open-loop Poisson SLA ramp reporting the max sustainable op rate under
+// a p99 latency SLA (tune with -sla and -bp), and scaling, the
+// GOMAXPROCS × shards ingest matrix with one pusher per processor.
 //
 // The -json flag switches to a machine-readable perf record instead: a
 // single JSON document with the ingestion throughput and peak space of
-// every registered policy on the standard NetMon workload, plus the
-// engine's multi-key runs at one and many shards, so successive PRs can
-// diff the performance trajectory:
+// every registered policy on the standard NetMon workload, the engine's
+// multi-key runs plus the GOMAXPROCS × shards scaling matrix, and the
+// open-loop ramp, so successive PRs can diff the performance trajectory:
 //
 //	qlove-bench -json -scale 0.1 > perf.json
 package main
@@ -65,8 +69,21 @@ func run(args []string) error {
 	serve := fs.Bool("serve", false, "distributed: push deltas to a streaming aggregation service instead of batch blobs")
 	agg := fs.String("agg", "", "distributed -serve: base URL of an external qlove-agg -serve (empty = in-process service)")
 	intervals := fs.Int("intervals", 8, "distributed -serve: delta pushes per worker")
+	storm := fs.Bool("storm", false, "multikey: run the hot-key storm variant (per-shard skew, salted vs unsalted routing)")
+	salt := fs.Int("salt", 8, "multikey -storm: RouteSalt sub-streams for the salted run")
+	sla := fs.Duration("sla", 25*time.Millisecond, "openloop: p99 latency SLA gating the ramp")
+	bp := fs.String("bp", "block", "openloop: engine backpressure mode (block | drop)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var backpressure qlove.Backpressure
+	switch *bp {
+	case "block":
+		backpressure = qlove.BackpressureBlock
+	case "drop":
+		backpressure = qlove.BackpressureDrop
+	default:
+		return fmt.Errorf("unknown -bp mode %q (block | drop)", *bp)
 	}
 	if *list {
 		for _, name := range bench.Order {
@@ -75,26 +92,42 @@ func run(args []string) error {
 		fmt.Println("multikey")
 		fmt.Println("timedkeys")
 		fmt.Println("distributed")
+		fmt.Println("openloop")
+		fmt.Println("scaling")
 		return nil
 	}
 	if *jsonOut {
-		return runJSON(*scale, *seed, *keys, *skew, *workers, *intervals)
+		return runJSON(jsonOptions{
+			Scale: *scale, Seed: *seed, Keys: *keys, Skew: *skew,
+			Workers: *workers, Intervals: *intervals,
+			SLA: *sla, Backpressure: backpressure,
+		})
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		names = append(append([]string(nil), bench.Order...), "multikey", "timedkeys", "distributed")
+		names = append(append([]string(nil), bench.Order...), "multikey", "timedkeys", "distributed", "openloop")
 	}
 	opts := bench.Options{W: os.Stdout, Seed: *seed, Scale: *scale, Full: *full}
+	isLocal := map[string]bool{
+		"multikey": true, "timedkeys": true, "distributed": true,
+		"openloop": true, "scaling": true,
+	}
 	for _, name := range names {
 		exp, ok := bench.Experiments[name]
-		if !ok && name != "multikey" && name != "timedkeys" && name != "distributed" {
+		if !ok && !isLocal[name] {
 			return fmt.Errorf("unknown experiment %q (use -list)", name)
 		}
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
 		switch name {
 		case "multikey":
-			if err := multiKeyExperiment(os.Stdout, defaultMultiKeyOptions(*scale, *seed, *keys, *skew)); err != nil {
+			if *storm {
+				o := defaultStormOptions(*scale, *seed, *keys, *skew)
+				o.Salt = *salt
+				if err := stormExperiment(os.Stdout, o); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+			} else if err := multiKeyExperiment(os.Stdout, defaultMultiKeyOptions(*scale, *seed, *keys, *skew)); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		case "timedkeys":
@@ -111,6 +144,17 @@ func run(args []string) error {
 			} else if err := distributedExperiment(os.Stdout, o); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
+		case "openloop":
+			o := defaultOpenLoopOptions(*scale, *seed, *keys, *skew)
+			o.SLA = *sla
+			o.Backpressure = backpressure
+			if err := openLoopExperiment(os.Stdout, o); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		case "scaling":
+			if err := scalingExperiment(os.Stdout, defaultMultiKeyOptions(*scale, *seed, *keys, *skew)); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
 		default:
 			if err := exp(opts); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -123,7 +167,8 @@ func run(args []string) error {
 
 // perfRecord is the -json output schema: one ingestion measurement per
 // registered policy on the standard NetMon workload. The schema field is
-// versioned so trajectory tooling can evolve the format.
+// versioned so trajectory tooling can evolve the format; v2 turned the
+// engine section into an object ({runs, scaling}) and added openloop.
 type perfRecord struct {
 	Schema   string       `json:"schema"`
 	Window   int          `json:"window"`
@@ -131,9 +176,12 @@ type perfRecord struct {
 	Elements int          `json:"elements"`
 	Seed     int64        `json:"seed"`
 	Policies []policyPerf `json:"policies"`
-	// Engine holds the keyed multi-key scaling runs (single shard vs the
-	// full shard sweep top), added with the Engine PR.
-	Engine []engineRun `json:"engine,omitempty"`
+	// Engine holds the keyed multi-key runs (single shard vs the full
+	// shard sweep top) and the GOMAXPROCS × shards scaling matrix.
+	Engine *engineSection `json:"engine,omitempty"`
+	// OpenLoop holds the open-loop Poisson SLA ramp: max sustainable op
+	// rate under the p99 SLA, with every measured step.
+	OpenLoop *openLoopRun `json:"openloop,omitempty"`
 	// TimedKeys holds the wall-clock-window runs (keys × tick under a
 	// deterministic fake clock), added with the timed-keys PR.
 	TimedKeys []timedKeysRun `json:"timed_keys,omitempty"`
@@ -143,6 +191,15 @@ type perfRecord struct {
 	Distributed *distRun `json:"distributed,omitempty"`
 }
 
+// engineSection groups the perf record's engine measurements.
+type engineSection struct {
+	// Runs is the serial-pusher shard sweep (the v1 "engine" array).
+	Runs []engineRun `json:"runs"`
+	// Scaling is the GOMAXPROCS × shards matrix with one concurrent
+	// pusher per processor (Mev/s per point, speedup vs the 1×1 cell).
+	Scaling []scalingPoint `json:"scaling"`
+}
+
 type policyPerf struct {
 	Name           string  `json:"name"`
 	ThroughputMevS float64 `json:"throughput_mev_s"`
@@ -150,12 +207,26 @@ type policyPerf struct {
 	Evaluations    int     `json:"evaluations"`
 }
 
+// jsonOptions parameterizes runJSON.
+type jsonOptions struct {
+	Scale        float64
+	Seed         int64
+	Keys         int
+	Skew         float64
+	Workers      int
+	Intervals    int
+	SLA          time.Duration
+	Backpressure qlove.Backpressure
+}
+
 // runJSON measures every registered policy under the Figure 4 window shape
-// (100K window, 1K period), plus the keyed Engine at one and many shards
-// and the distributed worker/aggregator pipeline — run in SERVE mode, so
-// the record carries the steady-state delta-vs-full export bandwidth — and
+// (100K window, 1K period), plus the keyed Engine at one and many shards,
+// the GOMAXPROCS × shards scaling matrix, the open-loop SLA ramp, and the
+// distributed worker/aggregator pipeline — run in SERVE mode, so the
+// record carries the steady-state delta-vs-full export bandwidth — and
 // writes one JSON document to stdout.
-func runJSON(scale float64, seed int64, keys int, skew float64, workers, intervals int) error {
+func runJSON(o jsonOptions) error {
+	scale, seed, keys, skew := o.Scale, o.Seed, o.Keys, o.Skew
 	spec := qlove.Window{Size: 100_000, Period: 1000}
 	n := int(2_000_000 * scale)
 	if min := spec.Size + 10*spec.Period; n < min {
@@ -165,7 +236,7 @@ func runJSON(scale float64, seed int64, keys int, skew float64, workers, interva
 	data := workload.Generate(workload.NewNetMon(seed), n)
 	phis := []float64{0.5, 0.9, 0.99, 0.999}
 	rec := perfRecord{
-		Schema:   "qlove-bench/v1",
+		Schema:   "qlove-bench/v2",
 		Window:   spec.Size,
 		Period:   spec.Period,
 		Elements: n,
@@ -193,13 +264,31 @@ func runJSON(scale float64, seed int64, keys int, skew float64, workers, interva
 	if err != nil {
 		return err
 	}
+	eng := &engineSection{}
 	for _, shards := range []int{mko.Shards[0], mko.Shards[len(mko.Shards)-1]} {
 		run, err := runEngineScenario(mko, seq, shards)
 		if err != nil {
 			return fmt.Errorf("engine shards=%d: %w", shards, err)
 		}
-		rec.Engine = append(rec.Engine, run)
+		eng.Runs = append(eng.Runs, run)
 	}
+	eng.Scaling, err = runScalingMatrix(mko, seq)
+	if err != nil {
+		return fmt.Errorf("engine scaling: %w", err)
+	}
+	rec.Engine = eng
+	olo := defaultOpenLoopOptions(scale, seed, keys, skew)
+	if o.SLA > 0 {
+		olo.SLA = o.SLA
+	}
+	olo.Backpressure = o.Backpressure
+	openloop, err := runOpenLoop(olo)
+	if err != nil {
+		return fmt.Errorf("openloop: %w", err)
+	}
+	// MaxSustainableRPS 0 (even the first step failed — a noisy or starved
+	// runner) is still a valid record; the ramp's step reasons say why.
+	rec.OpenLoop = &openloop
 	tko := defaultTimedKeysOptions(scale, seed, keys, skew)
 	for _, kc := range tko.Keys {
 		seq, err := materializeTimedReports(tko, kc)
@@ -217,8 +306,8 @@ func runJSON(scale float64, seed int64, keys int, skew float64, workers, interva
 			rec.TimedKeys = append(rec.TimedKeys, run)
 		}
 	}
-	do := defaultDistOptions(scale, seed, keys, workers, skew)
-	do.Serve, do.Intervals = true, intervals
+	do := defaultDistOptions(scale, seed, keys, o.Workers, skew)
+	do.Serve, do.Intervals = true, o.Intervals
 	dist, err := runDistributedServe(do)
 	if err != nil {
 		return fmt.Errorf("distributed: %w", err)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -68,6 +70,7 @@ func defaultMultiKeyOptions(scale float64, seed int64, keys int, skew float64) m
 // perf record.
 type engineRun struct {
 	Shards             int     `json:"shards"`
+	Pushers            int     `json:"pushers"`
 	Keys               int     `json:"keys"`
 	KeysObserved       int     `json:"keys_observed"`
 	Elements           int     `json:"elements"`
@@ -76,6 +79,7 @@ type engineRun struct {
 	ThroughputMevS     float64 `json:"throughput_mev_s"`
 	Evaluations        uint64  `json:"evaluations"`
 	DroppedResults     uint64  `json:"dropped_results"`
+	ShardSkew          float64 `json:"shard_skew"`
 	SnapshotConsistent bool    `json:"snapshot_consistent"`
 }
 
@@ -145,6 +149,15 @@ func (r reportSeq) elements() int { return len(r.vals) }
 // sequence is materialized once by the caller and shared read-only across
 // shard counts (Push copies every batch; the replay never mutates it).
 func runEngineScenario(o multiKeyOptions, seq reportSeq, shards int) (engineRun, error) {
+	return runEngineScenarioPushers(o, seq, shards, 1)
+}
+
+// runEngineScenarioPushers is runEngineScenario with a concurrent source
+// tier: the sequence is partitioned BY KEY across pushers (a key's reports
+// stay with one pusher, in sequence order), so per-key sub-streams keep
+// their boundaries and ordering and the bit-equivalence check remains
+// exact while ingest runs from many goroutines.
+func runEngineScenarioPushers(o multiKeyOptions, seq reportSeq, shards, pushers int) (engineRun, error) {
 	cfg := qlove.Config{Spec: o.Spec, Phis: o.Phis}
 	eng, err := qlove.NewEngine(qlove.EngineConfig{
 		Config:       cfg,
@@ -155,17 +168,24 @@ func runEngineScenario(o multiKeyOptions, seq reportSeq, shards int) (engineRun,
 	if err != nil {
 		return engineRun{}, err
 	}
-	var evals uint64
+	if pushers < 1 {
+		pushers = 1
+	}
+	var evals atomic.Uint64
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
 		for range eng.Results() {
-			evals++
+			evals.Add(1)
 		}
 	}()
 
 	start := time.Now()
-	if err := seq.each(eng.Push); err != nil {
+	if pushers == 1 {
+		if err := seq.each(eng.Push); err != nil {
+			return engineRun{}, err
+		}
+	} else if err := pushPartitioned(eng, seq, pushers); err != nil {
 		return engineRun{}, err
 	}
 	keysObserved := eng.Keys()
@@ -175,14 +195,16 @@ func runEngineScenario(o multiKeyOptions, seq reportSeq, shards int) (engineRun,
 
 	run := engineRun{
 		Shards:         shards,
+		Pushers:        pushers,
 		Keys:           o.Keys,
 		KeysObserved:   keysObserved,
 		Elements:       seq.elements(),
 		ReportSize:     o.Report,
 		Skew:           o.Skew,
 		ThroughputMevS: float64(seq.elements()) / elapsed.Seconds() / 1e6,
-		Evaluations:    evals,
+		Evaluations:    evals.Load(),
 		DroppedResults: eng.Dropped(),
+		ShardSkew:      eng.Stats().Skew(),
 	}
 	consistent, err := verifyHotKey(eng, seq, o)
 	if err != nil {
@@ -190,6 +212,43 @@ func runEngineScenario(o multiKeyOptions, seq reportSeq, shards int) (engineRun,
 	}
 	run.SnapshotConsistent = consistent
 	return run, nil
+}
+
+// pushPartitioned replays the sequence through pushers goroutines, each
+// owning a fixed set of keys (assigned round-robin in first-appearance
+// order) and pushing its reports in sequence order.
+func pushPartitioned(eng *qlove.Engine, seq reportSeq, pushers int) error {
+	parts := make([][]int, pushers)
+	owner := make(map[string]int, 1024)
+	for i, key := range seq.keys {
+		p, ok := owner[key]
+		if !ok {
+			p = len(owner) % pushers
+			owner[key] = p
+		}
+		parts[p] = append(parts[p], i)
+	}
+	errs := make(chan error, pushers)
+	var wg sync.WaitGroup
+	for _, part := range parts {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				if err := eng.Push(seq.keys[i], seq.vals[i*seq.report:(i+1)*seq.report]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(part)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
 }
 
 // verifyHotKey replays the hottest key's sub-stream (same report

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// The scaling matrix measures true multi-core ingest scaling: the same
+// materialized workload is replayed at every GOMAXPROCS × shard-count
+// combination, with one concurrent pusher per processor so the source tier
+// is never the serial (Amdahl) bottleneck the single-threaded replay would
+// impose. Pushers partition the sequence BY KEY — a key's reports always
+// flow through the same pusher in sequence order — so per-key sub-streams
+// keep their boundaries and the hot-key bit-equivalence check still holds
+// at every point.
+
+// scalingPoint is one matrix cell, emitted into the perf record's
+// engine.scaling section.
+type scalingPoint struct {
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	Shards             int     `json:"shards"`
+	Pushers            int     `json:"pushers"`
+	ThroughputMevS     float64 `json:"throughput_mev_s"`
+	Speedup            float64 `json:"speedup"` // vs the 1-proc 1-shard cell
+	ShardSkew          float64 `json:"shard_skew"`
+	SnapshotConsistent bool    `json:"snapshot_consistent"`
+}
+
+// scalingProcs picks the GOMAXPROCS axis: powers of two up to NumCPU, the
+// CPU count itself, and always at least {1, 2} so even a single-core host
+// measures an oversubscribed point (concurrency without parallelism).
+func scalingProcs() []int {
+	max := runtime.NumCPU()
+	procs := []int{1}
+	for p := 2; p <= max; p *= 2 {
+		procs = append(procs, p)
+	}
+	if last := procs[len(procs)-1]; last != max {
+		procs = append(procs, max)
+	}
+	if len(procs) == 1 {
+		procs = append(procs, 2)
+	}
+	return procs
+}
+
+// scalingShards thins the shard sweep to first / middle / last so the
+// matrix stays procs × 3.
+func scalingShards(shards []int) []int {
+	pick := []int{shards[0]}
+	if len(shards) > 2 {
+		pick = append(pick, shards[len(shards)/2])
+	}
+	if len(shards) > 1 {
+		pick = append(pick, shards[len(shards)-1])
+	}
+	return pick
+}
+
+// runScalingMatrix sweeps GOMAXPROCS × shards over the shared sequence.
+// GOMAXPROCS is restored before returning.
+func runScalingMatrix(o multiKeyOptions, seq reportSeq) ([]scalingPoint, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var points []scalingPoint
+	var base float64
+	for _, p := range scalingProcs() {
+		runtime.GOMAXPROCS(p)
+		for _, shards := range scalingShards(o.Shards) {
+			run, err := runEngineScenarioPushers(o, seq, shards, p)
+			if err != nil {
+				return points, fmt.Errorf("gomaxprocs=%d shards=%d: %w", p, shards, err)
+			}
+			if base == 0 {
+				base = run.ThroughputMevS
+			}
+			pt := scalingPoint{
+				GOMAXPROCS:         p,
+				Shards:             shards,
+				Pushers:            run.Pushers,
+				ThroughputMevS:     run.ThroughputMevS,
+				ShardSkew:          run.ShardSkew,
+				SnapshotConsistent: run.SnapshotConsistent,
+			}
+			if base > 0 {
+				pt.Speedup = run.ThroughputMevS / base
+			}
+			points = append(points, pt)
+			if !run.SnapshotConsistent {
+				return points, fmt.Errorf("gomaxprocs=%d shards=%d: hot-key snapshot diverged under parallel pushers", p, shards)
+			}
+		}
+	}
+	return points, nil
+}
+
+// scalingExperiment prints the matrix as a table.
+func scalingExperiment(w io.Writer, o multiKeyOptions) error {
+	fmt.Fprintf(w, "GOMAXPROCS x shards ingest matrix: %d keys (zipf %.2f), %d-value reports, %d elements/cell, NumCPU=%d\n",
+		o.Keys, o.Skew, o.Report, o.Elements, runtime.NumCPU())
+	seq, err := materializeReports(o)
+	if err != nil {
+		return err
+	}
+	points, err := runScalingMatrix(o, seq)
+	for _, pt := range points {
+		fmt.Fprintf(w, "  procs=%-3d shards=%-3d pushers=%-3d throughput=%8.2f Mev/s  speedup=%.2fx  shard-skew=%.2f\n",
+			pt.GOMAXPROCS, pt.Shards, pt.Pushers, pt.ThroughputMevS, pt.Speedup, pt.ShardSkew)
+	}
+	return err
+}

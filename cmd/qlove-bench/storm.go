@@ -1,0 +1,200 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// The storm variant of the multikey scenario models a pathological hot-key
+// storm: after the enumeration pass, a fixed fraction of ALL traffic
+// collapses onto the Zipf head, so one shard carries most of the load no
+// matter how many shards exist. The scenario reports per-shard skew from
+// the engine's stats plane, then repeats the run with routing salt enabled
+// and verifies the salted hot key bit-for-bit against per-sub-stream
+// reference Monitors merged in salt order.
+
+// stormOptions parameterizes the storm run.
+type stormOptions struct {
+	multiKeyOptions
+	// HotFrac is the fraction of traffic reports sent to the hot key.
+	HotFrac float64
+	// Salt is the RouteSalt used for the salted run (sub-streams per key).
+	Salt int
+}
+
+// defaultStormOptions scales the storm: same universe as multikey, half of
+// all traffic on the head key, salt 8.
+func defaultStormOptions(scale float64, seed int64, keys int, skew float64) stormOptions {
+	return stormOptions{
+		multiKeyOptions: defaultMultiKeyOptions(scale, seed, keys, skew),
+		HotFrac:         0.5,
+		Salt:            8,
+	}
+}
+
+// materializeStorm draws the storm sequence: the usual enumeration pass,
+// then traffic where each report lands on the hot key with probability
+// HotFrac and otherwise follows the Zipf draw.
+func materializeStorm(o stormOptions) (reportSeq, error) {
+	gen, err := workload.NewKeyed(o.Seed, o.Keys, o.Skew, workload.NewNetMon(o.Seed))
+	if err != nil {
+		return reportSeq{}, err
+	}
+	reports := o.Elements / o.Report
+	if reports < o.Keys {
+		reports = o.Keys
+	}
+	seq := reportSeq{
+		keys:   make([]string, reports),
+		vals:   make([]float64, reports*o.Report),
+		report: o.Report,
+		hot:    gen.Key(0),
+	}
+	rng := rand.New(rand.NewSource(o.Seed ^ 0x5707)) // storm coin, independent of the value stream
+	for i := 0; i < reports; i++ {
+		vs := seq.vals[i*o.Report : i*o.Report : (i+1)*o.Report]
+		switch {
+		case i < o.Keys:
+			seq.keys[i] = gen.Key(i)
+			gen.Values(vs)
+		case rng.Float64() < o.HotFrac:
+			seq.keys[i] = seq.hot
+			gen.Values(vs)
+		default:
+			key, _ := gen.NextReport(vs)
+			seq.keys[i] = key
+		}
+	}
+	return seq, nil
+}
+
+// stormRun is one storm measurement (salted or not).
+type stormRun struct {
+	Salt           int
+	ThroughputMevS float64
+	ShardSkew      float64
+	HotShards      []int
+	QueueHighWater int
+	Consistent     bool
+}
+
+// runStorm ingests the storm sequence serially (serial replay keeps the
+// salt counter's sub-stream assignment reproducible for verification) at
+// the given salt and reports skew from the stats plane.
+func runStorm(o stormOptions, seq reportSeq, shards, salt int) (stormRun, error) {
+	eng, err := qlove.NewEngine(qlove.EngineConfig{
+		Config:       qlove.Config{Spec: o.Spec, Phis: o.Phis},
+		Shards:       shards,
+		QueueDepth:   256,
+		ResultBuffer: 1 << 14,
+		RouteSalt:    salt,
+	})
+	if err != nil {
+		return stormRun{}, err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range eng.Results() {
+		}
+	}()
+	start := time.Now()
+	if err := seq.each(eng.Push); err != nil {
+		return stormRun{}, err
+	}
+	eng.Close()
+	elapsed := time.Since(start)
+	<-drained
+
+	st := eng.Stats()
+	run := stormRun{
+		Salt:           salt,
+		ThroughputMevS: float64(seq.elements()) / elapsed.Seconds() / 1e6,
+		ShardSkew:      st.Skew(),
+		HotShards:      st.HotShards(2),
+		QueueHighWater: st.Total().QueueHighWater,
+	}
+	if salt > 1 {
+		run.Consistent, err = verifySaltedHotKey(eng, seq, o, salt)
+	} else {
+		run.Consistent, err = verifyHotKey(eng, seq, o.multiKeyOptions)
+	}
+	if err != nil {
+		return stormRun{}, err
+	}
+	return run, nil
+}
+
+// verifySaltedHotKey rebuilds the hot key's salted sub-streams outside the
+// engine and compares the engine's merged view bit-for-bit. Under serial
+// replay the engine assigns push i (counting every key's pushes) to
+// sub-stream i mod salt, so the reference feeds report i to Monitor
+// i mod salt when it targets the hot key, then merges the per-sub-stream
+// snapshots in salt order — exactly what Engine.Query does internally.
+func verifySaltedHotKey(eng *qlove.Engine, seq reportSeq, o stormOptions, salt int) (bool, error) {
+	snap, ok := eng.Query(seq.hot)
+	if !ok {
+		return false, fmt.Errorf("hot key %q not monitored", seq.hot)
+	}
+	cfg := qlove.Config{Spec: o.Spec, Phis: o.Phis}
+	refs := make([]*refMonitor, salt)
+	for j := range refs {
+		ref, err := newRefMonitor(cfg, o.Spec)
+		if err != nil {
+			return false, err
+		}
+		refs[j] = ref
+	}
+	for i, key := range seq.keys {
+		if key == seq.hot {
+			refs[i%salt].mon.PushBatch(seq.vals[i*seq.report:(i+1)*seq.report], nil)
+		}
+	}
+	snaps := make([]qlove.Snapshot, salt)
+	for j, ref := range refs {
+		snaps[j] = ref.policy.Snapshot()
+	}
+	merged, err := qlove.MergeSnapshots(snaps)
+	if err != nil {
+		return false, err
+	}
+	return bitsEqual(snap.Estimates(), merged.Estimates()), nil
+}
+
+// stormExperiment runs the storm unsalted and salted at the top shard
+// count and prints the skew the salt removes.
+func stormExperiment(w io.Writer, o stormOptions) error {
+	shards := o.Shards[len(o.Shards)-1]
+	fmt.Fprintf(w, "hot-key storm: %d keys (zipf %.2f), %.0f%% of traffic on the head key, %d shards, salt %d, GOMAXPROCS=%d\n",
+		o.Keys, o.Skew, o.HotFrac*100, shards, o.Salt, runtime.GOMAXPROCS(0))
+	seq, err := materializeStorm(o)
+	if err != nil {
+		return err
+	}
+	for _, salt := range []int{0, o.Salt} {
+		run, err := runStorm(o, seq, shards, salt)
+		if err != nil {
+			return err
+		}
+		verdict := "bit-identical"
+		if !run.Consistent {
+			verdict = "MISMATCH"
+		}
+		label := "unsalted"
+		if salt > 1 {
+			label = fmt.Sprintf("salt=%d  ", salt)
+		}
+		fmt.Fprintf(w, "  %s throughput=%8.2f Mev/s  shard-skew=%.2f  hot-shards=%v  queue-high-water=%-4d hot-key snapshot: %s\n",
+			label, run.ThroughputMevS, run.ShardSkew, run.HotShards, run.QueueHighWater, verdict)
+		if !run.Consistent {
+			return fmt.Errorf("storm salt=%d: hot-key snapshot diverged from reference", salt)
+		}
+	}
+	return nil
+}

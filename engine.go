@@ -1,6 +1,7 @@
 package qlove
 
 import (
+	"context"
 	"fmt"
 	"hash/maphash"
 	"io"
@@ -34,11 +35,17 @@ import (
 //     zero-allocation batched ingestion path end to end. Per-key element
 //     order is the order of Push calls (concurrent pushers to the SAME key
 //     interleave at batch granularity).
-//   - Evaluations fan in on a single buffered Results channel. Delivery
-//     never blocks ingestion: when the consumer falls behind, the oldest
-//     pending results are the ones a monitoring dashboard has already
-//     missed, so new evaluations are dropped and counted (Dropped) rather
-//     than stalling every shard.
+//   - Evaluations fan in on a single buffered Results channel. The
+//     overload response is EngineConfig.Backpressure: under the default
+//     BackpressureDrop, delivery never blocks ingestion — when the
+//     consumer falls behind, the oldest pending results are the ones a
+//     monitoring dashboard has already missed, so new evaluations are
+//     dropped and counted (Dropped, Stats) rather than stalling every
+//     shard; under BackpressureBlock delivery is lossless and the stall
+//     propagates back through the shard queues to Push. Either way,
+//     overload is observable, not inferred: Engine.Stats reads per-shard
+//     counters (delivered batches, queue high-water, blocked time, drops,
+//     resident keys) without locks.
 //   - Snapshot and Query serve reads WITHOUT stopping ingestion: the
 //     request rides the shard's own queue (so it is ordered with respect
 //     to ingest on every key) and the shard hands back immutable Snapshot
@@ -53,12 +60,14 @@ type Engine struct {
 	spec    Window
 	shards  []*engineShard
 	results chan KeyedResult
-	dropped atomic.Uint64
 	failed  atomic.Uint64
 	lastErr atomic.Value // engineErr; atomic.Value needs one concrete type
 	seed    maphash.Seed
 	id      uint64    // random instance identity; binds ExportCursors to THIS engine
 	timed   bool      // keys run wall-clock windows (TimedWindow set)
+	block   bool      // BackpressureBlock: lossless delivery, shards block on Results
+	salt    int       // RouteSalt sub-streams per key (0/1 = off)
+	saltCtr atomic.Uint64
 	bufs    sync.Pool // *[]float64 ingest buffers
 	wg      sync.WaitGroup
 
@@ -144,6 +153,35 @@ type EngineConfig struct {
 	// flushes). nil means time.Now. The function is called from shard
 	// goroutines and must be safe for concurrent use.
 	Clock func() time.Time
+	// Backpressure selects the overload response when the Results consumer
+	// falls behind: BackpressureDrop (default) sheds the newest evaluations
+	// at the fan-in and counts them; BackpressureBlock propagates the stall
+	// to producers instead — delivery is lossless, ingestion blocks, and
+	// snapshots/exports stay bit-identical to drop mode fed the same
+	// batches. See the Backpressure constants for the consumer contract.
+	Backpressure Backpressure
+	// RouteSalt, when > 1, spreads EVERY pushed key across up to RouteSalt
+	// independent sub-streams, each hash-routed (and windowed) on its own —
+	// the escape hatch for pathological single-key storms, where one
+	// scorching key otherwise pins its whole traffic on one shard whatever
+	// the shard count. Push i (engine-wide) goes to sub-stream i mod
+	// RouteSalt. The trade-offs, all consequences of a key no longer being
+	// one stream:
+	//
+	//   - Reads merge at query time: Snapshot, Query, Export and ExportKeys
+	//     fold a key's resident sub-streams through the existing
+	//     core.Snapshot merge (disjoint sub-streams of one logical key, the
+	//     same semantics as cross-engine aggregation), so estimates answer
+	//     over the union — but a salted key's capture is a MERGED view, not
+	//     bit-identical to an unsalted single stream's.
+	//   - Per-key element order holds within a sub-stream, not across them.
+	//   - Keys() and ShardStats.ResidentKeys count sub-streams.
+	//   - ExportDelta is unsupported (it returns an error): delta cursors
+	//     anchor on single-stream seal generations. Use Export.
+	//
+	// Keys must not end in a NUL byte followed by any byte (the reserved
+	// internal sub-stream suffix). 0 and 1 disable salting; max 256.
+	RouteSalt int
 }
 
 // ErrEngineClosed is returned by Push after Close.
@@ -193,6 +231,11 @@ type engineShard struct {
 	// incarnation it exported.
 	mutations uint64
 	incSeq    uint64
+
+	// counters is the shard's lock-free stats plane (Engine.Stats):
+	// producers update the enqueue side, the shard goroutine the delivery
+	// side, readers poll without locks.
+	counters shardCounters
 }
 
 type keyEntry struct {
@@ -349,9 +392,18 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			}
 		}
 	}
+	if cfg.RouteSalt < 0 || cfg.RouteSalt > 256 {
+		return nil, fmt.Errorf("qlove: engine RouteSalt %d outside [0, 256]", cfg.RouteSalt)
+	}
+	salt := cfg.RouteSalt
+	if salt == 1 {
+		salt = 0 // one sub-stream is just the unsalted path
+	}
 	e := &Engine{
 		spec:    spec,
 		timed:   timed,
+		block:   cfg.Backpressure == BackpressureBlock,
+		salt:    salt,
 		results: make(chan KeyedResult, resBuf),
 		seed:    maphash.MakeSeed(),
 		// A fresh random seed hashed over nothing is a cheap random
@@ -423,11 +475,71 @@ func (e *Engine) shardOf(key string) *engineShard {
 	return e.shards[e.shardIndex(key)]
 }
 
+// route picks the shard a push goes to, applying the routing salt: with
+// RouteSalt on, push i (engine-wide) addresses sub-stream i mod salt, whose
+// internal key name hashes to its own shard. Returns the shard and the
+// internal key name to deliver under.
+func (e *Engine) route(key string) (*engineShard, string) {
+	if e.salt > 1 {
+		key = saltedKey(key, byte((e.saltCtr.Add(1)-1)%uint64(e.salt)))
+	}
+	return e.shardOf(key), key
+}
+
+// enqueue places one batch on the shard queue, accounting the wait when
+// the queue is full (ShardStats.Blocked) and the observed backlog
+// (ShardStats.QueueHighWater). ctx, when non-nil, bounds the wait.
+func (s *engineShard) enqueue(ctx context.Context, msg engineMsg) error {
+	select {
+	case s.in <- msg:
+	default:
+		// Queue full: producers are ahead of the shard. Block (that IS the
+		// ingest backpressure) and account the stall.
+		start := time.Now()
+		if ctx == nil {
+			s.in <- msg
+			s.counters.blockedNanos.Add(uint64(time.Since(start)))
+		} else {
+			select {
+			case s.in <- msg:
+				s.counters.blockedNanos.Add(uint64(time.Since(start)))
+			case <-ctx.Done():
+				s.counters.blockedNanos.Add(uint64(time.Since(start)))
+				s.eng.bufs.Put(msg.buf)
+				return ctx.Err()
+			}
+		}
+	}
+	s.counters.enqueued.Add(1)
+	s.counters.noteDepth(len(s.in))
+	return nil
+}
+
 // Push feeds a batch of elements for one key. The values are copied before
 // Push returns, so the caller may reuse vs immediately. Push blocks only
 // when the owning shard's queue is full (backpressure), never on result
-// delivery. Safe for any number of concurrent callers.
+// delivery — though under BackpressureBlock a stalled Results consumer
+// eventually fills the queues and surfaces here. Ingestion is lossless:
+// Push never drops a batch. Safe for any number of concurrent callers; use
+// PushContext to bound the wait.
 func (e *Engine) Push(key string, vs []float64) error {
+	return e.push(nil, key, vs)
+}
+
+// PushContext is Push with a bounded wait: when the owning shard's queue
+// stays full until ctx is done (a wedged consumer under BackpressureBlock,
+// or simply sustained overload), it abandons the batch and returns
+// ctx.Err(). An abandoned batch is never partially ingested — it either
+// reaches the shard queue whole or not at all — and is NOT counted
+// enqueued, so producers can tell accepted load from offered load.
+func (e *Engine) PushContext(ctx context.Context, key string, vs []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.push(ctx, key, vs)
+}
+
+func (e *Engine) push(ctx context.Context, key string, vs []float64) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if e.closed {
@@ -440,8 +552,8 @@ func (e *Engine) Push(key string, vs []float64) error {
 	}
 	bp := e.bufs.Get().(*[]float64)
 	*bp = append((*bp)[:0], vs...)
-	e.shardOf(key).in <- engineMsg{key: key, buf: bp}
-	return nil
+	s, routed := e.route(key)
+	return s.enqueue(ctx, engineMsg{key: routed, buf: bp})
 }
 
 // Results returns the evaluation fan-in channel. It closes after Close has
@@ -450,8 +562,19 @@ func (e *Engine) Push(key string, vs []float64) error {
 func (e *Engine) Results() <-chan KeyedResult { return e.results }
 
 // Dropped returns how many evaluations were discarded because the Results
-// consumer fell behind the buffer.
-func (e *Engine) Dropped() uint64 { return e.dropped.Load() }
+// consumer fell behind the buffer — DELIVERY-side loss only, the sum of
+// ShardStats.EvalsDropped across shards (always zero under
+// BackpressureBlock). It says nothing about ingest-side loss, which has
+// its own accounting: Push never loses a batch, PushContext abandonment is
+// the caller's error, and factory-failure discards are ShardStats.
+// FailedBatches (see Err). Use Stats for the per-shard breakdown.
+func (e *Engine) Dropped() uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.counters.evalsDropped.Load()
+	}
+	return n
+}
 
 // engineErr wraps factory failures so lastErr always stores one concrete
 // type (atomic.Value panics on inconsistently typed stores, and different
@@ -479,16 +602,16 @@ func (e *Engine) Spec() Window { return e.spec }
 func (e *Engine) Snapshot() EngineSnapshot {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	out := EngineSnapshot{keys: make(map[string]Snapshot)}
+	raw := make(map[string]Snapshot)
 	if e.closed {
 		for _, s := range e.shards {
 			for k, ent := range s.keys {
 				if ent.snap != nil {
-					out.keys[k] = ent.snap.Snapshot()
+					raw[k] = ent.snap.Snapshot()
 				}
 			}
 		}
-		return out
+		return EngineSnapshot{keys: e.foldSalted(raw)}
 	}
 	resps := make([]chan engineCtlResp, len(e.shards))
 	for i, s := range e.shards {
@@ -498,17 +621,85 @@ func (e *Engine) Snapshot() EngineSnapshot {
 	for _, ch := range resps {
 		r := <-ch
 		for k, sn := range r.snaps {
-			out.keys[k] = sn
+			raw[k] = sn
 		}
+	}
+	return EngineSnapshot{keys: e.foldSalted(raw)}
+}
+
+// foldSalted collapses internal sub-stream captures to logical keys: with
+// routing salt off it is the identity; with salt on, each key's resident
+// sub-streams merge in salt-index order (deterministic bytes for Export),
+// the same disjoint-sub-stream merge cross-engine aggregation uses.
+func (e *Engine) foldSalted(raw map[string]Snapshot) map[string]Snapshot {
+	if e.salt <= 1 {
+		return raw
+	}
+	grouped := make(map[string][]Snapshot)
+	for name, sn := range raw {
+		base := e.baseKey(name)
+		g := grouped[base]
+		if g == nil {
+			g = make([]Snapshot, e.salt)
+			grouped[base] = g
+		}
+		if base != name {
+			g[name[len(name)-1]] = sn
+		} else {
+			// An unsalted residue (key pushed before salting was on — not
+			// possible today, but cheap to keep correct): merge it first.
+			g[0] = sn
+		}
+	}
+	out := make(map[string]Snapshot, len(grouped))
+	for base, g := range grouped {
+		m, err := MergeSnapshots(g) // zero slots are the merge identity
+		if err != nil {
+			// Unreachable by construction: every sub-stream's operator is
+			// minted from the same config. Keep the shard-order view rather
+			// than lose the key.
+			for _, sn := range g {
+				if sn.SubWindows() > 0 {
+					m = sn
+					break
+				}
+			}
+		}
+		out[base] = m
 	}
 	return out
 }
 
 // Query captures one key's snapshot without stopping ingestion. ok is
-// false when the key is unknown (or its policy cannot snapshot).
+// false when the key is unknown (or its policy cannot snapshot). Under
+// salted routing the capture is the salt-index-ordered merge of the key's
+// resident sub-streams.
 func (e *Engine) Query(key string) (Snapshot, bool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.salt > 1 {
+		snaps := make([]Snapshot, e.salt)
+		found := false
+		for j := 0; j < e.salt; j++ {
+			if sn, ok := e.queryOne(saltedKey(key, byte(j))); ok {
+				snaps[j] = sn
+				found = true
+			}
+		}
+		if !found {
+			return Snapshot{}, false
+		}
+		m, err := MergeSnapshots(snaps)
+		if err != nil {
+			return Snapshot{}, false // unreachable: one config mints every sub-stream
+		}
+		return m, true
+	}
+	return e.queryOne(key)
+}
+
+// queryOne captures one INTERNAL key name; callers hold e.mu.RLock.
+func (e *Engine) queryOne(key string) (Snapshot, bool) {
 	s := e.shardOf(key)
 	if e.closed {
 		if ent := s.keys[key]; ent != nil && ent.snap != nil {
@@ -629,6 +820,12 @@ func (c *ExportCursor) Reset() { *c = ExportCursor{} }
 func (e *Engine) ExportDelta(w io.Writer, cur *ExportCursor) (int64, error) {
 	if cur == nil {
 		return 0, fmt.Errorf("qlove: ExportDelta needs a cursor; use new(ExportCursor) for a first export")
+	}
+	if e.salt > 1 {
+		// Delta cursors anchor on one stream's seal generations; a salted
+		// key is many streams merged at read time. Full exports remain
+		// available (and fold logical keys).
+		return 0, fmt.Errorf("qlove: ExportDelta is unsupported under salted routing (RouteSalt %d); use Export", e.salt)
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -819,7 +1016,21 @@ func (e *Engine) Tick() {
 
 // Evict retires a key, returning whether it existed. The key's operator
 // goes back to the shard's pool (arena and all) for the next new key.
+// Under salted routing every resident sub-stream of the key is retired.
 func (e *Engine) Evict(key string) bool {
+	if e.salt > 1 {
+		any := false
+		for j := 0; j < e.salt; j++ {
+			if e.evictOne(saltedKey(key, byte(j))) {
+				any = true
+			}
+		}
+		return any
+	}
+	return e.evictOne(key)
+}
+
+func (e *Engine) evictOne(key string) bool {
 	s := e.shardOf(key)
 	e.mu.RLock()
 	if !e.closed {
@@ -841,7 +1052,9 @@ func (e *Engine) Evict(key string) bool {
 	return s.evict(key)
 }
 
-// Keys returns the number of keys currently monitored.
+// Keys returns the number of keys currently monitored. Under salted
+// routing it counts resident sub-streams (a hot key may count up to
+// RouteSalt times), matching the sum of ShardStats.ResidentKeys.
 func (e *Engine) Keys() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -867,8 +1080,10 @@ func (e *Engine) Keys() int {
 // closes the Results channel (results already buffered stay readable until
 // the consumer drains them). Push returns ErrEngineClosed afterwards;
 // Snapshot, Query, Evict and Keys keep working against the final state.
-// Shards never block on result delivery, so Close cannot deadlock on a
-// slow consumer.
+// Under BackpressureDrop shards never block on result delivery, so Close
+// cannot deadlock on a slow consumer; under BackpressureBlock the consumer
+// must keep draining Results until it closes, or Close waits behind the
+// full channel with the blocked shards.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -934,6 +1149,7 @@ func (s *engineShard) handle(msg engineMsg) {
 	ent, err := s.entry(msg.key)
 	if err != nil {
 		s.eng.failed.Add(1)
+		s.counters.failed.Add(1)
 		s.eng.lastErr.Store(engineErr{err})
 	} else {
 		s.clock++
@@ -949,6 +1165,7 @@ func (s *engineShard) handle(msg engineMsg) {
 		} else {
 			ent.pusher.PushBatch(*msg.buf, ent.emit)
 		}
+		s.counters.delivered.Add(1)
 		s.noteMutation(ent)
 	}
 	s.eng.bufs.Put(msg.buf)
@@ -1080,16 +1297,37 @@ func (s *engineShard) entry(key string) (*keyEntry, error) {
 		ent.lastAt = s.now()
 	}
 	// One closure per key, not per batch: the emit path stays
-	// allocation-free at steady state.
+	// allocation-free at steady state. Results carry the LOGICAL key name
+	// (the salt suffix, when routing is salted, is an internal detail).
 	eng := s.eng
-	ent.emit = func(ev stream.Evaluation) {
-		select {
-		case eng.results <- KeyedResult{Key: key, Result: Result{Evaluation: ev.Index, Estimates: ev.Estimates}}:
-		default:
-			eng.dropped.Add(1)
+	base := eng.baseKey(key)
+	if eng.block {
+		// Lossless delivery: a full Results channel stalls the shard (and,
+		// transitively, producers) instead of shedding the evaluation. The
+		// stall is accounted so overload is observable via Stats.
+		ent.emit = func(ev stream.Evaluation) {
+			kr := KeyedResult{Key: base, Result: Result{Evaluation: ev.Index, Estimates: ev.Estimates}}
+			select {
+			case eng.results <- kr:
+			default:
+				start := time.Now()
+				eng.results <- kr
+				s.counters.blockedNanos.Add(uint64(time.Since(start)))
+			}
+			s.counters.evalsDelivered.Add(1)
+		}
+	} else {
+		ent.emit = func(ev stream.Evaluation) {
+			select {
+			case eng.results <- KeyedResult{Key: base, Result: Result{Evaluation: ev.Index, Estimates: ev.Estimates}}:
+				s.counters.evalsDelivered.Add(1)
+			default:
+				s.counters.evalsDropped.Add(1)
+			}
 		}
 	}
 	s.keys[key] = ent
+	s.counters.resident.Store(int64(len(s.keys)))
 	return ent, nil
 }
 
@@ -1157,6 +1395,7 @@ func (s *engineShard) evict(key string) bool {
 	}
 	delete(s.keys, key)
 	s.mutations++
+	s.counters.resident.Store(int64(len(s.keys)))
 	if s.pool != nil {
 		if cp, ok := ent.policy().(*core.Policy); ok {
 			s.pool.Put(cp)

@@ -1,0 +1,159 @@
+// Tests for salted routing: sub-stream assignment must be reproducible,
+// reads must merge sub-streams in salt order bit-for-bit against external
+// reference monitors, and the feature's documented edges (ExportDelta,
+// validation, base-key results) must hold.
+package qlove
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRouteSaltMergesSubStreams pins the salt contract end to end: under
+// serial pushes the engine assigns push i to sub-stream i mod salt, so an
+// external reference — salt Monitors fed the same sub-streams, merged in
+// salt order — must match Query, Snapshot and Export bit-for-bit.
+func TestRouteSaltMergesSubStreams(t *testing.T) {
+	const salt = 4
+	spec := Window{Size: 256, Period: 64}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.9}}
+	e, err := NewEngine(EngineConfig{Config: cfg, Shards: 4, ResultBuffer: 1 << 12, RouteSalt: salt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]*Monitor, salt)
+	pols := make([]*QLOVE, salt)
+	for j := range refs {
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[j], err = NewMonitor(p, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pols[j] = p
+	}
+	const reports = 40
+	data := workload.Generate(workload.NewNetMon(9), reports*64)
+	results := map[string]int{}
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for kr := range e.Results() {
+			results[kr.Key]++
+		}
+	}()
+	for i := 0; i < reports; i++ {
+		vs := data[i*64 : (i+1)*64]
+		if err := e.Push("svc", vs); err != nil {
+			t.Fatal(err)
+		}
+		refs[i%salt].PushBatch(vs, nil)
+	}
+
+	if n := e.Keys(); n != salt {
+		t.Fatalf("Keys() = %d, want %d resident sub-streams", n, salt)
+	}
+	if st := e.Stats().Total(); st.ResidentKeys != salt {
+		t.Fatalf("resident keys %d, want %d", st.ResidentKeys, salt)
+	}
+	snaps := make([]Snapshot, salt)
+	for j, p := range pols {
+		snaps[j] = p.Snapshot()
+	}
+	want, err := MergeSnapshots(snaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.Query("svc")
+	if !ok {
+		t.Fatal("salted key not queryable")
+	}
+	ge, we := got.Estimates(), want.Estimates()
+	for j := range we {
+		if math.Float64bits(ge[j]) != math.Float64bits(we[j]) {
+			t.Fatalf("query ϕ[%d]: %v != reference merge %v", j, ge[j], we[j])
+		}
+	}
+
+	// Export folds sub-streams back to the logical key.
+	var blob bytes.Buffer
+	if _, err := e.Export(&blob); err != nil {
+		t.Fatal(err)
+	}
+	var back EngineSnapshot
+	if _, err := back.ReadFrom(&blob); err != nil {
+		t.Fatal(err)
+	}
+	if keys := back.Keys(); len(keys) != 1 || keys[0] != "svc" {
+		t.Fatalf("exported keys %v, want just svc", keys)
+	}
+	est, ok := back.Query("svc")
+	if !ok {
+		t.Fatal("exported blob lost the key")
+	}
+	for j := range we {
+		if math.Float64bits(est[j]) != math.Float64bits(we[j]) {
+			t.Fatalf("export ϕ[%d]: %v != reference merge %v", j, est[j], we[j])
+		}
+	}
+
+	// ExportDelta cannot attribute per-sub-stream generations to logical
+	// keys; it must refuse rather than ship salted internal names.
+	if _, err := e.ExportDelta(io.Discard, new(ExportCursor)); err == nil {
+		t.Fatal("ExportDelta accepted a salted engine")
+	}
+
+	// One Evict removes every sub-stream.
+	if !e.Evict("svc") {
+		t.Fatal("evict found nothing")
+	}
+	if n := e.Keys(); n != 0 {
+		t.Fatalf("Keys() = %d after evict", n)
+	}
+	if _, ok := e.Query("svc"); ok {
+		t.Fatal("evicted key still queryable")
+	}
+
+	e.Close()
+	<-collected
+	// Delivered results carry the LOGICAL key, never internal sub-names.
+	if len(results) != 1 || results["svc"] == 0 {
+		t.Fatalf("result keys %v, want only svc", results)
+	}
+}
+
+// TestRouteSaltValidation: bounds and the salt-1 identity.
+func TestRouteSaltValidation(t *testing.T) {
+	cfg := Config{Spec: Window{Size: 64, Period: 32}, Phis: []float64{0.5}}
+	for _, bad := range []int{-1, 257} {
+		if _, err := NewEngine(EngineConfig{Config: cfg, RouteSalt: bad}); err == nil {
+			t.Errorf("RouteSalt %d accepted", bad)
+		}
+	}
+	// Salt 1 is routing as usual: one resident key per logical key.
+	e, err := NewEngine(EngineConfig{Config: cfg, RouteSalt: 1, ResultBuffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := drainResults(e)
+	vals := workload.Generate(workload.NewNetMon(2), 32)
+	for i := 0; i < 4; i++ {
+		if err := e.Push("k", vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.Keys(); n != 1 {
+		t.Fatalf("salt-1 Keys() = %d, want 1", n)
+	}
+	if _, err := e.ExportDelta(io.Discard, new(ExportCursor)); err != nil {
+		t.Fatalf("salt-1 ExportDelta refused: %v", err)
+	}
+	e.Close()
+	<-done
+}

@@ -1,0 +1,213 @@
+package qlove
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Backpressure selects the Engine's overload response when evaluation
+// consumers or shard queues fall behind ingestion.
+type Backpressure int
+
+const (
+	// BackpressureDrop is the default: the results fan-in never blocks a
+	// shard. When the Results consumer falls behind the buffer, the newest
+	// evaluations are discarded and counted (ShardStats.EvalsDropped,
+	// Engine.Dropped) — a monitoring dashboard that has already missed the
+	// oldest pending results prefers fresh ingestion over stale delivery.
+	// Ingestion itself is lossless either way: Push blocks on a full shard
+	// queue, it never drops a batch.
+	BackpressureDrop Backpressure = iota
+	// BackpressureBlock makes delivery lossless: a shard with a full
+	// Results channel blocks until the consumer drains it, the shard's
+	// queue then fills, and Push blocks in turn — backpressure propagates
+	// to the producers instead of silently shedding evaluations. Operator
+	// state is IDENTICAL in both modes for the same accepted batches (drops
+	// only ever affect delivery, never ingestion), so snapshots and exports
+	// are bit-for-bit the same; only the delivery guarantee changes.
+	//
+	// Contract: the consumer must keep draining Results until it closes —
+	// including while Close runs — or producers and Close wedge behind the
+	// full channel. Use PushContext to bound an individual producer's wait.
+	BackpressureBlock
+)
+
+// String names the mode ("drop" / "block").
+func (b Backpressure) String() string {
+	if b == BackpressureBlock {
+		return "block"
+	}
+	return "drop"
+}
+
+// shardCounters is one shard's lock-free stats plane: producers and the
+// shard goroutine update atomics, Stats() reads them without touching the
+// engine mutex or the shard queues, so overload is observable even from a
+// process that is itself wedged behind backpressure.
+type shardCounters struct {
+	enqueued       atomic.Uint64 // batches accepted onto the shard queue
+	delivered      atomic.Uint64 // batches delivered into operators
+	failed         atomic.Uint64 // batches discarded: per-key policy construction failed
+	evalsDelivered atomic.Uint64 // evaluations handed to the Results consumer
+	evalsDropped   atomic.Uint64 // evaluations shed at the fan-in (drop mode only)
+	blockedNanos   atomic.Uint64 // producer + delivery time spent blocked on full queues
+	queueHighWater atomic.Int64  // deepest observed shard-queue backlog, in batches
+	resident       atomic.Int64  // keys (salted sub-streams) currently resident
+}
+
+// noteDepth raises the queue high-water mark to n if it exceeds the mark.
+func (c *shardCounters) noteDepth(n int) {
+	for {
+		cur := c.queueHighWater.Load()
+		if int64(n) <= cur || c.queueHighWater.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// snapshot copies the counters into an exported view.
+func (c *shardCounters) snapshot() ShardStats {
+	return ShardStats{
+		EnqueuedBatches:  c.enqueued.Load(),
+		DeliveredBatches: c.delivered.Load(),
+		FailedBatches:    c.failed.Load(),
+		EvalsDelivered:   c.evalsDelivered.Load(),
+		EvalsDropped:     c.evalsDropped.Load(),
+		Blocked:          time.Duration(c.blockedNanos.Load()),
+		QueueHighWater:   int(c.queueHighWater.Load()),
+		ResidentKeys:     int(c.resident.Load()),
+	}
+}
+
+// ShardStats is a point-in-time copy of one shard's counters. Loss has two
+// distinct sides, counted separately:
+//
+//   - Ingest-side: Push never loses a batch (it blocks on a full queue) and
+//     PushContext surfaces abandonment as an error to the caller; the only
+//     ingest loss is FailedBatches — batches discarded because a custom
+//     factory failed to mint the key's policy (see Engine.Err).
+//   - Delivery-side: EvalsDropped counts evaluations shed at the Results
+//     fan-in under BackpressureDrop; it is zero under BackpressureBlock.
+type ShardStats struct {
+	// EnqueuedBatches counts batches producers placed on the shard queue.
+	EnqueuedBatches uint64
+	// DeliveredBatches counts batches the shard delivered into operators.
+	// After Close, EnqueuedBatches == DeliveredBatches + FailedBatches.
+	DeliveredBatches uint64
+	// FailedBatches counts batches discarded for want of a policy
+	// (custom-factory construction failure; the built-in path cannot fail).
+	FailedBatches uint64
+	// EvalsDelivered counts evaluations handed to the Results consumer.
+	EvalsDelivered uint64
+	// EvalsDropped counts evaluations shed at the fan-in (drop mode only).
+	EvalsDropped uint64
+	// Blocked accumulates time spent stalled on full channels: producers
+	// blocked on this shard's queue plus (in blocking mode) the shard
+	// blocked on the Results channel. The direct signal that the engine —
+	// not the harness — is the bottleneck.
+	Blocked time.Duration
+	// QueueHighWater is the deepest shard-queue backlog observed, in
+	// batches; a mark pinned at the queue capacity means producers waited.
+	QueueHighWater int
+	// ResidentKeys is the number of keys currently resident on the shard
+	// (salted sub-streams count individually; see EngineConfig.RouteSalt).
+	ResidentKeys int
+}
+
+// EngineStats is the engine-wide capture Engine.Stats returns: one entry
+// per shard, in shard order.
+type EngineStats struct {
+	Shards []ShardStats
+}
+
+// Total folds every shard's counters into one (QueueHighWater is the max
+// across shards, the rest sum).
+func (st EngineStats) Total() ShardStats {
+	var t ShardStats
+	for _, s := range st.Shards {
+		t.EnqueuedBatches += s.EnqueuedBatches
+		t.DeliveredBatches += s.DeliveredBatches
+		t.FailedBatches += s.FailedBatches
+		t.EvalsDelivered += s.EvalsDelivered
+		t.EvalsDropped += s.EvalsDropped
+		t.Blocked += s.Blocked
+		if s.QueueHighWater > t.QueueHighWater {
+			t.QueueHighWater = s.QueueHighWater
+		}
+		t.ResidentKeys += s.ResidentKeys
+	}
+	return t
+}
+
+// Skew measures load imbalance: the hottest shard's delivered-batch count
+// over the per-shard mean (1 = perfectly balanced, len(Shards) = one shard
+// took everything). Zero deliveries report 1.
+func (st EngineStats) Skew() float64 {
+	if len(st.Shards) == 0 {
+		return 1
+	}
+	var max, sum uint64
+	for _, s := range st.Shards {
+		sum += s.DeliveredBatches
+		if s.DeliveredBatches > max {
+			max = s.DeliveredBatches
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) * float64(len(st.Shards)) / float64(sum)
+}
+
+// HotShards returns the indices of shards whose delivered-batch count
+// exceeds factor times the per-shard mean — the hot-shard detector a
+// router or operator consults to decide when a key storm needs salting
+// (factor 2 flags a shard carrying twice its fair share).
+func (st EngineStats) HotShards(factor float64) []int {
+	var sum uint64
+	for _, s := range st.Shards {
+		sum += s.DeliveredBatches
+	}
+	if sum == 0 || len(st.Shards) == 0 {
+		return nil
+	}
+	mean := float64(sum) / float64(len(st.Shards))
+	var hot []int
+	for i, s := range st.Shards {
+		if float64(s.DeliveredBatches) > factor*mean {
+			hot = append(hot, i)
+		}
+	}
+	return hot
+}
+
+// Stats captures every shard's counters. It is lock-free — it reads only
+// atomics, never the engine mutex or the shard queues — so it stays
+// responsive while producers are blocked on backpressure, and is safe to
+// poll from any goroutine at any rate, before and after Close.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{Shards: make([]ShardStats, len(e.shards))}
+	for i, s := range e.shards {
+		st.Shards[i] = s.counters.snapshot()
+	}
+	return st
+}
+
+// saltSep separates a logical key from its routing-salt index in the
+// internal per-shard key space. Keys containing a NUL byte in their last
+// two positions are reserved when RouteSalt is enabled.
+const saltSep = '\x00'
+
+// saltedKey derives sub-stream j's internal key name.
+func saltedKey(key string, j byte) string {
+	return key + string([]byte{saltSep, j})
+}
+
+// baseKey strips the salt suffix from an internal key name (identity when
+// salting is off).
+func (e *Engine) baseKey(k string) string {
+	if e.salt > 1 && len(k) >= 2 && k[len(k)-2] == saltSep {
+		return k[:len(k)-2]
+	}
+	return k
+}
