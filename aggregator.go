@@ -44,7 +44,97 @@ type Aggregator struct {
 
 type aggWorker struct {
 	keys     map[string]*aggKeyState
+	salted   int       // resident salted sub-stream names (fast path when 0)
 	lastPush time.Time // when this worker last Applied (deadline > 0)
+}
+
+// put stores one internal key name's state, maintaining the salted count.
+func (w *aggWorker) put(name string, st *aggKeyState) {
+	if _, exists := w.keys[name]; !exists {
+		if _, _, salted := splitKey(name); salted {
+			w.salted++
+		}
+	}
+	w.keys[name] = st
+}
+
+// drop removes one internal key name, maintaining the salted count.
+func (w *aggWorker) drop(name string) {
+	if _, exists := w.keys[name]; exists {
+		if _, _, salted := splitKey(name); salted {
+			w.salted--
+		}
+		delete(w.keys, name)
+	}
+}
+
+// dropGroup removes a logical key's entire salt group: the base name and
+// every salted sub-stream name of it. Used when a frame REPLACES the
+// logical key wholesale (a full frame, or a from-generation-0 bootstrap of
+// the base name after an escalated key collapsed), so stale sub-stream
+// state can never double-count against the replacement.
+func (w *aggWorker) dropGroup(base string) {
+	w.drop(base)
+	if w.salted == 0 {
+		return
+	}
+	for name := range w.keys {
+		if b, _, salted := splitKey(name); salted && b == base {
+			w.drop(name)
+		}
+	}
+}
+
+// groupNames lists the worker's resident names for one logical key — the
+// base name plus salted sub-streams — in fold order: sorting is enough,
+// because NUL sorts below every byte a user key may contain, making
+// [base, sub 0, sub 1, …] exactly the lexicographic order.
+func (w *aggWorker) groupNames(base string) []string {
+	var names []string
+	if _, ok := w.keys[base]; ok {
+		names = append(names, base)
+	}
+	if w.salted > 0 {
+		for name := range w.keys {
+			if b, _, salted := splitKey(name); salted && b == base {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// groupSnapshot folds one logical key's resident names, in fold order,
+// into a single capture — the same [base, sub-stream 0, 1, …] left-fold
+// the engine's own foldSalted and Query perform, so the bytes match a
+// full export of the same state. ok is false when the worker holds
+// nothing for the key.
+func (w *aggWorker) groupSnapshot(base string) (Snapshot, bool, error) {
+	if w.salted == 0 {
+		// Fast path: no salted names resident, the key is one stream.
+		st := w.keys[base]
+		if st == nil {
+			return Snapshot{}, false, nil
+		}
+		sn, err := st.snapshot()
+		return sn, err == nil, err
+	}
+	names := w.groupNames(base)
+	if len(names) == 0 {
+		return Snapshot{}, false, nil
+	}
+	var folded Snapshot
+	for _, name := range names {
+		sn, err := w.keys[name].snapshot()
+		if err != nil {
+			return Snapshot{}, false, err
+		}
+		if folded, err = folded.Merge(sn); err != nil {
+			return Snapshot{}, false, err
+		}
+	}
+	return folded, true, nil
 }
 
 // aggKeyState is one worker's folded view of one key: exactly the
@@ -172,14 +262,20 @@ func (a *Aggregator) Apply(worker string, r io.Reader) (int, error) {
 	}
 }
 
-// fold applies one decoded frame to the worker's state.
+// fold applies one decoded frame to the worker's state. Frames may carry
+// internal salted sub-stream names ("key\x00<j>", from delta exports of a
+// salted or adaptively escalated engine); they are stored per name and
+// folded back to logical keys at read time.
 func (w *aggWorker) fold(f wire.Frame) error {
 	switch f.Kind {
 	case wire.KindTombstone:
-		delete(w.keys, f.Key)
+		w.drop(f.Key)
 		return nil
 	case wire.KindFull:
-		w.keys[f.Key] = &aggKeyState{parts: f.Snap.Parts()}
+		// A full frame is the worker's complete folded view of the logical
+		// key: it replaces the whole salt group, not just the exact name.
+		w.dropGroup(logicalKey(f.Key))
+		w.put(f.Key, &aggKeyState{parts: f.Snap.Parts()})
 		return nil
 	case wire.KindDelta:
 		return w.foldDelta(f.Key, f.Delta)
@@ -194,8 +290,17 @@ func (w *aggWorker) fold(f wire.Frame) error {
 // capture the worker held at export time.
 func (w *aggWorker) foldDelta(key string, d wire.Delta) error {
 	if d.FromGen == 0 {
-		// Bootstrap: the frame carries the entire resident window.
-		w.keys[key] = &aggKeyState{parts: d.Parts}
+		// Bootstrap: the frame carries the entire resident window. A
+		// bootstrap resets stale state the tombstone stream may not cover
+		// (e.g. after a cursor reset): a sub-stream bootstrap retires the
+		// BASE state it was escalated out of; a base bootstrap (a collapsed
+		// key coming home) retires the whole former salt group.
+		if base, _, salted := splitKey(key); salted {
+			w.drop(base)
+		} else {
+			w.dropGroup(key)
+		}
+		w.put(key, &aggKeyState{parts: d.Parts})
 		return nil
 	}
 	st := w.keys[key]
@@ -236,35 +341,40 @@ func (st *aggKeyState) snapshot() (Snapshot, error) {
 	return core.NewSnapshot(p)
 }
 
-// Query answers one key from the merged cross-worker view: the per-worker
-// captures of the key, merged in ascending worker-ID order. ok is false
-// when no worker currently holds the key.
+// Query answers one LOGICAL key from the merged cross-worker view: within
+// each worker the key's resident streams (base plus any salted
+// sub-streams) fold first, in [base, sub-stream 0, 1, …] order — the same
+// fold the engine's own salted reads perform — then the per-worker
+// captures merge in ascending worker-ID order. ok is false when no worker
+// currently holds the key.
 func (a *Aggregator) Query(key string) (Snapshot, bool, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	now := a.now()
-	var ids []string
+	ids := make([]string, 0, len(a.workers))
 	for id, w := range a.workers {
-		if a.stale(w, now) {
-			continue
-		}
-		if _, ok := w.keys[key]; ok {
+		if !a.stale(w, now) {
 			ids = append(ids, id)
 		}
 	}
-	if len(ids) == 0 {
-		return Snapshot{}, false, nil
-	}
 	sort.Strings(ids)
 	var merged Snapshot
+	found := false
 	for _, id := range ids {
-		sn, err := a.workers[id].keys[key].snapshot()
+		sn, ok, err := a.workers[id].groupSnapshot(key)
 		if err != nil {
 			return Snapshot{}, false, fmt.Errorf("qlove: aggregator worker %q key %q: %w", id, key, err)
 		}
+		if !ok {
+			continue
+		}
+		found = true
 		if merged, err = merged.Merge(sn); err != nil {
 			return Snapshot{}, false, fmt.Errorf("qlove: aggregator merge key %q: %w", key, err)
 		}
+	}
+	if !found {
+		return Snapshot{}, false, nil
 	}
 	return merged, true, nil
 }
@@ -286,17 +396,35 @@ func (a *Aggregator) Snapshot() (EngineSnapshot, error) {
 	sort.Strings(ids)
 	out := EngineSnapshot{keys: make(map[string]Snapshot)}
 	for _, id := range ids {
-		for key, st := range a.workers[id].keys {
-			sn, err := st.snapshot()
-			if err != nil {
-				return EngineSnapshot{}, fmt.Errorf("qlove: aggregator worker %q key %q: %w", id, key, err)
-			}
-			if prev, ok := out.keys[key]; ok {
-				if sn, err = prev.Merge(sn); err != nil {
-					return EngineSnapshot{}, fmt.Errorf("qlove: aggregator merge key %q: %w", key, err)
+		w := a.workers[id]
+		// Sorted names make each logical key's group a contiguous run
+		// ([base, sub 0, sub 1, …] — NUL sorts below any user-key byte),
+		// so one pass folds groups in exactly the engine's salt order.
+		names := make([]string, 0, len(w.keys))
+		for name := range w.keys {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i := 0; i < len(names); {
+			base := logicalKey(names[i])
+			var folded Snapshot
+			for ; i < len(names) && logicalKey(names[i]) == base; i++ {
+				sn, err := w.keys[names[i]].snapshot()
+				if err != nil {
+					return EngineSnapshot{}, fmt.Errorf("qlove: aggregator worker %q key %q: %w", id, names[i], err)
+				}
+				if folded, err = folded.Merge(sn); err != nil {
+					return EngineSnapshot{}, fmt.Errorf("qlove: aggregator merge key %q: %w", base, err)
 				}
 			}
-			out.keys[key] = sn
+			if prev, ok := out.keys[base]; ok {
+				m, err := prev.Merge(folded)
+				if err != nil {
+					return EngineSnapshot{}, fmt.Errorf("qlove: aggregator merge key %q: %w", base, err)
+				}
+				folded = m
+			}
+			out.keys[base] = folded
 		}
 	}
 	return out, nil
@@ -317,7 +445,8 @@ func (a *Aggregator) Workers() int {
 	return n
 }
 
-// Keys returns the number of distinct keys across all live workers.
+// Keys returns the number of distinct LOGICAL keys across all live
+// workers (a salted key's sub-streams count once).
 func (a *Aggregator) Keys() int {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
@@ -328,7 +457,7 @@ func (a *Aggregator) Keys() int {
 			continue
 		}
 		for k := range w.keys {
-			seen[k] = struct{}{}
+			seen[logicalKey(k)] = struct{}{}
 		}
 	}
 	return len(seen)

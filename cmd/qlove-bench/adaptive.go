@@ -1,0 +1,531 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/loadgen"
+	"repro/internal/workload"
+)
+
+// The adaptive storm is the storm scenario with the routing decision taken
+// away from the operator: no RouteSalt, a hot key that MOVES mid-run (a
+// loadgen.HotSchedule), and an engine whose occupancy controller must
+// discover each head, escalate it, cool the abandoned one, and keep shard
+// skew near the statically-salted baseline. Verification is three-fold,
+// all bit-level: the full export must be byte-identical to an unmigrated,
+// unsalted reference engine fed the same sequence; every escalated key
+// must match reference monitors driven by a replay of the controller's
+// route events; and the delta-export stream folded through an aggregator
+// must answer exactly like the final full export.
+
+// adaptiveStormRun is one adaptive measurement, also emitted in -json.
+type adaptiveStormRun struct {
+	Shards            int                 `json:"shards"`
+	CadenceReports    int                 `json:"cadence_reports"`
+	Schedule          loadgen.HotSchedule `json:"schedule"`
+	ThroughputMevS    float64             `json:"throughput_mev_s"`
+	ShardSkew         float64             `json:"shard_skew"`
+	FinalIntervalSkew float64             `json:"final_interval_skew"`
+	QueueHighWater    int                 `json:"queue_high_water"`
+	Escalations       int                 `json:"escalations"`
+	Deescalations     int                 `json:"deescalations"`
+	Collapses         int                 `json:"collapses"`
+	Migrations        int                 `json:"migrations"`
+	SkewSeries        []skewPoint         `json:"skew_series"`
+	Events            []routeEventRecord  `json:"events"`
+	ExportConsistent  bool                `json:"export_consistent"`
+	HotKeysConsistent bool                `json:"hot_keys_consistent"`
+	FoldConsistent    bool                `json:"fold_consistent"`
+}
+
+// skewPoint is one controller pass in the skew-over-time series.
+type skewPoint struct {
+	Report       int     `json:"report"`
+	Deliveries   uint64  `json:"deliveries"`
+	Skew         float64 `json:"skew"`
+	IntervalSkew float64 `json:"interval_skew"`
+	Escalated    int     `json:"escalated"`
+	Pinned       int     `json:"pinned"`
+	Events       int     `json:"events"`
+}
+
+// routeEventRecord is a JSON-friendly route event stamped with the report
+// index of the pass that produced it.
+type routeEventRecord struct {
+	Report    int    `json:"report"`
+	Kind      string `json:"kind"`
+	Key       string `json:"key"`
+	Salt      int    `json:"salt,omitempty"`
+	FromShard int    `json:"from_shard"`
+	ToShard   int    `json:"to_shard"`
+}
+
+// materializeAdaptiveStorm draws the moving-head storm: the enumeration
+// pass, then traffic where each report lands on the SCHEDULED hot key with
+// probability HotFrac and otherwise follows the Zipf draw. Progress for
+// the schedule is measured over the traffic portion (the enumeration pass
+// is a fixed prologue, not part of the storm).
+func materializeAdaptiveStorm(o stormOptions, sched loadgen.HotSchedule) (reportSeq, []string, error) {
+	if err := sched.Validate(); err != nil {
+		return reportSeq{}, nil, err
+	}
+	gen, err := workload.NewKeyed(o.Seed, o.Keys, o.Skew, workload.NewNetMon(o.Seed))
+	if err != nil {
+		return reportSeq{}, nil, err
+	}
+	reports := o.Elements / o.Report
+	if reports < o.Keys {
+		reports = o.Keys
+	}
+	seq := reportSeq{
+		keys:   make([]string, reports),
+		vals:   make([]float64, reports*o.Report),
+		report: o.Report,
+		hot:    gen.Key(sched[0].Key % o.Keys),
+	}
+	heads := make([]string, 0, len(sched))
+	seen := map[string]bool{}
+	for _, p := range sched {
+		h := gen.Key(p.Key % o.Keys)
+		if !seen[h] {
+			seen[h], heads = true, append(heads, h)
+		}
+	}
+	traffic := reports - o.Keys
+	if traffic < 1 {
+		traffic = 1
+	}
+	rng := rand.New(rand.NewSource(o.Seed ^ 0x5707))
+	for i := 0; i < reports; i++ {
+		vs := seq.vals[i*o.Report : i*o.Report : (i+1)*o.Report]
+		switch {
+		case i < o.Keys:
+			seq.keys[i] = gen.Key(i)
+			gen.Values(vs)
+		case rng.Float64() < o.HotFrac:
+			frac := float64(i-o.Keys) / float64(traffic)
+			seq.keys[i] = gen.Key(sched.KeyAt(frac) % o.Keys)
+			gen.Values(vs)
+		default:
+			key, _ := gen.NextReport(vs)
+			seq.keys[i] = key
+		}
+	}
+	return seq, heads, nil
+}
+
+// replayRoute mirrors one key's routeOverride in the replay: the fan, the
+// widest fan ever used, and the private push counter.
+type replayRoute struct {
+	salt, maxSalt, ctr int
+}
+
+// adaptiveReplay reconstructs the engine's per-key routing outside the
+// engine: reference monitors per internal stream, driven by the same
+// pushes and the controller's route events. Under serial replay the
+// assignment is fully deterministic — push i after an escalation flip goes
+// to sub-stream i mod salt — so every escalated key's merged snapshot must
+// match the engine bit-for-bit.
+type adaptiveReplay struct {
+	cfg    qlove.Config
+	spec   qlove.Window
+	mons   map[string]*refMonitor
+	routes map[string]*replayRoute
+}
+
+func newAdaptiveReplay(cfg qlove.Config, spec qlove.Window) *adaptiveReplay {
+	return &adaptiveReplay{
+		cfg: cfg, spec: spec,
+		mons:   map[string]*refMonitor{},
+		routes: map[string]*replayRoute{},
+	}
+}
+
+// subName is the replay's private sub-stream naming; it only has to be
+// collision-free and ordered, not identical to the engine's.
+func subName(key string, j int) string { return fmt.Sprintf("%s\x00%03d", key, j) }
+
+func (r *adaptiveReplay) push(key string, vs []float64) error {
+	name := key
+	if st := r.routes[key]; st != nil && st.salt >= 1 {
+		j := 0
+		if st.salt > 1 {
+			j = st.ctr % st.salt
+			st.ctr++
+		}
+		name = subName(key, j)
+	}
+	mon := r.mons[name]
+	if mon == nil {
+		var err error
+		if mon, err = newRefMonitor(r.cfg, r.spec); err != nil {
+			return err
+		}
+		r.mons[name] = mon
+	}
+	mon.mon.PushBatch(vs, nil)
+	return nil
+}
+
+// apply folds one route event into the replay's routing state, exactly
+// mirroring the engine's transitions.
+func (r *adaptiveReplay) apply(ev qlove.RouteEvent) {
+	switch ev.Kind {
+	case qlove.RouteEscalate:
+		st := r.routes[ev.Key]
+		if st == nil {
+			// Fresh escalation: the base operator migrated to sub-stream 0.
+			if m := r.mons[ev.Key]; m != nil {
+				r.mons[subName(ev.Key, 0)] = m
+				delete(r.mons, ev.Key)
+			}
+			st = &replayRoute{}
+			r.routes[ev.Key] = st
+		}
+		st.salt, st.ctr = ev.Salt, 0
+		if ev.Salt > st.maxSalt {
+			st.maxSalt = ev.Salt
+		}
+	case qlove.RouteDeescalate:
+		if st := r.routes[ev.Key]; st != nil {
+			st.salt = 1
+		}
+	case qlove.RouteCollapse:
+		if m := r.mons[subName(ev.Key, 0)]; m != nil {
+			r.mons[ev.Key] = m
+			delete(r.mons, subName(ev.Key, 0))
+		}
+		delete(r.routes, ev.Key)
+	case qlove.RouteMigrate:
+		// Shard placement does not change stream content.
+	}
+}
+
+// query folds a key's streams in the engine's order — base residue first,
+// then sub-streams ascending — and returns the merged snapshot.
+func (r *adaptiveReplay) query(key string) (qlove.Snapshot, bool, error) {
+	names := []string{key}
+	if st := r.routes[key]; st != nil {
+		for j := 0; j < st.maxSalt; j++ {
+			names = append(names, subName(key, j))
+		}
+	}
+	var snaps []qlove.Snapshot
+	for _, n := range names {
+		if m := r.mons[n]; m != nil {
+			snaps = append(snaps, m.policy.Snapshot())
+		}
+	}
+	if len(snaps) == 0 {
+		return qlove.Snapshot{}, false, nil
+	}
+	merged, err := qlove.MergeSnapshots(snaps)
+	return merged, true, err
+}
+
+// runStaticReference ingests the sequence into a plain engine — no salt,
+// no adaptation — and returns its cumulative skew and full-export bytes:
+// the bit-level ground truth the adaptive run must reproduce.
+func runStaticReference(o stormOptions, seq reportSeq, shards int) (float64, []byte, error) {
+	eng, err := qlove.NewEngine(qlove.EngineConfig{
+		Config:       qlove.Config{Spec: o.Spec, Phis: o.Phis},
+		Shards:       shards,
+		QueueDepth:   256,
+		ResultBuffer: 1 << 14,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range eng.Results() {
+		}
+	}()
+	if err := seq.each(eng.Push); err != nil {
+		return 0, nil, err
+	}
+	eng.Keys() // barrier: every delivery lands before the export scan
+	var blob bytes.Buffer
+	if _, err := eng.Export(&blob); err != nil {
+		return 0, nil, err
+	}
+	eng.Close()
+	<-drained
+	return eng.Stats().Skew(), blob.Bytes(), nil
+}
+
+// runAdaptiveStorm ingests the moving-head sequence serially through an
+// adaptive engine, driving the controller at a fixed report cadence
+// (ingest quiesces at a Keys barrier before each pass, keeping the replay
+// deterministic), and verifies the run bit-for-bit against the static
+// reference export, the route-event replay, and the delta-export fold.
+func runAdaptiveStorm(o stormOptions, seq reportSeq, sched loadgen.HotSchedule, heads []string, shards int, refBlob []byte) (adaptiveStormRun, error) {
+	cfg := qlove.Config{Spec: o.Spec, Phis: o.Phis}
+	eng, err := qlove.NewEngine(qlove.EngineConfig{
+		Config:       cfg,
+		Shards:       shards,
+		QueueDepth:   256,
+		ResultBuffer: 1 << 14,
+		Adapt:        &qlove.AdaptConfig{Salt: o.Salt, MinBatches: 32},
+	})
+	if err != nil {
+		return adaptiveStormRun{}, err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range eng.Results() {
+		}
+	}()
+	cadence := len(seq.keys) / 32
+	if cadence < 64 {
+		cadence = 64
+	}
+	replay := newAdaptiveReplay(cfg, o.Spec)
+	agg := qlove.NewAggregator()
+	cur := new(qlove.ExportCursor)
+	run := adaptiveStormRun{Shards: shards, CadenceReports: cadence, Schedule: sched}
+	escalated := map[string]bool{}
+	pass := func(report int) error {
+		eng.Keys() // barrier: deliveries visible to the stats sample
+		for _, ev := range eng.Rebalance() {
+			replay.apply(ev)
+			run.Events = append(run.Events, routeEventRecord{
+				Report: report, Kind: ev.Kind.String(), Key: ev.Key,
+				Salt: ev.Salt, FromShard: ev.FromShard, ToShard: ev.ToShard,
+			})
+			switch ev.Kind {
+			case qlove.RouteEscalate:
+				run.Escalations++
+				escalated[ev.Key] = true
+			case qlove.RouteDeescalate:
+				run.Deescalations++
+			case qlove.RouteCollapse:
+				run.Collapses++
+			case qlove.RouteMigrate:
+				run.Migrations++
+			}
+		}
+		var delta bytes.Buffer
+		if _, err := eng.ExportDelta(&delta, cur); err != nil {
+			return err
+		}
+		_, err := agg.Apply("bench", bytes.NewReader(delta.Bytes()))
+		return err
+	}
+	start := time.Now()
+	for i, key := range seq.keys {
+		vs := seq.vals[i*seq.report : (i+1)*seq.report]
+		if err := eng.Push(key, vs); err != nil {
+			return adaptiveStormRun{}, err
+		}
+		if err := replay.push(key, vs); err != nil {
+			return adaptiveStormRun{}, err
+		}
+		if (i+1)%cadence == 0 {
+			if err := pass(i + 1); err != nil {
+				return adaptiveStormRun{}, err
+			}
+		}
+	}
+	if len(seq.keys)%cadence != 0 {
+		// Final partial interval: one last pass so the series covers the
+		// whole run (an aligned run already passed on its last report).
+		if err := pass(len(seq.keys)); err != nil {
+			return adaptiveStormRun{}, err
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Verification 1: the full export matches the static reference — same
+	// logical keys, and bit-identical estimates for every key that was
+	// never escalated (migration must be invisible). Escalated keys are
+	// genuinely split into sub-streams, so their folded snapshot is a
+	// merge; the route-event replay below is their ground truth.
+	var blob bytes.Buffer
+	if _, err := eng.Export(&blob); err != nil {
+		return adaptiveStormRun{}, err
+	}
+	run.ExportConsistent, err = exportMatchesReference(blob.Bytes(), refBlob, escalated)
+	if err != nil {
+		return adaptiveStormRun{}, err
+	}
+
+	// Verification 2: every escalated key (and every scheduled head)
+	// matches the route-event replay bit-for-bit.
+	run.HotKeysConsistent = true
+	checks := append([]string(nil), heads...)
+	for k := range escalated {
+		checks = append(checks, k)
+	}
+	for _, key := range checks {
+		got, ok := eng.Query(key)
+		want, refOK, err := replay.query(key)
+		if err != nil {
+			return adaptiveStormRun{}, err
+		}
+		if ok != refOK || (ok && !bitsEqual(got.Estimates(), want.Estimates())) {
+			run.HotKeysConsistent = false
+		}
+	}
+
+	// Verification 3: the aggregated delta stream answers exactly like the
+	// full export, logical key by logical key.
+	var final EngineSnapshot
+	run.FoldConsistent, err = foldMatchesExport(blob.Bytes(), agg, &final)
+	if err != nil {
+		return adaptiveStormRun{}, err
+	}
+
+	eng.Close()
+	<-drained
+	st := eng.Stats()
+	run.ThroughputMevS = float64(seq.elements()) / elapsed.Seconds() / 1e6
+	run.ShardSkew = st.Skew()
+	run.QueueHighWater = st.Total().QueueHighWater
+	for i, s := range eng.AdaptSamples() {
+		report := (i + 1) * cadence
+		if report > len(seq.keys) {
+			report = len(seq.keys)
+		}
+		run.SkewSeries = append(run.SkewSeries, skewPoint{
+			Report: report, Deliveries: s.Deliveries, Skew: s.Skew,
+			IntervalSkew: s.IntervalSkew, Escalated: s.Escalated,
+			Pinned: s.Pinned, Events: s.Events,
+		})
+		run.FinalIntervalSkew = s.IntervalSkew
+	}
+	return run, nil
+}
+
+// EngineSnapshot aliases the library type for the fold comparison.
+type EngineSnapshot = qlove.EngineSnapshot
+
+// exportMatchesReference parses both full-export blobs and compares them
+// logical key by logical key: identical key sets, and bit-identical
+// estimates for every key outside the escalated set (whose split streams
+// are verified against the route-event replay instead).
+func exportMatchesReference(got, want []byte, escalated map[string]bool) (bool, error) {
+	var g, w EngineSnapshot
+	if _, err := g.ReadFrom(bytes.NewReader(got)); err != nil {
+		return false, err
+	}
+	if _, err := w.ReadFrom(bytes.NewReader(want)); err != nil {
+		return false, err
+	}
+	gk, wk := g.Keys(), w.Keys()
+	if len(gk) != len(wk) {
+		return false, nil
+	}
+	for i := range gk {
+		if gk[i] != wk[i] {
+			return false, nil
+		}
+	}
+	for _, k := range gk {
+		if escalated[k] {
+			continue
+		}
+		ge, _ := g.Query(k)
+		we, _ := w.Query(k)
+		if !bitsEqual(ge, we) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// foldMatchesExport parses the engine's full-export blob and compares the
+// aggregator's folded state against it: same logical keys, bit-identical
+// estimates.
+func foldMatchesExport(blob []byte, agg *qlove.Aggregator, out *EngineSnapshot) (bool, error) {
+	if _, err := out.ReadFrom(bytes.NewReader(blob)); err != nil {
+		return false, err
+	}
+	folded, err := agg.Snapshot()
+	if err != nil {
+		return false, err
+	}
+	fullKeys, foldKeys := out.Keys(), folded.Keys()
+	if len(fullKeys) != len(foldKeys) {
+		return false, nil
+	}
+	for i := range fullKeys {
+		if fullKeys[i] != foldKeys[i] {
+			return false, nil
+		}
+	}
+	for _, k := range fullKeys {
+		want, _ := out.Query(k)
+		got, ok := folded.Query(k)
+		if !ok || !bitsEqual(got, want) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// adaptiveStormExperiment runs the moving-head storm three ways — static
+// unsalted reference, then the adaptive engine — prints the adaptation
+// trace, and enforces the scenario's promises: at least one escalation,
+// all three bit-level verifications, and end-of-run shard skew at or
+// below the target with RouteSalt unset.
+func adaptiveStormExperiment(w io.Writer, o stormOptions) error {
+	shards := o.Shards[len(o.Shards)-1]
+	sched := loadgen.HotSchedule{{Until: 0.5, Key: 0}, {Until: 1, Key: 1}}
+	fmt.Fprintf(w, "adaptive hot-key storm: %d keys (zipf %.2f), %.0f%% of traffic on a MOVING head %v, %d shards, adapt salt %d, GOMAXPROCS=%d\n",
+		o.Keys, o.Skew, o.HotFrac*100, sched, shards, o.Salt, runtime.GOMAXPROCS(0))
+	seq, heads, err := materializeAdaptiveStorm(o, sched)
+	if err != nil {
+		return err
+	}
+	refSkew, refBlob, err := runStaticReference(o, seq, shards)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  static unsalted reference: shard-skew=%.2f\n", refSkew)
+	run, err := runAdaptiveStorm(o, seq, sched, heads, shards, refBlob)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  adaptive: throughput=%8.2f Mev/s  shard-skew=%.2f  final-interval-skew=%.2f  queue-high-water=%d\n",
+		run.ThroughputMevS, run.ShardSkew, run.FinalIntervalSkew, run.QueueHighWater)
+	fmt.Fprintf(w, "  controller: %d escalations, %d de-escalations, %d collapses, %d migrations over %d passes (cadence %d reports)\n",
+		run.Escalations, run.Deescalations, run.Collapses, run.Migrations, len(run.SkewSeries), run.CadenceReports)
+	for _, p := range run.SkewSeries {
+		fmt.Fprintf(w, "    report %-7d interval-skew=%.2f cumulative=%.2f escalated=%d pinned=%d events=%d\n",
+			p.Report, p.IntervalSkew, p.Skew, p.Escalated, p.Pinned, p.Events)
+	}
+	verdict := func(ok bool) string {
+		if ok {
+			return "bit-identical"
+		}
+		return "MISMATCH"
+	}
+	fmt.Fprintf(w, "  verification: export vs unmigrated reference: %s; escalated keys vs event replay: %s; delta fold vs full export: %s\n",
+		verdict(run.ExportConsistent), verdict(run.HotKeysConsistent), verdict(run.FoldConsistent))
+	if !run.ExportConsistent {
+		return fmt.Errorf("adaptive storm: full export diverged from the unmigrated reference engine")
+	}
+	if !run.HotKeysConsistent {
+		return fmt.Errorf("adaptive storm: an escalated key diverged from the route-event replay")
+	}
+	if !run.FoldConsistent {
+		return fmt.Errorf("adaptive storm: delta-export fold diverged from the full export")
+	}
+	if run.Escalations < 1 {
+		return fmt.Errorf("adaptive storm: the controller never escalated the storm head")
+	}
+	if run.ShardSkew > o.SkewTarget {
+		return fmt.Errorf("adaptive storm: shard skew %.2f exceeds target %.2f (static reference %.2f)",
+			run.ShardSkew, o.SkewTarget, refSkew)
+	}
+	return nil
+}

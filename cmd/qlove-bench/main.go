@@ -33,10 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro"
 	"repro/internal/bench"
+	"repro/internal/loadgen"
 	"repro/internal/workload"
 )
 
@@ -71,10 +74,38 @@ func run(args []string) error {
 	intervals := fs.Int("intervals", 8, "distributed -serve: delta pushes per worker")
 	storm := fs.Bool("storm", false, "multikey: run the hot-key storm variant (per-shard skew, salted vs unsalted routing)")
 	salt := fs.Int("salt", 8, "multikey -storm: RouteSalt sub-streams for the salted run")
+	adaptive := fs.Bool("adaptive", false, "multikey -storm: adaptive variant — no RouteSalt, a moving hot key, the occupancy controller rebalances live")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	sla := fs.Duration("sla", 25*time.Millisecond, "openloop: p99 latency SLA gating the ramp")
 	bp := fs.String("bp", "block", "openloop: engine backpressure mode (block | drop)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qlove-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained set before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qlove-bench: memprofile:", err)
+			}
+		}()
 	}
 	var backpressure qlove.Backpressure
 	switch *bp {
@@ -124,7 +155,11 @@ func run(args []string) error {
 			if *storm {
 				o := defaultStormOptions(*scale, *seed, *keys, *skew)
 				o.Salt = *salt
-				if err := stormExperiment(os.Stdout, o); err != nil {
+				experiment := stormExperiment
+				if *adaptive {
+					experiment = adaptiveStormExperiment
+				}
+				if err := experiment(os.Stdout, o); err != nil {
 					return fmt.Errorf("%s: %w", name, err)
 				}
 			} else if err := multiKeyExperiment(os.Stdout, defaultMultiKeyOptions(*scale, *seed, *keys, *skew)); err != nil {
@@ -189,6 +224,19 @@ type perfRecord struct {
 	// exporting wire blobs to a central merge), including the codec's
 	// encode/decode MB/s and ns/snapshot, added with the wire PR.
 	Distributed *distRun `json:"distributed,omitempty"`
+	// Storm holds the hot-key storm runs: the static salted-vs-unsalted
+	// baseline and the adaptive variant with its skew-over-time series and
+	// route-event trace, added with the adaptive-routing PR.
+	Storm *stormSection `json:"storm,omitempty"`
+}
+
+// stormSection groups the perf record's hot-key storm measurements.
+type stormSection struct {
+	// Static is the fixed-head storm at salt 0 (the imbalance) and the
+	// configured RouteSalt (the manual mitigation baseline).
+	Static []stormRun `json:"static"`
+	// Adaptive is the moving-head storm under the occupancy controller.
+	Adaptive *adaptiveStormRun `json:"adaptive,omitempty"`
 }
 
 // engineSection groups the perf record's engine measurements.
@@ -306,6 +354,45 @@ func runJSON(o jsonOptions) error {
 			rec.TimedKeys = append(rec.TimedKeys, run)
 		}
 	}
+	sto := defaultStormOptions(scale, seed, keys, skew)
+	stormSec := &stormSection{}
+	stormSeq, err := materializeStorm(sto)
+	if err != nil {
+		return fmt.Errorf("storm: %w", err)
+	}
+	stormShards := sto.Shards[len(sto.Shards)-1]
+	for _, salt := range []int{0, sto.Salt} {
+		run, err := runStorm(sto, stormSeq, stormShards, salt)
+		if err != nil {
+			return fmt.Errorf("storm salt=%d: %w", salt, err)
+		}
+		if !run.Consistent {
+			return fmt.Errorf("storm salt=%d: hot-key snapshot diverged from reference", salt)
+		}
+		stormSec.Static = append(stormSec.Static, run)
+	}
+	sched := loadgen.HotSchedule{{Until: 0.5, Key: 0}, {Until: 1, Key: 1}}
+	adaptSeq, heads, err := materializeAdaptiveStorm(sto, sched)
+	if err != nil {
+		return fmt.Errorf("adaptive storm: %w", err)
+	}
+	_, refBlob, err := runStaticReference(sto, adaptSeq, stormShards)
+	if err != nil {
+		return fmt.Errorf("adaptive storm reference: %w", err)
+	}
+	adaptRun, err := runAdaptiveStorm(sto, adaptSeq, sched, heads, stormShards, refBlob)
+	if err != nil {
+		return fmt.Errorf("adaptive storm: %w", err)
+	}
+	if !adaptRun.ExportConsistent || !adaptRun.HotKeysConsistent || !adaptRun.FoldConsistent {
+		return fmt.Errorf("adaptive storm: verification failed (export=%v replay=%v fold=%v)",
+			adaptRun.ExportConsistent, adaptRun.HotKeysConsistent, adaptRun.FoldConsistent)
+	}
+	if adaptRun.ShardSkew > sto.SkewTarget {
+		return fmt.Errorf("adaptive storm: shard skew %.2f exceeds target %.2f", adaptRun.ShardSkew, sto.SkewTarget)
+	}
+	stormSec.Adaptive = &adaptRun
+	rec.Storm = stormSec
 	do := defaultDistOptions(scale, seed, keys, o.Workers, skew)
 	do.Serve, do.Intervals = true, o.Intervals
 	dist, err := runDistributedServe(do)

@@ -24,8 +24,12 @@ type stormOptions struct {
 	multiKeyOptions
 	// HotFrac is the fraction of traffic reports sent to the hot key.
 	HotFrac float64
-	// Salt is the RouteSalt used for the salted run (sub-streams per key).
+	// Salt is the RouteSalt used for the salted run (sub-streams per key);
+	// the adaptive variant uses it as the controller's escalation fan.
 	Salt int
+	// SkewTarget is the shard skew the ADAPTIVE storm must reach with
+	// RouteSalt unset (the scenario fails above it).
+	SkewTarget float64
 }
 
 // defaultStormOptions scales the storm: same universe as multikey, half of
@@ -35,6 +39,7 @@ func defaultStormOptions(scale float64, seed int64, keys int, skew float64) stor
 		multiKeyOptions: defaultMultiKeyOptions(scale, seed, keys, skew),
 		HotFrac:         0.5,
 		Salt:            8,
+		SkewTarget:      2.2,
 	}
 }
 
@@ -76,12 +81,12 @@ func materializeStorm(o stormOptions) (reportSeq, error) {
 
 // stormRun is one storm measurement (salted or not).
 type stormRun struct {
-	Salt           int
-	ThroughputMevS float64
-	ShardSkew      float64
-	HotShards      []int
-	QueueHighWater int
-	Consistent     bool
+	Salt           int     `json:"salt"`
+	ThroughputMevS float64 `json:"throughput_mev_s"`
+	ShardSkew      float64 `json:"shard_skew"`
+	HotShards      []int   `json:"hot_shards"`
+	QueueHighWater int     `json:"queue_high_water"`
+	Consistent     bool    `json:"consistent"`
 }
 
 // runStorm ingests the storm sequence serially (serial replay keeps the

@@ -7,6 +7,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,11 +64,15 @@ type Engine struct {
 	failed  atomic.Uint64
 	lastErr atomic.Value // engineErr; atomic.Value needs one concrete type
 	seed    maphash.Seed
-	id      uint64    // random instance identity; binds ExportCursors to THIS engine
-	timed   bool      // keys run wall-clock windows (TimedWindow set)
-	block   bool      // BackpressureBlock: lossless delivery, shards block on Results
-	salt    int       // RouteSalt sub-streams per key (0/1 = off)
+	id      uint64 // random instance identity; binds ExportCursors to THIS engine
+	timed   bool   // keys run wall-clock windows (TimedWindow set)
+	block   bool   // BackpressureBlock: lossless delivery, shards block on Results
+	salt    int    // RouteSalt sub-streams per key (0/1 = off)
 	saltCtr atomic.Uint64
+	routes  atomic.Pointer[routeTable] // per-key overrides (engineroute.go); nil = pure hash
+	adapt   *adaptState                // adaptive controller (engineadapt.go); nil = static
+	incSeq  atomic.Uint64              // engine-global key incarnation mint (migration-stable)
+	now     func() time.Time
 	bufs    sync.Pool // *[]float64 ingest buffers
 	wg      sync.WaitGroup
 
@@ -176,16 +181,34 @@ type EngineConfig struct {
 	//     bit-identical to an unsalted single stream's.
 	//   - Per-key element order holds within a sub-stream, not across them.
 	//   - Keys() and ShardStats.ResidentKeys count sub-streams.
-	//   - ExportDelta is unsupported (it returns an error): delta cursors
-	//     anchor on single-stream seal generations. Use Export.
+	//   - ExportDelta ships each sub-stream under its INTERNAL name
+	//     ("key\x00<j>") — every sub-stream is a single stream with real
+	//     seal generations, so cursors anchor on it like any other key.
+	//     Receivers (Aggregator, or any wire consumer grouping with the
+	//     NUL convention) fold sub-streams back to logical keys at read
+	//     time; full Export folds them at capture time as before.
 	//
-	// Keys must not end in a NUL byte followed by any byte (the reserved
-	// internal sub-stream suffix). 0 and 1 disable salting; max 256.
+	// Keys must not contain a NUL byte (the reserved internal sub-stream
+	// separator; Push rejects such keys). 0 and 1 disable salting; max
+	// 256. Incompatible with Adapt, whose per-key escalation is the
+	// adaptive form of the same mechanism.
 	RouteSalt int
+	// Adapt, when non-nil, enables ADAPTIVE routing: a per-key route table
+	// consulted on every Push, plus an occupancy-driven controller that
+	// escalates hot keys to salted sub-stream routing, de-escalates them
+	// when traffic subsides, and migrates whole cold keys between shards —
+	// see AdaptConfig. Keys must not contain a NUL byte. Incompatible with
+	// RouteSalt > 1.
+	Adapt *AdaptConfig
 }
 
 // ErrEngineClosed is returned by Push after Close.
 var ErrEngineClosed = fmt.Errorf("qlove: engine closed")
+
+// ErrReservedKey is returned by Push for keys containing a NUL byte — the
+// reserved separator of the internal salted sub-stream namespace (see
+// EngineConfig.RouteSalt and AdaptConfig).
+var ErrReservedKey = fmt.Errorf("qlove: key contains reserved NUL byte")
 
 const (
 	defaultQueueDepth   = 128
@@ -224,13 +247,13 @@ type engineShard struct {
 	nextTickAt  time.Time
 
 	// Delta-export bookkeeping: mutations counts every state change an
-	// export could care about (key created, key evicted, any seal) so an
-	// ExportDelta whose cursor saw the current value skips the shard
-	// without touching a single key; incSeq mints per-key incarnation
-	// numbers so a cursor can tell an evicted-and-recreated key from the
-	// incarnation it exported.
+	// export could care about (key created, key evicted or migrated away,
+	// any seal) so an ExportDelta whose cursor saw the current value skips
+	// the shard without touching a single key. Incarnation numbers come
+	// from the ENGINE-global e.incSeq, so a key keeps its identity when a
+	// migration moves it between shards and can never collide with the
+	// destination's counter.
 	mutations uint64
-	incSeq    uint64
 
 	// counters is the shard's lock-free stats plane (Engine.Stats):
 	// producers update the enqueue side, the shard goroutine the delivery
@@ -245,10 +268,20 @@ type keyEntry struct {
 	emit     func(stream.Evaluation)
 	lastSeen uint64    // shard clock at this key's most recent batch
 	lastAt   time.Time // wall clock at this key's most recent batch (wallTTL > 0)
-	inc      uint64    // incarnation: unique per (shard, key lifetime)
+	inc      uint64    // incarnation: unique per key lifetime, engine-global
 	gen      uint64    // last observed seal generation (gens != nil)
 	resident int       // last observed resident summary count (gens != nil)
 	gens     sealGenerator
+	batches  uint64 // lifetime batches delivered (travels with migrations)
+	sampled  uint64 // batches already attributed to a ctlSample pass
+
+	// Migration parking (engineroute.go): a parking entry holds a spot at
+	// the destination shard while the operator is still in flight from the
+	// source. Batches arriving under the name are parked, in order, and
+	// replayed by ctlInstall; every other shard path (sweeps, snapshots,
+	// delta scans, timed flushes) skips parking entries.
+	parking bool
+	park    []*[]float64
 }
 
 // policy returns the operator behind whichever pusher variant the entry
@@ -289,6 +322,16 @@ const (
 	ctlCount
 	ctlDelta
 	ctlTick
+	// Migration protocol ops (engineroute.go): park a name at the
+	// destination, detach an operator from the source, attach it (and
+	// replay parked batches) at the destination.
+	ctlPrepare
+	ctlHandoff
+	ctlInstall
+	// Occupancy ops (engineadapt.go): per-key load attribution and a
+	// cheap residency probe.
+	ctlSample
+	ctlExists
 )
 
 type engineCtl struct {
@@ -296,6 +339,8 @@ type engineCtl struct {
 	key  string
 	resp chan engineCtlResp
 	cur  *deltaCursorView // ctlDelta
+	ent  *keyEntry        // ctlInstall: the handed-off operator (nil = none)
+	n    int              // ctlSample: top-N keys to attribute
 }
 
 type engineCtlResp struct {
@@ -304,6 +349,8 @@ type engineCtlResp struct {
 	ok    bool
 	n     int
 	delta *shardDeltaResp
+	ent   *keyEntry // ctlHandoff: the detached operator
+	loads []KeyLoad // ctlSample
 }
 
 // keyCursor is one key's entry in an ExportCursor: the incarnation, seal
@@ -399,6 +446,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	if salt == 1 {
 		salt = 0 // one sub-stream is just the unsalted path
 	}
+	if cfg.Adapt != nil && salt > 1 {
+		return nil, fmt.Errorf("qlove: Adapt cannot be combined with RouteSalt %d (per-key escalation replaces engine-wide salting)", cfg.RouteSalt)
+	}
 	e := &Engine{
 		spec:    spec,
 		timed:   timed,
@@ -423,6 +473,18 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	now := cfg.Clock
 	if now == nil {
 		now = time.Now
+	}
+	e.now = now
+	if cfg.Adapt != nil {
+		acfg, err := cfg.Adapt.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		e.adapt = &adaptState{
+			cfg:    acfg,
+			esc:    make(map[string]*escState),
+			pinned: make(map[string]int),
+		}
 	}
 	e.shards = make([]*engineShard, shards)
 	for i := range e.shards {
@@ -463,6 +525,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 			s.run()
 		}(s)
 	}
+	e.startAdapt()
 	return e, nil
 }
 
@@ -475,11 +538,28 @@ func (e *Engine) shardOf(key string) *engineShard {
 	return e.shards[e.shardIndex(key)]
 }
 
-// route picks the shard a push goes to, applying the routing salt: with
-// RouteSalt on, push i (engine-wide) addresses sub-stream i mod salt, whose
-// internal key name hashes to its own shard. Returns the shard and the
-// internal key name to deliver under.
+// route picks the shard a push goes to. The per-key route table (adaptive
+// escalations and pins) takes precedence; the engine-wide RouteSalt comes
+// next (push i engine-wide addresses sub-stream i mod salt); plain hash
+// dispatch is the default. Returns the shard and the internal key name to
+// deliver under. Called under e.mu.RLock — held across route AND enqueue,
+// which is what lets a route flip under the write lock act as a cutover
+// barrier (engineroute.go).
 func (e *Engine) route(key string) (*engineShard, string) {
+	if rt := e.routes.Load(); rt != nil {
+		if ov := rt.m[key]; ov != nil {
+			switch {
+			case ov.salt > 1:
+				key = saltedKey(key, byte((ov.ctr.Add(1)-1)%uint64(ov.salt)))
+				return e.shardOf(key), key
+			case ov.salt == 1:
+				key = saltedKey(key, 0)
+				return e.shardOf(key), key
+			case ov.shard >= 0:
+				return e.shards[ov.shard], key
+			}
+		}
+	}
 	if e.salt > 1 {
 		key = saltedKey(key, byte((e.saltCtr.Add(1)-1)%uint64(e.salt)))
 	}
@@ -546,6 +626,11 @@ func (e *Engine) push(ctx context.Context, key string, vs []float64) error {
 		// Checked before the empty fast-path so producers using Push's
 		// error as their shutdown signal see closure on empty reports too.
 		return ErrEngineClosed
+	}
+	if strings.IndexByte(key, saltSep) >= 0 {
+		// NUL is the internal sub-stream separator; letting it through
+		// would let a user key alias an escalated key's sub-stream.
+		return ErrReservedKey
 	}
 	if len(vs) == 0 {
 		return nil
@@ -627,37 +712,49 @@ func (e *Engine) Snapshot() EngineSnapshot {
 	return EngineSnapshot{keys: e.foldSalted(raw)}
 }
 
-// foldSalted collapses internal sub-stream captures to logical keys: with
-// routing salt off it is the identity; with salt on, each key's resident
-// sub-streams merge in salt-index order (deterministic bytes for Export),
-// the same disjoint-sub-stream merge cross-engine aggregation uses.
+// foldSalted collapses internal sub-stream captures to logical keys: the
+// identity when nothing is salted; otherwise each key's resident streams
+// merge in [base residue, sub-stream 0, 1, …] order (deterministic bytes
+// for Export), the same disjoint-sub-stream merge cross-engine aggregation
+// uses. Purely syntactic on the NUL convention, so it handles engine-wide
+// RouteSalt names and per-key adaptive escalation names alike — including
+// a base residue coexisting with sub-streams mid-escalation.
 func (e *Engine) foldSalted(raw map[string]Snapshot) map[string]Snapshot {
-	if e.salt <= 1 {
+	any := false
+	for name := range raw {
+		if _, _, salted := splitKey(name); salted {
+			any = true
+			break
+		}
+	}
+	if !any {
 		return raw
 	}
+	// Slot 0 holds the base residue, slot j+1 sub-stream j; absent slots
+	// stay zero, the merge identity.
 	grouped := make(map[string][]Snapshot)
 	for name, sn := range raw {
-		base := e.baseKey(name)
+		base, sub, salted := splitKey(name)
+		idx := 0
+		if salted {
+			idx = int(sub) + 1
+		}
 		g := grouped[base]
-		if g == nil {
-			g = make([]Snapshot, e.salt)
-			grouped[base] = g
+		if len(g) <= idx {
+			ng := make([]Snapshot, idx+1)
+			copy(ng, g)
+			g = ng
 		}
-		if base != name {
-			g[name[len(name)-1]] = sn
-		} else {
-			// An unsalted residue (key pushed before salting was on — not
-			// possible today, but cheap to keep correct): merge it first.
-			g[0] = sn
-		}
+		g[idx] = sn
+		grouped[base] = g
 	}
 	out := make(map[string]Snapshot, len(grouped))
 	for base, g := range grouped {
-		m, err := MergeSnapshots(g) // zero slots are the merge identity
+		m, err := MergeSnapshots(g)
 		if err != nil {
 			// Unreachable by construction: every sub-stream's operator is
-			// minted from the same config. Keep the shard-order view rather
-			// than lose the key.
+			// minted from the same config. Keep the first resident view
+			// rather than lose the key.
 			for _, sn := range g {
 				if sn.SubWindows() > 0 {
 					m = sn
@@ -671,36 +768,58 @@ func (e *Engine) foldSalted(raw map[string]Snapshot) map[string]Snapshot {
 }
 
 // Query captures one key's snapshot without stopping ingestion. ok is
-// false when the key is unknown (or its policy cannot snapshot). Under
-// salted routing the capture is the salt-index-ordered merge of the key's
-// resident sub-streams.
+// false when the key is unknown (or its policy cannot snapshot). For a
+// salted key (engine-wide RouteSalt, or a key the adaptive controller has
+// escalated — even one since de-escalated whose fan has not yet drained)
+// the capture is the [base, sub-stream 0, 1, …]-ordered merge of the
+// key's resident streams.
 func (e *Engine) Query(key string) (Snapshot, bool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	if e.salt > 1 {
-		snaps := make([]Snapshot, e.salt)
-		found := false
-		for j := 0; j < e.salt; j++ {
-			if sn, ok := e.queryOne(saltedKey(key, byte(j))); ok {
-				snaps[j] = sn
-				found = true
-			}
-		}
-		if !found {
-			return Snapshot{}, false
-		}
-		m, err := MergeSnapshots(snaps)
-		if err != nil {
-			return Snapshot{}, false // unreachable: one config mints every sub-stream
-		}
-		return m, true
+	max := e.salt
+	if ov := e.override(key); ov != nil && ov.maxSalt > max {
+		max = ov.maxSalt
 	}
-	return e.queryOne(key)
+	if max <= 1 {
+		return e.queryOne(key)
+	}
+	snaps := make([]Snapshot, max+1)
+	found := false
+	if sn, ok := e.queryOne(key); ok {
+		snaps[0] = sn
+		found = true
+	}
+	for j := 0; j < max; j++ {
+		if sn, ok := e.queryOne(saltedKey(key, byte(j))); ok {
+			snaps[j+1] = sn
+			found = true
+		}
+	}
+	if !found {
+		return Snapshot{}, false
+	}
+	m, err := MergeSnapshots(snaps) // zero slots are the merge identity
+	if err != nil {
+		return Snapshot{}, false // unreachable: one config mints every sub-stream
+	}
+	return m, true
 }
 
-// queryOne captures one INTERNAL key name; callers hold e.mu.RLock.
+// queryOne captures one INTERNAL key name; callers hold e.mu.RLock. The
+// routed shard answers first; on a miss the hash-home shard is probed too
+// (a pin observed through a racing route flip can be one step stale).
 func (e *Engine) queryOne(key string) (Snapshot, bool) {
-	s := e.shardOf(key)
+	s := e.locateShard(key)
+	if sn, ok := e.queryShard(s, key); ok {
+		return sn, true
+	}
+	if h := e.shardOf(key); h != s {
+		return e.queryShard(h, key)
+	}
+	return Snapshot{}, false
+}
+
+func (e *Engine) queryShard(s *engineShard, key string) (Snapshot, bool) {
 	if e.closed {
 		if ent := s.keys[key]; ent != nil && ent.snap != nil {
 			return ent.snap.Snapshot(), true
@@ -821,12 +940,6 @@ func (e *Engine) ExportDelta(w io.Writer, cur *ExportCursor) (int64, error) {
 	if cur == nil {
 		return 0, fmt.Errorf("qlove: ExportDelta needs a cursor; use new(ExportCursor) for a first export")
 	}
-	if e.salt > 1 {
-		// Delta cursors anchor on one stream's seal generations; a salted
-		// key is many streams merged at read time. Full exports remain
-		// available (and fold logical keys).
-		return 0, fmt.Errorf("qlove: ExportDelta is unsupported under salted routing (RouteSalt %d); use Export", e.salt)
-	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if cur.keys == nil {
@@ -847,7 +960,11 @@ func (e *Engine) ExportDelta(w io.Writer, cur *ExportCursor) (int64, error) {
 		cur.shards = nil
 		cur.have = false
 	}
-	have := cur.have && len(cur.shards) == len(e.shards)
+	// Adaptive engines disable the O(1) shard skip: a pinned or escalated
+	// key no longer lives on its hash-home shard, so per-shard cursor
+	// reasoning (which shard owns which cursor key) does not hold. Every
+	// shard scans, and assembleDelta reasons over the GLOBAL present set.
+	have := cur.have && len(cur.shards) == len(e.shards) && e.adapt == nil
 	if len(cur.shards) != len(e.shards) {
 		cur.shards = make([]uint64, len(e.shards))
 	}
@@ -877,26 +994,46 @@ func (e *Engine) ExportDelta(w io.Writer, cur *ExportCursor) (int64, error) {
 }
 
 // assembleDelta turns the per-shard captures into sorted tombstone and
-// delta frames and advances the cursor.
+// delta frames and advances the cursor. Keys are INTERNAL names: a salted
+// or escalated key ships one frame per sub-stream (each a single stream
+// with real seal generations — the stable cursor identity that lets delta
+// exports survive per-key salting), and receivers fold sub-streams back
+// to logical keys at read time. On an adaptive engine no shard is ever
+// skipped (see ExportDelta), so the union of the per-shard present sets is
+// the complete resident set wherever each key currently lives; a key
+// observed mid-migration (parked at its destination) is simply absent for
+// that one export and bootstraps on the next — receivers treat
+// from-generation-0 deltas as replacements, so the fold converges.
 func (e *Engine) assembleDelta(w io.Writer, cur *ExportCursor, resps []*shardDeltaResp) (int64, error) {
+	adaptive := e.adapt != nil
+	present := make(map[string]uint64)
+	caps := make(map[string]deltaCapture)
+	for _, r := range resps {
+		if r.skipped {
+			continue
+		}
+		for k, inc := range r.present {
+			present[k] = inc
+		}
+		for k, c := range r.changed {
+			caps[k] = c
+		}
+	}
 	var tombs, changed []string
 	recreated := make(map[string]bool)
 	for k, kc := range cur.keys {
-		r := resps[e.shardIndex(k)]
-		if r.skipped {
+		if !adaptive && resps[e.shardIndex(k)].skipped {
 			continue // unchanged shard: every cursor key it owns is intact
 		}
-		inc, ok := r.present[k]
+		inc, ok := present[k]
 		if !ok {
 			tombs = append(tombs, k)
 		} else if inc != kc.inc {
 			recreated[k] = true
 		}
 	}
-	for _, r := range resps {
-		for k := range r.changed {
-			changed = append(changed, k)
-		}
+	for k := range caps {
+		changed = append(changed, k)
 	}
 	sort.Strings(tombs)
 	sort.Strings(changed)
@@ -919,7 +1056,7 @@ func (e *Engine) assembleDelta(w io.Writer, cur *ExportCursor, resps []*shardDel
 		delete(cur.keys, k)
 	}
 	for _, k := range changed {
-		c := resps[e.shardIndex(k)].changed[k]
+		c := caps[k]
 		g := c.snap.SealGen()
 		from := uint64(0)
 		if kc, ok := cur.keys[k]; ok && !recreated[k] && kc.inc == c.inc && kc.gen <= g {
@@ -1016,22 +1153,36 @@ func (e *Engine) Tick() {
 
 // Evict retires a key, returning whether it existed. The key's operator
 // goes back to the shard's pool (arena and all) for the next new key.
-// Under salted routing every resident sub-stream of the key is retired.
+// Under salted routing (engine-wide or adaptive) every resident stream of
+// the key — base residue and sub-streams — is retired; any route override
+// stays, so a later push re-creates the key under its current routing.
 func (e *Engine) Evict(key string) bool {
-	if e.salt > 1 {
-		any := false
-		for j := 0; j < e.salt; j++ {
-			if e.evictOne(saltedKey(key, byte(j))) {
-				any = true
-			}
-		}
-		return any
+	max := e.salt
+	if ov := e.override(key); ov != nil && ov.maxSalt > max {
+		max = ov.maxSalt
 	}
-	return e.evictOne(key)
+	any := e.evictOne(key)
+	for j := 0; j < max; j++ {
+		if e.evictOne(saltedKey(key, byte(j))) {
+			any = true
+		}
+	}
+	return any
 }
 
+// evictOne retires one INTERNAL key name, probing the routed shard first
+// and the hash home on a miss (mirroring queryOne).
 func (e *Engine) evictOne(key string) bool {
-	s := e.shardOf(key)
+	if e.evictAt(e.locateShard(key), key) {
+		return true
+	}
+	if h := e.shardOf(key); h != e.locateShard(key) {
+		return e.evictAt(h, key)
+	}
+	return false
+}
+
+func (e *Engine) evictAt(s *engineShard, key string) bool {
 	e.mu.RLock()
 	if !e.closed {
 		resp := make(chan engineCtlResp, 1)
@@ -1085,6 +1236,12 @@ func (e *Engine) Keys() int {
 // must keep draining Results until it closes, or Close waits behind the
 // full channel with the blocked shards.
 func (e *Engine) Close() {
+	// Stop the adaptive controller BEFORE taking the write lock: a pass in
+	// flight may itself need the lock for a route cutover, and would then
+	// deadlock behind Close. Explicit Rebalance callers racing Close are
+	// safe either way — every controller step re-checks closed under a
+	// lock before touching a shard queue.
+	e.stopAdapt()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -1121,6 +1278,7 @@ func (s *engineShard) run() {
 		select {
 		case msg, ok := <-s.in:
 			if !ok {
+				s.drainParked()
 				return
 			}
 			s.handle(msg)
@@ -1132,10 +1290,34 @@ func (s *engineShard) run() {
 	}
 }
 
+// drainParked runs at shard exit: a migration aborted by Close leaves
+// parking entries behind; their batches were accepted (Push succeeded),
+// so they deliver through the normal mint path — losslessness holds even
+// for a cutover torn down mid-flight.
+func (s *engineShard) drainParked() {
+	for name, ent := range s.keys {
+		if !ent.parking {
+			continue
+		}
+		parked := ent.park
+		delete(s.keys, name)
+		for _, bp := range parked {
+			s.handle(engineMsg{key: name, buf: bp})
+		}
+	}
+	s.counters.resident.Store(int64(len(s.keys)))
+}
+
 // handle processes one queued unit of shard work.
 func (s *engineShard) handle(msg engineMsg) {
 	if msg.ctl != nil {
 		s.control(msg.ctl)
+		return
+	}
+	if ent := s.keys[msg.key]; ent != nil && ent.parking {
+		// Mid-migration: the operator is in flight from the source shard.
+		// Park the batch; ctlInstall replays in arrival order.
+		ent.park = append(ent.park, msg.buf)
 		return
 	}
 	// One clock read per delivery, shared by the batch timestamp, the TTL
@@ -1165,6 +1347,7 @@ func (s *engineShard) handle(msg engineMsg) {
 		} else {
 			ent.pusher.PushBatch(*msg.buf, ent.emit)
 		}
+		ent.batches++
 		s.counters.delivered.Add(1)
 		s.noteMutation(ent)
 	}
@@ -1241,7 +1424,7 @@ func wallSweepInterval(ttl time.Duration) time.Duration {
 // shard work; evicted operators recycle through the pool.
 func (s *engineShard) sweep() {
 	for k, ent := range s.keys {
-		if s.clock-ent.lastSeen > s.ttl {
+		if !ent.parking && s.clock-ent.lastSeen > s.ttl {
 			s.evict(k)
 		}
 	}
@@ -1249,9 +1432,10 @@ func (s *engineShard) sweep() {
 }
 
 // wallSweep evicts every key wall-clock idle for more than the TTL.
+// Parking entries are exempt (a migration in flight is not an idle key).
 func (s *engineShard) wallSweep(now time.Time) {
 	for k, ent := range s.keys {
-		if now.Sub(ent.lastAt) > s.wallTTL {
+		if !ent.parking && now.Sub(ent.lastAt) > s.wallTTL {
 			s.evict(k)
 		}
 	}
@@ -1290,22 +1474,30 @@ func (s *engineShard) entry(key string) (*keyEntry, error) {
 	}
 	ent.snap, _ = pol.(Snapshotter)
 	ent.gens, _ = pol.(sealGenerator)
-	s.incSeq++
-	ent.inc = s.incSeq
+	ent.inc = s.eng.incSeq.Add(1)
 	s.mutations++
 	if s.wallTTL > 0 {
 		ent.lastAt = s.now()
 	}
-	// One closure per key, not per batch: the emit path stays
-	// allocation-free at steady state. Results carry the LOGICAL key name
-	// (the salt suffix, when routing is salted, is an internal detail).
+	ent.emit = s.makeEmit(logicalKey(key))
+	s.keys[key] = ent
+	s.counters.resident.Store(int64(len(s.keys)))
+	return ent, nil
+}
+
+// makeEmit builds a key's evaluation-delivery closure. One closure per key,
+// not per batch: the emit path stays allocation-free at steady state.
+// Results carry the LOGICAL key name (the salt suffix is an internal
+// detail). The closure captures THIS shard's counters, so a migrated
+// operator gets a fresh one from ctlInstall — evaluations account where
+// they are delivered from.
+func (s *engineShard) makeEmit(base string) func(stream.Evaluation) {
 	eng := s.eng
-	base := eng.baseKey(key)
 	if eng.block {
 		// Lossless delivery: a full Results channel stalls the shard (and,
 		// transitively, producers) instead of shedding the evaluation. The
 		// stall is accounted so overload is observable via Stats.
-		ent.emit = func(ev stream.Evaluation) {
+		return func(ev stream.Evaluation) {
 			kr := KeyedResult{Key: base, Result: Result{Evaluation: ev.Index, Estimates: ev.Estimates}}
 			select {
 			case eng.results <- kr:
@@ -1316,19 +1508,15 @@ func (s *engineShard) entry(key string) (*keyEntry, error) {
 			}
 			s.counters.evalsDelivered.Add(1)
 		}
-	} else {
-		ent.emit = func(ev stream.Evaluation) {
-			select {
-			case eng.results <- KeyedResult{Key: base, Result: Result{Evaluation: ev.Index, Estimates: ev.Estimates}}:
-				s.counters.evalsDelivered.Add(1)
-			default:
-				s.counters.evalsDropped.Add(1)
-			}
+	}
+	return func(ev stream.Evaluation) {
+		select {
+		case eng.results <- KeyedResult{Key: base, Result: Result{Evaluation: ev.Index, Estimates: ev.Estimates}}:
+			s.counters.evalsDelivered.Add(1)
+		default:
+			s.counters.evalsDropped.Add(1)
 		}
 	}
-	s.keys[key] = ent
-	s.counters.resident.Store(int64(len(s.keys)))
-	return ent, nil
 }
 
 func (s *engineShard) control(ctl *engineCtl) {
@@ -1356,7 +1544,87 @@ func (s *engineShard) control(ctl *engineCtl) {
 	case ctlTick:
 		s.timedFlush(s.now(), true)
 		ctl.resp <- engineCtlResp{}
+	case ctlPrepare:
+		if s.keys[ctl.key] != nil {
+			ctl.resp <- engineCtlResp{} // name already resident: refuse
+			return
+		}
+		s.keys[ctl.key] = &keyEntry{parking: true}
+		s.counters.resident.Store(int64(len(s.keys)))
+		ctl.resp <- engineCtlResp{ok: true}
+	case ctlHandoff:
+		if ent := s.keys[ctl.key]; ent != nil && !ent.parking {
+			delete(s.keys, ctl.key)
+			s.mutations++
+			s.counters.resident.Store(int64(len(s.keys)))
+			ctl.resp <- engineCtlResp{ent: ent, ok: true}
+			return
+		}
+		ctl.resp <- engineCtlResp{}
+	case ctlInstall:
+		s.install(ctl.key, ctl.ent)
+		ctl.resp <- engineCtlResp{}
+	case ctlSample:
+		ctl.resp <- engineCtlResp{loads: s.sampleLoads(ctl.n)}
+	case ctlExists:
+		ent := s.keys[ctl.key]
+		ctl.resp <- engineCtlResp{ok: ent != nil && !ent.parking}
 	}
+}
+
+// install completes a migration on the destination shard: attach the
+// handed-off operator (nil when the source stream was not resident — the
+// key then simply mints fresh on replay, never resurrecting stale seals)
+// and replay the parked batches in arrival order through the normal
+// delivery path, so clocks, TTL stamps, stats and mutation bookkeeping
+// all advance exactly as for direct deliveries.
+func (s *engineShard) install(name string, ent *keyEntry) {
+	var parked []*[]float64
+	if p := s.keys[name]; p != nil && p.parking {
+		parked = p.park
+		delete(s.keys, name)
+	}
+	if ent != nil {
+		ent.parking, ent.park = false, nil
+		ent.emit = s.makeEmit(logicalKey(name))
+		ent.lastSeen = s.clock
+		if s.wallTTL > 0 {
+			ent.lastAt = s.now()
+		}
+		s.keys[name] = ent
+		s.mutations++
+		s.counters.resident.Store(int64(len(s.keys)))
+	}
+	for _, bp := range parked {
+		s.handle(engineMsg{key: name, buf: bp})
+	}
+}
+
+// sampleLoads attributes deliveries since the previous sample to keys,
+// returning the top n by interval load (ties break on key name, so a
+// quiesced engine samples deterministically). Sampling RESETS the
+// attribution counters of every key, sampled or not, so each pass sees
+// exactly one interval.
+func (s *engineShard) sampleLoads(n int) []KeyLoad {
+	var loads []KeyLoad
+	for k, ent := range s.keys {
+		d := ent.batches - ent.sampled
+		ent.sampled = ent.batches
+		if d == 0 || ent.parking {
+			continue
+		}
+		loads = append(loads, KeyLoad{Key: k, Batches: d})
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Batches != loads[j].Batches {
+			return loads[i].Batches > loads[j].Batches
+		}
+		return loads[i].Key < loads[j].Key
+	})
+	if n > 0 && len(loads) > n {
+		loads = loads[:n]
+	}
+	return loads
 }
 
 // deltaResp computes this shard's contribution to a delta export: capture
@@ -1387,11 +1655,22 @@ func (s *engineShard) deltaResp(cur *deltaCursorView) *shardDeltaResp {
 	return r
 }
 
-// evict removes a key and recycles its operator.
+// evict removes a key and recycles its operator. Evicting a PARKING entry
+// (an explicit Evict racing a migration) drops the key along with its
+// parked batches — consistent with evicting the stream they would have
+// joined.
 func (s *engineShard) evict(key string) bool {
 	ent, ok := s.keys[key]
 	if !ok {
 		return false
+	}
+	if ent.parking {
+		delete(s.keys, key)
+		s.counters.resident.Store(int64(len(s.keys)))
+		for _, bp := range ent.park {
+			s.eng.bufs.Put(bp)
+		}
+		return true
 	}
 	delete(s.keys, key)
 	s.mutations++

@@ -1,0 +1,826 @@
+// Tests for adaptive hot-key routing: live key migration and per-key
+// escalation must be invisible to readers — queries, full exports and
+// delta exports stay bit-identical to an unmigrated/unsalted reference —
+// and the occupancy-driven controller must escalate, cool and collapse a
+// hot key across its whole lifecycle without ordering violations.
+package qlove
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// --- satellite: HotShards degenerate shard counts -----------------------
+
+func TestEngineHotShardsDegenerateCounts(t *testing.T) {
+	// One shard: there is no "other shard" to compare against, so no
+	// factor may ever flag it.
+	one := EngineStats{Shards: []ShardStats{{DeliveredBatches: 1 << 20}}}
+	for _, f := range []float64{1.0001, 1.5, 2, 10} {
+		if hot := one.HotShards(f); hot != nil {
+			t.Fatalf("1 shard, factor %v: HotShards = %v, want nil", f, hot)
+		}
+	}
+	// Two shards: max/mean is at most 2, so factor >= 2 can never fire
+	// and the comparison is strictly greater-than.
+	two := EngineStats{Shards: []ShardStats{{DeliveredBatches: 90}, {DeliveredBatches: 10}}}
+	if hot := two.HotShards(2); hot != nil {
+		t.Fatalf("2 shards, factor 2: HotShards = %v, want nil", hot)
+	}
+	if hot := two.HotShards(1.5); len(hot) != 1 || hot[0] != 0 {
+		t.Fatalf("2 shards, factor 1.5: HotShards = %v, want [0]", hot)
+	}
+	if hot := two.HotShards(1.79); len(hot) != 1 || hot[0] != 0 {
+		t.Fatalf("2 shards, factor 1.79: HotShards = %v, want [0]", hot)
+	}
+	// 90 > 1.8×50 is false: the bound is strict.
+	if hot := two.HotShards(1.8); hot != nil {
+		t.Fatalf("2 shards, factor 1.8: HotShards = %v, want nil", hot)
+	}
+	balanced := EngineStats{Shards: []ShardStats{{DeliveredBatches: 50}, {DeliveredBatches: 50}}}
+	if hot := balanced.HotShards(1); hot != nil {
+		t.Fatalf("balanced, factor 1: HotShards = %v, want nil", hot)
+	}
+	idle := EngineStats{Shards: []ShardStats{{}, {}}}
+	if hot := idle.HotShards(1.5); hot != nil {
+		t.Fatalf("idle shards: HotShards = %v, want nil", hot)
+	}
+}
+
+// --- validation ---------------------------------------------------------
+
+func TestEngineAdaptValidation(t *testing.T) {
+	cfg := Config{Spec: Window{Size: 64, Period: 32}, Phis: []float64{0.5}}
+	if _, err := NewEngine(EngineConfig{Config: cfg, RouteSalt: 4, Adapt: &AdaptConfig{}}); err == nil {
+		t.Error("RouteSalt + Adapt accepted; the salting disciplines must be exclusive")
+	}
+	for _, bad := range []AdaptConfig{
+		{Salt: 1}, {Salt: 300}, {HotShardFactor: 0.5}, {Interval: -time.Second},
+		{HotKeyFrac: 1.5}, {CoolFrac: -0.1},
+	} {
+		if _, err := NewEngine(EngineConfig{Config: cfg, Adapt: &bad}); err == nil {
+			t.Errorf("AdaptConfig %+v accepted", bad)
+		}
+	}
+	// NUL is the reserved sub-stream separator on every engine, adaptive
+	// or not: user keys containing it are rejected up front.
+	for _, ec := range []EngineConfig{
+		{Config: cfg},
+		{Config: cfg, Adapt: &AdaptConfig{}},
+	} {
+		e, err := NewEngine(ec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Push("a\x00b", []float64{1}); !errors.Is(err, ErrReservedKey) {
+			t.Errorf("NUL key: err = %v, want ErrReservedKey", err)
+		}
+		e.Close()
+	}
+}
+
+// --- helpers ------------------------------------------------------------
+
+// sameEstimates fails unless the two engines answer every key with
+// bit-identical quantile estimates.
+func sameEstimates(t *testing.T, label string, a, b *Engine, keys []string) {
+	t.Helper()
+	for _, k := range keys {
+		qa, oka := a.Query(k)
+		qb, okb := b.Query(k)
+		if oka != okb {
+			t.Fatalf("%s: key %q resident mismatch: %v vs %v", label, k, oka, okb)
+		}
+		if !oka {
+			continue
+		}
+		ea, eb := qa.Estimates(), qb.Estimates()
+		for j := range ea {
+			if math.Float64bits(ea[j]) != math.Float64bits(eb[j]) {
+				t.Fatalf("%s: key %q ϕ[%d]: %v != %v", label, k, j, ea[j], eb[j])
+			}
+		}
+	}
+}
+
+// sameSnapshot fails unless a Snapshot's estimates match a reference
+// bit-for-bit.
+func sameSnapshot(t *testing.T, label string, got, want Snapshot) {
+	t.Helper()
+	ge, we := got.Estimates(), want.Estimates()
+	for j := range we {
+		if math.Float64bits(ge[j]) != math.Float64bits(we[j]) {
+			t.Fatalf("%s: ϕ[%d]: %v != reference %v", label, j, ge[j], we[j])
+		}
+	}
+}
+
+// foldEquiv asserts the delta-export invariant: an aggregator that
+// applied the engine's delta stream answers exactly like the engine's
+// full export — logical keys and bits.
+func foldEquiv(t *testing.T, label string, e *Engine, agg *Aggregator) {
+	t.Helper()
+	full := e.Snapshot()
+	folded, err := agg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, ak := full.Keys(), folded.Keys()
+	if len(fk) != len(ak) {
+		t.Fatalf("%s: engine keys %v vs aggregator keys %v", label, fk, ak)
+	}
+	for i := range fk {
+		if fk[i] != ak[i] {
+			t.Fatalf("%s: engine keys %v vs aggregator keys %v", label, fk, ak)
+		}
+	}
+	for _, k := range fk {
+		we, _ := full.Query(k)
+		ge, ok := folded.Query(k)
+		if !ok {
+			t.Fatalf("%s: aggregator lost key %q", label, k)
+		}
+		for j := range we {
+			if math.Float64bits(ge[j]) != math.Float64bits(we[j]) {
+				t.Fatalf("%s: key %q ϕ[%d]: %v != engine %v", label, k, j, ge[j], we[j])
+			}
+		}
+	}
+}
+
+// --- tentpole: migration bit-equivalence --------------------------------
+
+// TestEngineAdaptMigrationEquivalence pins the core migration promise: a
+// key moved live between shards produces queries, full exports and delta
+// exports bit-identical to the same key on an engine that never migrated
+// anything — at 1, 2 and 8 shards, including eviction tombstones after a
+// move and pin-removal when a key migrates back home.
+func TestEngineAdaptMigrationEquivalence(t *testing.T) {
+	spec := Window{Size: 64, Period: 32}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.9, 0.99}}
+	const nkeys, rounds = 12, 8
+	data := workload.Generate(workload.NewNetMon(11), nkeys*rounds*2*32)
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", i)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			adaptive, err := NewEngine(EngineConfig{Config: cfg, Shards: shards, ResultBuffer: 1 << 12, Adapt: &AdaptConfig{}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := NewEngine(EngineConfig{Config: cfg, Shards: shards, ResultBuffer: 1 << 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			doneA, doneB := drainResults(adaptive), drainResults(ref)
+			curA, curB := new(ExportCursor), new(ExportCursor)
+			agg := NewAggregator()
+			off := 0
+			pushRound := func() {
+				for r := 0; r < rounds; r++ {
+					for _, k := range keys {
+						vs := data[off : off+32]
+						off += 32
+						if err := adaptive.Push(k, vs); err != nil {
+							t.Fatal(err)
+						}
+						if err := ref.Push(k, vs); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			checkpoint := func(label string) {
+				var fa, fb, da, db bytes.Buffer
+				if _, err := adaptive.Export(&fa); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ref.Export(&fb); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fa.Bytes(), fb.Bytes()) {
+					t.Fatalf("%s: full export diverged (%d vs %d bytes)", label, fa.Len(), fb.Len())
+				}
+				if _, err := adaptive.ExportDelta(&da, curA); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ref.ExportDelta(&db, curB); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(da.Bytes(), db.Bytes()) {
+					t.Fatalf("%s: delta export diverged (%d vs %d bytes)", label, da.Len(), db.Len())
+				}
+				if _, err := agg.Apply("w0", bytes.NewReader(da.Bytes())); err != nil {
+					t.Fatal(err)
+				}
+				foldEquiv(t, label, adaptive, agg)
+				sameEstimates(t, label, adaptive, ref, keys)
+			}
+
+			pushRound()
+			checkpoint("pre-migration")
+
+			if shards == 1 {
+				if _, ok := adaptive.migrateKey("k0", 0); ok {
+					t.Fatal("1-shard migrate reported a move")
+				}
+			} else {
+				for _, k := range []string{"k0", "k1", "k2"} {
+					home := adaptive.shardIndex(k)
+					dst := (home + 1) % shards
+					ev, ok := adaptive.migrateKey(k, dst)
+					if !ok {
+						t.Fatalf("migrate %q -> shard %d refused", k, dst)
+					}
+					if ev.Kind != RouteMigrate || ev.FromShard != home || ev.ToShard != dst {
+						t.Fatalf("migrate event %+v, want %s->%d", ev, k, dst)
+					}
+					if ev.KeyBatches != rounds {
+						t.Fatalf("migrate %q carried %d batches, want %d", k, ev.KeyBatches, rounds)
+					}
+				}
+				// Pin k0 back to its hash home: the override must vanish,
+				// not persist as a redundant pin.
+				home := adaptive.shardIndex("k0")
+				if _, ok := adaptive.migrateKey("k0", home); !ok {
+					t.Fatal("migrate k0 home refused")
+				}
+				if ov := adaptive.override("k0"); ov != nil {
+					t.Fatalf("k0 still overridden after moving home: %+v", ov)
+				}
+			}
+
+			checkpoint("post-migration-quiescent")
+			pushRound()
+			checkpoint("post-migration-traffic")
+
+			if !adaptive.Evict("k2") || !ref.Evict("k2") {
+				t.Fatal("evict k2 found nothing")
+			}
+			checkpoint("post-evict")
+
+			adaptive.Close()
+			ref.Close()
+			<-doneA
+			<-doneB
+		})
+	}
+}
+
+// --- tentpole: escalation replay equivalence ----------------------------
+
+// TestEngineAdaptEscalationEquivalence drives a key through the full
+// escalation lifecycle — fresh escalate (operator migrates to sub-stream
+// 0), widened fan-out, de-escalate, and a flip-only re-escalation — and
+// checks every phase bit-for-bit against external reference monitors fed
+// the deterministic i-mod-salt sub-stream assignment.
+func TestEngineAdaptEscalationEquivalence(t *testing.T) {
+	const salt = 4
+	spec := Window{Size: 64, Period: 32}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.9, 0.99}}
+	data := workload.Generate(workload.NewNetMon(13), 64*32)
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			e, err := NewEngine(EngineConfig{Config: cfg, Shards: shards, ResultBuffer: 1 << 12, Adapt: &AdaptConfig{Salt: salt}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := drainResults(e)
+			subs := make([]*Monitor, salt)
+			pols := make([]*QLOVE, salt)
+			mk := func() (*Monitor, *QLOVE) {
+				p, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, err := NewMonitor(p, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m, p
+			}
+			off := 0
+			push := func(ref int) {
+				vs := data[off : off+32]
+				off += 32
+				if err := e.Push("hot", vs); err != nil {
+					t.Fatal(err)
+				}
+				if subs[ref] == nil {
+					subs[ref], pols[ref] = mk()
+				}
+				subs[ref].PushBatch(vs, nil)
+			}
+			expect := func() Snapshot {
+				var sn []Snapshot
+				for j := range pols {
+					if pols[j] != nil {
+						sn = append(sn, pols[j].Snapshot())
+					}
+				}
+				m, err := MergeSnapshots(sn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m
+			}
+			compare := func(label string) {
+				got, ok := e.Query("hot")
+				if !ok {
+					t.Fatalf("%s: hot not queryable", label)
+				}
+				sameSnapshot(t, label+" query", got, expect())
+				var blob bytes.Buffer
+				if _, err := e.Export(&blob); err != nil {
+					t.Fatal(err)
+				}
+				var back EngineSnapshot
+				if _, err := back.ReadFrom(&blob); err != nil {
+					t.Fatal(err)
+				}
+				est, ok := back.Query("hot")
+				if !ok {
+					t.Fatalf("%s: export lost hot", label)
+				}
+				we := expect().Estimates()
+				for j := range we {
+					if math.Float64bits(est[j]) != math.Float64bits(we[j]) {
+						t.Fatalf("%s export: ϕ[%d]: %v != %v", label, j, est[j], we[j])
+					}
+				}
+			}
+
+			// Phase 1: plain hash routing; history accumulates on the base.
+			for i := 0; i < 8; i++ {
+				push(0)
+			}
+			ev, ok := e.escalateKey("hot", salt)
+			if !ok {
+				t.Fatal("fresh escalation refused")
+			}
+			if ev.Kind != RouteEscalate || ev.KeyBatches != 8 {
+				t.Fatalf("escalate event %+v, want 8 carried batches", ev)
+			}
+			// The base operator now lives on as sub-stream 0: subs[0]
+			// already holds its reference (push(0) created it).
+
+			// Phase 2: escalated — push i after the flip goes to i mod salt.
+			for i := 0; i < 16; i++ {
+				push(i % salt)
+			}
+			compare("escalated")
+
+			// Phase 3: de-escalated — everything funnels to sub-stream 0.
+			if _, ok := e.deescalateKey("hot"); !ok {
+				t.Fatal("de-escalation refused")
+			}
+			for i := 0; i < 8; i++ {
+				push(0)
+			}
+			compare("de-escalated")
+			// Collapse must refuse while older sub-streams are resident.
+			if _, ok := e.collapseKey("hot", salt); ok {
+				t.Fatal("collapse ran with resident sub-streams")
+			}
+
+			// Phase 4: re-escalation is a pure route flip (sub-stream 0
+			// already carries the live stream) with the counter reset, so
+			// assignment restarts at sub-stream 0.
+			ev, ok = e.escalateKey("hot", salt)
+			if !ok {
+				t.Fatal("re-escalation refused")
+			}
+			if ev.FromShard != -1 || ev.ToShard != -1 {
+				t.Fatalf("re-escalation moved a stream: %+v", ev)
+			}
+			for i := 0; i < 12; i++ {
+				push(i % salt)
+			}
+			compare("re-escalated")
+
+			e.Close()
+			<-done
+		})
+	}
+}
+
+// TestEngineAdaptCollapseAfterTTL walks the back half of the lifecycle:
+// after de-escalation the idle sub-streams age out under count-based
+// KeyTTL, collapse migrates sub-stream 0 home to the base name, the
+// override disappears, and the key keeps answering bit-identically.
+func TestEngineAdaptCollapseAfterTTL(t *testing.T) {
+	const salt, ttl = 4, 32
+	spec := Window{Size: 64, Period: 32}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.9}}
+	e, err := NewEngine(EngineConfig{Config: cfg, Shards: 1, ResultBuffer: 1 << 12, KeyTTL: ttl, Adapt: &AdaptConfig{Salt: salt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := drainResults(e)
+	data := workload.Generate(workload.NewNetMon(17), 400*32)
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMon, err := NewMonitor(ref, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Side monitors for sub-streams 1..3 (they receive during escalation,
+	// then expire; after collapse only sub-stream 0's history remains).
+	side := make([]*QLOVE, salt)
+	sideMon := make([]*Monitor, salt)
+	for j := 1; j < salt; j++ {
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		side[j] = p
+		if sideMon[j], err = NewMonitor(p, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	off := 0
+	push := func(sub int) {
+		vs := data[off : off+32]
+		off += 32
+		if err := e.Push("hot", vs); err != nil {
+			t.Fatal(err)
+		}
+		if sub == 0 {
+			refMon.PushBatch(vs, nil)
+		} else {
+			sideMon[sub].PushBatch(vs, nil)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		push(0)
+	}
+	if _, ok := e.escalateKey("hot", salt); !ok {
+		t.Fatal("escalation refused")
+	}
+	for i := 0; i < 8; i++ {
+		push(i % salt)
+	}
+	if _, ok := e.deescalateKey("hot"); !ok {
+		t.Fatal("de-escalation refused")
+	}
+	// Keep pushing the (now single-streamed) key until the idle
+	// sub-streams 1..3 expire and collapse succeeds.
+	collapsed := false
+	for i := 0; i < 300 && !collapsed; i++ {
+		push(0)
+		if ev, ok := e.collapseKey("hot", salt); ok {
+			if ev.Kind != RouteCollapse {
+				t.Fatalf("collapse event %+v", ev)
+			}
+			collapsed = true
+		}
+	}
+	if !collapsed {
+		t.Fatal("collapse never succeeded; idle sub-streams survived TTL")
+	}
+	if ov := e.override("hot"); ov != nil {
+		t.Fatalf("override survived collapse: %+v", ov)
+	}
+	if n := e.Keys(); n != 1 {
+		t.Fatalf("Keys() = %d after collapse, want 1", n)
+	}
+	// Post-collapse the key is an ordinary hash-routed stream carrying
+	// sub-stream 0's full history.
+	got, ok := e.Query("hot")
+	if !ok {
+		t.Fatal("hot unqueryable after collapse")
+	}
+	sameSnapshot(t, "post-collapse", got, ref.Snapshot())
+	for i := 0; i < 4; i++ {
+		push(0)
+	}
+	got, ok = e.Query("hot")
+	if !ok {
+		t.Fatal("hot unqueryable after post-collapse pushes")
+	}
+	sameSnapshot(t, "post-collapse traffic", got, ref.Snapshot())
+	e.Close()
+	<-done
+}
+
+// --- satellite: migration vs key TTL ------------------------------------
+
+// TestEngineAdaptMigrationTTLRace pins the eviction race: a key that
+// wall-clock-expires before its migration handoff must NOT resurrect with
+// stale seal generations — the pin still flips, the handoff finds nothing,
+// and the next push mints a genuinely fresh stream whose delta export
+// tombstones the old identity.
+func TestEngineAdaptMigrationTTLRace(t *testing.T) {
+	spec := Window{Size: 64, Period: 32}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.9}}
+	var mu sync.Mutex
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	e, err := NewEngine(EngineConfig{
+		Config: cfg, Shards: 2, ResultBuffer: 1 << 12,
+		KeyTTLDuration: time.Minute, Clock: clock, Adapt: &AdaptConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := drainResults(e)
+	data := workload.Generate(workload.NewNetMon(19), 64*32)
+	home := e.shardIndex("k")
+	// A helper key on the same shard: its later delivery piggybacks the
+	// wall sweep that expires "k" deterministically.
+	helper := ""
+	for i := 0; i < 256 && helper == ""; i++ {
+		h := fmt.Sprintf("h%d", i)
+		if e.shardIndex(h) == home {
+			helper = h
+		}
+	}
+	if helper == "" {
+		t.Fatal("no helper key hashing to k's shard")
+	}
+	off := 0
+	batch := func() []float64 {
+		vs := data[off : off+32]
+		off += 32
+		return vs
+	}
+	// Seed "k" with enough sealed windows to have non-zero seal
+	// generations, and snapshot its identity into a delta cursor.
+	for i := 0; i < 6; i++ {
+		if err := e.Push("k", batch()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := new(ExportCursor)
+	agg := NewAggregator()
+	var d1 bytes.Buffer
+	if _, err := e.ExportDelta(&d1, cur); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Apply("w0", bytes.NewReader(d1.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := agg.Query("k"); !ok {
+		t.Fatal("aggregator missing k after bootstrap")
+	}
+
+	// Expire "k": advance past the TTL, then deliver the helper batch —
+	// the delivery's piggybacked wall sweep evicts it.
+	advance(2 * time.Minute)
+	if err := e.Push(helper, batch()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Query("k"); ok {
+		t.Fatal("k survived its wall TTL")
+	}
+
+	// Migrate the now-evicted key. The pin flips; the handoff misses.
+	ev, ok := e.migrateKey("k", 1-home)
+	if !ok {
+		t.Fatal("migration of evicted key refused")
+	}
+	if ev.KeyBatches != 0 {
+		t.Fatalf("handoff of evicted key carried %d batches, want 0", ev.KeyBatches)
+	}
+	if ov := e.override("k"); ov == nil || ov.shard != 1-home {
+		t.Fatalf("pin not installed: %+v", ov)
+	}
+
+	// Fresh pushes mint a brand-new stream at the pinned shard: its state
+	// must equal a reference monitor fed ONLY the new batches — any stale
+	// resurrection would poison the quantiles.
+	refPol, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMon, err := NewMonitor(refPol, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		vs := batch()
+		if err := e.Push("k", vs); err != nil {
+			t.Fatal(err)
+		}
+		refMon.PushBatch(vs, nil)
+	}
+	got, ok := e.Query("k")
+	if !ok {
+		t.Fatal("reborn k unqueryable")
+	}
+	sameSnapshot(t, "reborn stream", got, refPol.Snapshot())
+
+	// The delta stream must hand the aggregator the SAME rebirth: the old
+	// identity tombstones (no stale generations survive) and the new
+	// stream bootstraps from scratch.
+	var d2 bytes.Buffer
+	if _, err := e.ExportDelta(&d2, cur); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Apply("w0", bytes.NewReader(d2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	foldEquiv(t, "post-rebirth", e, agg)
+
+	e.Close()
+	<-done
+}
+
+// --- controller end-to-end ----------------------------------------------
+
+// TestEngineAdaptControllerLifecycle drives the occupancy controller
+// through a full hot-key arc with explicit Rebalance passes: a Zipf head
+// escalates, traffic moves away, cooling hysteresis de-escalates it, TTL
+// drains the fan, and the override collapses — leaving delta exports fold-
+// equivalent to the full export throughout.
+func TestEngineAdaptControllerLifecycle(t *testing.T) {
+	spec := Window{Size: 64, Period: 32}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.9}}
+	e, err := NewEngine(EngineConfig{
+		Config: cfg, Shards: 4, ResultBuffer: 1 << 14, KeyTTL: 48,
+		Adapt: &AdaptConfig{MinBatches: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := drainResults(e)
+	data := workload.Generate(workload.NewNetMon(23), 64*32)
+	cold := make([]string, 16)
+	for i := range cold {
+		cold[i] = fmt.Sprintf("c%d", i)
+	}
+	off := 0
+	batch := func() []float64 {
+		vs := data[off%(63*32) : off%(63*32)+32]
+		off += 32
+		return vs
+	}
+	pushSpread := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := e.Push(cold[i%len(cold)], batch()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Phase A: heavy Zipf head. The controller must escalate "hot".
+	sawEscalate := false
+	for r := 0; r < 4 && !sawEscalate; r++ {
+		for i := 0; i < 64; i++ {
+			if err := e.Push("hot", batch()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pushSpread(32)
+		e.Keys() // barrier: all enqueued batches delivered before sampling
+		for _, ev := range e.Rebalance() {
+			if ev.Kind == RouteEscalate && ev.Key == "hot" {
+				sawEscalate = true
+			}
+		}
+	}
+	if !sawEscalate {
+		t.Fatalf("controller never escalated the Zipf head; events: %+v", e.RouteEvents())
+	}
+	if ov := e.override("hot"); ov == nil || ov.salt < 2 {
+		t.Fatalf("hot not escalated in route table: %+v", ov)
+	}
+
+	// Phase B: the head goes quiet. Hysteresis must de-escalate, TTL must
+	// drain the fan, and the controller must collapse the override.
+	sawDeescalate, sawCollapse := false, false
+	for r := 0; r < 30 && !sawCollapse; r++ {
+		pushSpread(64)
+		e.Keys()
+		for _, ev := range e.Rebalance() {
+			switch {
+			case ev.Kind == RouteDeescalate && ev.Key == "hot":
+				sawDeescalate = true
+			case ev.Kind == RouteCollapse && ev.Key == "hot":
+				sawCollapse = true
+			}
+		}
+	}
+	if !sawDeescalate || !sawCollapse {
+		t.Fatalf("cooling incomplete: deescalate=%v collapse=%v; events: %+v",
+			sawDeescalate, sawCollapse, e.RouteEvents())
+	}
+	if ov := e.override("hot"); ov != nil {
+		t.Fatalf("override survived collapse: %+v", ov)
+	}
+
+	// The audit trail is coherent: sequenced events, per-pass samples.
+	evs := e.RouteEvents()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("event sequence not increasing: %+v", evs)
+		}
+	}
+	samples := e.AdaptSamples()
+	if len(samples) == 0 {
+		t.Fatal("no adapt samples recorded")
+	}
+	var acted int
+	for _, s := range samples {
+		acted += s.Events
+	}
+	if acted != len(evs) {
+		t.Fatalf("samples claim %d events, log has %d", acted, len(evs))
+	}
+
+	// Delta exports remain fold-equivalent after the whole arc.
+	agg := NewAggregator()
+	var d bytes.Buffer
+	if _, err := e.ExportDelta(&d, new(ExportCursor)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Apply("w0", bytes.NewReader(d.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	foldEquiv(t, "post-lifecycle", e, agg)
+
+	e.Close()
+	<-done
+}
+
+// TestEngineAdaptiveConcurrentStress exercises the background controller
+// against concurrent pushes, queries, stats reads and delta exports — the
+// -race job's workhorse for the adaptive plane. Correctness here is "no
+// race, no deadlock, no lost engine": the bit-level guarantees are pinned
+// by the deterministic tests above.
+func TestEngineAdaptiveConcurrentStress(t *testing.T) {
+	spec := Window{Size: 64, Period: 32}
+	cfg := Config{Spec: spec, Phis: []float64{0.5, 0.9}}
+	e, err := NewEngine(EngineConfig{
+		Config: cfg, Shards: 4, ResultBuffer: 1 << 10, KeyTTL: 64,
+		Adapt: &AdaptConfig{Interval: 200 * time.Microsecond, MinBatches: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := drainResults(e)
+	data := workload.Generate(workload.NewNetMon(29), 64*32)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				key := "hot"
+				if i%2 == g%2 {
+					key = fmt.Sprintf("k%d", (g*400+i)%7)
+				}
+				vs := data[(i%63)*32 : (i%63)*32+32]
+				if err := e.Push(key, vs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cur := new(ExportCursor)
+		for i := 0; i < 50; i++ {
+			e.Query("hot")
+			e.Stats()
+			e.RouteEvents()
+			var buf bytes.Buffer
+			if _, err := e.ExportDelta(&buf, cur); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	e.Rebalance() // explicit pass racing the background ticker
+	e.Close()
+	if e.Rebalance() != nil {
+		t.Error("Rebalance on a closed engine returned events")
+	}
+	<-done
+	if err, n := e.Err(); err != nil {
+		t.Fatalf("engine saw %d failures, last: %v", n, err)
+	}
+}

@@ -103,10 +103,33 @@ func TestRouteSaltMergesSubStreams(t *testing.T) {
 		}
 	}
 
-	// ExportDelta cannot attribute per-sub-stream generations to logical
-	// keys; it must refuse rather than ship salted internal names.
-	if _, err := e.ExportDelta(io.Discard, new(ExportCursor)); err == nil {
-		t.Fatal("ExportDelta accepted a salted engine")
+	// ExportDelta ships each sub-stream under its INTERNAL name — a single
+	// stream with real seal generations, the stable cursor identity — and
+	// an aggregator folds them back to the logical key at read time,
+	// bit-identical to the reference merge.
+	var delta bytes.Buffer
+	if _, err := e.ExportDelta(&delta, new(ExportCursor)); err != nil {
+		t.Fatalf("ExportDelta refused a salted engine: %v", err)
+	}
+	agg := NewAggregator()
+	if _, err := agg.Apply("w0", &delta); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Keys(); got != 1 {
+		t.Fatalf("aggregator sees %d logical keys, want 1", got)
+	}
+	foldSn, ok, err := agg.Query("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("aggregator lost the salted key")
+	}
+	fe := foldSn.Estimates()
+	for j := range we {
+		if math.Float64bits(fe[j]) != math.Float64bits(we[j]) {
+			t.Fatalf("delta fold ϕ[%d]: %v != reference merge %v", j, fe[j], we[j])
+		}
 	}
 
 	// One Evict removes every sub-stream.

@@ -1,0 +1,458 @@
+package qlove
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// AdaptConfig switches the Engine into ADAPTIVE routing: an
+// occupancy-driven controller watches the per-shard stats plane at a
+// configurable cadence and rebalances the key space live —
+//
+//   - a key dominating a hot shard ESCALATES to salted sub-stream routing
+//     (the per-key form of RouteSalt: pushes spread over Salt sub-streams,
+//     reads merge them), and DE-ESCALATES back to one stream when its
+//     traffic subsides, eventually collapsing to plain hash routing once
+//     the extra sub-streams expire;
+//   - whole cold keys MIGRATE between shards to flatten Zipf imbalance
+//     that salting alone cannot reach.
+//
+// Both act through ordered control ops on the source and destination
+// shard queues (park at the destination → flip the route → hand off the
+// operator → replay), so per-key delivery order and seal generations are
+// never violated: a migrated key's stream, and therefore its snapshots
+// and delta exports, is bit-identical to the same key on an unmigrated
+// engine. AdaptConfig cannot be combined with the static engine-wide
+// RouteSalt (the two salting disciplines would fight over the same
+// sub-stream namespace).
+//
+// The zero value of every threshold selects a sane default; a zero
+// Interval disables the background controller, leaving rebalancing to
+// explicit Engine.Rebalance calls (how deterministic tests and the bench
+// drive it).
+type AdaptConfig struct {
+	// Interval is the background controller cadence. 0 = no background
+	// goroutine; call Engine.Rebalance explicitly.
+	Interval time.Duration
+	// Salt is the sub-stream fan an escalated key spreads over.
+	// Default 8; range [2, 256].
+	Salt int
+	// HotShardFactor flags a shard as hot when its delivered-batch count
+	// over the last controller pass exceeds factor × the per-shard mean
+	// (see EngineStats.HotShards; with 2 shards it must be < 2 to ever
+	// fire). Default 1.5.
+	HotShardFactor float64
+	// HotKeyFrac decides WHICH key on a hot shard escalates: the shard's
+	// top key must carry at least this fraction of the shard's
+	// last-interval deliveries (otherwise the imbalance is not one key's
+	// fault and migration, not salting, is the fix). Default 0.3.
+	HotKeyFrac float64
+	// CoolFrac de-escalates an escalated key once its share of the
+	// engine's last-interval deliveries falls below this fraction for
+	// CoolPasses consecutive passes. Default 0.05.
+	CoolFrac float64
+	// CoolPasses is how many consecutive cool passes a key must string
+	// together before de-escalating (hysteresis against flapping).
+	// Default 2.
+	CoolPasses int
+	// MinBatches is the minimum engine-wide deliveries in a pass for the
+	// controller to act at all — below it the sample is noise. Default 64.
+	MinBatches uint64
+	// MaxMoves caps whole-key migrations per pass. Default 4.
+	MaxMoves int
+	// TopKeys is how many keys per shard the occupancy sample attributes
+	// individually. Default 8.
+	TopKeys int
+}
+
+// withDefaults fills zero fields and validates.
+func (c AdaptConfig) withDefaults() (AdaptConfig, error) {
+	if c.Salt == 0 {
+		c.Salt = 8
+	}
+	if c.Salt < 2 || c.Salt > 256 {
+		return c, fmt.Errorf("qlove: AdaptConfig.Salt %d outside [2, 256]", c.Salt)
+	}
+	if c.HotShardFactor == 0 {
+		c.HotShardFactor = 1.5
+	}
+	if c.HotKeyFrac == 0 {
+		c.HotKeyFrac = 0.3
+	}
+	if c.CoolFrac == 0 {
+		c.CoolFrac = 0.05
+	}
+	if c.CoolPasses == 0 {
+		c.CoolPasses = 2
+	}
+	if c.MinBatches == 0 {
+		c.MinBatches = 64
+	}
+	if c.MaxMoves == 0 {
+		c.MaxMoves = 4
+	}
+	if c.TopKeys == 0 {
+		c.TopKeys = 8
+	}
+	if c.Interval < 0 || c.HotShardFactor < 1 || c.HotKeyFrac < 0 || c.HotKeyFrac > 1 ||
+		c.CoolFrac < 0 || c.CoolFrac > 1 || c.CoolPasses < 1 || c.MaxMoves < 0 || c.TopKeys < 1 {
+		return c, fmt.Errorf("qlove: AdaptConfig out of range: %+v", c)
+	}
+	return c, nil
+}
+
+// AdaptSample is one controller pass's observation, recorded whether or
+// not the pass acted — the skew-over-time series the bench ships.
+type AdaptSample struct {
+	// At is the engine clock at the pass.
+	At time.Time
+	// Deliveries is the engine-wide batches delivered since the previous
+	// pass.
+	Deliveries uint64
+	// Skew is the cumulative shard skew (EngineStats.Skew) at the pass.
+	Skew float64
+	// IntervalSkew is the skew of just the last interval's deliveries —
+	// the signal the controller actually acts on (cumulative skew cannot
+	// recover quickly from a bad start; interval skew shows the current
+	// routing's balance).
+	IntervalSkew float64
+	// Escalated and Pinned count keys currently escalated / pinned.
+	Escalated, Pinned int
+	// Events is how many routing actions this pass took.
+	Events int
+}
+
+// adaptLogCap bounds the retained event and sample logs.
+const adaptLogCap = 4096
+
+// escState tracks one escalated key's cooling hysteresis.
+type escState struct {
+	salt int // current fan (1 = de-escalated, awaiting collapse)
+	cool int // consecutive passes below CoolFrac
+}
+
+// adaptState is the controller: configuration, per-shard delivery marks,
+// per-key escalation state, and the bounded event/sample logs. mu
+// serializes passes (the background loop and explicit Rebalance calls).
+type adaptState struct {
+	cfg AdaptConfig
+
+	mu            sync.Mutex
+	lastDelivered []uint64
+	esc           map[string]*escState
+	pinned        map[string]int
+	events        []RouteEvent
+	samples       []AdaptSample
+	seq           uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// startAdapt launches the background controller loop (Interval > 0).
+func (e *Engine) startAdapt() {
+	a := e.adapt
+	if a == nil || a.cfg.Interval <= 0 {
+		return
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go func() {
+		defer close(a.done)
+		t := time.NewTicker(a.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-t.C:
+				e.Rebalance()
+			}
+		}
+	}()
+}
+
+// stopAdapt halts the background loop. Close calls it BEFORE taking the
+// engine write lock — a pass in flight may itself need that lock for a
+// cutover, so stopping afterwards would deadlock.
+func (e *Engine) stopAdapt() {
+	a := e.adapt
+	if a == nil || a.stop == nil {
+		return
+	}
+	a.stopOnce.Do(func() {
+		close(a.stop)
+		<-a.done
+	})
+}
+
+// RouteEvents returns a copy of the controller's event log (the most
+// recent adaptLogCap events). Nil on non-adaptive engines.
+func (e *Engine) RouteEvents() []RouteEvent {
+	a := e.adapt
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]RouteEvent(nil), a.events...)
+}
+
+// AdaptSamples returns a copy of the skew-over-time series (one sample
+// per controller pass, most recent adaptLogCap). Nil on non-adaptive
+// engines.
+func (e *Engine) AdaptSamples() []AdaptSample {
+	a := e.adapt
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]AdaptSample(nil), a.samples...)
+}
+
+// Rebalance runs one controller pass: sample the stats plane, de-escalate
+// or collapse cooled keys, escalate the dominant key of each hot shard,
+// and migrate residual cold keys off still-hot shards. Returns the
+// routing actions taken, in order. Safe to call concurrently with pushes
+// and with the background loop (passes serialize); a no-op returning nil
+// on non-adaptive or closed engines. Deterministic drivers (tests, the
+// bench's -adaptive storm) quiesce ingestion, then call Rebalance at
+// their own cadence.
+func (e *Engine) Rebalance() []RouteEvent {
+	a := e.adapt
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil
+	}
+	return e.rebalance()
+}
+
+// rebalance is one pass; the caller holds a.mu.
+func (e *Engine) rebalance() []RouteEvent {
+	a := e.adapt
+	st := e.Stats()
+	n := len(st.Shards)
+	if len(a.lastDelivered) != n {
+		a.lastDelivered = make([]uint64, n)
+	}
+	deltas := make([]float64, n)
+	var total float64
+	for i, s := range st.Shards {
+		d := s.DeliveredBatches - a.lastDelivered[i]
+		a.lastDelivered[i] = s.DeliveredBatches
+		deltas[i] = float64(d)
+		total += float64(d)
+	}
+	sample := AdaptSample{
+		At:           e.now(),
+		Deliveries:   uint64(total),
+		Skew:         st.Skew(),
+		IntervalSkew: intervalSkew(deltas, total),
+		Escalated:    len(a.esc),
+		Pinned:       len(a.pinned),
+	}
+	var events []RouteEvent
+	defer func() {
+		sample.Events = len(events)
+		a.samples = appendBounded(a.samples, sample)
+		for i := range events {
+			a.seq++
+			events[i].Seq = a.seq
+			events[i].At = sample.At
+			a.events = appendBounded(a.events, events[i])
+		}
+	}()
+	if n < 1 || total < float64(a.cfg.MinBatches) {
+		return nil
+	}
+	loads, ok := e.sampleKeyLoads(a.cfg.TopKeys)
+	if !ok {
+		return nil
+	}
+	mean := total / float64(n)
+
+	// (1) Cooling: de-escalate keys whose engine-wide share stayed below
+	// CoolFrac for CoolPasses passes; collapse drained de-escalated keys;
+	// re-escalate a de-escalated key whose traffic came back. Iterated in
+	// sorted key order so event sequences are deterministic.
+	byBase := make(map[string]float64)
+	for _, shardLoads := range loads {
+		for _, kl := range shardLoads {
+			byBase[logicalKey(kl.Key)] += float64(kl.Batches)
+		}
+	}
+	escKeys := make([]string, 0, len(a.esc))
+	for k := range a.esc {
+		escKeys = append(escKeys, k)
+	}
+	sort.Strings(escKeys)
+	for _, base := range escKeys {
+		es := a.esc[base]
+		load := byBase[base]
+		if es.salt > 1 {
+			if load < a.cfg.CoolFrac*total {
+				es.cool++
+				if es.cool >= a.cfg.CoolPasses {
+					if ev, ok := e.deescalateKey(base); ok {
+						es.salt, es.cool = 1, 0
+						events = append(events, ev)
+					}
+				}
+			} else {
+				es.cool = 0
+			}
+			continue
+		}
+		// De-escalated: surge back, or drain out.
+		if load > a.cfg.HotKeyFrac*mean {
+			if ev, ok := e.escalateKey(base, a.cfg.Salt); ok {
+				es.salt, es.cool = a.cfg.Salt, 0
+				events = append(events, ev)
+			}
+			continue
+		}
+		if ov := e.override(base); ov != nil {
+			if ev, ok := e.collapseKey(base, ov.maxSalt); ok {
+				delete(a.esc, base)
+				events = append(events, ev)
+			}
+		}
+	}
+
+	// (2) Escalation: on each hot shard, salt the key dominating it.
+	for i := range deltas {
+		if deltas[i] <= a.cfg.HotShardFactor*mean {
+			continue
+		}
+		for _, kl := range loads[i] {
+			if _, _, salted := splitKey(kl.Key); salted {
+				continue // already an escalated key's sub-stream
+			}
+			if _, ok := a.esc[kl.Key]; ok {
+				continue
+			}
+			if float64(kl.Batches) < a.cfg.HotKeyFrac*deltas[i] {
+				break // loads are sorted: no later key dominates either
+			}
+			if ev, ok := e.escalateKey(kl.Key, a.cfg.Salt); ok {
+				a.esc[kl.Key] = &escState{salt: a.cfg.Salt}
+				delete(a.pinned, kl.Key)
+				events = append(events, ev)
+				deltas[i] -= float64(kl.Batches)
+			}
+			break
+		}
+	}
+
+	// (3) Migration: move modest whole keys off still-hot shards onto the
+	// coldest one — the flattening salting cannot provide when imbalance
+	// comes from hash collisions rather than one dominant key.
+	moves := 0
+	for i := range deltas {
+		if moves >= a.cfg.MaxMoves {
+			break
+		}
+		if deltas[i] <= a.cfg.HotShardFactor*mean {
+			continue
+		}
+		for _, kl := range loads[i] {
+			if moves >= a.cfg.MaxMoves || deltas[i] <= mean {
+				break
+			}
+			if _, _, salted := splitKey(kl.Key); salted {
+				continue
+			}
+			if _, ok := a.esc[kl.Key]; ok {
+				continue
+			}
+			load := float64(kl.Batches)
+			if load >= a.cfg.HotKeyFrac*deltas[i] {
+				continue // dominant keys escalate instead
+			}
+			dst := coldest(deltas)
+			if dst == i || deltas[dst]+load >= deltas[i]-load {
+				continue // moving would not improve balance
+			}
+			if ev, ok := e.migrateKey(kl.Key, dst); ok {
+				if dst == e.shardIndex(kl.Key) {
+					delete(a.pinned, kl.Key)
+				} else {
+					a.pinned[kl.Key] = dst
+				}
+				events = append(events, ev)
+				deltas[i] -= load
+				deltas[dst] += load
+				moves++
+			}
+		}
+	}
+	return events
+}
+
+// sampleKeyLoads gathers every shard's top-key delivery attribution since
+// the previous sample (one ctlSample op per shard; sampling resets the
+// per-key counters). False when the engine closed.
+func (e *Engine) sampleKeyLoads(topN int) ([][]KeyLoad, bool) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return nil, false
+	}
+	chans := make([]chan engineCtlResp, len(e.shards))
+	for i, s := range e.shards {
+		chans[i] = make(chan engineCtlResp, 1)
+		s.in <- engineMsg{ctl: &engineCtl{op: ctlSample, n: topN, resp: chans[i]}}
+	}
+	e.mu.RUnlock()
+	loads := make([][]KeyLoad, len(chans))
+	for i, ch := range chans {
+		loads[i] = (<-ch).loads
+	}
+	return loads, true
+}
+
+// intervalSkew is EngineStats.Skew over one interval's deltas.
+func intervalSkew(deltas []float64, total float64) float64 {
+	if total == 0 || len(deltas) == 0 {
+		return 1
+	}
+	max := 0.0
+	for _, d := range deltas {
+		if d > max {
+			max = d
+		}
+	}
+	return max * float64(len(deltas)) / total
+}
+
+// coldest returns the index of the smallest delta (lowest index wins ties,
+// keeping passes deterministic).
+func coldest(deltas []float64) int {
+	idx := 0
+	for i, d := range deltas {
+		if d < deltas[idx] {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// appendBounded appends keeping at most adaptLogCap entries.
+func appendBounded[T any](log []T, v T) []T {
+	log = append(log, v)
+	if len(log) > adaptLogCap {
+		log = log[len(log)-adaptLogCap:]
+	}
+	return log
+}

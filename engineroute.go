@@ -1,0 +1,347 @@
+package qlove
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// This file is the Engine's per-key routing plane: a copy-on-write route
+// table layered over the static hash dispatch, consulted on every Push,
+// plus the ordered migration protocol that moves a live stream between
+// shards without violating per-key delivery order or seal generations.
+// The adaptive controller (engineadapt.go) drives it; the mechanisms here
+// are independent of any policy and usable one key at a time.
+
+// routeOverride is one key's routing decision. Exactly one of the two
+// dimensions is active:
+//
+//   - salt >= 1: the key is ESCALATED — pushes spread across salted
+//     sub-streams ("key\x00<j>"), each hash-routed on its own. salt == 1
+//     is the de-escalated holding state: every push goes to sub-stream 0
+//     (so the key is one stream again and keeps its history) while the
+//     older sub-streams drain toward expiry; maxSalt remembers the widest
+//     fan ever used so reads know how many sub-streams to fold.
+//   - salt == 0, shard >= 0: the key is PINNED to a specific shard
+//     (migrated off its hash home to flatten Zipf imbalance).
+//
+// ctr is the key's private push counter, reset at every escalation flip,
+// so sub-stream assignment after a flip is deterministic: the i-th push
+// after the flip goes to sub-stream i mod salt.
+type routeOverride struct {
+	salt    int
+	maxSalt int
+	shard   int
+	ctr     atomic.Uint64
+}
+
+// routeTable is an immutable key→override map. Mutations copy the map and
+// swap the pointer under e.mu (write-locked), so route() reads it with one
+// atomic load and no locks on the push hot path.
+type routeTable struct {
+	m map[string]*routeOverride
+}
+
+// override returns the key's current route override, nil when the key
+// routes by hash. Lock-free; safe from any goroutine.
+func (e *Engine) override(base string) *routeOverride {
+	if rt := e.routes.Load(); rt != nil {
+		return rt.m[base]
+	}
+	return nil
+}
+
+// storeRoutesLocked applies mut to a copy of the route table and publishes
+// it. Callers hold e.mu write-locked: because push holds e.mu.RLock across
+// its route read AND enqueue, acquiring the write lock is a barrier — every
+// push that read the old table has already enqueued on its old shard, so a
+// handoff enqueued after the flip is ordered behind all old-route batches.
+func (e *Engine) storeRoutesLocked(mut func(map[string]*routeOverride)) {
+	var old map[string]*routeOverride
+	if rt := e.routes.Load(); rt != nil {
+		old = rt.m
+	}
+	m := make(map[string]*routeOverride, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	mut(m)
+	e.routes.Store(&routeTable{m: m})
+}
+
+// updateRoutes is a route flip with no stream movement (de-escalation,
+// dropping a stale override). False when the engine is closed.
+func (e *Engine) updateRoutes(mut func(map[string]*routeOverride)) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.storeRoutesLocked(mut)
+	return true
+}
+
+// sendCtl enqueues one control op and waits for its response; false when
+// the engine closed first. The RLock spans only the enqueue (channels are
+// closed exclusively under the write lock, so the send cannot panic); the
+// shard drains its queue until Close, so the response always arrives.
+func (e *Engine) sendCtl(s *engineShard, ctl *engineCtl) (engineCtlResp, bool) {
+	ctl.resp = make(chan engineCtlResp, 1)
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return engineCtlResp{}, false
+	}
+	s.in <- engineMsg{ctl: ctl}
+	e.mu.RUnlock()
+	return <-ctl.resp, true
+}
+
+// streamExists reports whether an internal key name is live (not parking)
+// on its routed shard.
+func (e *Engine) streamExists(name string) bool {
+	r, ok := e.sendCtl(e.locateShard(name), &engineCtl{op: ctlExists, key: name})
+	return ok && r.ok
+}
+
+// moveStream relocates one internal stream: srcName on src becomes dstName
+// on dst, with mut flipping the route table at the cutover point. The
+// ordering argument, step by step:
+//
+//  1. A parking entry is created at dst under dstName (ctlPrepare rides
+//     dst's queue, so by the time it acks, dst will park — not deliver —
+//     any batch that arrives under the new name).
+//  2. The route flips under e.mu write-locked. Taking the write lock is a
+//     barrier: every in-flight push that read the OLD route has finished
+//     enqueueing on src (pushes hold the read lock across route+enqueue).
+//     All later pushes route to dst and park behind step 1.
+//  3. ctlHandoff rides src's queue BEHIND every old-route batch, so the
+//     operator leaves src having observed its entire pre-flip history, in
+//     order. The entry is detached, never recycled.
+//  4. ctlInstall rides dst's queue, attaches the operator under dstName
+//     (rebuilding its emit closure against dst's counters) and replays the
+//     parked batches in arrival order. Seal generations continue from the
+//     handed-off operator — the stream never restarts.
+//
+// Steps 2–4 hold e.mu write-locked throughout: pushes stall for the two
+// control round-trips (migrations are rare; queues are bounded), and in
+// exchange the protocol is atomic with respect to Close — no path can
+// strand a detached operator. Returns the batches the handed-off stream
+// had observed (0 when srcName was not resident, e.g. evicted by TTL
+// between the decision and the handoff — the stream then simply restarts
+// fresh at dst, never with stale seals) and whether the move ran.
+func (e *Engine) moveStream(src *engineShard, srcName string, dst *engineShard, dstName string, mut func(map[string]*routeOverride)) (uint64, bool) {
+	if r, ok := e.sendCtl(dst, &engineCtl{op: ctlPrepare, key: dstName}); !ok || !r.ok {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		// The parking entry (necessarily empty: the route never flipped)
+		// is discarded by the shard's exit drain.
+		return 0, false
+	}
+	e.storeRoutesLocked(mut)
+	hr := make(chan engineCtlResp, 1)
+	src.in <- engineMsg{ctl: &engineCtl{op: ctlHandoff, key: srcName, resp: hr}}
+	h := <-hr
+	var ent *keyEntry
+	var batches uint64
+	if h.ok {
+		ent = h.ent
+		batches = ent.batches
+	}
+	ir := make(chan engineCtlResp, 1)
+	dst.in <- engineMsg{ctl: &engineCtl{op: ctlInstall, key: dstName, ent: ent, resp: ir}}
+	<-ir
+	return batches, true
+}
+
+// escalateKey switches a key to salted sub-stream routing. A fresh
+// escalation migrates the key's existing operator to sub-stream 0 (its
+// history and seal generations continue there; merged reads never see a
+// discontinuity); a re-escalation of a currently de-escalated key only
+// widens the route again, since sub-stream 0 already carries the live
+// stream. Returns the event and whether the escalation ran.
+func (e *Engine) escalateKey(base string, salt int) (RouteEvent, bool) {
+	ev := RouteEvent{Kind: RouteEscalate, Key: base, Salt: salt}
+	if cur := e.override(base); cur != nil && cur.salt >= 1 {
+		maxSalt := cur.maxSalt
+		if salt > maxSalt {
+			maxSalt = salt
+		}
+		ov := &routeOverride{salt: salt, maxSalt: maxSalt, shard: -1}
+		if !e.updateRoutes(func(m map[string]*routeOverride) { m[base] = ov }) {
+			return RouteEvent{}, false
+		}
+		ev.FromShard, ev.ToShard = -1, -1
+		return ev, true
+	}
+	src := e.locateShard(base)
+	sub0 := saltedKey(base, 0)
+	dst := e.shardOf(sub0)
+	ov := &routeOverride{salt: salt, maxSalt: salt, shard: -1}
+	n, ok := e.moveStream(src, base, dst, sub0, func(m map[string]*routeOverride) { m[base] = ov })
+	if !ok {
+		return RouteEvent{}, false
+	}
+	ev.FromShard, ev.ToShard, ev.KeyBatches = e.indexOf(src), e.indexOf(dst), n
+	return ev, true
+}
+
+// deescalateKey narrows an escalated key back to one stream: every new
+// push routes to sub-stream 0, the older sub-streams stop receiving and
+// age toward TTL expiry. No stream moves — order within each sub-stream
+// is already independent, so narrowing needs no barrier beyond the flip.
+func (e *Engine) deescalateKey(base string) (RouteEvent, bool) {
+	cur := e.override(base)
+	if cur == nil || cur.salt <= 1 {
+		return RouteEvent{}, false
+	}
+	ov := &routeOverride{salt: 1, maxSalt: cur.maxSalt, shard: -1}
+	if !e.updateRoutes(func(m map[string]*routeOverride) { m[base] = ov }) {
+		return RouteEvent{}, false
+	}
+	return RouteEvent{Kind: RouteDeescalate, Key: base, Salt: 1, FromShard: -1, ToShard: -1}, true
+}
+
+// collapseKey retires a de-escalated key's override once its fan has
+// drained: when no sub-stream but 0 is resident (TTL expiry has reclaimed
+// them) and the base name is absent, sub-stream 0 migrates home to the
+// base name and the override disappears — the key is an ordinary
+// hash-routed stream again, history intact. False while any older
+// sub-stream is still resident.
+func (e *Engine) collapseKey(base string, maxSalt int) (RouteEvent, bool) {
+	cur := e.override(base)
+	if cur == nil || cur.salt != 1 {
+		return RouteEvent{}, false
+	}
+	for j := 1; j < maxSalt; j++ {
+		if e.streamExists(saltedKey(base, byte(j))) {
+			return RouteEvent{}, false
+		}
+	}
+	if e.streamExists(base) {
+		return RouteEvent{}, false
+	}
+	ev := RouteEvent{Kind: RouteCollapse, Key: base, Salt: 0}
+	sub0 := saltedKey(base, 0)
+	dst := e.shardOf(base)
+	if !e.streamExists(sub0) {
+		// Everything expired; just drop the override.
+		if !e.updateRoutes(func(m map[string]*routeOverride) { delete(m, base) }) {
+			return RouteEvent{}, false
+		}
+		ev.FromShard, ev.ToShard = -1, -1
+		return ev, true
+	}
+	src := e.locateShard(sub0)
+	n, ok := e.moveStream(src, sub0, dst, base, func(m map[string]*routeOverride) { delete(m, base) })
+	if !ok {
+		return RouteEvent{}, false
+	}
+	ev.FromShard, ev.ToShard, ev.KeyBatches = e.indexOf(src), e.indexOf(dst), n
+	return ev, true
+}
+
+// migrateKey pins a whole (unescalated) key to a specific shard, moving
+// its live stream there. Pinning back to the hash home removes the
+// override instead of storing a redundant pin.
+func (e *Engine) migrateKey(base string, dstIdx int) (RouteEvent, bool) {
+	if cur := e.override(base); cur != nil && cur.salt >= 1 {
+		return RouteEvent{}, false // escalated keys spread; they don't pin
+	}
+	src := e.locateShard(base)
+	dst := e.shards[dstIdx]
+	if src == dst {
+		return RouteEvent{}, false
+	}
+	home := e.shardIndex(base)
+	mut := func(m map[string]*routeOverride) {
+		if dstIdx == home {
+			delete(m, base)
+		} else {
+			m[base] = &routeOverride{salt: 0, shard: dstIdx}
+		}
+	}
+	n, ok := e.moveStream(src, base, dst, base, mut)
+	if !ok {
+		return RouteEvent{}, false
+	}
+	return RouteEvent{
+		Kind: RouteMigrate, Key: base,
+		FromShard: e.indexOf(src), ToShard: dstIdx, KeyBatches: n,
+	}, true
+}
+
+// indexOf maps a shard pointer back to its index.
+func (e *Engine) indexOf(s *engineShard) int {
+	for i, sh := range e.shards {
+		if sh == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// locateShard resolves the shard an internal key name currently lives on:
+// pinned base keys go to their pinned shard, everything else (including
+// every salted sub-stream name) hashes.
+func (e *Engine) locateShard(name string) *engineShard {
+	if _, _, salted := splitKey(name); !salted {
+		if ov := e.override(name); ov != nil && ov.salt == 0 && ov.shard >= 0 {
+			return e.shards[ov.shard]
+		}
+	}
+	return e.shardOf(name)
+}
+
+// RouteEventKind classifies one adaptive routing action.
+type RouteEventKind int
+
+const (
+	// RouteEscalate: a hot key switched to salted sub-stream routing.
+	RouteEscalate RouteEventKind = iota
+	// RouteDeescalate: a cooled key narrowed back to one sub-stream.
+	RouteDeescalate
+	// RouteCollapse: a drained key's override was retired entirely.
+	RouteCollapse
+	// RouteMigrate: a whole key moved (pinned) to another shard.
+	RouteMigrate
+)
+
+// String names the kind ("escalate", "deescalate", "collapse", "migrate").
+func (k RouteEventKind) String() string {
+	switch k {
+	case RouteEscalate:
+		return "escalate"
+	case RouteDeescalate:
+		return "deescalate"
+	case RouteCollapse:
+		return "collapse"
+	case RouteMigrate:
+		return "migrate"
+	}
+	return "unknown"
+}
+
+// RouteEvent records one routing action the adaptive controller (or a
+// direct caller) took — the audit trail the bench's -adaptive mode ships
+// in its JSON record and replays against reference monitors.
+type RouteEvent struct {
+	// Seq orders events across the engine's lifetime (1-based).
+	Seq uint64
+	// At is the engine clock when the action completed.
+	At time.Time
+	// Kind is the action.
+	Kind RouteEventKind
+	// Key is the logical key acted on.
+	Key string
+	// Salt is the sub-stream fan after the action (escalate/deescalate).
+	Salt int
+	// FromShard/ToShard are the handoff endpoints for actions that moved a
+	// stream; -1 when no stream moved.
+	FromShard, ToShard int
+	// KeyBatches is how many batches the moved stream had observed at
+	// handoff (0 when the source stream was not resident).
+	KeyBatches uint64
+}

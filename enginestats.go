@@ -161,14 +161,29 @@ func (st EngineStats) Skew() float64 {
 
 // HotShards returns the indices of shards whose delivered-batch count
 // exceeds factor times the per-shard mean — the hot-shard detector a
-// router or operator consults to decide when a key storm needs salting
-// (factor 2 flags a shard carrying twice its fair share).
+// router or operator (or the engine's own adaptive controller) consults to
+// decide when a key storm needs salting (factor 2 flags a shard carrying
+// twice its fair share).
+//
+// The factor is relative to the MEAN, so the degenerate shard counts have
+// pinned semantics rather than accidental ones:
+//
+//   - 1 shard: always nil. The only shard is by definition at the mean;
+//     flagging it would make every single-shard engine permanently "hot"
+//     at any factor below 1.
+//   - 2 shards: a shard can carry at most 2× the mean (all the traffic),
+//     so factors ≥ 2 can never flag anything — the comparison is strictly
+//     greater-than. Detectors that want "one of two shards is doing almost
+//     everything" must use a factor in (1, 2), e.g. 1.5.
 func (st EngineStats) HotShards(factor float64) []int {
+	if len(st.Shards) < 2 {
+		return nil
+	}
 	var sum uint64
 	for _, s := range st.Shards {
 		sum += s.DeliveredBatches
 	}
-	if sum == 0 || len(st.Shards) == 0 {
+	if sum == 0 {
 		return nil
 	}
 	mean := float64(sum) / float64(len(st.Shards))
@@ -194,8 +209,9 @@ func (e *Engine) Stats() EngineStats {
 }
 
 // saltSep separates a logical key from its routing-salt index in the
-// internal per-shard key space. Keys containing a NUL byte in their last
-// two positions are reserved when RouteSalt is enabled.
+// internal per-shard key space. The NUL byte is reserved: Push rejects any
+// key containing it, so the internal sub-stream namespace ("key\x00<j>")
+// can never collide with a user key and splitKey stays purely syntactic.
 const saltSep = '\x00'
 
 // saltedKey derives sub-stream j's internal key name.
@@ -203,11 +219,36 @@ func saltedKey(key string, j byte) string {
 	return key + string([]byte{saltSep, j})
 }
 
-// baseKey strips the salt suffix from an internal key name (identity when
-// salting is off).
-func (e *Engine) baseKey(k string) string {
-	if e.salt > 1 && len(k) >= 2 && k[len(k)-2] == saltSep {
-		return k[:len(k)-2]
+// splitKey decomposes an internal key name. For a salted sub-stream name
+// it returns (base key, salt index, true); for a plain key it returns
+// (name, 0, false). Because user keys can never contain NUL, the check is
+// syntactic and needs no engine configuration — it works identically for
+// engine-wide RouteSalt names and per-key adaptive escalation names.
+func splitKey(name string) (base string, sub byte, salted bool) {
+	if len(name) >= 2 && name[len(name)-2] == saltSep {
+		return name[:len(name)-2], name[len(name)-1], true
 	}
-	return k
+	return name, 0, false
+}
+
+// logicalKey strips the salt suffix from an internal key name (identity
+// for plain keys).
+func logicalKey(name string) string {
+	base, _, _ := splitKey(name)
+	return base
+}
+
+// KeyLoad attributes recent delivery load to one resident internal key
+// name on one shard — the per-key refinement of ShardStats that lets the
+// adaptive controller name the offending key instead of just the shard.
+// Batches counts deliveries since the previous sample (sampling resets
+// the per-key attribution counter; the cumulative count stays in
+// ShardStats.DeliveredBatches).
+type KeyLoad struct {
+	// Key is the internal key name (a salted sub-stream name for escalated
+	// or RouteSalt keys; use logicalKey to group).
+	Key string
+	// Batches is the number of batches delivered into the key's operator
+	// since the shard was last sampled.
+	Batches uint64
 }

@@ -1,0 +1,42 @@
+package loadgen
+
+import "testing"
+
+func TestHotScheduleValidate(t *testing.T) {
+	good := HotSchedule{{Until: 0.5, Key: 0}, {Until: 1, Key: 3}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := []HotSchedule{
+		{},                                   // empty
+		{{Until: 0.5, Key: 0}},               // never reaches 1
+		{{Until: 0, Key: 0}, {Until: 1}},     // zero-length phase
+		{{Until: 0.7, Key: 0}, {Until: 0.7}}, // not ascending
+		{{Until: 1.2, Key: 0}},               // past the run
+		{{Until: 0.5, Key: -1}, {Until: 1}},  // negative key
+		{{Until: 0.6, Key: 0}, {Until: 0.4}}, // descending
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad schedule %d accepted: %v", i, s)
+		}
+	}
+}
+
+func TestHotScheduleKeyAt(t *testing.T) {
+	s := HotSchedule{{Until: 0.25, Key: 7}, {Until: 0.5, Key: 2}, {Until: 1, Key: 9}}
+	cases := []struct {
+		frac float64
+		want int
+	}{
+		{0, 7}, {0.1, 7}, {0.2499, 7},
+		{0.25, 2}, {0.4, 2},
+		{0.5, 9}, {0.99, 9},
+		{1, 9}, {1.5, 9}, // overshoot stays in the final phase
+	}
+	for _, c := range cases {
+		if got := s.KeyAt(c.frac); got != c.want {
+			t.Errorf("KeyAt(%v) = %d, want %d", c.frac, got, c.want)
+		}
+	}
+}
