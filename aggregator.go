@@ -5,8 +5,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/aggstore"
 	"repro/internal/core"
 	"repro/internal/wire"
 )
@@ -27,13 +29,25 @@ import (
 // each worker's folded state is bit-for-bit the capture a full
 // Engine.Export would have shipped at the same instant.
 //
+// Storage lives behind the internal aggstore.Store interface
+// (AggregatorConfig selects the backend): by default a lock-striped store
+// whose stripes are keyed by hash(worker, base key), so pushes from
+// different workers and concurrent reads genuinely run in parallel, plus
+// a read-path fold cache that memoizes each logical key's merged
+// cross-worker snapshot and invalidates it by per-key mutation
+// generation. Every backend answers bit-identically; the conformance
+// suite pins that.
+//
 // Apply calls for DIFFERENT workers may run concurrently with each other
 // and with reads; Apply calls for one worker must be serialized by the
 // caller (they are on any real transport: one worker pushes its own
-// deltas in order).
+// deltas in order). Reads are per-worker-frame coherent: a Query
+// overlapping a multi-frame Apply may see that blob partially folded —
+// quiesced states are bit-identical across all backends, which is what
+// the distributed plane's verifications compare.
 type Aggregator struct {
-	mu      sync.RWMutex
-	workers map[string]*aggWorker
+	store aggstore.Store
+	cache *foldCache // nil when the fold cache is disabled
 
 	// Push-deadline GC (SetPushDeadline): a worker whose last push is older
 	// than deadline is invisible to reads immediately and physically
@@ -42,111 +56,53 @@ type Aggregator struct {
 	now      func() time.Time
 }
 
-type aggWorker struct {
-	keys     map[string]*aggKeyState
-	salted   int       // resident salted sub-stream names (fast path when 0)
-	lastPush time.Time // when this worker last Applied (deadline > 0)
+// AggregatorConfig selects the aggregator's state backend.
+type AggregatorConfig struct {
+	// Store names the backend: "striped" (the default — lock-striped
+	// shards, parallel pushes and reads) or "map" (the original layout,
+	// one map behind one RWMutex; every operation serialized).
+	Store string
+	// Stripes is the striped backend's stripe count (<= 0 picks the
+	// default; rounded up to a power of two). Ignored by "map".
+	Stripes int
+	// Instrument wraps the store with the per-op metrics recorder; see
+	// Metrics and the service's /metrics endpoint.
+	Instrument bool
+	// NoFoldCache disables the read-path fold cache (folds recompute on
+	// every read; useful to measure what the cache buys).
+	NoFoldCache bool
 }
 
-// put stores one internal key name's state, maintaining the salted count.
-func (w *aggWorker) put(name string, st *aggKeyState) {
-	if _, exists := w.keys[name]; !exists {
-		if _, _, salted := splitKey(name); salted {
-			w.salted++
-		}
-	}
-	w.keys[name] = st
-}
-
-// drop removes one internal key name, maintaining the salted count.
-func (w *aggWorker) drop(name string) {
-	if _, exists := w.keys[name]; exists {
-		if _, _, salted := splitKey(name); salted {
-			w.salted--
-		}
-		delete(w.keys, name)
-	}
-}
-
-// dropGroup removes a logical key's entire salt group: the base name and
-// every salted sub-stream name of it. Used when a frame REPLACES the
-// logical key wholesale (a full frame, or a from-generation-0 bootstrap of
-// the base name after an escalated key collapsed), so stale sub-stream
-// state can never double-count against the replacement.
-func (w *aggWorker) dropGroup(base string) {
-	w.drop(base)
-	if w.salted == 0 {
-		return
-	}
-	for name := range w.keys {
-		if b, _, salted := splitKey(name); salted && b == base {
-			w.drop(name)
-		}
-	}
-}
-
-// groupNames lists the worker's resident names for one logical key — the
-// base name plus salted sub-streams — in fold order: sorting is enough,
-// because NUL sorts below every byte a user key may contain, making
-// [base, sub 0, sub 1, …] exactly the lexicographic order.
-func (w *aggWorker) groupNames(base string) []string {
-	var names []string
-	if _, ok := w.keys[base]; ok {
-		names = append(names, base)
-	}
-	if w.salted > 0 {
-		for name := range w.keys {
-			if b, _, salted := splitKey(name); salted && b == base {
-				names = append(names, name)
-			}
-		}
-	}
-	sort.Strings(names)
-	return names
-}
-
-// groupSnapshot folds one logical key's resident names, in fold order,
-// into a single capture — the same [base, sub-stream 0, 1, …] left-fold
-// the engine's own foldSalted and Query perform, so the bytes match a
-// full export of the same state. ok is false when the worker holds
-// nothing for the key.
-func (w *aggWorker) groupSnapshot(base string) (Snapshot, bool, error) {
-	if w.salted == 0 {
-		// Fast path: no salted names resident, the key is one stream.
-		st := w.keys[base]
-		if st == nil {
-			return Snapshot{}, false, nil
-		}
-		sn, err := st.snapshot()
-		return sn, err == nil, err
-	}
-	names := w.groupNames(base)
-	if len(names) == 0 {
-		return Snapshot{}, false, nil
-	}
-	var folded Snapshot
-	for _, name := range names {
-		sn, err := w.keys[name].snapshot()
-		if err != nil {
-			return Snapshot{}, false, err
-		}
-		if folded, err = folded.Merge(sn); err != nil {
-			return Snapshot{}, false, err
-		}
-	}
-	return folded, true, nil
-}
-
-// aggKeyState is one worker's folded view of one key: exactly the
-// SnapshotParts a full export of that key would carry (Summaries is the
-// resident window, SealGen the worker's seal clock).
-type aggKeyState struct {
-	parts core.SnapshotParts
-}
-
-// NewAggregator returns an empty aggregator.
+// NewAggregator returns an empty aggregator on the default backend
+// (striped store, fold cache on).
 func NewAggregator() *Aggregator {
-	return &Aggregator{workers: make(map[string]*aggWorker), now: time.Now}
+	a, err := NewAggregatorConfig(AggregatorConfig{})
+	if err != nil { // unreachable: the zero config is valid
+		panic(err)
+	}
+	return a
+}
+
+// NewAggregatorConfig returns an empty aggregator on the configured
+// backend.
+func NewAggregatorConfig(cfg AggregatorConfig) (*Aggregator, error) {
+	var store aggstore.Store
+	switch cfg.Store {
+	case "", "striped":
+		store = aggstore.NewStriped(cfg.Stripes)
+	case "map":
+		store = aggstore.NewMap()
+	default:
+		return nil, fmt.Errorf("qlove: unknown aggregator store %q (striped | map)", cfg.Store)
+	}
+	if cfg.Instrument {
+		store = aggstore.NewInstrumented(store)
+	}
+	a := &Aggregator{store: store, now: time.Now}
+	if !cfg.NoFoldCache {
+		a.cache = newFoldCache()
+	}
+	return a, nil
 }
 
 // SetPushDeadline arms the aggregator's worker GC — the service-plane
@@ -180,33 +136,28 @@ func (a *Aggregator) SetPushDeadline(d time.Duration, clock func() time.Time) {
 		// a worker that kept pushing through a disarm/re-arm cycle is
 		// never retired by its stale stamp.
 		now := a.now()
-		a.mu.Lock()
-		for _, w := range a.workers {
-			w.lastPush = now
+		for _, id := range a.store.Workers(nil) {
+			a.store.Touch(id, now)
 		}
-		a.mu.Unlock()
 	}
 }
 
-// stale reports whether the worker has out-lived the push deadline (and
-// must be hidden from reads). Callers hold at least the read lock.
-func (a *Aggregator) stale(w *aggWorker, now time.Time) bool {
-	return a.deadline > 0 && now.Sub(w.lastPush) > a.deadline
-}
-
-// sweepLocked drops every stale worker; the caller holds the write lock.
-func (a *Aggregator) sweepLocked(now time.Time) int {
+// staleAt returns the staleness predicate for reads/sweeps at the given
+// instant, or nil when no deadline is armed.
+func (a *Aggregator) staleAt(now time.Time) func(time.Time) bool {
 	if a.deadline <= 0 {
-		return 0
+		return nil
 	}
-	dropped := 0
-	for id, w := range a.workers {
-		if a.stale(w, now) {
-			delete(a.workers, id)
-			dropped++
-		}
+	d := a.deadline
+	return func(last time.Time) bool { return now.Sub(last) > d }
+}
+
+// liveWorkers lists the workers visible to reads right now, sorted.
+func (a *Aggregator) liveWorkers() []string {
+	if a.deadline <= 0 {
+		return a.store.Workers(nil)
 	}
-	return dropped
+	return a.store.Workers(a.staleAt(a.now()))
 }
 
 // Sweep physically drops every worker past the push deadline, returning
@@ -215,9 +166,10 @@ func (a *Aggregator) sweepLocked(now time.Time) int {
 // rely on the sweep piggybacked on every Apply). A no-op when no deadline
 // is armed.
 func (a *Aggregator) Sweep() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.sweepLocked(a.now())
+	if a.deadline <= 0 {
+		return 0
+	}
+	return a.store.SweepWorkers(a.staleAt(a.now()))
 }
 
 // Apply folds one push blob from the named worker: any mix of full, delta
@@ -229,21 +181,16 @@ func (a *Aggregator) Sweep() int {
 // own encode fails, and a from-generation-0 delta or full frame always
 // replaces whatever state is resident).
 func (a *Aggregator) Apply(worker string, r io.Reader) (int, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	w := a.workers[worker]
-	if w == nil {
-		w = &aggWorker{keys: make(map[string]*aggKeyState)}
-		a.workers[worker] = w
-	}
 	// Stamp the pusher BEFORE the piggybacked sweep, so a worker revived
 	// at the deadline's edge is never dropped by its own push. No stamps
 	// accrue while the GC is unarmed — SetPushDeadline dates those workers
 	// itself, with its own clock.
 	if a.deadline > 0 {
 		now := a.now()
-		w.lastPush = now
-		a.sweepLocked(now)
+		a.store.Touch(worker, now)
+		a.store.SweepWorkers(a.staleAt(now))
+	} else {
+		a.store.Touch(worker, time.Time{})
 	}
 	dec := wire.NewDecoder(r)
 	frames := 0
@@ -255,7 +202,7 @@ func (a *Aggregator) Apply(worker string, r io.Reader) (int, error) {
 		if err != nil {
 			return frames, fmt.Errorf("qlove: aggregator apply worker %q: %w", worker, err)
 		}
-		if err := w.fold(f); err != nil {
+		if err := a.fold(worker, f); err != nil {
 			return frames, fmt.Errorf("qlove: aggregator apply worker %q key %q: %w", worker, f.Key, err)
 		}
 		frames++
@@ -266,19 +213,18 @@ func (a *Aggregator) Apply(worker string, r io.Reader) (int, error) {
 // internal salted sub-stream names ("key\x00<j>", from delta exports of a
 // salted or adaptively escalated engine); they are stored per name and
 // folded back to logical keys at read time.
-func (w *aggWorker) fold(f wire.Frame) error {
+func (a *Aggregator) fold(worker string, f wire.Frame) error {
 	switch f.Kind {
 	case wire.KindTombstone:
-		w.drop(f.Key)
+		a.store.Drop(worker, f.Key)
 		return nil
 	case wire.KindFull:
 		// A full frame is the worker's complete folded view of the logical
 		// key: it replaces the whole salt group, not just the exact name.
-		w.dropGroup(logicalKey(f.Key))
-		w.put(f.Key, &aggKeyState{parts: f.Snap.Parts()})
+		a.store.ReplaceGroup(worker, f.Key, &aggstore.State{Parts: f.Snap.Parts()})
 		return nil
 	case wire.KindDelta:
-		return w.foldDelta(f.Key, f.Delta)
+		return a.foldDelta(worker, f.Key, f.Delta)
 	}
 	return fmt.Errorf("unknown frame kind %v", f.Kind)
 }
@@ -287,58 +233,108 @@ func (w *aggWorker) fold(f wire.Frame) error {
 // the newly sealed summaries, trim the front to the worker's resident
 // count (the summaries that slid out of its window since the cursor), and
 // replace the Level-2 sums wholesale. The result is bit-for-bit the full
-// capture the worker held at export time.
-func (w *aggWorker) foldDelta(key string, d wire.Delta) error {
+// capture the worker held at export time. Folds are copy-on-write — a
+// fresh State replaces the resident one, which stays immutable for any
+// concurrent reader or cached fold still holding it.
+func (a *Aggregator) foldDelta(worker, key string, d wire.Delta) error {
 	if d.FromGen == 0 {
 		// Bootstrap: the frame carries the entire resident window. A
 		// bootstrap resets stale state the tombstone stream may not cover
 		// (e.g. after a cursor reset): a sub-stream bootstrap retires the
 		// BASE state it was escalated out of; a base bootstrap (a collapsed
 		// key coming home) retires the whole former salt group.
-		if base, _, salted := splitKey(key); salted {
-			w.drop(base)
+		st := &aggstore.State{Parts: d.Parts}
+		if _, _, salted := splitKey(key); salted {
+			a.store.BootstrapSub(worker, key, st)
 		} else {
-			w.dropGroup(key)
+			a.store.ReplaceGroup(worker, key, st)
 		}
-		w.put(key, &aggKeyState{parts: d.Parts})
 		return nil
 	}
-	st := w.keys[key]
-	if st == nil {
+	cur, ok := a.store.Get(worker, key)
+	if !ok {
 		return fmt.Errorf("delta from generation %d for a key never bootstrapped", d.FromGen)
 	}
-	if st.parts.SealGen != d.FromGen {
-		return fmt.Errorf("delta cursor %d does not match resident generation %d", d.FromGen, st.parts.SealGen)
+	if cur.Parts.SealGen != d.FromGen {
+		return fmt.Errorf("delta cursor %d does not match resident generation %d", d.FromGen, cur.Parts.SealGen)
 	}
-	if !core.ConfigEqual(st.parts.Config, d.Parts.Config) {
+	if !core.ConfigEqual(cur.Parts.Config, d.Parts.Config) {
 		return fmt.Errorf("delta configuration differs from resident state")
 	}
-	total := append(st.parts.Summaries, d.Parts.Summaries...)
-	if len(total) < d.Resident {
-		return fmt.Errorf("delta needs %d resident summaries, only %d accumulated", d.Resident, len(total))
+	total := len(cur.Parts.Summaries) + len(d.Parts.Summaries)
+	if total < d.Resident {
+		return fmt.Errorf("delta needs %d resident summaries, only %d accumulated", d.Resident, total)
 	}
-	// Trim expired summaries off the front in place, zeroing the vacated
-	// tail slots so dropped few-k caches are promptly collectible.
-	// (Readers never alias this slice: queries deep-copy under the lock.)
-	keep := len(total) - d.Resident
-	copy(total, total[keep:])
-	for i := d.Resident; i < len(total); i++ {
-		total[i] = core.Summary{}
+	// The resident window is the LAST d.Resident of [resident ++ delta]:
+	// anything older slid out of the worker's window since the cursor.
+	sums := make([]core.Summary, 0, d.Resident)
+	if start := total - d.Resident; start < len(cur.Parts.Summaries) {
+		sums = append(sums, cur.Parts.Summaries[start:]...)
+		sums = append(sums, d.Parts.Summaries...)
+	} else {
+		sums = append(sums, d.Parts.Summaries[start-len(cur.Parts.Summaries):]...)
 	}
-	st.parts.Summaries = total[:d.Resident]
-	st.parts.Sums = d.Parts.Sums
-	st.parts.Streams = d.Parts.Streams
-	st.parts.SealGen = d.Parts.SealGen
+	a.store.Put(worker, key, &aggstore.State{Parts: core.SnapshotParts{
+		Config:    cur.Parts.Config,
+		Streams:   d.Parts.Streams,
+		Sums:      d.Parts.Sums,
+		Summaries: sums,
+		SealGen:   d.Parts.SealGen,
+	}})
 	return nil
 }
 
-// snapshot rebuilds this state's capture. The summaries slice is copied so
-// later folds (which mutate the retained run in place) cannot reach a
-// capture already handed out.
-func (st *aggKeyState) snapshot() (Snapshot, error) {
-	p := st.parts
-	p.Summaries = append([]core.Summary(nil), p.Summaries...)
-	return core.NewSnapshot(p)
+// mergeKey folds one logical key across the given workers: within each
+// worker the key's resident streams fold in [base, sub-stream 0, 1, …]
+// order (the engine's own salted fold), then the per-worker captures
+// merge in ascending worker-ID order. ok is false when no worker holds
+// the key.
+func (a *Aggregator) mergeKey(base string, live []string) (Snapshot, bool, error) {
+	var merged Snapshot
+	found := false
+	for _, id := range live {
+		group := a.store.Group(id, base)
+		if len(group) == 0 {
+			continue
+		}
+		var folded Snapshot
+		for _, ns := range group {
+			sn, err := core.NewSnapshot(ns.State.Parts)
+			if err != nil {
+				return Snapshot{}, false, fmt.Errorf("qlove: aggregator worker %q key %q: %w", id, ns.Name, err)
+			}
+			if folded, err = folded.Merge(sn); err != nil {
+				return Snapshot{}, false, fmt.Errorf("qlove: aggregator merge key %q: %w", base, err)
+			}
+		}
+		found = true
+		var err error
+		if merged, err = merged.Merge(folded); err != nil {
+			return Snapshot{}, false, fmt.Errorf("qlove: aggregator merge key %q: %w", base, err)
+		}
+	}
+	return merged, found, nil
+}
+
+// foldKey answers one logical key from the merged view of the given live
+// workers, through the fold cache when enabled.
+func (a *Aggregator) foldKey(base string, live []string) (Snapshot, bool, error) {
+	if a.cache == nil {
+		return a.mergeKey(base, live)
+	}
+	// The generation is loaded BEFORE folding: a mutation racing the fold
+	// bumps it, so the entry we store can only be tagged stale (a spurious
+	// refold later), never fresh-for-stale-bits.
+	gen := a.store.KeyGen(base)
+	if sn, ok, hit := a.cache.get(base, gen, live); hit {
+		return sn, ok, nil
+	}
+	sn, ok, err := a.mergeKey(base, live)
+	if err != nil {
+		return Snapshot{}, false, err
+	}
+	a.cache.put(base, gen, live, sn, ok)
+	return sn, ok, nil
 }
 
 // Query answers one LOGICAL key from the merged cross-worker view: within
@@ -346,85 +342,37 @@ func (st *aggKeyState) snapshot() (Snapshot, error) {
 // sub-streams) fold first, in [base, sub-stream 0, 1, …] order — the same
 // fold the engine's own salted reads perform — then the per-worker
 // captures merge in ascending worker-ID order. ok is false when no worker
-// currently holds the key.
+// currently holds the key. Unchanged keys answer from the fold cache
+// without re-merging.
 func (a *Aggregator) Query(key string) (Snapshot, bool, error) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	now := a.now()
-	ids := make([]string, 0, len(a.workers))
-	for id, w := range a.workers {
-		if !a.stale(w, now) {
-			ids = append(ids, id)
-		}
-	}
-	sort.Strings(ids)
-	var merged Snapshot
-	found := false
-	for _, id := range ids {
-		sn, ok, err := a.workers[id].groupSnapshot(key)
-		if err != nil {
-			return Snapshot{}, false, fmt.Errorf("qlove: aggregator worker %q key %q: %w", id, key, err)
-		}
-		if !ok {
-			continue
-		}
-		found = true
-		if merged, err = merged.Merge(sn); err != nil {
-			return Snapshot{}, false, fmt.Errorf("qlove: aggregator merge key %q: %w", key, err)
-		}
-	}
-	if !found {
-		return Snapshot{}, false, nil
-	}
-	return merged, true, nil
+	return a.foldKey(key, a.liveWorkers())
 }
 
 // Snapshot materializes the whole merged view — every key, each merged
 // across its workers in ascending worker-ID order — as an EngineSnapshot,
 // interchangeable with the batch-mode fold of the workers' full exports.
 func (a *Aggregator) Snapshot() (EngineSnapshot, error) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	now := a.now()
-	ids := make([]string, 0, len(a.workers))
-	for id, w := range a.workers {
-		if a.stale(w, now) {
-			continue
+	live := a.liveWorkers()
+	seen := make(map[string]struct{})
+	var bases []string
+	for _, id := range live {
+		for _, name := range a.store.WorkerNames(id) {
+			b := logicalKey(name)
+			if _, dup := seen[b]; !dup {
+				seen[b] = struct{}{}
+				bases = append(bases, b)
+			}
 		}
-		ids = append(ids, id)
 	}
-	sort.Strings(ids)
-	out := EngineSnapshot{keys: make(map[string]Snapshot)}
-	for _, id := range ids {
-		w := a.workers[id]
-		// Sorted names make each logical key's group a contiguous run
-		// ([base, sub 0, sub 1, …] — NUL sorts below any user-key byte),
-		// so one pass folds groups in exactly the engine's salt order.
-		names := make([]string, 0, len(w.keys))
-		for name := range w.keys {
-			names = append(names, name)
+	sort.Strings(bases)
+	out := EngineSnapshot{keys: make(map[string]Snapshot, len(bases))}
+	for _, b := range bases {
+		sn, ok, err := a.foldKey(b, live)
+		if err != nil {
+			return EngineSnapshot{}, err
 		}
-		sort.Strings(names)
-		for i := 0; i < len(names); {
-			base := logicalKey(names[i])
-			var folded Snapshot
-			for ; i < len(names) && logicalKey(names[i]) == base; i++ {
-				sn, err := w.keys[names[i]].snapshot()
-				if err != nil {
-					return EngineSnapshot{}, fmt.Errorf("qlove: aggregator worker %q key %q: %w", id, names[i], err)
-				}
-				if folded, err = folded.Merge(sn); err != nil {
-					return EngineSnapshot{}, fmt.Errorf("qlove: aggregator merge key %q: %w", base, err)
-				}
-			}
-			if prev, ok := out.keys[base]; ok {
-				m, err := prev.Merge(folded)
-				if err != nil {
-					return EngineSnapshot{}, fmt.Errorf("qlove: aggregator merge key %q: %w", base, err)
-				}
-				folded = m
-			}
-			out.keys[base] = folded
+		if ok { // a raced removal may have emptied the key; skip it
+			out.keys[b] = sn
 		}
 	}
 	return out, nil
@@ -433,31 +381,27 @@ func (a *Aggregator) Snapshot() (EngineSnapshot, error) {
 // Workers returns how many live workers have pushed state (workers past
 // the push deadline are excluded, swept or not).
 func (a *Aggregator) Workers() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	now := a.now()
-	n := 0
-	for _, w := range a.workers {
-		if !a.stale(w, now) {
-			n++
-		}
+	if a.deadline <= 0 {
+		return a.store.WorkerCount()
 	}
-	return n
+	return len(a.liveWorkers())
 }
 
 // Keys returns the number of distinct LOGICAL keys across all live
 // workers (a salted key's sub-streams count once).
 func (a *Aggregator) Keys() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	now := a.now()
+	if a.deadline <= 0 {
+		return a.store.KeyCount()
+	}
+	live := a.liveWorkers()
+	if len(live) == a.store.WorkerCount() {
+		// Nothing is stale-but-unswept: the O(1) occupancy counter is exact.
+		return a.store.KeyCount()
+	}
 	seen := make(map[string]struct{})
-	for _, w := range a.workers {
-		if a.stale(w, now) {
-			continue
-		}
-		for k := range w.keys {
-			seen[logicalKey(k)] = struct{}{}
+	for _, id := range live {
+		for _, name := range a.store.WorkerNames(id) {
+			seen[logicalKey(name)] = struct{}{}
 		}
 	}
 	return len(seen)
@@ -466,9 +410,148 @@ func (a *Aggregator) Keys() int {
 // DropWorker forgets one worker's state entirely (e.g. a
 // decommissioned pod), returning whether it was known.
 func (a *Aggregator) DropWorker(worker string) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	_, ok := a.workers[worker]
-	delete(a.workers, worker)
-	return ok
+	return a.store.DropWorker(worker)
+}
+
+// --- metrics ---
+
+// StoreOpMetric is one store operation's cumulative count and latency
+// (instrumented backends only).
+type StoreOpMetric struct {
+	Op    string `json:"op"`
+	Count int64  `json:"count"`
+	Nanos int64  `json:"total_nanos"`
+}
+
+// StoreMetrics describes the aggregator's state backend.
+type StoreMetrics struct {
+	Backend            string          `json:"backend"`
+	LockWaitReadNanos  int64           `json:"lock_wait_read_nanos"`
+	LockWaitWriteNanos int64           `json:"lock_wait_write_nanos"`
+	Ops                []StoreOpMetric `json:"ops,omitempty"`
+}
+
+// FoldCacheStats counts the read-path fold cache's outcomes.
+type FoldCacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// AggregatorMetrics is the aggregator's self-description, served by the
+// aggregation service's /metrics endpoint.
+type AggregatorMetrics struct {
+	Workers   int             `json:"workers"`
+	Keys      int             `json:"keys"`
+	Store     StoreMetrics    `json:"store"`
+	FoldCache *FoldCacheStats `json:"fold_cache,omitempty"`
+}
+
+// Metrics snapshots the aggregator's occupancy, backend counters and fold
+// cache. Op counts and latencies are present only when the store was
+// built with AggregatorConfig.Instrument.
+func (a *Aggregator) Metrics() AggregatorMetrics {
+	m := AggregatorMetrics{
+		Workers: a.Workers(),
+		Keys:    a.Keys(),
+		Store:   StoreMetrics{Backend: a.store.Kind()},
+	}
+	if in, ok := a.store.(*aggstore.Instrumented); ok {
+		im := in.Metrics()
+		m.Store.Ops = make([]StoreOpMetric, len(im.Ops))
+		for i, op := range im.Ops {
+			m.Store.Ops[i] = StoreOpMetric{Op: op.Op, Count: op.Count, Nanos: op.Nanos}
+		}
+	}
+	if lw, ok := a.store.(aggstore.LockWaiter); ok {
+		m.Store.LockWaitReadNanos, m.Store.LockWaitWriteNanos = lw.LockWaitNanos()
+	}
+	if a.cache != nil {
+		m.FoldCache = &FoldCacheStats{Hits: a.cache.hits.Load(), Misses: a.cache.misses.Load()}
+	}
+	return m
+}
+
+// --- fold cache ---
+
+const (
+	foldCacheStripes     = 16   // power of two
+	foldCacheStripeLimit = 4096 // entries per stripe before wholesale reset
+)
+
+// foldCache memoizes merged cross-worker folds per logical key. An entry
+// is valid only while BOTH its mutation-generation tag and the live
+// worker set it folded over still match — generation covers every state
+// change (gen slots may be shared between keys, which over-invalidates),
+// and the live set covers worker arrival, departure and push-deadline
+// staleness, none of which bump key generations. Entries for keys that
+// stop being read are reclaimed by the per-stripe reset when a stripe
+// outgrows its limit.
+type foldCache struct {
+	hits, misses atomic.Int64
+	stripes      [foldCacheStripes]struct {
+		mu sync.Mutex
+		m  map[string]*foldEntry
+	}
+}
+
+type foldEntry struct {
+	gen  uint64
+	live []string
+	sn   Snapshot
+	ok   bool
+}
+
+func newFoldCache() *foldCache {
+	c := &foldCache{}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[string]*foldEntry)
+	}
+	return c
+}
+
+func foldCacheHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func sameWorkers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *foldCache) get(base string, gen uint64, live []string) (Snapshot, bool, bool) {
+	s := &c.stripes[foldCacheHash(base)&(foldCacheStripes-1)]
+	s.mu.Lock()
+	e := s.m[base]
+	s.mu.Unlock()
+	if e == nil || e.gen != gen || !sameWorkers(e.live, live) {
+		c.misses.Add(1)
+		return Snapshot{}, false, false
+	}
+	c.hits.Add(1)
+	return e.sn, e.ok, true
+}
+
+func (c *foldCache) put(base string, gen uint64, live []string, sn Snapshot, ok bool) {
+	e := &foldEntry{gen: gen, live: live, sn: sn, ok: ok}
+	s := &c.stripes[foldCacheHash(base)&(foldCacheStripes-1)]
+	s.mu.Lock()
+	if len(s.m) >= foldCacheStripeLimit {
+		// Wholesale reset beats per-entry eviction bookkeeping: the live
+		// working set refills in one round of misses, and entries for keys
+		// nobody reads anymore stop pinning their snapshots.
+		s.m = make(map[string]*foldEntry)
+	}
+	s.m[base] = e
+	s.mu.Unlock()
 }

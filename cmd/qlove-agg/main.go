@@ -28,6 +28,17 @@
 // -worker-deadline bounds the service under worker churn: a worker that
 // stops pushing for that long is dropped from the merged view (like the
 // engine's wall-clock key TTL); if it comes back it re-bootstraps.
+//
+// The service's state plane is configurable: -store picks the backend
+// (lock-striped by default; "map" is the single-lock original), -stripes
+// its stripe count, -instrument wraps it with the per-op metrics recorder
+// (see GET /metrics), and -no-fold-cache disables the read-path fold
+// cache. -replicas N partitions keys by hash across N in-process
+// aggregator replicas; -fanin URL,URL,… instead makes this process a pure
+// HTTP router over aggregator replicas running elsewhere:
+//
+//	qlove-agg -serve -store striped -instrument -replicas 4
+//	qlove-agg -serve -fanin http://10.0.0.1:7171,http://10.0.0.2:7171
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro"
@@ -62,6 +74,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:7171", "serve: listen address")
 	deadline := fs.Duration("worker-deadline", 0,
 		"serve: drop workers that stop pushing for this long (0 = keep departed workers forever)")
+	store := fs.String("store", "striped", "serve: state backend (striped | map)")
+	stripes := fs.Int("stripes", 0, "serve: stripe count for the striped backend (0 = default)")
+	instrument := fs.Bool("instrument", false, "serve: record per-op store metrics (GET /metrics)")
+	noFoldCache := fs.Bool("no-fold-cache", false, "serve: disable the read-path fold cache")
+	replicas := fs.Int("replicas", 1, "serve: partition keys by hash across N in-process aggregator replicas")
+	fanin := fs.String("fanin", "",
+		"serve: comma-separated replica base URLs; this process routes over them instead of holding state")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,10 +91,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if len(fs.Args()) != 0 {
 			return fmt.Errorf("-serve takes no blob arguments; workers push over HTTP")
 		}
-		return serveHTTP(*addr, *deadline)
+		if *replicas < 1 {
+			return fmt.Errorf("-replicas %d < 1", *replicas)
+		}
+		if *fanin != "" {
+			if *replicas > 1 {
+				return fmt.Errorf("-fanin and -replicas are mutually exclusive (the fan-in holds no state)")
+			}
+			if *deadline != 0 {
+				return fmt.Errorf("-worker-deadline belongs on the replicas, not the fan-in router")
+			}
+			return serveFanin(*addr, strings.Split(*fanin, ","))
+		}
+		cfg := qlove.AggregatorConfig{Store: *store, Stripes: *stripes, Instrument: *instrument, NoFoldCache: *noFoldCache}
+		return serveHTTP(*addr, *deadline, cfg, *replicas)
 	}
 	if *deadline != 0 {
 		return fmt.Errorf("-worker-deadline only applies with -serve")
+	}
+	if *fanin != "" || *replicas != 1 || *instrument || *noFoldCache || *stripes != 0 || *store != "striped" {
+		return fmt.Errorf("-store/-stripes/-instrument/-no-fold-cache/-replicas/-fanin only apply with -serve")
 	}
 	agg, err := aggregate(fs.Args(), stdin)
 	if err != nil {
@@ -84,17 +119,34 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return report(stdout, agg, *jsonOut, *top, *phi)
 }
 
+// aggBackend is the serve-mode state plane: a single Aggregator or an
+// in-process Partitioned, both of which GC and serve identically.
+type aggBackend interface {
+	aggsrv.Backend
+	SetPushDeadline(time.Duration, func() time.Time)
+	Sweep() int
+}
+
 // serveHTTP runs the aggregation service until the process is killed.
 // With a worker deadline, departed workers are GC'd: reads exclude them
 // the moment the deadline passes, and a background ticker sweeps their
 // resident state (pushes sweep too, so the ticker only covers the
 // all-workers-gone case).
-func serveHTTP(addr string, deadline time.Duration) error {
+func serveHTTP(addr string, deadline time.Duration, cfg qlove.AggregatorConfig, replicas int) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	agg := qlove.NewAggregator()
+	var agg aggBackend
+	if replicas > 1 {
+		if agg, err = qlove.NewPartitioned(replicas, cfg); err != nil {
+			return err
+		}
+	} else {
+		if agg, err = qlove.NewAggregatorConfig(cfg); err != nil {
+			return err
+		}
+	}
 	if deadline > 0 {
 		agg.SetPushDeadline(deadline, nil)
 		go func() {
@@ -103,7 +155,7 @@ func serveHTTP(addr string, deadline time.Duration) error {
 			}
 		}()
 	}
-	fmt.Fprintf(os.Stderr, "qlove-agg: serving on http://%s (POST /push?worker=ID, GET /query /snapshot /healthz)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "qlove-agg: serving on http://%s (POST /push?worker=ID, GET /query /snapshot /healthz /metrics)\n", ln.Addr())
 	srv := &http.Server{
 		Handler: aggsrv.New(agg).Handler(),
 		// Header reads are bounded so a half-open connection cannot pin a
@@ -112,6 +164,21 @@ func serveHTTP(addr string, deadline time.Duration) error {
 		// the handler drains them without holding the fold lock).
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	return srv.Serve(ln)
+}
+
+// serveFanin runs the stateless HTTP router over remote replica servers.
+func serveFanin(addr string, urls []string) error {
+	f, err := aggsrv.NewFanin(urls, nil)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "qlove-agg: fan-in on http://%s over %d replicas\n", ln.Addr(), len(urls))
+	srv := &http.Server{Handler: f.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	return srv.Serve(ln)
 }
 

@@ -72,6 +72,7 @@ func run(args []string) error {
 	serve := fs.Bool("serve", false, "distributed: push deltas to a streaming aggregation service instead of batch blobs")
 	agg := fs.String("agg", "", "distributed -serve: base URL of an external qlove-agg -serve (empty = in-process service)")
 	intervals := fs.Int("intervals", 8, "distributed -serve: delta pushes per worker")
+	aggStrict := fs.Bool("agg-strict", false, "aggregator: fail unless the striped store reaches the single-map throughput at top concurrency")
 	storm := fs.Bool("storm", false, "multikey: run the hot-key storm variant (per-shard skew, salted vs unsalted routing)")
 	salt := fs.Int("salt", 8, "multikey -storm: RouteSalt sub-streams for the salted run")
 	adaptive := fs.Bool("adaptive", false, "multikey -storm: adaptive variant — no RouteSalt, a moving hot key, the occupancy controller rebalances live")
@@ -123,6 +124,7 @@ func run(args []string) error {
 		fmt.Println("multikey")
 		fmt.Println("timedkeys")
 		fmt.Println("distributed")
+		fmt.Println("aggregator")
 		fmt.Println("openloop")
 		fmt.Println("scaling")
 		return nil
@@ -132,16 +134,17 @@ func run(args []string) error {
 			Scale: *scale, Seed: *seed, Keys: *keys, Skew: *skew,
 			Workers: *workers, Intervals: *intervals,
 			SLA: *sla, Backpressure: backpressure,
+			AggStrict: *aggStrict,
 		})
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		names = append(append([]string(nil), bench.Order...), "multikey", "timedkeys", "distributed", "openloop")
+		names = append(append([]string(nil), bench.Order...), "multikey", "timedkeys", "distributed", "aggregator", "openloop")
 	}
 	opts := bench.Options{W: os.Stdout, Seed: *seed, Scale: *scale, Full: *full}
 	isLocal := map[string]bool{
 		"multikey": true, "timedkeys": true, "distributed": true,
-		"openloop": true, "scaling": true,
+		"aggregator": true, "openloop": true, "scaling": true,
 	}
 	for _, name := range names {
 		exp, ok := bench.Experiments[name]
@@ -177,6 +180,12 @@ func run(args []string) error {
 					return fmt.Errorf("%s: %w", name, err)
 				}
 			} else if err := distributedExperiment(os.Stdout, o); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		case "aggregator":
+			o := defaultAggBenchOptions(*scale, *seed, *keys)
+			o.Strict = *aggStrict
+			if err := aggregatorExperiment(os.Stdout, o); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		case "openloop":
@@ -228,6 +237,11 @@ type perfRecord struct {
 	// baseline and the adaptive variant with its skew-over-time series and
 	// route-event trace, added with the adaptive-routing PR.
 	Storm *stormSection `json:"storm,omitempty"`
+	// Aggregator holds the aggregation-tier sweep (concurrent push ×
+	// query throughput per store backend across goroutine and key counts,
+	// every backend verified bit-identical to the single-map serial
+	// fold), added with the aggregation-tier PR.
+	Aggregator *aggBenchSection `json:"aggregator,omitempty"`
 }
 
 // stormSection groups the perf record's hot-key storm measurements.
@@ -265,6 +279,7 @@ type jsonOptions struct {
 	Intervals    int
 	SLA          time.Duration
 	Backpressure qlove.Backpressure
+	AggStrict    bool
 }
 
 // runJSON measures every registered policy under the Figure 4 window shape
@@ -399,7 +414,8 @@ func runJSON(o jsonOptions) error {
 	if err != nil {
 		return fmt.Errorf("distributed: %w", err)
 	}
-	if !dist.HotKeyConsistent || !dist.CrossMergeConsistent || !dist.Serve.ServiceConsistent {
+	if !dist.HotKeyConsistent || !dist.CrossMergeConsistent || !dist.Serve.ServiceConsistent ||
+		!dist.Serve.BackendsConsistent || !dist.Serve.FaninConsistent {
 		return fmt.Errorf("distributed: aggregation diverged from reference")
 	}
 	if dist.Serve.DeltaBytesLast >= dist.Serve.FullBytesLast {
@@ -407,6 +423,13 @@ func runJSON(o jsonOptions) error {
 			dist.Serve.DeltaBytesLast, dist.Serve.FullBytesLast)
 	}
 	rec.Distributed = &dist
+	abo := defaultAggBenchOptions(scale, seed, keys)
+	abo.Strict = o.AggStrict
+	aggSec, err := runAggBench(abo)
+	if err != nil {
+		return fmt.Errorf("aggregator: %w", err)
+	}
+	rec.Aggregator = &aggSec
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rec)

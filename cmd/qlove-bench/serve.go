@@ -49,6 +49,14 @@ type serveStats struct {
 	FullBytesLast     int64 `json:"full_bytes_last_interval"`
 	ServiceKeys       int   `json:"service_keys"`
 	ServiceConsistent bool  `json:"service_consistent"`
+	// BackendsConsistent: the workers' final full blobs folded through
+	// every store backend (single-map reference, lock-striped,
+	// partitioned) produce bit-identical merged views.
+	BackendsConsistent bool `json:"backends_consistent"`
+	// FaninConsistent: the same blobs pushed through the HTTP fan-in
+	// router over fresh replica servers answer /snapshot byte-identically
+	// to the single-process service.
+	FaninConsistent bool `json:"fanin_consistent"`
 }
 
 // serveWorkerStats is the per-worker measurement each serve-mode worker
@@ -291,11 +299,136 @@ func runDistributedServe(o distOptions) (distRun, error) {
 	}
 	serve.ServiceConsistent = consistent
 	serve.ServiceKeys = serviceKeys
+	if serve.BackendsConsistent, err = backendsConsistent(blobs); err != nil {
+		return distRun{}, fmt.Errorf("store backends: %w", err)
+	}
+	if serve.FaninConsistent, err = faninConsistent(blobs); err != nil {
+		return distRun{}, fmt.Errorf("fan-in: %w", err)
+	}
 
 	if err := verifyDistributed(&run, agg, seq, o); err != nil {
 		return distRun{}, err
 	}
 	return run, nil
+}
+
+// backendsConsistent folds the workers' final full blobs — per worker, in
+// worker order, exactly as the service received its pushes — through
+// every store backend and the in-process partitioned fan-in, and requires
+// the merged views to be bit-identical to the single-map reference's wire
+// encoding.
+func backendsConsistent(blobs [][]byte) (bool, error) {
+	render := func(a aggTarget) ([]byte, error) {
+		for w, blob := range blobs {
+			if _, err := a.Apply(serveWorkerID(w), bytes.NewReader(blob)); err != nil {
+				return nil, err
+			}
+		}
+		snap, err := a.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if _, err := snap.WriteTo(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	var want []byte
+	for _, b := range aggBenchBackends(3) {
+		agg, err := b.mk()
+		if err != nil {
+			return false, err
+		}
+		got, err := render(agg)
+		if err != nil {
+			return false, fmt.Errorf("backend %s: %w", b.name, err)
+		}
+		if want == nil {
+			want = got // the single-map reference comes first
+		} else if !bytes.Equal(got, want) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// faninConsistent stands up fresh replica servers and the HTTP fan-in
+// router over them, pushes the workers' final full blobs through the
+// router, and compares the router's /snapshot byte-for-byte against a
+// fresh single-process service fed the same blobs directly.
+func faninConsistent(blobs [][]byte) (bool, error) {
+	const replicas = 3
+	var servers []*http.Server
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	serve := func(h http.Handler) (string, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		srv := &http.Server{Handler: h}
+		servers = append(servers, srv)
+		go srv.Serve(ln)
+		return "http://" + ln.Addr().String(), nil
+	}
+	urls := make([]string, replicas)
+	for i := range urls {
+		u, err := serve(aggsrv.New(nil).Handler())
+		if err != nil {
+			return false, err
+		}
+		urls[i] = u
+	}
+	fanin, err := aggsrv.NewFanin(urls, nil)
+	if err != nil {
+		return false, err
+	}
+	faninURL, err := serve(fanin.Handler())
+	if err != nil {
+		return false, err
+	}
+	refURL, err := serve(aggsrv.New(nil).Handler())
+	if err != nil {
+		return false, err
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	fetch := func(base string) ([]byte, error) {
+		for w, blob := range blobs {
+			resp, err := client.Post(base+"/push?worker="+url.QueryEscape(serveWorkerID(w)),
+				"application/octet-stream", bytes.NewReader(blob))
+			if err != nil {
+				return nil, err
+			}
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("push worker %d: %s: %s", w, resp.Status, msg)
+			}
+		}
+		resp, err := client.Get(base + "/snapshot")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("snapshot: %s", resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	got, err := fetch(faninURL)
+	if err != nil {
+		return false, fmt.Errorf("via router: %w", err)
+	}
+	want, err := fetch(refURL)
+	if err != nil {
+		return false, fmt.Errorf("single-process: %w", err)
+	}
+	return bytes.Equal(got, want), nil
 }
 
 // waitHealthy polls /healthz until the service answers (an external
@@ -388,7 +521,10 @@ func serveDistributedExperiment(w io.Writer, o distOptions) error {
 	fmt.Fprintf(w, "  hot-key vs single monitor: %s\n", verdict(run.HotKeyConsistent))
 	fmt.Fprintf(w, "  cross-worker merge (streams=%d) vs in-process merge: %s\n",
 		run.CrossMergeStreams, verdict(run.CrossMergeConsistent))
-	if !s.ServiceConsistent || !run.HotKeyConsistent || !run.CrossMergeConsistent {
+	fmt.Fprintf(w, "  store backends (map/striped/partitioned) folding the same blobs: %s\n", verdict(s.BackendsConsistent))
+	fmt.Fprintf(w, "  HTTP fan-in router /snapshot vs single-process service: %s\n", verdict(s.FaninConsistent))
+	if !s.ServiceConsistent || !run.HotKeyConsistent || !run.CrossMergeConsistent ||
+		!s.BackendsConsistent || !s.FaninConsistent {
 		return fmt.Errorf("service aggregation diverged from reference")
 	}
 	if s.DeltaBytesLast >= s.FullBytesLast {

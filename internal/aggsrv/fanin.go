@@ -1,0 +1,271 @@
+package aggsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/wire"
+)
+
+// Fanin is the out-of-process horizontal tier: an HTTP router over N
+// remote aggregator replica servers, each owning the logical keys that
+// hash to it (the same qlove.PartitionOf hash the in-process Partitioned
+// uses, so any router instance partitions identically).
+//
+// It serves the same endpoints as Server:
+//
+//   - /push splits the worker's blob frame-by-frame — bit-verbatim, via
+//     the wire raw scanner — and forwards each frame to its owner; every
+//     replica receives a push (empty for non-owners) so worker liveness
+//     and push deadlines stay coherent partition-wide.
+//   - /query proxies to the key's single owner, response bytes untouched.
+//   - /snapshot fans out, then merge-sorts the replicas' disjoint,
+//     per-replica-sorted key arrays — each key's JSON element is relayed
+//     verbatim, so estimates remain bit-identical to the owning replica's
+//     (and thus to a single-process aggregator folding the same pushes).
+//   - /healthz and /metrics aggregate across replicas.
+type Fanin struct {
+	urls   []string
+	client *http.Client
+	mux    *http.ServeMux
+}
+
+// NewFanin returns a router over the replica base URLs (e.g.
+// "http://10.0.0.1:7171"). client nil means http.DefaultClient.
+func NewFanin(urls []string, client *http.Client) (*Fanin, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("aggsrv: fan-in needs at least one replica URL")
+	}
+	clean := make([]string, len(urls))
+	for i, u := range urls {
+		parsed, err := url.Parse(u)
+		if err != nil || parsed.Scheme == "" || parsed.Host == "" {
+			return nil, fmt.Errorf("aggsrv: bad replica URL %q", u)
+		}
+		clean[i] = strings.TrimRight(u, "/")
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	f := &Fanin{urls: clean, client: client, mux: http.NewServeMux()}
+	f.mux.HandleFunc("/push", f.handlePush)
+	f.mux.HandleFunc("/query", f.handleQuery)
+	f.mux.HandleFunc("/snapshot", f.handleSnapshot)
+	f.mux.HandleFunc("/healthz", f.handleHealthz)
+	f.mux.HandleFunc("/metrics", f.handleMetrics)
+	return f, nil
+}
+
+// Handler returns the root handler for mounting on any http.Server.
+func (f *Fanin) Handler() http.Handler { return f.mux }
+
+// Replicas returns the replica base URLs.
+func (f *Fanin) Replicas() []string { return append([]string(nil), f.urls...) }
+
+func (f *Fanin) owner(base string) int { return qlove.PartitionOf(base, len(f.urls)) }
+
+// logicalBase strips a salted sub-stream suffix ("key\x00<j>") so salted
+// frames route with their base key, keeping whole salt groups on one
+// replica.
+func logicalBase(key string) string {
+	if i := strings.IndexByte(key, 0); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+func (f *Fanin) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "push is POST-only")
+		return
+	}
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		writeErr(w, http.StatusBadRequest, "push needs a ?worker=ID (the per-worker fold state is keyed by it)")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPushBody))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read push body: %v", err)
+		return
+	}
+	// Route the whole blob before forwarding anything: a malformed blob is
+	// rejected with zero frames applied anywhere.
+	parts := make([]bytes.Buffer, len(f.urls))
+	sc := wire.NewRawScanner(bytes.NewReader(body))
+	for {
+		_, key, frame, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "scan push blob: %v", err)
+			return
+		}
+		parts[f.owner(logicalBase(key))].Write(frame)
+	}
+	frames, keys := 0, 0
+	for i, u := range f.urls {
+		// Every replica gets the push — an empty blob still registers the
+		// worker there, keeping liveness partition-wide.
+		resp, err := f.client.Post(u+"/push?worker="+url.QueryEscape(worker),
+			"application/octet-stream", bytes.NewReader(parts[i].Bytes()))
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
+			return
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			writeErr(w, http.StatusBadGateway, "replica %s: status %d: %s", u, resp.StatusCode, rb)
+			return
+		}
+		var pr PushResult
+		if err := json.Unmarshal(rb, &pr); err != nil {
+			writeErr(w, http.StatusBadGateway, "replica %s: bad push ack: %v", u, err)
+			return
+		}
+		frames += pr.Frames
+		keys += pr.Keys // replica key sets are disjoint: the sum is the total
+	}
+	writeJSON(w, http.StatusOK, PushResult{Worker: worker, Frames: frames, Keys: keys})
+}
+
+func (f *Fanin) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "query is GET-only")
+		return
+	}
+	if !r.URL.Query().Has("key") {
+		writeErr(w, http.StatusBadRequest, "query needs ?key=")
+		return
+	}
+	u := f.urls[f.owner(r.URL.Query().Get("key"))]
+	resp, err := f.client.Get(u + "/query?" + r.URL.RawQuery)
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
+		return
+	}
+	defer resp.Body.Close()
+	// Relay the owner's answer verbatim — bytes, status and all — so the
+	// client sees bit-identical estimates to asking the replica directly.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// snapshotKeys is the minimal decode of a replica /snapshot: each key's
+// element is kept as raw JSON so the fan-in re-emits it bit-identically.
+type snapshotKeys struct {
+	Keys []json.RawMessage `json:"keys"`
+}
+
+func (f *Fanin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "snapshot is GET-only")
+		return
+	}
+	type keyed struct {
+		key string
+		raw json.RawMessage
+	}
+	var all []keyed
+	for _, u := range f.urls {
+		resp, err := f.client.Get(u + "/snapshot")
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
+			return
+		}
+		var sk snapshotKeys
+		err = json.NewDecoder(resp.Body).Decode(&sk)
+		resp.Body.Close()
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, "replica %s: bad snapshot: %v", u, err)
+			return
+		}
+		for _, raw := range sk.Keys {
+			var k struct {
+				Key string `json:"key"`
+			}
+			if err := json.Unmarshal(raw, &k); err != nil {
+				writeErr(w, http.StatusBadGateway, "replica %s: bad key report: %v", u, err)
+				return
+			}
+			all = append(all, keyed{key: k.Key, raw: raw})
+		}
+	}
+	// Disjoint per-replica key sets: a global sort restores exactly the
+	// single-process /snapshot order.
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, `{"keys":[`)
+	for i, k := range all {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		w.Write(k.raw)
+	}
+	io.WriteString(w, "]}\n")
+}
+
+func (f *Fanin) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	workers, keys := 0, 0
+	for _, u := range f.urls {
+		resp, err := f.client.Get(u + "/healthz")
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
+			return
+		}
+		var h Health
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil || h.Status != "ok" {
+			writeErr(w, http.StatusBadGateway, "replica %s: unhealthy (%v)", u, err)
+			return
+		}
+		if h.Workers > workers {
+			workers = h.Workers // every replica hosts every worker
+		}
+		keys += h.Keys
+	}
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Workers: workers, Keys: keys})
+}
+
+// FaninMetrics is the fan-in's /metrics document: each replica's own
+// metrics report, keyed by its URL.
+type FaninMetrics struct {
+	Replicas []FaninReplicaMetrics `json:"replicas"`
+}
+
+// FaninReplicaMetrics is one replica's metrics as relayed by the fan-in.
+type FaninReplicaMetrics struct {
+	URL     string          `json:"url"`
+	Metrics json.RawMessage `json:"metrics"`
+}
+
+func (f *Fanin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "metrics is GET-only")
+		return
+	}
+	out := FaninMetrics{}
+	for _, u := range f.urls {
+		resp, err := f.client.Get(u + "/metrics")
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
+			return
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		out.Replicas = append(out.Replicas, FaninReplicaMetrics{URL: u, Metrics: json.RawMessage(rb)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

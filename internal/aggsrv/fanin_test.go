@@ -1,0 +1,262 @@
+package aggsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// faninFixture stands up N replica servers plus the fan-in router over
+// them, and one single-process reference server fed the same pushes.
+type faninFixture struct {
+	fanin    *httptest.Server
+	replicas []*httptest.Server
+	ref      *httptest.Server
+}
+
+func newFaninFixture(t *testing.T, n int) *faninFixture {
+	t.Helper()
+	fx := &faninFixture{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := httptest.NewServer(New(nil).Handler())
+		t.Cleanup(srv.Close)
+		fx.replicas = append(fx.replicas, srv)
+		urls[i] = srv.URL
+	}
+	f, err := NewFanin(urls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.fanin = httptest.NewServer(f.Handler())
+	t.Cleanup(fx.fanin.Close)
+	fx.ref = httptest.NewServer(New(nil).Handler())
+	t.Cleanup(fx.ref.Close)
+	return fx
+}
+
+// push sends the blob to the fan-in AND the reference server, requiring
+// identical acks.
+func (fx *faninFixture) push(t *testing.T, worker string, blob []byte) {
+	t.Helper()
+	resp, body := post(t, fx.fanin, "/push?worker="+worker, blob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fan-in push: %s: %s", resp.Status, body)
+	}
+	var got PushResult
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, fx.ref, "/push?worker="+worker, blob)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reference push: %s: %s", resp.Status, body)
+	}
+	var want PushResult
+	if err := json.Unmarshal(body, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("fan-in push ack %+v != reference %+v", got, want)
+	}
+}
+
+// TestFaninEndToEnd: multi-worker, multi-key (including a salted
+// sub-stream group) pushes through the router answer /query, /snapshot
+// and /healthz byte-identically to one single-process server folding the
+// same pushes.
+func TestFaninEndToEnd(t *testing.T) {
+	cfg := qlove.Config{Spec: qlove.Window{Size: 256, Period: 64}, Phis: []float64{0.5, 0.99}, FewK: true}
+	fx := newFaninFixture(t, 3)
+
+	keys := []string{"api/latency", "db/qps", "cache/hits", "gc/pause", "net/rtt"}
+	cursors := make([]qlove.ExportCursor, 2)
+	for w := 0; w < 2; w++ {
+		// Salted routing makes the engine emit "key\x00<j>" internal names
+		// in its delta exports — the fan-in must keep each group together.
+		eng, err := qlove.NewEngine(qlove.EngineConfig{Config: cfg, Shards: 2, RouteSalt: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for range eng.Results() {
+			}
+		}()
+		gen := workload.NewNetMon(int64(60 + w))
+		for round := 0; round < 2; round++ {
+			for ki, k := range keys {
+				if err := eng.Push(k, workload.Generate(gen, 200+40*ki)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var blob bytes.Buffer
+			if _, err := eng.ExportDelta(&blob, &cursors[w]); err != nil {
+				t.Fatal(err)
+			}
+			fx.push(t, fmt.Sprintf("w%d", w), blob.Bytes())
+		}
+		eng.Close()
+	}
+
+	// Replica key ownership is disjoint and matches PartitionOf.
+	for _, k := range keys {
+		owner := qlove.PartitionOf(k, len(fx.replicas))
+		for i, rs := range fx.replicas {
+			resp, _ := get(t, rs, "/query?key="+k)
+			wantOK := i == owner
+			if (resp.StatusCode == http.StatusOK) != wantOK {
+				t.Fatalf("key %q on replica %d (owner %d): %s", k, i, owner, resp.Status)
+			}
+		}
+	}
+
+	// /query through the router: byte-identical to the reference server.
+	for _, k := range append(keys, "no/such/key") {
+		rf, bf := get(t, fx.fanin, "/query?key="+k)
+		rr, br := get(t, fx.ref, "/query?key="+k)
+		if rf.StatusCode != rr.StatusCode {
+			t.Fatalf("query %q: fan-in %s, reference %s", k, rf.Status, rr.Status)
+		}
+		if !bytes.Equal(bf, br) {
+			t.Fatalf("query %q: fan-in body diverges from reference:\n%s\nvs\n%s", k, bf, br)
+		}
+	}
+
+	// /snapshot through the router: parses to the same sorted key reports,
+	// each element byte-identical (the router relays raw JSON elements).
+	_, bf := get(t, fx.fanin, "/snapshot")
+	_, br := get(t, fx.ref, "/snapshot")
+	if !bytes.Equal(bf, br) {
+		t.Fatalf("fan-in snapshot diverges from reference:\n%s\nvs\n%s", bf, br)
+	}
+
+	// /healthz: same worker and key totals as the reference.
+	var hf, hr Health
+	_, bh := get(t, fx.fanin, "/healthz")
+	if err := json.Unmarshal(bh, &hf); err != nil {
+		t.Fatal(err)
+	}
+	_, bh = get(t, fx.ref, "/healthz")
+	if err := json.Unmarshal(bh, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hf != hr {
+		t.Fatalf("fan-in health %+v != reference %+v", hf, hr)
+	}
+	if hf.Workers != 2 || hf.Keys != len(keys) {
+		t.Fatalf("health %+v, want 2 workers / %d keys", hf, len(keys))
+	}
+
+	// /metrics relays one document per replica.
+	resp, bm := get(t, fx.fanin, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fan-in metrics: %s", resp.Status)
+	}
+	var fm FaninMetrics
+	if err := json.Unmarshal(bm, &fm); err != nil {
+		t.Fatal(err)
+	}
+	if len(fm.Replicas) != len(fx.replicas) {
+		t.Fatalf("metrics for %d replicas, want %d", len(fm.Replicas), len(fx.replicas))
+	}
+}
+
+// TestFaninErrors covers the router's failure surface: bad construction,
+// malformed blobs rejected before any replica sees a frame, and replica
+// outages surfacing as 502.
+func TestFaninErrors(t *testing.T) {
+	if _, err := NewFanin(nil, nil); err == nil {
+		t.Fatal("empty URL list accepted")
+	}
+	if _, err := NewFanin([]string{"not a url"}, nil); err == nil {
+		t.Fatal("bad URL accepted")
+	}
+	if _, err := NewFanin([]string{"/just/a/path"}, nil); err == nil {
+		t.Fatal("schemeless URL accepted")
+	}
+
+	fx := newFaninFixture(t, 2)
+	if resp, _ := post(t, fx.fanin, "/push", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("push without worker: %s", resp.Status)
+	}
+	if resp, _ := get(t, fx.fanin, "/push?worker=w"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET push: %s", resp.Status)
+	}
+	if resp, _ := get(t, fx.fanin, "/query"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("query without key: %s", resp.Status)
+	}
+	// A malformed blob dies in the router's scan: no replica registers the
+	// worker, so /healthz still reports zero.
+	if resp, _ := post(t, fx.fanin, "/push?worker=w", []byte("garbage")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed blob: %s", resp.Status)
+	}
+	var h Health
+	_, bh := get(t, fx.fanin, "/healthz")
+	if err := json.Unmarshal(bh, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Workers != 0 {
+		t.Fatalf("malformed blob registered a worker: %+v", h)
+	}
+	// A dead replica turns pushes and snapshots into 502s.
+	fx.replicas[0].Close()
+	if resp, _ := post(t, fx.fanin, "/push?worker=w", nil); resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("push with dead replica: %s", resp.Status)
+	}
+	if resp, _ := get(t, fx.fanin, "/snapshot"); resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("snapshot with dead replica: %s", resp.Status)
+	}
+	if resp, _ := get(t, fx.fanin, "/healthz"); resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("healthz with dead replica: %s", resp.Status)
+	}
+}
+
+// TestServiceMetricsEndpoint pins the server-side /metrics document for a
+// plain, an instrumented, and a partitioned backend.
+func TestServiceMetricsEndpoint(t *testing.T) {
+	agg, err := qlove.NewAggregatorConfig(qlove.AggregatorConfig{Instrument: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(agg).Handler())
+	defer srv.Close()
+	if resp, _ := post(t, srv, "/metrics", nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST metrics: %s", resp.Status)
+	}
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %s", resp.Status)
+	}
+	var m MetricsReport
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Replicas) != 1 || m.Replicas[0].Store.Backend != "striped+instrumented" {
+		t.Fatalf("metrics %s", body)
+	}
+	if m.Replicas[0].FoldCache == nil {
+		t.Fatal("fold cache stats missing")
+	}
+
+	p, err := qlove.NewPartitioned(3, qlove.AggregatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	psrv := httptest.NewServer(New(p).Handler())
+	defer psrv.Close()
+	resp, body = get(t, psrv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partitioned metrics: %s", resp.Status)
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Replicas) != 3 {
+		t.Fatalf("partitioned metrics for %d replicas, want 3", len(m.Replicas))
+	}
+}

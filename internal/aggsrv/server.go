@@ -11,16 +11,28 @@
 //	                       -> {"worker","frames","keys"}
 //	GET  /query?key=K      merged estimates for one key; &phi=0.99 selects
 //	                       one configured quantile (unconfigured ϕ is 400)
-//	GET  /snapshot         every key's merged estimates, sorted
+//	GET  /snapshot         every key's merged estimates, sorted — streamed
+//	                       one key at a time, so service memory stays
+//	                       bounded on large key sets
 //	GET  /healthz          {"status":"ok","workers":N,"keys":M}
+//	GET  /metrics          the backend's self-description: store backend,
+//	                       op counters (instrumented stores), lock-wait,
+//	                       fold-cache hits/misses — per replica for a
+//	                       partitioned backend
 //
 // All responses are JSON. Estimates are float64s encoded by encoding/json
 // with Go's shortest round-trippable formatting, so a client parsing them
 // back gets bit-identical values — the bench's bit-for-bit verification
 // leans on this.
+//
+// The served Backend is anything with the aggregator's read/fold surface:
+// a *qlove.Aggregator on any store backend, or a *qlove.Partitioned
+// fanning keys across replicas. NewFanin is the out-of-process analogue —
+// an HTTP router over N remote replica servers.
 package aggsrv
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -59,14 +71,25 @@ type Health struct {
 	Keys    int    `json:"keys"`
 }
 
-// Server serves one Aggregator over HTTP.
+// Backend is the aggregation surface the server fronts: the shared shape
+// of *qlove.Aggregator (any store backend) and *qlove.Partitioned.
+type Backend interface {
+	Apply(worker string, r io.Reader) (int, error)
+	Query(key string) (qlove.Snapshot, bool, error)
+	Snapshot() (qlove.EngineSnapshot, error)
+	Workers() int
+	Keys() int
+}
+
+// Server serves one aggregation backend over HTTP.
 type Server struct {
-	agg *qlove.Aggregator
+	agg Backend
 	mux *http.ServeMux
 }
 
-// New returns a server over agg (a fresh empty Aggregator when nil).
-func New(agg *qlove.Aggregator) *Server {
+// New returns a server over the backend (a fresh default *qlove.Aggregator
+// when nil).
+func New(agg Backend) *Server {
 	if agg == nil {
 		agg = qlove.NewAggregator()
 	}
@@ -75,11 +98,12 @@ func New(agg *qlove.Aggregator) *Server {
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
-// Aggregator returns the served aggregator (e.g. to preload blobs).
-func (s *Server) Aggregator() *qlove.Aggregator { return s.agg }
+// Aggregator returns the served backend (e.g. to preload blobs).
+func (s *Server) Aggregator() Backend { return s.agg }
 
 // Handler returns the root handler for mounting on any http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -195,19 +219,63 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	reports := make([]KeyReport, 0, snap.Len())
-	for _, k := range snap.Keys() {
+	// Stream one KeyReport at a time instead of materializing the whole
+	// []KeyReport: the response stays {"keys":[…]} but the service never
+	// holds more than one key's report (plus the write buffer), so memory
+	// is bounded by the snapshot itself, not by its JSON expansion.
+	// report() cannot fail for phi=0 (it only validates a requested
+	// quantile), so nothing can error after the status line is committed.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"keys":[`)
+	for i, k := range snap.Keys() {
 		sn, _ := snap.Get(k)
 		rep, err := report(k, sn, 0)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "key %q: %v", k, err)
+			// Unreachable for phi=0; abort mid-body so the client's JSON
+			// parse fails rather than silently truncating the key set.
 			return
 		}
-		reports = append(reports, rep)
+		b, err := json.Marshal(rep)
+		if err != nil {
+			return
+		}
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.Write(b)
+		if i%512 == 511 {
+			bw.Flush()
+		}
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Keys []KeyReport `json:"keys"`
-	}{reports})
+	bw.WriteString("]}\n")
+	bw.Flush()
+}
+
+// MetricsReport is the /metrics document: one aggregator's metrics, or
+// one per replica for a partitioned backend.
+type MetricsReport struct {
+	Replicas []qlove.AggregatorMetrics `json:"replicas"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "metrics is GET-only")
+		return
+	}
+	switch b := s.agg.(type) {
+	case interface {
+		Metrics() qlove.AggregatorMetrics
+	}:
+		writeJSON(w, http.StatusOK, MetricsReport{Replicas: []qlove.AggregatorMetrics{b.Metrics()}})
+	case interface {
+		Metrics() []qlove.AggregatorMetrics
+	}:
+		writeJSON(w, http.StatusOK, MetricsReport{Replicas: b.Metrics()})
+	default:
+		writeErr(w, http.StatusNotFound, "backend exposes no metrics")
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

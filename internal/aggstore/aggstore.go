@@ -1,0 +1,267 @@
+// Package aggstore is the aggregator's pluggable state plane: resident
+// per-(worker, internal key name) folded captures behind a small Store
+// interface, so the fold logic in qlove.Aggregator is independent of how
+// the state is laid out and locked. Three implementations ship:
+//
+//   - Map: the original layout — every worker's state in one map behind a
+//     single RWMutex. Simple, fully serialized; the conformance reference.
+//   - Striped: lock-striped shards keyed by hash(worker, base key), so
+//     pushes from different workers and concurrent reads proceed in
+//     parallel. Worker/key counts are kept in atomics and never take a
+//     stripe lock.
+//   - Instrumented: a wrapper over either recording per-op counts and
+//     cumulative latency, surfaced by the service's /metrics endpoint.
+//
+// A State is IMMUTABLE once handed to Put/ReplaceGroup/BootstrapSub: the
+// aggregator folds copy-on-write (a delta builds a fresh State rather
+// than appending into the resident one), which is what lets read paths
+// share resident parts with zero copying and lets the fold cache hold
+// merged snapshots across reads.
+//
+// Internal key names follow the engine's salt convention: a logical key
+// K is resident either under its base name "K" or under salted
+// sub-stream names "K\x00<j>" (NUL cannot appear in user keys). All the
+// names of one logical key form its GROUP; fold order is the sorted name
+// order [base, sub 0, sub 1, …] because NUL sorts below every user-key
+// byte. Both backends maintain a per-group index, so group reads and
+// wholesale group replacement never scan the worker's full key set.
+//
+// Every mutation bumps a per-base generation counter (KeyGen) AFTER the
+// state change lands; the aggregator's fold cache tags entries with the
+// generation it read before folding, so a stale tag can only cause a
+// spurious re-fold, never a stale hit. Generations live in a fixed hash
+// table: two bases may share a slot, which over-invalidates and is
+// harmless.
+package aggstore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// State is one worker's folded capture of one internal key name — exactly
+// the SnapshotParts a full export of that name would carry. Immutable
+// after it is stored: folds replace the *State, never mutate it.
+type State struct {
+	Parts core.SnapshotParts
+}
+
+// NamedState pairs a resident internal name with its state, as returned
+// by Group in fold order.
+type NamedState struct {
+	Name  string
+	State *State
+}
+
+// Store is the aggregator's state plane. Implementations serialize each
+// operation internally; callers get per-operation atomicity (a group
+// replacement is never observed half-applied) but no cross-operation
+// transactions — the aggregator's contract already requires pushes of ONE
+// worker to be serialized by the caller, and reads tolerate seeing a
+// multi-frame blob partially folded (the fold cache and the bit-equality
+// suites verify quiesced states).
+type Store interface {
+	// Get returns the state resident under the exact internal name.
+	Get(worker, name string) (*State, bool)
+	// Put stores st under the exact internal name, creating or replacing.
+	Put(worker, name string, st *State)
+	// Drop removes the exact internal name, reporting whether it was
+	// resident.
+	Drop(worker, name string) bool
+	// ReplaceGroup atomically removes every resident name of name's
+	// logical group (base and all salted sub-streams) and stores st under
+	// name. Used when a frame replaces the logical key wholesale: a full
+	// frame, or a from-generation-0 bootstrap of the base name.
+	ReplaceGroup(worker, name string, st *State)
+	// BootstrapSub atomically drops the BASE name of name's group and
+	// stores st under name (a salted sub-stream bootstrapping out of an
+	// escalated base); other sub-streams stay resident.
+	BootstrapSub(worker, name string, st *State)
+	// Group returns the worker's resident states for one logical key in
+	// fold order [base, sub 0, sub 1, …]; empty when the worker holds
+	// nothing for it. The returned slice is the caller's; the *States are
+	// shared and immutable.
+	Group(worker, base string) []NamedState
+	// WorkerNames returns every internal name the worker holds, sorted.
+	WorkerNames(worker string) []string
+
+	// Touch creates the worker if needed and stamps its last-push time.
+	Touch(worker string, t time.Time)
+	// Workers returns the known worker IDs, sorted, excluding those the
+	// stale predicate rejects (nil keeps all).
+	Workers(stale func(lastPush time.Time) bool) []string
+	// DropWorker removes one worker and all its state, reporting whether
+	// it was known.
+	DropWorker(worker string) bool
+	// SweepWorkers drops every worker the predicate marks stale,
+	// returning how many were removed.
+	SweepWorkers(stale func(lastPush time.Time) bool) int
+
+	// WorkerCount and KeyCount are O(1) occupancy counters — workers
+	// resident, and distinct logical keys across all of them — safe for
+	// /healthz even while pushes are in flight. They count RESIDENT
+	// state; staleness filtering under a push deadline is the
+	// aggregator's concern.
+	WorkerCount() int
+	KeyCount() int
+
+	// KeyGen returns the mutation generation of a logical key's cache
+	// line. It only moves forward, and any mutation touching the base
+	// bumps it (hash slots may be shared across bases).
+	KeyGen(base string) uint64
+
+	// Kind names the backend ("map", "striped", …) for metrics and bench
+	// labels.
+	Kind() string
+}
+
+// LockWaiter is implemented by backends that track time spent WAITING on
+// their internal locks (mutex acquisition beyond an uncontended TryLock).
+type LockWaiter interface {
+	LockWaitNanos() (read, write int64)
+}
+
+// OpMetrics is one operation's cumulative count and latency.
+type OpMetrics struct {
+	Op    string `json:"op"`
+	Count int64  `json:"count"`
+	Nanos int64  `json:"total_nanos"`
+}
+
+// Metrics is the Instrumented wrapper's report.
+type Metrics struct {
+	Backend            string      `json:"backend"`
+	Ops                []OpMetrics `json:"ops"`
+	LockWaitReadNanos  int64       `json:"lock_wait_read_nanos"`
+	LockWaitWriteNanos int64       `json:"lock_wait_write_nanos"`
+}
+
+// --- salt-name convention (mirrors the engine's; the root package cannot
+// be imported from an internal package without a cycle) ---
+
+// saltSep separates a base key from its salt index in internal names.
+const saltSep = '\x00'
+
+// splitKey splits an internal name into (base, salt index, salted).
+func splitKey(name string) (string, int, bool) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == saltSep {
+			return name[:i], int(name[i+1]), true
+		}
+	}
+	return name, 0, false
+}
+
+// logicalKey returns the base key of an internal name.
+func logicalKey(name string) string {
+	b, _, _ := splitKey(name)
+	return b
+}
+
+// saltedName rebuilds the internal name of sub-stream j of base.
+func saltedName(base string, j int) string {
+	return base + string([]byte{saltSep, byte(j)})
+}
+
+// fnv1a hashes the concatenation of the given strings (FNV-1a, 32-bit).
+func fnv1a(ss ...string) uint32 {
+	h := uint32(2166136261)
+	for _, s := range ss {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint32(s[i])) * 16777619
+		}
+	}
+	return h
+}
+
+// --- generation table ---
+
+const genSlots = 4096 // power of two
+
+// genTable maps logical keys to monotone mutation generations via a fixed
+// hash table of atomics: collisions over-invalidate the fold cache, never
+// under-invalidate it.
+type genTable struct {
+	slots [genSlots]atomic.Uint64
+}
+
+func (g *genTable) bump(base string) { g.slots[fnv1a(base)&(genSlots-1)].Add(1) }
+
+func (g *genTable) load(base string) uint64 { return g.slots[fnv1a(base)&(genSlots-1)].Load() }
+
+// --- cross-worker logical-key refcounts ---
+
+const refStripes = 64
+
+// refTable counts, per logical key, how many workers hold any state for
+// it, maintaining the distinct-key total in an atomic so KeyCount never
+// takes a state lock.
+type refTable struct {
+	distinct atomic.Int64
+	stripes  [refStripes]struct {
+		mu sync.Mutex
+		m  map[string]int32
+	}
+}
+
+func (t *refTable) stripe(base string) *struct {
+	mu sync.Mutex
+	m  map[string]int32
+} {
+	return &t.stripes[fnv1a(base)&(refStripes-1)]
+}
+
+// incr records one more worker holding base.
+func (t *refTable) incr(base string) {
+	s := t.stripe(base)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]int32)
+	}
+	s.m[base]++
+	if s.m[base] == 1 {
+		t.distinct.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// decr records one fewer worker holding base.
+func (t *refTable) decr(base string) {
+	s := t.stripe(base)
+	s.mu.Lock()
+	if n := s.m[base]; n > 0 {
+		if n == 1 {
+			delete(s.m, base)
+			t.distinct.Add(-1)
+		} else {
+			s.m[base] = n - 1
+		}
+	}
+	s.mu.Unlock()
+}
+
+// --- lock-wait tracking ---
+
+// lockTimed acquires mu, charging any wait beyond an uncontended TryLock
+// to the counter.
+func lockTimed(mu *sync.RWMutex, wait *atomic.Int64) {
+	if mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	mu.Lock()
+	wait.Add(int64(time.Since(t0)))
+}
+
+// rlockTimed is lockTimed for read locks.
+func rlockTimed(mu *sync.RWMutex, wait *atomic.Int64) {
+	if mu.TryRLock() {
+		return
+	}
+	t0 := time.Now()
+	mu.RLock()
+	wait.Add(int64(time.Since(t0)))
+}

@@ -1,0 +1,80 @@
+package aggstore
+
+import "sort"
+
+// group is one (worker, logical key)'s resident state: the base name's
+// capture plus any salted sub-streams, kept sorted by salt index. This IS
+// the per-base index the read path folds from — group reads and wholesale
+// replacement never scan the worker's other keys.
+type group struct {
+	base *State
+	subs []subState // ascending salt index
+}
+
+type subState struct {
+	j  int
+	st *State
+}
+
+func (g *group) empty() bool { return g.base == nil && len(g.subs) == 0 }
+
+// setSub inserts or replaces sub-stream j.
+func (g *group) setSub(j int, st *State) {
+	i := sort.Search(len(g.subs), func(i int) bool { return g.subs[i].j >= j })
+	if i < len(g.subs) && g.subs[i].j == j {
+		g.subs[i].st = st
+		return
+	}
+	g.subs = append(g.subs, subState{})
+	copy(g.subs[i+1:], g.subs[i:])
+	g.subs[i] = subState{j: j, st: st}
+}
+
+// dropSub removes sub-stream j, reporting whether it was resident.
+func (g *group) dropSub(j int) bool {
+	i := sort.Search(len(g.subs), func(i int) bool { return g.subs[i].j >= j })
+	if i >= len(g.subs) || g.subs[i].j != j {
+		return false
+	}
+	copy(g.subs[i:], g.subs[i+1:])
+	g.subs[len(g.subs)-1] = subState{}
+	g.subs = g.subs[:len(g.subs)-1]
+	return true
+}
+
+// get returns the state under the exact (salted, j) coordinate.
+func (g *group) get(salted bool, j int) (*State, bool) {
+	if !salted {
+		if g.base == nil {
+			return nil, false
+		}
+		return g.base, true
+	}
+	i := sort.Search(len(g.subs), func(i int) bool { return g.subs[i].j >= j })
+	if i >= len(g.subs) || g.subs[i].j != j {
+		return nil, false
+	}
+	return g.subs[i].st, true
+}
+
+// fold appends the group's states in fold order [base, sub 0, sub 1, …].
+func (g *group) fold(base string, out []NamedState) []NamedState {
+	if g.base != nil {
+		out = append(out, NamedState{Name: base, State: g.base})
+	}
+	for _, s := range g.subs {
+		out = append(out, NamedState{Name: saltedName(base, s.j), State: s.st})
+	}
+	return out
+}
+
+// names appends the group's resident internal names (fold order).
+func (g *group) names(base string, out []string) []string {
+	if g.base != nil {
+		out = append(out, base)
+	}
+	for _, s := range g.subs {
+		out = append(out, saltedName(base, s.j))
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package aggstore
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultStripes is the striped store's default stripe count.
+const DefaultStripes = 64
+
+// Striped is the lock-striped store: state shards across stripes keyed by
+// hash(worker, base key), each behind its own RWMutex, so pushes from
+// different workers and concurrent reads proceed in parallel instead of
+// serializing on one aggregator-wide lock. A (worker, logical key)'s
+// whole salt group hashes to ONE stripe, so group reads and wholesale
+// replacement stay atomic under a single stripe lock.
+//
+// The worker table is separate: membership changes take its write lock,
+// but the hot path — stamping a worker's last push — runs under the read
+// lock with an atomic store, so concurrent pushers never serialize on it.
+// Worker and distinct-logical-key counts are atomics; WorkerCount /
+// KeyCount / KeyGen never take a stripe lock.
+type Striped struct {
+	stripes []stripe
+	mask    uint32
+
+	wmu                 sync.RWMutex
+	wm                  map[string]*workerMeta
+	gens                genTable
+	refs                refTable
+	wcount              atomic.Int64
+	readWait, writeWait atomic.Int64
+}
+
+type stripe struct {
+	mu     sync.RWMutex
+	groups map[groupKey]*group
+	_      [24]byte // soften false sharing between neighbouring stripes
+}
+
+type groupKey struct {
+	worker string
+	base   string
+}
+
+// workerMeta carries a worker's last-push stamp as atomic wall nanos, so
+// Touch under the table's READ lock is race-free against Workers/sweeps.
+type workerMeta struct {
+	lastPush atomic.Int64
+}
+
+func metaTime(nanos int64) time.Time { return time.Unix(0, nanos) }
+
+// NewStriped returns an empty striped store with n stripes (n <= 0 picks
+// DefaultStripes; n is rounded up to a power of two).
+func NewStriped(n int) *Striped {
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Striped{
+		stripes: make([]stripe, size),
+		mask:    uint32(size - 1),
+		wm:      make(map[string]*workerMeta),
+	}
+	for i := range s.stripes {
+		s.stripes[i].groups = make(map[groupKey]*group)
+	}
+	return s
+}
+
+func (s *Striped) Kind() string { return "striped" }
+
+// Stripes returns the stripe count (for bench labels).
+func (s *Striped) Stripes() int { return len(s.stripes) }
+
+// LockWaitNanos reports cumulative read-/write-lock wait across every
+// stripe and the worker table.
+func (s *Striped) LockWaitNanos() (read, write int64) {
+	return s.readWait.Load(), s.writeWait.Load()
+}
+
+func (s *Striped) stripe(worker, base string) *stripe {
+	return &s.stripes[fnv1a(worker, base)&s.mask]
+}
+
+func (s *Striped) Get(worker, name string) (*State, bool) {
+	base, j, salted := splitKey(name)
+	sp := s.stripe(worker, base)
+	rlockTimed(&sp.mu, &s.readWait)
+	defer sp.mu.RUnlock()
+	g := sp.groups[groupKey{worker, base}]
+	if g == nil {
+		return nil, false
+	}
+	return g.get(salted, j)
+}
+
+func (s *Striped) Put(worker, name string, st *State) {
+	base, j, salted := splitKey(name)
+	sp := s.stripe(worker, base)
+	lockTimed(&sp.mu, &s.writeWait)
+	g := sp.groups[groupKey{worker, base}]
+	if g == nil {
+		g = &group{}
+		sp.groups[groupKey{worker, base}] = g
+		s.refs.incr(base)
+	}
+	if salted {
+		g.setSub(j, st)
+	} else {
+		g.base = st
+	}
+	sp.mu.Unlock()
+	s.gens.bump(base)
+}
+
+func (s *Striped) Drop(worker, name string) bool {
+	base, j, salted := splitKey(name)
+	sp := s.stripe(worker, base)
+	lockTimed(&sp.mu, &s.writeWait)
+	dropped := false
+	if g := sp.groups[groupKey{worker, base}]; g != nil {
+		if salted {
+			dropped = g.dropSub(j)
+		} else if g.base != nil {
+			g.base = nil
+			dropped = true
+		}
+		if dropped && g.empty() {
+			delete(sp.groups, groupKey{worker, base})
+			s.refs.decr(base)
+		}
+	}
+	sp.mu.Unlock()
+	s.gens.bump(base)
+	return dropped
+}
+
+func (s *Striped) ReplaceGroup(worker, name string, st *State) {
+	base, j, salted := splitKey(name)
+	sp := s.stripe(worker, base)
+	lockTimed(&sp.mu, &s.writeWait)
+	g := sp.groups[groupKey{worker, base}]
+	if g == nil {
+		g = &group{}
+		sp.groups[groupKey{worker, base}] = g
+		s.refs.incr(base)
+	} else {
+		g.base = nil
+		g.subs = nil
+	}
+	if salted {
+		g.setSub(j, st)
+	} else {
+		g.base = st
+	}
+	sp.mu.Unlock()
+	s.gens.bump(base)
+}
+
+func (s *Striped) BootstrapSub(worker, name string, st *State) {
+	base, j, _ := splitKey(name)
+	sp := s.stripe(worker, base)
+	lockTimed(&sp.mu, &s.writeWait)
+	g := sp.groups[groupKey{worker, base}]
+	if g == nil {
+		g = &group{}
+		sp.groups[groupKey{worker, base}] = g
+		s.refs.incr(base)
+	}
+	g.base = nil
+	g.setSub(j, st)
+	sp.mu.Unlock()
+	s.gens.bump(base)
+}
+
+func (s *Striped) Group(worker, base string) []NamedState {
+	sp := s.stripe(worker, base)
+	rlockTimed(&sp.mu, &s.readWait)
+	defer sp.mu.RUnlock()
+	g := sp.groups[groupKey{worker, base}]
+	if g == nil {
+		return nil
+	}
+	return g.fold(base, nil)
+}
+
+func (s *Striped) WorkerNames(worker string) []string {
+	var names []string
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		rlockTimed(&sp.mu, &s.readWait)
+		for gk, g := range sp.groups {
+			if gk.worker == worker {
+				names = g.names(gk.base, names)
+			}
+		}
+		sp.mu.RUnlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Striped) Touch(worker string, t time.Time) {
+	s.wmu.RLock()
+	m := s.wm[worker]
+	s.wmu.RUnlock()
+	if m != nil {
+		m.lastPush.Store(t.UnixNano())
+		return
+	}
+	lockTimed(&s.wmu, &s.writeWait)
+	if m = s.wm[worker]; m == nil {
+		m = &workerMeta{}
+		s.wm[worker] = m
+		s.wcount.Add(1)
+	}
+	m.lastPush.Store(t.UnixNano())
+	s.wmu.Unlock()
+}
+
+func (s *Striped) Workers(stale func(time.Time) bool) []string {
+	rlockTimed(&s.wmu, &s.readWait)
+	ids := make([]string, 0, len(s.wm))
+	for id, m := range s.wm {
+		if stale == nil || !stale(metaTime(m.lastPush.Load())) {
+			ids = append(ids, id)
+		}
+	}
+	s.wmu.RUnlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// purgeWorkers removes every stripe-resident group of the given workers,
+// fixing refcounts. Membership is already gone from the worker table, so
+// readers no longer fold these groups.
+func (s *Striped) purgeWorkers(ids []string) {
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		lockTimed(&sp.mu, &s.writeWait)
+		for gk := range sp.groups {
+			for _, id := range ids {
+				if gk.worker == id {
+					delete(sp.groups, gk)
+					s.refs.decr(gk.base)
+					break
+				}
+			}
+		}
+		sp.mu.Unlock()
+	}
+}
+
+func (s *Striped) DropWorker(worker string) bool {
+	lockTimed(&s.wmu, &s.writeWait)
+	_, ok := s.wm[worker]
+	if ok {
+		delete(s.wm, worker)
+		s.wcount.Add(-1)
+	}
+	s.wmu.Unlock()
+	if ok {
+		s.purgeWorkers([]string{worker})
+	}
+	return ok
+}
+
+func (s *Striped) SweepWorkers(stale func(time.Time) bool) int {
+	if stale == nil {
+		return 0
+	}
+	// Decide under the table's write lock (a concurrent Touch that landed
+	// its stamp is seen here and spares the worker), then purge state.
+	lockTimed(&s.wmu, &s.writeWait)
+	var dead []string
+	for id, m := range s.wm {
+		if stale(metaTime(m.lastPush.Load())) {
+			dead = append(dead, id)
+			delete(s.wm, id)
+			s.wcount.Add(-1)
+		}
+	}
+	s.wmu.Unlock()
+	if len(dead) > 0 {
+		s.purgeWorkers(dead)
+	}
+	return len(dead)
+}
+
+func (s *Striped) WorkerCount() int { return int(s.wcount.Load()) }
+
+func (s *Striped) KeyCount() int { return int(s.refs.distinct.Load()) }
+
+func (s *Striped) KeyGen(base string) uint64 { return s.gens.load(base) }

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// RawScanner splits a frame stream into verbatim frames plus the routing
+// envelope (kind, key) parsed from each — what a fan-in router needs to
+// partition a worker's push blob across aggregator replicas without
+// decoding and re-encoding payloads (the routed bytes are bit-identical
+// to what the worker sent, so replica folds stay bit-reproducible).
+//
+// Validation is deliberately shallow — magic, version, payload length,
+// kind and key bounds; the replica's own Decoder performs the full
+// structural validation when it folds the routed frame. Every error wraps
+// the same package sentinels Decode uses.
+type RawScanner struct {
+	r        io.Reader
+	buf      []byte // header + payload of the current frame
+	consumed int64
+}
+
+// NewRawScanner returns a RawScanner reading from r.
+func NewRawScanner(r io.Reader) *RawScanner { return &RawScanner{r: r} }
+
+// Consumed returns the total bytes read from the stream so far.
+func (s *RawScanner) Consumed() int64 { return s.consumed }
+
+// Next returns the next frame's kind, key, and its verbatim bytes (header
+// included), valid until the following call. At a clean end of stream it
+// returns io.EOF unwrapped.
+func (s *RawScanner) Next() (Kind, string, []byte, error) {
+	if cap(s.buf) < headerSize {
+		s.buf = make([]byte, headerSize, 4096)
+	}
+	s.buf = s.buf[:headerSize]
+	hn, err := io.ReadFull(s.r, s.buf)
+	s.consumed += int64(hn)
+	if err != nil {
+		if err == io.EOF {
+			return 0, "", nil, io.EOF
+		}
+		return 0, "", nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if [4]byte(s.buf[:4]) != magic {
+		return 0, "", nil, fmt.Errorf("%w: %q", ErrMagic, s.buf[:4])
+	}
+	v := binary.LittleEndian.Uint16(s.buf[4:6])
+	if v != VersionV1 && v != Version {
+		return 0, "", nil, fmt.Errorf("%w: frame v%d, decoder speaks v%d", ErrVersion, v, Version)
+	}
+	n := binary.LittleEndian.Uint32(s.buf[6:10])
+	if n > maxPayload {
+		return 0, "", nil, fmt.Errorf("%w: payload length %d exceeds cap", ErrCorrupt, n)
+	}
+	// The claimed length is untrusted until the bytes arrive: read in
+	// bounded steps so a corrupt header cannot demand a huge allocation
+	// for a stream that ends after a few bytes.
+	const allocStep = 1 << 20
+	for len(s.buf) < headerSize+int(n) {
+		step := headerSize + int(n) - len(s.buf)
+		if step > allocStep {
+			step = allocStep
+		}
+		s.buf = append(s.buf, make([]byte, step)...)
+		chunk := s.buf[len(s.buf)-step:]
+		pn, err := io.ReadFull(s.r, chunk)
+		s.consumed += int64(pn)
+		if err != nil {
+			return 0, "", nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+		}
+	}
+	p := &payloadReader{b: s.buf[headerSize:]}
+	kind := KindFull
+	if v >= 2 {
+		kb, err := p.byte("frame kind")
+		if err != nil {
+			return 0, "", nil, err
+		}
+		if Kind(kb) > KindTombstone {
+			return 0, "", nil, fmt.Errorf("%w: unknown frame kind %d", ErrCorrupt, kb)
+		}
+		kind = Kind(kb)
+	}
+	keyLen, err := p.count("key", 1)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	key := string(p.b[p.off : p.off+keyLen])
+	return kind, key, s.buf, nil
+}

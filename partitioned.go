@@ -1,0 +1,182 @@
+package qlove
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Partitioned is the horizontal form of the aggregation tier: N
+// independent Aggregator replicas, each owning the logical keys that hash
+// to it. A worker's push blob is split frame-by-frame (bit-verbatim, via
+// the wire raw scanner) and routed to each frame's owner, queries route
+// to the single owner of the key, and Snapshot unions the replicas'
+// disjoint key sets — so every answer is bit-identical to a single
+// aggregator folding the same pushes, while pushes and reads for
+// different key partitions never contend at all.
+//
+// Every replica sees every worker's Apply (non-owners get an empty blob),
+// so worker liveness — push-deadline staleness, Workers() — stays
+// coherent across the partition exactly as in one process.
+//
+// Routing hashes the LOGICAL key (salted sub-stream names route with
+// their base, keeping each key's whole salt group on one replica) with a
+// fixed process-independent hash, so any router instance — in-process or
+// the HTTP fan-in in internal/aggsrv — partitions identically.
+type Partitioned struct {
+	replicas []*Aggregator
+}
+
+// NewPartitioned returns n empty replicas configured by cfg.
+func NewPartitioned(n int, cfg AggregatorConfig) (*Partitioned, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("qlove: partitioned aggregator needs >= 1 replica, got %d", n)
+	}
+	p := &Partitioned{replicas: make([]*Aggregator, n)}
+	for i := range p.replicas {
+		a, err := NewAggregatorConfig(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.replicas[i] = a
+	}
+	return p, nil
+}
+
+// Replicas returns the replica count.
+func (p *Partitioned) Replicas() int { return len(p.replicas) }
+
+// Replica returns one replica (e.g. to inspect per-partition state).
+func (p *Partitioned) Replica(i int) *Aggregator { return p.replicas[i] }
+
+// PartitionOf returns the replica index owning a logical key: FNV-1a of
+// the base key, modulo the replica count. Exported so out-of-process
+// routers (the aggsrv fan-in) and tests partition identically.
+func PartitionOf(key string, replicas int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(replicas))
+}
+
+func (p *Partitioned) owner(base string) int { return PartitionOf(base, len(p.replicas)) }
+
+// Apply splits one worker push blob across the owning replicas. The whole
+// blob is scanned and routed before any replica folds, so a malformed
+// blob is rejected up front with zero frames applied (unlike a single
+// aggregator's partial fold — the worker re-bootstraps either way). On a
+// fold error, frames already folded at their replicas remain applied and
+// the count says how many.
+func (p *Partitioned) Apply(worker string, r io.Reader) (int, error) {
+	bufs := make([]bytes.Buffer, len(p.replicas))
+	sc := wire.NewRawScanner(r)
+	for {
+		_, key, frame, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("qlove: partitioned apply worker %q: %w", worker, err)
+		}
+		bufs[p.owner(logicalKey(key))].Write(frame)
+	}
+	applied := 0
+	for i, a := range p.replicas {
+		// Every replica applies — an empty blob still registers the worker
+		// and stamps its push deadline, keeping liveness partition-wide.
+		n, err := a.Apply(worker, &bufs[i])
+		applied += n
+		if err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}
+
+// Query answers one logical key from its owning replica.
+func (p *Partitioned) Query(key string) (Snapshot, bool, error) {
+	return p.replicas[p.owner(key)].Query(key)
+}
+
+// Snapshot unions the replicas' views. Key sets are disjoint by
+// construction, so the union is exactly the single-process snapshot.
+func (p *Partitioned) Snapshot() (EngineSnapshot, error) {
+	out := EngineSnapshot{keys: make(map[string]Snapshot)}
+	for _, a := range p.replicas {
+		snap, err := a.Snapshot()
+		if err != nil {
+			return EngineSnapshot{}, err
+		}
+		for k, sn := range snap.keys {
+			out.keys[k] = sn
+		}
+	}
+	return out, nil
+}
+
+// Workers returns the live-worker count (every replica sees every worker;
+// the max rides over transient mid-Apply skews).
+func (p *Partitioned) Workers() int {
+	max := 0
+	for _, a := range p.replicas {
+		if n := a.Workers(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Keys returns the distinct logical keys across the partition (disjoint
+// per replica, so the sum).
+func (p *Partitioned) Keys() int {
+	n := 0
+	for _, a := range p.replicas {
+		n += a.Keys()
+	}
+	return n
+}
+
+// SetPushDeadline arms every replica's worker GC; see
+// Aggregator.SetPushDeadline.
+func (p *Partitioned) SetPushDeadline(d time.Duration, clock func() time.Time) {
+	for _, a := range p.replicas {
+		a.SetPushDeadline(d, clock)
+	}
+}
+
+// Sweep sweeps every replica, returning the MAX per-replica drop count —
+// the number of workers retired partition-wide, since every replica hosts
+// every worker.
+func (p *Partitioned) Sweep() int {
+	max := 0
+	for _, a := range p.replicas {
+		if n := a.Sweep(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// DropWorker forgets one worker on every replica.
+func (p *Partitioned) DropWorker(worker string) bool {
+	known := false
+	for _, a := range p.replicas {
+		if a.DropWorker(worker) {
+			known = true
+		}
+	}
+	return known
+}
+
+// Metrics reports every replica's metrics, in partition order.
+func (p *Partitioned) Metrics() []AggregatorMetrics {
+	out := make([]AggregatorMetrics, len(p.replicas))
+	for i, a := range p.replicas {
+		out[i] = a.Metrics()
+	}
+	return out
+}
