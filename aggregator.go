@@ -59,11 +59,13 @@ type Aggregator struct {
 // AggregatorConfig selects the aggregator's state backend.
 type AggregatorConfig struct {
 	// Store names the backend: "striped" (the default — lock-striped
-	// shards, parallel pushes and reads) or "map" (the original layout,
-	// one map behind one RWMutex; every operation serialized).
+	// shards, parallel pushes and reads), "map" (the original layout,
+	// one map behind one RWMutex; every operation serialized), or "disk"
+	// (durable: every mutation appended to a crash-safe segment log in
+	// Dir and replayed on the next open — see the aggstore disk backend).
 	Store string
 	// Stripes is the striped backend's stripe count (<= 0 picks the
-	// default; rounded up to a power of two). Ignored by "map".
+	// default; rounded up to a power of two). Ignored by "map" and "disk".
 	Stripes int
 	// Instrument wraps the store with the per-op metrics recorder; see
 	// Metrics and the service's /metrics endpoint.
@@ -71,6 +73,19 @@ type AggregatorConfig struct {
 	// NoFoldCache disables the read-path fold cache (folds recompute on
 	// every read; useful to measure what the cache buys).
 	NoFoldCache bool
+
+	// Dir is the disk backend's state directory (required for "disk",
+	// rejected for the in-memory backends). Reopening the same directory
+	// recovers the previous aggregator's entire state — worker cursors
+	// included, so workers resume delta pushes without re-bootstrapping.
+	Dir string
+	// Fsync is the disk backend's sync discipline: "always" (default —
+	// every mutation is durable before it is applied), "interval"
+	// (batched syncs on a short ticker), or "none" (OS page cache only).
+	Fsync string
+	// CompactBytes is the WAL size that triggers snapshot compaction
+	// (0 = default, < 0 disables auto-compaction). Disk backend only.
+	CompactBytes int64
 }
 
 // NewAggregator returns an empty aggregator on the default backend
@@ -92,8 +107,24 @@ func NewAggregatorConfig(cfg AggregatorConfig) (*Aggregator, error) {
 		store = aggstore.NewStriped(cfg.Stripes)
 	case "map":
 		store = aggstore.NewMap()
+	case "disk":
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("qlove: the disk aggregator store needs a state directory (AggregatorConfig.Dir)")
+		}
+		d, err := aggstore.OpenDisk(aggstore.DiskConfig{
+			Dir:          cfg.Dir,
+			Fsync:        cfg.Fsync,
+			CompactBytes: cfg.CompactBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("qlove: open disk aggregator store: %w", err)
+		}
+		store = d
 	default:
-		return nil, fmt.Errorf("qlove: unknown aggregator store %q (striped | map)", cfg.Store)
+		return nil, fmt.Errorf("qlove: unknown aggregator store %q (striped | map | disk)", cfg.Store)
+	}
+	if cfg.Store != "disk" && (cfg.Dir != "" || cfg.Fsync != "" || cfg.CompactBytes != 0) {
+		return nil, fmt.Errorf("qlove: Dir/Fsync/CompactBytes only apply to the disk store, not %q", cfg.Store)
 	}
 	if cfg.Instrument {
 		store = aggstore.NewInstrumented(store)
@@ -103,6 +134,35 @@ func NewAggregatorConfig(cfg AggregatorConfig) (*Aggregator, error) {
 		a.cache = newFoldCache()
 	}
 	return a, nil
+}
+
+// Close releases the store backend: for the disk backend it flushes and
+// syncs the log tail and stops the background flusher; in-memory backends
+// close to a no-op. The aggregator must not be used after Close.
+func (a *Aggregator) Close() error {
+	store := a.store
+	if in, ok := store.(*aggstore.Instrumented); ok {
+		store = in.Inner()
+	}
+	if c, ok := store.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// DurabilityErr reports the store's sticky durability error: non-nil once
+// the disk backend has failed to persist a mutation (the in-memory state
+// stays ahead of the log from that point on). Always nil for in-memory
+// backends. Services surface it in /healthz.
+func (a *Aggregator) DurabilityErr() error {
+	store := a.store
+	if in, ok := store.(*aggstore.Instrumented); ok {
+		store = in.Inner()
+	}
+	if d, ok := store.(interface{ Err() error }); ok {
+		return d.Err()
+	}
+	return nil
 }
 
 // SetPushDeadline arms the aggregator's worker GC — the service-plane
@@ -139,6 +199,23 @@ func (a *Aggregator) SetPushDeadline(d time.Duration, clock func() time.Time) {
 		for _, id := range a.store.Workers(nil) {
 			a.store.Touch(id, now)
 		}
+	}
+}
+
+// SetPushDeadlineFromStored arms the worker GC like SetPushDeadline but
+// WITHOUT re-dating resident workers: the stamps already in the store —
+// recovered from a disk backend's log — stay authoritative. This is the
+// restart form: a worker that had gone silent before the crash is still
+// the one the recovered aggregator retires, rather than every worker
+// getting a fresh deadline just because the process bounced. (With an
+// in-memory store there is nothing recovered and this is equivalent to
+// SetPushDeadline on an empty aggregator.) A recovered worker pushing
+// again re-stamps itself on its first Apply, exactly as before the crash.
+func (a *Aggregator) SetPushDeadlineFromStored(d time.Duration, clock func() time.Time) {
+	a.deadline = d
+	a.now = time.Now
+	if clock != nil {
+		a.now = clock
 	}
 }
 

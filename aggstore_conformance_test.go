@@ -61,6 +61,16 @@ func aggBackends() []aggBackendCase {
 		{"striped-instrumented", func(t *testing.T) aggSurface {
 			return mkAgg(t, AggregatorConfig{Instrument: true})
 		}},
+		{"disk", func(t *testing.T) aggSurface {
+			a := mkAgg(t, AggregatorConfig{Store: "disk", Dir: t.TempDir()})
+			t.Cleanup(func() { a.Close() })
+			return a
+		}},
+		{"disk-nocache", func(t *testing.T) aggSurface {
+			a := mkAgg(t, AggregatorConfig{Store: "disk", Dir: t.TempDir(), NoFoldCache: true})
+			t.Cleanup(func() { a.Close() })
+			return a
+		}},
 		{"partitioned-3", func(t *testing.T) aggSurface {
 			p, err := NewPartitioned(3, AggregatorConfig{})
 			if err != nil {

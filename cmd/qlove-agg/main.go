@@ -30,15 +30,24 @@
 // engine's wall-clock key TTL); if it comes back it re-bootstraps.
 //
 // The service's state plane is configurable: -store picks the backend
-// (lock-striped by default; "map" is the single-lock original), -stripes
-// its stripe count, -instrument wraps it with the per-op metrics recorder
-// (see GET /metrics), and -no-fold-cache disables the read-path fold
-// cache. -replicas N partitions keys by hash across N in-process
-// aggregator replicas; -fanin URL,URL,… instead makes this process a pure
-// HTTP router over aggregator replicas running elsewhere:
+// (lock-striped by default; "map" is the single-lock original; "disk" is
+// durable), -stripes its stripe count, -instrument wraps it with the
+// per-op metrics recorder (see GET /metrics), and -no-fold-cache disables
+// the read-path fold cache. -replicas N partitions keys by hash across N
+// in-process aggregator replicas; -fanin URL,URL,… instead makes this
+// process a pure HTTP router over aggregator replicas running elsewhere:
 //
 //	qlove-agg -serve -store striped -instrument -replicas 4
 //	qlove-agg -serve -fanin http://10.0.0.1:7171,http://10.0.0.2:7171
+//
+// With -store disk -dir DIR every fold is appended to a crash-safe log
+// under DIR before it is applied, and the NEXT -serve on the same
+// directory recovers the full state — per-worker cursors included, so
+// workers resume delta pushes without re-bootstrapping, and a kill -9'd
+// service answers /snapshot bit-identically to one that never died.
+// -fsync picks the sync discipline (always | interval | none).
+//
+//	qlove-agg -serve -store disk -dir /var/lib/qlove-agg
 package main
 
 import (
@@ -74,18 +83,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:7171", "serve: listen address")
 	deadline := fs.Duration("worker-deadline", 0,
 		"serve: drop workers that stop pushing for this long (0 = keep departed workers forever)")
-	store := fs.String("store", "striped", "serve: state backend (striped | map)")
+	store := fs.String("store", "striped", "serve: state backend (striped | map | disk)")
 	stripes := fs.Int("stripes", 0, "serve: stripe count for the striped backend (0 = default)")
+	dir := fs.String("dir", "", "serve: the disk backend's state directory (required with -store disk)")
+	fsync := fs.String("fsync", "", "serve: disk backend sync discipline (always | interval | none; default always)")
 	instrument := fs.Bool("instrument", false, "serve: record per-op store metrics (GET /metrics)")
 	noFoldCache := fs.Bool("no-fold-cache", false, "serve: disable the read-path fold cache")
 	replicas := fs.Int("replicas", 1, "serve: partition keys by hash across N in-process aggregator replicas")
 	fanin := fs.String("fanin", "",
 		"serve: comma-separated replica base URLs; this process routes over them instead of holding state")
+	faninTimeout := fs.Duration("fanin-timeout", 0,
+		"serve: per-request deadline for fan-in calls to replicas (0 = default 10s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *deadline < 0 {
 		return fmt.Errorf("-worker-deadline %v < 0", *deadline)
+	}
+	if *faninTimeout < 0 {
+		return fmt.Errorf("-fanin-timeout %v < 0", *faninTimeout)
 	}
 	if *serve {
 		if len(fs.Args()) != 0 {
@@ -101,16 +117,29 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if *deadline != 0 {
 				return fmt.Errorf("-worker-deadline belongs on the replicas, not the fan-in router")
 			}
-			return serveFanin(*addr, strings.Split(*fanin, ","))
+			if *dir != "" || *fsync != "" {
+				return fmt.Errorf("-dir/-fsync belong on the replicas, not the fan-in router")
+			}
+			return serveFanin(*addr, strings.Split(*fanin, ","), *faninTimeout)
 		}
-		cfg := qlove.AggregatorConfig{Store: *store, Stripes: *stripes, Instrument: *instrument, NoFoldCache: *noFoldCache}
+		if *faninTimeout != 0 {
+			return fmt.Errorf("-fanin-timeout only applies with -fanin")
+		}
+		if *store == "disk" && *dir == "" {
+			return fmt.Errorf("-store disk needs -dir (the state directory to log to and recover from)")
+		}
+		cfg := qlove.AggregatorConfig{
+			Store: *store, Stripes: *stripes, Instrument: *instrument, NoFoldCache: *noFoldCache,
+			Dir: *dir, Fsync: *fsync,
+		}
 		return serveHTTP(*addr, *deadline, cfg, *replicas)
 	}
 	if *deadline != 0 {
 		return fmt.Errorf("-worker-deadline only applies with -serve")
 	}
-	if *fanin != "" || *replicas != 1 || *instrument || *noFoldCache || *stripes != 0 || *store != "striped" {
-		return fmt.Errorf("-store/-stripes/-instrument/-no-fold-cache/-replicas/-fanin only apply with -serve")
+	if *fanin != "" || *replicas != 1 || *instrument || *noFoldCache || *stripes != 0 || *store != "striped" ||
+		*dir != "" || *fsync != "" || *faninTimeout != 0 {
+		return fmt.Errorf("-store/-stripes/-dir/-fsync/-instrument/-no-fold-cache/-replicas/-fanin/-fanin-timeout only apply with -serve")
 	}
 	agg, err := aggregate(fs.Args(), stdin)
 	if err != nil {
@@ -124,6 +153,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 type aggBackend interface {
 	aggsrv.Backend
 	SetPushDeadline(time.Duration, func() time.Time)
+	SetPushDeadlineFromStored(time.Duration, func() time.Time)
 	Sweep() int
 }
 
@@ -148,7 +178,15 @@ func serveHTTP(addr string, deadline time.Duration, cfg qlove.AggregatorConfig, 
 		}
 	}
 	if deadline > 0 {
-		agg.SetPushDeadline(deadline, nil)
+		if cfg.Store == "disk" {
+			// Recovered last-push stamps stay authoritative: a worker that
+			// had gone silent before the crash is still the one retired,
+			// rather than every worker getting a fresh deadline because the
+			// service bounced.
+			agg.SetPushDeadlineFromStored(deadline, nil)
+		} else {
+			agg.SetPushDeadline(deadline, nil)
+		}
 		go func() {
 			for range time.Tick(deadline / 2) {
 				agg.Sweep()
@@ -168,8 +206,8 @@ func serveHTTP(addr string, deadline time.Duration, cfg qlove.AggregatorConfig, 
 }
 
 // serveFanin runs the stateless HTTP router over remote replica servers.
-func serveFanin(addr string, urls []string) error {
-	f, err := aggsrv.NewFanin(urls, nil)
+func serveFanin(addr string, urls []string, timeout time.Duration) error {
+	f, err := aggsrv.NewFaninConfig(aggsrv.FaninConfig{Replicas: urls, Timeout: timeout})
 	if err != nil {
 		return err
 	}

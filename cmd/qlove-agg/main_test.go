@@ -1,14 +1,20 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/workload"
@@ -134,10 +140,231 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 // TestServeFlagValidation: -serve refuses positional blob arguments (blobs
-// arrive over HTTP in serve mode).
+// arrive over HTTP in serve mode), and the serve-only / disk-only /
+// fanin-only flags are rejected out of place.
 func TestServeFlagValidation(t *testing.T) {
 	if err := run([]string{"-serve", "some.bin"}, nil, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "no blob arguments") {
 		t.Fatalf("serve with args: %v", err)
+	}
+	if err := run([]string{"-dir", "/tmp/x"}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "only apply with -serve") {
+		t.Fatalf("-dir without -serve: %v", err)
+	}
+	if err := run([]string{"-serve", "-store", "disk"}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-dir") {
+		t.Fatalf("-store disk without -dir: %v", err)
+	}
+	if err := run([]string{"-serve", "-fanin-timeout", "5s"}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-fanin-timeout only applies") {
+		t.Fatalf("-fanin-timeout without -fanin: %v", err)
+	}
+	if err := run([]string{"-serve", "-fanin", "http://a:1", "-dir", "/tmp/x"}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "belong on the replicas") {
+		t.Fatalf("-dir on the fan-in router: %v", err)
+	}
+}
+
+// buildAgg compiles the qlove-agg binary once per test binary run.
+var buildAgg = struct {
+	once sync.Once
+	path string
+	err  error
+}{}
+
+func aggBinary(t *testing.T) string {
+	t.Helper()
+	buildAgg.once.Do(func() {
+		dir, err := os.MkdirTemp("", "qlove-agg-bin")
+		if err != nil {
+			buildAgg.err = err
+			return
+		}
+		bin := filepath.Join(dir, "qlove-agg")
+		out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+		if err != nil {
+			buildAgg.err = fmt.Errorf("build qlove-agg: %v\n%s", err, out)
+			return
+		}
+		buildAgg.path = bin
+	})
+	if buildAgg.err != nil {
+		t.Fatal(buildAgg.err)
+	}
+	return buildAgg.path
+}
+
+// aggProc is one real qlove-agg -serve subprocess.
+type aggProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startAgg launches the binary with the given extra flags on an ephemeral
+// port and waits until it answers /healthz.
+func startAgg(t *testing.T, extra ...string) *aggProc {
+	t.Helper()
+	args := append([]string{"-serve", "-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(aggBinary(t), args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The serve line prints the bound address: "serving on http://HOST:PORT".
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "http://"); i >= 0 {
+				addr := line[i+len("http://"):]
+				if j := strings.IndexByte(addr, ' '); j >= 0 {
+					addr = addr[:j]
+				}
+				addrCh <- addr
+				break
+			}
+		}
+		io.Copy(io.Discard, stderr) // keep draining so the child never blocks
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("qlove-agg never printed its serve line")
+	}
+	p := &aggProc{cmd: cmd, addr: addr}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		if time.Now().After(deadline) {
+			p.kill()
+			t.Fatal("qlove-agg never became healthy")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill delivers SIGKILL — the crash, not a shutdown — and reaps the child.
+func (p *aggProc) kill() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+func httpPush(t *testing.T, addr, worker string, blob []byte) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/push?worker="+worker, "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("push to %s: %s: %s", addr, resp.Status, body)
+	}
+}
+
+func httpSnapshot(t *testing.T, addr string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot from %s: %s: %s", addr, resp.Status, body)
+	}
+	return body
+}
+
+// TestServeCrashRestartRecovery is the real-process crash test: a
+// disk-backed qlove-agg is SIGKILLed mid delta chain, restarted on the
+// same directory, and must (a) immediately serve a /snapshot bit-identical
+// to an uninterrupted reference at the same point, and (b) accept the
+// REST of each worker's delta chain — cursors recovered, no re-bootstrap —
+// ending bit-identical to the reference that never died.
+func TestServeCrashRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	cfg := qlove.Config{Spec: qlove.Window{Size: 256, Period: 64}, Phis: []float64{0.5, 0.99}, FewK: true}
+
+	// Two workers, four delta blobs each (the first bootstraps).
+	const workers, rounds = 2, 4
+	blobs := make([][][]byte, workers)
+	for w := 0; w < workers; w++ {
+		eng, err := qlove.NewEngine(qlove.EngineConfig{Config: cfg, Shards: 2, RouteSalt: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for range eng.Results() {
+			}
+		}()
+		gen := workload.NewNetMon(int64(80 + w))
+		var cur qlove.ExportCursor
+		for round := 0; round < rounds; round++ {
+			for ki, key := range []string{"api/latency", "db/qps", "cache/hits"} {
+				if err := eng.Push(key, workload.Generate(gen, 150+50*ki)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if _, err := eng.ExportDelta(&buf, &cur); err != nil {
+				t.Fatal(err)
+			}
+			blobs[w] = append(blobs[w], buf.Bytes())
+		}
+		eng.Close()
+	}
+	worker := func(w int) string { return fmt.Sprintf("w%d", w) }
+
+	dir := t.TempDir()
+	victim := startAgg(t, "-store", "disk", "-dir", dir)
+	ref := startAgg(t) // uninterrupted in-memory reference
+
+	// First half of each chain to both, then SIGKILL the disk service.
+	for w := 0; w < workers; w++ {
+		for _, blob := range blobs[w][:2] {
+			httpPush(t, victim.addr, worker(w), blob)
+			httpPush(t, ref.addr, worker(w), blob)
+		}
+	}
+	preCrash := httpSnapshot(t, ref.addr)
+	victim.kill()
+
+	revived := startAgg(t, "-store", "disk", "-dir", dir)
+	defer revived.kill()
+	defer ref.kill()
+
+	// (a) The recovered snapshot is bit-identical to the uninterrupted
+	// reference at the crash point.
+	if got := httpSnapshot(t, revived.addr); !bytes.Equal(got, preCrash) {
+		t.Fatalf("recovered /snapshot diverges from uninterrupted reference (%d vs %d bytes)",
+			len(got), len(preCrash))
+	}
+
+	// (b) The delta chains RESUME against the recovered cursors.
+	for w := 0; w < workers; w++ {
+		for _, blob := range blobs[w][2:] {
+			httpPush(t, revived.addr, worker(w), blob)
+			httpPush(t, ref.addr, worker(w), blob)
+		}
+	}
+	got, want := httpSnapshot(t, revived.addr), httpSnapshot(t, ref.addr)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-resume /snapshot diverges from uninterrupted reference (%d vs %d bytes)",
+			len(got), len(want))
 	}
 }

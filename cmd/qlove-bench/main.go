@@ -16,8 +16,12 @@
 // tick sweep under a deterministic fake clock, hot key verified
 // bit-for-bit against a single-TimedMonitor reference), openloop, the
 // open-loop Poisson SLA ramp reporting the max sustainable op rate under
-// a p99 latency SLA (tune with -sla and -bp), and scaling, the
-// GOMAXPROCS × shards ingest matrix with one pusher per processor.
+// a p99 latency SLA (tune with -sla and -bp), scaling, the
+// GOMAXPROCS × shards ingest matrix with one pusher per processor, and
+// resilience, the failure-path gate: a disk-backed aggregation service
+// child SIGKILLed mid-delta-chain and restarted (recovered and resumed
+// views must be bit-identical), plus a degraded fan-in run with one dead
+// replica (partial serving, loud health, probe reinstatement).
 //
 // The -json flag switches to a machine-readable perf record instead: a
 // single JSON document with the ingestion throughput and peak space of
@@ -44,11 +48,19 @@ import (
 )
 
 func main() {
-	// The distributed scenario re-execs this binary as its worker tier;
-	// dispatch the hidden subcommand before any flag parsing.
+	// The distributed scenario re-execs this binary as its worker tier and
+	// the resilience scenario as its aggregation-service child; dispatch
+	// the hidden subcommands before any flag parsing.
 	if len(os.Args) > 1 && os.Args[1] == workerCmd {
 		if err := distributedWorker(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "qlove-bench worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == aggServeCmd {
+		if err := aggServeChild(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "qlove-bench agg-server:", err)
 			os.Exit(1)
 		}
 		return
@@ -127,6 +139,7 @@ func run(args []string) error {
 		fmt.Println("aggregator")
 		fmt.Println("openloop")
 		fmt.Println("scaling")
+		fmt.Println("resilience")
 		return nil
 	}
 	if *jsonOut {
@@ -139,12 +152,13 @@ func run(args []string) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		names = append(append([]string(nil), bench.Order...), "multikey", "timedkeys", "distributed", "aggregator", "openloop")
+		names = append(append([]string(nil), bench.Order...), "multikey", "timedkeys", "distributed", "aggregator", "openloop", "resilience")
 	}
 	opts := bench.Options{W: os.Stdout, Seed: *seed, Scale: *scale, Full: *full}
 	isLocal := map[string]bool{
 		"multikey": true, "timedkeys": true, "distributed": true,
 		"aggregator": true, "openloop": true, "scaling": true,
+		"resilience": true,
 	}
 	for _, name := range names {
 		exp, ok := bench.Experiments[name]
@@ -197,6 +211,10 @@ func run(args []string) error {
 			}
 		case "scaling":
 			if err := scalingExperiment(os.Stdout, defaultMultiKeyOptions(*scale, *seed, *keys, *skew)); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		case "resilience":
+			if err := resilienceExperiment(os.Stdout, defaultResilienceOptions(*seed)); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		default:

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMain dispatches the resilience scenario's hidden agg-server
+// subcommand: under `go test`, os.Executable is the TEST binary, so the
+// re-exec'd child lands here instead of main(). Everything else runs the
+// tests as usual.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == aggServeCmd {
+		if err := aggServeChild(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "qlove-bench agg-server:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestResilienceScenario runs the full scenario — the SIGKILL restart
+// phase against real re-exec'd service children AND the degraded fan-in
+// phase — exactly as `qlove-bench resilience` does.
+func TestResilienceScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns service subprocesses; skipped in -short")
+	}
+	var out bytes.Buffer
+	if err := resilienceExperiment(&out, defaultResilienceOptions(1)); err != nil {
+		t.Fatalf("resilience scenario: %v\n%s", err, out.Bytes())
+	}
+	text := out.String()
+	for _, want := range []string{"bit-identical", "probe reinstatement"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scenario output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "MISMATCH") || strings.Contains(text, "FAIL") {
+		t.Fatalf("scenario reported a failing verdict:\n%s", text)
+	}
+	t.Logf("\n%s", text)
+}

@@ -5,10 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro"
 	"repro/internal/wire"
@@ -22,44 +27,178 @@ import (
 // It serves the same endpoints as Server:
 //
 //   - /push splits the worker's blob frame-by-frame — bit-verbatim, via
-//     the wire raw scanner — and forwards each frame to its owner; every
-//     replica receives a push (empty for non-owners) so worker liveness
-//     and push deadlines stay coherent partition-wide.
-//   - /query proxies to the key's single owner, response bytes untouched.
-//   - /snapshot fans out, then merge-sorts the replicas' disjoint,
-//     per-replica-sorted key arrays — each key's JSON element is relayed
-//     verbatim, so estimates remain bit-identical to the owning replica's
-//     (and thus to a single-process aggregator folding the same pushes).
-//   - /healthz and /metrics aggregate across replicas.
+//     the wire raw scanner — and forwards each frame to its owner IN
+//     PARALLEL; every reachable replica receives a push (empty for
+//     non-owners) so worker liveness and push deadlines stay coherent
+//     partition-wide. A failing replica never blocks delivery to the
+//     others: the response is 200 with the summed ack when every replica
+//     applied, or 502 with a body naming exactly which replicas failed.
+//   - /query proxies to the key's single owner, response bytes untouched;
+//     transport errors and 5xx are retried with exponential backoff +
+//     jitter (queries are idempotent reads), and when the owner has a
+//     configured mirror the read hedges there after HedgeDelay — or goes
+//     straight to the mirror while the owner is ejected.
+//   - /snapshot fans out in parallel, then merge-sorts the replicas'
+//     disjoint, per-replica-sorted key arrays — each key's JSON element
+//     relayed verbatim, so estimates remain bit-identical to the owning
+//     replica's. With every replica healthy the output is byte-identical
+//     to a single-process server; with some unreachable it degrades to
+//     the reachable keys plus a "degraded" field naming the losses, and
+//     502s only when NO replica answered.
+//   - /healthz probes every replica and reports per-replica status
+//     (ok/down, consecutive failures) alongside the aggregate counts;
+//     the aggregate status is "degraded" while any replica is down.
+//   - /metrics aggregates across replicas, tolerating outages per-replica.
+//
+// Replica health: FailThreshold consecutive failures (transport errors or
+// 5xx) eject a replica — pushes skip it and queries prefer its mirror —
+// and a background prober reinstates it as soon as its /healthz answers
+// again. Close stops the prober.
 type Fanin struct {
-	urls   []string
+	cfg    FaninConfig
+	reps   []*faninReplica
 	client *http.Client
 	mux    *http.ServeMux
+
+	stopOnce sync.Once
+	stop     chan struct{}
 }
 
-// NewFanin returns a router over the replica base URLs (e.g.
-// "http://10.0.0.1:7171"). client nil means http.DefaultClient.
+// FaninConfig configures the router's replicas and resilience knobs.
+type FaninConfig struct {
+	// Replicas are the replica base URLs ("http://10.0.0.1:7171"), one per
+	// partition. Duplicates (after trailing-slash normalization) are
+	// rejected — two identical owners would silently split one partition.
+	Replicas []string
+	// Mirrors optionally names a read mirror per replica (same length as
+	// Replicas; empty entries mean no mirror). A mirror serves the same
+	// partition's data — /query hedges to it after HedgeDelay, and reads
+	// go straight to it while its primary is ejected.
+	Mirrors []string
+	// Client overrides the HTTP client. nil builds one with Timeout as
+	// both the connect and the full per-request deadline — never
+	// http.DefaultClient, whose missing timeout lets one wedged replica
+	// hang every request through the router.
+	Client *http.Client
+	// Timeout is the per-request deadline for the built-in client
+	// (<= 0 means 10s). Ignored when Client is set.
+	Timeout time.Duration
+	// Retries is how many times an idempotent read (/query, /snapshot
+	// parts) is retried after a transport error or 5xx (< 0 means 0,
+	// 0 means the default 2). Pushes are never retried: a replica may
+	// have applied frames before failing mid-response.
+	Retries int
+	// RetryBackoff is the base backoff before the first retry; each
+	// retry doubles it and adds up to 50% jitter (<= 0 means 25ms).
+	RetryBackoff time.Duration
+	// HedgeDelay is how long /query waits on the owner before also asking
+	// its mirror, first answer wins (<= 0 means 100ms). Only meaningful
+	// with Mirrors.
+	HedgeDelay time.Duration
+	// FailThreshold is how many consecutive failures eject a replica
+	// (<= 0 means 3).
+	FailThreshold int
+	// ProbeInterval is how often the background prober re-checks ejected
+	// replicas for reinstatement (<= 0 means 1s).
+	ProbeInterval time.Duration
+}
+
+// faninReplica is one replica's address and live health state.
+type faninReplica struct {
+	url    string
+	mirror string // "" = none
+	fails  atomic.Int32
+	down   atomic.Bool
+}
+
+// NewFanin returns a router over the replica base URLs with default
+// resilience settings. client nil means a default client WITH timeouts
+// (never http.DefaultClient).
 func NewFanin(urls []string, client *http.Client) (*Fanin, error) {
-	if len(urls) == 0 {
+	return NewFaninConfig(FaninConfig{Replicas: urls, Client: client})
+}
+
+// NewFaninConfig returns a router configured by cfg.
+func NewFaninConfig(cfg FaninConfig) (*Fanin, error) {
+	if len(cfg.Replicas) == 0 {
 		return nil, fmt.Errorf("aggsrv: fan-in needs at least one replica URL")
 	}
-	clean := make([]string, len(urls))
-	for i, u := range urls {
+	if len(cfg.Mirrors) != 0 && len(cfg.Mirrors) != len(cfg.Replicas) {
+		return nil, fmt.Errorf("aggsrv: %d mirrors for %d replicas (must match, empty entries allowed)",
+			len(cfg.Mirrors), len(cfg.Replicas))
+	}
+	normalize := func(u string) (string, error) {
 		parsed, err := url.Parse(u)
 		if err != nil || parsed.Scheme == "" || parsed.Host == "" {
-			return nil, fmt.Errorf("aggsrv: bad replica URL %q", u)
+			return "", fmt.Errorf("aggsrv: bad replica URL %q", u)
 		}
-		clean[i] = strings.TrimRight(u, "/")
+		return strings.TrimRight(u, "/"), nil
 	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 2
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	if cfg.HedgeDelay <= 0 {
+		cfg.HedgeDelay = 100 * time.Millisecond
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+
+	reps := make([]*faninReplica, len(cfg.Replicas))
+	seen := make(map[string]struct{}, len(cfg.Replicas))
+	for i, u := range cfg.Replicas {
+		clean, err := normalize(u)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := seen[clean]; dup {
+			return nil, fmt.Errorf("aggsrv: duplicate replica URL %q — one partition cannot have two identical owners", clean)
+		}
+		seen[clean] = struct{}{}
+		reps[i] = &faninReplica{url: clean}
+		if len(cfg.Mirrors) != 0 && cfg.Mirrors[i] != "" {
+			if reps[i].mirror, err = normalize(cfg.Mirrors[i]); err != nil {
+				return nil, fmt.Errorf("aggsrv: replica %d mirror: %w", i, err)
+			}
+		}
+	}
+
+	client := cfg.Client
 	if client == nil {
-		client = http.DefaultClient
+		// A dedicated transport so the dial deadline is bounded separately
+		// from the whole-request Timeout: a black-holed replica fails at
+		// connect, not after the full request budget.
+		dial := cfg.Timeout
+		if dial > 2*time.Second {
+			dial = 2 * time.Second
+		}
+		client = &http.Client{
+			Timeout: cfg.Timeout,
+			Transport: &http.Transport{
+				DialContext:         (&net.Dialer{Timeout: dial}).DialContext,
+				MaxIdleConnsPerHost: 16,
+			},
+		}
 	}
-	f := &Fanin{urls: clean, client: client, mux: http.NewServeMux()}
+
+	f := &Fanin{cfg: cfg, reps: reps, client: client, mux: http.NewServeMux(), stop: make(chan struct{})}
 	f.mux.HandleFunc("/push", f.handlePush)
 	f.mux.HandleFunc("/query", f.handleQuery)
 	f.mux.HandleFunc("/snapshot", f.handleSnapshot)
 	f.mux.HandleFunc("/healthz", f.handleHealthz)
 	f.mux.HandleFunc("/metrics", f.handleMetrics)
+	go f.probeLoop()
 	return f, nil
 }
 
@@ -67,9 +206,22 @@ func NewFanin(urls []string, client *http.Client) (*Fanin, error) {
 func (f *Fanin) Handler() http.Handler { return f.mux }
 
 // Replicas returns the replica base URLs.
-func (f *Fanin) Replicas() []string { return append([]string(nil), f.urls...) }
+func (f *Fanin) Replicas() []string {
+	out := make([]string, len(f.reps))
+	for i, rep := range f.reps {
+		out[i] = rep.url
+	}
+	return out
+}
 
-func (f *Fanin) owner(base string) int { return qlove.PartitionOf(base, len(f.urls)) }
+// Close stops the background health prober. The router keeps serving
+// (ejected replicas just stop being reinstated automatically).
+func (f *Fanin) Close() error {
+	f.stopOnce.Do(func() { close(f.stop) })
+	return nil
+}
+
+func (f *Fanin) owner(base string) int { return qlove.PartitionOf(base, len(f.reps)) }
 
 // logicalBase strips a salted sub-stream suffix ("key\x00<j>") so salted
 // frames route with their base key, keeping whole salt groups on one
@@ -79,6 +231,104 @@ func logicalBase(key string) string {
 		return key[:i]
 	}
 	return key
+}
+
+// record folds one request outcome into the replica's health: a success
+// clears the failure streak and reinstates; FailThreshold consecutive
+// failures eject.
+func (f *Fanin) record(rep *faninReplica, ok bool) {
+	if ok {
+		rep.fails.Store(0)
+		rep.down.Store(false)
+		return
+	}
+	if int(rep.fails.Add(1)) >= f.cfg.FailThreshold {
+		rep.down.Store(true)
+	}
+}
+
+// probeLoop reinstates ejected replicas: every ProbeInterval, each down
+// replica's /healthz is probed, and a 200 brings it back.
+func (f *Fanin) probeLoop() {
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+		for _, rep := range f.reps {
+			if !rep.down.Load() {
+				continue
+			}
+			status, _, err := f.fetch(rep.url, "/healthz")
+			f.record(rep, err == nil && status == http.StatusOK)
+		}
+	}
+}
+
+// fetch GETs one replica path, returning status and body.
+func (f *Fanin) fetch(base, path string) (int, []byte, error) {
+	resp, err := f.client.Get(base + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// fetchRetry is fetch with the idempotent-read retry policy: transport
+// errors and 5xx retry up to Retries times with doubling backoff + jitter;
+// every attempt's outcome feeds the replica's health. 4xx pass straight
+// through — they are the replica's answer, not its failure.
+func (f *Fanin) fetchRetry(rep *faninReplica, path string) (int, []byte, error) {
+	var (
+		status int
+		body   []byte
+		err    error
+	)
+	for attempt := 0; ; attempt++ {
+		status, body, err = f.fetch(rep.url, path)
+		ok := err == nil && status < 500
+		f.record(rep, ok)
+		if ok || attempt >= f.cfg.Retries {
+			return status, body, err
+		}
+		backoff := f.cfg.RetryBackoff << attempt
+		backoff += time.Duration(rand.Int63n(int64(backoff/2) + 1))
+		select {
+		case <-f.stop:
+			return status, body, err
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// --- push ---
+
+// FaninPushOutcome is one replica's result within a fan-out push.
+type FaninPushOutcome struct {
+	URL    string `json:"url"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+	Frames int    `json:"frames,omitempty"`
+	Keys   int    `json:"keys,omitempty"`
+}
+
+// FaninPushError is the 502 body when any replica failed: the replicas
+// that failed by name, plus every replica's outcome. Frames delivered to
+// the replicas that DID apply remain applied (the worker's next delta
+// against a replica that missed frames is rejected there, and the worker
+// re-bootstraps — exactly the lost-blob path).
+type FaninPushError struct {
+	Error    string             `json:"error"`
+	Failed   []string           `json:"failed"`
+	Outcomes []FaninPushOutcome `json:"outcomes"`
 }
 
 func (f *Fanin) handlePush(w http.ResponseWriter, r *http.Request) {
@@ -98,7 +348,7 @@ func (f *Fanin) handlePush(w http.ResponseWriter, r *http.Request) {
 	}
 	// Route the whole blob before forwarding anything: a malformed blob is
 	// rejected with zero frames applied anywhere.
-	parts := make([]bytes.Buffer, len(f.urls))
+	parts := make([]bytes.Buffer, len(f.reps))
 	sc := wire.NewRawScanner(bytes.NewReader(body))
 	for {
 		_, key, frame, err := sc.Next()
@@ -111,31 +361,132 @@ func (f *Fanin) handlePush(w http.ResponseWriter, r *http.Request) {
 		}
 		parts[f.owner(logicalBase(key))].Write(frame)
 	}
+	// Fan out to every replica IN PARALLEL — one slow or dead replica never
+	// blocks delivery to the others, and every replica's outcome is
+	// reported. Ejected replicas are skipped (their outcome says so) rather
+	// than spending the full timeout on a known-dead peer every push.
+	outcomes := make([]FaninPushOutcome, len(f.reps))
+	var wg sync.WaitGroup
+	for i, rep := range f.reps {
+		out := &outcomes[i]
+		out.URL = rep.url
+		if rep.down.Load() {
+			out.Error = "replica ejected (consecutive failures); awaiting probe reinstatement"
+			continue
+		}
+		wg.Add(1)
+		go func(i int, rep *faninReplica) {
+			defer wg.Done()
+			resp, err := f.client.Post(rep.url+"/push?worker="+url.QueryEscape(worker),
+				"application/octet-stream", bytes.NewReader(parts[i].Bytes()))
+			if err != nil {
+				f.record(rep, false)
+				out.Error = err.Error()
+				return
+			}
+			rb, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// Health counts transport failures and 5xx; a 4xx is the
+			// replica answering (e.g. a rejected cursor), not it failing.
+			f.record(rep, resp.StatusCode < 500)
+			if resp.StatusCode != http.StatusOK {
+				out.Error = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+				return
+			}
+			var pr PushResult
+			if err := json.Unmarshal(rb, &pr); err != nil {
+				out.Error = fmt.Sprintf("bad push ack: %v", err)
+				return
+			}
+			out.OK = true
+			out.Frames = pr.Frames
+			out.Keys = pr.Keys
+		}(i, rep)
+	}
+	wg.Wait()
 	frames, keys := 0, 0
-	for i, u := range f.urls {
-		// Every replica gets the push — an empty blob still registers the
-		// worker there, keeping liveness partition-wide.
-		resp, err := f.client.Post(u+"/push?worker="+url.QueryEscape(worker),
-			"application/octet-stream", bytes.NewReader(parts[i].Bytes()))
-		if err != nil {
-			writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
-			return
+	var failed []string
+	for _, out := range outcomes {
+		if out.OK {
+			frames += out.Frames
+			keys += out.Keys // replica key sets are disjoint: the sum is the total
+		} else {
+			failed = append(failed, out.URL)
 		}
-		rb, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			writeErr(w, http.StatusBadGateway, "replica %s: status %d: %s", u, resp.StatusCode, rb)
-			return
-		}
-		var pr PushResult
-		if err := json.Unmarshal(rb, &pr); err != nil {
-			writeErr(w, http.StatusBadGateway, "replica %s: bad push ack: %v", u, err)
-			return
-		}
-		frames += pr.Frames
-		keys += pr.Keys // replica key sets are disjoint: the sum is the total
+	}
+	if len(failed) > 0 {
+		writeJSON(w, http.StatusBadGateway, FaninPushError{
+			Error:    fmt.Sprintf("push failed at %d of %d replicas: %s", len(failed), len(f.reps), strings.Join(failed, ", ")),
+			Failed:   failed,
+			Outcomes: outcomes,
+		})
+		return
 	}
 	writeJSON(w, http.StatusOK, PushResult{Worker: worker, Frames: frames, Keys: keys})
+}
+
+// --- query ---
+
+type fetchResult struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// queryOwner answers one /query path from the owner replica, hedging to
+// its mirror: straight to the mirror while the owner is ejected, or after
+// HedgeDelay without an owner answer — first good answer wins.
+func (f *Fanin) queryOwner(rep *faninReplica, path string) fetchResult {
+	primary := func(ch chan<- fetchResult) {
+		s, b, e := f.fetchRetry(rep, path)
+		ch <- fetchResult{s, b, e}
+	}
+	if rep.mirror == "" {
+		ch := make(chan fetchResult, 1)
+		primary(ch)
+		return <-ch
+	}
+	mirror := func(ch chan<- fetchResult) {
+		s, b, e := f.fetch(rep.mirror, path)
+		ch <- fetchResult{s, b, e}
+	}
+	// The buffered channel lets a late loser complete without leaking its
+	// goroutine after we've already answered.
+	ch := make(chan fetchResult, 2)
+	first, second := primary, mirror
+	if rep.down.Load() {
+		first, second = mirror, primary // ejected owner: lead with the mirror
+	}
+	go first(ch)
+	pending := 1
+	hedged := false
+	var last fetchResult
+	timer := time.NewTimer(f.cfg.HedgeDelay)
+	defer timer.Stop()
+	for pending > 0 {
+		select {
+		case res := <-ch:
+			pending--
+			last = res
+			if res.err == nil && res.status < 500 {
+				return res
+			}
+			// The leader failed outright: launch the hedge immediately
+			// rather than waiting out the delay.
+			if !hedged {
+				hedged = true
+				pending++
+				go second(ch)
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				go second(ch)
+			}
+		}
+	}
+	return last
 }
 
 func (f *Fanin) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -147,19 +498,20 @@ func (f *Fanin) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "query needs ?key=")
 		return
 	}
-	u := f.urls[f.owner(r.URL.Query().Get("key"))]
-	resp, err := f.client.Get(u + "/query?" + r.URL.RawQuery)
-	if err != nil {
-		writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
+	rep := f.reps[f.owner(r.URL.Query().Get("key"))]
+	res := f.queryOwner(rep, "/query?"+r.URL.RawQuery)
+	if res.err != nil {
+		writeErr(w, http.StatusBadGateway, "replica %s: %v", rep.url, res.err)
 		return
 	}
-	defer resp.Body.Close()
 	// Relay the owner's answer verbatim — bytes, status and all — so the
 	// client sees bit-identical estimates to asking the replica directly.
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
 }
+
+// --- snapshot ---
 
 // snapshotKeys is the minimal decode of a replica /snapshot: each key's
 // element is kept as raw JSON so the fan-in re-emits it bit-identically.
@@ -176,33 +528,66 @@ func (f *Fanin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		key string
 		raw json.RawMessage
 	}
-	var all []keyed
-	for _, u := range f.urls {
-		resp, err := f.client.Get(u + "/snapshot")
-		if err != nil {
-			writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
-			return
-		}
-		var sk snapshotKeys
-		err = json.NewDecoder(resp.Body).Decode(&sk)
-		resp.Body.Close()
-		if err != nil {
-			writeErr(w, http.StatusBadGateway, "replica %s: bad snapshot: %v", u, err)
-			return
-		}
-		for _, raw := range sk.Keys {
-			var k struct {
-				Key string `json:"key"`
+	type repSnap struct {
+		keys []keyed
+		err  error
+	}
+	parts := make([]repSnap, len(f.reps))
+	var wg sync.WaitGroup
+	for i, rep := range f.reps {
+		wg.Add(1)
+		go func(i int, rep *faninReplica) {
+			defer wg.Done()
+			status, body, err := f.fetchRetry(rep, "/snapshot")
+			if err == nil && status != http.StatusOK {
+				err = fmt.Errorf("status %d", status)
 			}
-			if err := json.Unmarshal(raw, &k); err != nil {
-				writeErr(w, http.StatusBadGateway, "replica %s: bad key report: %v", u, err)
+			if err != nil && rep.mirror != "" {
+				// The partition's data survives on the mirror.
+				if ms, mb, merr := f.fetch(rep.mirror, "/snapshot"); merr == nil && ms == http.StatusOK {
+					status, body, err = ms, mb, nil
+				}
+			}
+			if err != nil {
+				parts[i].err = fmt.Errorf("replica %s: %w", rep.url, err)
 				return
 			}
-			all = append(all, keyed{key: k.Key, raw: raw})
+			var sk snapshotKeys
+			if err := json.Unmarshal(body, &sk); err != nil {
+				parts[i].err = fmt.Errorf("replica %s: bad snapshot: %w", rep.url, err)
+				return
+			}
+			for _, raw := range sk.Keys {
+				var k struct {
+					Key string `json:"key"`
+				}
+				if err := json.Unmarshal(raw, &k); err != nil {
+					parts[i].err = fmt.Errorf("replica %s: bad key report: %w", rep.url, err)
+					return
+				}
+				parts[i].keys = append(parts[i].keys, keyed{key: k.Key, raw: raw})
+			}
+		}(i, rep)
+	}
+	wg.Wait()
+	var all []keyed
+	var degraded []string
+	for i, p := range parts {
+		if p.err != nil {
+			degraded = append(degraded, f.reps[i].url)
+			continue
 		}
+		all = append(all, p.keys...)
+	}
+	if len(degraded) == len(f.reps) {
+		writeErr(w, http.StatusBadGateway, "no replica answered /snapshot (%s)", strings.Join(degraded, ", "))
+		return
 	}
 	// Disjoint per-replica key sets: a global sort restores exactly the
-	// single-process /snapshot order.
+	// single-process /snapshot order. With every replica healthy the body
+	// below is byte-identical to a single-process server's; a degraded
+	// fan-out appends the unreachable replicas so the partial view is
+	// explicit, never silent.
 	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -213,31 +598,72 @@ func (f *Fanin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Write(k.raw)
 	}
+	if len(degraded) > 0 {
+		io.WriteString(w, `],"degraded":`)
+		b, _ := json.Marshal(degraded)
+		w.Write(b)
+		io.WriteString(w, "}\n")
+		return
+	}
 	io.WriteString(w, "]}\n")
 }
 
-func (f *Fanin) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	workers, keys := 0, 0
-	for _, u := range f.urls {
-		resp, err := f.client.Get(u + "/healthz")
-		if err != nil {
-			writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
-			return
-		}
-		var h Health
-		err = json.NewDecoder(resp.Body).Decode(&h)
-		resp.Body.Close()
-		if err != nil || h.Status != "ok" {
-			writeErr(w, http.StatusBadGateway, "replica %s: unhealthy (%v)", u, err)
-			return
-		}
-		if h.Workers > workers {
-			workers = h.Workers // every replica hosts every worker
-		}
-		keys += h.Keys
-	}
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Workers: workers, Keys: keys})
+// --- healthz ---
+
+// FaninReplicaHealth is one replica's health as seen by the router.
+type FaninReplicaHealth struct {
+	URL                 string `json:"url"`
+	Status              string `json:"status"` // "ok" | "down"
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
 }
+
+// FaninHealth is the fan-in /healthz document: the aggregate Health shape
+// (so clients of a single server parse it unchanged) plus per-replica
+// detail. Status is "degraded" while any replica is unreachable.
+type FaninHealth struct {
+	Status   string               `json:"status"`
+	Workers  int                  `json:"workers"`
+	Keys     int                  `json:"keys"`
+	Replicas []FaninReplicaHealth `json:"replicas"`
+}
+
+func (f *Fanin) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	out := FaninHealth{Status: "ok", Replicas: make([]FaninReplicaHealth, len(f.reps))}
+	counts := make([]Health, len(f.reps))
+	var wg sync.WaitGroup
+	for i, rep := range f.reps {
+		wg.Add(1)
+		go func(i int, rep *faninReplica) {
+			defer wg.Done()
+			rh := &out.Replicas[i]
+			rh.URL = rep.url
+			status, body, err := f.fetch(rep.url, "/healthz")
+			ok := err == nil && status == http.StatusOK
+			f.record(rep, ok)
+			rh.ConsecutiveFailures = int(rep.fails.Load())
+			if !ok {
+				rh.Status = "down"
+				return
+			}
+			rh.Status = "ok"
+			json.Unmarshal(body, &counts[i]) // best-effort: counts stay zero on a bad body
+		}(i, rep)
+	}
+	wg.Wait()
+	for i, rh := range out.Replicas {
+		if rh.Status != "ok" {
+			out.Status = "degraded"
+			continue
+		}
+		if counts[i].Workers > out.Workers {
+			out.Workers = counts[i].Workers // every replica hosts every worker
+		}
+		out.Keys += counts[i].Keys
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- metrics ---
 
 // FaninMetrics is the fan-in's /metrics document: each replica's own
 // metrics report, keyed by its URL.
@@ -245,10 +671,12 @@ type FaninMetrics struct {
 	Replicas []FaninReplicaMetrics `json:"replicas"`
 }
 
-// FaninReplicaMetrics is one replica's metrics as relayed by the fan-in.
+// FaninReplicaMetrics is one replica's metrics as relayed by the fan-in;
+// Error is set instead of Metrics for an unreachable replica.
 type FaninReplicaMetrics struct {
 	URL     string          `json:"url"`
-	Metrics json.RawMessage `json:"metrics"`
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	Error   string          `json:"error,omitempty"`
 }
 
 func (f *Fanin) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -256,16 +684,22 @@ func (f *Fanin) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "metrics is GET-only")
 		return
 	}
-	out := FaninMetrics{}
-	for _, u := range f.urls {
-		resp, err := f.client.Get(u + "/metrics")
-		if err != nil {
-			writeErr(w, http.StatusBadGateway, "replica %s: %v", u, err)
-			return
-		}
-		rb, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		out.Replicas = append(out.Replicas, FaninReplicaMetrics{URL: u, Metrics: json.RawMessage(rb)})
+	out := FaninMetrics{Replicas: make([]FaninReplicaMetrics, len(f.reps))}
+	var wg sync.WaitGroup
+	for i, rep := range f.reps {
+		wg.Add(1)
+		go func(i int, rep *faninReplica) {
+			defer wg.Done()
+			out.Replicas[i].URL = rep.url
+			status, body, err := f.fetch(rep.url, "/metrics")
+			f.record(rep, err == nil && status < 500)
+			if err != nil {
+				out.Replicas[i].Error = err.Error()
+				return
+			}
+			out.Replicas[i].Metrics = json.RawMessage(body)
+		}(i, rep)
 	}
+	wg.Wait()
 	writeJSON(w, http.StatusOK, out)
 }

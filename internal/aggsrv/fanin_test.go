@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/workload"
@@ -16,11 +19,12 @@ import (
 // them, and one single-process reference server fed the same pushes.
 type faninFixture struct {
 	fanin    *httptest.Server
+	router   *Fanin
 	replicas []*httptest.Server
 	ref      *httptest.Server
 }
 
-func newFaninFixture(t *testing.T, n int) *faninFixture {
+func newFaninFixture(t *testing.T, n int, cfg FaninConfig) *faninFixture {
 	t.Helper()
 	fx := &faninFixture{}
 	urls := make([]string, n)
@@ -30,10 +34,13 @@ func newFaninFixture(t *testing.T, n int) *faninFixture {
 		fx.replicas = append(fx.replicas, srv)
 		urls[i] = srv.URL
 	}
-	f, err := NewFanin(urls, nil)
+	cfg.Replicas = urls
+	f, err := NewFaninConfig(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	fx.router = f
+	t.Cleanup(func() { f.Close() })
 	fx.fanin = httptest.NewServer(f.Handler())
 	t.Cleanup(fx.fanin.Close)
 	fx.ref = httptest.NewServer(New(nil).Handler())
@@ -72,7 +79,7 @@ func (fx *faninFixture) push(t *testing.T, worker string, blob []byte) {
 // same pushes.
 func TestFaninEndToEnd(t *testing.T) {
 	cfg := qlove.Config{Spec: qlove.Window{Size: 256, Period: 64}, Phis: []float64{0.5, 0.99}, FewK: true}
-	fx := newFaninFixture(t, 3)
+	fx := newFaninFixture(t, 3, FaninConfig{})
 
 	keys := []string{"api/latency", "db/qps", "cache/hits", "gc/pause", "net/rtt"}
 	cursors := make([]qlove.ExportCursor, 2)
@@ -166,9 +173,9 @@ func TestFaninEndToEnd(t *testing.T) {
 	}
 }
 
-// TestFaninErrors covers the router's failure surface: bad construction,
-// malformed blobs rejected before any replica sees a frame, and replica
-// outages surfacing as 502.
+// TestFaninErrors covers the router's request-validation surface: bad
+// construction (including duplicate replicas) and malformed blobs rejected
+// before any replica sees a frame.
 func TestFaninErrors(t *testing.T) {
 	if _, err := NewFanin(nil, nil); err == nil {
 		t.Fatal("empty URL list accepted")
@@ -179,8 +186,19 @@ func TestFaninErrors(t *testing.T) {
 	if _, err := NewFanin([]string{"/just/a/path"}, nil); err == nil {
 		t.Fatal("schemeless URL accepted")
 	}
+	// Duplicates — even differing only by a trailing slash — would
+	// silently split one partition across two identical owners.
+	if _, err := NewFanin([]string{"http://10.0.0.1:7171", "http://10.0.0.1:7171/"}, nil); err == nil {
+		t.Fatal("duplicate replica URLs accepted")
+	}
+	if _, err := NewFaninConfig(FaninConfig{
+		Replicas: []string{"http://a:1", "http://b:1"},
+		Mirrors:  []string{"http://m:1"},
+	}); err == nil {
+		t.Fatal("mirror/replica length mismatch accepted")
+	}
 
-	fx := newFaninFixture(t, 2)
+	fx := newFaninFixture(t, 2, FaninConfig{})
 	if resp, _ := post(t, fx.fanin, "/push", nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("push without worker: %s", resp.Status)
 	}
@@ -203,16 +221,252 @@ func TestFaninErrors(t *testing.T) {
 	if h.Workers != 0 {
 		t.Fatalf("malformed blob registered a worker: %+v", h)
 	}
-	// A dead replica turns pushes and snapshots into 502s.
+}
+
+// TestFaninDegradedReplica is the availability contract: with one replica
+// dead the router keeps serving /query and /snapshot for the live
+// replicas' keys, names the dead replica in /healthz and in the /push 502
+// body, ejects it after the failure threshold, and reinstates it
+// automatically — via the background probe — once it is back on the SAME
+// address, after which pushes succeed again end-to-end.
+func TestFaninDegradedReplica(t *testing.T) {
+	cfg := qlove.Config{Spec: qlove.Window{Size: 256, Period: 64}, Phis: []float64{0.5}, FewK: true}
+	fx := newFaninFixture(t, 2, FaninConfig{
+		Timeout:       2 * time.Second,
+		Retries:       1,
+		RetryBackoff:  time.Millisecond,
+		FailThreshold: 2,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+
+	// Find one key owned by each replica.
+	keyFor := func(owner int) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			if qlove.PartitionOf(k, 2) == owner {
+				return k
+			}
+		}
+	}
+	k0, k1 := keyFor(0), keyFor(1)
+	eng, err := qlove.NewEngine(qlove.EngineConfig{Config: cfg, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range eng.Results() {
+		}
+	}()
+	for _, k := range []string{k0, k1} {
+		if err := eng.Push(k, workload.Generate(workload.NewNetMon(3), 300)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var blob bytes.Buffer
+	if _, err := eng.Export(&blob); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	if resp, body := post(t, fx.fanin, "/push?worker=w", blob.Bytes()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy push: %s: %s", resp.Status, body)
+	}
+
+	// Kill replica 0 but remember its address for the comeback.
+	addr := fx.replicas[0].Listener.Addr().String()
 	fx.replicas[0].Close()
-	if resp, _ := post(t, fx.fanin, "/push?worker=w", nil); resp.StatusCode != http.StatusBadGateway {
-		t.Fatalf("push with dead replica: %s", resp.Status)
+
+	// Live-replica keys still answer; dead-replica keys 502.
+	if resp, body := get(t, fx.fanin, "/query?key="+k1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("live-replica query: %s: %s", resp.Status, body)
 	}
-	if resp, _ := get(t, fx.fanin, "/snapshot"); resp.StatusCode != http.StatusBadGateway {
-		t.Fatalf("snapshot with dead replica: %s", resp.Status)
+	if resp, _ := get(t, fx.fanin, "/query?key="+k0); resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("dead-replica query: %s, want 502", resp.Status)
 	}
-	if resp, _ := get(t, fx.fanin, "/healthz"); resp.StatusCode != http.StatusBadGateway {
-		t.Fatalf("healthz with dead replica: %s", resp.Status)
+
+	// /snapshot degrades to the reachable keys and says so.
+	resp, body := get(t, fx.fanin, "/snapshot")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded snapshot: %s: %s", resp.Status, body)
+	}
+	var snap struct {
+		Keys []struct {
+			Key string `json:"key"`
+		} `json:"keys"`
+		Degraded []string `json:"degraded"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("degraded snapshot parse: %v\n%s", err, body)
+	}
+	if len(snap.Keys) != 1 || snap.Keys[0].Key != k1 {
+		t.Fatalf("degraded snapshot keys: %s", body)
+	}
+	if len(snap.Degraded) != 1 || snap.Degraded[0] != fx.router.Replicas()[0] {
+		t.Fatalf("degraded snapshot does not name the dead replica: %s", body)
+	}
+
+	// /healthz stays 200 and reports exactly which replica is down.
+	resp, body = get(t, fx.fanin, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz: %s", resp.Status)
+	}
+	var fh FaninHealth
+	if err := json.Unmarshal(body, &fh); err != nil {
+		t.Fatal(err)
+	}
+	if fh.Status != "degraded" || len(fh.Replicas) != 2 ||
+		fh.Replicas[0].Status != "down" || fh.Replicas[1].Status != "ok" {
+		t.Fatalf("degraded healthz: %s", body)
+	}
+
+	// /push fans out to the live replica and 502s naming the dead one.
+	resp, body = post(t, fx.fanin, "/push?worker=w", blob.Bytes())
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("degraded push: %s, want 502", resp.Status)
+	}
+	var pe FaninPushError
+	if err := json.Unmarshal(body, &pe); err != nil {
+		t.Fatalf("degraded push body: %v\n%s", err, body)
+	}
+	if len(pe.Failed) != 1 || pe.Failed[0] != fx.router.Replicas()[0] {
+		t.Fatalf("push 502 does not name the dead replica: %s", body)
+	}
+	live := false
+	for _, out := range pe.Outcomes {
+		if out.URL == fx.router.Replicas()[1] && out.OK {
+			live = true
+		}
+	}
+	if !live {
+		t.Fatalf("live replica did not receive the degraded push: %s", body)
+	}
+
+	// The replica returns on its old address (fresh empty state — the
+	// worker would re-bootstrap, as after any lost state). The probe must
+	// reinstate it without any help.
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	revived := httptest.NewUnstartedServer(New(nil).Handler())
+	revived.Listener.Close()
+	revived.Listener = l
+	revived.Start()
+	t.Cleanup(revived.Close)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body = get(t, fx.fanin, "/healthz")
+		var h FaninHealth
+		if err := json.Unmarshal(body, &h); err == nil && h.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never reinstated: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if resp, body := post(t, fx.fanin, "/push?worker=w2", blob.Bytes()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("push after reinstatement: %s: %s", resp.Status, body)
+	}
+}
+
+// TestFaninTimeout pins the no-DefaultClient satellite: a wedged replica
+// costs the configured deadline, not forever.
+func TestFaninTimeout(t *testing.T) {
+	stall := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(5 * time.Second)
+	}))
+	defer stall.Close()
+	f, err := NewFaninConfig(FaninConfig{
+		Replicas: []string{stall.URL},
+		Timeout:  50 * time.Millisecond,
+		Retries:  -1, // no retries: measure one attempt
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	start := time.Now()
+	resp, _ := get(t, srv, "/query?key=k")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("wedged replica: %s, want 502", resp.Status)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("wedged replica held the query for %v", d)
+	}
+}
+
+// TestFaninQueryRetry pins the idempotent-read retry: a replica that 500s
+// twice then answers is retried through to the answer, invisibly to the
+// client.
+func TestFaninQueryRetry(t *testing.T) {
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Key string `json:"key"`
+		}{"k"})
+	}))
+	defer flaky.Close()
+	f, err := NewFaninConfig(FaninConfig{
+		Replicas:     []string{flaky.URL},
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	resp, body := get(t, srv, "/query?key=k")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retried query: %s: %s", resp.Status, body)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("replica saw %d calls, want 3 (2 failures + success)", calls.Load())
+	}
+}
+
+// TestFaninHedgedQuery pins the mirror hedge: with the owner wedged, the
+// query answers from the mirror within roughly the hedge delay — not the
+// owner's full timeout.
+func TestFaninHedgedQuery(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(3 * time.Second)
+	}))
+	defer slow.Close()
+	mirror := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Key string `json:"key"`
+		}{"k"})
+	}))
+	defer mirror.Close()
+	f, err := NewFaninConfig(FaninConfig{
+		Replicas:   []string{slow.URL},
+		Mirrors:    []string{mirror.URL},
+		Timeout:    5 * time.Second,
+		Retries:    -1,
+		HedgeDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	start := time.Now()
+	resp, body := get(t, srv, "/query?key=k")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hedged query: %s: %s", resp.Status, body)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("hedged query took %v — served by the wedged owner, not the mirror", d)
 	}
 }
 

@@ -14,7 +14,9 @@
 //	GET  /snapshot         every key's merged estimates, sorted — streamed
 //	                       one key at a time, so service memory stays
 //	                       bounded on large key sets
-//	GET  /healthz          {"status":"ok","workers":N,"keys":M}
+//	GET  /healthz          {"status":"ok","workers":N,"keys":M}; status
+//	                       "degraded" + an error string when a durable
+//	                       backend has hit a persistence error
 //	GET  /metrics          the backend's self-description: store backend,
 //	                       op counters (instrumented stores), lock-wait,
 //	                       fold-cache hits/misses — per replica for a
@@ -64,11 +66,15 @@ type PushResult struct {
 	Keys   int    `json:"keys"`
 }
 
-// Health is the /healthz document.
+// Health is the /healthz document. Status degrades (and Error fills in)
+// when a durable backend has hit a persistence error: the in-memory view
+// still serves, but restart recovery can no longer be trusted past that
+// point.
 type Health struct {
 	Status  string `json:"status"`
 	Workers int    `json:"workers"`
 	Keys    int    `json:"keys"`
+	Error   string `json:"error,omitempty"`
 }
 
 // Backend is the aggregation surface the server fronts: the shared shape
@@ -279,5 +285,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Workers: s.agg.Workers(), Keys: s.agg.Keys()})
+	h := Health{Status: "ok", Workers: s.agg.Workers(), Keys: s.agg.Keys()}
+	// A durable backend (the disk store, directly or per partitioned
+	// replica) that has hit a persistence error keeps serving its
+	// in-memory view but must say so: restart recovery is compromised.
+	if d, ok := s.agg.(interface{ DurabilityErr() error }); ok {
+		if err := d.DurabilityErr(); err != nil {
+			h.Status = "degraded"
+			h.Error = err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }

@@ -346,3 +346,42 @@ func TestServiceWorkerGC(t *testing.T) {
 		t.Fatalf("active worker's key dropped: %s", resp.Status)
 	}
 }
+
+// durabilityStub wraps a real backend with a settable durability error,
+// standing in for a disk store whose WAL writes started failing.
+type durabilityStub struct {
+	Backend
+	err error
+}
+
+func (d *durabilityStub) DurabilityErr() error { return d.err }
+
+// TestServiceHealthzDurability: /healthz stays 200 (the in-memory view
+// still serves) but flips to status "degraded" with the persistence error
+// spelled out once the backend reports one.
+func TestServiceHealthzDurability(t *testing.T) {
+	stub := &durabilityStub{Backend: qlove.NewAggregator()}
+	srv := httptest.NewServer(New(stub).Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/healthz")
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" || h.Error != "" {
+		t.Fatalf("healthy service: %s %+v", resp.Status, h)
+	}
+
+	stub.err = fmt.Errorf("wal append: no space left on device")
+	resp, body = get(t, srv, "/healthz")
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded service must still answer 200 (liveness): %s", resp.Status)
+	}
+	if h.Status != "degraded" || h.Error != "wal append: no space left on device" {
+		t.Fatalf("degraded healthz = %+v", h)
+	}
+}

@@ -9,22 +9,44 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/window"
 )
 
-// mkState builds a distinguishable dummy State (the store never inspects
-// Parts beyond holding them).
+// testParts is a valid minimal capture: the disk backend wire-encodes
+// every stored state, so dummies must satisfy the same snapshot-validity
+// contract real folds do (the read path folds through core.NewSnapshot
+// anyway).
+var testParts = func() core.SnapshotParts {
+	p, err := core.New(core.Config{Spec: window.Spec{Size: 256, Period: 64}, Phis: []float64{0.5}})
+	if err != nil {
+		panic(err)
+	}
+	return p.Snapshot().Parts()
+}()
+
+// mkState builds a distinguishable dummy State, tagged via SealGen (the
+// stores never inspect Parts beyond holding them).
 func mkState(tag uint64) *State {
-	return &State{Parts: core.SnapshotParts{Streams: 1, SealGen: tag}}
+	parts := testParts
+	parts.SealGen = tag
+	return &State{Parts: parts}
 }
 
 // stores returns one fresh instance of every backend, the Map first (it
 // is the parity reference).
-func stores() []Store {
+func stores(t *testing.T) []Store {
+	t.Helper()
+	disk, err := OpenDisk(DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
 	return []Store{
 		NewMap(),
 		NewStriped(0),
 		NewStriped(1), // degenerate: every group in one stripe
 		NewInstrumented(NewStriped(4)),
+		disk,
 	}
 }
 
@@ -33,7 +55,7 @@ func stores() []Store {
 // every backend and requires identical observable state after every step:
 // Group fold order, WorkerNames, Workers, and the occupancy counters.
 func TestStoreParityRandomOps(t *testing.T) {
-	ss := stores()
+	ss := stores(t)
 	rng := rand.New(rand.NewSource(7))
 	workers := []string{"wa", "wb", "wc"}
 	bases := []string{"k0", "k1", "k2", "k3"}
@@ -112,7 +134,7 @@ func TestStoreParityRandomOps(t *testing.T) {
 // TestStoreGroupFoldOrder pins the documented fold order: base first,
 // then sub-streams ascending — NUL sorts below every user-key byte.
 func TestStoreGroupFoldOrder(t *testing.T) {
-	for _, s := range stores() {
+	for _, s := range stores(t) {
 		s.Touch("w", time.Time{})
 		s.Put("w", saltedName("k", 2), mkState(3))
 		s.Put("w", "k", mkState(1))
@@ -137,7 +159,7 @@ func TestStoreGroupFoldOrder(t *testing.T) {
 // TestStoreKeyGenAdvances pins the cache-invalidation contract: any
 // mutation touching a base bumps its generation, and reads don't.
 func TestStoreKeyGenAdvances(t *testing.T) {
-	for _, s := range stores() {
+	for _, s := range stores(t) {
 		g0 := s.KeyGen("k")
 		s.Touch("w", time.Time{})
 		s.Put("w", "k", mkState(1))
@@ -163,7 +185,7 @@ func TestStoreKeyGenAdvances(t *testing.T) {
 // TestStoreOccupancyCounters pins the O(1) counters across the key
 // lifecycle, including the same logical key resident on several workers.
 func TestStoreOccupancyCounters(t *testing.T) {
-	for _, s := range stores() {
+	for _, s := range stores(t) {
 		for w := 0; w < 3; w++ {
 			worker := fmt.Sprintf("w%d", w)
 			s.Touch(worker, time.Time{})

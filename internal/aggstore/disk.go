@@ -1,0 +1,801 @@
+package aggstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Disk is the persistent store backend: a single-map store whose every
+// mutation is first appended to an on-disk write-ahead log, with periodic
+// snapshot compaction. Reopening the same directory replays the newest
+// loadable snapshot plus the log's valid prefix, reconstructing the
+// resident state — per-worker folds, salt-group indexes, last-push stamps
+// — exactly as it was at the last durable record, so an aggregator
+// restart resumes delta ingestion where the acknowledged pushes left off.
+//
+// Layout (one Disk instance owns a directory at a time):
+//
+//	wal-<seq>.log    append-only mutation log: length-prefixed,
+//	                 CRC32-sealed records; a torn tail (crash mid-append)
+//	                 is detected and truncated on recovery
+//	snap-<seq>.bin   full-state snapshot taken when the previous WAL
+//	                 outgrew CompactBytes; written to a temp file, synced,
+//	                 renamed — a crash mid-compaction leaves the previous
+//	                 snapshot+WAL pair intact
+//
+// State records carry the same wire full-frame encoding worker exports
+// use, so anything resident (which the read path already requires to be a
+// valid Snapshot) round-trips bit-identically.
+//
+// Durability is governed by DiskConfig.Fsync: FsyncAlways syncs every
+// record before the mutation returns (a state acknowledged to a worker
+// survives kill -9), FsyncInterval batches syncs on a timer, FsyncNone
+// syncs only at compaction and Close. Mutations are serialized by one
+// mutex (the WAL is inherently serial); reads go straight to the resident
+// in-memory map and run in parallel as usual. A write error does not take
+// the store down — it keeps serving from memory — but is sticky and
+// surfaced by Err and Close so the operator layer can report lost
+// durability.
+type Disk struct {
+	mem          *Map
+	dir          string
+	mode         string
+	compactBytes int64
+
+	mu       sync.Mutex
+	seq      uint64 // active WAL sequence
+	snapSeq  uint64 // snapshot the active WAL extends (0 = none)
+	wal      *os.File
+	bw       *bufio.Writer // nil in FsyncAlways mode
+	walBytes int64
+	scratch  []byte
+	werr     error
+	closed   bool
+	stop     chan struct{} // interval flusher lifecycle (nil otherwise)
+	done     chan struct{}
+}
+
+// Fsync modes for DiskConfig.Fsync.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncNone     = "none"
+)
+
+const (
+	defaultFsyncInterval = 100 * time.Millisecond
+	defaultCompactBytes  = 8 << 20
+	// maxWalRecord bounds a record's claimed length during recovery (a
+	// frame payload is capped at 1 GiB by the wire format; the record adds
+	// only the op byte and the worker name).
+	maxWalRecord = 1<<30 + 1<<20
+)
+
+// WAL record ops.
+const (
+	recPut byte = iota + 1
+	recReplaceGroup
+	recBootstrapSub
+	recDrop
+	recTouch
+	recDropWorker
+)
+
+var (
+	snapMagic = []byte("QAGS")
+	snapEnd   = []byte("QAGE")
+)
+
+// DiskConfig parameterizes OpenDisk.
+type DiskConfig struct {
+	// Dir is the storage directory, created if needed. One Disk instance
+	// must own it at a time.
+	Dir string
+	// Fsync selects the WAL durability discipline: FsyncAlways (the
+	// default — every record synced before the mutation returns),
+	// FsyncInterval (buffered appends synced every FsyncInterval), or
+	// FsyncNone (buffered, synced only at compaction and Close).
+	Fsync string
+	// FsyncInterval is the sync cadence for FsyncInterval mode
+	// (<= 0 picks the 100ms default).
+	FsyncInterval time.Duration
+	// CompactBytes triggers snapshot compaction once the active WAL
+	// exceeds this many bytes (0 picks the 8 MiB default; negative
+	// disables compaction).
+	CompactBytes int64
+}
+
+// OpenDisk opens (creating or recovering) a persistent store in cfg.Dir.
+func OpenDisk(cfg DiskConfig) (*Disk, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("aggstore: disk store needs a directory")
+	}
+	mode := cfg.Fsync
+	if mode == "" {
+		mode = FsyncAlways
+	}
+	switch mode {
+	case FsyncAlways, FsyncInterval, FsyncNone:
+	default:
+		return nil, fmt.Errorf("aggstore: unknown fsync mode %q (always | interval | none)", cfg.Fsync)
+	}
+	interval := cfg.FsyncInterval
+	if interval <= 0 {
+		interval = defaultFsyncInterval
+	}
+	compact := cfg.CompactBytes
+	if compact == 0 {
+		compact = defaultCompactBytes
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("aggstore: disk store: %w", err)
+	}
+	d := &Disk{mem: NewMap(), dir: cfg.Dir, mode: mode, compactBytes: compact}
+	if err := d.recover(); err != nil {
+		return nil, fmt.Errorf("aggstore: disk store %s: %w", cfg.Dir, err)
+	}
+	if mode == FsyncInterval {
+		d.stop, d.done = make(chan struct{}), make(chan struct{})
+		go d.flushLoop(interval)
+	}
+	return d, nil
+}
+
+func (d *Disk) Kind() string { return "disk" }
+
+// Err returns the sticky write error, if any: after a failed WAL append,
+// snapshot write or sync the store keeps serving from memory, but
+// durability of subsequent mutations is gone until the store is reopened.
+func (d *Disk) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.werr
+}
+
+// Close flushes and closes the WAL. The store must not be used after
+// Close; reopening the directory recovers everything durable.
+func (d *Disk) Close() error {
+	if d.stop != nil {
+		close(d.stop)
+		<-d.done
+		d.stop = nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return d.werr
+	}
+	d.closed = true
+	if err := d.flushSync(); err != nil && d.werr == nil {
+		d.werr = err
+	}
+	if err := d.wal.Close(); err != nil && d.werr == nil {
+		d.werr = err
+	}
+	return d.werr
+}
+
+// Compact forces a snapshot compaction (tests and operational tooling;
+// the store compacts itself when the WAL outgrows CompactBytes).
+func (d *Disk) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errors.New("aggstore: disk store is closed")
+	}
+	if d.werr != nil {
+		return d.werr
+	}
+	if err := d.compactLocked(); err != nil {
+		d.werr = err
+		return err
+	}
+	return nil
+}
+
+// --- reads: straight to the resident map ---
+
+func (d *Disk) Get(worker, name string) (*State, bool) { return d.mem.Get(worker, name) }
+func (d *Disk) Group(worker, base string) []NamedState { return d.mem.Group(worker, base) }
+func (d *Disk) WorkerNames(worker string) []string     { return d.mem.WorkerNames(worker) }
+func (d *Disk) Workers(stale func(time.Time) bool) []string {
+	return d.mem.Workers(stale)
+}
+func (d *Disk) WorkerCount() int            { return d.mem.WorkerCount() }
+func (d *Disk) KeyCount() int               { return d.mem.KeyCount() }
+func (d *Disk) KeyGen(base string) uint64   { return d.mem.KeyGen(base) }
+func (d *Disk) LockWaitNanos() (r, w int64) { return d.mem.LockWaitNanos() }
+
+// --- mutations: WAL first, then the resident map, one lock ---
+
+func (d *Disk) Put(worker, name string, st *State) {
+	d.mu.Lock()
+	d.logState(recPut, worker, name, st)
+	d.mem.Put(worker, name, st)
+	d.maybeCompact()
+	d.mu.Unlock()
+}
+
+func (d *Disk) ReplaceGroup(worker, name string, st *State) {
+	d.mu.Lock()
+	d.logState(recReplaceGroup, worker, name, st)
+	d.mem.ReplaceGroup(worker, name, st)
+	d.maybeCompact()
+	d.mu.Unlock()
+}
+
+func (d *Disk) BootstrapSub(worker, name string, st *State) {
+	d.mu.Lock()
+	d.logState(recBootstrapSub, worker, name, st)
+	d.mem.BootstrapSub(worker, name, st)
+	d.maybeCompact()
+	d.mu.Unlock()
+}
+
+func (d *Disk) Drop(worker, name string) bool {
+	d.mu.Lock()
+	body := append(d.scratch[:0], recDrop)
+	body = appendLenPrefixed(body, worker)
+	body = appendLenPrefixed(body, name)
+	d.appendRecord(body)
+	dropped := d.mem.Drop(worker, name)
+	d.maybeCompact()
+	d.mu.Unlock()
+	return dropped
+}
+
+func (d *Disk) Touch(worker string, t time.Time) {
+	d.mu.Lock()
+	body := append(d.scratch[:0], recTouch)
+	body = appendLenPrefixed(body, worker)
+	var ts [8]byte
+	binary.LittleEndian.PutUint64(ts[:], uint64(t.UnixNano()))
+	body = append(body, ts[:]...)
+	d.appendRecord(body)
+	d.mem.Touch(worker, t)
+	d.mu.Unlock()
+}
+
+func (d *Disk) DropWorker(worker string) bool {
+	d.mu.Lock()
+	body := append(d.scratch[:0], recDropWorker)
+	body = appendLenPrefixed(body, worker)
+	d.appendRecord(body)
+	dropped := d.mem.DropWorker(worker)
+	d.mu.Unlock()
+	return dropped
+}
+
+func (d *Disk) SweepWorkers(stale func(time.Time) bool) int {
+	if stale == nil {
+		return 0
+	}
+	d.mu.Lock()
+	// Log the individual drops, not the predicate: replay must reproduce
+	// exactly the workers THIS sweep retired, whatever clock it runs under.
+	live := make(map[string]struct{})
+	for _, id := range d.mem.Workers(stale) {
+		live[id] = struct{}{}
+	}
+	dropped := 0
+	for _, id := range d.mem.Workers(nil) {
+		if _, ok := live[id]; ok {
+			continue
+		}
+		body := append(d.scratch[:0], recDropWorker)
+		body = appendLenPrefixed(body, id)
+		d.appendRecord(body)
+		d.mem.DropWorker(id)
+		dropped++
+	}
+	d.mu.Unlock()
+	return dropped
+}
+
+// logState appends one state-bearing record: op, worker, then the state
+// as a wire full frame keyed by the internal name (so salted sub-stream
+// names replay into the same salt-group slots). Caller holds d.mu.
+func (d *Disk) logState(op byte, worker, name string, st *State) {
+	sn, err := core.NewSnapshot(st.Parts)
+	if err != nil {
+		// Everything the aggregator stores must be a valid snapshot (the
+		// read path folds through core.NewSnapshot); refusing to encode a
+		// contract-violating state beats persisting garbage.
+		if d.werr == nil {
+			d.werr = fmt.Errorf("aggstore: disk: state %q/%q not encodable: %w", worker, name, err)
+		}
+		return
+	}
+	body := append(d.scratch[:0], op)
+	body = appendLenPrefixed(body, worker)
+	body = wire.AppendFrame(body, name, sn)
+	d.appendRecord(body)
+}
+
+// appendRecord seals body with a length prefix and CRC32 and appends it to
+// the WAL (syncing in FsyncAlways mode). Caller holds d.mu. body may
+// alias d.scratch; the grown buffer is kept for reuse.
+func (d *Disk) appendRecord(body []byte) {
+	defer func() { d.scratch = body[:0] }()
+	if d.werr != nil || d.closed {
+		return
+	}
+	var hdr, crc [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	w := io.Writer(d.wal)
+	if d.bw != nil {
+		w = d.bw
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		d.werr = err
+		return
+	}
+	if _, err := w.Write(body); err != nil {
+		d.werr = err
+		return
+	}
+	if _, err := w.Write(crc[:]); err != nil {
+		d.werr = err
+		return
+	}
+	d.walBytes += int64(8 + len(body))
+	if d.mode == FsyncAlways {
+		if err := d.wal.Sync(); err != nil {
+			d.werr = err
+		}
+	}
+}
+
+func (d *Disk) maybeCompact() {
+	if d.compactBytes > 0 && d.walBytes >= d.compactBytes && d.werr == nil && !d.closed {
+		if err := d.compactLocked(); err != nil {
+			d.werr = err
+		}
+	}
+}
+
+// compactLocked folds the WAL into a fresh snapshot: write snap-(seq+1)
+// (temp file, sync, rename, dir sync), start wal-(seq+1), then retire
+// everything older. A crash at any point leaves either the old
+// snapshot+WAL pair or the new snapshot recoverable. Caller holds d.mu.
+func (d *Disk) compactLocked() error {
+	newSeq := d.seq + 1
+	if err := d.writeSnapshot(newSeq); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(d.walPath(newSeq), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := d.syncDir(); err != nil {
+		f.Close()
+		return err
+	}
+	// The old WAL is fully superseded by the snapshot; unflushed buffered
+	// records need not survive (they are IN the snapshot).
+	d.wal.Close()
+	d.wal, d.walBytes, d.seq, d.snapSeq = f, 0, newSeq, newSeq
+	if d.bw != nil {
+		d.bw = bufio.NewWriterSize(f, 1<<16)
+	}
+	d.removeObsolete(newSeq)
+	return nil
+}
+
+// writeSnapshot persists the full resident state as snap-<seq>: magic,
+// per-worker (sorted) id + last-push stamp + its states as wire full
+// frames (sorted by internal name), CRC32 footer + end magic.
+func (d *Disk) writeSnapshot(seq uint64) error {
+	body := append(make([]byte, 0, 1<<16), snapMagic...)
+	workers := d.mem.dump()
+	body = appendUvarint(body, uint64(len(workers)))
+	for _, w := range workers {
+		body = appendLenPrefixed(body, w.id)
+		var ts [8]byte
+		binary.LittleEndian.PutUint64(ts[:], uint64(w.nanos))
+		body = append(body, ts[:]...)
+		body = appendUvarint(body, uint64(len(w.states)))
+		for _, ns := range w.states {
+			sn, err := core.NewSnapshot(ns.State.Parts)
+			if err != nil {
+				return fmt.Errorf("snapshot state %q/%q: %w", w.id, ns.Name, err)
+			}
+			body = wire.AppendFrame(body, ns.Name, sn)
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	body = append(body, crc[:]...)
+	body = append(body, snapEnd...)
+
+	tmp := d.snapPath(seq) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, d.snapPath(seq)); err != nil {
+		return err
+	}
+	return d.syncDir()
+}
+
+// --- recovery ---
+
+// recover rebuilds the resident map from the newest loadable snapshot
+// plus every WAL segment at or after it (ascending), truncates any torn
+// tail off the newest segment, and leaves it open for appending.
+func (d *Disk) recover() error {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return err
+	}
+	var snaps, wals []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".bin"); ok {
+			snaps = append(snaps, seq)
+		} else if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			wals = append(wals, seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+
+	// Newest snapshot that validates wins; an unreadable one (torn
+	// mid-compaction crash) falls back to its predecessor, whose WAL
+	// segment is still on disk and replays the difference.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if err := d.loadSnapshot(snaps[i]); err == nil {
+			d.snapSeq = snaps[i]
+			break
+		}
+	}
+	active := d.snapSeq
+	for _, seq := range wals {
+		if seq > active {
+			active = seq
+		}
+	}
+	if active == 0 {
+		active = 1
+	}
+	activeOff := int64(-1)
+	for _, seq := range wals {
+		if seq < d.snapSeq {
+			continue
+		}
+		off, err := d.replayWAL(seq)
+		if err != nil {
+			return err
+		}
+		if seq == active {
+			activeOff = off
+		}
+	}
+	f, err := os.OpenFile(d.walPath(active), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if activeOff >= 0 {
+		// Drop the torn tail so new appends start at a record boundary.
+		if err := f.Truncate(activeOff); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	d.wal, d.seq, d.walBytes = f, active, end
+	if d.mode != FsyncAlways {
+		d.bw = bufio.NewWriterSize(f, 1<<16)
+	}
+	d.removeObsolete(d.snapSeq)
+	return nil
+}
+
+// replayWAL applies one segment's valid record prefix to the resident
+// map, returning the offset where the valid prefix ends (a torn or
+// corrupt tail stops the replay without error — it is exactly the
+// in-flight mutation a crash cut off).
+func (d *Disk) replayWAL(seq uint64) (int64, error) {
+	data, err := os.ReadFile(d.walPath(seq))
+	if err != nil {
+		return 0, err
+	}
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		if n == 0 || n > maxWalRecord || len(data)-off < int(n)+8 {
+			break
+		}
+		body := data[off+4 : off+4+int(n)]
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[off+4+int(n):]) {
+			break
+		}
+		if err := applyRecord(d.mem, body); err != nil {
+			break
+		}
+		off += 8 + int(n)
+	}
+	return int64(off), nil
+}
+
+// applyRecord replays one WAL record onto mem.
+func applyRecord(mem *Map, body []byte) error {
+	if len(body) == 0 {
+		return errors.New("empty record")
+	}
+	op, rest := body[0], body[1:]
+	worker, rest, err := takeLenPrefixed(rest)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case recPut, recReplaceGroup, recBootstrapSub:
+		f, err := wire.NewDecoder(bytes.NewReader(rest)).DecodeFrame()
+		if err != nil {
+			return err
+		}
+		if f.Kind != wire.KindFull {
+			return fmt.Errorf("state record carries a %v frame", f.Kind)
+		}
+		st := &State{Parts: f.Snap.Parts()}
+		switch op {
+		case recPut:
+			mem.Put(worker, f.Key, st)
+		case recReplaceGroup:
+			mem.ReplaceGroup(worker, f.Key, st)
+		case recBootstrapSub:
+			mem.BootstrapSub(worker, f.Key, st)
+		}
+	case recDrop:
+		name, _, err := takeLenPrefixed(rest)
+		if err != nil {
+			return err
+		}
+		mem.Drop(worker, name)
+	case recTouch:
+		if len(rest) != 8 {
+			return errors.New("bad touch record")
+		}
+		mem.Touch(worker, metaTime(int64(binary.LittleEndian.Uint64(rest))))
+	case recDropWorker:
+		mem.DropWorker(worker)
+	default:
+		return fmt.Errorf("unknown wal op %d", op)
+	}
+	return nil
+}
+
+// loadSnapshot parses snap-<seq> into a fresh map, replacing the resident
+// one only on full success (a partial parse must not leak state into a
+// fallback to an older snapshot).
+func (d *Disk) loadSnapshot(seq uint64) error {
+	data, err := os.ReadFile(d.snapPath(seq))
+	if err != nil {
+		return err
+	}
+	if len(data) < len(snapMagic)+8 || !bytes.HasPrefix(data, snapMagic) || !bytes.HasSuffix(data, snapEnd) {
+		return errors.New("snapshot framing invalid")
+	}
+	body := data[:len(data)-8]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[len(data)-8:]) {
+		return errors.New("snapshot crc mismatch")
+	}
+	mem := NewMap()
+	br := bytes.NewReader(body[len(snapMagic):])
+	dec := wire.NewDecoder(br)
+	nw, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nw; i++ {
+		id, err := readLenPrefixed(br)
+		if err != nil {
+			return err
+		}
+		var ts [8]byte
+		if _, err := io.ReadFull(br, ts[:]); err != nil {
+			return err
+		}
+		mem.Touch(id, metaTime(int64(binary.LittleEndian.Uint64(ts[:]))))
+		ns, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		for j := uint64(0); j < ns; j++ {
+			f, err := dec.DecodeFrame()
+			if err != nil {
+				return err
+			}
+			if f.Kind != wire.KindFull {
+				return fmt.Errorf("snapshot carries a %v frame", f.Kind)
+			}
+			mem.Put(id, f.Key, &State{Parts: f.Snap.Parts()})
+		}
+	}
+	if br.Len() != 0 {
+		return fmt.Errorf("snapshot has %d trailing bytes", br.Len())
+	}
+	d.mem = mem
+	return nil
+}
+
+// removeObsolete retires snapshots older than keepSnap and WAL segments
+// older than keepSnap's (they are fully folded into it), plus any
+// abandoned temp files. Removal failures are ignored — stale files only
+// cost space and are retried at the next compaction.
+func (d *Disk) removeObsolete(keepSnap uint64) {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(d.dir, name))
+			continue
+		}
+		if seq, ok := parseSeq(name, "snap-", ".bin"); ok && seq < keepSnap {
+			os.Remove(filepath.Join(d.dir, name))
+		} else if seq, ok := parseSeq(name, "wal-", ".log"); ok && seq < keepSnap {
+			os.Remove(filepath.Join(d.dir, name))
+		}
+	}
+}
+
+// --- fsync plumbing ---
+
+func (d *Disk) flushLoop(interval time.Duration) {
+	defer close(d.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.mu.Lock()
+			if !d.closed && d.werr == nil {
+				if err := d.flushSync(); err != nil {
+					d.werr = err
+				}
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// flushSync drains the append buffer (when one exists) and syncs the WAL.
+// Caller holds d.mu.
+func (d *Disk) flushSync() error {
+	if d.bw != nil {
+		if err := d.bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return d.wal.Sync()
+}
+
+func (d *Disk) syncDir() error {
+	f, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	f.Close()
+	return err
+}
+
+// --- encoding helpers and paths ---
+
+func (d *Disk) walPath(seq uint64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("wal-%016d.log", seq))
+}
+
+func (d *Disk) snapPath(seq uint64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("snap-%016d.bin", seq))
+}
+
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	return seq, err == nil
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var b [binary.MaxVarintLen64]byte
+	return append(dst, b[:binary.PutUvarint(b[:], v)]...)
+}
+
+func appendLenPrefixed(dst []byte, s string) []byte {
+	return append(appendUvarint(dst, uint64(len(s))), s...)
+}
+
+func takeLenPrefixed(b []byte) (string, []byte, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b)-k) < n {
+		return "", nil, errors.New("bad length-prefixed field")
+	}
+	return string(b[k : k+int(n)]), b[k+int(n):], nil
+}
+
+func readLenPrefixed(br *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(br.Len()) {
+		return "", errors.New("bad length-prefixed field")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// --- full-state dump (compaction source) ---
+
+type diskWorkerDump struct {
+	id     string
+	nanos  int64
+	states []NamedState
+}
+
+// dump captures the whole resident state in deterministic order: workers
+// sorted by id, each worker's states sorted by internal name (base before
+// its salted sub-streams, NUL sorting below every user byte).
+func (m *Map) dump() []diskWorkerDump {
+	m.rlock()
+	defer m.runlock()
+	out := make([]diskWorkerDump, 0, len(m.workers))
+	for id, w := range m.workers {
+		dw := diskWorkerDump{id: id, nanos: w.lastPush.UnixNano()}
+		bases := make([]string, 0, len(w.groups))
+		for b := range w.groups {
+			bases = append(bases, b)
+		}
+		sort.Strings(bases)
+		for _, b := range bases {
+			dw.states = w.groups[b].fold(b, dw.states)
+		}
+		out = append(out, dw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

@@ -1,0 +1,359 @@
+package aggstore
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// requireSameState asserts the disk store's whole observable surface
+// matches the reference store's.
+func requireSameState(t *testing.T, got, want Store, when string) {
+	t.Helper()
+	if g, w := got.WorkerCount(), want.WorkerCount(); g != w {
+		t.Fatalf("%s: WorkerCount %d != %d", when, g, w)
+	}
+	if g, w := got.KeyCount(), want.KeyCount(); g != w {
+		t.Fatalf("%s: KeyCount %d != %d", when, g, w)
+	}
+	workers := want.Workers(nil)
+	if g := got.Workers(nil); !reflect.DeepEqual(g, workers) {
+		t.Fatalf("%s: Workers %v != %v", when, g, workers)
+	}
+	for _, id := range workers {
+		names := want.WorkerNames(id)
+		if g := got.WorkerNames(id); !reflect.DeepEqual(g, names) {
+			t.Fatalf("%s: WorkerNames(%s) %v != %v", when, id, g, names)
+		}
+		seen := map[string]struct{}{}
+		for _, n := range names {
+			base := logicalKey(n)
+			if _, dup := seen[base]; dup {
+				continue
+			}
+			seen[base] = struct{}{}
+			g, w := got.Group(id, base), want.Group(id, base)
+			if len(g) != len(w) {
+				t.Fatalf("%s: Group(%s,%s): %d members != %d", when, id, base, len(g), len(w))
+			}
+			for i := range g {
+				if g[i].Name != w[i].Name {
+					t.Fatalf("%s: Group(%s,%s)[%d] name %q != %q", when, id, base, i, g[i].Name, w[i].Name)
+				}
+				if !reflect.DeepEqual(g[i].State.Parts, w[i].State.Parts) {
+					t.Fatalf("%s: Group(%s,%s)[%d] %q parts diverge after recovery", when, id, base, i, g[i].Name)
+				}
+			}
+		}
+	}
+}
+
+// driveOps applies a deterministic randomized op sequence to every given
+// store (the same ops to each).
+func driveOps(t *testing.T, rng *rand.Rand, steps int, tag *uint64, ss ...Store) {
+	t.Helper()
+	workers := []string{"wa", "wb", "wc"}
+	bases := []string{"k0", "k1", "k2"}
+	for step := 0; step < steps; step++ {
+		w := workers[rng.Intn(len(workers))]
+		base := bases[rng.Intn(len(bases))]
+		salt := rng.Intn(4) - 1
+		name := base
+		if salt >= 0 {
+			name = saltedName(base, salt)
+		}
+		*tag++
+		st := mkState(*tag)
+		op := rng.Intn(10)
+		subSalt := rng.Intn(3)
+		ts := time.Unix(int64(1000+step), 0)
+		for _, s := range ss {
+			switch op {
+			case 0, 1, 2:
+				s.Touch(w, ts)
+				s.Put(w, name, st)
+			case 3:
+				s.Drop(w, name)
+			case 4, 5:
+				s.Touch(w, ts)
+				s.ReplaceGroup(w, name, st)
+			case 6, 7:
+				s.Touch(w, ts)
+				s.BootstrapSub(w, saltedName(base, subSalt), st)
+			case 8:
+				s.DropWorker(w)
+			case 9:
+				cutoff := time.Unix(int64(1000+step-25), 0)
+				s.SweepWorkers(func(last time.Time) bool { return last.Before(cutoff) })
+			}
+		}
+	}
+}
+
+// TestDiskRecovery drives the same randomized ops through a Map and a
+// Disk, then reopens the directory three ways — after a clean Close,
+// after an abandon-without-Close (the kill -9 shape; FsyncAlways makes
+// every applied record durable), and after further ops atop the recovered
+// state — requiring the recovered store to match the reference exactly,
+// parts and all.
+func TestDiskRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ref := NewMap()
+	rng := rand.New(rand.NewSource(11))
+	var tag uint64
+
+	d, err := OpenDisk(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveOps(t, rng, 300, &tag, ref, d)
+	requireSameState(t, d, ref, "before close")
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d, err = OpenDisk(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, d, ref, "after clean reopen")
+
+	// Keep mutating, then abandon WITHOUT Close: FsyncAlways means every
+	// completed mutation is already on disk, exactly the kill -9 contract.
+	driveOps(t, rng, 200, &tag, ref, d)
+	d2, err := OpenDisk(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, d2, ref, "after crash reopen")
+
+	// The recovered store keeps accepting and persisting new mutations.
+	driveOps(t, rng, 100, &tag, ref, d2)
+	requireSameState(t, d2, ref, "after post-recovery ops")
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskTornTail pins crash-mid-append semantics: a torn record at the
+// WAL tail is detected (CRC/length), truncated, and everything before it
+// recovers; subsequent appends land cleanly on the truncated log.
+func TestDiskTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ref := NewMap()
+	d, err := OpenDisk(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range []string{"a", "b", "c"} {
+		d.Touch("w", time.Unix(int64(i), 0))
+		d.Put("w", k, mkState(uint64(i+1)))
+		ref.Touch("w", time.Unix(int64(i), 0))
+		ref.Put("w", k, mkState(uint64(i+1)))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: a record header claiming more bytes than follow.
+	wals, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(wals) != 1 {
+		t.Fatalf("wal files: %v (%v)", wals, err)
+	}
+	f, err := os.OpenFile(wals[0], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d, err = OpenDisk(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, d, ref, "after torn tail")
+	d.Put("w", "d", mkState(9))
+	ref.Put("w", "d", mkState(9))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err = OpenDisk(DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, d, ref, "after append past torn tail")
+	d.Close()
+}
+
+// TestDiskCompaction forces compaction after nearly every mutation
+// (CompactBytes=1) and requires the snapshot+fresh-WAL cycle to preserve
+// state across a reopen, retire superseded files, and tolerate an
+// abandoned temp snapshot (the crash-mid-compaction shape).
+func TestDiskCompaction(t *testing.T) {
+	dir := t.TempDir()
+	ref := NewMap()
+	rng := rand.New(rand.NewSource(23))
+	var tag uint64
+	d, err := OpenDisk(DiskConfig{Dir: dir, CompactBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveOps(t, rng, 200, &tag, ref, d)
+	requireSameState(t, d, ref, "compacting store")
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, e.Name())
+	}
+	if len(files) > 3 {
+		t.Fatalf("compaction left %d files behind: %v", len(files), files)
+	}
+
+	// A leftover temp snapshot (crash between write and rename) is inert.
+	if err := os.WriteFile(filepath.Join(dir, "snap-9999999999999999.bin.tmp"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d, err = OpenDisk(DiskConfig{Dir: dir, CompactBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, d, ref, "after compacted reopen")
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("temp snapshot survived recovery: %v", tmps)
+	}
+	d.Close()
+}
+
+// TestDiskExplicitCompactAndCorruptSnapshotFallback: a corrupted newest
+// snapshot falls back to the previous snapshot+WAL pair when one exists.
+func TestDiskExplicitCompactAndCorruptSnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	ref := NewMap()
+	d, err := OpenDisk(DiskConfig{Dir: dir, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		d.Touch("w", time.Unix(int64(i), 0))
+		d.Put("w", "k", mkState(uint64(i)))
+		ref.Touch("w", time.Unix(int64(i), 0))
+		ref.Put("w", "k", mkState(uint64(i)))
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	d.Put("w", "post", mkState(7))
+	ref.Put("w", "post", mkState(7))
+	d.Close()
+
+	// Reopen: snapshot + the post-compaction WAL record.
+	d, err = OpenDisk(DiskConfig{Dir: dir, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameState(t, d, ref, "snapshot+wal reopen")
+	d.Close()
+
+	// Corrupt the snapshot: with no older snapshot the directory still
+	// opens (empty state is the honest answer for a destroyed single copy)
+	// — but the WAL tail must not crash recovery.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.bin"))
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots: %v", snaps)
+	}
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err = OpenDisk(DiskConfig{Dir: dir, CompactBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.WorkerCount(); n != 0 {
+		// Only the post-compaction WAL survived; it re-creates the worker
+		// via its Put record, so 1 worker with just the "post" key is also
+		// acceptable — what is NOT acceptable is a phantom full recovery.
+		if names := d.WorkerNames("w"); len(names) != 1 || names[0] != "post" {
+			t.Fatalf("corrupt snapshot recovered to workers=%d names=%v", n, names)
+		}
+	}
+	d.Close()
+}
+
+// TestDiskFsyncModes exercises the interval and none disciplines: both
+// recover everything after a clean Close, and the interval flusher makes
+// records durable without one.
+func TestDiskFsyncModes(t *testing.T) {
+	for _, mode := range []string{FsyncInterval, FsyncNone} {
+		dir := t.TempDir()
+		ref := NewMap()
+		cfg := DiskConfig{Dir: dir, Fsync: mode, FsyncInterval: 5 * time.Millisecond}
+		d, err := OpenDisk(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		var tag uint64
+		driveOps(t, rng, 120, &tag, ref, d)
+		if mode == FsyncInterval {
+			// The flusher must land the buffered records on its own.
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				d2, err := OpenDisk(DiskConfig{Dir: dir, Fsync: FsyncNone})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ok := d2.WorkerCount() == ref.WorkerCount() && d2.KeyCount() == ref.KeyCount()
+				d2.Close()
+				if ok {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("%s: interval flusher never persisted the tail", mode)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		d, err = OpenDisk(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameState(t, d, ref, mode+" after clean close")
+		d.Close()
+	}
+}
+
+// TestDiskConfigValidation pins the constructor's error surface.
+func TestDiskConfigValidation(t *testing.T) {
+	if _, err := OpenDisk(DiskConfig{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := OpenDisk(DiskConfig{Dir: t.TempDir(), Fsync: "sometimes"}); err == nil ||
+		!strings.Contains(err.Error(), "fsync") {
+		t.Fatalf("bad fsync mode: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"path/filepath"
 	"time"
 
 	"repro/internal/wire"
@@ -30,20 +31,52 @@ type Partitioned struct {
 	replicas []*Aggregator
 }
 
-// NewPartitioned returns n empty replicas configured by cfg.
+// NewPartitioned returns n empty replicas configured by cfg. For the disk
+// store each replica persists under its own cfg.Dir subdirectory
+// ("replica-<i>"), so reopening the same directory with the same replica
+// count recovers the whole partition.
 func NewPartitioned(n int, cfg AggregatorConfig) (*Partitioned, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("qlove: partitioned aggregator needs >= 1 replica, got %d", n)
 	}
 	p := &Partitioned{replicas: make([]*Aggregator, n)}
 	for i := range p.replicas {
-		a, err := NewAggregatorConfig(cfg)
+		rcfg := cfg
+		if cfg.Store == "disk" && cfg.Dir != "" {
+			rcfg.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("replica-%d", i))
+		}
+		a, err := NewAggregatorConfig(rcfg)
 		if err != nil {
+			for _, prev := range p.replicas[:i] {
+				prev.Close()
+			}
 			return nil, err
 		}
 		p.replicas[i] = a
 	}
 	return p, nil
+}
+
+// Close releases every replica's store backend; the first error wins.
+func (p *Partitioned) Close() error {
+	var first error
+	for _, a := range p.replicas {
+		if err := a.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// DurabilityErr reports the first replica durability error, if any; see
+// Aggregator.DurabilityErr.
+func (p *Partitioned) DurabilityErr() error {
+	for i, a := range p.replicas {
+		if err := a.DurabilityErr(); err != nil {
+			return fmt.Errorf("replica %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Replicas returns the replica count.
@@ -145,6 +178,14 @@ func (p *Partitioned) Keys() int {
 func (p *Partitioned) SetPushDeadline(d time.Duration, clock func() time.Time) {
 	for _, a := range p.replicas {
 		a.SetPushDeadline(d, clock)
+	}
+}
+
+// SetPushDeadlineFromStored arms every replica's worker GC without
+// re-dating recovered workers; see Aggregator.SetPushDeadlineFromStored.
+func (p *Partitioned) SetPushDeadlineFromStored(d time.Duration, clock func() time.Time) {
+	for _, a := range p.replicas {
+		a.SetPushDeadlineFromStored(d, clock)
 	}
 }
 
