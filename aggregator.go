@@ -1,6 +1,7 @@
 package qlove
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -488,6 +489,110 @@ func (a *Aggregator) Keys() int {
 // decommissioned pod), returning whether it was known.
 func (a *Aggregator) DropWorker(worker string) bool {
 	return a.store.DropWorker(worker)
+}
+
+// KeyList returns the distinct logical keys across all live workers,
+// sorted — the key enumeration Snapshot folds, without the folds.
+func (a *Aggregator) KeyList() []string {
+	seen := make(map[string]struct{})
+	var bases []string
+	for _, id := range a.liveWorkers() {
+		for _, name := range a.store.WorkerNames(id) {
+			b := logicalKey(name)
+			if _, dup := seen[b]; !dup {
+				seen[b] = struct{}{}
+				bases = append(bases, b)
+			}
+		}
+	}
+	sort.Strings(bases)
+	return bases
+}
+
+// --- slot export / migration ---
+
+// WorkerBlob is one worker's share of a slot export: a wire blob of
+// self-contained bootstrap frames — full frames for base keys,
+// from-generation-0 delta frames for salted sub-streams — that any
+// aggregator Apply reproduces bit-for-bit, seal-generation cursors
+// included, so a migrated slot keeps accepting the workers' subsequent
+// delta frames with no re-bootstrap. Blob marshals as base64 in JSON.
+type WorkerBlob struct {
+	Worker string `json:"worker"`
+	Blob   []byte `json:"blob"`
+}
+
+// ExportSlots serializes every resident state whose logical key hashes
+// into one of the given slots, one blob per worker (swept-but-resident
+// stale workers included: migration must move the slot's state, not the
+// read-time view of it). Importers replaying a blob into a replica that
+// may already hold stale state for these slots must DropSlots there
+// first: a sub-stream bootstrap frame retires the base but leaves other
+// resident sub-streams of its group in place.
+func (a *Aggregator) ExportSlots(slots []int) ([]WorkerBlob, error) {
+	want := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		if s < 0 || s >= Slots {
+			return nil, fmt.Errorf("qlove: export slot %d outside [0, %d)", s, Slots)
+		}
+		want[s] = true
+	}
+	match := func(base string) bool { return want[SlotOf(base)] }
+	var out []WorkerBlob
+	for _, id := range a.store.Workers(nil) {
+		states := a.store.NamesMatching(id, match)
+		if len(states) == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		enc := wire.NewEncoder(&buf)
+		for _, ns := range states {
+			sn, err := core.NewSnapshot(ns.State.Parts)
+			if err != nil {
+				return nil, fmt.Errorf("qlove: export slots worker %q key %q: %w", id, ns.Name, err)
+			}
+			if _, _, salted := splitKey(ns.Name); salted {
+				// A full frame would ReplaceGroup away the sibling
+				// sub-streams already replayed; a from-generation-0 delta
+				// bootstraps exactly this sub-stream, cursor intact.
+				d, err := wire.NewDelta(sn, 0)
+				if err != nil {
+					return nil, fmt.Errorf("qlove: export slots worker %q key %q: %w", id, ns.Name, err)
+				}
+				if _, err := enc.EncodeDelta(ns.Name, d); err != nil {
+					return nil, fmt.Errorf("qlove: export slots worker %q key %q: %w", id, ns.Name, err)
+				}
+				continue
+			}
+			if _, err := enc.Encode(ns.Name, sn); err != nil {
+				return nil, fmt.Errorf("qlove: export slots worker %q key %q: %w", id, ns.Name, err)
+			}
+		}
+		out = append(out, WorkerBlob{Worker: id, Blob: buf.Bytes()})
+	}
+	return out, nil
+}
+
+// DropSlots removes every resident state whose logical key hashes into
+// one of the given slots, across all workers, returning how many internal
+// names were dropped. The old owner calls it after a slot migration
+// flips; importers call it before replaying an export over possibly-stale
+// state.
+func (a *Aggregator) DropSlots(slots []int) int {
+	want := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		want[s] = true
+	}
+	match := func(base string) bool { return want[SlotOf(base)] }
+	dropped := 0
+	for _, id := range a.store.Workers(nil) {
+		for _, ns := range a.store.NamesMatching(id, match) {
+			if a.store.Drop(id, ns.Name) {
+				dropped++
+			}
+		}
+	}
+	return dropped
 }
 
 // --- metrics ---

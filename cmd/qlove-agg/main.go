@@ -33,12 +33,18 @@
 // (lock-striped by default; "map" is the single-lock original; "disk" is
 // durable), -stripes its stripe count, -instrument wraps it with the
 // per-op metrics recorder (see GET /metrics), and -no-fold-cache disables
-// the read-path fold cache. -replicas N partitions keys by hash across N
-// in-process aggregator replicas; -fanin URL,URL,… instead makes this
-// process a pure HTTP router over aggregator replicas running elsewhere:
+// the read-path fold cache. -replicas N partitions keys by hash slot
+// across N in-process aggregator replicas; -fanin URL,URL,… instead makes
+// this process a pure HTTP router over aggregator replicas running
+// elsewhere. With either form, -replication R keeps R copies of every
+// hash slot: pushes fan out to all R owners, reads prefer the primary and
+// fail over to secondaries. Under -fanin, a push succeeds once -quorum
+// owners of each slot ack (default: a majority of R), and the router
+// resyncs a replica that lost state from its slot co-owners; POST
+// /slots/move re-homes one hash slot live (GET /slots shows the table):
 //
 //	qlove-agg -serve -store striped -instrument -replicas 4
-//	qlove-agg -serve -fanin http://10.0.0.1:7171,http://10.0.0.2:7171
+//	qlove-agg -serve -fanin http://10.0.0.1:7171,http://10.0.0.2:7171 -replication 2
 //
 // With -store disk -dir DIR every fold is appended to a crash-safe log
 // under DIR before it is applied, and the NEXT -serve on the same
@@ -90,10 +96,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	instrument := fs.Bool("instrument", false, "serve: record per-op store metrics (GET /metrics)")
 	noFoldCache := fs.Bool("no-fold-cache", false, "serve: disable the read-path fold cache")
 	replicas := fs.Int("replicas", 1, "serve: partition keys by hash across N in-process aggregator replicas")
+	replication := fs.Int("replication", 1,
+		"serve: copies of each hash slot, with -replicas or -fanin (1 = no replication)")
 	fanin := fs.String("fanin", "",
 		"serve: comma-separated replica base URLs; this process routes over them instead of holding state")
 	faninTimeout := fs.Duration("fanin-timeout", 0,
 		"serve: per-request deadline for fan-in calls to replicas (0 = default 10s)")
+	quorum := fs.Int("quorum", 0,
+		"serve: replica acks a push needs per slot, with -fanin (0 = majority of -replication)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,6 +120,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if *replicas < 1 {
 			return fmt.Errorf("-replicas %d < 1", *replicas)
 		}
+		if *replication < 1 {
+			return fmt.Errorf("-replication %d < 1", *replication)
+		}
 		if *fanin != "" {
 			if *replicas > 1 {
 				return fmt.Errorf("-fanin and -replicas are mutually exclusive (the fan-in holds no state)")
@@ -120,10 +133,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if *dir != "" || *fsync != "" {
 				return fmt.Errorf("-dir/-fsync belong on the replicas, not the fan-in router")
 			}
-			return serveFanin(*addr, strings.Split(*fanin, ","), *faninTimeout)
+			return serveFanin(*addr, strings.Split(*fanin, ","), *faninTimeout, *replication, *quorum)
 		}
 		if *faninTimeout != 0 {
 			return fmt.Errorf("-fanin-timeout only applies with -fanin")
+		}
+		if *quorum != 0 {
+			return fmt.Errorf("-quorum only applies with -fanin (the in-process partition has no partial failures)")
+		}
+		if *replication > 1 && *replicas == 1 {
+			return fmt.Errorf("-replication %d needs -replicas > 1 or -fanin (one replica cannot hold extra copies)", *replication)
 		}
 		if *store == "disk" && *dir == "" {
 			return fmt.Errorf("-store disk needs -dir (the state directory to log to and recover from)")
@@ -132,14 +151,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			Store: *store, Stripes: *stripes, Instrument: *instrument, NoFoldCache: *noFoldCache,
 			Dir: *dir, Fsync: *fsync,
 		}
-		return serveHTTP(*addr, *deadline, cfg, *replicas)
+		return serveHTTP(*addr, *deadline, cfg, *replicas, *replication)
 	}
 	if *deadline != 0 {
 		return fmt.Errorf("-worker-deadline only applies with -serve")
 	}
-	if *fanin != "" || *replicas != 1 || *instrument || *noFoldCache || *stripes != 0 || *store != "striped" ||
-		*dir != "" || *fsync != "" || *faninTimeout != 0 {
-		return fmt.Errorf("-store/-stripes/-dir/-fsync/-instrument/-no-fold-cache/-replicas/-fanin/-fanin-timeout only apply with -serve")
+	if *fanin != "" || *replicas != 1 || *replication != 1 || *quorum != 0 || *instrument || *noFoldCache ||
+		*stripes != 0 || *store != "striped" || *dir != "" || *fsync != "" || *faninTimeout != 0 {
+		return fmt.Errorf("-store/-stripes/-dir/-fsync/-instrument/-no-fold-cache/-replicas/-replication/-quorum/-fanin/-fanin-timeout only apply with -serve")
 	}
 	agg, err := aggregate(fs.Args(), stdin)
 	if err != nil {
@@ -162,14 +181,16 @@ type aggBackend interface {
 // the moment the deadline passes, and a background ticker sweeps their
 // resident state (pushes sweep too, so the ticker only covers the
 // all-workers-gone case).
-func serveHTTP(addr string, deadline time.Duration, cfg qlove.AggregatorConfig, replicas int) error {
+func serveHTTP(addr string, deadline time.Duration, cfg qlove.AggregatorConfig, replicas, replication int) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	var agg aggBackend
 	if replicas > 1 {
-		if agg, err = qlove.NewPartitioned(replicas, cfg); err != nil {
+		if agg, err = qlove.NewPartitionedConfig(qlove.PartitionedConfig{
+			Replicas: replicas, Replication: replication, Agg: cfg,
+		}); err != nil {
 			return err
 		}
 	} else {
@@ -206,8 +227,10 @@ func serveHTTP(addr string, deadline time.Duration, cfg qlove.AggregatorConfig, 
 }
 
 // serveFanin runs the stateless HTTP router over remote replica servers.
-func serveFanin(addr string, urls []string, timeout time.Duration) error {
-	f, err := aggsrv.NewFaninConfig(aggsrv.FaninConfig{Replicas: urls, Timeout: timeout})
+func serveFanin(addr string, urls []string, timeout time.Duration, replication, quorum int) error {
+	f, err := aggsrv.NewFaninConfig(aggsrv.FaninConfig{
+		Replicas: urls, Timeout: timeout, Replication: replication, Quorum: quorum,
+	})
 	if err != nil {
 		return err
 	}

@@ -163,6 +163,22 @@ func TestServeFlagValidation(t *testing.T) {
 		!strings.Contains(err.Error(), "belong on the replicas") {
 		t.Fatalf("-dir on the fan-in router: %v", err)
 	}
+	if err := run([]string{"-serve", "-quorum", "2"}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-quorum only applies with -fanin") {
+		t.Fatalf("-quorum without -fanin: %v", err)
+	}
+	if err := run([]string{"-serve", "-replication", "2"}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-replication 2 needs") {
+		t.Fatalf("-replication on one replica: %v", err)
+	}
+	if err := run([]string{"-serve", "-replication", "0"}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-replication 0 < 1") {
+		t.Fatalf("-replication 0: %v", err)
+	}
+	if err := run([]string{"-replication", "2"}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "only apply with -serve") {
+		t.Fatalf("-replication without -serve: %v", err)
+	}
 }
 
 // buildAgg compiles the qlove-agg binary once per test binary run.

@@ -21,7 +21,11 @@
 // resilience, the failure-path gate: a disk-backed aggregation service
 // child SIGKILLed mid-delta-chain and restarted (recovered and resumed
 // views must be bit-identical), plus a degraded fan-in run with one dead
-// replica (partial serving, loud health, probe reinstatement).
+// replica (partial serving, loud health, probe reinstatement), and
+// resize, the replication gate: a replication-2 fan-in that keeps
+// accepting pushes on quorum with a replica down, resyncs the replica
+// when it returns empty, and grows the tier live via /slots/move — all
+// verified bit-identically against an unresized single server.
 //
 // The -json flag switches to a machine-readable perf record instead: a
 // single JSON document with the ingestion throughput and peak space of
@@ -140,6 +144,7 @@ func run(args []string) error {
 		fmt.Println("openloop")
 		fmt.Println("scaling")
 		fmt.Println("resilience")
+		fmt.Println("resize")
 		return nil
 	}
 	if *jsonOut {
@@ -152,13 +157,13 @@ func run(args []string) error {
 	}
 	names := fs.Args()
 	if len(names) == 0 {
-		names = append(append([]string(nil), bench.Order...), "multikey", "timedkeys", "distributed", "aggregator", "openloop", "resilience")
+		names = append(append([]string(nil), bench.Order...), "multikey", "timedkeys", "distributed", "aggregator", "openloop", "resilience", "resize")
 	}
 	opts := bench.Options{W: os.Stdout, Seed: *seed, Scale: *scale, Full: *full}
 	isLocal := map[string]bool{
 		"multikey": true, "timedkeys": true, "distributed": true,
 		"aggregator": true, "openloop": true, "scaling": true,
-		"resilience": true,
+		"resilience": true, "resize": true,
 	}
 	for _, name := range names {
 		exp, ok := bench.Experiments[name]
@@ -215,6 +220,10 @@ func run(args []string) error {
 			}
 		case "resilience":
 			if err := resilienceExperiment(os.Stdout, defaultResilienceOptions(*seed)); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		case "resize":
+			if err := resizeExperiment(os.Stdout, defaultResizeOptions(*seed)); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		default:

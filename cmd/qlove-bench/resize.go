@@ -1,0 +1,503 @@
+package main
+
+// The resize scenario gates the replicated hash-slot tier end to end over
+// real sockets:
+//
+//   - Quorum fan-out: two replica servers behind the router at
+//     replication 2 — every hash slot owned by both. A worker's delta
+//     chain keeps pushing while one replica is killed mid-chain: pushes
+//     must keep succeeding on quorum (1 of 2), reads fail over to the
+//     survivor, and when the replica returns EMPTY on its old address the
+//     router's resync must rebuild it from its peer — after which the
+//     revived replica's own /snapshot, and the router's, must be
+//     bit-identical to an uninterrupted single-server reference.
+//   - Live growth: three replica servers, but an initial slot table that
+//     spans only the first two. The third is grown in by moving its
+//     canonical share of hash slots via POST /slots/move while the
+//     worker's delta chain keeps pushing: only the moved slots may change
+//     replica, /query must answer bit-identically to the reference
+//     before, during, and after, and the chain must keep folding across
+//     the migration (the replay carries the worker's seal cursors).
+//
+// Like resilience, this is a verification gate: the latencies printed are
+// informational, the bit-identity and availability verdicts fail the run.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro"
+	"repro/internal/aggsrv"
+)
+
+// resizeOptions parameterizes the scenario; the workload is intentionally
+// small — identity, not throughput, is under test.
+type resizeOptions struct {
+	Seed   int64
+	Rounds int // delta rounds per phase; the kill/migration lands mid-chain
+	Keys   int // logical keys in the worker's chain
+}
+
+func defaultResizeOptions(seed int64) resizeOptions {
+	return resizeOptions{Seed: seed, Rounds: 6, Keys: 12}
+}
+
+// resizeReplica is one in-process replica server on a real socket.
+type resizeReplica struct {
+	addr string
+	srv  *http.Server
+}
+
+func serveResize(addr string, h http.Handler) (resizeReplica, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return resizeReplica{}, err
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return resizeReplica{addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// resizeWorker drives one salted engine's delta chain; the same blob goes
+// to the router and the reference so cursors stay in lockstep.
+type resizeWorker struct {
+	eng    *qlove.Engine
+	cursor qlove.ExportCursor
+	rnd    *rand.Rand
+	keys   []string
+}
+
+func newResizeWorker(o resizeOptions) (*resizeWorker, error) {
+	eng, err := qlove.NewEngine(qlove.EngineConfig{
+		Config:       qlove.Config{Spec: qlove.Window{Size: 512, Period: 128}, Phis: []float64{0.5, 0.9, 0.99}},
+		Shards:       2,
+		RouteSalt:    2,
+		ResultBuffer: 1 << 14,
+	})
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for range eng.Results() {
+		}
+	}()
+	rw := &resizeWorker{eng: eng, rnd: rand.New(rand.NewSource(o.Seed))}
+	for k := 0; k < o.Keys; k++ {
+		rw.keys = append(rw.keys, fmt.Sprintf("key-%03d", k))
+	}
+	return rw, nil
+}
+
+// round ingests one batch per key, exports one delta blob, and pushes the
+// same bytes to every target.
+func (rw *resizeWorker) round(client *http.Client, targets ...string) error {
+	for _, key := range rw.keys {
+		vs := make([]float64, 128)
+		for i := range vs {
+			vs[i] = rw.rnd.Float64() * 1000
+		}
+		if err := rw.eng.Push(key, vs); err != nil {
+			return err
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := rw.eng.ExportDelta(&buf, &rw.cursor); err != nil {
+		return err
+	}
+	for _, base := range targets {
+		if err := httpPushBlob(client, base, "worker-000", buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// querySweepIdentical compares every key's /query answer (status and
+// bytes) between the router and the reference.
+func querySweepIdentical(client *http.Client, routerBase, refBase string, keys []string) (bool, error) {
+	fetch := func(base, key string) (int, []byte, error) {
+		resp, err := client.Get(base + "/query?key=" + url.QueryEscape(key))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, err
+	}
+	for _, key := range keys {
+		gs, gb, err := fetch(routerBase, key)
+		if err != nil {
+			return false, err
+		}
+		ws, wb, err := fetch(refBase, key)
+		if err != nil {
+			return false, err
+		}
+		if gs != ws || !bytes.Equal(gb, wb) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// resizeQuorumStats is the quorum/resync phase's half of the report.
+type resizeQuorumStats struct {
+	KillAfter        int           `json:"kill_after_round"`
+	PushOnQuorum     bool          `json:"push_on_quorum"`
+	DegradedServed   bool          `json:"degraded_served"`
+	Resynced         bool          `json:"resynced"`
+	ReplicaIdentical bool          `json:"replica_identical"`
+	FinalIdentical   bool          `json:"final_identical"`
+	ResyncLatency    time.Duration `json:"-"`
+}
+
+// resizeQuorum runs the replication phase: kill one of two full-copy
+// replicas mid-chain, keep pushing on quorum, revive it empty, and require
+// the resync to land everything bit-identical to the reference.
+func resizeQuorum(o resizeOptions) (resizeQuorumStats, error) {
+	st := resizeQuorumStats{KillAfter: o.Rounds / 2}
+	reps := make([]resizeReplica, 2)
+	for i := range reps {
+		r, err := serveResize("127.0.0.1:0", aggsrv.New(nil).Handler())
+		if err != nil {
+			return st, err
+		}
+		reps[i] = r
+		defer r.srv.Close()
+	}
+	fanin, err := aggsrv.NewFaninConfig(aggsrv.FaninConfig{
+		Replicas:      []string{"http://" + reps[0].addr, "http://" + reps[1].addr},
+		Replication:   2,
+		Timeout:       2 * time.Second,
+		Retries:       1,
+		RetryBackoff:  time.Millisecond,
+		FailThreshold: 2,
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return st, err
+	}
+	defer fanin.Close()
+	router, err := serveResize("127.0.0.1:0", fanin.Handler())
+	if err != nil {
+		return st, err
+	}
+	defer router.srv.Close()
+	base := "http://" + router.addr
+	ref, err := serveResize("127.0.0.1:0", aggsrv.New(nil).Handler())
+	if err != nil {
+		return st, err
+	}
+	defer ref.srv.Close()
+	refBase := "http://" + ref.addr
+
+	rw, err := newResizeWorker(o)
+	if err != nil {
+		return st, err
+	}
+	defer rw.eng.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	for r := 0; r < st.KillAfter; r++ {
+		if err := rw.round(client, base, refBase); err != nil {
+			return st, err
+		}
+	}
+
+	// Kill replica 0; its address stays ours for the revival below.
+	reps[0].srv.Close()
+
+	// Mid-chain push with one owner down: quorum is 1 of 2, so this must
+	// succeed — the surviving owner folds the delta, the ack is 200.
+	err = rw.round(client, base, refBase)
+	st.PushOnQuorum = err == nil
+	if err != nil {
+		return st, nil
+	}
+	if st.DegradedServed, err = querySweepIdentical(client, base, refBase, rw.keys); err != nil {
+		return st, err
+	}
+
+	// Revive replica 0 on the SAME address, fresh and EMPTY — the worst
+	// case. The probe reinstates it; the resync replays its slots from the
+	// surviving peer; /healthz goes "ok" only when it is live AND clean.
+	revived, err := serveResize(reps[0].addr, aggsrv.New(nil).Handler())
+	if err != nil {
+		return st, fmt.Errorf("revive replica 0: %w", err)
+	}
+	defer revived.srv.Close()
+	reinstate := time.Now()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) && !st.Resynced {
+		resp, err := client.Get(base + "/healthz")
+		if err != nil {
+			return st, err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var h aggsrv.FaninHealth
+		if json.Unmarshal(body, &h) == nil && h.Status == "ok" {
+			st.Resynced = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st.ResyncLatency = time.Since(reinstate)
+	if !st.Resynced {
+		return st, nil
+	}
+
+	// The rebuilt replica answers its OWN /snapshot bit-identically to the
+	// reference — the resync restored the lost copy exactly, cursors
+	// included.
+	gotReplica, err := httpSnapshotBytes(client, "http://"+revived.addr)
+	if err != nil {
+		return st, err
+	}
+	want, err := httpSnapshotBytes(client, refBase)
+	if err != nil {
+		return st, err
+	}
+	st.ReplicaIdentical = bytes.Equal(gotReplica, want)
+
+	// Finish the chain on both: the next deltas fold on BOTH replicas with
+	// no re-bootstrap.
+	for r := st.KillAfter; r < o.Rounds; r++ {
+		if err := rw.round(client, base, refBase); err != nil {
+			return st, err
+		}
+	}
+	got, err := httpSnapshotBytes(client, base)
+	if err != nil {
+		return st, err
+	}
+	want, err = httpSnapshotBytes(client, refBase)
+	if err != nil {
+		return st, err
+	}
+	st.FinalIdentical = bytes.Equal(got, want)
+	return st, nil
+}
+
+// resizeGrowStats is the live-growth phase's half of the report.
+type resizeGrowStats struct {
+	SlotsMoved     int  `json:"slots_moved"`
+	MidIdentical   bool `json:"mid_identical"`
+	MovedOnly      bool `json:"moved_only"`
+	TableFlipped   bool `json:"table_flipped"`
+	FinalIdentical bool `json:"final_identical"`
+}
+
+// resizeGrow runs the growth phase: an N=2 slot table over three live
+// replicas, grown to N=3 by moving the third replica's canonical slot
+// share one slot at a time, interleaved with the worker's delta rounds.
+func resizeGrow(o resizeOptions) (resizeGrowStats, error) {
+	var st resizeGrowStats
+	initial, err := qlove.NewSlotMap(2, 1)
+	if err != nil {
+		return st, err
+	}
+	reps := make([]resizeReplica, 3)
+	urls := make([]string, 3)
+	for i := range reps {
+		r, err := serveResize("127.0.0.1:0", aggsrv.New(nil).Handler())
+		if err != nil {
+			return st, err
+		}
+		reps[i] = r
+		urls[i] = "http://" + r.addr
+		defer r.srv.Close()
+	}
+	fanin, err := aggsrv.NewFaninConfig(aggsrv.FaninConfig{
+		Replicas: urls,
+		Slots:    initial,
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		return st, err
+	}
+	defer fanin.Close()
+	router, err := serveResize("127.0.0.1:0", fanin.Handler())
+	if err != nil {
+		return st, err
+	}
+	defer router.srv.Close()
+	base := "http://" + router.addr
+	ref, err := serveResize("127.0.0.1:0", aggsrv.New(nil).Handler())
+	if err != nil {
+		return st, err
+	}
+	defer ref.srv.Close()
+	refBase := "http://" + ref.addr
+
+	rw, err := newResizeWorker(o)
+	if err != nil {
+		return st, err
+	}
+	defer rw.eng.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// The slots to re-home: the new replica's canonical share.
+	var toMove []int
+	for s := 0; s < qlove.Slots; s++ {
+		if s%3 == 2 {
+			toMove = append(toMove, s)
+		}
+	}
+	moved := map[int]bool{}
+	moveOne := func(slot int) error {
+		resp, err := client.Post(fmt.Sprintf("%s/slots/move?slot=%d&to=2", base, slot), "", nil)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("move slot %d: %s: %s", slot, resp.Status, body)
+		}
+		moved[slot] = true
+		return nil
+	}
+
+	// Interleave: one delta round, then a batch of slot moves, then a
+	// query sweep — the chain keeps folding while the tier is resizing.
+	st.MidIdentical = true
+	batch := (len(toMove) + o.Rounds - 1) / o.Rounds
+	next := 0
+	for r := 0; r < o.Rounds; r++ {
+		if err := rw.round(client, base, refBase); err != nil {
+			return st, err
+		}
+		for i := 0; i < batch && next < len(toMove); i++ {
+			if err := moveOne(toMove[next]); err != nil {
+				return st, err
+			}
+			next++
+		}
+		same, err := querySweepIdentical(client, base, refBase, rw.keys)
+		if err != nil {
+			return st, err
+		}
+		st.MidIdentical = st.MidIdentical && same
+	}
+	for next < len(toMove) {
+		if err := moveOne(toMove[next]); err != nil {
+			return st, err
+		}
+		next++
+	}
+	st.SlotsMoved = len(moved)
+
+	// Slot-level diff: every key lives exactly on its expected replica —
+	// moved slots on the new replica, the rest untouched.
+	st.MovedOnly = true
+	for _, key := range rw.keys {
+		s := qlove.SlotOf(key)
+		owner := s % 2
+		if moved[s] {
+			owner = 2
+		}
+		for i := range reps {
+			resp, err := client.Get(urls[i] + "/query?key=" + url.QueryEscape(key))
+			if err != nil {
+				return st, err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if (resp.StatusCode == http.StatusOK) != (i == owner) {
+				st.MovedOnly = false
+			}
+		}
+	}
+
+	// The router's table reflects every move.
+	resp, err := client.Get(base + "/slots")
+	if err != nil {
+		return st, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var report aggsrv.SlotsReport
+	if err := json.Unmarshal(body, &report); err != nil {
+		return st, fmt.Errorf("/slots: %w: %s", err, body)
+	}
+	st.TableFlipped = true
+	for s := 0; s < qlove.Slots; s++ {
+		want := s % 2
+		if moved[s] {
+			want = 2
+		}
+		if report.Map.Primary(s) != want {
+			st.TableFlipped = false
+		}
+	}
+
+	// One more round after the migration (cursor continuity), then the
+	// final identity gate.
+	if err := rw.round(client, base, refBase); err != nil {
+		return st, err
+	}
+	got, err := httpSnapshotBytes(client, base)
+	if err != nil {
+		return st, err
+	}
+	want, err := httpSnapshotBytes(client, refBase)
+	if err != nil {
+		return st, err
+	}
+	st.FinalIdentical = bytes.Equal(got, want)
+	return st, nil
+}
+
+// resizeExperiment prints both phases as text, failing unless every
+// verdict holds.
+func resizeExperiment(w io.Writer, o resizeOptions) error {
+	verdict := func(ok bool) string {
+		if ok {
+			return "ok"
+		}
+		return "FAIL"
+	}
+	bitVerdict := func(ok bool) string {
+		if ok {
+			return "bit-identical"
+		}
+		return "MISMATCH"
+	}
+	fmt.Fprintf(w, "resize: quorum fan-out and live slot migration (seed %d)\n", o.Seed)
+	fmt.Fprintf(w, "  quorum: 2 full-copy replicas (replication 2), replica 0 killed after round %d of %d\n",
+		o.Rounds/2, o.Rounds)
+	qst, err := resizeQuorum(o)
+	if err != nil {
+		return fmt.Errorf("quorum phase: %w", err)
+	}
+	fmt.Fprintf(w, "    mid-chain push with one owner down (quorum 1/2): %s\n", verdict(qst.PushOnQuorum))
+	fmt.Fprintf(w, "    degraded queries fail over to the survivor: %s\n", bitVerdict(qst.DegradedServed))
+	fmt.Fprintf(w, "    empty revival resynced from peer: %s (%v)\n",
+		verdict(qst.Resynced), qst.ResyncLatency.Round(time.Millisecond))
+	fmt.Fprintf(w, "    rebuilt replica /snapshot vs reference: %s\n", bitVerdict(qst.ReplicaIdentical))
+	fmt.Fprintf(w, "    resumed chains, final view vs reference: %s\n", bitVerdict(qst.FinalIdentical))
+	fmt.Fprintf(w, "  grow: slot table spanning 2 of 3 replicas, third grown in under load\n")
+	gst, err := resizeGrow(o)
+	if err != nil {
+		return fmt.Errorf("grow phase: %w", err)
+	}
+	fmt.Fprintf(w, "    slots moved live: %d\n", gst.SlotsMoved)
+	fmt.Fprintf(w, "    queries during migration vs reference: %s\n", bitVerdict(gst.MidIdentical))
+	fmt.Fprintf(w, "    only the moved slots changed replica: %s\n", verdict(gst.MovedOnly))
+	fmt.Fprintf(w, "    /slots table reflects every move: %s\n", verdict(gst.TableFlipped))
+	fmt.Fprintf(w, "    post-migration chain, final view vs reference: %s\n", bitVerdict(gst.FinalIdentical))
+	if !qst.PushOnQuorum || !qst.DegradedServed || !qst.Resynced || !qst.ReplicaIdentical || !qst.FinalIdentical {
+		return fmt.Errorf("quorum phase did not behave as specified")
+	}
+	if !gst.MidIdentical || !gst.MovedOnly || !gst.TableFlipped || !gst.FinalIdentical {
+		return fmt.Errorf("grow phase diverged during live migration")
+	}
+	return nil
+}

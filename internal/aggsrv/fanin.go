@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,45 +21,67 @@ import (
 )
 
 // Fanin is the out-of-process horizontal tier: an HTTP router over N
-// remote aggregator replica servers, each owning the logical keys that
-// hash to it (the same qlove.PartitionOf hash the in-process Partitioned
-// uses, so any router instance partitions identically).
+// remote aggregator replica servers hosting the qlove.Slots hash slots of
+// the key space under a qlove.SlotMap (the same slot hash the in-process
+// Partitioned uses, so any router instance partitions identically). Each
+// slot has Replication owners holding full copies of its state; the
+// default map at replication 1 routes exactly like the old PartitionOf
+// modulo, so a single-copy tier behaves unchanged.
 //
 // It serves the same endpoints as Server:
 //
 //   - /push splits the worker's blob frame-by-frame — bit-verbatim, via
-//     the wire raw scanner — and forwards each frame to its owner IN
-//     PARALLEL; every reachable replica receives a push (empty for
+//     the wire raw scanner — and forwards each frame to EVERY owner of its
+//     slot IN PARALLEL; every reachable replica receives a push (empty for
 //     non-owners) so worker liveness and push deadlines stay coherent
-//     partition-wide. A failing replica never blocks delivery to the
-//     others: the response is 200 with the summed ack when every replica
-//     applied, or 502 with a body naming exactly which replicas failed.
-//   - /query proxies to the key's single owner, response bytes untouched;
+//     partition-wide. The push succeeds when every slot that carried
+//     frames was applied by at least Quorum of its owners; otherwise it
+//     502s naming the failed replicas and slots. An owner that missed
+//     frames is marked dirty and resynced in the background (below).
+//   - /query proxies to the key's primary owner, response bytes untouched;
 //     transport errors and 5xx are retried with exponential backoff +
-//     jitter (queries are idempotent reads), and when the owner has a
-//     configured mirror the read hedges there after HedgeDelay — or goes
-//     straight to the mirror while the owner is ejected.
-//   - /snapshot fans out in parallel, then merge-sorts the replicas'
-//     disjoint, per-replica-sorted key arrays — each key's JSON element
+//     jitter (queries are idempotent reads), and the read fails over /
+//     hedges across the slot's remaining owners — clean live owners
+//     first, then dirty ones (stale beats absent), then ejected ones.
+//   - /snapshot fans out in parallel, then reads each key from its slot's
+//     first preferred owner that answered — each key's JSON element
 //     relayed verbatim, so estimates remain bit-identical to the owning
 //     replica's. With every replica healthy the output is byte-identical
 //     to a single-process server; with some unreachable it degrades to
-//     the reachable keys plus a "degraded" field naming the losses, and
+//     the covered keys plus a "degraded" field naming the losses, and
 //     502s only when NO replica answered.
 //   - /healthz probes every replica and reports per-replica status
-//     (ok/down, consecutive failures) alongside the aggregate counts;
-//     the aggregate status is "degraded" while any replica is down.
+//     (ok/down, dirty, consecutive failures) plus per-slot coverage (how
+//     many slots have all / some / none of their owners live); the
+//     aggregate status is "degraded" while any replica is down or dirty.
 //   - /metrics aggregates across replicas, tolerating outages per-replica.
+//   - /slots reports the live slot table (owners per slot, quorum).
+//   - /slots/move?slot=S&to=R (POST) migrates one slot live: the slot's
+//     state is exported from a clean owner, replayed onto the new owner,
+//     and the table flips — all under the router's write lock, so
+//     concurrent pushes and reads drain first and resume against the new
+//     table. Growing a tier N→N+1 is a handful of moves, not a reshuffle.
 //
 // Replica health: FailThreshold consecutive failures (transport errors or
-// 5xx) eject a replica — pushes skip it and queries prefer its mirror —
-// and a background prober reinstates it as soon as its /healthz answers
-// again. Close stops the prober.
+// 5xx) eject a replica — pushes skip it and reads prefer its peers — and
+// a background prober reinstates it as soon as its /healthz answers
+// again. A replica that missed frames for a slot it owns (ejected during
+// a push, or its cursor rejected a delta) is marked DIRTY: reads prefer
+// clean owners, and the prober resyncs each dirty replica's slots from a
+// clean live owner (slot export → replay), clearing the flag when every
+// owned slot has been repaired. Close stops the prober.
 type Fanin struct {
 	cfg    FaninConfig
 	reps   []*faninReplica
 	client *http.Client
 	mux    *http.ServeMux
+
+	// mu guards the slot table. Read-held across /push fan-out and reads,
+	// write-held across /slots/move — so a migration drains in-flight
+	// traffic, flips, and lets it resume against the new table: no frame
+	// can land at an old owner after its slot moved.
+	mu    sync.RWMutex
+	slots *qlove.SlotMap
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -70,11 +93,20 @@ type FaninConfig struct {
 	// partition. Duplicates (after trailing-slash normalization) are
 	// rejected — two identical owners would silently split one partition.
 	Replicas []string
-	// Mirrors optionally names a read mirror per replica (same length as
-	// Replicas; empty entries mean no mirror). A mirror serves the same
-	// partition's data — /query hedges to it after HedgeDelay, and reads
-	// go straight to it while its primary is ejected.
-	Mirrors []string
+	// Replication is the copies-per-slot factor, in [1, len(Replicas)];
+	// 0 means 1 (no replication). Ignored when Slots is set (the map
+	// carries its own factor).
+	Replication int
+	// Quorum is how many of a slot's owners must apply a push's frames
+	// for the slot to count as delivered, in [1, Replication]; 0 means
+	// ⌈Replication/2⌉ — a strict majority for odd factors, half for even
+	// ones, so an R=2 pair keeps accepting writes when one replica dies.
+	Quorum int
+	// Slots optionally seeds a non-canonical slot table (it is cloned;
+	// owner indices must be < len(Replicas)). Nil builds the canonical
+	// qlove.NewSlotMap(len(Replicas), Replication), whose primaries
+	// follow PartitionOf.
+	Slots *qlove.SlotMap
 	// Client overrides the HTTP client. nil builds one with Timeout as
 	// both the connect and the full per-request deadline — never
 	// http.DefaultClient, whose missing timeout lets one wedged replica
@@ -89,31 +121,51 @@ type FaninConfig struct {
 	// have applied frames before failing mid-response.
 	Retries int
 	// RetryBackoff is the base backoff before the first retry; each
-	// retry doubles it and adds up to 50% jitter (<= 0 means 25ms).
+	// retry doubles it — capped at maxRetryBackoff — and adds up to 50%
+	// jitter (<= 0 means 25ms).
 	RetryBackoff time.Duration
-	// HedgeDelay is how long /query waits on the owner before also asking
-	// its mirror, first answer wins (<= 0 means 100ms). Only meaningful
-	// with Mirrors.
+	// HedgeDelay is how long a read waits on one owner before also asking
+	// the slot's next owner, first answer wins (<= 0 means 100ms). Only
+	// meaningful at Replication >= 2.
 	HedgeDelay time.Duration
 	// FailThreshold is how many consecutive failures eject a replica
 	// (<= 0 means 3).
 	FailThreshold int
 	// ProbeInterval is how often the background prober re-checks ejected
-	// replicas for reinstatement (<= 0 means 1s).
+	// replicas for reinstatement and resyncs dirty ones (<= 0 means 1s).
 	ProbeInterval time.Duration
 }
 
 // faninReplica is one replica's address and live health state.
 type faninReplica struct {
-	url    string
-	mirror string // "" = none
-	fails  atomic.Int32
-	down   atomic.Bool
+	url   string
+	fails atomic.Int32
+	down  atomic.Bool
+	// dirty marks state-divergence: the replica missed a push carrying
+	// frames for a slot it owns (ejected, transport failure, or its
+	// cursor rejected the delta). Reads prefer clean owners; the prober
+	// resyncs dirty replicas from clean ones and clears the flag.
+	dirty atomic.Bool
 }
 
+// maxRetryBackoff caps the exponential retry backoff: past a couple of
+// seconds a bigger wait only delays the failure verdict, and an unbounded
+// shift eventually overflows time.Duration into a negative value (which
+// used to panic the jitter draw).
+const maxRetryBackoff = 2 * time.Second
+
+// maxReplicaBody caps how much of a replica response the router will
+// buffer (same ceiling as a push body); a misbehaving replica is a failed
+// replica, not an OOM.
+const maxReplicaBody = maxPushBody
+
+// maxAckBody caps a push/drop acknowledgement body — a small JSON
+// document; anything near the cap is garbage.
+const maxAckBody = 1 << 20
+
 // NewFanin returns a router over the replica base URLs with default
-// resilience settings. client nil means a default client WITH timeouts
-// (never http.DefaultClient).
+// resilience settings (replication 1). client nil means a default client
+// WITH timeouts (never http.DefaultClient).
 func NewFanin(urls []string, client *http.Client) (*Fanin, error) {
 	return NewFaninConfig(FaninConfig{Replicas: urls, Client: client})
 }
@@ -122,10 +174,6 @@ func NewFanin(urls []string, client *http.Client) (*Fanin, error) {
 func NewFaninConfig(cfg FaninConfig) (*Fanin, error) {
 	if len(cfg.Replicas) == 0 {
 		return nil, fmt.Errorf("aggsrv: fan-in needs at least one replica URL")
-	}
-	if len(cfg.Mirrors) != 0 && len(cfg.Mirrors) != len(cfg.Replicas) {
-		return nil, fmt.Errorf("aggsrv: %d mirrors for %d replicas (must match, empty entries allowed)",
-			len(cfg.Mirrors), len(cfg.Replicas))
 	}
 	normalize := func(u string) (string, error) {
 		parsed, err := url.Parse(u)
@@ -155,6 +203,39 @@ func NewFaninConfig(cfg FaninConfig) (*Fanin, error) {
 		cfg.ProbeInterval = time.Second
 	}
 
+	// The slot table: canonical for the configured replication factor, or
+	// the caller's own (a resize-in-progress layout, a recovered table).
+	if cfg.Slots != nil {
+		if cfg.Replication != 0 && cfg.Replication != cfg.Slots.Replication() {
+			return nil, fmt.Errorf("aggsrv: slot map replication %d, config says %d", cfg.Slots.Replication(), cfg.Replication)
+		}
+		cfg.Replication = cfg.Slots.Replication()
+		if max := cfg.Slots.MaxReplica(); max >= len(cfg.Replicas) {
+			return nil, fmt.Errorf("aggsrv: slot map references replica %d, only %d configured", max, len(cfg.Replicas))
+		}
+	}
+	if cfg.Replication == 0 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication < 0 || cfg.Replication > len(cfg.Replicas) {
+		return nil, fmt.Errorf("aggsrv: replication factor %d outside [1, %d replicas]", cfg.Replication, len(cfg.Replicas))
+	}
+	if cfg.Quorum == 0 {
+		cfg.Quorum = (cfg.Replication + 1) / 2
+	}
+	if cfg.Quorum < 0 || cfg.Quorum > cfg.Replication {
+		return nil, fmt.Errorf("aggsrv: quorum %d outside [1, replication %d]", cfg.Quorum, cfg.Replication)
+	}
+	slots := cfg.Slots
+	if slots == nil {
+		var err error
+		if slots, err = qlove.NewSlotMap(len(cfg.Replicas), cfg.Replication); err != nil {
+			return nil, err
+		}
+	} else {
+		slots = slots.Clone()
+	}
+
 	reps := make([]*faninReplica, len(cfg.Replicas))
 	seen := make(map[string]struct{}, len(cfg.Replicas))
 	for i, u := range cfg.Replicas {
@@ -167,11 +248,6 @@ func NewFaninConfig(cfg FaninConfig) (*Fanin, error) {
 		}
 		seen[clean] = struct{}{}
 		reps[i] = &faninReplica{url: clean}
-		if len(cfg.Mirrors) != 0 && cfg.Mirrors[i] != "" {
-			if reps[i].mirror, err = normalize(cfg.Mirrors[i]); err != nil {
-				return nil, fmt.Errorf("aggsrv: replica %d mirror: %w", i, err)
-			}
-		}
 	}
 
 	client := cfg.Client
@@ -192,12 +268,14 @@ func NewFaninConfig(cfg FaninConfig) (*Fanin, error) {
 		}
 	}
 
-	f := &Fanin{cfg: cfg, reps: reps, client: client, mux: http.NewServeMux(), stop: make(chan struct{})}
+	f := &Fanin{cfg: cfg, reps: reps, client: client, mux: http.NewServeMux(), slots: slots, stop: make(chan struct{})}
 	f.mux.HandleFunc("/push", f.handlePush)
 	f.mux.HandleFunc("/query", f.handleQuery)
 	f.mux.HandleFunc("/snapshot", f.handleSnapshot)
 	f.mux.HandleFunc("/healthz", f.handleHealthz)
 	f.mux.HandleFunc("/metrics", f.handleMetrics)
+	f.mux.HandleFunc("/slots", f.handleSlots)
+	f.mux.HandleFunc("/slots/move", f.handleSlotMove)
 	go f.probeLoop()
 	return f, nil
 }
@@ -214,6 +292,13 @@ func (f *Fanin) Replicas() []string {
 	return out
 }
 
+// SlotTable returns a copy of the current slot→owners table.
+func (f *Fanin) SlotTable() *qlove.SlotMap {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.slots.Clone()
+}
+
 // Close stops the background health prober. The router keeps serving
 // (ejected replicas just stop being reinstated automatically).
 func (f *Fanin) Close() error {
@@ -221,21 +306,11 @@ func (f *Fanin) Close() error {
 	return nil
 }
 
-func (f *Fanin) owner(base string) int { return qlove.PartitionOf(base, len(f.reps)) }
-
-// logicalBase strips a salted sub-stream suffix ("key\x00<j>") so salted
-// frames route with their base key, keeping whole salt groups on one
-// replica.
-func logicalBase(key string) string {
-	if i := strings.IndexByte(key, 0); i >= 0 {
-		return key[:i]
-	}
-	return key
-}
-
 // record folds one request outcome into the replica's health: a success
 // clears the failure streak and reinstates; FailThreshold consecutive
-// failures eject.
+// failures eject. Ejection marks the replica dirty — while it is
+// unreachable it misses pushes for slots it owns, so its state must be
+// assumed stale until resynced.
 func (f *Fanin) record(rep *faninReplica, ok bool) {
 	if ok {
 		rep.fails.Store(0)
@@ -243,12 +318,16 @@ func (f *Fanin) record(rep *faninReplica, ok bool) {
 		return
 	}
 	if int(rep.fails.Add(1)) >= f.cfg.FailThreshold {
-		rep.down.Store(true)
+		if !rep.down.Swap(true) {
+			rep.dirty.Store(true)
+		}
 	}
 }
 
-// probeLoop reinstates ejected replicas: every ProbeInterval, each down
-// replica's /healthz is probed, and a 200 brings it back.
+// probeLoop reinstates ejected replicas and repairs dirty ones: every
+// ProbeInterval, each down replica's /healthz is probed (a 200 brings it
+// back), then each live dirty replica's owned slots are resynced from
+// clean live owners.
 func (f *Fanin) probeLoop() {
 	t := time.NewTicker(f.cfg.ProbeInterval)
 	defer t.Stop()
@@ -265,16 +344,106 @@ func (f *Fanin) probeLoop() {
 			status, _, err := f.fetch(rep.url, "/healthz")
 			f.record(rep, err == nil && status == http.StatusOK)
 		}
+		for i, rep := range f.reps {
+			if rep.down.Load() || !rep.dirty.Load() {
+				continue
+			}
+			f.resync(i, rep)
+		}
 	}
 }
 
-// fetch GETs one replica path, returning status and body.
+// resync repairs one live dirty replica: every slot it owns is
+// re-exported from a clean live co-owner and replayed (drop, then
+// bootstrap frames), and the dirty flag clears once every owned slot
+// either resynced or has no clean source to resync from (a slot whose
+// every other owner is down or dirty has nothing better to copy — the
+// replica's own state is as good as it gets).
+//
+// Replays race concurrent worker pushes benignly: a push landing between
+// export and replay re-applies on top of the replayed bootstrap state via
+// its normal delta cursor, or is rejected and re-marks the replica dirty
+// for the next probe tick. A slot moved away mid-resync leaves a stray
+// replayed copy behind; reads filter by the live table, so a stray is
+// wasted memory until the next migration drop, never a wrong answer.
+func (f *Fanin) resync(i int, rep *faninReplica) {
+	f.mu.RLock()
+	table := f.slots.Clone()
+	f.mu.RUnlock()
+	// Group this replica's owned slots by their first clean live co-owner.
+	// A slot with no such co-owner has no better copy anywhere (every
+	// other owner is down or itself dirty) — the replica's own state is as
+	// good as it gets, so the slot needs no repair.
+	bySource := make(map[*faninReplica][]int)
+	for _, s := range table.SlotsOwnedBy(i) {
+		for _, o := range table.Owners(s) {
+			if o == i {
+				continue
+			}
+			if cand := f.reps[o]; !cand.down.Load() && !cand.dirty.Load() {
+				bySource[cand] = append(bySource[cand], s)
+				break
+			}
+		}
+	}
+	for src, slots := range bySource {
+		if err := f.replaySlots(src, rep, slots); err != nil {
+			return // stay dirty; the next probe tick retries
+		}
+	}
+	// Every repairable slot was repaired: the replica serves reads again.
+	// (A push racing the replay may re-mark it dirty — the next tick
+	// converges; repair is eventually consistent, reads prefer clean
+	// owners meanwhile.)
+	rep.dirty.Store(false)
+}
+
+// replaySlots copies the given slots' state from replica src to replica
+// dst: export from src, drop dst's (possibly stale) resident state for
+// those slots, then replay the per-worker bootstrap blobs.
+func (f *Fanin) replaySlots(src, dst *faninReplica, slots []int) error {
+	parts := make([]string, len(slots))
+	for i, s := range slots {
+		parts[i] = strconv.Itoa(s)
+	}
+	q := "?slots=" + strings.Join(parts, ",")
+	status, body, err := f.fetch(src.url, "/slots/export"+q)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("export status %d", status)
+	}
+	var exp SlotExport
+	if err := json.Unmarshal(body, &exp); err != nil {
+		return fmt.Errorf("bad export: %w", err)
+	}
+	// Drop before replay: a sub-stream bootstrap frame replaces only its
+	// own sub-stream, so stale siblings at dst must go first.
+	if status, _, err := f.post(dst.url, "/slots/drop"+q, nil); err != nil || status != http.StatusOK {
+		return fmt.Errorf("drop status %d: %v", status, err)
+	}
+	for _, wb := range exp.Workers {
+		status, rb, err := f.post(dst.url, "/push?worker="+url.QueryEscape(wb.Worker), wb.Blob)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("replay worker %q status %d: %s", wb.Worker, status, bytes.TrimSpace(rb))
+		}
+	}
+	return nil
+}
+
+// fetch GETs one replica path, returning status and a bounded body; a
+// response past maxReplicaBody is an error (a replica failure), not an
+// unbounded buffer.
 func (f *Fanin) fetch(base, path string) (int, []byte, error) {
 	resp, err := f.client.Get(base + path)
 	if err != nil {
 		return 0, nil, err
 	}
-	body, err := io.ReadAll(resp.Body)
+	body, err := readBounded(resp.Body, maxReplicaBody)
 	resp.Body.Close()
 	if err != nil {
 		return 0, nil, err
@@ -282,10 +451,56 @@ func (f *Fanin) fetch(base, path string) (int, []byte, error) {
 	return resp.StatusCode, body, nil
 }
 
+// post POSTs one replica path, returning status and a bounded ack body.
+func (f *Fanin) post(base, path string, body []byte) (int, []byte, error) {
+	resp, err := f.client.Post(base+path, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	rb, err := readBounded(resp.Body, maxAckBody)
+	resp.Body.Close()
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, rb, nil
+}
+
+// readBounded reads r up to limit bytes; anything longer is an error.
+func readBounded(r io.Reader, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("response exceeds the %d-byte cap", limit)
+	}
+	return body, nil
+}
+
+// retryBackoff is the pre-jitter backoff before retry `attempt`: base
+// doubled per attempt, clamped to maxRetryBackoff. The clamp also guards
+// the shift itself — a large attempt count would overflow time.Duration
+// negative, and a negative bound panics the jitter draw.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	for ; attempt > 0; attempt-- {
+		base <<= 1
+		if base >= maxRetryBackoff || base <= 0 {
+			return maxRetryBackoff
+		}
+	}
+	if base > maxRetryBackoff {
+		return maxRetryBackoff
+	}
+	return base
+}
+
 // fetchRetry is fetch with the idempotent-read retry policy: transport
-// errors and 5xx retry up to Retries times with doubling backoff + jitter;
-// every attempt's outcome feeds the replica's health. 4xx pass straight
-// through — they are the replica's answer, not its failure.
+// errors and 5xx retry up to Retries times with doubling capped backoff +
+// jitter; every attempt's outcome feeds the replica's health. 4xx pass
+// straight through — they are the replica's answer, not its failure.
 func (f *Fanin) fetchRetry(rep *faninReplica, path string) (int, []byte, error) {
 	var (
 		status int
@@ -299,8 +514,10 @@ func (f *Fanin) fetchRetry(rep *faninReplica, path string) (int, []byte, error) 
 		if ok || attempt >= f.cfg.Retries {
 			return status, body, err
 		}
-		backoff := f.cfg.RetryBackoff << attempt
-		backoff += time.Duration(rand.Int63n(int64(backoff/2) + 1))
+		backoff := retryBackoff(f.cfg.RetryBackoff, attempt)
+		if half := int64(backoff / 2); half > 0 {
+			backoff += time.Duration(rand.Int63n(half + 1))
+		}
 		select {
 		case <-f.stop:
 			return status, body, err
@@ -320,15 +537,16 @@ type FaninPushOutcome struct {
 	Keys   int    `json:"keys,omitempty"`
 }
 
-// FaninPushError is the 502 body when any replica failed: the replicas
-// that failed by name, plus every replica's outcome. Frames delivered to
-// the replicas that DID apply remain applied (the worker's next delta
-// against a replica that missed frames is rejected there, and the worker
-// re-bootstraps — exactly the lost-blob path).
+// FaninPushError is the 502 body when any slot that carried frames missed
+// its quorum: the replicas that failed by name, the under-quorum slots,
+// plus every replica's outcome. Frames delivered to the replicas that DID
+// apply remain applied; owners that missed frames are dirty and resync in
+// the background.
 type FaninPushError struct {
-	Error    string             `json:"error"`
-	Failed   []string           `json:"failed"`
-	Outcomes []FaninPushOutcome `json:"outcomes"`
+	Error       string             `json:"error"`
+	Failed      []string           `json:"failed"`
+	FailedSlots []int              `json:"failed_slots,omitempty"`
+	Outcomes    []FaninPushOutcome `json:"outcomes"`
 }
 
 func (f *Fanin) handlePush(w http.ResponseWriter, r *http.Request) {
@@ -346,9 +564,17 @@ func (f *Fanin) handlePush(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "read push body: %v", err)
 		return
 	}
+	// The slot table is read-held across routing AND delivery: a slot
+	// migration (write lock) drains in-flight pushes first, so no frame
+	// routed against the old table lands after the flip.
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	// Route the whole blob before forwarding anything: a malformed blob is
-	// rejected with zero frames applied anywhere.
+	// rejected with zero frames applied anywhere. Each frame goes to every
+	// owner of its slot.
 	parts := make([]bytes.Buffer, len(f.reps))
+	slotFrames := make(map[int]int) // slot -> frames routed
+	frames := 0
 	sc := wire.NewRawScanner(bytes.NewReader(body))
 	for {
 		_, key, frame, err := sc.Next()
@@ -359,7 +585,12 @@ func (f *Fanin) handlePush(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "scan push blob: %v", err)
 			return
 		}
-		parts[f.owner(logicalBase(key))].Write(frame)
+		slot := qlove.SlotOf(key)
+		slotFrames[slot]++
+		frames++
+		for _, o := range f.slots.Owners(slot) {
+			parts[o].Write(frame)
+		}
 	}
 	// Fan out to every replica IN PARALLEL — one slow or dead replica never
 	// blocks delivery to the others, and every replica's outcome is
@@ -377,20 +608,17 @@ func (f *Fanin) handlePush(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, rep *faninReplica) {
 			defer wg.Done()
-			resp, err := f.client.Post(rep.url+"/push?worker="+url.QueryEscape(worker),
-				"application/octet-stream", bytes.NewReader(parts[i].Bytes()))
+			status, rb, err := f.post(rep.url, "/push?worker="+url.QueryEscape(worker), parts[i].Bytes())
 			if err != nil {
 				f.record(rep, false)
 				out.Error = err.Error()
 				return
 			}
-			rb, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
 			// Health counts transport failures and 5xx; a 4xx is the
 			// replica answering (e.g. a rejected cursor), not it failing.
-			f.record(rep, resp.StatusCode < 500)
-			if resp.StatusCode != http.StatusOK {
-				out.Error = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+			f.record(rep, status < 500)
+			if status != http.StatusOK {
+				out.Error = fmt.Sprintf("status %d: %s", status, bytes.TrimSpace(rb))
 				return
 			}
 			var pr PushResult
@@ -404,21 +632,46 @@ func (f *Fanin) handlePush(w http.ResponseWriter, r *http.Request) {
 		}(i, rep)
 	}
 	wg.Wait()
-	frames, keys := 0, 0
-	var failed []string
-	for _, out := range outcomes {
-		if out.OK {
-			frames += out.Frames
-			keys += out.Keys // replica key sets are disjoint: the sum is the total
-		} else {
-			failed = append(failed, out.URL)
+	// Quorum accounting, per slot that carried frames: the push succeeds
+	// when every such slot was applied by at least Quorum of its owners.
+	// An owner that missed its slot's frames — ejected, transport failure,
+	// rejected delta — now holds stale state: mark it dirty so reads avoid
+	// it and the prober resyncs it.
+	var failedSlots []int
+	for slot := range slotFrames {
+		acked := 0
+		for _, o := range f.slots.Owners(slot) {
+			if outcomes[o].OK {
+				acked++
+			} else {
+				f.reps[o].dirty.Store(true)
+			}
+		}
+		if acked < f.cfg.Quorum {
+			failedSlots = append(failedSlots, slot)
 		}
 	}
-	if len(failed) > 0 {
+	sort.Ints(failedSlots)
+	var failed []string
+	keys := 0
+	for i, out := range outcomes {
+		if !out.OK {
+			failed = append(failed, f.reps[i].url)
+			continue
+		}
+		if f.cfg.Replication == 1 {
+			keys += out.Keys // disjoint key sets: the sum is the total
+		} else if out.Keys > keys {
+			keys = out.Keys // overlapping sets: the max is a floor on the total
+		}
+	}
+	if len(failedSlots) > 0 {
 		writeJSON(w, http.StatusBadGateway, FaninPushError{
-			Error:    fmt.Sprintf("push failed at %d of %d replicas: %s", len(failed), len(f.reps), strings.Join(failed, ", ")),
-			Failed:   failed,
-			Outcomes: outcomes,
+			Error: fmt.Sprintf("push missed quorum %d on %d slots (%d of %d replicas failed: %s)",
+				f.cfg.Quorum, len(failedSlots), len(failed), len(f.reps), strings.Join(failed, ", ")),
+			Failed:      failed,
+			FailedSlots: failedSlots,
+			Outcomes:    outcomes,
 		})
 		return
 	}
@@ -433,33 +686,63 @@ type fetchResult struct {
 	err    error
 }
 
-// queryOwner answers one /query path from the owner replica, hedging to
-// its mirror: straight to the mirror while the owner is ejected, or after
-// HedgeDelay without an owner answer — first good answer wins.
-func (f *Fanin) queryOwner(rep *faninReplica, path string) fetchResult {
-	primary := func(ch chan<- fetchResult) {
-		s, b, e := f.fetchRetry(rep, path)
-		ch <- fetchResult{s, b, e}
+// readOrder returns the slot's owners in read-preference order: live
+// clean owners first (primary first within each class), then live dirty
+// ones (stale state beats no answer), then ejected ones (they may have
+// revived since the last probe).
+func (f *Fanin) readOrder(owners []int) []*faninReplica {
+	out := make([]*faninReplica, 0, len(owners))
+	for pass := 0; pass < 3; pass++ {
+		for _, o := range owners {
+			rep := f.reps[o]
+			var class int
+			switch {
+			case rep.down.Load():
+				class = 2
+			case rep.dirty.Load():
+				class = 1
+			}
+			if class == pass {
+				out = append(out, rep)
+			}
+		}
 	}
-	if rep.mirror == "" {
-		ch := make(chan fetchResult, 1)
-		primary(ch)
-		return <-ch
+	return out
+}
+
+// queryOwners answers one read path from the candidate owners, hedging:
+// the leader gets the full retry policy; each HedgeDelay without a good
+// answer — or a leader failing outright — launches the next candidate,
+// first good answer wins.
+func (f *Fanin) queryOwners(cands []*faninReplica, path string) fetchResult {
+	if len(cands) == 1 {
+		s, b, e := f.fetchRetry(cands[0], path)
+		return fetchResult{s, b, e}
 	}
-	mirror := func(ch chan<- fetchResult) {
-		s, b, e := f.fetch(rep.mirror, path)
-		ch <- fetchResult{s, b, e}
+	// The buffered channel lets late losers complete without leaking
+	// goroutines after we've already answered.
+	ch := make(chan fetchResult, len(cands))
+	launched := 0
+	launch := func() {
+		if launched >= len(cands) {
+			return
+		}
+		rep := cands[launched]
+		retry := launched == 0 // the leader retries; hedges get one shot
+		launched++
+		go func() {
+			if retry {
+				s, b, e := f.fetchRetry(rep, path)
+				ch <- fetchResult{s, b, e}
+				return
+			}
+			s, b, e := f.fetch(rep.url, path)
+			f.record(rep, e == nil && s < 500)
+			ch <- fetchResult{s, b, e}
+		}()
 	}
-	// The buffered channel lets a late loser complete without leaking its
-	// goroutine after we've already answered.
-	ch := make(chan fetchResult, 2)
-	first, second := primary, mirror
-	if rep.down.Load() {
-		first, second = mirror, primary // ejected owner: lead with the mirror
-	}
-	go first(ch)
+	launch()
 	pending := 1
-	hedged := false
 	var last fetchResult
 	timer := time.NewTimer(f.cfg.HedgeDelay)
 	defer timer.Stop()
@@ -471,19 +754,18 @@ func (f *Fanin) queryOwner(rep *faninReplica, path string) fetchResult {
 			if res.err == nil && res.status < 500 {
 				return res
 			}
-			// The leader failed outright: launch the hedge immediately
+			// The candidate failed outright: launch the next immediately
 			// rather than waiting out the delay.
-			if !hedged {
-				hedged = true
+			if launched < len(cands) {
+				launch()
 				pending++
-				go second(ch)
 			}
 		case <-timer.C:
-			if !hedged {
-				hedged = true
+			if launched < len(cands) {
+				launch()
 				pending++
-				go second(ch)
 			}
+			timer.Reset(f.cfg.HedgeDelay)
 		}
 	}
 	return last
@@ -498,10 +780,15 @@ func (f *Fanin) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "query needs ?key=")
 		return
 	}
-	rep := f.reps[f.owner(r.URL.Query().Get("key"))]
-	res := f.queryOwner(rep, "/query?"+r.URL.RawQuery)
+	// Read-held across the fetch: a slot move drains in-flight reads
+	// before flipping and dropping the old owner's copy, so a read routed
+	// to the old owner always still finds the data there.
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	cands := f.readOrder(f.slots.OwnersOf(r.URL.Query().Get("key")))
+	res := f.queryOwners(cands, "/query?"+r.URL.RawQuery)
 	if res.err != nil {
-		writeErr(w, http.StatusBadGateway, "replica %s: %v", rep.url, res.err)
+		writeErr(w, http.StatusBadGateway, "replica %s: %v", cands[len(cands)-1].url, res.err)
 		return
 	}
 	// Relay the owner's answer verbatim — bytes, status and all — so the
@@ -524,12 +811,10 @@ func (f *Fanin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "snapshot is GET-only")
 		return
 	}
-	type keyed struct {
-		key string
-		raw json.RawMessage
-	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	type repSnap struct {
-		keys []keyed
+		keys map[string]json.RawMessage
 		err  error
 	}
 	parts := make([]repSnap, len(f.reps))
@@ -542,12 +827,6 @@ func (f *Fanin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			if err == nil && status != http.StatusOK {
 				err = fmt.Errorf("status %d", status)
 			}
-			if err != nil && rep.mirror != "" {
-				// The partition's data survives on the mirror.
-				if ms, mb, merr := f.fetch(rep.mirror, "/snapshot"); merr == nil && ms == http.StatusOK {
-					status, body, err = ms, mb, nil
-				}
-			}
 			if err != nil {
 				parts[i].err = fmt.Errorf("replica %s: %w", rep.url, err)
 				return
@@ -557,6 +836,7 @@ func (f *Fanin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 				parts[i].err = fmt.Errorf("replica %s: bad snapshot: %w", rep.url, err)
 				return
 			}
+			parts[i].keys = make(map[string]json.RawMessage, len(sk.Keys))
 			for _, raw := range sk.Keys {
 				var k struct {
 					Key string `json:"key"`
@@ -565,29 +845,56 @@ func (f *Fanin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 					parts[i].err = fmt.Errorf("replica %s: bad key report: %w", rep.url, err)
 					return
 				}
-				parts[i].keys = append(parts[i].keys, keyed{key: k.Key, raw: raw})
+				parts[i].keys[k.Key] = raw
 			}
 		}(i, rep)
 	}
 	wg.Wait()
-	var all []keyed
 	var degraded []string
+	answered := make([]bool, len(f.reps))
 	for i, p := range parts {
 		if p.err != nil {
 			degraded = append(degraded, f.reps[i].url)
 			continue
 		}
-		all = append(all, p.keys...)
+		answered[i] = true
 	}
 	if len(degraded) == len(f.reps) {
 		writeErr(w, http.StatusBadGateway, "no replica answered /snapshot (%s)", strings.Join(degraded, ", "))
 		return
 	}
-	// Disjoint per-replica key sets: a global sort restores exactly the
-	// single-process /snapshot order. With every replica healthy the body
-	// below is byte-identical to a single-process server's; a degraded
-	// fan-out appends the unreachable replicas so the partial view is
-	// explicit, never silent.
+	// Each slot elects one snapshot source: its first read-preferred owner
+	// that answered. Every key then relays from its slot's source — so
+	// replicated copies dedupe, stray copies on non-owners are ignored,
+	// and with every replica healthy the body below is byte-identical to a
+	// single-process server's. A degraded fan-out appends the unreachable
+	// replicas so the partial view is explicit, never silent.
+	source := make([]int, qlove.Slots)
+	for s := 0; s < qlove.Slots; s++ {
+		source[s] = -1
+		for _, rep := range f.readOrder(f.slots.Owners(s)) {
+			idx := f.replicaIndex(rep)
+			if answered[idx] {
+				source[s] = idx
+				break
+			}
+		}
+	}
+	type keyed struct {
+		key string
+		raw json.RawMessage
+	}
+	var all []keyed
+	for i, p := range parts {
+		if !answered[i] {
+			continue
+		}
+		for k, raw := range p.keys {
+			if source[qlove.SlotOf(k)] == i {
+				all = append(all, keyed{key: k, raw: raw})
+			}
+		}
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -608,23 +915,162 @@ func (f *Fanin) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "]}\n")
 }
 
+// replicaIndex maps a replica back to its index.
+func (f *Fanin) replicaIndex(rep *faninReplica) int {
+	for i, r := range f.reps {
+		if r == rep {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- slots admin ---
+
+// SlotsReport is the /slots document: the live table plus the quorum the
+// router enforces.
+type SlotsReport struct {
+	Quorum int            `json:"quorum"`
+	Map    *qlove.SlotMap `json:"map"`
+}
+
+func (f *Fanin) handleSlots(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "slots is GET-only")
+		return
+	}
+	writeJSON(w, http.StatusOK, SlotsReport{Quorum: f.cfg.Quorum, Map: f.SlotTable()})
+}
+
+// SlotMoveResult acknowledges one live slot migration.
+type SlotMoveResult struct {
+	Slot    int    `json:"slot"`
+	From    int    `json:"from"`
+	To      int    `json:"to"`
+	Source  string `json:"source"`  // the replica the state was exported from
+	Workers int    `json:"workers"` // worker blobs replayed
+	Dropped bool   `json:"dropped"` // old owner's copy dropped (best-effort)
+}
+
+// handleSlotMove migrates one slot live: POST /slots/move?slot=S&to=R
+// (&from=F optional, default the slot's primary). The write lock is held
+// across export → replay → table flip → old-owner drop, so concurrent
+// pushes and reads drain first and resume against the new table — answers
+// stay bit-identical through the migration.
+func (f *Fanin) handleSlotMove(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "slots/move is POST-only")
+		return
+	}
+	q := r.URL.Query()
+	slot, err := strconv.Atoi(q.Get("slot"))
+	if err != nil || slot < 0 || slot >= qlove.Slots {
+		writeErr(w, http.StatusBadRequest, "need ?slot= in [0, %d)", qlove.Slots)
+		return
+	}
+	to, err := strconv.Atoi(q.Get("to"))
+	if err != nil || to < 0 || to >= len(f.reps) {
+		writeErr(w, http.StatusBadRequest, "need ?to= in [0, %d replicas)", len(f.reps))
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	owners := f.slots.Owners(slot)
+	from := owners[0]
+	if fs := q.Get("from"); fs != "" {
+		if from, err = strconv.Atoi(fs); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad ?from=%q", fs)
+			return
+		}
+	}
+	if !f.slots.IsOwner(slot, from) {
+		writeErr(w, http.StatusBadRequest, "replica %d does not own slot %d (owners %v)", from, slot, owners)
+		return
+	}
+	if f.slots.IsOwner(slot, to) {
+		writeErr(w, http.StatusBadRequest, "replica %d already owns slot %d", to, slot)
+		return
+	}
+	if f.reps[to].down.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "destination replica %s is down", f.reps[to].url)
+		return
+	}
+	// The state source must be a CLEAN live owner — `from` itself when
+	// eligible, else any co-owner. A dirty source would replicate its
+	// staleness into the new owner.
+	var src *faninReplica
+	for _, o := range append([]int{from}, owners...) {
+		if cand := f.reps[o]; !cand.down.Load() && !cand.dirty.Load() {
+			src = cand
+			break
+		}
+	}
+	if src == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no clean live owner of slot %d to export from", slot)
+		return
+	}
+	if err := f.replaySlots(src, f.reps[to], []int{slot}); err != nil {
+		writeErr(w, http.StatusBadGateway, "replay slot %d onto %s: %v", slot, f.reps[to].url, err)
+		return
+	}
+	workers := 0 // recount for the ack: replaySlots already validated
+	if status, body, err := f.fetch(src.url, "/slots/export?slot="+strconv.Itoa(slot)); err == nil && status == http.StatusOK {
+		var exp SlotExport
+		if json.Unmarshal(body, &exp) == nil {
+			workers = len(exp.Workers)
+		}
+	}
+	if err := f.slots.Move(slot, from, to); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// Best-effort drop at the old owner: a failure leaves a stray copy
+	// that reads (filtered by the table) never consult.
+	dropped := false
+	if status, _, err := f.post(f.reps[from].url, "/slots/drop?slot="+strconv.Itoa(slot), nil); err == nil && status == http.StatusOK {
+		dropped = true
+	}
+	writeJSON(w, http.StatusOK, SlotMoveResult{
+		Slot: slot, From: from, To: to,
+		Source: src.url, Workers: workers, Dropped: dropped,
+	})
+}
+
 // --- healthz ---
 
 // FaninReplicaHealth is one replica's health as seen by the router.
 type FaninReplicaHealth struct {
 	URL                 string `json:"url"`
 	Status              string `json:"status"` // "ok" | "down"
+	Dirty               bool   `json:"dirty,omitempty"`
 	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+}
+
+// FaninSlotCoverage summarizes per-slot owner liveness: of the Slots hash
+// slots, how many have every owner live (FullyCovered), only some
+// (UnderReplicated), or none (Uncovered). CleanCovered counts slots with
+// at least one live owner that is also in sync (not dirty) — the slots
+// that can serve a clean read and source a resync.
+type FaninSlotCoverage struct {
+	Slots           int `json:"slots"`
+	Replication     int `json:"replication"`
+	Quorum          int `json:"quorum"`
+	FullyCovered    int `json:"fully_covered"`
+	UnderReplicated int `json:"under_replicated"`
+	Uncovered       int `json:"uncovered"`
+	CleanCovered    int `json:"clean_covered"`
 }
 
 // FaninHealth is the fan-in /healthz document: the aggregate Health shape
 // (so clients of a single server parse it unchanged) plus per-replica
-// detail. Status is "degraded" while any replica is unreachable.
+// detail and per-slot coverage. Status is "degraded" while any replica is
+// down or dirty.
 type FaninHealth struct {
 	Status   string               `json:"status"`
 	Workers  int                  `json:"workers"`
 	Keys     int                  `json:"keys"`
 	Replicas []FaninReplicaHealth `json:"replicas"`
+	Slots    *FaninSlotCoverage   `json:"slots,omitempty"`
 }
 
 func (f *Fanin) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -641,6 +1087,7 @@ func (f *Fanin) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			ok := err == nil && status == http.StatusOK
 			f.record(rep, ok)
 			rh.ConsecutiveFailures = int(rep.fails.Load())
+			rh.Dirty = rep.dirty.Load()
 			if !ok {
 				rh.Status = "down"
 				return
@@ -651,15 +1098,50 @@ func (f *Fanin) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	for i, rh := range out.Replicas {
-		if rh.Status != "ok" {
+		if rh.Status != "ok" || rh.Dirty {
 			out.Status = "degraded"
+		}
+		if rh.Status != "ok" {
 			continue
 		}
 		if counts[i].Workers > out.Workers {
 			out.Workers = counts[i].Workers // every replica hosts every worker
 		}
-		out.Keys += counts[i].Keys
+		if f.cfg.Replication == 1 {
+			out.Keys += counts[i].Keys // disjoint key sets: the sum is the total
+		} else if counts[i].Keys > out.Keys {
+			out.Keys = counts[i].Keys // overlapping sets: the max is a floor
+		}
 	}
+	// Per-slot coverage from the router's own health view (no extra
+	// round-trips: the probes above just refreshed it).
+	f.mu.RLock()
+	cov := &FaninSlotCoverage{Slots: qlove.Slots, Replication: f.cfg.Replication, Quorum: f.cfg.Quorum}
+	for s := 0; s < qlove.Slots; s++ {
+		owners := f.slots.Owners(s)
+		live, clean := 0, 0
+		for _, o := range owners {
+			if !f.reps[o].down.Load() {
+				live++
+				if !f.reps[o].dirty.Load() {
+					clean++
+				}
+			}
+		}
+		switch {
+		case live == len(owners):
+			cov.FullyCovered++
+		case live > 0:
+			cov.UnderReplicated++
+		default:
+			cov.Uncovered++
+		}
+		if clean > 0 {
+			cov.CleanCovered++
+		}
+	}
+	f.mu.RUnlock()
+	out.Slots = cov
 	writeJSON(w, http.StatusOK, out)
 }
 

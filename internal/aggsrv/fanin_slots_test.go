@@ -1,0 +1,391 @@
+package aggsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// TestRetryBackoff pins the backoff arithmetic: doubling per attempt,
+// clamped at maxRetryBackoff — including the attempt counts whose naive
+// single-shift form overflows time.Duration negative (which used to panic
+// the jitter draw) — and a zero/negative base disabling the wait.
+func TestRetryBackoff(t *testing.T) {
+	for _, tc := range []struct {
+		base    time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{0, 0, 0},
+		{0, 5, 0},
+		{-time.Second, 3, 0},
+		{25 * time.Millisecond, 0, 25 * time.Millisecond},
+		{25 * time.Millisecond, 1, 50 * time.Millisecond},
+		{25 * time.Millisecond, 3, 200 * time.Millisecond},
+		{25 * time.Millisecond, 7, maxRetryBackoff},
+		{25 * time.Millisecond, 62, maxRetryBackoff},  // 25ms<<62 is negative
+		{25 * time.Millisecond, 1 << 20, maxRetryBackoff}, // absurd Retries
+		{time.Second, 1, maxRetryBackoff},
+		{3 * time.Second, 0, maxRetryBackoff},
+		{maxRetryBackoff, 0, maxRetryBackoff},
+		{maxRetryBackoff, 5, maxRetryBackoff},
+	} {
+		if got := retryBackoff(tc.base, tc.attempt); got != tc.want {
+			t.Errorf("retryBackoff(%v, %d) = %v, want %v", tc.base, tc.attempt, got, tc.want)
+		}
+	}
+	// The jitter draw as fetchRetry performs it must stay in bounds and
+	// never panic, whatever the attempt count.
+	for attempt := 0; attempt < 200; attempt++ {
+		backoff := retryBackoff(25*time.Millisecond, attempt)
+		if backoff < 0 || backoff > maxRetryBackoff {
+			t.Fatalf("attempt %d: backoff %v out of range", attempt, backoff)
+		}
+		if half := int64(backoff / 2); half > 0 {
+			if j := rand.Int63n(half + 1); j < 0 || j > half {
+				t.Fatalf("attempt %d: jitter %d outside [0, %d]", attempt, j, half)
+			}
+		}
+	}
+}
+
+// faninEngine drives one salted engine through delta rounds for the
+// replication tests; each round's blob goes through fx.push (fan-in AND
+// reference, identical acks).
+type faninEngine struct {
+	eng  *qlove.Engine
+	gen  workload.Generator
+	cur  qlove.ExportCursor
+	keys []string
+}
+
+func newFaninEngine(t *testing.T, seed int64, nkeys int) *faninEngine {
+	t.Helper()
+	cfg := qlove.Config{Spec: qlove.Window{Size: 256, Period: 64}, Phis: []float64{0.5, 0.99}, FewK: true}
+	eng, err := qlove.NewEngine(qlove.EngineConfig{Config: cfg, Shards: 2, RouteSalt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for range eng.Results() {
+		}
+	}()
+	t.Cleanup(eng.Close)
+	h := &faninEngine{eng: eng, gen: workload.NewNetMon(seed)}
+	for i := 0; i < nkeys; i++ {
+		h.keys = append(h.keys, fmt.Sprintf("key-%d", i))
+	}
+	return h
+}
+
+func (h *faninEngine) round(t *testing.T) []byte {
+	t.Helper()
+	for ki, k := range h.keys {
+		if err := h.eng.Push(k, workload.Generate(h.gen, 120+20*ki)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var blob bytes.Buffer
+	if _, err := h.eng.ExportDelta(&blob, &h.cur); err != nil {
+		t.Fatal(err)
+	}
+	return blob.Bytes()
+}
+
+// requireQuerySweep asserts every key (and a miss) answers byte-identically
+// through the fan-in and the reference server.
+func requireQuerySweep(t *testing.T, step string, fx *faninFixture, keys []string) {
+	t.Helper()
+	for _, k := range append(append([]string(nil), keys...), "no/such/key") {
+		rf, bf := get(t, fx.fanin, "/query?key="+k)
+		rr, br := get(t, fx.ref, "/query?key="+k)
+		if rf.StatusCode != rr.StatusCode || !bytes.Equal(bf, br) {
+			t.Fatalf("%s: query %q: fan-in %s %q, reference %s %q", step, k, rf.Status, bf, rr.Status, br)
+		}
+	}
+}
+
+// TestFaninQuorumPush runs an R=2 fan-in over two replicas: pushes land on
+// both owners, killing one replica mid-chain keeps /push succeeding on
+// quorum, and after the replica returns empty the dirty-resync replays its
+// slots from its peer — views bit-identical to an uninterrupted
+// single-server reference throughout, including the revived replica's own
+// snapshot.
+func TestFaninQuorumPush(t *testing.T) {
+	fx := newFaninFixture(t, 2, FaninConfig{
+		Replication:   2,
+		Timeout:       2 * time.Second,
+		Retries:       1,
+		RetryBackoff:  time.Millisecond,
+		FailThreshold: 2,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	h := newFaninEngine(t, 42, 6)
+
+	// Round 1, both replicas healthy: every key owned (and held) by BOTH.
+	fx.push(t, "w", h.round(t))
+	for _, k := range h.keys {
+		for i, rs := range fx.replicas {
+			if resp, _ := get(t, rs, "/query?key="+k); resp.StatusCode != http.StatusOK {
+				t.Fatalf("key %q missing on replica %d: %s", k, i, resp.Status)
+			}
+		}
+	}
+	_, s0 := get(t, fx.replicas[0], "/snapshot")
+	_, s1 := get(t, fx.replicas[1], "/snapshot")
+	_, sr := get(t, fx.ref, "/snapshot")
+	if !bytes.Equal(s0, s1) || !bytes.Equal(s0, sr) {
+		t.Fatal("healthy replicas diverge from the reference snapshot")
+	}
+
+	// Kill replica 0, remembering its address for the comeback.
+	addr := fx.replicas[0].Listener.Addr().String()
+	fx.replicas[0].Close()
+
+	// Mid-chain push: replica 0 misses the delta, but every slot still
+	// reaches its quorum (1 of 2) — the ack matches the reference's.
+	fx.push(t, "w", h.round(t))
+
+	// Queries fail over to the surviving owner, byte-identical.
+	requireQuerySweep(t, "degraded", fx, h.keys)
+
+	// /snapshot still serves every key (from the survivor), naming the
+	// dead replica in the degraded list.
+	var snap, refSnap struct {
+		Keys     []json.RawMessage `json:"keys"`
+		Degraded []string          `json:"degraded"`
+	}
+	if _, body := get(t, fx.fanin, "/snapshot"); true {
+		if err := json.Unmarshal(body, &snap); err != nil {
+			t.Fatalf("degraded snapshot: %v\n%s", err, body)
+		}
+	}
+	if _, body := get(t, fx.ref, "/snapshot"); true {
+		if err := json.Unmarshal(body, &refSnap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(snap.Keys) != len(refSnap.Keys) {
+		t.Fatalf("degraded snapshot has %d keys, reference %d", len(snap.Keys), len(refSnap.Keys))
+	}
+	for i := range snap.Keys {
+		if !bytes.Equal(snap.Keys[i], refSnap.Keys[i]) {
+			t.Fatalf("degraded snapshot key %d diverges:\n%s\nvs\n%s", i, snap.Keys[i], refSnap.Keys[i])
+		}
+	}
+	if len(snap.Degraded) != 1 || snap.Degraded[0] != fx.router.Replicas()[0] {
+		t.Fatalf("degraded snapshot does not name the dead replica: %v", snap.Degraded)
+	}
+
+	// /healthz: degraded, with slot coverage showing no slot fully clean.
+	var fh FaninHealth
+	_, body := get(t, fx.fanin, "/healthz")
+	if err := json.Unmarshal(body, &fh); err != nil {
+		t.Fatal(err)
+	}
+	if fh.Status != "degraded" || fh.Slots == nil {
+		t.Fatalf("degraded healthz: %s", body)
+	}
+	// One of every slot's two owners is gone: nothing fully covered, but
+	// the survivor still serves a clean copy of every slot.
+	if fh.Slots.Replication != 2 || fh.Slots.Quorum != 1 ||
+		fh.Slots.FullyCovered != 0 || fh.Slots.UnderReplicated != qlove.Slots ||
+		fh.Slots.Uncovered != 0 || fh.Slots.CleanCovered != qlove.Slots {
+		t.Fatalf("slot coverage: %+v", fh.Slots)
+	}
+
+	// The replica returns on its old address with EMPTY state — the worst
+	// case. The probe reinstates it and the resync replays its slots from
+	// the surviving peer; /healthz goes back to "ok" only once the replica
+	// is live AND clean.
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	revived := httptest.NewUnstartedServer(New(nil).Handler())
+	revived.Listener.Close()
+	revived.Listener = l
+	revived.Start()
+	t.Cleanup(revived.Close)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body := get(t, fx.fanin, "/healthz")
+		var h FaninHealth
+		if err := json.Unmarshal(body, &h); err == nil && h.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never resynced: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The revived replica's OWN snapshot is bit-identical to its peer's
+	// and to the reference — the resync rebuilt the lost copy exactly.
+	_, g0 := get(t, revived, "/snapshot")
+	_, g1 := get(t, fx.replicas[1], "/snapshot")
+	_, gr := get(t, fx.ref, "/snapshot")
+	if !bytes.Equal(g0, g1) || !bytes.Equal(g0, gr) {
+		t.Fatalf("resynced replica diverges (%d vs %d vs %d bytes)", len(g0), len(g1), len(gr))
+	}
+	if _, bf := get(t, fx.fanin, "/snapshot"); !bytes.Equal(bf, gr) {
+		t.Fatal("fan-in snapshot diverges from reference after recovery")
+	}
+
+	// The delta chain continues: the resync carried the worker's seal
+	// cursors, so the next delta folds on BOTH replicas with no
+	// re-bootstrap, and views stay bit-identical.
+	fx.push(t, "w", h.round(t))
+	requireQuerySweep(t, "post-recovery", fx, h.keys)
+	_, f0 := get(t, revived, "/snapshot")
+	_, fr := get(t, fx.ref, "/snapshot")
+	if !bytes.Equal(f0, fr) {
+		t.Fatal("revived replica diverges after the post-recovery delta")
+	}
+}
+
+// TestFaninSlotMove grows a 2-owner fan-in onto a third, empty replica by
+// live /slots/move calls: only the intended slots migrate, /query answers
+// stay bit-identical to the unresized reference before, during, and after,
+// and the workers' delta chains keep folding across the migration.
+func TestFaninSlotMove(t *testing.T) {
+	initial, err := qlove.NewSlotMap(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := newFaninFixture(t, 3, FaninConfig{
+		Timeout: 2 * time.Second,
+		Slots:   initial,
+	})
+	h := newFaninEngine(t, 43, 24)
+
+	movedKeys, stayKeys := 0, 0
+	for _, k := range h.keys {
+		if qlove.SlotOf(k)%3 == 2 {
+			movedKeys++
+		} else {
+			stayKeys++
+		}
+	}
+	if movedKeys == 0 || stayKeys == 0 {
+		t.Fatalf("key set does not cover moved and unmoved slots (%d/%d)", movedKeys, stayKeys)
+	}
+
+	fx.push(t, "w", h.round(t))
+	var h2 Health
+	if _, body := get(t, fx.replicas[2], "/healthz"); true {
+		if err := json.Unmarshal(body, &h2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h2.Keys != 0 {
+		t.Fatalf("replica outside the slot map holds %d keys", h2.Keys)
+	}
+
+	// Re-home every slot whose canonical 3-way primary is the new replica.
+	moved := map[int]bool{}
+	for s := 0; s < qlove.Slots; s++ {
+		if s%3 != 2 {
+			continue
+		}
+		resp, body := post(t, fx.fanin, fmt.Sprintf("/slots/move?slot=%d&to=2", s), nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("move slot %d: %s: %s", s, resp.Status, body)
+		}
+		var mv SlotMoveResult
+		if err := json.Unmarshal(body, &mv); err != nil {
+			t.Fatal(err)
+		}
+		if mv.Slot != s || mv.To != 2 || mv.From != s%2 {
+			t.Fatalf("move ack %+v", mv)
+		}
+		moved[s] = true
+		if len(moved) == 20 {
+			requireQuerySweep(t, "mid-migration", fx, h.keys)
+		}
+	}
+	requireQuerySweep(t, "post-migration", fx, h.keys)
+
+	// Slot-level diff via the replicas directly: moved slots' keys now
+	// live only on replica 2; unmoved slots' keys never moved.
+	for _, k := range h.keys {
+		s := qlove.SlotOf(k)
+		owner := s % 2
+		if moved[s] {
+			owner = 2
+		}
+		for i, rs := range fx.replicas {
+			resp, _ := get(t, rs, "/query?key="+k)
+			if (resp.StatusCode == http.StatusOK) != (i == owner) {
+				t.Fatalf("key %q (slot %d, moved=%v) on replica %d: %s, owner %d", k, s, moved[s], i, resp.Status, owner)
+			}
+		}
+	}
+
+	// /slots reflects the flipped table.
+	var report SlotsReport
+	if _, body := get(t, fx.fanin, "/slots"); true {
+		if err := json.Unmarshal(body, &report); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if report.Quorum != 1 {
+		t.Fatalf("quorum %d", report.Quorum)
+	}
+	for s := 0; s < qlove.Slots; s++ {
+		want := s % 2
+		if moved[s] {
+			want = 2
+		}
+		if got := report.Map.Primary(s); got != want {
+			t.Fatalf("slot %d primary %d in /slots, want %d", s, got, want)
+		}
+	}
+
+	// Delta chains continue across the migration; the fan-in snapshot
+	// stays bit-identical to the reference.
+	fx.push(t, "w", h.round(t))
+	requireQuerySweep(t, "post-move round", fx, h.keys)
+	_, bf := get(t, fx.fanin, "/snapshot")
+	_, br := get(t, fx.ref, "/snapshot")
+	if !bytes.Equal(bf, br) {
+		t.Fatal("fan-in snapshot diverges from reference after migration")
+	}
+
+	// Invalid moves are rejected without touching the table.
+	someMoved := -1
+	for s := range moved {
+		someMoved = s
+		break
+	}
+	for _, bad := range []struct {
+		name, query string
+		status      int
+	}{
+		{"GET method", fmt.Sprintf("/slots/move?slot=%d&to=1", someMoved), 0}, // via get below
+		{"bad slot", "/slots/move?slot=999&to=2", http.StatusBadRequest},
+		{"bad destination", "/slots/move?slot=3&to=9", http.StatusBadRequest},
+		{"destination already owns", fmt.Sprintf("/slots/move?slot=%d&to=2", someMoved), http.StatusBadRequest},
+		{"source does not own", fmt.Sprintf("/slots/move?slot=%d&from=1&to=0", someMoved), http.StatusBadRequest},
+	} {
+		if bad.status == 0 {
+			if resp, _ := get(t, fx.fanin, bad.query); resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s: %s, want 405", bad.name, resp.Status)
+			}
+			continue
+		}
+		if resp, body := post(t, fx.fanin, bad.query, nil); resp.StatusCode != bad.status {
+			t.Fatalf("%s: %s, want %d: %s", bad.name, resp.Status, bad.status, body)
+		}
+	}
+}

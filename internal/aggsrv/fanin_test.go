@@ -191,11 +191,36 @@ func TestFaninErrors(t *testing.T) {
 	if _, err := NewFanin([]string{"http://10.0.0.1:7171", "http://10.0.0.1:7171/"}, nil); err == nil {
 		t.Fatal("duplicate replica URLs accepted")
 	}
+	// Replication / quorum / slot-map validation.
+	if _, err := NewFaninConfig(FaninConfig{
+		Replicas:    []string{"http://a:1", "http://b:1"},
+		Replication: 3,
+	}); err == nil {
+		t.Fatal("replication > replica count accepted")
+	}
+	if _, err := NewFaninConfig(FaninConfig{
+		Replicas:    []string{"http://a:1", "http://b:1"},
+		Replication: 2,
+		Quorum:      3,
+	}); err == nil {
+		t.Fatal("quorum > replication accepted")
+	}
+	wide, err := qlove.NewSlotMap(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := NewFaninConfig(FaninConfig{
 		Replicas: []string{"http://a:1", "http://b:1"},
-		Mirrors:  []string{"http://m:1"},
+		Slots:    wide,
 	}); err == nil {
-		t.Fatal("mirror/replica length mismatch accepted")
+		t.Fatal("slot map referencing replica 2 accepted with 2 replicas")
+	}
+	if _, err := NewFaninConfig(FaninConfig{
+		Replicas:    []string{"http://a:1", "http://b:1"},
+		Replication: 2,
+		Slots:       wide, // replication 1 map vs config 2
+	}); err == nil {
+		t.Fatal("slot map replication mismatch accepted")
 	}
 
 	fx := newFaninFixture(t, 2, FaninConfig{})
@@ -433,26 +458,33 @@ func TestFaninQueryRetry(t *testing.T) {
 	}
 }
 
-// TestFaninHedgedQuery pins the mirror hedge: with the owner wedged, the
-// query answers from the mirror within roughly the hedge delay — not the
-// owner's full timeout.
+// TestFaninHedgedQuery pins the replicated-read hedge: with the key's
+// primary owner wedged, the query answers from the slot's secondary owner
+// within roughly the hedge delay — not the primary's full timeout.
 func TestFaninHedgedQuery(t *testing.T) {
 	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		time.Sleep(3 * time.Second)
 	}))
 	defer slow.Close()
-	mirror := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Key string `json:"key"`
 		}{"k"})
 	}))
-	defer mirror.Close()
+	defer fast.Close()
+	// At replication 2 over 2 replicas, every slot is owned by both; the
+	// default map's primary for "k" is PartitionOf("k", 2) — put the slow
+	// server there so the hedge must rescue the read.
+	urls := []string{slow.URL, fast.URL}
+	if qlove.PartitionOf("k", 2) == 1 {
+		urls = []string{fast.URL, slow.URL}
+	}
 	f, err := NewFaninConfig(FaninConfig{
-		Replicas:   []string{slow.URL},
-		Mirrors:    []string{mirror.URL},
-		Timeout:    5 * time.Second,
-		Retries:    -1,
-		HedgeDelay: 20 * time.Millisecond,
+		Replicas:    urls,
+		Replication: 2,
+		Timeout:     5 * time.Second,
+		Retries:     -1,
+		HedgeDelay:  20 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -466,7 +498,7 @@ func TestFaninHedgedQuery(t *testing.T) {
 		t.Fatalf("hedged query: %s: %s", resp.Status, body)
 	}
 	if d := time.Since(start); d > time.Second {
-		t.Fatalf("hedged query took %v — served by the wedged owner, not the mirror", d)
+		t.Fatalf("hedged query took %v — served by the wedged primary, not the secondary", d)
 	}
 }
 

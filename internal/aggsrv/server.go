@@ -21,6 +21,12 @@
 //	                       op counters (instrumented stores), lock-wait,
 //	                       fold-cache hits/misses — per replica for a
 //	                       partitioned backend
+//	GET  /slots/export     ?slot=N or ?slots=a,b,c — the slots' resident
+//	                       state as self-contained bootstrap blobs, one per
+//	                       worker (the fan-in's slot migration and dirty
+//	                       replica resync read this)
+//	POST /slots/drop       ?slot= / ?slots= — drop the slots' resident
+//	                       state (after a migration flips ownership away)
 //
 // All responses are JSON. Estimates are float64s encoded by encoding/json
 // with Go's shortest round-trippable formatting, so a client parsing them
@@ -41,6 +47,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro"
 )
@@ -105,7 +112,96 @@ func New(agg Backend) *Server {
 	s.mux.HandleFunc("/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/slots/export", s.handleSlotsExport)
+	s.mux.HandleFunc("/slots/drop", s.handleSlotsDrop)
 	return s
+}
+
+// SlotPorter is the optional slot-migration surface of a backend:
+// *qlove.Aggregator implements it; the fan-in's /slots/move and dirty
+// replica resync drive it over these endpoints.
+type SlotPorter interface {
+	ExportSlots(slots []int) ([]qlove.WorkerBlob, error)
+	DropSlots(slots []int) int
+}
+
+// SlotExport is the /slots/export document: the requested slots' resident
+// state as one self-contained bootstrap blob per worker (re-Apply-able
+// via /push, bit-for-bit).
+type SlotExport struct {
+	Slots   []int             `json:"slots"`
+	Workers []qlove.WorkerBlob `json:"workers"`
+}
+
+// parseSlots reads ?slot=N or ?slots=a,b,c from a request query.
+func parseSlots(r *http.Request) ([]int, error) {
+	q := r.URL.Query()
+	raw := q.Get("slots")
+	if s := q.Get("slot"); s != "" {
+		if raw != "" {
+			return nil, fmt.Errorf("pass ?slot= or ?slots=, not both")
+		}
+		raw = s
+	}
+	if raw == "" {
+		return nil, fmt.Errorf("need ?slot=N or ?slots=a,b,c")
+	}
+	var out []int
+	for _, part := range strings.Split(raw, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad slot %q", part)
+		}
+		if n < 0 || n >= qlove.Slots {
+			return nil, fmt.Errorf("slot %d outside [0, %d)", n, qlove.Slots)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func (s *Server) handleSlotsExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "slots/export is GET-only")
+		return
+	}
+	p, ok := s.agg.(SlotPorter)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "backend does not support slot export")
+		return
+	}
+	slots, err := parseSlots(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	blobs, err := p.ExportSlots(slots)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SlotExport{Slots: slots, Workers: blobs})
+}
+
+func (s *Server) handleSlotsDrop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "slots/drop is POST-only")
+		return
+	}
+	p, ok := s.agg.(SlotPorter)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "backend does not support slot drop")
+		return
+	}
+	slots, err := parseSlots(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Slots   []int `json:"slots"`
+		Dropped int   `json:"dropped"`
+	}{Slots: slots, Dropped: p.DropSlots(slots)})
 }
 
 // Aggregator returns the served backend (e.g. to preload blobs).

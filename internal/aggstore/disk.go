@@ -213,6 +213,9 @@ func (d *Disk) Compact() error {
 func (d *Disk) Get(worker, name string) (*State, bool) { return d.mem.Get(worker, name) }
 func (d *Disk) Group(worker, base string) []NamedState { return d.mem.Group(worker, base) }
 func (d *Disk) WorkerNames(worker string) []string     { return d.mem.WorkerNames(worker) }
+func (d *Disk) NamesMatching(worker string, match func(base string) bool) []NamedState {
+	return d.mem.NamesMatching(worker, match)
+}
 func (d *Disk) Workers(stale func(time.Time) bool) []string {
 	return d.mem.Workers(stale)
 }

@@ -14,6 +14,7 @@ const (
 	opBootstrapSub
 	opGroup
 	opWorkerNames
+	opNamesMatching
 	opTouch
 	opWorkers
 	opDropWorker
@@ -23,8 +24,8 @@ const (
 
 var opNames = [opCount]string{
 	"get", "put", "drop", "replace_group", "bootstrap_sub",
-	"group", "worker_names", "touch", "workers", "drop_worker",
-	"sweep_workers",
+	"group", "worker_names", "names_matching", "touch", "workers",
+	"drop_worker", "sweep_workers",
 }
 
 // Instrumented wraps any Store, recording per-op call counts and
@@ -114,6 +115,11 @@ func (in *Instrumented) Group(worker, base string) []NamedState {
 func (in *Instrumented) WorkerNames(worker string) []string {
 	defer in.record(opWorkerNames, time.Now())
 	return in.inner.WorkerNames(worker)
+}
+
+func (in *Instrumented) NamesMatching(worker string, match func(base string) bool) []NamedState {
+	defer in.record(opNamesMatching, time.Now())
+	return in.inner.NamesMatching(worker, match)
 }
 
 func (in *Instrumented) Touch(worker string, t time.Time) {

@@ -168,6 +168,22 @@ func (m *Map) WorkerNames(worker string) []string {
 	return names
 }
 
+func (m *Map) NamesMatching(worker string, match func(base string) bool) []NamedState {
+	m.rlock()
+	w := m.workers[worker]
+	var out []NamedState
+	if w != nil {
+		for base, g := range w.groups {
+			if match(base) {
+				out = g.fold(base, out)
+			}
+		}
+	}
+	m.runlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // worker returns (creating if needed) the worker record; caller holds the
 // write lock.
 func (m *Map) worker(id string) *mapWorker {

@@ -207,6 +207,22 @@ func (s *Striped) WorkerNames(worker string) []string {
 	return names
 }
 
+func (s *Striped) NamesMatching(worker string, match func(base string) bool) []NamedState {
+	var out []NamedState
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		rlockTimed(&sp.mu, &s.readWait)
+		for gk, g := range sp.groups {
+			if gk.worker == worker && match(gk.base) {
+				out = g.fold(gk.base, out)
+			}
+		}
+		sp.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 func (s *Striped) Touch(worker string, t time.Time) {
 	s.wmu.RLock()
 	m := s.wm[worker]

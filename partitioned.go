@@ -5,19 +5,22 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/wire"
 )
 
 // Partitioned is the horizontal form of the aggregation tier: N
-// independent Aggregator replicas, each owning the logical keys that hash
-// to it. A worker's push blob is split frame-by-frame (bit-verbatim, via
-// the wire raw scanner) and routed to each frame's owner, queries route
-// to the single owner of the key, and Snapshot unions the replicas'
-// disjoint key sets — so every answer is bit-identical to a single
+// independent Aggregator replicas hosting the Slots hash slots of the key
+// space under a SlotMap. Each logical key hashes to one slot; the slot's
+// owner set (replication factor R, 1 by default) holds full copies of its
+// state. A worker's push blob is split frame-by-frame (bit-verbatim, via
+// the wire raw scanner) and routed to every owner of each frame's slot,
+// queries answer from the slot's primary, and Snapshot reads each key
+// from its primary — so every answer is bit-identical to a single
 // aggregator folding the same pushes, while pushes and reads for
-// different key partitions never contend at all.
+// different slots never contend at all.
 //
 // Every replica sees every worker's Apply (non-owners get an empty blob),
 // so worker liveness — push-deadline staleness, Workers() — stays
@@ -27,23 +30,70 @@ import (
 // their base, keeping each key's whole salt group on one replica) with a
 // fixed process-independent hash, so any router instance — in-process or
 // the HTTP fan-in in internal/aggsrv — partitions identically.
+//
+// MoveSlot re-homes one hash slot live: the slot's state replays onto the
+// new owner and the table flips under the partition's write lock, which
+// drains in-flight pushes and reads first — answers stay bit-identical
+// before, during, and after a migration.
 type Partitioned struct {
 	replicas []*Aggregator
+
+	mu    sync.RWMutex // guards slots; write-held across MoveSlot
+	slots *SlotMap
 }
 
-// NewPartitioned returns n empty replicas configured by cfg. For the disk
-// store each replica persists under its own cfg.Dir subdirectory
-// ("replica-<i>"), so reopening the same directory with the same replica
-// count recovers the whole partition.
+// PartitionedConfig configures a replicated partition.
+type PartitionedConfig struct {
+	// Replicas is the replica count (>= 1).
+	Replicas int
+	// Replication is the copies-per-slot factor, in [1, Replicas];
+	// 0 means 1 (no replication).
+	Replication int
+	// Slots optionally seeds a non-canonical slot table (it is cloned;
+	// owner indices must be < Replicas). Nil builds the canonical
+	// NewSlotMap(Replicas, Replication).
+	Slots *SlotMap
+	// Agg configures every replica's store backend.
+	Agg AggregatorConfig
+}
+
+// NewPartitioned returns n empty replicas at replication factor 1 — the
+// compatibility form of NewPartitionedConfig. For the disk store each
+// replica persists under its own cfg.Dir subdirectory ("replica-<i>"), so
+// reopening the same directory with the same replica count recovers the
+// whole partition.
 func NewPartitioned(n int, cfg AggregatorConfig) (*Partitioned, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("qlove: partitioned aggregator needs >= 1 replica, got %d", n)
+	return NewPartitionedConfig(PartitionedConfig{Replicas: n, Agg: cfg})
+}
+
+// NewPartitionedConfig returns an empty replicated partition.
+func NewPartitionedConfig(cfg PartitionedConfig) (*Partitioned, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("qlove: partitioned aggregator needs >= 1 replica, got %d", cfg.Replicas)
 	}
-	p := &Partitioned{replicas: make([]*Aggregator, n)}
+	if cfg.Replication == 0 {
+		cfg.Replication = 1
+	}
+	slots := cfg.Slots
+	if slots == nil {
+		var err error
+		if slots, err = NewSlotMap(cfg.Replicas, cfg.Replication); err != nil {
+			return nil, err
+		}
+	} else {
+		if slots.Replication() != cfg.Replication {
+			return nil, fmt.Errorf("qlove: slot map replication %d, config says %d", slots.Replication(), cfg.Replication)
+		}
+		if max := slots.MaxReplica(); max >= cfg.Replicas {
+			return nil, fmt.Errorf("qlove: slot map references replica %d, only %d configured", max, cfg.Replicas)
+		}
+		slots = slots.Clone()
+	}
+	p := &Partitioned{replicas: make([]*Aggregator, cfg.Replicas), slots: slots}
 	for i := range p.replicas {
-		rcfg := cfg
-		if cfg.Store == "disk" && cfg.Dir != "" {
-			rcfg.Dir = filepath.Join(cfg.Dir, fmt.Sprintf("replica-%d", i))
+		rcfg := cfg.Agg
+		if rcfg.Store == "disk" && rcfg.Dir != "" {
+			rcfg.Dir = filepath.Join(cfg.Agg.Dir, fmt.Sprintf("replica-%d", i))
 		}
 		a, err := NewAggregatorConfig(rcfg)
 		if err != nil {
@@ -82,31 +132,49 @@ func (p *Partitioned) DurabilityErr() error {
 // Replicas returns the replica count.
 func (p *Partitioned) Replicas() int { return len(p.replicas) }
 
+// Replication returns the copies-per-slot factor.
+func (p *Partitioned) Replication() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.slots.Replication()
+}
+
 // Replica returns one replica (e.g. to inspect per-partition state).
 func (p *Partitioned) Replica(i int) *Aggregator { return p.replicas[i] }
 
-// PartitionOf returns the replica index owning a logical key: FNV-1a of
-// the base key, modulo the replica count. Exported so out-of-process
-// routers (the aggsrv fan-in) and tests partition identically.
-func PartitionOf(key string, replicas int) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
-	}
-	return int(h % uint32(replicas))
+// SlotTable returns a copy of the current slot→owners table.
+func (p *Partitioned) SlotTable() *SlotMap {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.slots.Clone()
 }
 
-func (p *Partitioned) owner(base string) int { return PartitionOf(base, len(p.replicas)) }
+// PartitionOf returns the replica index owning a logical key under the
+// DEFAULT slot map at replication 1: the key's hash slot modulo the
+// replica count. Exported so out-of-process routers (the aggsrv fan-in)
+// and tests partition identically. replicas <= 0 answers 0 — an exported
+// hash must not divide by zero on a reachable input.
+func PartitionOf(key string, replicas int) int {
+	if replicas <= 0 {
+		return 0
+	}
+	return SlotOf(key) % replicas
+}
 
-// Apply splits one worker push blob across the owning replicas. The whole
-// blob is scanned and routed before any replica folds, so a malformed
-// blob is rejected up front with zero frames applied (unlike a single
-// aggregator's partial fold — the worker re-bootstraps either way). On a
-// fold error, frames already folded at their replicas remain applied and
-// the count says how many.
+// Apply splits one worker push blob across the owning replicas (every
+// owner of a frame's slot receives it). The whole blob is scanned and
+// routed before any replica folds, so a malformed blob is rejected up
+// front with zero frames applied (unlike a single aggregator's partial
+// fold — the worker re-bootstraps either way). On success the count is
+// the blob's frame count; on a fold error, frames already folded at their
+// replicas remain applied and the count says how many were folded before
+// the failure.
 func (p *Partitioned) Apply(worker string, r io.Reader) (int, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	bufs := make([]bytes.Buffer, len(p.replicas))
 	sc := wire.NewRawScanner(r)
+	frames := 0
 	for {
 		_, key, frame, err := sc.Next()
 		if err == io.EOF {
@@ -115,7 +183,10 @@ func (p *Partitioned) Apply(worker string, r io.Reader) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("qlove: partitioned apply worker %q: %w", worker, err)
 		}
-		bufs[p.owner(logicalKey(key))].Write(frame)
+		for _, o := range p.slots.owners[SlotOf(key)] {
+			bufs[o].Write(frame)
+		}
+		frames++
 	}
 	applied := 0
 	for i, a := range p.replicas {
@@ -127,25 +198,32 @@ func (p *Partitioned) Apply(worker string, r io.Reader) (int, error) {
 			return applied, err
 		}
 	}
-	return applied, nil
+	return frames, nil
 }
 
-// Query answers one logical key from its owning replica.
+// Query answers one logical key from its slot's primary replica.
 func (p *Partitioned) Query(key string) (Snapshot, bool, error) {
-	return p.replicas[p.owner(key)].Query(key)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.replicas[p.slots.PrimaryOf(key)].Query(key)
 }
 
-// Snapshot unions the replicas' views. Key sets are disjoint by
-// construction, so the union is exactly the single-process snapshot.
+// Snapshot merges the replicas' views, reading each key from its slot's
+// primary — exactly the single-process snapshot, however many copies each
+// slot keeps.
 func (p *Partitioned) Snapshot() (EngineSnapshot, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := EngineSnapshot{keys: make(map[string]Snapshot)}
-	for _, a := range p.replicas {
+	for i, a := range p.replicas {
 		snap, err := a.Snapshot()
 		if err != nil {
 			return EngineSnapshot{}, err
 		}
 		for k, sn := range snap.keys {
-			out.keys[k] = sn
+			if p.slots.PrimaryOf(k) == i {
+				out.keys[k] = sn
+			}
 		}
 	}
 	return out, nil
@@ -163,14 +241,71 @@ func (p *Partitioned) Workers() int {
 	return max
 }
 
-// Keys returns the distinct logical keys across the partition (disjoint
-// per replica, so the sum).
+// Keys returns the distinct logical keys across the partition: each key
+// counts once, at its slot's primary, however many replicas hold copies.
 func (p *Partitioned) Keys() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.slots.Replication() == 1 {
+		// Key sets are disjoint: the O(replicas) occupancy sum is exact.
+		n := 0
+		for _, a := range p.replicas {
+			n += a.Keys()
+		}
+		return n
+	}
 	n := 0
-	for _, a := range p.replicas {
-		n += a.Keys()
+	for i, a := range p.replicas {
+		for _, k := range a.KeyList() {
+			if p.slots.PrimaryOf(k) == i {
+				n++
+			}
+		}
 	}
 	return n
+}
+
+// MoveSlot re-homes one hash slot from owner `from` onto replica `to`
+// (which must not already own it): the slot's state replays onto `to`,
+// then the table flips and the old owner drops its copy. The partition's
+// write lock is held throughout, so concurrent pushes and reads drain
+// first and resume against the flipped table — a reader never observes a
+// half-moved slot.
+func (p *Partitioned) MoveSlot(slot, from, to int) error {
+	if slot < 0 || slot >= Slots {
+		return fmt.Errorf("qlove: slot %d outside [0, %d)", slot, Slots)
+	}
+	if to < 0 || to >= len(p.replicas) {
+		return fmt.Errorf("qlove: destination replica %d outside [0, %d)", to, len(p.replicas))
+	}
+	if from < 0 || from >= len(p.replicas) {
+		return fmt.Errorf("qlove: source replica %d outside [0, %d)", from, len(p.replicas))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.slots.IsOwner(slot, from) {
+		return fmt.Errorf("qlove: replica %d does not own slot %d (owners %v)", from, slot, p.slots.owners[slot])
+	}
+	if p.slots.IsOwner(slot, to) {
+		return fmt.Errorf("qlove: replica %d already owns slot %d", to, slot)
+	}
+	blobs, err := p.replicas[from].ExportSlots([]int{slot})
+	if err != nil {
+		return fmt.Errorf("qlove: move slot %d: %w", slot, err)
+	}
+	// Clear any stale state at the destination first: a sub-stream
+	// bootstrap frame replaces only its own sub-stream, not leftovers.
+	p.replicas[to].DropSlots([]int{slot})
+	for _, wb := range blobs {
+		if _, err := p.replicas[to].Apply(wb.Worker, bytes.NewReader(wb.Blob)); err != nil {
+			return fmt.Errorf("qlove: move slot %d replay worker %q: %w", slot, wb.Worker, err)
+		}
+	}
+	if err := p.slots.Move(slot, from, to); err != nil {
+		return err
+	}
+	p.replicas[from].DropSlots([]int{slot})
+	return nil
 }
 
 // SetPushDeadline arms every replica's worker GC; see

@@ -1,0 +1,248 @@
+package qlove
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// partitionHarness drives one salted multi-shard engine through
+// delta-export rounds; tests apply each round's blob to a partition and
+// to a single-aggregator reference and compare the views bit-for-bit.
+type partitionHarness struct {
+	eng  *Engine
+	done chan struct{}
+	gen  workload.Generator
+	cur  ExportCursor
+	keys []string
+}
+
+func newPartitionHarness(t *testing.T, seed int64, nkeys int) *partitionHarness {
+	t.Helper()
+	cfg := Config{Spec: Window{Size: 256, Period: 64}, Phis: []float64{0.5, 0.99}, FewK: true}
+	eng, err := NewEngine(EngineConfig{Config: cfg, Shards: 2, RouteSalt: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &partitionHarness{eng: eng, done: drainResults(eng), gen: workload.NewNetMon(seed)}
+	for i := 0; i < nkeys; i++ {
+		h.keys = append(h.keys, fmt.Sprintf("key-%d", i))
+	}
+	t.Cleanup(func() { eng.Close(); <-h.done })
+	return h
+}
+
+// round pushes one batch per key and exports the next delta blob.
+func (h *partitionHarness) round(t *testing.T) []byte {
+	t.Helper()
+	for ki, k := range h.keys {
+		if err := h.eng.Push(k, workload.Generate(h.gen, 120+20*ki)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var blob bytes.Buffer
+	if _, err := h.eng.ExportDelta(&blob, &h.cur); err != nil {
+		t.Fatal(err)
+	}
+	return blob.Bytes()
+}
+
+// requirePartitionView asserts the partition's snapshot bytes and per-key
+// query estimates are bit-identical to the reference aggregator's.
+func requirePartitionView(t *testing.T, step string, p *Partitioned, ref *Aggregator, keys []string) {
+	t.Helper()
+	if got, want := snapshotBytes(t, p), snapshotBytes(t, ref); !bytes.Equal(got, want) {
+		t.Fatalf("%s: partition snapshot diverges from reference (%d vs %d bytes)", step, len(got), len(want))
+	}
+	for _, k := range keys {
+		sn, ok, err := p.Query(k)
+		rsn, rok, rerr := ref.Query(k)
+		if err != nil || rerr != nil || ok != rok {
+			t.Fatalf("%s: query %q: ok=%v err=%v, reference ok=%v err=%v", step, k, ok, err, rok, rerr)
+		}
+		if !ok {
+			continue
+		}
+		a, b := sn.Estimates(), rsn.Estimates()
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("%s: query %q ϕ[%d]: %v != reference %v", step, k, j, a[j], b[j])
+			}
+		}
+	}
+	if p.Keys() != ref.Keys() {
+		t.Fatalf("%s: partition keys %d != reference %d", step, p.Keys(), ref.Keys())
+	}
+}
+
+// TestPartitionedReplication runs an R=2 partition over 3 replicas
+// against a single-aggregator reference: every view stays bit-identical
+// across delta rounds, and every key's state lives on exactly its slot's
+// two owners.
+func TestPartitionedReplication(t *testing.T) {
+	p, err := NewPartitionedConfig(PartitionedConfig{Replicas: 3, Replication: 2, Agg: AggregatorConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Replication() != 2 {
+		t.Fatalf("replication %d", p.Replication())
+	}
+	ref := mkAgg(t, AggregatorConfig{})
+	h := newPartitionHarness(t, 77, 6)
+	for round := 0; round < 3; round++ {
+		blob := h.round(t)
+		pn, err := p.Apply("w", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := ref.Apply("w", bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pn != rn {
+			t.Fatalf("round %d: partition applied %d frames, reference %d", round, pn, rn)
+		}
+		requirePartitionView(t, fmt.Sprintf("round %d", round), p, ref, h.keys)
+	}
+
+	// Residency: each key is queryable on exactly its slot's R owners.
+	table := p.SlotTable()
+	for _, k := range h.keys {
+		for i := 0; i < p.Replicas(); i++ {
+			_, ok, err := p.Replica(i).Query(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := table.IsOwner(SlotOf(k), i); ok != want {
+				t.Fatalf("key %q (slot %d) on replica %d: ok=%v, owner=%v", k, SlotOf(k), i, ok, want)
+			}
+		}
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("workers %d", p.Workers())
+	}
+}
+
+// TestPartitionedMoveSlot grows a 2-owner partition onto a third, empty
+// replica by live slot moves: only the intended slots migrate, answers
+// stay bit-identical to an unresized single-aggregator reference before,
+// during, and after the migration, and the workers' delta chains keep
+// folding cleanly afterwards (the replay preserved their cursors).
+func TestPartitionedMoveSlot(t *testing.T) {
+	initial, err := NewSlotMap(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartitionedConfig(PartitionedConfig{Replicas: 3, Slots: initial, Agg: AggregatorConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := mkAgg(t, AggregatorConfig{})
+	h := newPartitionHarness(t, 99, 24)
+
+	apply := func(step string, blob []byte) {
+		t.Helper()
+		if _, err := p.Apply("w", bytes.NewReader(blob)); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		if _, err := ref.Apply("w", bytes.NewReader(blob)); err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+	}
+	apply("bootstrap", h.round(t))
+	requirePartitionView(t, "bootstrap", p, ref, h.keys)
+	if n := p.Replica(2).Keys(); n != 0 {
+		t.Fatalf("new replica holds %d keys before any move", n)
+	}
+
+	// The deterministic hash spreads 24 keys over both moved (s%3 == 2)
+	// and unmoved slots; the test relies on both classes being non-empty.
+	movedKeys, stayKeys := 0, 0
+	for _, k := range h.keys {
+		if SlotOf(k)%3 == 2 {
+			movedKeys++
+		} else {
+			stayKeys++
+		}
+	}
+	if movedKeys == 0 || stayKeys == 0 {
+		t.Fatalf("key set does not cover moved and unmoved slots (%d/%d)", movedKeys, stayKeys)
+	}
+
+	// Grow toward the canonical 3-replica layout: re-home every slot whose
+	// 3-way primary is the new replica. Check bit-identity mid-migration.
+	table := p.SlotTable()
+	moved := map[int]bool{}
+	for s := 0; s < Slots; s++ {
+		if s%3 != 2 {
+			continue
+		}
+		if err := p.MoveSlot(s, table.Primary(s), 2); err != nil {
+			t.Fatalf("move slot %d: %v", s, err)
+		}
+		moved[s] = true
+		if len(moved) == 20 {
+			requirePartitionView(t, "mid-migration", p, ref, h.keys)
+		}
+	}
+	requirePartitionView(t, "post-migration", p, ref, h.keys)
+
+	// Slot-level diff: moved slots' keys now live only on replica 2, the
+	// old owner dropped its copy; unmoved slots' keys never moved.
+	for _, k := range h.keys {
+		s := SlotOf(k)
+		owner := s % 2
+		if moved[s] {
+			owner = 2
+		}
+		for i := 0; i < 3; i++ {
+			_, ok, err := p.Replica(i).Query(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != (i == owner) {
+				t.Fatalf("key %q (slot %d, moved=%v) on replica %d: ok=%v, owner %d", k, s, moved[s], i, ok, owner)
+			}
+		}
+	}
+	final := p.SlotTable()
+	for s := 0; s < Slots; s++ {
+		want := s % 2
+		if moved[s] {
+			want = 2
+		}
+		if final.Primary(s) != want {
+			t.Fatalf("slot %d primary %d after migration, want %d", s, final.Primary(s), want)
+		}
+	}
+
+	// Delta chains continue across the migration: the replay carried the
+	// workers' seal cursors, so the next delta folds without re-bootstrap.
+	apply("post-move round", h.round(t))
+	requirePartitionView(t, "post-move round", p, ref, h.keys)
+
+	// Invalid moves are rejected.
+	someMoved := -1
+	for s := range moved {
+		someMoved = s
+		break
+	}
+	for _, bad := range []struct {
+		name           string
+		slot, from, to int
+	}{
+		{"slot out of range", Slots, 0, 2},
+		{"negative slot", -1, 0, 2},
+		{"source out of range", 3, 5, 2},
+		{"destination out of range", 3, 0, 7},
+		{"source does not own", someMoved, 0, 1},
+		{"destination already owns", someMoved, 2, 2},
+	} {
+		if err := p.MoveSlot(bad.slot, bad.from, bad.to); err == nil {
+			t.Fatalf("%s: accepted", bad.name)
+		}
+	}
+}
